@@ -1,0 +1,69 @@
+// Section III analysis: Dirichlet-energy trajectories during training with
+// and without the MMSL constraints, under severe semantic inconsistency
+// (R_img = R_tex = 30%). The paper's claim: with inconsistent semantics and
+// no energy control, models overfit modality noise and the layer energies
+// drift (over-smoothing toward zero, or over-separation), costing accuracy;
+// the Proposition 3 constraints keep E(X^(k)) inside
+// [c_min·E(X^(k−1)), c_max·E(X^(0))].
+
+#include <cstdio>
+
+#include "align/metrics.h"
+#include "bench/bench_common.h"
+#include "core/desalign.h"
+#include "eval/table.h"
+#include "kg/presets.h"
+#include "kg/synthetic.h"
+
+int main() {
+  using namespace desalign;
+  std::printf("== Dirichlet-energy trajectories (Sec. III analysis) ==\n");
+
+  auto spec = bench::BenchSpec(kg::PresetFbDb15k());
+  spec.image_ratio = 0.3;
+  spec.text_ratio = 0.3;
+  auto data = kg::GenerateSyntheticPair(spec);
+
+  struct Variant {
+    const char* label;
+    bool use_mmsl;
+    align::MissingFeaturePolicy policy;
+  };
+  const Variant variants[] = {
+      {"noise-fill, no MMSL (baseline behaviour)", false,
+       align::MissingFeaturePolicy::kRandomFromDistribution},
+      {"zero-fill + MMSL (DESAlign)", true,
+       align::MissingFeaturePolicy::kZeroFill},
+  };
+
+  for (const auto& variant : variants) {
+    auto cfg = core::DesalignConfig::Default(/*seed=*/7);
+    cfg.base.dim = bench::BenchDim();
+    cfg.base.epochs = bench::BenchEpochs();
+    cfg.base.record_energy_trace = true;
+    cfg.use_mmsl = variant.use_mmsl;
+    cfg.base.missing_policy = variant.policy;
+    core::DesalignModel model(cfg);
+    auto result = model.Evaluate(data);
+
+    std::printf("\n-- %s --\n", variant.label);
+    eval::TablePrinter table(
+        {"Epoch", "E(X^(0))", "E(X^(k-1))", "E(X^(k))", "ratio k/(k-1)"});
+    const auto& trace = model.energy_trace();
+    for (size_t e = 0; e < trace.size(); e += 5) {
+      const auto& snap = trace[e];
+      table.AddRow({std::to_string(e),
+                    common::FormatDouble(snap.e_initial, 4),
+                    common::FormatDouble(snap.e_mid, 4),
+                    common::FormatDouble(snap.e_final, 4),
+                    common::FormatDouble(
+                        snap.e_mid > 0 ? snap.e_final / snap.e_mid : 0.0,
+                        3)});
+    }
+    table.Print();
+    std::printf("H@1 = %s, MRR = %s\n",
+                eval::Pct(result.metrics.h_at_1).c_str(),
+                eval::Pct(result.metrics.mrr).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+#ifndef DESALIGN_BENCH_BENCH_COMMON_H_
+#define DESALIGN_BENCH_BENCH_COMMON_H_
+
+// Shared plumbing for the table/figure reproduction binaries.
+//
+// Scale knobs (environment variables):
+//   DESALIGN_BENCH_ENTITIES  entities per KG            (default 350)
+//   DESALIGN_BENCH_EPOCHS    training epochs per model  (default 40)
+//   DESALIGN_BENCH_DIM       hidden dimension           (default 32)
+// Raising them tightens the numbers at the cost of wall-clock; the
+// comparative shape is stable across scales.
+
+#include <cstdlib>
+#include <string>
+
+#include "common/strings.h"
+#include "eval/harness.h"
+#include "kg/presets.h"
+#include "kg/synthetic.h"
+
+namespace desalign::bench {
+
+inline int64_t EnvInt(const char* name, int64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0') return fallback;
+  return std::atoll(value);
+}
+
+inline int64_t BenchEntities() {
+  return EnvInt("DESALIGN_BENCH_ENTITIES", 350);
+}
+inline int BenchEpochs() {
+  return static_cast<int>(EnvInt("DESALIGN_BENCH_EPOCHS", 40));
+}
+inline int64_t BenchDim() { return EnvInt("DESALIGN_BENCH_DIM", 32); }
+
+/// Applies the bench scale to the harness factories. `bilingual` selects
+/// the paper's best propagation depth for the dataset family (Fig. 4:
+/// n_p = 1 bilingual, n_p = 2 monolingual).
+inline void ConfigureHarness(bool bilingual) {
+  auto& settings = eval::GlobalHarnessSettings();
+  settings.dim = BenchDim();
+  settings.epochs = BenchEpochs();
+  settings.propagation_iterations = bilingual ? 1 : 2;
+}
+
+/// Scales a preset down to the bench entity budget.
+inline kg::SyntheticSpec BenchSpec(kg::SyntheticSpec spec) {
+  spec.num_entities = BenchEntities();
+  return spec;
+}
+
+inline bool IsBilingual(const std::string& dataset_name) {
+  return common::StartsWith(dataset_name, "DBP15K");
+}
+
+}  // namespace desalign::bench
+
+#endif  // DESALIGN_BENCH_BENCH_COMMON_H_

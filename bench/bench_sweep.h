@@ -1,0 +1,92 @@
+#ifndef DESALIGN_BENCH_BENCH_SWEEP_H_
+#define DESALIGN_BENCH_BENCH_SWEEP_H_
+
+// Shared driver for Tables II and III: sweep a missing-modality ratio over
+// the prominent methods and print H@1/H@10/MRR per cell plus the "Improv."
+// row (DESAlign minus best baseline), matching the paper's layout.
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "align/metrics.h"
+#include "bench/bench_common.h"
+#include "eval/harness.h"
+#include "eval/table.h"
+#include "kg/synthetic.h"
+
+namespace desalign::bench {
+
+enum class SweepVariable { kTextRatio, kImageRatio };
+
+inline void RunMissingModalitySweep(
+    const std::vector<kg::SyntheticSpec>& base_specs, SweepVariable variable,
+    const std::vector<double>& ratios) {
+  for (const auto& base : base_specs) {
+    ConfigureHarness(IsBilingual(base.name));
+    std::printf("\n-- Dataset %s --\n", base.name.c_str());
+    std::vector<std::string> headers = {"Model"};
+    for (double r : ratios) {
+      const std::string tag =
+          (variable == SweepVariable::kTextRatio ? "Rtex=" : "Rimg=") +
+          std::to_string(static_cast<int>(r * 100)) + "%";
+      headers.push_back(tag + " H@1");
+      headers.push_back("H@10");
+      headers.push_back("MRR");
+    }
+    eval::TablePrinter table(headers);
+
+    auto methods = eval::ProminentMethods();
+    // metrics[method][ratio index]
+    std::map<std::string, std::vector<align::RankingMetrics>> results;
+    for (size_t ri = 0; ri < ratios.size(); ++ri) {
+      auto spec = BenchSpec(base);
+      if (variable == SweepVariable::kTextRatio) {
+        spec.text_ratio = ratios[ri];
+      } else {
+        spec.image_ratio = ratios[ri];
+      }
+      auto data = kg::GenerateSyntheticPair(spec);
+      for (const auto& method : methods) {
+        auto cell = eval::RunCell(method, data, /*seed=*/7);
+        results[method.name].push_back(cell.metrics);
+        std::fprintf(stderr, "  [%s %s ratio=%.2f] H@1=%.3f\n",
+                     base.name.c_str(), method.name.c_str(), ratios[ri],
+                     cell.metrics.h_at_1);
+      }
+    }
+    for (const auto& method : methods) {
+      std::vector<std::string> row = {method.name};
+      for (const auto& m : results[method.name]) {
+        row.push_back(eval::Pct(m.h_at_1));
+        row.push_back(eval::Pct(m.h_at_10));
+        row.push_back(eval::Pct(m.mrr));
+      }
+      table.AddRow(std::move(row));
+    }
+    // Improv. = DESAlign − best baseline, per cell.
+    std::vector<std::string> improv = {"Improv."};
+    for (size_t ri = 0; ri < ratios.size(); ++ri) {
+      align::RankingMetrics best;
+      for (const auto& method : methods) {
+        if (method.name == "DESAlign") continue;
+        const auto& m = results[method.name][ri];
+        best.h_at_1 = std::max(best.h_at_1, m.h_at_1);
+        best.h_at_10 = std::max(best.h_at_10, m.h_at_10);
+        best.mrr = std::max(best.mrr, m.mrr);
+      }
+      const auto& ours = results["DESAlign"][ri];
+      improv.push_back(eval::Pct(ours.h_at_1 - best.h_at_1));
+      improv.push_back(eval::Pct(ours.h_at_10 - best.h_at_10));
+      improv.push_back(eval::Pct(ours.mrr - best.mrr));
+    }
+    table.AddSeparator();
+    table.AddRow(std::move(improv));
+    table.Print();
+  }
+}
+
+}  // namespace desalign::bench
+
+#endif  // DESALIGN_BENCH_BENCH_SWEEP_H_

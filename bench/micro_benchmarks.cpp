@@ -1,0 +1,191 @@
+// Google-benchmark micro-benchmarks for the substrate kernels: SpMM,
+// Dirichlet energy, GAT and cross-modal attention forward passes, semantic
+// propagation steps, the closed-form interpolation solver, and ranking
+// metric evaluation.
+
+#include <benchmark/benchmark.h>
+
+#include "align/metrics.h"
+#include "common/rng.h"
+#include "core/semantic_propagation.h"
+#include "graph/dirichlet.h"
+#include "graph/graph.h"
+#include "nn/layers.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+
+namespace {
+
+using namespace desalign;
+using tensor::Tensor;
+using tensor::TensorPtr;
+
+graph::Graph RandomGraph(int64_t n, int64_t avg_degree, uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<std::pair<int64_t, int64_t>> edges;
+  const int64_t m = n * avg_degree / 2;
+  for (int64_t e = 0; e < m; ++e) {
+    int64_t u = rng.UniformInt(n);
+    int64_t v = rng.UniformInt(n);
+    if (u != v) edges.emplace_back(u, v);
+  }
+  return graph::Graph(n, std::move(edges));
+}
+
+TensorPtr RandomDense(int64_t r, int64_t c, uint64_t seed) {
+  common::Rng rng(seed);
+  auto t = Tensor::Create(r, c);
+  tensor::FillNormal(*t, rng);
+  return t;
+}
+
+void BM_SpMM(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  auto g = RandomGraph(n, 8, 1);
+  auto norm = g.NormalizedAdjacency();
+  auto x = RandomDense(n, 64, 2);
+  tensor::NoGradGuard no_grad;
+  for (auto _ : state) {
+    auto y = tensor::SpMM(norm, x);
+    benchmark::DoNotOptimize(y->data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * norm->nnz() * 64);
+}
+BENCHMARK(BM_SpMM)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_DirichletEnergy(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  auto g = RandomGraph(n, 8, 3);
+  auto norm = g.NormalizedAdjacency();
+  auto x = RandomDense(n, 64, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::DirichletEnergy(norm, x));
+  }
+}
+BENCHMARK(BM_DirichletEnergy)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_DenseMatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  auto a = RandomDense(n, 64, 5);
+  auto b = RandomDense(64, 64, 6);
+  tensor::NoGradGuard no_grad;
+  for (auto _ : state) {
+    auto y = tensor::MatMul(a, b);
+    benchmark::DoNotOptimize(y->data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * 64 * 64);
+}
+BENCHMARK(BM_DenseMatMul)->Arg(512)->Arg(2048);
+
+void BM_GatForward(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  common::Rng rng(7);
+  auto g = RandomGraph(n, 8, 8);
+  auto edges = g.MessagePassingEdges(true);
+  nn::GatEncoder gat(32, 2, 2, rng);
+  auto x = RandomDense(n, 32, 9);
+  tensor::NoGradGuard no_grad;
+  for (auto _ : state) {
+    auto y = gat.Forward(x, edges, n);
+    benchmark::DoNotOptimize(y->data().data());
+  }
+}
+BENCHMARK(BM_GatForward)->Arg(1000)->Arg(4000);
+
+void BM_GatForwardBackward(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  common::Rng rng(10);
+  auto g = RandomGraph(n, 8, 11);
+  auto edges = g.MessagePassingEdges(true);
+  nn::GatEncoder gat(32, 2, 2, rng);
+  auto x = Tensor::Create(n, 32, /*requires_grad=*/true);
+  tensor::FillNormal(*x, rng);
+  for (auto _ : state) {
+    auto loss = tensor::Sum(tensor::Square(gat.Forward(x, edges, n)));
+    loss->Backward();
+    x->ZeroGrad();
+    gat.ZeroGrad();
+  }
+}
+BENCHMARK(BM_GatForwardBackward)->Arg(1000)->Arg(4000);
+
+void BM_CrossModalAttention(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  common::Rng rng(12);
+  nn::CrossModalAttention caw(32, 4, 1, rng);
+  std::vector<TensorPtr> inputs;
+  for (int m = 0; m < 4; ++m) inputs.push_back(RandomDense(n, 32, 13 + m));
+  tensor::NoGradGuard no_grad;
+  for (auto _ : state) {
+    auto out = caw.Forward(inputs);
+    benchmark::DoNotOptimize(out.confidence->data().data());
+  }
+}
+BENCHMARK(BM_CrossModalAttention)->Arg(1000)->Arg(4000);
+
+void BM_SemanticPropagationStep(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  auto g = RandomGraph(n, 8, 17);
+  auto norm = g.NormalizedAdjacency();
+  auto x = RandomDense(n, 128, 18);
+  common::Rng rng(19);
+  std::vector<bool> known(n);
+  for (int64_t i = 0; i < n; ++i) known[i] = rng.Bernoulli(0.7);
+  for (auto _ : state) {
+    auto y = core::SemanticPropagation::Step(norm, x, x, known);
+    benchmark::DoNotOptimize(y->data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * 128);
+}
+BENCHMARK(BM_SemanticPropagationStep)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_ClosedFormInterpolation(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  auto g = RandomGraph(n, 8, 20);
+  auto norm = g.NormalizedAdjacency();
+  auto x = RandomDense(n, 16, 21);
+  common::Rng rng(22);
+  std::vector<bool> known(n);
+  for (int64_t i = 0; i < n; ++i) known[i] = rng.Bernoulli(0.8);
+  known[0] = true;
+  for (auto _ : state) {
+    auto y = core::SemanticPropagation::SolveClosedForm(norm, x, known);
+    benchmark::DoNotOptimize(y->data().data());
+  }
+}
+// O(|E_o|^3): kept small — this is exactly why the paper discretizes.
+BENCHMARK(BM_ClosedFormInterpolation)->Arg(100)->Arg(400);
+
+void BM_RankingMetrics(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  auto sim = RandomDense(n, n, 23);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(align::MetricsFromSimilarity(*sim));
+  }
+}
+BENCHMARK(BM_RankingMetrics)->Arg(500)->Arg(2000);
+
+void BM_ContrastiveLossForwardBackward(benchmark::State& state) {
+  const int64_t b = state.range(0);
+  auto z1 = Tensor::Create(b, 32, /*requires_grad=*/true);
+  auto z2 = Tensor::Create(b, 32, /*requires_grad=*/true);
+  common::Rng rng(24);
+  tensor::FillNormal(*z1, rng);
+  tensor::FillNormal(*z2, rng);
+  for (auto _ : state) {
+    auto s = tensor::Scale(
+        tensor::MatMul(tensor::RowL2Normalize(z1),
+                       tensor::Transpose(tensor::RowL2Normalize(z2))),
+        10.0f);
+    auto loss = tensor::Neg(
+        tensor::Mean(tensor::TakeDiag(tensor::RowLogSoftmax(s))));
+    loss->Backward();
+    z1->ZeroGrad();
+    z2->ZeroGrad();
+  }
+}
+BENCHMARK(BM_ContrastiveLossForwardBackward)->Arg(128)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,37 @@
+// Regenerates Table I: statistics of the five benchmark datasets
+// (entities, relations, attributes, triples, images, seed pairs) on the
+// synthetic analogues.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "eval/table.h"
+#include "kg/presets.h"
+#include "kg/synthetic.h"
+
+int main() {
+  using namespace desalign;
+  std::printf("== Table I: dataset statistics (synthetic analogues) ==\n");
+  eval::TablePrinter table({"Dataset", "KG", "Ent.", "Rel.", "Att.",
+                            "R.Triples", "A.Triples", "Image", "EA pairs"});
+  for (auto spec : kg::AllPresets()) {
+    spec.num_entities = bench::BenchEntities();
+    auto pair = kg::GenerateSyntheticPair(spec);
+    auto s = kg::ComputeStatistics(pair.source);
+    auto t = kg::ComputeStatistics(pair.target);
+    table.AddRow({pair.name, "source", std::to_string(s.entities),
+                  std::to_string(s.relations), std::to_string(s.attributes),
+                  std::to_string(s.relation_triples),
+                  std::to_string(s.attribute_triples),
+                  std::to_string(s.images),
+                  std::to_string(pair.TotalPairs())});
+    table.AddRow({"", "target", std::to_string(t.entities),
+                  std::to_string(t.relations), std::to_string(t.attributes),
+                  std::to_string(t.relation_triples),
+                  std::to_string(t.attribute_triples),
+                  std::to_string(t.images), ""});
+    table.AddSeparator();
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Missing-modality robustness demo (the paper's Q1, Tables II/III in
+// miniature): sweep the image ratio R_img and watch DESAlign stay flat
+// while a noise-interpolating baseline oscillates and declines.
+//
+//   ./build/examples/missing_modality
+
+#include <cstdio>
+
+#include "baselines/fusion_baselines.h"
+#include "core/desalign.h"
+#include "eval/table.h"
+#include "kg/presets.h"
+#include "kg/synthetic.h"
+
+int main() {
+  using namespace desalign;
+  const std::vector<double> ratios = {0.1, 0.3, 0.5, 0.7, 0.9};
+
+  std::printf("Sweeping R_img on a DBP15K-FR-EN-style dataset (H@1)\n\n");
+  eval::TablePrinter table({"Model", "R=10%", "R=30%", "R=50%", "R=70%",
+                            "R=90%"});
+  std::vector<std::string> ours_row = {"DESAlign"};
+  std::vector<std::string> base_row = {"MEAformer"};
+
+  for (double ratio : ratios) {
+    kg::SyntheticSpec spec = kg::PresetDbp15k(kg::Dbp15kLang::kFrEn);
+    spec.num_entities = 300;
+    spec.image_ratio = ratio;
+    auto data = kg::GenerateSyntheticPair(spec);
+
+    auto cfg = core::DesalignConfig::Default(/*seed=*/3);
+    cfg.base.epochs = 40;
+    cfg.propagation_iterations = 1;  // bilingual sweet spot (Fig. 4)
+    core::DesalignModel ours(cfg);
+    auto r_ours = ours.Evaluate(data);
+
+    auto base_cfg = baselines::MeaformerConfig(/*seed=*/3);
+    base_cfg.epochs = 40;
+    align::FusionAlignModel baseline(base_cfg);
+    auto r_base = baseline.Evaluate(data);
+
+    ours_row.push_back(eval::Pct(r_ours.metrics.h_at_1));
+    base_row.push_back(eval::Pct(r_base.metrics.h_at_1));
+    std::printf("R_img=%.0f%%: DESAlign %.1f vs MEAformer %.1f\n",
+                ratio * 100, r_ours.metrics.h_at_1 * 100,
+                r_base.metrics.h_at_1 * 100);
+  }
+  std::printf("\n");
+  table.AddRow(std::move(base_row));
+  table.AddRow(std::move(ours_row));
+  table.Print();
+  std::printf(
+      "\nDESAlign zero-fills missing rows and repairs them with semantic\n"
+      "propagation at decode time; the baseline samples them from a\n"
+      "predefined Gaussian, injecting modality noise into training.\n");
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Semantic Propagation as a standalone, learning-free plugin: reconstruct
+// missing feature rows from graph structure (paper §IV-C) and compare the
+// Euler scheme against the closed-form solution (Eq. 19) and naive
+// baselines.
+//
+//   ./build/examples/propagation_plugin
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "core/semantic_propagation.h"
+#include "eval/table.h"
+#include "graph/dirichlet.h"
+#include "kg/presets.h"
+#include "kg/synthetic.h"
+#include "tensor/tensor.h"
+
+namespace {
+
+using namespace desalign;
+using tensor::Tensor;
+using tensor::TensorPtr;
+
+// Mean squared error over the rows flagged missing.
+double MissingRowsMse(const TensorPtr& reconstructed, const TensorPtr& truth,
+                      const std::vector<bool>& known) {
+  double acc = 0.0;
+  int64_t count = 0;
+  for (int64_t i = 0; i < truth->rows(); ++i) {
+    if (known[i]) continue;
+    for (int64_t j = 0; j < truth->cols(); ++j) {
+      const double d = reconstructed->At(i, j) - truth->At(i, j);
+      acc += d * d;
+      ++count;
+    }
+  }
+  return count > 0 ? acc / count : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  // A KG whose visual features are fully known — the ground truth.
+  kg::SyntheticSpec spec = kg::PresetFbDb15k();
+  spec.num_entities = 250;
+  spec.image_ratio = 1.0;
+  auto data = kg::GenerateSyntheticPair(spec);
+  const auto& kg = data.source;
+  auto truth = kg.visual_features.features;
+  const int64_t n = kg.num_entities;
+  const int64_t d = truth->cols();
+
+  // Hide 35% of rows.
+  common::Rng rng(11);
+  std::vector<bool> known(n);
+  for (int64_t i = 0; i < n; ++i) known[i] = rng.Bernoulli(0.65);
+  auto observed = Tensor::Create(n, d);
+  for (int64_t i = 0; i < n; ++i) {
+    if (!known[i]) continue;
+    for (int64_t j = 0; j < d; ++j) observed->At(i, j) = truth->At(i, j);
+  }
+
+  auto graph = kg.BuildGraph();
+  auto norm = graph.NormalizedAdjacency();
+
+  // Baseline 1: leave zeros. Baseline 2: per-column Gaussian noise.
+  auto random_fill = observed->Detach();
+  {
+    std::vector<double> mean(d, 0.0);
+    std::vector<double> sq(d, 0.0);
+    int64_t cnt = 0;
+    for (int64_t i = 0; i < n; ++i) {
+      if (!known[i]) continue;
+      ++cnt;
+      for (int64_t j = 0; j < d; ++j) {
+        mean[j] += truth->At(i, j);
+        sq[j] += truth->At(i, j) * truth->At(i, j);
+      }
+    }
+    for (int64_t j = 0; j < d; ++j) {
+      mean[j] /= cnt;
+      sq[j] = std::sqrt(std::max(0.0, sq[j] / cnt - mean[j] * mean[j]));
+    }
+    for (int64_t i = 0; i < n; ++i) {
+      if (known[i]) continue;
+      for (int64_t j = 0; j < d; ++j) {
+        random_fill->At(i, j) =
+            static_cast<float>(rng.Normal(mean[j], sq[j]));
+      }
+    }
+  }
+
+  eval::TablePrinter table({"Interpolation", "MSE on missing rows",
+                            "Dirichlet energy"});
+  auto report = [&](const char* label, const TensorPtr& x) {
+    table.AddRow({label,
+                  common::FormatDouble(MissingRowsMse(x, truth, known), 4),
+                  common::FormatDouble(graph::DirichletEnergy(norm, x), 1)});
+  };
+  report("zero-fill", observed);
+  report("predefined distribution (noise)", random_fill);
+  for (int iters : {1, 2, 5, 20}) {
+    auto states = core::SemanticPropagation::Run(norm, observed, known,
+                                                 iters);
+    report(("semantic propagation, " + std::to_string(iters) + " steps")
+               .c_str(),
+           states.back());
+  }
+  report("closed form (Eq. 19)",
+         core::SemanticPropagation::SolveClosedForm(norm, observed, known));
+  report("ground truth", truth);
+  table.Print();
+  std::printf(
+      "\nPropagation reconstructs missing rows from existing modal features\n"
+      "(Proposition 4); more steps approach the closed-form harmonic\n"
+      "solution. Noise interpolation matches the moments but not the\n"
+      "entities.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Quickstart: generate a synthetic MMEA dataset, train DESAlign, and
+// compare it against the strongest baseline (MEAformer) on H@k / MRR.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "baselines/fusion_baselines.h"
+#include "core/desalign.h"
+#include "eval/table.h"
+#include "kg/presets.h"
+#include "kg/synthetic.h"
+
+int main() {
+  using namespace desalign;
+
+  // 1. Generate an FB15K-DB15K-style dataset (see kg/presets.h for the
+  //    other four presets; every knob lives on kg::SyntheticSpec).
+  kg::SyntheticSpec spec = kg::PresetFbDb15k();
+  spec.num_entities = 400;  // keep the demo snappy
+  spec.seed_ratio = 0.3;
+  kg::AlignedKgPair data = kg::GenerateSyntheticPair(spec);
+  std::printf("dataset %s: %lld + %lld entities, %zu + %zu triples, "
+              "%zu seed / %zu test pairs\n",
+              data.name.c_str(),
+              static_cast<long long>(data.source.num_entities),
+              static_cast<long long>(data.target.num_entities),
+              data.source.triples.size(), data.target.triples.size(),
+              data.train_pairs.size(), data.test_pairs.size());
+
+  // 2. Train and evaluate DESAlign.
+  core::DesalignConfig config = core::DesalignConfig::Default(/*seed=*/1);
+  config.base.epochs = 50;
+  core::DesalignModel desalign(config);
+  auto desalign_result = desalign.Evaluate(data);
+
+  // 3. Train and evaluate the MEAformer baseline for comparison.
+  auto meaformer = baselines::MakeMeaformer(/*seed=*/1);
+  auto meaformer_result = meaformer->Evaluate(data);
+
+  // 4. Report.
+  eval::TablePrinter table({"Model", "H@1", "H@10", "MRR", "train", "decode"});
+  auto add = [&table](const char* name, const align::EvalResult& r) {
+    table.AddRow({name, eval::Pct(r.metrics.h_at_1),
+                  eval::Pct(r.metrics.h_at_10), eval::Pct(r.metrics.mrr),
+                  eval::Secs(r.train_seconds), eval::Secs(r.decode_seconds)});
+  };
+  add("MEAformer", meaformer_result);
+  add("DESAlign", desalign_result);
+  table.Print();
+
+  // 5. Peek at the Dirichlet energies Proposition 3 constrains.
+  auto energies = desalign.MeasureDirichletEnergies();
+  std::printf("Dirichlet energies (per N*d): E(X0)=%.4f E(Xk-1)=%.4f "
+              "E(Xk)=%.4f\n",
+              energies.e_initial, energies.e_mid, energies.e_final);
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Real-data ingestion walkthrough: build an MMEA dataset from raw strings
+// (the shape of an actual DBpedia/Freebase dump) using the bag-of-words
+// pipeline, then align it with DESAlign.
+//
+// Two toy KGs describe the same twelve entities with different surface
+// text and different relational coverage — the semantic-inconsistency
+// situation from the paper's Figure 1 (Elon Musk vs. Elon Reeve Musk).
+//
+//   ./build/examples/real_text_pipeline
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "align/assignment.h"
+#include "align/metrics.h"
+#include "core/desalign.h"
+#include "kg/text.h"
+#include "tensor/tensor.h"
+
+namespace {
+
+using namespace desalign;
+
+struct RawKg {
+  std::vector<std::string> attributes;  // per entity, concatenated strings
+  std::vector<kg::Triple> triples;
+};
+
+kg::Mmkg BuildKgFromStrings(const RawKg& raw, const kg::Vocabulary& vocab,
+                            const std::string& name) {
+  kg::Mmkg out;
+  out.name = name;
+  out.num_entities = static_cast<int64_t>(raw.attributes.size());
+  out.num_relations = 2;
+  out.num_attributes = vocab.size();
+  out.triples = raw.triples;
+  out.text_features = kg::BuildBowFeatures(raw.attributes, vocab);
+  // Bag-of-relations from the triples.
+  out.relation_features.features =
+      tensor::Tensor::Create(out.num_entities, out.num_relations);
+  out.relation_features.present.assign(out.num_entities, false);
+  for (const auto& t : out.triples) {
+    out.relation_features.features->At(t.head, t.relation) += 1.0f;
+    out.relation_features.features->At(t.tail, t.relation) += 1.0f;
+    out.relation_features.present[t.head] = true;
+    out.relation_features.present[t.tail] = true;
+  }
+  // This toy dump carries no images: the visual modality is absent for
+  // every entity — DESAlign handles the empty modality gracefully.
+  out.visual_features.features = tensor::Tensor::Create(out.num_entities, 4);
+  out.visual_features.present.assign(out.num_entities, false);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  // Twelve entities; KG2 describes them with different wording/coverage.
+  const std::vector<std::string> kg1_text = {
+      "Elon Musk, businessman, born Pretoria, citizenship Canada",
+      "SpaceX, aerospace company, Hawthorne California",
+      "Tesla, electric vehicle maker, Austin",
+      "Albert Einstein, physicist, relativity, Ulm",
+      "Marie Curie, chemist physicist, radioactivity, Warsaw",
+      "Berlin, capital city of Germany",
+      "Paris, capital city of France",
+      "Lionel Messi, footballer, forward, Rosario",
+      "FC Barcelona, football club, Camp Nou",
+      "Mount Everest, mountain, Himalaya, 8849 metres",
+      "Amazon River, river, South America",
+      "Kyoto, city, Japan, temples",
+  };
+  const std::vector<std::string> kg2_text = {
+      "Elon Reeve Musk: entrepreneur; born in Pretoria; SpaceX founder",
+      "Space Exploration Technologies (SpaceX), rockets, California",
+      "Tesla Inc, electric cars, energy storage",
+      "A. Einstein — theoretical physicist — theory of relativity",
+      "Maria Sklodowska-Curie, pioneer of radioactivity research",
+      "Berlin (Deutschland), capital and largest city of Germany",
+      "Paris, la capitale de la France",
+      "Leo Messi, Argentine football forward",
+      "Futbol Club Barcelona, La Liga, stadium Camp Nou",
+      "Everest, highest mountain on Earth, Nepal and Tibet",
+      "The Amazon, largest river by discharge, Brazil Peru",
+      "Kyoto, former imperial capital of Japan",
+  };
+  // Relation 0 = "associated-with", relation 1 = "located-in".
+  RawKg raw1;
+  raw1.attributes = kg1_text;
+  raw1.triples = {{0, 0, 1}, {0, 0, 2}, {7, 0, 8}, {1, 1, 6},
+                  {3, 1, 5},  {9, 1, 11}, {10, 1, 11}};
+  RawKg raw2;
+  raw2.attributes = kg2_text;
+  raw2.triples = {{0, 0, 1}, {0, 0, 2}, {7, 0, 8}, {3, 1, 5},
+                  {4, 1, 6},  {9, 1, 11}};
+
+  // One shared vocabulary over both dumps makes the BoW spaces comparable.
+  kg::Vocabulary vocab;
+  for (const auto& doc : kg1_text) vocab.AddText(doc);
+  for (const auto& doc : kg2_text) vocab.AddText(doc);
+  vocab.Prune(/*min_count=*/1, /*max_vocab=*/512);
+  std::printf("shared vocabulary: %lld tokens\n",
+              static_cast<long long>(vocab.size()));
+
+  kg::AlignedKgPair data;
+  data.name = "toy-text";
+  data.source = BuildKgFromStrings(raw1, vocab, "toy-src");
+  data.target = BuildKgFromStrings(raw2, vocab, "toy-tgt");
+  // Three seeds, nine test pairs (identity mapping in this toy).
+  for (int64_t i = 0; i < 12; ++i) {
+    (i < 3 ? data.train_pairs : data.test_pairs).push_back({i, i});
+  }
+
+  auto cfg = core::DesalignConfig::Default(/*seed=*/3);
+  cfg.base.dim = 16;
+  cfg.base.epochs = 60;
+  cfg.propagation_iterations = 1;
+  core::DesalignModel model(cfg);
+  model.Fit(data);
+  auto sim = model.DecodeSimilarity(data);
+  auto metrics = align::MetricsFromSimilarity(*sim);
+  std::printf("ranking decode:   H@1=%.1f%%  MRR=%.1f%%\n",
+              metrics.h_at_1 * 100, metrics.mrr * 100);
+
+  // One-to-one assignment decoding resolves remaining conflicts.
+  auto match = align::HungarianMatch(*sim);
+  std::printf("assignment decode: accuracy=%.1f%% (Hungarian, one-to-one)\n",
+              align::MatchingAccuracy(match) * 100);
+  for (size_t i = 0; i < match.size(); ++i) {
+    std::printf("  \"%.30s...\"  ->  \"%.30s...\"%s\n",
+                kg1_text[data.test_pairs[i].source].c_str(),
+                kg2_text[data.test_pairs[match[i]].target].c_str(),
+                match[i] == static_cast<int64_t>(i) ? "" : "   [WRONG]");
+  }
+  return 0;
+}

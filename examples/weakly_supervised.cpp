@@ -1,0 +1,58 @@
+// Weakly supervised alignment + the iterative strategy (paper Q4): train
+// DESAlign with as little as 1% seed alignments, then bootstrap pseudo
+// seeds from mutual nearest neighbours.
+//
+//   ./build/examples/weakly_supervised
+
+#include <cstdio>
+
+#include "align/iterative.h"
+#include "align/metrics.h"
+#include "core/desalign.h"
+#include "eval/table.h"
+#include "kg/io.h"
+#include "kg/presets.h"
+#include "kg/synthetic.h"
+
+int main() {
+  using namespace desalign;
+  eval::TablePrinter table({"R_seed", "seeds", "H@1 basic", "H@1 +iterative",
+                            "pseudo-seed gain"});
+
+  for (double seed_ratio : {0.01, 0.05, 0.10}) {
+    kg::SyntheticSpec spec = kg::PresetDbp15k(kg::Dbp15kLang::kFrEn);
+    spec.num_entities = 300;
+    spec.seed_ratio = seed_ratio;
+    auto data = kg::GenerateSyntheticPair(spec);
+
+    auto cfg = core::DesalignConfig::Default(/*seed=*/5);
+    cfg.base.epochs = 40;
+    cfg.propagation_iterations = 1;
+    core::DesalignModel model(cfg);
+    model.Fit(data);
+    auto basic = align::MetricsFromSimilarity(*model.DecodeSimilarity(data));
+
+    align::IterativeConfig iter;
+    iter.rounds = 2;
+    iter.epochs_per_round = 20;
+    iter.min_similarity = 0.5f;
+    align::RunIterativeRefinement(model, data, iter);
+    auto boosted =
+        align::MetricsFromSimilarity(*model.DecodeSimilarity(data));
+
+    table.AddRow({eval::Pct(seed_ratio),
+                  std::to_string(data.train_pairs.size()),
+                  eval::Pct(basic.h_at_1), eval::Pct(boosted.h_at_1),
+                  eval::Pct(boosted.h_at_1 - basic.h_at_1)});
+    std::printf("R_seed=%.0f%%: basic H@1=%.1f, iterative H@1=%.1f\n",
+                seed_ratio * 100, basic.h_at_1 * 100, boosted.h_at_1 * 100);
+  }
+  std::printf("\n");
+  table.Print();
+  std::printf(
+      "\nThe iterative strategy caches cross-graph mutual nearest\n"
+      "neighbours above a similarity threshold as pseudo seeds and\n"
+      "refines the model on the enlarged set; the cache is rebuilt every\n"
+      "round (alignment editing), so unstable pairs drop out.\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+#include "align/assignment.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace desalign::align {
+
+std::vector<int64_t> GreedyOneToOneMatch(const tensor::Tensor& sim) {
+  const int64_t n = sim.rows();
+  const int64_t m = sim.cols();
+  struct Cell {
+    float value;
+    int64_t row;
+    int64_t col;
+  };
+  std::vector<Cell> cells;
+  cells.reserve(static_cast<size_t>(n * m));
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < m; ++j) {
+      cells.push_back({sim.At(i, j), i, j});
+    }
+  }
+  std::sort(cells.begin(), cells.end(), [](const Cell& a, const Cell& b) {
+    if (a.value != b.value) return a.value > b.value;
+    if (a.row != b.row) return a.row < b.row;
+    return a.col < b.col;
+  });
+  std::vector<int64_t> match(n, -1);
+  std::vector<bool> col_used(m, false);
+  int64_t committed = 0;
+  const int64_t target = std::min(n, m);
+  for (const auto& cell : cells) {
+    if (committed == target) break;
+    if (match[cell.row] >= 0 || col_used[cell.col]) continue;
+    match[cell.row] = cell.col;
+    col_used[cell.col] = true;
+    ++committed;
+  }
+  return match;
+}
+
+std::vector<int64_t> HungarianMatch(const tensor::Tensor& sim) {
+  DESALIGN_CHECK_EQ(sim.rows(), sim.cols());
+  const int64_t n = sim.rows();
+  // Minimize cost = -similarity with the O(n^3) potentials formulation
+  // (1-indexed internal arrays, standard Jonker–Volgenant scheme).
+  const double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> u(n + 1, 0.0);      // row potentials
+  std::vector<double> v(n + 1, 0.0);      // column potentials
+  std::vector<int64_t> p(n + 1, 0);       // p[j]: row matched to column j
+  std::vector<int64_t> way(n + 1, 0);
+  for (int64_t i = 1; i <= n; ++i) {
+    p[0] = i;
+    int64_t j0 = 0;
+    std::vector<double> minv(n + 1, kInf);
+    std::vector<bool> used(n + 1, false);
+    do {
+      used[j0] = true;
+      const int64_t i0 = p[j0];
+      double delta = kInf;
+      int64_t j1 = 0;
+      for (int64_t j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        const double cost = -static_cast<double>(sim.At(i0 - 1, j - 1));
+        const double current = cost - u[i0] - v[j];
+        if (current < minv[j]) {
+          minv[j] = current;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (int64_t j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    do {
+      const int64_t j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+  std::vector<int64_t> match(n, -1);
+  for (int64_t j = 1; j <= n; ++j) {
+    if (p[j] > 0) match[p[j] - 1] = j - 1;
+  }
+  return match;
+}
+
+double MatchingAccuracy(const std::vector<int64_t>& match) {
+  if (match.empty()) return 0.0;
+  int64_t hits = 0;
+  for (size_t i = 0; i < match.size(); ++i) {
+    if (match[i] == static_cast<int64_t>(i)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(match.size());
+}
+
+double MatchingScore(const tensor::Tensor& sim,
+                     const std::vector<int64_t>& match) {
+  double total = 0.0;
+  for (size_t i = 0; i < match.size(); ++i) {
+    if (match[i] >= 0) total += sim.At(static_cast<int64_t>(i), match[i]);
+  }
+  return total;
+}
+
+}  // namespace desalign::align

@@ -1,0 +1,36 @@
+#ifndef DESALIGN_ALIGN_ASSIGNMENT_H_
+#define DESALIGN_ALIGN_ASSIGNMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace desalign::align {
+
+// One-to-one assignment decoding: instead of ranking targets independently
+// per source (H@k/MRR), commit to a global matching. Entity alignment is
+// one-to-one by definition, so assignment decoding resolves conflicts
+// where two sources claim the same target — the "collective" alignment
+// setting of Zeng et al. [51].
+
+/// Greedy global matching: repeatedly commits the highest-similarity
+/// unmatched (row, column) pair. Returns, per row, the matched column
+/// (every row is matched when the matrix is square). O(n² log n).
+std::vector<int64_t> GreedyOneToOneMatch(const tensor::Tensor& sim);
+
+/// Optimal assignment maximizing total similarity via the Hungarian
+/// algorithm (Jonker–Volgenant style potentials), O(n³). Requires a
+/// square matrix.
+std::vector<int64_t> HungarianMatch(const tensor::Tensor& sim);
+
+/// Fraction of rows whose match is the ground-truth diagonal entry.
+double MatchingAccuracy(const std::vector<int64_t>& match);
+
+/// Total similarity collected by a matching.
+double MatchingScore(const tensor::Tensor& sim,
+                     const std::vector<int64_t>& match);
+
+}  // namespace desalign::align
+
+#endif  // DESALIGN_ALIGN_ASSIGNMENT_H_

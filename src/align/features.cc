@@ -1,0 +1,131 @@
+#include "align/features.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace desalign::align {
+
+namespace {
+
+using kg::FeatureTable;
+using tensor::Tensor;
+
+// Row-l2-normalizes rows flagged present (missing rows stay zero).
+void NormalizePresentRows(Tensor& t, const std::vector<bool>& present) {
+  const int64_t n = t.rows();
+  const int64_t c = t.cols();
+  for (int64_t r = 0; r < n; ++r) {
+    if (!present[r]) continue;
+    double acc = 0.0;
+    for (int64_t j = 0; j < c; ++j) {
+      acc += static_cast<double>(t.At(r, j)) * t.At(r, j);
+    }
+    const float norm = static_cast<float>(std::sqrt(acc));
+    if (norm < 1e-12f) continue;
+    for (int64_t j = 0; j < c; ++j) t.At(r, j) /= norm;
+  }
+}
+
+// Fills missing rows with N(mu_j, sigma_j) where the moments are estimated
+// column-wise from the present rows.
+void FillMissingFromDistribution(Tensor& t, const std::vector<bool>& present,
+                                 common::Rng& rng) {
+  const int64_t n = t.rows();
+  const int64_t c = t.cols();
+  int64_t count = 0;
+  std::vector<double> mean(c, 0.0);
+  std::vector<double> sq(c, 0.0);
+  for (int64_t r = 0; r < n; ++r) {
+    if (!present[r]) continue;
+    ++count;
+    for (int64_t j = 0; j < c; ++j) {
+      mean[j] += t.At(r, j);
+      sq[j] += static_cast<double>(t.At(r, j)) * t.At(r, j);
+    }
+  }
+  if (count == 0) return;
+  for (int64_t j = 0; j < c; ++j) {
+    mean[j] /= count;
+    sq[j] = std::sqrt(std::max(0.0, sq[j] / count - mean[j] * mean[j]));
+  }
+  for (int64_t r = 0; r < n; ++r) {
+    if (present[r]) continue;
+    for (int64_t j = 0; j < c; ++j) {
+      t.At(r, j) = static_cast<float>(rng.Normal(mean[j], sq[j]));
+    }
+  }
+}
+
+// Stacks source over target feature tables into one (N x d) tensor.
+std::pair<tensor::TensorPtr, std::vector<bool>> Stack(
+    const FeatureTable& src, const FeatureTable& tgt) {
+  DESALIGN_CHECK_MSG(src.dim() == tgt.dim(),
+                     "source/target feature dims differ; datasets must share "
+                     "a union vocabulary");
+  const int64_t ns = src.num_entities();
+  const int64_t nt = tgt.num_entities();
+  auto out = Tensor::Create(ns + nt, src.dim());
+  std::copy(src.features->data().begin(), src.features->data().end(),
+            out->data().begin());
+  std::copy(tgt.features->data().begin(), tgt.features->data().end(),
+            out->data().begin() + ns * src.dim());
+  std::vector<bool> present(src.present);
+  present.insert(present.end(), tgt.present.begin(), tgt.present.end());
+  return {out, present};
+}
+
+}  // namespace
+
+std::vector<bool> CombinedFeatures::AllPresent() const {
+  std::vector<bool> out(total());
+  for (int64_t i = 0; i < total(); ++i) {
+    out[i] = relation_present[i] && text_present[i] && visual_present[i];
+  }
+  return out;
+}
+
+const std::vector<bool>& CombinedFeatures::PresentFor(kg::Modality m) const {
+  switch (m) {
+    case kg::Modality::kRelation:
+      return relation_present;
+    case kg::Modality::kText:
+      return text_present;
+    case kg::Modality::kVisual:
+      return visual_present;
+    case kg::Modality::kGraph:
+      break;
+  }
+  // kGraph: structure is always available; reuse relation mask shape with
+  // an all-true static.
+  static const std::vector<bool>& empty = *new std::vector<bool>();
+  return empty;
+}
+
+CombinedFeatures BuildCombinedFeatures(const kg::AlignedKgPair& data,
+                                       MissingFeaturePolicy policy,
+                                       common::Rng& rng) {
+  CombinedFeatures out;
+  out.num_source = data.source.num_entities;
+  out.num_target = data.target.num_entities;
+
+  std::tie(out.relation, out.relation_present) =
+      Stack(data.source.relation_features, data.target.relation_features);
+  std::tie(out.text, out.text_present) =
+      Stack(data.source.text_features, data.target.text_features);
+  std::tie(out.visual, out.visual_present) =
+      Stack(data.source.visual_features, data.target.visual_features);
+
+  NormalizePresentRows(*out.relation, out.relation_present);
+  NormalizePresentRows(*out.text, out.text_present);
+  NormalizePresentRows(*out.visual, out.visual_present);
+
+  if (policy == MissingFeaturePolicy::kRandomFromDistribution) {
+    FillMissingFromDistribution(*out.relation, out.relation_present, rng);
+    FillMissingFromDistribution(*out.text, out.text_present, rng);
+    FillMissingFromDistribution(*out.visual, out.visual_present, rng);
+  }
+  return out;
+}
+
+}  // namespace desalign::align

@@ -1,0 +1,56 @@
+#ifndef DESALIGN_ALIGN_FEATURES_H_
+#define DESALIGN_ALIGN_FEATURES_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "kg/mmkg.h"
+#include "tensor/tensor.h"
+
+namespace desalign::align {
+
+using tensor::TensorPtr;
+
+/// How a model fills feature rows of entities whose modality is absent.
+enum class MissingFeaturePolicy {
+  /// Leave the row at zero. DESAlign's choice: the gap is later closed by
+  /// semantic propagation instead of synthetic noise.
+  kZeroFill,
+  /// Sample from a Gaussian fit to the present rows (column-wise moments).
+  /// What EVA/MCLEA/MEAformer do — the "predefined distribution"
+  /// interpolation the paper identifies as a source of modality noise.
+  kRandomFromDistribution,
+};
+
+/// Input features of both KGs stacked into one entity index space:
+/// rows [0, num_source) are source entities, rows [num_source,
+/// num_source+num_target) are target entities (target ids shifted).
+struct CombinedFeatures {
+  int64_t num_source = 0;
+  int64_t num_target = 0;
+  TensorPtr relation;  ///< N x d_r, row-l2-normalized where present
+  TensorPtr text;      ///< N x d_t
+  TensorPtr visual;    ///< N x d_v
+  std::vector<bool> relation_present;
+  std::vector<bool> text_present;
+  std::vector<bool> visual_present;
+
+  int64_t total() const { return num_source + num_target; }
+
+  /// Entities with every modality present — the semantically consistent
+  /// set E_c of the paper; the complement is E_o.
+  std::vector<bool> AllPresent() const;
+
+  /// Presence mask for a single modality (kGraph is always present).
+  const std::vector<bool>& PresentFor(kg::Modality m) const;
+};
+
+/// Stacks and normalizes the two KGs' modal features and applies the
+/// missing-feature policy. Deterministic given `rng`'s state.
+CombinedFeatures BuildCombinedFeatures(const kg::AlignedKgPair& data,
+                                       MissingFeaturePolicy policy,
+                                       common::Rng& rng);
+
+}  // namespace desalign::align
+
+#endif  // DESALIGN_ALIGN_FEATURES_H_

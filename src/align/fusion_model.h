@@ -1,0 +1,198 @@
+#ifndef DESALIGN_ALIGN_FUSION_MODEL_H_
+#define DESALIGN_ALIGN_FUSION_MODEL_H_
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "align/features.h"
+#include "align/method.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "graph/graph.h"
+#include "kg/mmkg.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+#include "tensor/sparse.h"
+
+namespace desalign::align {
+
+/// Configuration shared by the modality-fusion family of MMEA models
+/// (EVA, MCLEA, MEAformer-sim, DESAlign). Feature switches select the
+/// family member; DESAlign adds its extras through virtual hooks.
+/// Task-objective family for the alignment losses.
+enum class TaskLossKind {
+  kContrastive,     ///< bidirectional InfoNCE (Eq. 16–17)
+  kMarginRanking,   ///< translation-era margin ranking (MMEA family)
+};
+
+struct FusionModelConfig {
+  std::string name = "FusionModel";
+  uint64_t seed = 7;
+
+  // ---- Architecture ----
+  int64_t dim = 32;          ///< hidden dim d (paper: 300; scaled down)
+  int64_t gat_heads = 2;     ///< paper: two attention heads
+  int64_t gat_layers = 2;    ///< paper: two layers
+  int64_t attn_heads = 1;    ///< CAW heads N_h (paper: 1)
+
+  // ---- Training ----
+  int epochs = 60;
+  float lr = 5e-3f;
+  float weight_decay = 1e-4f;
+  float tau = 0.1f;          ///< contrastive temperature (paper: 0.1)
+  TaskLossKind task_loss = TaskLossKind::kContrastive;
+  float margin = 1.0f;       ///< for kMarginRanking
+  float grad_clip = 5.0f;
+  double warmup_fraction = 0.15;
+  int early_stop_patience = 0;  ///< 0 disables early stopping
+
+  // ---- Family switches ----
+  /// Cross-modal attention fusion (MEAformer/DESAlign) vs. global learnable
+  /// modality weights (EVA/MCLEA).
+  bool use_cross_modal_attention = true;
+  /// Intra-modal contrastive objectives L_m (MCLEA and up).
+  bool use_intra_modal_losses = true;
+  /// Min-confidence weighting φ_m of Eq. 17 (DESAlign).
+  bool use_min_confidence = false;
+  /// Include L_task^(0) (early-fusion task loss). Ablated in Fig. 3.
+  bool use_initial_task_loss = true;
+  /// Include Σ_m L_m^(k−1) (intermediate-layer intra-modal losses).
+  bool use_mid_layer_losses = true;
+  /// Missing-feature interpolation at input time.
+  MissingFeaturePolicy missing_policy =
+      MissingFeaturePolicy::kRandomFromDistribution;
+  /// Per-modality enable switches, indexed by kg::Modality (ablations).
+  std::array<bool, kg::kNumModalities> use_modality = {true, true, true,
+                                                       true};
+  /// Apply cross-domain similarity local scaling to the decoded similarity
+  /// matrix (optional hubness correction).
+  bool use_csls = false;
+  /// Record a Dirichlet-energy snapshot after every training epoch
+  /// (analysis runs only — costs one extra no-grad forward per epoch).
+  bool record_energy_trace = false;
+};
+
+/// Shared implementation of the fusion-based MMEA model family. Encodes
+/// each modality (Eq. 7–8), fuses (Eq. 9–14), and trains the bidirectional
+/// contrastive objective (Eq. 16–17) full-batch over the seed alignments.
+/// Subclasses hook in extra loss terms (DESAlign's Dirichlet-energy
+/// penalties) and decode-time refinement (semantic propagation).
+class FusionAlignModel : public AlignmentMethod {
+ public:
+  explicit FusionAlignModel(FusionModelConfig config);
+
+  std::string name() const override { return config_.name; }
+  void Fit(const kg::AlignedKgPair& data) override;
+  tensor::TensorPtr DecodeSimilarity(const kg::AlignedKgPair& data) override;
+
+  /// Continues training this (already fitted) model on `seeds` for `epochs`
+  /// more epochs — the iterative strategy's refinement phase.
+  void FitMore(const kg::AlignedKgPair& data,
+               const std::vector<kg::AlignmentPair>& seeds, int epochs);
+
+  /// Builds the dataset caches and parameter tensors without training —
+  /// required before LoadCheckpoint on a fresh model.
+  void Warmup(const kg::AlignedKgPair& data);
+
+  /// Persists / restores all trainable parameters. The model must be
+  /// warmed up (or fitted) with the same configuration and dataset shape.
+  common::Status SaveCheckpoint(const std::string& path) const;
+  common::Status LoadCheckpoint(const std::string& path);
+
+  const FusionModelConfig& config() const { return config_; }
+
+  /// Total trainable scalars (for the efficiency analysis).
+  int64_t NumParameters() const;
+
+  /// Dirichlet energies of the semantic embedding at the three layers of
+  /// Proposition 3, measured on the current weights (no-grad forward).
+  /// Energies are normalized by N·d so values are comparable across
+  /// configurations; layers without a fused path report 0.
+  struct EnergySnapshot {
+    double e_initial = 0.0;  ///< E(X^(0))
+    double e_mid = 0.0;      ///< E(X^(k−1))
+    double e_final = 0.0;    ///< E(X^(k))
+  };
+  EnergySnapshot MeasureDirichletEnergies();
+
+  /// Per-epoch energy snapshots; non-empty only when
+  /// `config.record_energy_trace` is set.
+  const std::vector<EnergySnapshot>& energy_trace() const {
+    return energy_trace_;
+  }
+
+ protected:
+  /// Everything one forward pass produces; indices follow kg::Modality.
+  struct ForwardState {
+    std::vector<tensor::TensorPtr> modal_raw;    ///< h^m (null if disabled)
+    std::vector<tensor::TensorPtr> modal_mid;    ///< ĥ^ATT pre-FFN
+    std::vector<tensor::TensorPtr> modal_fused;  ///< ĥ^ATT (Eq. 12)
+    tensor::TensorPtr confidence;                ///< w̃ (N x M) or null
+    tensor::TensorPtr h_ori;  ///< X^(0): early fusion (final representation)
+    tensor::TensorPtr h_mid;  ///< X^(k−1)
+    tensor::TensorPtr h_fus;  ///< X^(k): late fusion
+  };
+
+  ForwardState Forward();
+
+  /// Subclass hook: extra differentiable loss terms (may return null).
+  virtual tensor::TensorPtr ExtraLoss(const ForwardState& state);
+
+  /// Subclass hook: decode-time similarity from the final embedding
+  /// (default: cosine over h_ori rows of the test pairs).
+  virtual tensor::TensorPtr SimilarityFromEmbeddings(
+      const ForwardState& state, const kg::AlignedKgPair& data);
+
+  /// Test-pair row indices into the combined entity space.
+  std::vector<int64_t> TestSourceRows(const kg::AlignedKgPair& data) const;
+  std::vector<int64_t> TestTargetRows(const kg::AlignedKgPair& data) const;
+
+  /// Active (enabled) modalities in canonical order.
+  std::vector<kg::Modality> ActiveModalities() const;
+
+  FusionModelConfig config_;
+  common::Rng rng_;
+
+  // Dataset-derived caches (built by Prepare).
+  bool prepared_ = false;
+  CombinedFeatures features_;
+  std::optional<graph::Graph> graph_src_;
+  std::optional<graph::Graph> graph_tgt_;
+  std::optional<graph::Graph> graph_union_;
+  graph::Graph::DirectedEdges mp_edges_;
+  tensor::CsrMatrixPtr norm_adj_union_;  ///< Ã of the disjoint union
+  tensor::CsrMatrixPtr norm_adj_src_;
+  tensor::CsrMatrixPtr norm_adj_tgt_;
+
+  // Trainable components.
+  tensor::TensorPtr entity_embeddings_;  ///< x^g, N x d
+  std::unique_ptr<nn::GatEncoder> gat_;
+  std::unique_ptr<nn::Linear> fc_relation_;
+  std::unique_ptr<nn::Linear> fc_text_;
+  std::unique_ptr<nn::Linear> fc_visual_;
+  std::unique_ptr<nn::CrossModalAttention> caw_;
+  tensor::TensorPtr global_modality_logits_;  ///< 1 x M (EVA-style fusion)
+
+ private:
+  std::vector<EnergySnapshot> energy_trace_;
+  void Prepare(const kg::AlignedKgPair& data);
+  std::vector<tensor::TensorPtr> CollectParameters() const;
+  tensor::TensorPtr ComputeLoss(const ForwardState& state,
+                                const std::vector<int64_t>& src_rows,
+                                const std::vector<int64_t>& tgt_rows);
+  void RunEpochs(const std::vector<kg::AlignmentPair>& seeds, int epochs);
+
+  /// Pair weight column (B x 1 constants) = min(w̃_src, w̃_tgt) for
+  /// modality m; null when min-confidence is off or confidence missing.
+  tensor::TensorPtr PairConfidence(const ForwardState& state, int modality,
+                                   const std::vector<int64_t>& src_rows,
+                                   const std::vector<int64_t>& tgt_rows)
+      const;
+};
+
+}  // namespace desalign::align
+
+#endif  // DESALIGN_ALIGN_FUSION_MODEL_H_

@@ -1,0 +1,57 @@
+#include "align/iterative.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace desalign::align {
+
+std::vector<kg::AlignmentPair> MutualNearestPairs(
+    const tensor::Tensor& sim, const kg::AlignedKgPair& data,
+    float min_similarity) {
+  const int64_t n = sim.rows();
+  DESALIGN_CHECK_EQ(n, static_cast<int64_t>(data.test_pairs.size()));
+  std::vector<int64_t> best_for_row(n), best_for_col(n);
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t arg = 0;
+    for (int64_t j = 1; j < n; ++j) {
+      if (sim.At(i, j) > sim.At(i, arg)) arg = j;
+    }
+    best_for_row[i] = arg;
+  }
+  for (int64_t j = 0; j < n; ++j) {
+    int64_t arg = 0;
+    for (int64_t i = 1; i < n; ++i) {
+      if (sim.At(i, j) > sim.At(arg, j)) arg = i;
+    }
+    best_for_col[j] = arg;
+  }
+  std::vector<kg::AlignmentPair> pseudo;
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t j = best_for_row[i];
+    if (best_for_col[j] == i && sim.At(i, j) >= min_similarity) {
+      pseudo.push_back({data.test_pairs[i].source, data.test_pairs[j].target});
+    }
+  }
+  return pseudo;
+}
+
+void RunIterativeRefinement(FusionAlignModel& model,
+                            const kg::AlignedKgPair& data,
+                            const IterativeConfig& config) {
+  for (int round = 0; round < config.rounds; ++round) {
+    auto sim = model.DecodeSimilarity(data);
+    // The pseudo-seed cache is rebuilt from scratch every round, which IS
+    // the alignment-editing rule: a pair added in round r that stops being
+    // a mutual nearest neighbour disappears from round r+1's seed set.
+    auto pseudo = MutualNearestPairs(*sim, data, config.min_similarity);
+    DESALIGN_LOG(Debug) << model.name() << ": iterative round " << round
+                        << " adds " << pseudo.size() << " pseudo seeds";
+    std::vector<kg::AlignmentPair> seeds = data.train_pairs;
+    seeds.insert(seeds.end(), pseudo.begin(), pseudo.end());
+    model.FitMore(data, seeds, config.epochs_per_round);
+  }
+}
+
+}  // namespace desalign::align

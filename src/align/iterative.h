@@ -1,0 +1,38 @@
+#ifndef DESALIGN_ALIGN_ITERATIVE_H_
+#define DESALIGN_ALIGN_ITERATIVE_H_
+
+#include <vector>
+
+#include "align/fusion_model.h"
+#include "kg/mmkg.h"
+
+namespace desalign::align {
+
+/// Settings for the iterative (bootstrapping) training strategy: after the
+/// base fit, mutual-nearest cross-graph test pairs above a similarity
+/// threshold are cached as pseudo-seeds and the model is refined on the
+/// enlarged seed set ("alignment editing" drops pseudo-seeds that stop
+/// being mutual nearest neighbours between rounds, limiting error
+/// accumulation, following Sun et al. 2018).
+struct IterativeConfig {
+  int rounds = 2;
+  int epochs_per_round = 30;
+  float min_similarity = 0.5f;
+};
+
+/// Mutual-nearest-neighbour pseudo pairs from a test similarity matrix
+/// (row/column conventions of AlignmentMethod::DecodeSimilarity).
+/// Returned pairs index into `data.test_pairs`' entity ids.
+std::vector<kg::AlignmentPair> MutualNearestPairs(
+    const tensor::Tensor& sim, const kg::AlignedKgPair& data,
+    float min_similarity);
+
+/// Runs the iterative strategy on a fusion-family model that has already
+/// been `Fit` once. Mutates the model in place.
+void RunIterativeRefinement(FusionAlignModel& model,
+                            const kg::AlignedKgPair& data,
+                            const IterativeConfig& config);
+
+}  // namespace desalign::align
+
+#endif  // DESALIGN_ALIGN_ITERATIVE_H_

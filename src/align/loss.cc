@@ -1,0 +1,47 @@
+#include "align/loss.h"
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace desalign::align {
+
+namespace ops = desalign::tensor;
+
+TensorPtr ContrastiveAlignmentLoss(const TensorPtr& z1, const TensorPtr& z2,
+                                   float tau,
+                                   const TensorPtr& pair_weights) {
+  DESALIGN_CHECK_EQ(z1->rows(), z2->rows());
+  DESALIGN_CHECK_EQ(z1->cols(), z2->cols());
+  DESALIGN_CHECK_GT(tau, 0.0f);
+  auto z1n = ops::RowL2Normalize(z1);
+  auto z2n = ops::RowL2Normalize(z2);
+  auto logits =
+      ops::Scale(ops::MatMul(z1n, ops::Transpose(z2n)), 1.0f / tau);
+  // p(e1_i -> e2_i) and p(e2_i -> e1_i): the same matrix read row-wise and
+  // column-wise.
+  auto fwd = ops::Neg(ops::TakeDiag(ops::RowLogSoftmax(logits)));
+  auto bwd =
+      ops::Neg(ops::TakeDiag(ops::RowLogSoftmax(ops::Transpose(logits))));
+  auto per_pair = ops::Scale(ops::Add(fwd, bwd), 0.5f);
+  if (pair_weights) {
+    DESALIGN_CHECK_EQ(pair_weights->rows(), z1->rows());
+    DESALIGN_CHECK_EQ(pair_weights->cols(), 1);
+    per_pair = ops::Mul(per_pair, pair_weights);
+  }
+  return ops::Mean(per_pair);
+}
+
+TensorPtr MarginAlignmentLoss(const TensorPtr& z1, const TensorPtr& z2,
+                              const TensorPtr& z2_neg, float margin) {
+  DESALIGN_CHECK_EQ(z1->rows(), z2->rows());
+  DESALIGN_CHECK_EQ(z1->rows(), z2_neg->rows());
+  auto z1n = ops::RowL2Normalize(z1);
+  auto z2n = ops::RowL2Normalize(z2);
+  auto znn = ops::RowL2Normalize(z2_neg);
+  auto d_pos = ops::RowSum(ops::Square(ops::Sub(z1n, z2n)));
+  auto d_neg = ops::RowSum(ops::Square(ops::Sub(z1n, znn)));
+  return ops::Mean(
+      ops::Relu(ops::AddScalar(ops::Sub(d_pos, d_neg), margin)));
+}
+
+}  // namespace desalign::align

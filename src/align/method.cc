@@ -1,0 +1,19 @@
+#include "align/method.h"
+
+#include "common/stopwatch.h"
+
+namespace desalign::align {
+
+EvalResult AlignmentMethod::Evaluate(const kg::AlignedKgPair& data) {
+  EvalResult result;
+  common::Stopwatch watch;
+  Fit(data);
+  result.train_seconds = watch.ElapsedSeconds();
+  watch.Reset();
+  auto sim = DecodeSimilarity(data);
+  result.decode_seconds = watch.ElapsedSeconds();
+  result.metrics = MetricsFromSimilarity(*sim);
+  return result;
+}
+
+}  // namespace desalign::align

@@ -1,0 +1,42 @@
+#ifndef DESALIGN_ALIGN_METHOD_H_
+#define DESALIGN_ALIGN_METHOD_H_
+
+#include <string>
+
+#include "align/metrics.h"
+#include "kg/mmkg.h"
+#include "tensor/tensor.h"
+
+namespace desalign::align {
+
+/// Evaluation record for one (method, dataset) cell of a results table.
+struct EvalResult {
+  RankingMetrics metrics;
+  double train_seconds = 0.0;
+  double decode_seconds = 0.0;
+};
+
+/// Interface every alignment method (DESAlign and all baselines)
+/// implements, so the benchmark harness can sweep them uniformly.
+class AlignmentMethod {
+ public:
+  virtual ~AlignmentMethod() = default;
+
+  /// Human-readable method name used in result tables.
+  virtual std::string name() const = 0;
+
+  /// Trains on `data.train_pairs`.
+  virtual void Fit(const kg::AlignedKgPair& data) = 0;
+
+  /// Produces the test-set similarity matrix: row i = test pair i's source
+  /// entity, column j = test pair j's target entity (diagonal = truth).
+  virtual tensor::TensorPtr DecodeSimilarity(
+      const kg::AlignedKgPair& data) = 0;
+
+  /// Fit + decode + rank, with timings.
+  EvalResult Evaluate(const kg::AlignedKgPair& data);
+};
+
+}  // namespace desalign::align
+
+#endif  // DESALIGN_ALIGN_METHOD_H_

@@ -1,0 +1,41 @@
+#ifndef DESALIGN_ALIGN_METRICS_H_
+#define DESALIGN_ALIGN_METRICS_H_
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace desalign::align {
+
+using tensor::Tensor;
+using tensor::TensorPtr;
+
+/// Ranking quality of an alignment prediction (paper Eq. 23–24). The
+/// similarity matrix convention: row i is test pair i's source entity,
+/// column j is test pair j's target entity, so the correct answer for row i
+/// is column i.
+struct RankingMetrics {
+  double h_at_1 = 0.0;
+  double h_at_5 = 0.0;
+  double h_at_10 = 0.0;
+  double mrr = 0.0;
+  int64_t num_queries = 0;
+};
+
+/// Computes H@{1,5,10} and MRR from a square similarity matrix whose
+/// diagonal holds the ground-truth matches (source -> target direction).
+RankingMetrics MetricsFromSimilarity(const Tensor& sim);
+
+/// Cosine similarity matrix between row-sets a (n x d) and b (m x d);
+/// returns n x m. Pure inference helper — never builds autograd state.
+TensorPtr CosineSimilarityMatrix(const TensorPtr& a, const TensorPtr& b);
+
+/// Cross-domain similarity local scaling [Lample et al.]: replaces
+/// sim(i,j) by 2*sim(i,j) − r_src(i) − r_tgt(j) where r are mean top-k
+/// neighborhood similarities. Mitigates hubness in nearest-neighbor
+/// retrieval; offered as an optional decoding refinement.
+void ApplyCsls(Tensor& sim, int k = 10);
+
+}  // namespace desalign::align
+
+#endif  // DESALIGN_ALIGN_METRICS_H_

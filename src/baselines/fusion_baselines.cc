@@ -1,0 +1,61 @@
+#include "baselines/fusion_baselines.h"
+
+namespace desalign::baselines {
+
+using align::FusionAlignModel;
+using align::FusionModelConfig;
+using align::MissingFeaturePolicy;
+
+FusionModelConfig EvaConfig(uint64_t seed) {
+  FusionModelConfig cfg;
+  cfg.name = "EVA";
+  cfg.seed = seed;
+  cfg.use_cross_modal_attention = false;
+  cfg.use_intra_modal_losses = false;
+  cfg.use_min_confidence = false;
+  cfg.missing_policy = MissingFeaturePolicy::kRandomFromDistribution;
+  return cfg;
+}
+
+FusionModelConfig McleaConfig(uint64_t seed) {
+  FusionModelConfig cfg = EvaConfig(seed);
+  cfg.name = "MCLEA";
+  cfg.use_intra_modal_losses = true;
+  return cfg;
+}
+
+FusionModelConfig MeaformerConfig(uint64_t seed) {
+  FusionModelConfig cfg;
+  cfg.name = "MEAformer";
+  cfg.seed = seed;
+  cfg.use_cross_modal_attention = true;
+  cfg.use_intra_modal_losses = true;
+  cfg.use_min_confidence = false;
+  cfg.missing_policy = MissingFeaturePolicy::kRandomFromDistribution;
+  return cfg;
+}
+
+FusionModelConfig MmeaConfig(uint64_t seed) {
+  FusionModelConfig cfg = EvaConfig(seed);
+  cfg.name = "MMEA";
+  cfg.task_loss = align::TaskLossKind::kMarginRanking;
+  return cfg;
+}
+
+std::unique_ptr<FusionAlignModel> MakeEva(uint64_t seed) {
+  return std::make_unique<FusionAlignModel>(EvaConfig(seed));
+}
+
+std::unique_ptr<FusionAlignModel> MakeMmea(uint64_t seed) {
+  return std::make_unique<FusionAlignModel>(MmeaConfig(seed));
+}
+
+std::unique_ptr<FusionAlignModel> MakeMclea(uint64_t seed) {
+  return std::make_unique<FusionAlignModel>(McleaConfig(seed));
+}
+
+std::unique_ptr<FusionAlignModel> MakeMeaformer(uint64_t seed) {
+  return std::make_unique<FusionAlignModel>(MeaformerConfig(seed));
+}
+
+}  // namespace desalign::baselines

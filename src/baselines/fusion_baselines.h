@@ -1,0 +1,39 @@
+#ifndef DESALIGN_BASELINES_FUSION_BASELINES_H_
+#define DESALIGN_BASELINES_FUSION_BASELINES_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "align/fusion_model.h"
+
+namespace desalign::baselines {
+
+/// EVA [Liu et al. 2021]: modality embeddings fused by global learnable
+/// weights, single contrastive task objective, missing features drawn from
+/// a predefined distribution.
+align::FusionModelConfig EvaConfig(uint64_t seed = 7);
+
+/// MCLEA [Lin et al. 2022]: EVA-style fusion plus intra-modal contrastive
+/// objectives for every modality.
+align::FusionModelConfig McleaConfig(uint64_t seed = 7);
+
+/// MEAformer [Chen et al. 2023] (simplified): transformer cross-modal
+/// attention fusion with meta-modality weighting and intra-modal
+/// objectives — the strongest published baseline; lacks DESAlign's
+/// Dirichlet-energy training constraints, min-confidence weighting and
+/// semantic propagation.
+align::FusionModelConfig MeaformerConfig(uint64_t seed = 7);
+
+/// MMEA [Chen et al. 2020] (simplified): per-modality encoders fused by
+/// global weights, trained with the translation-era margin ranking
+/// objective instead of contrastive learning.
+align::FusionModelConfig MmeaConfig(uint64_t seed = 7);
+
+std::unique_ptr<align::FusionAlignModel> MakeEva(uint64_t seed = 7);
+std::unique_ptr<align::FusionAlignModel> MakeMmea(uint64_t seed = 7);
+std::unique_ptr<align::FusionAlignModel> MakeMclea(uint64_t seed = 7);
+std::unique_ptr<align::FusionAlignModel> MakeMeaformer(uint64_t seed = 7);
+
+}  // namespace desalign::baselines
+
+#endif  // DESALIGN_BASELINES_FUSION_BASELINES_H_

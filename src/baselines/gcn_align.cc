@@ -1,0 +1,106 @@
+#include "baselines/gcn_align.h"
+
+#include "align/loss.h"
+#include "align/metrics.h"
+#include "common/check.h"
+#include "nn/optimizer.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+
+namespace desalign::baselines {
+
+namespace ops = desalign::tensor;
+using tensor::Tensor;
+using tensor::TensorPtr;
+
+GcnAlignModel::GcnAlignModel(GcnAlignConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {}
+
+GcnAlignConfig AttrGnnConfig(uint64_t seed) {
+  GcnAlignConfig cfg;
+  cfg.name = "AttrGNN";
+  cfg.seed = seed;
+  cfg.attribute_input = true;
+  return cfg;
+}
+
+TensorPtr GcnAlignModel::Embed() {
+  // Structure channel: H = Ã·relu(Ã·X·W1)·W2 where X is either a free
+  // embedding table (GCN-align) or projected attribute features (AttrGNN).
+  auto x = config_.attribute_input ? fc_input_->Forward(features_.text)
+                                   : entity_embeddings_;
+  auto h = ops::SpMM(norm_adj_, x);
+  h = ops::Relu(gcn_w1_->Forward(h));
+  h = gcn_w2_->Forward(ops::SpMM(norm_adj_, h));
+  // Attribute channel.
+  auto a = fc_attr_->Forward(features_.text);
+  return ops::ConcatCols({h, a});
+}
+
+void GcnAlignModel::Fit(const kg::AlignedKgPair& data) {
+  if (!prepared_) {
+    prepared_ = true;
+    features_ = align::BuildCombinedFeatures(
+        data, align::MissingFeaturePolicy::kZeroFill, rng_);
+    auto graph_union = graph::Graph::DisjointUnion(data.source.BuildGraph(),
+                                                   data.target.BuildGraph());
+    norm_adj_ = graph_union.NormalizedAdjacency();
+    if (config_.attribute_input) {
+      fc_input_ = std::make_unique<nn::Linear>(features_.text->cols(),
+                                               config_.dim, rng_);
+    } else {
+      entity_embeddings_ = Tensor::Create(features_.total(), config_.dim,
+                                          /*requires_grad=*/true);
+      tensor::GlorotUniform(*entity_embeddings_, rng_);
+    }
+    gcn_w1_ = std::make_unique<nn::Linear>(config_.dim, config_.dim, rng_);
+    gcn_w2_ = std::make_unique<nn::Linear>(config_.dim, config_.dim, rng_);
+    fc_attr_ =
+        std::make_unique<nn::Linear>(features_.text->cols(), config_.dim,
+                                     rng_);
+  }
+  std::vector<int64_t> src_rows;
+  std::vector<int64_t> tgt_rows;
+  for (const auto& p : data.train_pairs) {
+    src_rows.push_back(p.source);
+    tgt_rows.push_back(features_.num_source + p.target);
+  }
+  std::vector<TensorPtr> params;
+  if (entity_embeddings_) params.push_back(entity_embeddings_);
+  for (auto* m : std::initializer_list<nn::Module*>{
+           fc_input_.get(), gcn_w1_.get(), gcn_w2_.get(), fc_attr_.get()}) {
+    if (m == nullptr) continue;
+    auto sub = m->Parameters();
+    params.insert(params.end(), sub.begin(), sub.end());
+  }
+  nn::AdamWConfig opt_config;
+  opt_config.lr = config_.lr;
+  opt_config.weight_decay = config_.weight_decay;
+  nn::AdamW optimizer(params, opt_config);
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    auto emb = Embed();
+    auto loss = align::ContrastiveAlignmentLoss(
+        ops::GatherRows(emb, src_rows), ops::GatherRows(emb, tgt_rows),
+        config_.tau);
+    optimizer.ZeroGrad();
+    loss->Backward();
+    nn::ClipGradNorm(params, config_.grad_clip);
+    optimizer.Step();
+  }
+}
+
+TensorPtr GcnAlignModel::DecodeSimilarity(const kg::AlignedKgPair& data) {
+  DESALIGN_CHECK_MSG(prepared_, "DecodeSimilarity requires a fitted model");
+  tensor::NoGradGuard no_grad;
+  auto emb = Embed();
+  std::vector<int64_t> src_rows;
+  std::vector<int64_t> tgt_rows;
+  for (const auto& p : data.test_pairs) {
+    src_rows.push_back(p.source);
+    tgt_rows.push_back(features_.num_source + p.target);
+  }
+  return align::CosineSimilarityMatrix(ops::GatherRows(emb, src_rows),
+                                       ops::GatherRows(emb, tgt_rows));
+}
+
+}  // namespace desalign::baselines

@@ -1,0 +1,111 @@
+#include "baselines/poe.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/check.h"
+#include "tensor/tensor.h"
+
+namespace desalign::baselines {
+
+using tensor::Tensor;
+using tensor::TensorPtr;
+
+namespace {
+
+constexpr int kNumExperts = 4;  // relation, text, visual, structure
+
+float RowDotProduct(const Tensor& m, int64_t a, int64_t b) {
+  const int64_t c = m.cols();
+  float acc = 0.0f;
+  for (int64_t j = 0; j < c; ++j) acc += m.At(a, j) * m.At(b, j);
+  return acc;
+}
+
+float Sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+}  // namespace
+
+PoeModel::PoeModel(PoeConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {}
+
+std::vector<float> PoeModel::ExpertScores(int64_t source,
+                                          int64_t target) const {
+  const int64_t t_row = features_.num_source + target;
+  std::vector<float> scores(kNumExperts);
+  // Rows are l2-normalized where present, so the dot product is cosine;
+  // missing rows are zero and contribute a neutral 0.
+  scores[0] = RowDotProduct(*features_.relation, source, t_row);
+  scores[1] = RowDotProduct(*features_.text, source, t_row);
+  scores[2] = RowDotProduct(*features_.visual, source, t_row);
+  // Structure expert: degree similarity — intentionally coarse (PoE has no
+  // graph representation learning).
+  scores[3] = 1.0f / (1.0f + static_cast<float>(std::abs(
+                                 source_degree_[source] -
+                                 target_degree_[target])));
+  return scores;
+}
+
+void PoeModel::Fit(const kg::AlignedKgPair& data) {
+  const int64_t ns = data.source.num_entities;
+  const int64_t nt = data.target.num_entities;
+  if (!prepared_) {
+    prepared_ = true;
+    // PoE does not interpolate missing features; zero rows score 0.
+    features_ = align::BuildCombinedFeatures(
+        data, align::MissingFeaturePolicy::kZeroFill, rng_);
+    source_degree_.assign(ns, 0);
+    target_degree_.assign(nt, 0);
+    for (const auto& t : data.source.triples) {
+      ++source_degree_[t.head];
+      ++source_degree_[t.tail];
+    }
+    for (const auto& t : data.target.triples) {
+      ++target_degree_[t.head];
+      ++target_degree_[t.tail];
+    }
+    weights_.assign(kNumExperts, 1.0f);
+    bias_ = 0.0f;
+  }
+
+  // Logistic regression: seeds are positives, random cross pairs negatives.
+  for (int it = 0; it < config_.fit_iterations; ++it) {
+    for (const auto& p : data.train_pairs) {
+      auto update = [&](int64_t src, int64_t tgt, float label) {
+        const auto f = ExpertScores(src, tgt);
+        float z = bias_;
+        for (int e = 0; e < kNumExperts; ++e) z += weights_[e] * f[e];
+        const float err = label - Sigmoid(z);
+        for (int e = 0; e < kNumExperts; ++e) {
+          weights_[e] += config_.lr * err * f[e] /
+                         static_cast<float>(data.train_pairs.size());
+        }
+        bias_ += config_.lr * err /
+                 static_cast<float>(data.train_pairs.size());
+      };
+      update(p.source, p.target, 1.0f);
+      for (int k = 0; k < config_.negatives_per_pair; ++k) {
+        update(p.source, rng_.UniformInt(nt), 0.0f);
+      }
+    }
+  }
+}
+
+TensorPtr PoeModel::DecodeSimilarity(const kg::AlignedKgPair& data) {
+  DESALIGN_CHECK_MSG(prepared_, "DecodeSimilarity requires a fitted model");
+  const int64_t n = static_cast<int64_t>(data.test_pairs.size());
+  auto sim = Tensor::Create(n, n);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      const auto f = ExpertScores(data.test_pairs[i].source,
+                                  data.test_pairs[j].target);
+      float z = bias_;
+      for (int e = 0; e < kNumExperts; ++e) z += weights_[e] * f[e];
+      sim->At(i, j) = z;
+    }
+  }
+  return sim;
+}
+
+}  // namespace desalign::baselines

@@ -1,0 +1,58 @@
+#ifndef DESALIGN_BASELINES_POE_H_
+#define DESALIGN_BASELINES_POE_H_
+
+#include <string>
+#include <vector>
+
+#include "align/features.h"
+#include "align/method.h"
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace desalign::baselines {
+
+/// PoE [Liu et al. 2019, "MMKG"] (simplified): a product-of-experts scorer.
+/// Each modality contributes an expert similarity computed directly on the
+/// raw input features (bag-of-relations, bag-of-attributes, visual
+/// encoder outputs); a deliberately weak structure expert compares node
+/// degrees. The per-expert log-weights are fitted on the seed alignments
+/// by logistic regression against sampled negatives — no representation
+/// learning, which is why PoE trails the embedding families in the paper's
+/// Table IV.
+struct PoeConfig {
+  std::string name = "PoE";
+  uint64_t seed = 7;
+  int fit_iterations = 200;
+  float lr = 0.5f;
+  int negatives_per_pair = 4;
+};
+
+class PoeModel : public align::AlignmentMethod {
+ public:
+  explicit PoeModel(PoeConfig config);
+
+  std::string name() const override { return config_.name; }
+  void Fit(const kg::AlignedKgPair& data) override;
+  tensor::TensorPtr DecodeSimilarity(const kg::AlignedKgPair& data) override;
+
+  /// Learned expert weights (relation, text, visual, structure), softplus
+  /// domain. Exposed for inspection/tests.
+  const std::vector<float>& expert_weights() const { return weights_; }
+
+ private:
+  /// Expert similarity vector for a (source, target) entity pair.
+  std::vector<float> ExpertScores(int64_t source, int64_t target) const;
+
+  PoeConfig config_;
+  common::Rng rng_;
+  bool prepared_ = false;
+  align::CombinedFeatures features_;
+  std::vector<int64_t> source_degree_;
+  std::vector<int64_t> target_degree_;
+  std::vector<float> weights_;
+  float bias_ = 0.0f;
+};
+
+}  // namespace desalign::baselines
+
+#endif  // DESALIGN_BASELINES_POE_H_

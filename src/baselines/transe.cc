@@ -1,0 +1,154 @@
+#include "baselines/transe.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "align/iterative.h"
+#include "align/metrics.h"
+#include "common/check.h"
+#include "nn/optimizer.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+
+namespace desalign::baselines {
+
+namespace ops = desalign::tensor;
+using tensor::Tensor;
+using tensor::TensorPtr;
+
+TranseModel::TranseModel(TranseConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {}
+
+void TranseModel::Fit(const kg::AlignedKgPair& data) {
+  const int64_t ns = data.source.num_entities;
+  const int64_t nt = data.target.num_entities;
+  if (!prepared_) {
+    prepared_ = true;
+    num_source_ = ns;
+    // Seed pairs share one embedding row.
+    row_of_.resize(ns + nt);
+    std::iota(row_of_.begin(), row_of_.end(), 0);
+    for (const auto& p : data.train_pairs) {
+      row_of_[ns + p.target] = p.source;
+    }
+    // Compact row ids.
+    std::vector<int64_t> remap(ns + nt, -1);
+    num_rows_ = 0;
+    for (int64_t i = 0; i < ns + nt; ++i) {
+      int64_t canonical = row_of_[i];
+      if (remap[canonical] < 0) remap[canonical] = num_rows_++;
+      row_of_[i] = remap[canonical];
+    }
+    const int64_t num_rel = std::max(data.source.num_relations,
+                                     data.target.num_relations);
+    entity_embeddings_ =
+        Tensor::Create(num_rows_, config_.dim, /*requires_grad=*/true);
+    relation_embeddings_ =
+        Tensor::Create(num_rel, config_.dim, /*requires_grad=*/true);
+    tensor::GlorotUniform(*entity_embeddings_, rng_);
+    tensor::GlorotUniform(*relation_embeddings_, rng_);
+    triples_.clear();
+    triples_.reserve(data.source.triples.size() +
+                     data.target.triples.size());
+    for (const auto& t : data.source.triples) {
+      triples_.push_back({row_of_[t.head], t.relation, row_of_[t.tail]});
+    }
+    for (const auto& t : data.target.triples) {
+      triples_.push_back(
+          {row_of_[ns + t.head], t.relation, row_of_[ns + t.tail]});
+    }
+  }
+  DESALIGN_CHECK(!triples_.empty());
+  TrainEpochs(config_.epochs);
+
+  // IPTransE: iterative soft parameter sharing over pseudo alignments.
+  for (int round = 0; round < config_.iterative_rounds; ++round) {
+    auto sim = DecodeSimilarity(data);
+    auto pseudo =
+        align::MutualNearestPairs(*sim, data, config_.min_similarity);
+    for (const auto& p : pseudo) {
+      const int64_t r1 = row_of_[p.source];
+      const int64_t r2 = row_of_[num_source_ + p.target];
+      if (r1 == r2) continue;
+      for (int64_t j = 0; j < config_.dim; ++j) {
+        const float avg = 0.5f * (entity_embeddings_->At(r1, j) +
+                                  entity_embeddings_->At(r2, j));
+        entity_embeddings_->At(r1, j) = avg;
+        entity_embeddings_->At(r2, j) = avg;
+      }
+    }
+    TrainEpochs(config_.epochs / 2);
+  }
+}
+
+TranseConfig IpTranseConfig(uint64_t seed) {
+  TranseConfig cfg;
+  cfg.name = "IPTransE";
+  cfg.seed = seed;
+  cfg.iterative_rounds = 2;
+  return cfg;
+}
+
+void TranseModel::TrainEpochs(int epochs) {
+  std::vector<TensorPtr> params = {entity_embeddings_, relation_embeddings_};
+  nn::AdamWConfig opt_config;
+  opt_config.lr = config_.lr;
+  opt_config.weight_decay = 0.0f;
+  nn::AdamW optimizer(params, opt_config);
+
+  std::vector<int64_t> order(triples_.size());
+  std::iota(order.begin(), order.end(), 0);
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    rng_.Shuffle(order);
+    for (size_t start = 0; start < order.size();
+         start += static_cast<size_t>(config_.batch_size)) {
+      const size_t end = std::min(order.size(),
+                                  start + static_cast<size_t>(
+                                              config_.batch_size));
+      std::vector<int64_t> h, r, t, h_neg, t_neg;
+      for (size_t k = start; k < end; ++k) {
+        const auto& triple = triples_[order[k]];
+        h.push_back(triple.head);
+        r.push_back(triple.relation);
+        t.push_back(triple.tail);
+        // Corrupt head or tail uniformly.
+        if (rng_.Bernoulli(0.5)) {
+          h_neg.push_back(rng_.UniformInt(num_rows_));
+          t_neg.push_back(triple.tail);
+        } else {
+          h_neg.push_back(triple.head);
+          t_neg.push_back(rng_.UniformInt(num_rows_));
+        }
+      }
+      auto he = ops::GatherRows(entity_embeddings_, h);
+      auto re = ops::GatherRows(relation_embeddings_, r);
+      auto te = ops::GatherRows(entity_embeddings_, t);
+      auto hne = ops::GatherRows(entity_embeddings_, h_neg);
+      auto tne = ops::GatherRows(entity_embeddings_, t_neg);
+      auto d_pos = ops::RowSum(ops::Square(ops::Sub(ops::Add(he, re), te)));
+      auto d_neg =
+          ops::RowSum(ops::Square(ops::Sub(ops::Add(hne, re), tne)));
+      auto loss = ops::Mean(ops::Relu(
+          ops::AddScalar(ops::Sub(d_pos, d_neg), config_.margin)));
+      optimizer.ZeroGrad();
+      loss->Backward();
+      optimizer.Step();
+    }
+  }
+}
+
+TensorPtr TranseModel::DecodeSimilarity(const kg::AlignedKgPair& data) {
+  DESALIGN_CHECK_MSG(prepared_, "DecodeSimilarity requires a fitted model");
+  tensor::NoGradGuard no_grad;
+  std::vector<int64_t> src_rows;
+  std::vector<int64_t> tgt_rows;
+  for (const auto& p : data.test_pairs) {
+    src_rows.push_back(row_of_[p.source]);
+    tgt_rows.push_back(row_of_[num_source_ + p.target]);
+  }
+  return align::CosineSimilarityMatrix(
+      ops::GatherRows(entity_embeddings_, src_rows),
+      ops::GatherRows(entity_embeddings_, tgt_rows));
+}
+
+}  // namespace desalign::baselines

@@ -1,0 +1,63 @@
+#ifndef DESALIGN_BASELINES_TRANSE_H_
+#define DESALIGN_BASELINES_TRANSE_H_
+
+#include <string>
+#include <vector>
+
+#include "align/method.h"
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace desalign::baselines {
+
+/// TransE [Bordes et al. 2013] adapted to entity alignment by parameter
+/// sharing: seed-aligned entities share one embedding row (the classic
+/// MTransE/IPTransE-style bridge), all triples of both KGs train the
+/// translation objective h + r ≈ t with margin ranking loss and uniform
+/// negative sampling. Structure-only: the weakest family in the paper's
+/// Table IV, included as the classic reference point.
+struct TranseConfig {
+  std::string name = "TransE";
+  uint64_t seed = 7;
+  int64_t dim = 32;
+  int epochs = 40;
+  int batch_size = 512;
+  float lr = 1e-2f;
+  float margin = 1.0f;
+  /// > 0 turns the model into IPTransE [Zhu et al. 2017]: after the base
+  /// fit, mutual-nearest test pairs above `min_similarity` are softly
+  /// merged (their embedding rows averaged) and training continues for
+  /// `epochs / 2` more epochs per round.
+  int iterative_rounds = 0;
+  float min_similarity = 0.5f;
+};
+
+/// IPTransE preset: TransE + iterative soft parameter sharing.
+TranseConfig IpTranseConfig(uint64_t seed = 7);
+
+class TranseModel : public align::AlignmentMethod {
+ public:
+  explicit TranseModel(TranseConfig config);
+
+  std::string name() const override { return config_.name; }
+  void Fit(const kg::AlignedKgPair& data) override;
+  tensor::TensorPtr DecodeSimilarity(const kg::AlignedKgPair& data) override;
+
+ private:
+  /// One pass of margin-ranking training over the cached triples.
+  void TrainEpochs(int epochs);
+
+  TranseConfig config_;
+  common::Rng rng_;
+  bool prepared_ = false;
+  int64_t num_source_ = 0;
+  int64_t num_rows_ = 0;                ///< distinct embedding rows
+  std::vector<int64_t> row_of_;         ///< combined entity id -> row
+  std::vector<kg::Triple> triples_;     ///< union triples, row-indexed
+  tensor::TensorPtr entity_embeddings_; ///< num_rows x dim
+  tensor::TensorPtr relation_embeddings_;
+};
+
+}  // namespace desalign::baselines
+
+#endif  // DESALIGN_BASELINES_TRANSE_H_

@@ -1,0 +1,309 @@
+#include "cli/cli.h"
+
+#include <cstdio>
+#include <memory>
+
+#include "align/iterative.h"
+#include "align/metrics.h"
+#include "common/flags.h"
+#include "common/strings.h"
+#include "core/desalign.h"
+#include "eval/csv.h"
+#include "eval/harness.h"
+#include "eval/table.h"
+#include "kg/io.h"
+#include "kg/presets.h"
+#include "kg/synthetic.h"
+
+namespace desalign::cli {
+
+namespace {
+
+using common::FlagParser;
+using common::Result;
+using common::Status;
+
+std::vector<const char*> ToArgv(const std::vector<std::string>& args) {
+  std::vector<const char*> argv;
+  argv.reserve(args.size());
+  for (const auto& a : args) argv.push_back(a.c_str());
+  return argv;
+}
+
+// Dataset source flags shared by stats/run/sweep.
+struct DatasetFlags {
+  std::string data_dir;
+  std::string preset = "FBDB15K";
+  int64_t entities = 0;       // 0 = preset default
+  double seed_ratio = -1.0;   // <0 = preset default
+  double image_ratio = -1.0;
+  double text_ratio = -1.0;
+  int64_t seed = -1;
+
+  void Register(FlagParser& parser) {
+    parser.AddString("data", "", "load a dataset directory instead of "
+                     "generating one", &data_dir);
+    parser.AddString("preset", "FBDB15K",
+                     "generator preset (FBDB15K, FBYG15K, DBP15K-ZH-EN, "
+                     "DBP15K-JA-EN, DBP15K-FR-EN)",
+                     &preset);
+    parser.AddInt64("entities", 0, "entities per KG (0 = preset default)",
+                    &entities);
+    parser.AddDouble("seed-ratio", -1.0, "R_seed (<0 = preset default)",
+                     &seed_ratio);
+    parser.AddDouble("image-ratio", -1.0, "R_img (<0 = preset default)",
+                     &image_ratio);
+    parser.AddDouble("text-ratio", -1.0, "R_tex (<0 = preset default)",
+                     &text_ratio);
+    parser.AddInt64("seed", -1, "generator seed (<0 = preset default)",
+                    &seed);
+  }
+
+  Result<kg::AlignedKgPair> Load() const {
+    if (!data_dir.empty()) return kg::LoadDataset(data_dir);
+    DESALIGN_ASSIGN_OR_RETURN(kg::SyntheticSpec spec,
+                              kg::PresetByName(preset));
+    if (entities > 0) spec.num_entities = entities;
+    if (seed_ratio >= 0) spec.seed_ratio = seed_ratio;
+    if (image_ratio >= 0) spec.image_ratio = image_ratio;
+    if (text_ratio >= 0) spec.text_ratio = text_ratio;
+    if (seed >= 0) spec.seed = static_cast<uint64_t>(seed);
+    return kg::GenerateSyntheticPair(spec);
+  }
+};
+
+Result<eval::NamedFactory> FindMethod(const std::string& name) {
+  for (auto& f : eval::AllBasicMethods()) {
+    if (f.name == name) return f;
+  }
+  return Status::NotFound("unknown method '" + name +
+                          "'; see `desalign run --help`");
+}
+
+Status CmdGenerate(const std::vector<std::string>& args, std::ostream& out) {
+  FlagParser parser("desalign generate: sample a synthetic MMEA dataset");
+  DatasetFlags dataset;
+  dataset.Register(parser);
+  std::string out_dir;
+  parser.AddString("out", "", "output directory (required)", &out_dir);
+  auto argv = ToArgv(args);
+  DESALIGN_RETURN_NOT_OK(
+      parser.Parse(static_cast<int>(argv.size()), argv.data(), 0));
+  if (out_dir.empty()) {
+    return Status::InvalidArgument("generate requires --out=DIR");
+  }
+  DESALIGN_ASSIGN_OR_RETURN(auto pair, dataset.Load());
+  DESALIGN_RETURN_NOT_OK(kg::SaveDataset(pair, out_dir));
+  out << "wrote " << pair.name << " (" << pair.source.num_entities << "+"
+      << pair.target.num_entities << " entities, "
+      << pair.train_pairs.size() << " seeds) to " << out_dir << "\n";
+  return Status::Ok();
+}
+
+Status CmdStats(const std::vector<std::string>& args, std::ostream& out) {
+  FlagParser parser("desalign stats: dataset statistics");
+  DatasetFlags dataset;
+  dataset.Register(parser);
+  auto argv = ToArgv(args);
+  DESALIGN_RETURN_NOT_OK(
+      parser.Parse(static_cast<int>(argv.size()), argv.data(), 0));
+  DESALIGN_ASSIGN_OR_RETURN(auto pair, dataset.Load());
+  eval::TablePrinter table({"KG", "Ent.", "Rel.", "Att.", "R.Triples",
+                            "A.Triples", "Image", "text%", "image%"});
+  for (const auto* kg : {&pair.source, &pair.target}) {
+    auto s = kg::ComputeStatistics(*kg);
+    table.AddRow({kg->name, std::to_string(s.entities),
+                  std::to_string(s.relations), std::to_string(s.attributes),
+                  std::to_string(s.relation_triples),
+                  std::to_string(s.attribute_triples),
+                  std::to_string(s.images),
+                  eval::Pct(kg->text_features.PresentRatio()),
+                  eval::Pct(kg->visual_features.PresentRatio())});
+  }
+  table.Print(out);
+  out << "alignments: " << pair.train_pairs.size() << " seed / "
+      << pair.test_pairs.size() << " test (R_seed="
+      << eval::Pct(pair.SeedRatio()) << "%)\n";
+  return Status::Ok();
+}
+
+Status CmdRun(const std::vector<std::string>& args, std::ostream& out) {
+  FlagParser parser("desalign run: train and evaluate one method");
+  DatasetFlags dataset;
+  dataset.Register(parser);
+  std::string method_name;
+  int64_t epochs;
+  int64_t dim;
+  int64_t np;
+  int64_t method_seed;
+  bool iterative;
+  bool csls;
+  parser.AddString("method", "DESAlign",
+                   "TransE, IPTransE, PoE, GCN-align, AttrGNN, MMEA, EVA, "
+                   "MCLEA, MEAformer or DESAlign",
+                   &method_name);
+  parser.AddInt64("epochs", 60, "training epochs", &epochs);
+  parser.AddInt64("dim", 32, "hidden dimension", &dim);
+  parser.AddInt64("np", 2, "DESAlign propagation iterations", &np);
+  parser.AddInt64("method-seed", 7, "model init seed", &method_seed);
+  parser.AddBool("iterative", false, "apply the iterative strategy",
+                 &iterative);
+  parser.AddBool("csls", false, "apply CSLS to the decoded similarities",
+                 &csls);
+  auto argv = ToArgv(args);
+  DESALIGN_RETURN_NOT_OK(
+      parser.Parse(static_cast<int>(argv.size()), argv.data(), 0));
+
+  DESALIGN_ASSIGN_OR_RETURN(auto data, dataset.Load());
+  auto& settings = eval::GlobalHarnessSettings();
+  settings.dim = dim;
+  settings.epochs = static_cast<int>(epochs);
+  settings.propagation_iterations = static_cast<int>(np);
+  DESALIGN_ASSIGN_OR_RETURN(auto factory, FindMethod(method_name));
+
+  align::IterativeConfig iter;
+  iter.epochs_per_round = static_cast<int>(epochs) / 2;
+  auto result =
+      eval::RunCell(factory, data, static_cast<uint64_t>(method_seed),
+                    iterative, iter, csls);
+  eval::TablePrinter table({"Method", "Dataset", "H@1", "H@5", "H@10",
+                            "MRR", "train(s)", "decode(s)"});
+  table.AddRow({method_name, data.name, eval::Pct(result.metrics.h_at_1),
+                eval::Pct(result.metrics.h_at_5),
+                eval::Pct(result.metrics.h_at_10),
+                eval::Pct(result.metrics.mrr),
+                eval::Secs(result.train_seconds),
+                eval::Secs(result.decode_seconds)});
+  table.Print(out);
+  return Status::Ok();
+}
+
+Status CmdSweep(const std::vector<std::string>& args, std::ostream& out) {
+  FlagParser parser("desalign sweep: robustness sweep over a dataset knob");
+  DatasetFlags dataset;
+  dataset.Register(parser);
+  std::string variable;
+  std::string values_text;
+  std::string methods_text;
+  std::string csv_path;
+  int64_t epochs;
+  int64_t dim;
+  parser.AddString("variable", "image_ratio",
+                   "image_ratio, text_ratio or seed_ratio", &variable);
+  parser.AddString("csv", "", "also write results to this CSV file",
+                   &csv_path);
+  parser.AddString("values", "0.1,0.3,0.5,0.7,0.9",
+                   "comma-separated ratios", &values_text);
+  parser.AddString("methods", "EVA,MEAformer,DESAlign",
+                   "comma-separated method names", &methods_text);
+  parser.AddInt64("epochs", 40, "training epochs", &epochs);
+  parser.AddInt64("dim", 32, "hidden dimension", &dim);
+  auto argv = ToArgv(args);
+  DESALIGN_RETURN_NOT_OK(
+      parser.Parse(static_cast<int>(argv.size()), argv.data(), 0));
+  if (!dataset.data_dir.empty()) {
+    return Status::InvalidArgument(
+        "sweep regenerates datasets per ratio; use --preset, not --data");
+  }
+
+  DESALIGN_ASSIGN_OR_RETURN(auto values,
+                            common::ParseDoubleList(values_text));
+  if (values.empty()) {
+    return Status::InvalidArgument("--values is empty");
+  }
+  auto method_names = common::ParseStringList(methods_text);
+  std::vector<eval::NamedFactory> methods;
+  for (const auto& name : method_names) {
+    DESALIGN_ASSIGN_OR_RETURN(auto factory, FindMethod(name));
+    methods.push_back(std::move(factory));
+  }
+
+  auto& settings = eval::GlobalHarnessSettings();
+  settings.dim = dim;
+  settings.epochs = static_cast<int>(epochs);
+
+  std::vector<std::string> headers = {"Model (H@1)"};
+  for (double v : values) headers.push_back(common::FormatDouble(v, 2));
+  eval::TablePrinter table(headers);
+  eval::CsvRecorder csv;
+  std::vector<std::vector<std::string>> rows(methods.size());
+  for (size_t mi = 0; mi < methods.size(); ++mi) {
+    rows[mi].push_back(methods[mi].name);
+  }
+  for (double value : values) {
+    DatasetFlags point = dataset;
+    if (variable == "image_ratio") {
+      point.image_ratio = value;
+    } else if (variable == "text_ratio") {
+      point.text_ratio = value;
+    } else if (variable == "seed_ratio") {
+      point.seed_ratio = value;
+    } else {
+      return Status::InvalidArgument("unknown sweep variable '" + variable +
+                                     "'");
+    }
+    DESALIGN_ASSIGN_OR_RETURN(auto data, point.Load());
+    for (size_t mi = 0; mi < methods.size(); ++mi) {
+      auto cell = eval::RunCell(methods[mi], data, /*seed=*/7);
+      rows[mi].push_back(eval::Pct(cell.metrics.h_at_1));
+      csv.AddResult(methods[mi].name, data.name, cell,
+                    {{variable, common::FormatDouble(value, 4)}});
+    }
+  }
+  for (auto& row : rows) table.AddRow(std::move(row));
+  table.Print(out);
+  if (!csv_path.empty()) {
+    DESALIGN_RETURN_NOT_OK(csv.WriteFile(csv_path));
+    out << "wrote " << csv.num_rows() << " rows to " << csv_path << "\n";
+  }
+  return Status::Ok();
+}
+
+constexpr char kTopLevelUsage[] =
+    "usage: desalign <command> [flags]\n"
+    "commands:\n"
+    "  generate   sample a synthetic MMEA dataset and write it to disk\n"
+    "  stats      print dataset statistics\n"
+    "  run        train + evaluate one alignment method\n"
+    "  sweep      robustness sweep over image/text/seed ratio\n"
+    "run `desalign <command> --help` for command flags.\n";
+
+}  // namespace
+
+int RunCli(const std::vector<std::string>& args, std::ostream& out) {
+  if (args.empty()) {
+    out << kTopLevelUsage;
+    return 2;
+  }
+  const std::string& command = args[0];
+  std::vector<std::string> rest(args.begin() + 1, args.end());
+  Status status;
+  if (command == "generate") {
+    status = CmdGenerate(rest, out);
+  } else if (command == "stats") {
+    status = CmdStats(rest, out);
+  } else if (command == "run") {
+    status = CmdRun(rest, out);
+  } else if (command == "sweep") {
+    status = CmdSweep(rest, out);
+  } else if (command == "--help" || command == "-h" || command == "help") {
+    out << kTopLevelUsage;
+    return 0;
+  } else {
+    out << "unknown command '" << command << "'\n" << kTopLevelUsage;
+    return 2;
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int RunCliMain(int argc, char** argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return RunCli(args, std::cout);
+}
+
+}  // namespace desalign::cli

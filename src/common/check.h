@@ -1,0 +1,51 @@
+#ifndef DESALIGN_COMMON_CHECK_H_
+#define DESALIGN_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// CHECK macros for programming errors (shape mismatches, broken invariants)
+// in numeric code paths where a Status return would be noise. They abort
+// with file/line context; DESALIGN_DCHECK compiles out in NDEBUG builds.
+
+namespace desalign::common::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr, const char* msg) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace desalign::common::internal
+
+#define DESALIGN_CHECK(cond)                                               \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::desalign::common::internal::CheckFailed(__FILE__, __LINE__, #cond, \
+                                                "");                       \
+  } while (false)
+
+#define DESALIGN_CHECK_MSG(cond, msg)                                      \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::desalign::common::internal::CheckFailed(__FILE__, __LINE__, #cond, \
+                                                (msg));                    \
+  } while (false)
+
+#define DESALIGN_CHECK_EQ(a, b) DESALIGN_CHECK((a) == (b))
+#define DESALIGN_CHECK_NE(a, b) DESALIGN_CHECK((a) != (b))
+#define DESALIGN_CHECK_LT(a, b) DESALIGN_CHECK((a) < (b))
+#define DESALIGN_CHECK_LE(a, b) DESALIGN_CHECK((a) <= (b))
+#define DESALIGN_CHECK_GT(a, b) DESALIGN_CHECK((a) > (b))
+#define DESALIGN_CHECK_GE(a, b) DESALIGN_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define DESALIGN_DCHECK(cond) \
+  do {                        \
+  } while (false)
+#else
+#define DESALIGN_DCHECK(cond) DESALIGN_CHECK(cond)
+#endif
+
+#endif  // DESALIGN_COMMON_CHECK_H_

@@ -1,0 +1,46 @@
+#ifndef DESALIGN_COMMON_LOGGING_H_
+#define DESALIGN_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace desalign::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped. Defaults to kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink: accumulates a message and emits it (with a
+/// timestamp and level tag) to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace desalign::common
+
+#define DESALIGN_LOG(level)                                           \
+  ::desalign::common::internal::LogMessage(                           \
+      ::desalign::common::LogLevel::k##level, __FILE__, __LINE__)
+
+#endif  // DESALIGN_COMMON_LOGGING_H_

@@ -1,0 +1,22 @@
+#include "common/rng.h"
+
+#include <numeric>
+
+#include "common/check.h"
+
+namespace desalign::common {
+
+std::vector<int64_t> Rng::SampleWithoutReplacement(int64_t n, int64_t k) {
+  DESALIGN_CHECK_LE(k, n);
+  DESALIGN_CHECK_GE(k, 0);
+  // Partial Fisher-Yates over an index array; O(n) memory, O(n + k) time.
+  std::vector<int64_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  for (int64_t i = 0; i < k; ++i) {
+    std::swap(idx[i], idx[i + UniformInt(n - i)]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace desalign::common

@@ -1,0 +1,148 @@
+#ifndef DESALIGN_COMMON_STATUS_H_
+#define DESALIGN_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace desalign::common {
+
+/// Canonical error codes, modeled after the Arrow/Abseil status vocabulary.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kIoError,
+  kInternal,
+  kUnimplemented,
+};
+
+/// Returns a human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// Lightweight status object used for fallible operations (I/O, parsing,
+/// configuration). Programming errors in hot numeric paths use CHECK macros
+/// instead; Status is reserved for conditions a caller can meaningfully
+/// handle.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Formats as "Code: message" (or "OK").
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Holds either a value of type T or an error Status. Mirrors
+/// `arrow::Result` in spirit; accessing the value of an errored Result
+/// aborts (programming error).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value — enables `return value;` in Result-returning code.
+  Result(T value) : status_(), value_(std::move(value)), has_value_(true) {}
+  /// Implicit from error status — enables `return Status::...;`.
+  Result(Status status) : status_(std::move(status)), has_value_(false) {}
+
+  bool ok() const { return has_value_; }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    AbortIfError();
+    return value_;
+  }
+  T& value() & {
+    AbortIfError();
+    return value_;
+  }
+  T&& value() && {
+    AbortIfError();
+    return std::move(value_);
+  }
+
+  /// Returns the contained value or `fallback` when errored.
+  T value_or(T fallback) const {
+    return has_value_ ? value_ : std::move(fallback);
+  }
+
+ private:
+  void AbortIfError() const;
+
+  Status status_;
+  T value_{};
+  bool has_value_;
+};
+
+namespace internal {
+[[noreturn]] void DieOnBadResultAccess(const Status& status);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::AbortIfError() const {
+  if (!has_value_) internal::DieOnBadResultAccess(status_);
+}
+
+/// Propagates a non-OK Status from an expression, Arrow-style.
+#define DESALIGN_RETURN_NOT_OK(expr)                    \
+  do {                                                  \
+    ::desalign::common::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                          \
+  } while (false)
+
+/// Assigns the value of a Result expression or propagates its error.
+#define DESALIGN_ASSIGN_OR_RETURN(lhs, expr) \
+  DESALIGN_ASSIGN_OR_RETURN_IMPL(            \
+      DESALIGN_STATUS_CONCAT(_res_, __LINE__), lhs, expr)
+
+#define DESALIGN_STATUS_CONCAT_INNER(a, b) a##b
+#define DESALIGN_STATUS_CONCAT(a, b) DESALIGN_STATUS_CONCAT_INNER(a, b)
+
+#define DESALIGN_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                   \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value();
+
+}  // namespace desalign::common
+
+#endif  // DESALIGN_COMMON_STATUS_H_

@@ -1,0 +1,31 @@
+#ifndef DESALIGN_COMMON_STOPWATCH_H_
+#define DESALIGN_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace desalign::common {
+
+/// Monotonic wall-clock stopwatch used by the efficiency benchmarks.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the measurement window.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction / last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace desalign::common
+
+#endif  // DESALIGN_COMMON_STOPWATCH_H_

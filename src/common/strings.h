@@ -1,0 +1,27 @@
+#ifndef DESALIGN_COMMON_STRINGS_H_
+#define DESALIGN_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace desalign::common {
+
+/// Splits `text` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, char sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+/// Formats a double with `digits` decimal places (fixed notation).
+std::string FormatDouble(double value, int digits);
+
+/// True when `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+}  // namespace desalign::common
+
+#endif  // DESALIGN_COMMON_STRINGS_H_

@@ -1,0 +1,94 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace desalign::common {
+
+namespace {
+
+int ResolveThreadCount() {
+  const char* env = std::getenv("DESALIGN_NUM_THREADS");
+  if (env != nullptr && env[0] != '\0') {
+    const int parsed = std::atoi(env);
+    if (parsed >= 1) return parsed;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<int>(std::min(8u, std::max(1u, hw)));
+}
+
+}  // namespace
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool& pool = *new ThreadPool(ResolveThreadCount());
+  return pool;
+}
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::max(1, num_threads)) {
+  // The caller participates in ParallelFor, so spawn one fewer worker.
+  for (int i = 0; i < num_threads_ - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (shutdown_ && queue_.empty()) return;
+      task = queue_.back();
+      queue_.pop_back();
+    }
+    (*task.fn)(task.begin, task.end);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --pending_;
+    }
+    work_done_.notify_all();
+  }
+}
+
+void ThreadPool::ParallelFor(
+    int64_t begin, int64_t end,
+    const std::function<void(int64_t, int64_t)>& fn, int64_t grain) {
+  const int64_t total = end - begin;
+  if (total <= 0) return;
+  const int64_t max_chunks =
+      std::min<int64_t>(num_threads_, (total + grain - 1) / grain);
+  if (max_chunks <= 1 || workers_.empty()) {
+    fn(begin, end);
+    return;
+  }
+  const int64_t chunk = (total + max_chunks - 1) / max_chunks;
+  // Enqueue all but the first chunk; the caller runs chunk 0 itself.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (int64_t c = 1; c < max_chunks; ++c) {
+      Task task;
+      task.fn = &fn;
+      task.begin = begin + c * chunk;
+      task.end = std::min(end, begin + (c + 1) * chunk);
+      if (task.begin >= task.end) continue;
+      queue_.push_back(task);
+      ++pending_;
+    }
+  }
+  work_ready_.notify_all();
+  fn(begin, std::min(end, begin + chunk));
+  std::unique_lock<std::mutex> lock(mutex_);
+  work_done_.wait(lock, [this] { return pending_ == 0; });
+}
+
+}  // namespace desalign::common

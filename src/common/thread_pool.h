@@ -1,0 +1,63 @@
+#ifndef DESALIGN_COMMON_THREAD_POOL_H_
+#define DESALIGN_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace desalign::common {
+
+/// Fixed-size worker pool with a blocking ParallelFor. Work is split into
+/// contiguous chunks (one per worker plus the calling thread), so
+/// float accumulation order inside a chunk is fixed and results are
+/// bit-deterministic for a given thread count.
+///
+/// Thread count resolution: DESALIGN_NUM_THREADS env var if set, else
+/// min(8, hardware_concurrency); a value of 1 disables the workers and
+/// ParallelFor degenerates to a plain loop on the caller.
+class ThreadPool {
+ public:
+  /// Process-wide pool (lazily constructed, never destroyed).
+  static ThreadPool& Global();
+
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Runs fn(chunk_begin, chunk_end) over a partition of [begin, end) and
+  /// blocks until every chunk completes. `fn` must be safe to call
+  /// concurrently on disjoint ranges. Ranges smaller than `grain` run
+  /// inline on the caller.
+  void ParallelFor(int64_t begin, int64_t end,
+                   const std::function<void(int64_t, int64_t)>& fn,
+                   int64_t grain = 1024);
+
+ private:
+  struct Task {
+    const std::function<void(int64_t, int64_t)>* fn = nullptr;
+    int64_t begin = 0;
+    int64_t end = 0;
+  };
+
+  void WorkerLoop();
+
+  int num_threads_;
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  std::vector<Task> queue_;
+  int64_t pending_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace desalign::common
+
+#endif  // DESALIGN_COMMON_THREAD_POOL_H_

@@ -1,0 +1,56 @@
+#ifndef DESALIGN_CORE_DESALIGN_H_
+#define DESALIGN_CORE_DESALIGN_H_
+
+#include <string>
+
+#include "align/fusion_model.h"
+#include "core/mmsl.h"
+#include "core/semantic_propagation.h"
+
+namespace desalign::core {
+
+/// Full DESAlign configuration = fusion base (CAW attention, intra-modal
+/// contrastive losses, min-confidence weighting, zero-fill missing policy)
+/// + Multi-Modal Semantic Learning penalties + Semantic Propagation
+/// decoding.
+struct DesalignConfig {
+  align::FusionModelConfig base;
+  MmslConfig mmsl;
+  bool use_mmsl = true;
+  /// Semantic-propagation iterations n_p (paper Fig. 4: 1 suits bilingual,
+  /// 2–3 suits monolingual data).
+  int propagation_iterations = 2;
+  bool use_propagation = true;
+  float propagation_step = 1.0f;
+
+  /// Paper defaults.
+  static DesalignConfig Default(uint64_t seed = 7);
+};
+
+/// DESAlign (paper §IV, Algorithm 1): multi-modal knowledge graph
+/// representation (Eq. 7–14) trained with the Dirichlet-energy-bounded
+/// objective of Proposition 3, decoded with Semantic Propagation
+/// (Eq. 20–22) averaging pairwise similarities over propagation states.
+class DesalignModel : public align::FusionAlignModel {
+ public:
+  explicit DesalignModel(DesalignConfig config);
+
+  const DesalignConfig& desalign_config() const { return dcfg_; }
+
+  /// Adjusts the decode-time propagation depth n_p (training-free, so a
+  /// fitted model can be re-decoded at any depth — used by the Fig. 4
+  /// sweep).
+  void set_propagation_iterations(int n) { dcfg_.propagation_iterations = n; }
+
+ protected:
+  tensor::TensorPtr ExtraLoss(const ForwardState& state) override;
+  tensor::TensorPtr SimilarityFromEmbeddings(
+      const ForwardState& state, const kg::AlignedKgPair& data) override;
+
+ private:
+  DesalignConfig dcfg_;
+};
+
+}  // namespace desalign::core
+
+#endif  // DESALIGN_CORE_DESALIGN_H_

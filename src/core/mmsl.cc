@@ -1,0 +1,38 @@
+#include "core/mmsl.h"
+
+#include "graph/dirichlet.h"
+#include "tensor/ops.h"
+
+namespace desalign::core {
+
+namespace ops = desalign::tensor;
+
+TensorPtr MmslPenalty(const CsrMatrixPtr& normalized_adjacency,
+                      const TensorPtr& x_initial, const TensorPtr& x_mid,
+                      const TensorPtr& x_final, const MmslConfig& config) {
+  if (!x_final) return nullptr;
+  const auto energy = [&](const TensorPtr& x) {
+    const float inv =
+        1.0f / static_cast<float>(x->rows() * x->cols());
+    return ops::Scale(graph::DirichletEnergyNode(normalized_adjacency, x),
+                      inv);
+  };
+  auto e_final = energy(x_final);
+  TensorPtr penalty;
+  if (x_mid) {
+    // relu(c_min·E(X^(k−1)) − E(X^(k))): stops the energy collapsing layer
+    // to layer (over-smoothing).
+    penalty = ops::Relu(ops::Sub(ops::Scale(energy(x_mid), config.c_min),
+                                 e_final));
+  }
+  if (x_initial) {
+    // relu(E(X^(k)) − c_max·E(X^(0))): stops over-separation.
+    auto upper = ops::Relu(ops::Sub(
+        e_final, ops::Scale(energy(x_initial), config.c_max)));
+    penalty = penalty ? ops::Add(penalty, upper) : upper;
+  }
+  if (!penalty) return nullptr;
+  return ops::Scale(penalty, config.penalty_weight);
+}
+
+}  // namespace desalign::core

@@ -1,0 +1,35 @@
+#ifndef DESALIGN_CORE_MMSL_H_
+#define DESALIGN_CORE_MMSL_H_
+
+#include "tensor/sparse.h"
+#include "tensor/tensor.h"
+
+namespace desalign::core {
+
+using tensor::CsrMatrixPtr;
+using tensor::TensorPtr;
+
+/// Multi-Modal Semantic Learning constraint weights (paper Proposition 3):
+/// the training objective is minimized subject to
+///   c_min·E(X^(k−1)) ≤ E(X^(k)) ≤ c_max·E(X^(0)).
+/// Both constraints are enforced as hinge penalties; keeping E(X^(k))
+/// bounded away from zero is what prevents the over-smoothing collapse that
+/// semantic inconsistency induces (Proposition 2).
+struct MmslConfig {
+  float c_min = 0.5f;
+  float c_max = 2.0f;
+  float penalty_weight = 1.0f;
+};
+
+/// Differentiable penalty
+///   w · [ relu(c_min·Ē(X^(k−1)) − Ē(X^(k))) + relu(Ē(X^(k)) − c_max·Ē(X^(0))) ]
+/// where Ē is the Dirichlet energy normalized by N·d (so the penalty scale
+/// is independent of graph size and width). Any of the layer inputs may be
+/// null (e.g. a model without a fused path); missing terms drop out.
+TensorPtr MmslPenalty(const CsrMatrixPtr& normalized_adjacency,
+                      const TensorPtr& x_initial, const TensorPtr& x_mid,
+                      const TensorPtr& x_final, const MmslConfig& config);
+
+}  // namespace desalign::core
+
+#endif  // DESALIGN_CORE_MMSL_H_

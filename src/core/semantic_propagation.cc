@@ -1,0 +1,173 @@
+#include "core/semantic_propagation.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "tensor/tensor.h"
+
+namespace desalign::core {
+
+using tensor::Tensor;
+
+TensorPtr SemanticPropagation::Step(const CsrMatrixPtr& normalized_adjacency,
+                                    const TensorPtr& x,
+                                    const TensorPtr& boundary,
+                                    const std::vector<bool>& known,
+                                    float step_size) {
+  const int64_t n = x->rows();
+  const int64_t d = x->cols();
+  DESALIGN_CHECK_EQ(normalized_adjacency->rows(), n);
+  DESALIGN_CHECK_EQ(normalized_adjacency->cols(), n);
+  DESALIGN_CHECK_EQ(static_cast<int64_t>(known.size()), n);
+  DESALIGN_CHECK_EQ(boundary->rows(), n);
+  DESALIGN_CHECK(step_size > 0.0f && step_size <= 1.0f);
+
+  auto out = Tensor::Create(n, d);
+  // Ãx
+  normalized_adjacency->Multiply(x->data().data(), d, out->data().data());
+  if (step_size != 1.0f) {
+    // x − h·Δx = (1−h)·x + h·Ãx
+    for (int64_t i = 0; i < n * d; ++i) {
+      out->data()[i] =
+          (1.0f - step_size) * x->data()[i] + step_size * out->data()[i];
+    }
+  }
+  for (int64_t r = 0; r < n; ++r) {
+    if (!known[r]) continue;
+    std::copy(boundary->data().begin() + r * d,
+              boundary->data().begin() + (r + 1) * d,
+              out->data().begin() + r * d);
+  }
+  return out;
+}
+
+std::vector<TensorPtr> SemanticPropagation::Run(
+    const CsrMatrixPtr& normalized_adjacency, const TensorPtr& x0,
+    const std::vector<bool>& known, int iterations, float step_size) {
+  std::vector<TensorPtr> states;
+  states.reserve(iterations + 1);
+  states.push_back(x0);
+  TensorPtr x = x0;
+  for (int it = 0; it < iterations; ++it) {
+    x = Step(normalized_adjacency, x, x0, known, step_size);
+    states.push_back(x);
+  }
+  return states;
+}
+
+TensorPtr SemanticPropagation::SolveClosedForm(
+    const CsrMatrixPtr& normalized_adjacency, const TensorPtr& x,
+    const std::vector<bool>& known) {
+  const int64_t n = x->rows();
+  const int64_t d = x->cols();
+  DESALIGN_CHECK_EQ(normalized_adjacency->rows(), n);
+  DESALIGN_CHECK_EQ(static_cast<int64_t>(known.size()), n);
+
+  std::vector<int64_t> unknown;
+  std::vector<int64_t> position(n, -1);
+  for (int64_t i = 0; i < n; ++i) {
+    if (!known[i]) {
+      position[i] = static_cast<int64_t>(unknown.size());
+      unknown.push_back(i);
+    }
+  }
+  auto out = x->Detach();
+  const int64_t u = static_cast<int64_t>(unknown.size());
+  if (u == 0) return out;
+
+  // Dense sub-Laplacian Δ_oo = I_oo − Ã_oo and right-hand side
+  // b = Ã_oc x_c (from −Δ_oc x_c with Δ_oc = −Ã_oc off-diagonal).
+  std::vector<double> a(static_cast<size_t>(u * u), 0.0);
+  std::vector<std::vector<double>> b(
+      static_cast<size_t>(u), std::vector<double>(d, 0.0));
+  const auto& row_ptr = normalized_adjacency->row_ptr();
+  const auto& col_idx = normalized_adjacency->col_idx();
+  const auto& values = normalized_adjacency->values();
+  for (int64_t k = 0; k < u; ++k) {
+    const int64_t i = unknown[k];
+    a[k * u + k] = 1.0;
+    for (int64_t p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
+      const int64_t j = col_idx[p];
+      const double w = values[p];
+      if (position[j] >= 0) {
+        a[k * u + position[j]] -= w;  // Δ_oo entry
+      } else {
+        for (int64_t c = 0; c < d; ++c) {
+          b[k][c] += w * x->At(j, c);
+        }
+      }
+    }
+  }
+
+  // Gaussian elimination with partial pivoting; multiple RHS columns.
+  for (int64_t col = 0; col < u; ++col) {
+    int64_t pivot = col;
+    for (int64_t r = col + 1; r < u; ++r) {
+      if (std::fabs(a[r * u + col]) > std::fabs(a[pivot * u + col]))
+        pivot = r;
+    }
+    DESALIGN_CHECK_MSG(std::fabs(a[pivot * u + col]) > 1e-12,
+                       "sub-Laplacian singular: the unknown set contains a "
+                       "component disconnected from every known node");
+    if (pivot != col) {
+      for (int64_t c = 0; c < u; ++c) std::swap(a[pivot * u + c],
+                                                a[col * u + c]);
+      std::swap(b[pivot], b[col]);
+    }
+    const double inv = 1.0 / a[col * u + col];
+    for (int64_t r = col + 1; r < u; ++r) {
+      const double factor = a[r * u + col] * inv;
+      if (factor == 0.0) continue;
+      for (int64_t c = col; c < u; ++c) {
+        a[r * u + c] -= factor * a[col * u + c];
+      }
+      for (int64_t c = 0; c < d; ++c) b[r][c] -= factor * b[col][c];
+    }
+  }
+  for (int64_t row = u - 1; row >= 0; --row) {
+    for (int64_t c = 0; c < d; ++c) {
+      double acc = b[row][c];
+      for (int64_t col = row + 1; col < u; ++col) {
+        acc -= a[row * u + col] * b[col][c];
+      }
+      b[row][c] = acc / a[row * u + row];
+    }
+  }
+  for (int64_t k = 0; k < u; ++k) {
+    for (int64_t c = 0; c < d; ++c) {
+      out->At(unknown[k], c) = static_cast<float>(b[k][c]);
+    }
+  }
+  return out;
+}
+
+std::vector<TensorPtr> SemanticPropagation::RunRegularized(
+    const CsrMatrixPtr& normalized_adjacency, const TensorPtr& x0,
+    float fidelity, int iterations, float step_size) {
+  const int64_t n = x0->rows();
+  const int64_t d = x0->cols();
+  DESALIGN_CHECK_EQ(normalized_adjacency->rows(), n);
+  DESALIGN_CHECK_GE(fidelity, 0.0f);
+  DESALIGN_CHECK(step_size > 0.0f &&
+                 step_size <= 1.0f / (1.0f + fidelity / 2.0f));
+  std::vector<TensorPtr> states;
+  states.reserve(iterations + 1);
+  states.push_back(x0);
+  TensorPtr x = x0;
+  std::vector<float> ax(static_cast<size_t>(n * d));
+  for (int it = 0; it < iterations; ++it) {
+    auto next = Tensor::Create(n, d);
+    normalized_adjacency->Multiply(x->data().data(), d, ax.data());
+    for (int64_t i = 0; i < n * d; ++i) {
+      const float xv = x->data()[i];
+      // x − h·((x − Ãx) + μ(x − x0))
+      next->data()[i] = xv - step_size * ((xv - ax[i]) +
+                                          fidelity * (xv - x0->data()[i]));
+    }
+    x = next;
+    states.push_back(x);
+  }
+  return states;
+}
+
+}  // namespace desalign::core

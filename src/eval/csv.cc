@@ -1,0 +1,80 @@
+#include "eval/csv.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace desalign::eval {
+
+std::string CsvEscape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+void CsvRecorder::AddRow(const std::map<std::string, std::string>& cells) {
+  for (const auto& [key, value] : cells) {
+    (void)value;
+    if (std::find(columns_.begin(), columns_.end(), key) == columns_.end()) {
+      columns_.push_back(key);
+    }
+  }
+  rows_.push_back(cells);
+}
+
+void CsvRecorder::AddResult(const std::string& method,
+                            const std::string& dataset,
+                            const align::EvalResult& result,
+                            const std::map<std::string, std::string>& extra) {
+  std::map<std::string, std::string> cells = {
+      {"method", method},
+      {"dataset", dataset},
+      {"h_at_1", common::FormatDouble(result.metrics.h_at_1, 4)},
+      {"h_at_5", common::FormatDouble(result.metrics.h_at_5, 4)},
+      {"h_at_10", common::FormatDouble(result.metrics.h_at_10, 4)},
+      {"mrr", common::FormatDouble(result.metrics.mrr, 4)},
+      {"train_seconds", common::FormatDouble(result.train_seconds, 3)},
+      {"decode_seconds", common::FormatDouble(result.decode_seconds, 3)},
+  };
+  for (const auto& [key, value] : extra) cells[key] = value;
+  AddRow(cells);
+}
+
+std::string CsvRecorder::ToString() const {
+  std::ostringstream os;
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    if (c) os << ',';
+    os << CsvEscape(columns_[c]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      if (c) os << ',';
+      auto it = row.find(columns_[c]);
+      if (it != row.end()) os << CsvEscape(it->second);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+common::Status CsvRecorder::WriteFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return common::Status::IoError("cannot open " + path + " for writing");
+  }
+  out << ToString();
+  if (!out) return common::Status::IoError("short write to " + path);
+  return common::Status::Ok();
+}
+
+}  // namespace desalign::eval

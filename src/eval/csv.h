@@ -1,0 +1,45 @@
+#ifndef DESALIGN_EVAL_CSV_H_
+#define DESALIGN_EVAL_CSV_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "align/method.h"
+#include "common/status.h"
+
+namespace desalign::eval {
+
+/// Accumulates experiment rows and exports them as RFC-4180-ish CSV
+/// (quotes fields containing commas/quotes/newlines). Used by the CLI to
+/// make sweeps machine-readable.
+class CsvRecorder {
+ public:
+  /// Column order is fixed by the first row; later rows may add columns
+  /// (earlier rows export empty cells for them).
+  void AddRow(const std::map<std::string, std::string>& cells);
+
+  /// Convenience: one row from a method/dataset evaluation.
+  void AddResult(const std::string& method, const std::string& dataset,
+                 const align::EvalResult& result,
+                 const std::map<std::string, std::string>& extra = {});
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Serializes header + rows.
+  std::string ToString() const;
+
+  /// Writes to `path`.
+  common::Status WriteFile(const std::string& path) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::map<std::string, std::string>> rows_;
+};
+
+/// Escapes one CSV field.
+std::string CsvEscape(const std::string& field);
+
+}  // namespace desalign::eval
+
+#endif  // DESALIGN_EVAL_CSV_H_

@@ -1,0 +1,139 @@
+#include "eval/harness.h"
+
+#include "align/fusion_model.h"
+#include "align/metrics.h"
+#include "baselines/fusion_baselines.h"
+#include "baselines/gcn_align.h"
+#include "baselines/poe.h"
+#include "baselines/transe.h"
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "core/desalign.h"
+
+namespace desalign::eval {
+
+using align::AlignmentMethod;
+
+HarnessSettings& GlobalHarnessSettings() {
+  static HarnessSettings& settings = *new HarnessSettings();
+  return settings;
+}
+
+namespace {
+
+align::FusionModelConfig Tuned(align::FusionModelConfig cfg) {
+  const auto& s = GlobalHarnessSettings();
+  cfg.dim = s.dim;
+  cfg.epochs = s.epochs;
+  return cfg;
+}
+
+std::unique_ptr<AlignmentMethod> MakeDesalign(uint64_t seed) {
+  auto cfg = core::DesalignConfig::Default(seed);
+  cfg.base = Tuned(std::move(cfg.base));
+  cfg.propagation_iterations =
+      GlobalHarnessSettings().propagation_iterations;
+  return std::make_unique<core::DesalignModel>(std::move(cfg));
+}
+
+}  // namespace
+
+std::vector<NamedFactory> ProminentMethods() {
+  return {
+      {"EVA",
+       [](uint64_t s) {
+         return std::make_unique<align::FusionAlignModel>(
+             Tuned(baselines::EvaConfig(s)));
+       }},
+      {"MCLEA",
+       [](uint64_t s) {
+         return std::make_unique<align::FusionAlignModel>(
+             Tuned(baselines::McleaConfig(s)));
+       }},
+      {"MEAformer",
+       [](uint64_t s) {
+         return std::make_unique<align::FusionAlignModel>(
+             Tuned(baselines::MeaformerConfig(s)));
+       }},
+      {"DESAlign", MakeDesalign},
+  };
+}
+
+std::vector<NamedFactory> AllBasicMethods() {
+  const auto transe_epochs = [] {
+    return GlobalHarnessSettings().epochs / 2 + 10;
+  };
+  std::vector<NamedFactory> methods = {
+      {"TransE",
+       [transe_epochs](uint64_t s) {
+         baselines::TranseConfig cfg;
+         cfg.seed = s;
+         cfg.dim = GlobalHarnessSettings().dim;
+         cfg.epochs = transe_epochs();
+         return std::make_unique<baselines::TranseModel>(cfg);
+       }},
+      {"IPTransE",
+       [transe_epochs](uint64_t s) {
+         baselines::TranseConfig cfg = baselines::IpTranseConfig(s);
+         cfg.dim = GlobalHarnessSettings().dim;
+         cfg.epochs = transe_epochs();
+         return std::make_unique<baselines::TranseModel>(cfg);
+       }},
+      {"PoE",
+       [](uint64_t s) {
+         baselines::PoeConfig cfg;
+         cfg.seed = s;
+         return std::make_unique<baselines::PoeModel>(cfg);
+       }},
+      {"GCN-align",
+       [](uint64_t s) {
+         baselines::GcnAlignConfig cfg;
+         cfg.seed = s;
+         cfg.dim = GlobalHarnessSettings().dim;
+         cfg.epochs = GlobalHarnessSettings().epochs;
+         return std::make_unique<baselines::GcnAlignModel>(cfg);
+       }},
+      {"AttrGNN",
+       [](uint64_t s) {
+         baselines::GcnAlignConfig cfg = baselines::AttrGnnConfig(s);
+         cfg.dim = GlobalHarnessSettings().dim;
+         cfg.epochs = GlobalHarnessSettings().epochs;
+         return std::make_unique<baselines::GcnAlignModel>(cfg);
+       }},
+      {"MMEA",
+       [](uint64_t s) {
+         return std::make_unique<align::FusionAlignModel>(
+             Tuned(baselines::MmeaConfig(s)));
+       }},
+  };
+  for (auto& f : ProminentMethods()) methods.push_back(std::move(f));
+  return methods;
+}
+
+align::EvalResult RunCell(const NamedFactory& factory,
+                          const kg::AlignedKgPair& data, uint64_t seed,
+                          bool iterative,
+                          const align::IterativeConfig& iter_config,
+                          bool csls) {
+  auto method = factory.make(seed);
+  align::EvalResult result;
+  common::Stopwatch watch;
+  method->Fit(data);
+  if (iterative) {
+    // The iterative strategy applies to the fusion family; other methods
+    // fall back to their base fit.
+    auto* fusion = dynamic_cast<align::FusionAlignModel*>(method.get());
+    if (fusion != nullptr) {
+      align::RunIterativeRefinement(*fusion, data, iter_config);
+    }
+  }
+  result.train_seconds = watch.ElapsedSeconds();
+  watch.Reset();
+  auto sim = method->DecodeSimilarity(data);
+  if (csls) align::ApplyCsls(*sim);
+  result.decode_seconds = watch.ElapsedSeconds();
+  result.metrics = align::MetricsFromSimilarity(*sim);
+  return result;
+}
+
+}  // namespace desalign::eval

@@ -1,0 +1,56 @@
+#ifndef DESALIGN_EVAL_HARNESS_H_
+#define DESALIGN_EVAL_HARNESS_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "align/iterative.h"
+#include "align/method.h"
+#include "kg/mmkg.h"
+
+namespace desalign::eval {
+
+/// Process-wide knobs the method factories honour, letting benchmark
+/// binaries trade fidelity for wall-clock without touching each config.
+struct HarnessSettings {
+  int64_t dim = 32;
+  int epochs = 60;
+  /// DESAlign semantic-propagation iterations n_p; the paper uses 1 for
+  /// bilingual and 2–3 for monolingual data (Fig. 4).
+  int propagation_iterations = 2;
+};
+
+/// Mutable singleton consulted by the factories below.
+HarnessSettings& GlobalHarnessSettings();
+
+/// Creates a fresh method instance (models are single-use: one Fit per
+/// dataset cell).
+using MethodFactory =
+    std::function<std::unique_ptr<align::AlignmentMethod>(uint64_t seed)>;
+
+struct NamedFactory {
+  std::string name;
+  MethodFactory make;
+};
+
+/// The fusion-family lineup used in Tables II/III and Fig. 3 right:
+/// EVA, MCLEA, MEAformer, DESAlign.
+std::vector<NamedFactory> ProminentMethods();
+
+/// The full Table IV lineup: TransE, GCN-align, EVA, MCLEA, MEAformer,
+/// DESAlign.
+std::vector<NamedFactory> AllBasicMethods();
+
+/// One table cell: run a method on a dataset, optionally with the iterative
+/// strategy and/or CSLS-corrected decoding, and report metrics + timings.
+align::EvalResult RunCell(const NamedFactory& factory,
+                          const kg::AlignedKgPair& data, uint64_t seed,
+                          bool iterative = false,
+                          const align::IterativeConfig& iter_config = {},
+                          bool csls = false);
+
+}  // namespace desalign::eval
+
+#endif  // DESALIGN_EVAL_HARNESS_H_

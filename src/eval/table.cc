@@ -1,0 +1,66 @@
+#include "eval/table.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace desalign::eval {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::AddSeparator() { rows_.emplace_back(); }
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_sep = [&]() {
+    os << '+';
+    for (size_t c = 0; c < widths.size(); ++c) {
+      os << std::string(widths[c] + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : "";
+      os << ' ' << cell << std::string(widths[c] - cell.size() + 1, ' ')
+         << '|';
+    }
+    os << '\n';
+  };
+  print_sep();
+  print_row(headers_);
+  print_sep();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      print_sep();
+    } else {
+      print_row(row);
+    }
+  }
+  print_sep();
+}
+
+std::string Pct(double fraction) {
+  return common::FormatDouble(fraction * 100.0, 1);
+}
+
+std::string Secs(double seconds) {
+  return common::FormatDouble(seconds, 2) + "s";
+}
+
+}  // namespace desalign::eval

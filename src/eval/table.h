@@ -1,0 +1,34 @@
+#ifndef DESALIGN_EVAL_TABLE_H_
+#define DESALIGN_EVAL_TABLE_H_
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace desalign::eval {
+
+/// Fixed-width ASCII table writer used by every bench binary to print rows
+/// in the layout of the paper's tables.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  /// Inserts a horizontal separator line before the next row.
+  void AddSeparator();
+  void Print(std::ostream& os = std::cout) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+/// Formats a fraction as percent with one decimal ("0.471" -> "47.1").
+std::string Pct(double fraction);
+
+/// Formats seconds with two decimals.
+std::string Secs(double seconds);
+
+}  // namespace desalign::eval
+
+#endif  // DESALIGN_EVAL_TABLE_H_

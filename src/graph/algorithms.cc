@@ -1,0 +1,134 @@
+#include "graph/algorithms.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace desalign::graph {
+
+namespace {
+
+// Path-compressing union-find.
+class UnionFind {
+ public:
+  explicit UnionFind(int64_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  int64_t Find(int64_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Union(int64_t a, int64_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<int64_t> parent_;
+};
+
+std::vector<std::vector<int64_t>> AdjacencyLists(const Graph& g) {
+  std::vector<std::vector<int64_t>> adj(g.num_nodes());
+  for (auto [u, v] : g.edges()) {
+    adj[u].push_back(v);
+    adj[v].push_back(u);
+  }
+  return adj;
+}
+
+}  // namespace
+
+std::vector<int64_t> ComponentLabels::ComponentSizes() const {
+  std::vector<int64_t> sizes(num_components, 0);
+  for (int64_t l : label) ++sizes[l];
+  return sizes;
+}
+
+ComponentLabels ConnectedComponents(const Graph& g) {
+  UnionFind uf(g.num_nodes());
+  for (auto [u, v] : g.edges()) uf.Union(u, v);
+  ComponentLabels out;
+  out.label.assign(g.num_nodes(), -1);
+  for (int64_t i = 0; i < g.num_nodes(); ++i) {
+    const int64_t root = uf.Find(i);
+    if (out.label[root] < 0) out.label[root] = out.num_components++;
+    out.label[i] = out.label[root];
+  }
+  return out;
+}
+
+bool IsConnected(const Graph& g) {
+  return ConnectedComponents(g).num_components == 1;
+}
+
+std::vector<int64_t> BfsDistances(const Graph& g, int64_t source) {
+  DESALIGN_CHECK(source >= 0 && source < g.num_nodes());
+  auto adj = AdjacencyLists(g);
+  std::vector<int64_t> dist(g.num_nodes(), -1);
+  std::queue<int64_t> frontier;
+  dist[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const int64_t u = frontier.front();
+    frontier.pop();
+    for (int64_t v : adj[u]) {
+      if (dist[v] < 0) {
+        dist[v] = dist[u] + 1;
+        frontier.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<int64_t> KHopNeighborhood(const Graph& g, int64_t source,
+                                      int64_t hops) {
+  auto dist = BfsDistances(g, source);
+  std::vector<int64_t> nodes;
+  for (int64_t i = 0; i < g.num_nodes(); ++i) {
+    if (dist[i] >= 0 && dist[i] <= hops) nodes.push_back(i);
+  }
+  return nodes;
+}
+
+Graph InducedSubgraph(const Graph& g, const std::vector<int64_t>& nodes) {
+  DESALIGN_CHECK(!nodes.empty());
+  std::unordered_map<int64_t, int64_t> new_id;
+  new_id.reserve(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    DESALIGN_CHECK(nodes[i] >= 0 && nodes[i] < g.num_nodes());
+    new_id[nodes[i]] = static_cast<int64_t>(i);
+  }
+  std::vector<std::pair<int64_t, int64_t>> edges;
+  for (auto [u, v] : g.edges()) {
+    auto iu = new_id.find(u);
+    auto iv = new_id.find(v);
+    if (iu != new_id.end() && iv != new_id.end()) {
+      edges.emplace_back(iu->second, iv->second);
+    }
+  }
+  return Graph(static_cast<int64_t>(nodes.size()), std::move(edges));
+}
+
+GraphStatistics ComputeGraphStatistics(const Graph& g) {
+  GraphStatistics s;
+  s.num_nodes = g.num_nodes();
+  s.num_edges = g.num_edges();
+  s.num_components = ConnectedComponents(g).num_components;
+  auto degrees = g.Degrees();
+  for (int64_t d : degrees) {
+    s.max_degree = std::max(s.max_degree, d);
+    if (d == 0) ++s.isolated_nodes;
+  }
+  s.average_degree =
+      2.0 * static_cast<double>(s.num_edges) /
+      static_cast<double>(std::max<int64_t>(1, s.num_nodes));
+  return s;
+}
+
+}  // namespace desalign::graph

@@ -1,0 +1,52 @@
+#ifndef DESALIGN_GRAPH_ALGORITHMS_H_
+#define DESALIGN_GRAPH_ALGORITHMS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace desalign::graph {
+
+/// Connected-component labels in [0, num_components); label 0 is the
+/// component of node 0.
+struct ComponentLabels {
+  std::vector<int64_t> label;  ///< per node
+  int64_t num_components = 0;
+
+  /// Size of each component.
+  std::vector<int64_t> ComponentSizes() const;
+};
+
+/// Union-find based connected components.
+ComponentLabels ConnectedComponents(const Graph& g);
+
+/// True when the graph has exactly one connected component.
+bool IsConnected(const Graph& g);
+
+/// Breadth-first distances from `source` (-1 for unreachable nodes).
+std::vector<int64_t> BfsDistances(const Graph& g, int64_t source);
+
+/// Nodes within `hops` of `source` (including `source` itself).
+std::vector<int64_t> KHopNeighborhood(const Graph& g, int64_t source,
+                                      int64_t hops);
+
+/// Induced subgraph on `nodes`: returns the subgraph plus the mapping from
+/// new ids to the original ids (new id i corresponds to nodes[i]).
+Graph InducedSubgraph(const Graph& g, const std::vector<int64_t>& nodes);
+
+/// Summary statistics used by the dataset tooling.
+struct GraphStatistics {
+  int64_t num_nodes = 0;
+  int64_t num_edges = 0;
+  int64_t num_components = 0;
+  int64_t max_degree = 0;
+  int64_t isolated_nodes = 0;
+  double average_degree = 0.0;
+};
+
+GraphStatistics ComputeGraphStatistics(const Graph& g);
+
+}  // namespace desalign::graph
+
+#endif  // DESALIGN_GRAPH_ALGORITHMS_H_

@@ -1,0 +1,147 @@
+#include "graph/dirichlet.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace desalign::graph {
+
+using tensor::Tensor;
+
+double DirichletEnergy(const CsrMatrixPtr& normalized_adjacency,
+                       const TensorPtr& x) {
+  DESALIGN_CHECK_EQ(normalized_adjacency->rows(), x->rows());
+  const int64_t n = x->rows();
+  const int64_t d = x->cols();
+  std::vector<float> ax(static_cast<size_t>(n * d));
+  normalized_adjacency->Multiply(x->data().data(), d, ax.data());
+  double self = 0.0;
+  double cross = 0.0;
+  for (int64_t i = 0; i < n * d; ++i) {
+    const double v = x->data()[i];
+    self += v * v;
+    cross += v * ax[i];
+  }
+  return self - cross;
+}
+
+TensorPtr DirichletEnergyNode(const CsrMatrixPtr& normalized_adjacency,
+                              const TensorPtr& x) {
+  DESALIGN_CHECK_EQ(normalized_adjacency->rows(), x->rows());
+  auto self = tensor::SumSquares(x);
+  auto cross = tensor::Sum(tensor::Mul(x, tensor::SpMM(normalized_adjacency, x)));
+  return tensor::Sub(self, cross);
+}
+
+double LargestEigenvalue(const CsrMatrixPtr& m, int iterations,
+                         uint64_t seed) {
+  DESALIGN_CHECK_EQ(m->rows(), m->cols());
+  const int64_t n = m->rows();
+  common::Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.Normal());
+  std::vector<float> w(n);
+  double eig = 0.0;
+  for (int it = 0; it < iterations; ++it) {
+    m->Multiply(v.data(), 1, w.data());
+    double norm = 0.0;
+    for (float x : w) norm += static_cast<double>(x) * x;
+    norm = std::sqrt(norm);
+    if (norm < 1e-30) return 0.0;
+    for (int64_t i = 0; i < n; ++i) v[i] = static_cast<float>(w[i] / norm);
+    eig = norm;
+  }
+  // Rayleigh quotient for the final vector (v is unit norm).
+  m->Multiply(v.data(), 1, w.data());
+  double rq = 0.0;
+  for (int64_t i = 0; i < n; ++i) rq += static_cast<double>(v[i]) * w[i];
+  (void)eig;
+  return rq;
+}
+
+namespace {
+
+// y = WᵀW v for dense W (r x c), v length c.
+void GramMultiply(const Tensor& w, const std::vector<double>& v,
+                  std::vector<double>& y) {
+  const int64_t r = w.rows();
+  const int64_t c = w.cols();
+  std::vector<double> tmp(r, 0.0);
+  for (int64_t i = 0; i < r; ++i) {
+    double acc = 0.0;
+    for (int64_t j = 0; j < c; ++j) acc += w.At(i, j) * v[j];
+    tmp[i] = acc;
+  }
+  y.assign(c, 0.0);
+  for (int64_t i = 0; i < r; ++i) {
+    for (int64_t j = 0; j < c; ++j) y[j] += w.At(i, j) * tmp[i];
+  }
+}
+
+double Normalize(std::vector<double>& v) {
+  double norm = 0.0;
+  for (double x : v) norm += x * x;
+  norm = std::sqrt(norm);
+  if (norm > 1e-300) {
+    for (double& x : v) x /= norm;
+  }
+  return norm;
+}
+
+}  // namespace
+
+SingularValueBounds EstimateSingularValueBounds(const TensorPtr& w,
+                                                int iterations,
+                                                uint64_t seed) {
+  const int64_t c = w->cols();
+  common::Rng rng(seed);
+  SingularValueBounds out;
+
+  // p_max: power iteration on G = WᵀW.
+  std::vector<double> v(c);
+  for (auto& x : v) x = rng.Normal();
+  Normalize(v);
+  std::vector<double> y;
+  for (int it = 0; it < iterations; ++it) {
+    GramMultiply(*w, v, y);
+    v = y;
+    Normalize(v);
+  }
+  GramMultiply(*w, v, y);
+  double pmax = 0.0;
+  for (int64_t j = 0; j < c; ++j) pmax += v[j] * y[j];
+  out.p_max = pmax;
+
+  // p_min via shifted power iteration on (p_max·I − G): its largest
+  // eigenvalue is p_max − p_min.
+  std::vector<double> u(c);
+  for (auto& x : u) x = rng.Normal();
+  Normalize(u);
+  for (int it = 0; it < iterations; ++it) {
+    GramMultiply(*w, u, y);
+    for (int64_t j = 0; j < c; ++j) y[j] = pmax * u[j] - y[j];
+    u = y;
+    if (Normalize(u) < 1e-30) break;
+  }
+  GramMultiply(*w, u, y);
+  double rq = 0.0;
+  for (int64_t j = 0; j < c; ++j) rq += u[j] * (pmax * u[j] - y[j]);
+  out.p_min = std::max(0.0, pmax - rq);
+  return out;
+}
+
+EnergyGapBounds InterpolationQualityBounds(double energy_x_hat,
+                                           double energy_x,
+                                           double lambda_max,
+                                           double norm_min,
+                                           double norm_max) {
+  EnergyGapBounds b;
+  const double gap = std::fabs(energy_x_hat - energy_x);
+  if (lambda_max <= 0.0) return b;
+  if (norm_max > 0.0) b.lower = gap / (2.0 * lambda_max * norm_max);
+  if (norm_min > 0.0) b.upper = gap / (2.0 * lambda_max * norm_min);
+  return b;
+}
+
+}  // namespace desalign::graph

@@ -1,0 +1,57 @@
+#ifndef DESALIGN_GRAPH_DIRICHLET_H_
+#define DESALIGN_GRAPH_DIRICHLET_H_
+
+#include <cstdint>
+
+#include "tensor/ops.h"
+#include "tensor/sparse.h"
+#include "tensor/tensor.h"
+
+namespace desalign::graph {
+
+using tensor::CsrMatrixPtr;
+using tensor::TensorPtr;
+
+/// Dirichlet energy E(X) = tr(Xᵀ Δ X) of node features X w.r.t. the
+/// Laplacian Δ = I − Ã (paper Definition 3). Non-differentiable fast path
+/// used for monitoring and analysis.
+double DirichletEnergy(const CsrMatrixPtr& normalized_adjacency,
+                       const TensorPtr& x);
+
+/// Autograd node computing the Dirichlet energy as
+/// E(X) = Σ X⊙X − Σ X⊙(ÃX), differentiable in X. Used inside the MMSL
+/// training objective (Proposition 3 penalties).
+TensorPtr DirichletEnergyNode(const CsrMatrixPtr& normalized_adjacency,
+                              const TensorPtr& x);
+
+/// Estimates the largest eigenvalue of a symmetric sparse matrix by power
+/// iteration. For a Laplacian this is λ_max ∈ [0, 2).
+double LargestEigenvalue(const CsrMatrixPtr& m, int iterations = 100,
+                         uint64_t seed = 7);
+
+/// Bounds on the squared singular values of a dense weight matrix W,
+/// estimated by power iteration on WᵀW (largest) and inverse-free deflated
+/// iteration (smallest, approximate). These are the p_max / p_min of
+/// Proposition 2.
+struct SingularValueBounds {
+  double p_min = 0.0;  ///< square of the smallest singular value
+  double p_max = 0.0;  ///< square of the largest singular value
+};
+SingularValueBounds EstimateSingularValueBounds(const TensorPtr& w,
+                                                int iterations = 200,
+                                                uint64_t seed = 7);
+
+/// Corollary 1: bounds on ||X̂ − X||₂ implied by the Dirichlet-energy gap.
+/// `lower`/`upper` bracket the optimal interpolation quality.
+struct EnergyGapBounds {
+  double lower = 0.0;
+  double upper = 0.0;
+};
+EnergyGapBounds InterpolationQualityBounds(double energy_x_hat,
+                                           double energy_x,
+                                           double lambda_max,
+                                           double norm_min, double norm_max);
+
+}  // namespace desalign::graph
+
+#endif  // DESALIGN_GRAPH_DIRICHLET_H_

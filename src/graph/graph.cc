@@ -1,0 +1,113 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace desalign::graph {
+
+using tensor::CsrMatrix;
+using tensor::Triplet;
+
+Graph::Graph(int64_t num_nodes,
+             std::vector<std::pair<int64_t, int64_t>> edges)
+    : num_nodes_(num_nodes) {
+  DESALIGN_CHECK_GT(num_nodes, 0);
+  edges_.reserve(edges.size());
+  for (auto [u, v] : edges) {
+    DESALIGN_CHECK(u >= 0 && u < num_nodes);
+    DESALIGN_CHECK(v >= 0 && v < num_nodes);
+    if (u == v) continue;  // drop self-loops; added back where needed
+    if (u > v) std::swap(u, v);
+    edges_.emplace_back(u, v);
+  }
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+}
+
+CsrMatrixPtr Graph::Adjacency() const {
+  std::vector<Triplet> t;
+  t.reserve(edges_.size() * 2);
+  for (auto [u, v] : edges_) {
+    t.push_back({u, v, 1.0f});
+    t.push_back({v, u, 1.0f});
+  }
+  return CsrMatrix::FromTriplets(num_nodes_, num_nodes_, std::move(t));
+}
+
+CsrMatrixPtr Graph::NormalizedAdjacency(float self_loop_weight) const {
+  std::vector<float> degree(num_nodes_, self_loop_weight);
+  for (auto [u, v] : edges_) {
+    degree[u] += 1.0f;
+    degree[v] += 1.0f;
+  }
+  std::vector<float> inv_sqrt(num_nodes_);
+  for (int64_t i = 0; i < num_nodes_; ++i) {
+    // Isolated node with no self-loop: force degree 1 so the row is the
+    // identity and propagation leaves its feature unchanged.
+    const float d = degree[i] > 0.0f ? degree[i] : 1.0f;
+    inv_sqrt[i] = 1.0f / std::sqrt(d);
+  }
+  std::vector<Triplet> t;
+  t.reserve(edges_.size() * 2 + num_nodes_);
+  for (auto [u, v] : edges_) {
+    const float w = inv_sqrt[u] * inv_sqrt[v];
+    t.push_back({u, v, w});
+    t.push_back({v, u, w});
+  }
+  for (int64_t i = 0; i < num_nodes_; ++i) {
+    const float s = degree[i] > 0.0f && self_loop_weight > 0.0f
+                        ? self_loop_weight * inv_sqrt[i] * inv_sqrt[i]
+                        : (self_loop_weight > 0.0f ? 1.0f : 0.0f);
+    if (s > 0.0f) t.push_back({i, i, s});
+  }
+  return CsrMatrix::FromTriplets(num_nodes_, num_nodes_, std::move(t));
+}
+
+CsrMatrixPtr Graph::Laplacian(float self_loop_weight) const {
+  auto identity = CsrMatrix::Identity(num_nodes_);
+  auto norm_adj = NormalizedAdjacency(self_loop_weight);
+  return identity->Add(*norm_adj, 1.0f, -1.0f);
+}
+
+std::vector<int64_t> Graph::Degrees() const {
+  std::vector<int64_t> degree(num_nodes_, 0);
+  for (auto [u, v] : edges_) {
+    ++degree[u];
+    ++degree[v];
+  }
+  return degree;
+}
+
+Graph::DirectedEdges Graph::MessagePassingEdges(bool add_self_loops) const {
+  DirectedEdges de;
+  const size_t n = edges_.size() * 2 +
+                   (add_self_loops ? static_cast<size_t>(num_nodes_) : 0);
+  de.src.reserve(n);
+  de.dst.reserve(n);
+  for (auto [u, v] : edges_) {
+    de.src.push_back(u);
+    de.dst.push_back(v);
+    de.src.push_back(v);
+    de.dst.push_back(u);
+  }
+  if (add_self_loops) {
+    for (int64_t i = 0; i < num_nodes_; ++i) {
+      de.src.push_back(i);
+      de.dst.push_back(i);
+    }
+  }
+  return de;
+}
+
+Graph Graph::DisjointUnion(const Graph& a, const Graph& b) {
+  std::vector<std::pair<int64_t, int64_t>> edges = a.edges_;
+  edges.reserve(a.edges_.size() + b.edges_.size());
+  for (auto [u, v] : b.edges_) {
+    edges.emplace_back(u + a.num_nodes_, v + a.num_nodes_);
+  }
+  return Graph(a.num_nodes_ + b.num_nodes_, std::move(edges));
+}
+
+}  // namespace desalign::graph

@@ -1,0 +1,65 @@
+#ifndef DESALIGN_GRAPH_GRAPH_H_
+#define DESALIGN_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "tensor/sparse.h"
+
+namespace desalign::graph {
+
+using tensor::CsrMatrixPtr;
+
+/// An undirected edge list over nodes [0, num_nodes). Self-loops and
+/// duplicate edges are tolerated on input and deduplicated when building
+/// matrices.
+class Graph {
+ public:
+  Graph(int64_t num_nodes, std::vector<std::pair<int64_t, int64_t>> edges);
+
+  int64_t num_nodes() const { return num_nodes_; }
+  /// Number of distinct undirected edges (excluding self-loops).
+  int64_t num_edges() const { return static_cast<int64_t>(edges_.size()); }
+  const std::vector<std::pair<int64_t, int64_t>>& edges() const {
+    return edges_;
+  }
+
+  /// Binary symmetric adjacency matrix A.
+  CsrMatrixPtr Adjacency() const;
+
+  /// Symmetrically normalized adjacency Ã = D^-1/2 (A + sI) D^-1/2.
+  /// `self_loop_weight` s > 0 adds weighted self-loops (the common
+  /// renormalization trick); s = 0 gives the plain normalized adjacency.
+  /// Isolated nodes receive an identity row so Ã is always well defined.
+  CsrMatrixPtr NormalizedAdjacency(float self_loop_weight = 1.0f) const;
+
+  /// Graph Laplacian Δ = I − Ã (positive semi-definite, eigenvalues in
+  /// [0, 2)).
+  CsrMatrixPtr Laplacian(float self_loop_weight = 1.0f) const;
+
+  /// Node degrees (self-loops excluded).
+  std::vector<int64_t> Degrees() const;
+
+  /// Directed edge arrays (each undirected edge contributes both
+  /// directions, plus one self-loop per node) — the message-passing form
+  /// consumed by the GAT layer.
+  struct DirectedEdges {
+    std::vector<int64_t> src;
+    std::vector<int64_t> dst;
+  };
+  DirectedEdges MessagePassingEdges(bool add_self_loops = true) const;
+
+  /// Builds a block-diagonal union of two graphs (nodes of `b` shifted by
+  /// a.num_nodes()). Used to treat the source and target MMKG as one graph
+  /// for Dirichlet-energy computations and joint propagation.
+  static Graph DisjointUnion(const Graph& a, const Graph& b);
+
+ private:
+  int64_t num_nodes_;
+  std::vector<std::pair<int64_t, int64_t>> edges_;  // deduped, u < v
+};
+
+}  // namespace desalign::graph
+
+#endif  // DESALIGN_GRAPH_GRAPH_H_

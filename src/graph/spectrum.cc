@@ -1,0 +1,83 @@
+#include "graph/spectrum.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace desalign::graph {
+
+std::vector<double> SymmetricEigenvalues(const tensor::CsrMatrix& m,
+                                         int max_sweeps, double tol) {
+  DESALIGN_CHECK_EQ(m.rows(), m.cols());
+  DESALIGN_CHECK_MSG(m.IsSymmetric(1e-5f),
+                     "Jacobi eigensolver requires a symmetric matrix");
+  const int64_t n = m.rows();
+  // Densify.
+  std::vector<double> a(static_cast<size_t>(n * n), 0.0);
+  const auto& row_ptr = m.row_ptr();
+  const auto& col_idx = m.col_idx();
+  const auto& values = m.values();
+  for (int64_t r = 0; r < n; ++r) {
+    for (int64_t p = row_ptr[r]; p < row_ptr[r + 1]; ++p) {
+      a[r * n + col_idx[p]] = values[p];
+    }
+  }
+
+  // Cyclic Jacobi rotations.
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = i + 1; j < n; ++j) {
+        off += a[i * n + j] * a[i * n + j];
+      }
+    }
+    if (std::sqrt(2.0 * off) < tol) break;
+    for (int64_t p = 0; p < n - 1; ++p) {
+      for (int64_t q = p + 1; q < n; ++q) {
+        const double apq = a[p * n + q];
+        if (std::fabs(apq) < 1e-300) continue;
+        const double app = a[p * n + p];
+        const double aqq = a[q * n + q];
+        const double theta = 0.5 * (aqq - app) / apq;
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) +
+                          std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (int64_t k = 0; k < n; ++k) {
+          const double akp = a[k * n + p];
+          const double akq = a[k * n + q];
+          a[k * n + p] = c * akp - s * akq;
+          a[k * n + q] = s * akp + c * akq;
+        }
+        for (int64_t k = 0; k < n; ++k) {
+          const double apk = a[p * n + k];
+          const double aqk = a[q * n + k];
+          a[p * n + k] = c * apk - s * aqk;
+          a[q * n + k] = s * apk + c * aqk;
+        }
+      }
+    }
+  }
+  std::vector<double> eigenvalues(n);
+  for (int64_t i = 0; i < n; ++i) eigenvalues[i] = a[i * n + i];
+  std::sort(eigenvalues.begin(), eigenvalues.end());
+  return eigenvalues;
+}
+
+SpectrumSummary SummarizeLaplacianSpectrum(const tensor::CsrMatrix& lap,
+                                           double zero_tol) {
+  auto eig = SymmetricEigenvalues(lap);
+  SpectrumSummary s;
+  DESALIGN_CHECK(!eig.empty());
+  s.lambda_min = eig.front();
+  s.lambda_max = eig.back();
+  s.lambda_2 = eig.size() > 1 ? eig[1] : eig[0];
+  for (double v : eig) {
+    if (std::fabs(v) <= zero_tol) ++s.num_near_zero;
+  }
+  return s;
+}
+
+}  // namespace desalign::graph

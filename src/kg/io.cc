@@ -1,0 +1,233 @@
+#include "kg/io.h"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/strings.h"
+#include "tensor/tensor.h"
+
+namespace desalign::kg {
+
+namespace {
+
+using common::Result;
+using common::Status;
+using tensor::Tensor;
+
+Status WriteTriples(const std::string& path,
+                    const std::vector<Triple>& triples) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  for (const auto& t : triples) {
+    out << t.head << '\t' << t.relation << '\t' << t.tail << '\n';
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<Triple>> ReadTriples(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::vector<Triple> triples;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto fields = common::Split(line, '\t');
+    if (fields.size() != 3) {
+      return Status::IoError("malformed triple line in " + path + ": " +
+                             line);
+    }
+    triples.push_back({std::stoll(fields[0]), std::stoll(fields[1]),
+                       std::stoll(fields[2])});
+  }
+  return triples;
+}
+
+Status WriteAttrTriples(const std::string& path,
+                        const std::vector<AttributeTriple>& triples) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  for (const auto& t : triples) {
+    out << t.entity << '\t' << t.attribute << '\t' << t.count << '\n';
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<AttributeTriple>> ReadAttrTriples(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::vector<AttributeTriple> triples;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto fields = common::Split(line, '\t');
+    if (fields.size() != 3) {
+      return Status::IoError("malformed attribute line in " + path + ": " +
+                             line);
+    }
+    triples.push_back({std::stoll(fields[0]), std::stoll(fields[1]),
+                       std::stof(fields[2])});
+  }
+  return triples;
+}
+
+Status WritePairs(const std::string& path,
+                  const std::vector<AlignmentPair>& pairs) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  for (const auto& p : pairs) {
+    out << p.source << '\t' << p.target << '\n';
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<AlignmentPair>> ReadPairs(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::vector<AlignmentPair> pairs;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto fields = common::Split(line, '\t');
+    if (fields.size() != 2) {
+      return Status::IoError("malformed pair line in " + path + ": " + line);
+    }
+    pairs.push_back({std::stoll(fields[0]), std::stoll(fields[1])});
+  }
+  return pairs;
+}
+
+// Binary feature table: [int64 rows][int64 cols][rows*cols float32]
+// [rows uint8 presence].
+Status WriteFeatures(const std::string& path, const FeatureTable& table) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  const int64_t rows = table.features->rows();
+  const int64_t cols = table.features->cols();
+  out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+  out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+  out.write(reinterpret_cast<const char*>(table.features->data().data()),
+            static_cast<std::streamsize>(sizeof(float) * rows * cols));
+  std::vector<uint8_t> mask(table.present.begin(), table.present.end());
+  out.write(reinterpret_cast<const char*>(mask.data()),
+            static_cast<std::streamsize>(mask.size()));
+  if (!out) return Status::IoError("short write to " + path);
+  return Status::Ok();
+}
+
+Result<FeatureTable> ReadFeatures(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  int64_t rows = 0;
+  int64_t cols = 0;
+  in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+  in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+  if (!in || rows <= 0 || cols <= 0) {
+    return Status::IoError("corrupt feature header in " + path);
+  }
+  std::vector<float> data(static_cast<size_t>(rows * cols));
+  in.read(reinterpret_cast<char*>(data.data()),
+          static_cast<std::streamsize>(sizeof(float) * rows * cols));
+  std::vector<uint8_t> mask(static_cast<size_t>(rows));
+  in.read(reinterpret_cast<char*>(mask.data()),
+          static_cast<std::streamsize>(mask.size()));
+  if (!in) return Status::IoError("short read from " + path);
+  FeatureTable table;
+  table.features = Tensor::FromData(rows, cols, std::move(data));
+  table.present.assign(mask.begin(), mask.end());
+  return table;
+}
+
+Status SaveKg(const Mmkg& kg, const std::string& dir,
+              const std::string& prefix) {
+  DESALIGN_RETURN_NOT_OK(
+      WriteTriples(dir + "/" + prefix + "_triples.tsv", kg.triples));
+  DESALIGN_RETURN_NOT_OK(WriteAttrTriples(
+      dir + "/" + prefix + "_attr_triples.tsv", kg.attribute_triples));
+  DESALIGN_RETURN_NOT_OK(
+      WriteFeatures(dir + "/" + prefix + "_rel.fbin", kg.relation_features));
+  DESALIGN_RETURN_NOT_OK(
+      WriteFeatures(dir + "/" + prefix + "_text.fbin", kg.text_features));
+  DESALIGN_RETURN_NOT_OK(
+      WriteFeatures(dir + "/" + prefix + "_vis.fbin", kg.visual_features));
+  return Status::Ok();
+}
+
+Result<Mmkg> LoadKg(const std::string& dir, const std::string& prefix) {
+  Mmkg kg;
+  DESALIGN_ASSIGN_OR_RETURN(kg.triples,
+                            ReadTriples(dir + "/" + prefix + "_triples.tsv"));
+  DESALIGN_ASSIGN_OR_RETURN(
+      kg.attribute_triples,
+      ReadAttrTriples(dir + "/" + prefix + "_attr_triples.tsv"));
+  DESALIGN_ASSIGN_OR_RETURN(kg.relation_features,
+                            ReadFeatures(dir + "/" + prefix + "_rel.fbin"));
+  DESALIGN_ASSIGN_OR_RETURN(kg.text_features,
+                            ReadFeatures(dir + "/" + prefix + "_text.fbin"));
+  DESALIGN_ASSIGN_OR_RETURN(kg.visual_features,
+                            ReadFeatures(dir + "/" + prefix + "_vis.fbin"));
+  kg.num_entities = kg.relation_features.num_entities();
+  kg.num_relations = kg.relation_features.dim();
+  kg.num_attributes = kg.text_features.dim();
+  return kg;
+}
+
+}  // namespace
+
+Status SaveDataset(const AlignedKgPair& pair, const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return Status::IoError("cannot create directory " + dir);
+  {
+    std::ofstream meta(dir + "/meta.tsv");
+    if (!meta) return Status::IoError("cannot write meta.tsv");
+    meta << "name\t" << pair.name << '\n';
+    meta << "src_name\t" << pair.source.name << '\n';
+    meta << "tgt_name\t" << pair.target.name << '\n';
+  }
+  DESALIGN_RETURN_NOT_OK(SaveKg(pair.source, dir, "src"));
+  DESALIGN_RETURN_NOT_OK(SaveKg(pair.target, dir, "tgt"));
+  DESALIGN_RETURN_NOT_OK(
+      WritePairs(dir + "/train_pairs.tsv", pair.train_pairs));
+  DESALIGN_RETURN_NOT_OK(WritePairs(dir + "/test_pairs.tsv", pair.test_pairs));
+  return Status::Ok();
+}
+
+Result<AlignedKgPair> LoadDataset(const std::string& dir) {
+  AlignedKgPair pair;
+  {
+    std::ifstream meta(dir + "/meta.tsv");
+    if (!meta) return Status::IoError("cannot open " + dir + "/meta.tsv");
+    std::string line;
+    while (std::getline(meta, line)) {
+      auto fields = common::Split(line, '\t');
+      if (fields.size() != 2) continue;
+      if (fields[0] == "name") pair.name = fields[1];
+      if (fields[0] == "src_name") pair.source.name = fields[1];
+      if (fields[0] == "tgt_name") pair.target.name = fields[1];
+    }
+  }
+  DESALIGN_ASSIGN_OR_RETURN(pair.source, LoadKg(dir, "src"));
+  DESALIGN_ASSIGN_OR_RETURN(pair.target, LoadKg(dir, "tgt"));
+  {
+    // Preserve the names read from meta.tsv (LoadKg overwrote the struct).
+    std::ifstream meta(dir + "/meta.tsv");
+    std::string line;
+    while (std::getline(meta, line)) {
+      auto fields = common::Split(line, '\t');
+      if (fields.size() != 2) continue;
+      if (fields[0] == "src_name") pair.source.name = fields[1];
+      if (fields[0] == "tgt_name") pair.target.name = fields[1];
+    }
+  }
+  DESALIGN_ASSIGN_OR_RETURN(pair.train_pairs,
+                            ReadPairs(dir + "/train_pairs.tsv"));
+  DESALIGN_ASSIGN_OR_RETURN(pair.test_pairs,
+                            ReadPairs(dir + "/test_pairs.tsv"));
+  return pair;
+}
+
+}  // namespace desalign::kg

@@ -1,0 +1,25 @@
+#ifndef DESALIGN_KG_IO_H_
+#define DESALIGN_KG_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "kg/mmkg.h"
+
+namespace desalign::kg {
+
+/// Persists a dataset into `dir` (created if necessary):
+///   meta.tsv                       — names, sizes
+///   {src,tgt}_triples.tsv          — head \t relation \t tail
+///   {src,tgt}_attr_triples.tsv     — entity \t attribute \t count
+///   {train,test}_pairs.tsv         — source \t target
+///   {src,tgt}_{rel,text,vis}.fbin  — features (binary) + presence mask
+common::Status SaveDataset(const AlignedKgPair& pair,
+                           const std::string& dir);
+
+/// Loads a dataset previously written by SaveDataset.
+common::Result<AlignedKgPair> LoadDataset(const std::string& dir);
+
+}  // namespace desalign::kg
+
+#endif  // DESALIGN_KG_IO_H_

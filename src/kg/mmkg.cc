@@ -1,0 +1,106 @@
+#include "kg/mmkg.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace desalign::kg {
+
+const char* ModalityName(Modality m) {
+  switch (m) {
+    case Modality::kGraph:
+      return "g";
+    case Modality::kRelation:
+      return "r";
+    case Modality::kText:
+      return "t";
+    case Modality::kVisual:
+      return "v";
+  }
+  return "?";
+}
+
+const std::vector<Modality>& AllModalities() {
+  static const std::vector<Modality>& all = *new std::vector<Modality>{
+      Modality::kGraph, Modality::kRelation, Modality::kText,
+      Modality::kVisual};
+  return all;
+}
+
+double FeatureTable::PresentRatio() const {
+  if (present.empty()) return 0.0;
+  return static_cast<double>(PresentCount()) /
+         static_cast<double>(present.size());
+}
+
+int64_t FeatureTable::PresentCount() const {
+  return std::count(present.begin(), present.end(), true);
+}
+
+graph::Graph Mmkg::BuildGraph() const {
+  std::vector<std::pair<int64_t, int64_t>> edges;
+  edges.reserve(triples.size());
+  for (const auto& t : triples) {
+    edges.emplace_back(t.head, t.tail);
+  }
+  return graph::Graph(num_entities, std::move(edges));
+}
+
+const FeatureTable* Mmkg::FeaturesFor(Modality m) const {
+  switch (m) {
+    case Modality::kGraph:
+      return nullptr;
+    case Modality::kRelation:
+      return &relation_features;
+    case Modality::kText:
+      return &text_features;
+    case Modality::kVisual:
+      return &visual_features;
+  }
+  return nullptr;
+}
+
+FeatureTable* Mmkg::MutableFeaturesFor(Modality m) {
+  return const_cast<FeatureTable*>(
+      static_cast<const Mmkg*>(this)->FeaturesFor(m));
+}
+
+double AlignedKgPair::SeedRatio() const {
+  const int64_t total = TotalPairs();
+  if (total == 0) return 0.0;
+  return static_cast<double>(train_pairs.size()) /
+         static_cast<double>(total);
+}
+
+void AlignedKgPair::Resplit(double seed_ratio, uint64_t seed) {
+  DESALIGN_CHECK(seed_ratio > 0.0 && seed_ratio < 1.0);
+  std::vector<AlignmentPair> all = train_pairs;
+  all.insert(all.end(), test_pairs.begin(), test_pairs.end());
+  // Deterministic canonical order before shuffling so the result does not
+  // depend on the previous split.
+  std::sort(all.begin(), all.end(),
+            [](const AlignmentPair& a, const AlignmentPair& b) {
+              return a.source < b.source;
+            });
+  common::Rng rng(seed);
+  rng.Shuffle(all);
+  const int64_t n_train = std::max<int64_t>(
+      1, static_cast<int64_t>(seed_ratio * static_cast<double>(all.size())));
+  train_pairs.assign(all.begin(), all.begin() + n_train);
+  test_pairs.assign(all.begin() + n_train, all.end());
+}
+
+KgStatistics ComputeStatistics(const Mmkg& kg) {
+  KgStatistics s;
+  s.name = kg.name;
+  s.entities = kg.num_entities;
+  s.relations = kg.num_relations;
+  s.attributes = kg.num_attributes;
+  s.relation_triples = static_cast<int64_t>(kg.triples.size());
+  s.attribute_triples = static_cast<int64_t>(kg.attribute_triples.size());
+  s.images = kg.visual_features.PresentCount();
+  return s;
+}
+
+}  // namespace desalign::kg

@@ -1,0 +1,127 @@
+#ifndef DESALIGN_KG_MMKG_H_
+#define DESALIGN_KG_MMKG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "tensor/tensor.h"
+
+namespace desalign::kg {
+
+/// The four entity modalities of the paper: graph structure (g), relations
+/// (r), textual attributes (t) and vision (v).
+enum class Modality { kGraph = 0, kRelation = 1, kText = 2, kVisual = 3 };
+inline constexpr int kNumModalities = 4;
+
+/// Short name used in logs and tables ("g", "r", "t", "v").
+const char* ModalityName(Modality m);
+
+/// All four modalities, in canonical order.
+const std::vector<Modality>& AllModalities();
+
+/// A relational triple (head, relation, tail).
+struct Triple {
+  int64_t head = 0;
+  int64_t relation = 0;
+  int64_t tail = 0;
+
+  friend bool operator==(const Triple&, const Triple&) = default;
+};
+
+/// An attribute triple: entity `entity` carries textual attribute
+/// `attribute` with bag-of-words count `count`.
+struct AttributeTriple {
+  int64_t entity = 0;
+  int64_t attribute = 0;
+  float count = 1.0f;
+
+  friend bool operator==(const AttributeTriple&,
+                         const AttributeTriple&) = default;
+};
+
+/// Dense per-entity feature matrix plus a presence mask. Entities whose
+/// modality is absent (the semantic-inconsistency case the paper studies)
+/// have `present[i] == false` and a zero feature row; how the gap is filled
+/// is a *model* decision (predefined-distribution noise for the baselines,
+/// semantic propagation for DESAlign).
+struct FeatureTable {
+  tensor::TensorPtr features;  ///< num_entities x dim (never null once built)
+  std::vector<bool> present;   ///< size num_entities
+
+  int64_t dim() const { return features ? features->cols() : 0; }
+  int64_t num_entities() const {
+    return static_cast<int64_t>(present.size());
+  }
+  /// Fraction of entities with the modality present.
+  double PresentRatio() const;
+  /// Number of entities with the modality present.
+  int64_t PresentCount() const;
+};
+
+/// One multi-modal knowledge graph G = (E, R, A, V).
+struct Mmkg {
+  std::string name;
+  int64_t num_entities = 0;
+  int64_t num_relations = 0;
+  int64_t num_attributes = 0;
+  std::vector<Triple> triples;
+  std::vector<AttributeTriple> attribute_triples;
+  FeatureTable relation_features;  ///< bag-of-relations, always present
+  FeatureTable text_features;     ///< bag-of-attributes, missing per R_tex
+  FeatureTable visual_features;   ///< simulated visual encoder, per R_img
+
+  /// Undirected entity graph induced by the relational triples.
+  graph::Graph BuildGraph() const;
+
+  /// Table lookup by modality (kGraph has no input features and returns
+  /// nullptr).
+  const FeatureTable* FeaturesFor(Modality m) const;
+  FeatureTable* MutableFeaturesFor(Modality m);
+};
+
+/// A ground-truth alignment (source entity, target entity).
+struct AlignmentPair {
+  int64_t source = 0;
+  int64_t target = 0;
+
+  friend bool operator==(const AlignmentPair&,
+                         const AlignmentPair&) = default;
+};
+
+/// A full MMEA dataset: two MMKGs plus seed and test alignments.
+struct AlignedKgPair {
+  std::string name;
+  Mmkg source;
+  Mmkg target;
+  std::vector<AlignmentPair> train_pairs;  ///< seed alignments Φ'
+  std::vector<AlignmentPair> test_pairs;   ///< evaluation alignments
+
+  int64_t TotalPairs() const {
+    return static_cast<int64_t>(train_pairs.size() + test_pairs.size());
+  }
+  /// Seed ratio R_seed = |train| / (|train| + |test|).
+  double SeedRatio() const;
+
+  /// Re-splits train/test to a new seed ratio, deterministically from
+  /// `seed`. Used by the R_seed sweeps (Table IV, Fig. 3 right).
+  void Resplit(double seed_ratio, uint64_t seed);
+};
+
+/// Per-KG statistics matching the columns of the paper's Table I.
+struct KgStatistics {
+  std::string name;
+  int64_t entities = 0;
+  int64_t relations = 0;
+  int64_t attributes = 0;
+  int64_t relation_triples = 0;
+  int64_t attribute_triples = 0;
+  int64_t images = 0;
+};
+
+KgStatistics ComputeStatistics(const Mmkg& kg);
+
+}  // namespace desalign::kg
+
+#endif  // DESALIGN_KG_MMKG_H_

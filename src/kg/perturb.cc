@@ -1,0 +1,114 @@
+#include "kg/perturb.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace desalign::kg {
+
+void DropModalityFeatures(Mmkg& kg, Modality modality, double keep_ratio,
+                          common::Rng& rng) {
+  DESALIGN_CHECK(keep_ratio >= 0.0 && keep_ratio <= 1.0);
+  FeatureTable* table = kg.MutableFeaturesFor(modality);
+  DESALIGN_CHECK_MSG(table != nullptr,
+                     "graph structure has no feature table to drop");
+  const int64_t n = table->num_entities();
+  const int64_t dim = table->dim();
+  for (int64_t i = 0; i < n; ++i) {
+    if (!table->present[i]) continue;
+    if (rng.Bernoulli(keep_ratio)) continue;
+    table->present[i] = false;
+    for (int64_t j = 0; j < dim; ++j) table->features->At(i, j) = 0.0f;
+  }
+}
+
+void DropModalityFeatures(AlignedKgPair& pair, Modality modality,
+                          double keep_ratio, common::Rng& rng) {
+  DropModalityFeatures(pair.source, modality, keep_ratio, rng);
+  DropModalityFeatures(pair.target, modality, keep_ratio, rng);
+}
+
+void DropTriples(Mmkg& kg, double keep_ratio, common::Rng& rng) {
+  DESALIGN_CHECK(keep_ratio >= 0.0 && keep_ratio <= 1.0);
+  std::vector<Triple> kept;
+  kept.reserve(kg.triples.size());
+  for (const auto& t : kg.triples) {
+    if (rng.Bernoulli(keep_ratio)) kept.push_back(t);
+  }
+  kg.triples = std::move(kept);
+}
+
+void AddNoiseTriples(Mmkg& kg, int64_t count, common::Rng& rng) {
+  DESALIGN_CHECK_GT(kg.num_entities, 1);
+  DESALIGN_CHECK_GT(kg.num_relations, 0);
+  for (int64_t i = 0; i < count; ++i) {
+    const int64_t head = rng.UniformInt(kg.num_entities);
+    int64_t tail;
+    do {
+      tail = rng.UniformInt(kg.num_entities);
+    } while (tail == head);
+    kg.triples.push_back({head, rng.UniformInt(kg.num_relations), tail});
+  }
+}
+
+void AddFeatureNoise(Mmkg& kg, Modality modality, double stddev,
+                     common::Rng& rng) {
+  FeatureTable* table = kg.MutableFeaturesFor(modality);
+  DESALIGN_CHECK_MSG(table != nullptr,
+                     "graph structure has no feature table to perturb");
+  const int64_t n = table->num_entities();
+  const int64_t dim = table->dim();
+  for (int64_t i = 0; i < n; ++i) {
+    if (!table->present[i]) continue;
+    for (int64_t j = 0; j < dim; ++j) {
+      table->features->At(i, j) +=
+          static_cast<float>(rng.Normal(0.0, stddev));
+    }
+  }
+}
+
+namespace {
+
+// Zero-pads a feature table to `width` columns (no-op when already wide
+// enough). Offset shifts the existing columns (used for the target KG so
+// its private vocabulary lands after the source's).
+void PadFeatureTable(FeatureTable& table, int64_t width, int64_t offset) {
+  DESALIGN_CHECK_LE(table.dim() + offset, width);
+  if (table.dim() == width && offset == 0) return;
+  auto padded =
+      tensor::Tensor::Create(table.num_entities(), width);
+  for (int64_t i = 0; i < table.num_entities(); ++i) {
+    for (int64_t j = 0; j < table.dim(); ++j) {
+      padded->At(i, j + offset) = table.features->At(i, j);
+    }
+  }
+  table.features = std::move(padded);
+}
+
+}  // namespace
+
+void ReconcileFeatureDims(AlignedKgPair& pair) {
+  DESALIGN_CHECK_MSG(pair.source.visual_features.dim() ==
+                         pair.target.visual_features.dim(),
+                     "visual dims must agree (same visual encoder)");
+  // Relation and text vocabularies: concatenate the two id spaces. The
+  // source keeps columns [0, d_src); the target occupies [d_src, d_src +
+  // d_tgt). If the dims already match we assume a shared vocabulary and
+  // leave both untouched.
+  auto reconcile = [](FeatureTable& src, FeatureTable& tgt,
+                      int64_t& src_count, int64_t& tgt_count) {
+    if (src.dim() == tgt.dim()) return;
+    const int64_t width = src.dim() + tgt.dim();
+    const int64_t src_dim = src.dim();
+    PadFeatureTable(src, width, /*offset=*/0);
+    PadFeatureTable(tgt, width, /*offset=*/src_dim);
+    src_count = width;
+    tgt_count = width;
+  };
+  reconcile(pair.source.relation_features, pair.target.relation_features,
+            pair.source.num_relations, pair.target.num_relations);
+  reconcile(pair.source.text_features, pair.target.text_features,
+            pair.source.num_attributes, pair.target.num_attributes);
+}
+
+}  // namespace desalign::kg

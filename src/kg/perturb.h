@@ -1,0 +1,45 @@
+#ifndef DESALIGN_KG_PERTURB_H_
+#define DESALIGN_KG_PERTURB_H_
+
+#include "common/rng.h"
+#include "kg/mmkg.h"
+
+namespace desalign::kg {
+
+// Controlled degradation of an existing dataset — used when the
+// semantic-inconsistency sweeps must run on *loaded* (e.g. real) data
+// instead of regenerating synthetic data per ratio. These are the
+// operations behind the paper's variant benchmarks: "we set R_img ... and
+// R_tex ... from 5% to 60% to validate robustness".
+
+/// Keeps each currently present row of the modality with probability
+/// `keep_ratio`; dropped rows are zeroed and their presence flag cleared.
+/// kGraph is rejected (structure has no feature table).
+void DropModalityFeatures(Mmkg& kg, Modality modality, double keep_ratio,
+                          common::Rng& rng);
+
+/// Applies DropModalityFeatures to both KGs of a pair.
+void DropModalityFeatures(AlignedKgPair& pair, Modality modality,
+                          double keep_ratio, common::Rng& rng);
+
+/// Removes each relational triple with probability `1 - keep_ratio`.
+void DropTriples(Mmkg& kg, double keep_ratio, common::Rng& rng);
+
+/// Adds `count` uniformly random spurious triples (relations drawn from
+/// the existing vocabulary).
+void AddNoiseTriples(Mmkg& kg, int64_t count, common::Rng& rng);
+
+/// Adds N(0, stddev) noise to every present feature row of the modality.
+void AddFeatureNoise(Mmkg& kg, Modality modality, double stddev,
+                     common::Rng& rng);
+
+/// Zero-pads the relation/text feature tables of both KGs to a shared
+/// union width (source ids keep their columns, target-only ids map to
+/// appended columns). Real KG pairs have disjoint tails of their schema
+/// vocabularies; the models require equal feature dims across KGs. Visual
+/// features must already agree (same encoder) — CHECK enforced.
+void ReconcileFeatureDims(AlignedKgPair& pair);
+
+}  // namespace desalign::kg
+
+#endif  // DESALIGN_KG_PERTURB_H_

@@ -1,0 +1,97 @@
+#include "kg/presets.h"
+
+namespace desalign::kg {
+
+SyntheticSpec PresetFbDb15k() {
+  SyntheticSpec s;
+  s.name = "FBDB15K";
+  s.seed = 101;
+  s.num_entities = 600;
+  s.num_clusters = 12;
+  s.num_relations = 28;
+  s.num_attributes = 56;
+  s.relation_vocab_overlap = 0.5;
+  s.attribute_vocab_overlap = 0.5;
+  s.attrs_per_entity = 4.5;
+  s.avg_degree = 7.0;
+  s.edge_keep_prob = 0.92;
+  s.extra_edge_ratio = 0.04;
+  s.attr_keep_prob = 0.8;
+  s.extra_attr_ratio = 0.12;
+  s.visual_noise = 0.45;
+  s.image_ratio = 0.9;
+  s.text_ratio = 0.95;
+  s.seed_ratio = 0.2;
+  return s;
+}
+
+SyntheticSpec PresetFbYg15k() {
+  SyntheticSpec s = PresetFbDb15k();
+  s.name = "FBYG15K";
+  s.seed = 102;
+  // YAGO15K carries a very sparse schema: 32 relations, 7 attribute types.
+  s.num_relations = 20;
+  s.num_attributes = 16;
+  s.attrs_per_entity = 2.5;
+  s.attribute_vocab_overlap = 0.4;
+  s.visual_noise = 0.5;
+  s.image_ratio = 0.73;  // 73.24% of FBYG15K entities have images
+  return s;
+}
+
+SyntheticSpec PresetDbp15k(Dbp15kLang lang) {
+  SyntheticSpec s;
+  s.num_entities = 600;
+  s.num_clusters = 12;
+  s.num_relations = 26;
+  s.num_attributes = 64;
+  s.attrs_per_entity = 6.0;
+  s.avg_degree = 9.0;
+  // Bilingual KGs: structurally and lexically more heterogeneous...
+  s.edge_keep_prob = 0.80;
+  s.extra_edge_ratio = 0.06;
+  s.attr_keep_prob = 0.80;
+  s.extra_attr_ratio = 0.12;
+  s.relation_vocab_overlap = 0.35;
+  s.attribute_vocab_overlap = 0.35;
+  // ...but with markedly stronger modal features, matching DBP15K's much
+  // higher absolute scores in the paper.
+  s.visual_noise = 0.20;
+  s.image_ratio = 0.75;
+  s.text_ratio = 0.97;
+  s.seed_ratio = 0.3;
+  switch (lang) {
+    case Dbp15kLang::kZhEn:
+      s.name = "DBP15K-ZH-EN";
+      s.seed = 111;
+      s.visual_noise = 0.20;
+      break;
+    case Dbp15kLang::kJaEn:
+      s.name = "DBP15K-JA-EN";
+      s.seed = 112;
+      s.visual_noise = 0.18;
+      break;
+    case Dbp15kLang::kFrEn:
+      s.name = "DBP15K-FR-EN";
+      s.seed = 113;
+      // FR-EN is the easiest split in the paper.
+      s.visual_noise = 0.15;
+      s.attribute_vocab_overlap = 0.45;
+      break;
+  }
+  return s;
+}
+
+std::vector<SyntheticSpec> AllPresets() {
+  return {PresetFbDb15k(), PresetFbYg15k(), PresetDbp15k(Dbp15kLang::kZhEn),
+          PresetDbp15k(Dbp15kLang::kJaEn), PresetDbp15k(Dbp15kLang::kFrEn)};
+}
+
+common::Result<SyntheticSpec> PresetByName(const std::string& name) {
+  for (auto& spec : AllPresets()) {
+    if (spec.name == name) return spec;
+  }
+  return common::Status::NotFound("no preset named '" + name + "'");
+}
+
+}  // namespace desalign::kg

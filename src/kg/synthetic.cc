@@ -1,0 +1,300 @@
+#include "kg/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "tensor/init.h"
+
+namespace desalign::kg {
+
+namespace {
+
+using common::Rng;
+using tensor::Tensor;
+using tensor::TensorPtr;
+
+// Latent world shared by both generated KGs.
+struct LatentWorld {
+  std::vector<int64_t> cluster;             // entity -> cluster id
+  std::vector<std::vector<float>> z;        // entity -> latent vector
+  std::vector<Triple> edges;                // latent relational triples
+  std::vector<AttributeTriple> attributes;  // latent attribute triples
+  TensorPtr visual_projection;              // latent_dim x visual_dim
+};
+
+LatentWorld BuildWorld(const SyntheticSpec& spec, Rng& rng) {
+  LatentWorld w;
+  const int64_t n = spec.num_entities;
+  const int64_t k = spec.num_clusters;
+  const int64_t l = spec.latent_dim;
+
+  // Cluster centers and latent entity vectors.
+  std::vector<std::vector<float>> centers(k, std::vector<float>(l));
+  for (auto& c : centers) {
+    for (auto& v : c) v = static_cast<float>(rng.Normal());
+  }
+  w.cluster.resize(n);
+  w.z.assign(n, std::vector<float>(l));
+  for (int64_t i = 0; i < n; ++i) {
+    w.cluster[i] = rng.UniformInt(k);
+    for (int64_t j = 0; j < l; ++j) {
+      w.z[i][j] = centers[w.cluster[i]][j] +
+                  0.4f * static_cast<float>(rng.Normal());
+    }
+  }
+
+  // Cluster membership lists for intra-cluster edge sampling.
+  std::vector<std::vector<int64_t>> members(k);
+  for (int64_t i = 0; i < n; ++i) members[w.cluster[i]].push_back(i);
+
+  // Latent relation graph: community-biased random edges with relation
+  // types keyed (noisily) to the cluster pair, so relation bags carry
+  // alignment signal.
+  const int64_t num_edges =
+      static_cast<int64_t>(spec.avg_degree * static_cast<double>(n) / 2.0);
+  w.edges.reserve(num_edges);
+  for (int64_t e = 0; e < num_edges; ++e) {
+    const int64_t u = rng.UniformInt(n);
+    int64_t v;
+    if (rng.Bernoulli(spec.intra_cluster_prob) &&
+        members[w.cluster[u]].size() > 1) {
+      const auto& pool = members[w.cluster[u]];
+      do {
+        v = pool[rng.UniformInt(static_cast<int64_t>(pool.size()))];
+      } while (v == u);
+    } else {
+      do {
+        v = rng.UniformInt(n);
+      } while (v == u);
+    }
+    int64_t rel;
+    if (rng.Bernoulli(0.85)) {
+      rel = (w.cluster[u] * 31 + w.cluster[v] * 7) % spec.num_relations;
+    } else {
+      rel = rng.UniformInt(spec.num_relations);
+    }
+    w.edges.push_back({u, rel, v});
+  }
+
+  // Latent attributes: each cluster prefers a small attribute subset.
+  const int64_t prefs_per_cluster =
+      std::max<int64_t>(3, spec.num_attributes / k + 2);
+  std::vector<std::vector<int64_t>> prefs(k);
+  for (int64_t c = 0; c < k; ++c) {
+    prefs[c] = rng.SampleWithoutReplacement(spec.num_attributes,
+                                            prefs_per_cluster);
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    // Geometric-ish count with the requested mean.
+    int64_t count = 1;
+    while (rng.Bernoulli(1.0 - 1.0 / spec.attrs_per_entity) && count < 16) {
+      ++count;
+    }
+    for (int64_t a = 0; a < count; ++a) {
+      int64_t attr;
+      if (rng.Bernoulli(0.7)) {
+        const auto& pool = prefs[w.cluster[i]];
+        attr = pool[rng.UniformInt(static_cast<int64_t>(pool.size()))];
+      } else {
+        attr = rng.UniformInt(spec.num_attributes);
+      }
+      w.attributes.push_back({i, attr, 1.0f});
+    }
+  }
+
+  // Shared "visual encoder": one projection used for both KGs, mirroring a
+  // single pretrained ResNet applied to both datasets' images.
+  w.visual_projection = Tensor::Create(l, spec.visual_dim);
+  tensor::GlorotUniform(*w.visual_projection, rng);
+  return w;
+}
+
+// Maps a latent vocabulary id into the union vocabulary of the two KGs:
+// ids below the overlap threshold are shared; the rest are KG-specific.
+struct VocabMap {
+  int64_t shared = 0;  // ids [0, shared) are common
+  int64_t latent_size = 0;
+
+  int64_t union_size() const { return latent_size + (latent_size - shared); }
+
+  int64_t Map(int64_t latent_id, int kg_index) const {
+    if (latent_id < shared || kg_index == 0) return latent_id;
+    return latent_size + (latent_id - shared);
+  }
+};
+
+VocabMap MakeVocabMap(int64_t latent_size, double overlap) {
+  VocabMap m;
+  m.latent_size = latent_size;
+  m.shared = std::clamp<int64_t>(
+      static_cast<int64_t>(overlap * static_cast<double>(latent_size)), 0,
+      latent_size);
+  return m;
+}
+
+// log1p-normalized bag-of-X counts.
+TensorPtr BagFeatures(int64_t n, int64_t dim,
+                      const std::vector<std::pair<int64_t, int64_t>>& items) {
+  auto t = Tensor::Create(n, dim);
+  for (auto [entity, id] : items) {
+    t->At(entity, id) += 1.0f;
+  }
+  for (auto& v : t->data()) v = std::log1p(v);
+  return t;
+}
+
+Mmkg BuildKg(const SyntheticSpec& spec, const LatentWorld& world,
+             const VocabMap& rel_vocab, const VocabMap& attr_vocab,
+             int kg_index, const std::vector<int64_t>& id_map, Rng& rng) {
+  const int64_t n = spec.num_entities;
+  Mmkg kg;
+  kg.name = spec.name + (kg_index == 0 ? "-src" : "-tgt");
+  kg.num_entities = n;
+  kg.num_relations = rel_vocab.union_size();
+  kg.num_attributes = attr_vocab.union_size();
+
+  // Relational triples: latent edges survive with edge_keep_prob, plus
+  // KG-specific spurious edges.
+  for (const auto& t : world.edges) {
+    if (!rng.Bernoulli(spec.edge_keep_prob)) continue;
+    kg.triples.push_back({id_map[t.head],
+                          rel_vocab.Map(t.relation, kg_index),
+                          id_map[t.tail]});
+  }
+  const int64_t extra_edges = static_cast<int64_t>(
+      spec.extra_edge_ratio * static_cast<double>(world.edges.size()));
+  for (int64_t e = 0; e < extra_edges; ++e) {
+    const int64_t u = rng.UniformInt(n);
+    int64_t v;
+    do {
+      v = rng.UniformInt(n);
+    } while (v == u);
+    kg.triples.push_back(
+        {u, rel_vocab.Map(rng.UniformInt(spec.num_relations), kg_index), v});
+  }
+
+  // Attribute triples.
+  for (const auto& a : world.attributes) {
+    if (!rng.Bernoulli(spec.attr_keep_prob)) continue;
+    kg.attribute_triples.push_back({id_map[a.entity],
+                                    attr_vocab.Map(a.attribute, kg_index),
+                                    a.count});
+  }
+  const int64_t extra_attrs = static_cast<int64_t>(
+      spec.extra_attr_ratio * static_cast<double>(world.attributes.size()));
+  for (int64_t e = 0; e < extra_attrs; ++e) {
+    kg.attribute_triples.push_back(
+        {rng.UniformInt(n),
+         attr_vocab.Map(rng.UniformInt(spec.num_attributes), kg_index),
+         1.0f});
+  }
+
+  // ---- Relation features: bag of incident relation types ----
+  {
+    std::vector<std::pair<int64_t, int64_t>> items;
+    items.reserve(kg.triples.size() * 2);
+    for (const auto& t : kg.triples) {
+      items.emplace_back(t.head, t.relation);
+      items.emplace_back(t.tail, t.relation);
+    }
+    kg.relation_features.features =
+        BagFeatures(n, kg.num_relations, items);
+    kg.relation_features.present.assign(n, false);
+    for (const auto& t : kg.triples) {
+      kg.relation_features.present[t.head] = true;
+      kg.relation_features.present[t.tail] = true;
+    }
+  }
+
+  // ---- Text features: bag of attributes, masked by R_tex ----
+  {
+    std::vector<std::pair<int64_t, int64_t>> items;
+    items.reserve(kg.attribute_triples.size());
+    for (const auto& a : kg.attribute_triples) {
+      items.emplace_back(a.entity, a.attribute);
+    }
+    kg.text_features.features = BagFeatures(n, kg.num_attributes, items);
+    kg.text_features.present.assign(n, false);
+    for (int64_t i = 0; i < n; ++i) {
+      kg.text_features.present[i] = rng.Bernoulli(spec.text_ratio);
+    }
+    // Zero out rows whose text modality is declared missing — the data
+    // simply is not there for those entities.
+    for (int64_t i = 0; i < n; ++i) {
+      if (kg.text_features.present[i]) continue;
+      for (int64_t j = 0; j < kg.num_attributes; ++j) {
+        kg.text_features.features->At(i, j) = 0.0f;
+      }
+    }
+  }
+
+  // ---- Visual features: shared projection of the latent vector ----
+  {
+    auto feats = Tensor::Create(n, spec.visual_dim);
+    kg.visual_features.present.assign(n, false);
+    for (int64_t latent_id = 0; latent_id < n; ++latent_id) {
+      const int64_t i = id_map[latent_id];
+      kg.visual_features.present[i] = rng.Bernoulli(spec.image_ratio);
+      if (!kg.visual_features.present[i]) continue;
+      for (int64_t j = 0; j < spec.visual_dim; ++j) {
+        float acc = 0.0f;
+        for (int64_t p = 0; p < spec.latent_dim; ++p) {
+          acc += world.z[latent_id][p] * world.visual_projection->At(p, j);
+        }
+        feats->At(i, j) =
+            acc + static_cast<float>(rng.Normal(0.0, spec.visual_noise));
+      }
+    }
+    kg.visual_features.features = std::move(feats);
+  }
+  return kg;
+}
+
+}  // namespace
+
+AlignedKgPair GenerateSyntheticPair(const SyntheticSpec& spec) {
+  DESALIGN_CHECK_GT(spec.num_entities, 1);
+  DESALIGN_CHECK_GT(spec.num_relations, 0);
+  DESALIGN_CHECK_GT(spec.num_attributes, 0);
+  Rng rng(spec.seed);
+  LatentWorld world = BuildWorld(spec, rng);
+
+  const VocabMap rel_vocab =
+      MakeVocabMap(spec.num_relations, spec.relation_vocab_overlap);
+  const VocabMap attr_vocab =
+      MakeVocabMap(spec.num_attributes, spec.attribute_vocab_overlap);
+
+  // Source keeps latent ids; target ids are a random permutation so that no
+  // index identity leaks across the graphs.
+  const int64_t n = spec.num_entities;
+  std::vector<int64_t> src_map(n);
+  std::iota(src_map.begin(), src_map.end(), 0);
+  std::vector<int64_t> tgt_map(n);
+  std::iota(tgt_map.begin(), tgt_map.end(), 0);
+  rng.Shuffle(tgt_map);
+
+  AlignedKgPair pair;
+  pair.name = spec.name;
+  Rng src_rng = rng.Fork();
+  Rng tgt_rng = rng.Fork();
+  pair.source = BuildKg(spec, world, rel_vocab, attr_vocab, 0, src_map,
+                        src_rng);
+  pair.target = BuildKg(spec, world, rel_vocab, attr_vocab, 1, tgt_map,
+                        tgt_rng);
+
+  std::vector<AlignmentPair> all(n);
+  for (int64_t i = 0; i < n; ++i) all[i] = {i, tgt_map[i]};
+  rng.Shuffle(all);
+  const int64_t n_train = std::max<int64_t>(
+      1, static_cast<int64_t>(spec.seed_ratio * static_cast<double>(n)));
+  pair.train_pairs.assign(all.begin(), all.begin() + n_train);
+  pair.test_pairs.assign(all.begin() + n_train, all.end());
+  return pair;
+}
+
+}  // namespace desalign::kg

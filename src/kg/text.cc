@@ -1,0 +1,103 @@
+#include "kg/text.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+#include "common/check.h"
+#include "tensor/tensor.h"
+
+namespace desalign::kg {
+
+std::vector<std::string> Tokenize(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char raw : text) {
+    const unsigned char c = static_cast<unsigned char>(raw);
+    if (std::isalnum(c)) {
+      current.push_back(
+          static_cast<char>(std::tolower(c)));
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+void Vocabulary::Add(const std::string& token) {
+  auto [it, inserted] = id_of_.try_emplace(
+      token, static_cast<int64_t>(tokens_.size()));
+  if (inserted) {
+    tokens_.push_back(token);
+    counts_.push_back(0);
+  }
+  ++counts_[it->second];
+}
+
+void Vocabulary::AddText(std::string_view text) {
+  for (auto& token : Tokenize(text)) Add(token);
+}
+
+void Vocabulary::Prune(int64_t min_count, int64_t max_size) {
+  DESALIGN_CHECK_GE(min_count, 0);
+  DESALIGN_CHECK_GT(max_size, 0);
+  std::vector<int64_t> keep;
+  for (int64_t id = 0; id < size(); ++id) {
+    if (counts_[id] >= min_count) keep.push_back(id);
+  }
+  std::sort(keep.begin(), keep.end(), [this](int64_t a, int64_t b) {
+    if (counts_[a] != counts_[b]) return counts_[a] > counts_[b];
+    return tokens_[a] < tokens_[b];
+  });
+  if (static_cast<int64_t>(keep.size()) > max_size) keep.resize(max_size);
+
+  std::vector<std::string> new_tokens;
+  std::vector<int64_t> new_counts;
+  std::unordered_map<std::string, int64_t> new_ids;
+  new_tokens.reserve(keep.size());
+  for (int64_t old_id : keep) {
+    new_ids[tokens_[old_id]] = static_cast<int64_t>(new_tokens.size());
+    new_tokens.push_back(tokens_[old_id]);
+    new_counts.push_back(counts_[old_id]);
+  }
+  tokens_ = std::move(new_tokens);
+  counts_ = std::move(new_counts);
+  id_of_ = std::move(new_ids);
+}
+
+int64_t Vocabulary::IdOf(const std::string& token) const {
+  auto it = id_of_.find(token);
+  return it == id_of_.end() ? -1 : it->second;
+}
+
+FeatureTable BuildBowFeatures(const std::vector<std::string>& documents,
+                              const Vocabulary& vocabulary) {
+  DESALIGN_CHECK_GT(vocabulary.size(), 0);
+  const int64_t n = static_cast<int64_t>(documents.size());
+  FeatureTable table;
+  table.features = tensor::Tensor::Create(n, vocabulary.size());
+  table.present.assign(n, false);
+  for (int64_t i = 0; i < n; ++i) {
+    for (const auto& token : Tokenize(documents[i])) {
+      const int64_t id = vocabulary.IdOf(token);
+      if (id < 0) continue;
+      table.features->At(i, id) += 1.0f;
+      table.present[i] = true;
+    }
+  }
+  for (auto& v : table.features->data()) v = std::log1p(v);
+  return table;
+}
+
+BowResult BuildBow(const std::vector<std::string>& documents,
+                   int64_t min_count, int64_t max_vocab) {
+  BowResult result;
+  for (const auto& doc : documents) result.vocabulary.AddText(doc);
+  result.vocabulary.Prune(min_count, max_vocab);
+  result.features = BuildBowFeatures(documents, result.vocabulary);
+  return result;
+}
+
+}  // namespace desalign::kg

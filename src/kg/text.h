@@ -1,0 +1,66 @@
+#ifndef DESALIGN_KG_TEXT_H_
+#define DESALIGN_KG_TEXT_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "kg/mmkg.h"
+
+namespace desalign::kg {
+
+/// Lower-cases ASCII and splits on every non-alphanumeric byte. This is
+/// the tokenizer behind the paper's bag-of-words encoding of relation
+/// names and textual attribute values ([29] Yang et al. 2019).
+std::vector<std::string> Tokenize(std::string_view text);
+
+/// Frequency-counted token vocabulary with pruning, mapping tokens to
+/// dense ids [0, size()).
+class Vocabulary {
+ public:
+  /// Counts one occurrence (assigns an id on first sight).
+  void Add(const std::string& token);
+
+  /// Counts every token of `text` via Tokenize.
+  void AddText(std::string_view text);
+
+  /// Keeps only tokens seen at least `min_count` times, capped at the
+  /// `max_size` most frequent (ties broken lexicographically for
+  /// determinism). Ids are re-assigned densely by descending frequency.
+  void Prune(int64_t min_count, int64_t max_size);
+
+  /// Dense id of `token`, or -1 when absent.
+  int64_t IdOf(const std::string& token) const;
+
+  int64_t size() const { return static_cast<int64_t>(tokens_.size()); }
+  /// Token list indexed by id.
+  const std::vector<std::string>& tokens() const { return tokens_; }
+  /// Occurrence count of the token with the given id.
+  int64_t CountOf(int64_t id) const { return counts_[id]; }
+
+ private:
+  std::unordered_map<std::string, int64_t> id_of_;
+  std::vector<std::string> tokens_;
+  std::vector<int64_t> counts_;
+};
+
+/// log1p bag-of-words features over a fixed vocabulary: row i encodes
+/// documents[i]; rows whose document has no in-vocabulary token are marked
+/// absent.
+FeatureTable BuildBowFeatures(const std::vector<std::string>& documents,
+                              const Vocabulary& vocabulary);
+
+/// Convenience: vocabulary construction + pruning + feature building for a
+/// document collection (the per-entity concatenated attribute strings of a
+/// real MMKG dump).
+struct BowResult {
+  Vocabulary vocabulary;
+  FeatureTable features;
+};
+BowResult BuildBow(const std::vector<std::string>& documents,
+                   int64_t min_count = 1, int64_t max_vocab = 10000);
+
+}  // namespace desalign::kg
+
+#endif  // DESALIGN_KG_TEXT_H_

@@ -1,0 +1,192 @@
+#include "nn/layers.h"
+
+#include <cmath>
+#include <memory>
+
+#include "common/check.h"
+#include "tensor/init.h"
+
+namespace desalign::nn {
+
+namespace ops = desalign::tensor;
+using tensor::TensorPtr;
+
+Linear::Linear(int64_t in_dim, int64_t out_dim, common::Rng& rng,
+               bool with_bias) {
+  weight_ = AddParameter("weight", in_dim, out_dim);
+  tensor::GlorotUniform(*weight_, rng);
+  if (with_bias) {
+    bias_ = AddParameter("bias", 1, out_dim);
+  }
+}
+
+TensorPtr Linear::Forward(const TensorPtr& x) const {
+  auto y = ops::MatMul(x, weight_);
+  if (bias_) y = ops::AddRowVector(y, bias_);
+  return y;
+}
+
+GatLayer::GatLayer(int64_t dim, int64_t num_heads, common::Rng& rng)
+    : dim_(dim), num_heads_(num_heads), head_dim_(dim / num_heads) {
+  DESALIGN_CHECK_EQ(head_dim_ * num_heads_, dim_);
+  w_diag_ = AddParameter("w_diag", 1, dim_);
+  tensor::FillConstant(*w_diag_, 1.0f);
+  for (int64_t h = 0; h < num_heads_; ++h) {
+    attn_src_.push_back(AddParameter("attn_src", head_dim_, 1));
+    attn_dst_.push_back(AddParameter("attn_dst", head_dim_, 1));
+    tensor::GlorotUniform(*attn_src_.back(), rng);
+    tensor::GlorotUniform(*attn_dst_.back(), rng);
+  }
+}
+
+TensorPtr GatLayer::Forward(const TensorPtr& x,
+                            const graph::Graph::DirectedEdges& edges,
+                            int64_t num_nodes) const {
+  DESALIGN_CHECK_EQ(x->rows(), num_nodes);
+  DESALIGN_CHECK_EQ(x->cols(), dim_);
+  auto h = ops::MulRowVector(x, w_diag_);
+  auto h_src = ops::GatherRows(h, edges.src);
+  auto h_dst = ops::GatherRows(h, edges.dst);
+  std::vector<TensorPtr> head_outputs;
+  head_outputs.reserve(num_heads_);
+  for (int64_t k = 0; k < num_heads_; ++k) {
+    auto hs = ops::SliceCols(h_src, k * head_dim_, head_dim_);
+    auto hd = ops::SliceCols(h_dst, k * head_dim_, head_dim_);
+    auto score = ops::LeakyRelu(
+        ops::Add(ops::MatMul(hs, attn_src_[k]), ops::MatMul(hd, attn_dst_[k])),
+        0.2f);
+    auto alpha = ops::SegmentSoftmax(score, edges.dst, num_nodes);
+    auto messages = ops::MulColVector(hs, alpha);
+    head_outputs.push_back(ops::SegmentSum(messages, edges.dst, num_nodes));
+  }
+  return num_heads_ == 1 ? head_outputs[0] : ops::ConcatCols(head_outputs);
+}
+
+GatEncoder::GatEncoder(int64_t dim, int64_t num_heads, int64_t num_layers,
+                       common::Rng& rng) {
+  DESALIGN_CHECK_GT(num_layers, 0);
+  for (int64_t l = 0; l < num_layers; ++l) {
+    layers_.push_back(std::make_unique<GatLayer>(dim, num_heads, rng));
+    AddChild(layers_.back().get());
+  }
+}
+
+TensorPtr GatEncoder::Forward(const TensorPtr& x,
+                              const graph::Graph::DirectedEdges& edges,
+                              int64_t num_nodes) const {
+  TensorPtr h = x;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    h = layers_[l]->Forward(h, edges, num_nodes);
+    if (l + 1 < layers_.size()) h = ops::LeakyRelu(h, 0.2f);
+  }
+  return h;
+}
+
+CrossModalAttention::CrossModalAttention(int64_t dim, int64_t num_modalities,
+                                         int64_t num_heads, common::Rng& rng)
+    : dim_(dim),
+      num_modalities_(num_modalities),
+      num_heads_(num_heads),
+      head_dim_(dim / num_heads) {
+  DESALIGN_CHECK_EQ(head_dim_ * num_heads_, dim_);
+  for (int64_t h = 0; h < num_heads_; ++h) {
+    w_query_.push_back(AddParameter("w_q", dim_, head_dim_));
+    w_key_.push_back(AddParameter("w_k", dim_, head_dim_));
+    w_value_.push_back(AddParameter("w_v", dim_, head_dim_));
+    tensor::GlorotUniform(*w_query_.back(), rng);
+    tensor::GlorotUniform(*w_key_.back(), rng);
+    tensor::GlorotUniform(*w_value_.back(), rng);
+  }
+  w_output_ = AddParameter("w_o", dim_, dim_);
+  tensor::GlorotUniform(*w_output_, rng);
+  ln1_gamma_ = AddParameter("ln1_gamma", 1, dim_);
+  ln1_beta_ = AddParameter("ln1_beta", 1, dim_);
+  tensor::FillConstant(*ln1_gamma_, 1.0f);
+  const int64_t ffn_dim = dim_;
+  ffn_w1_ = AddParameter("ffn_w1", dim_, ffn_dim);
+  ffn_b1_ = AddParameter("ffn_b1", 1, ffn_dim);
+  ffn_w2_ = AddParameter("ffn_w2", ffn_dim, dim_);
+  ffn_b2_ = AddParameter("ffn_b2", 1, dim_);
+  tensor::GlorotUniform(*ffn_w1_, rng);
+  tensor::GlorotUniform(*ffn_w2_, rng);
+  ln2_gamma_ = AddParameter("ln2_gamma", 1, dim_);
+  ln2_beta_ = AddParameter("ln2_beta", 1, dim_);
+  tensor::FillConstant(*ln2_gamma_, 1.0f);
+}
+
+CrossModalOutput CrossModalAttention::Forward(
+    const std::vector<TensorPtr>& inputs) const {
+  DESALIGN_CHECK_EQ(static_cast<int64_t>(inputs.size()), num_modalities_);
+  const int64_t m_count = num_modalities_;
+  const float inv_sqrt_dh = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+
+  // beta_sums[m] accumulates, per entity, the attention mass modality m
+  // receives as a key from every query modality and head (Eq. 13; the sum
+  // over the query axis — summing over the softmax axis would be
+  // identically 1 and carry no signal).
+  std::vector<TensorPtr> beta_sums(m_count);
+  // attended[m][h]: per-head attention output for modality m.
+  std::vector<std::vector<TensorPtr>> attended(m_count);
+
+  for (int64_t h = 0; h < num_heads_; ++h) {
+    std::vector<TensorPtr> queries(m_count), keys(m_count), values(m_count);
+    for (int64_t m = 0; m < m_count; ++m) {
+      queries[m] = ops::MatMul(inputs[m], w_query_[h]);
+      keys[m] = ops::MatMul(inputs[m], w_key_[h]);
+      values[m] = ops::MatMul(inputs[m], w_value_[h]);
+    }
+    for (int64_t m = 0; m < m_count; ++m) {
+      // Per-entity logits over target modalities j (Eq. 10).
+      std::vector<TensorPtr> logit_cols(m_count);
+      for (int64_t j = 0; j < m_count; ++j) {
+        logit_cols[j] =
+            ops::Scale(ops::RowDot(queries[m], keys[j]), inv_sqrt_dh);
+      }
+      auto beta = ops::RowSoftmax(ops::ConcatCols(logit_cols));  // n x M
+      // Weighted sum of values (Eq. 9, inner sum).
+      TensorPtr acc;
+      for (int64_t j = 0; j < m_count; ++j) {
+        auto weighted =
+            ops::MulColVector(values[j], ops::SliceCols(beta, j, 1));
+        acc = acc ? ops::Add(acc, weighted) : weighted;
+      }
+      attended[m].push_back(acc);
+      for (int64_t j = 0; j < m_count; ++j) {
+        auto col = ops::SliceCols(beta, j, 1);
+        beta_sums[j] = beta_sums[j] ? ops::Add(beta_sums[j], col) : col;
+      }
+    }
+  }
+
+  CrossModalOutput out;
+  out.fused.reserve(m_count);
+  for (int64_t m = 0; m < m_count; ++m) {
+    auto att = num_heads_ == 1 ? attended[m][0]
+                               : ops::ConcatCols(attended[m]);
+    att = ops::MatMul(att, w_output_);
+    // LayerNorm + residual (Eq. 11).
+    auto h1 = ops::LayerNorm(ops::Add(att, inputs[m]), ln1_gamma_, ln1_beta_);
+    out.fused_mid.push_back(h1);
+    // FFN + residual + LayerNorm (Eq. 12).
+    auto ff = ops::AddRowVector(
+        ops::MatMul(ops::Relu(ops::AddRowVector(ops::MatMul(h1, ffn_w1_),
+                                                ffn_b1_)),
+                    ffn_w2_),
+        ffn_b2_);
+    out.fused.push_back(ops::LayerNorm(ops::Add(ff, h1), ln2_gamma_,
+                                       ln2_beta_));
+  }
+
+  // Modal confidence (Eq. 13): softmax over modalities of the scaled
+  // accumulated attention mass each modality receives as a query.
+  const float scale =
+      1.0f / std::sqrt(static_cast<float>(m_count * num_heads_));
+  std::vector<TensorPtr> conf_cols(m_count);
+  for (int64_t m = 0; m < m_count; ++m) {
+    conf_cols[m] = ops::Scale(beta_sums[m], scale);
+  }
+  out.confidence = ops::RowSoftmax(ops::ConcatCols(conf_cols));
+  return out;
+}
+
+}  // namespace desalign::nn

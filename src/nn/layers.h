@@ -1,0 +1,105 @@
+#ifndef DESALIGN_NN_LAYERS_H_
+#define DESALIGN_NN_LAYERS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+#include "nn/module.h"
+#include "tensor/ops.h"
+
+namespace desalign::nn {
+
+/// Fully connected layer y = xW + b (paper Eq. 8: the per-modality FC_m).
+class Linear : public Module {
+ public:
+  Linear(int64_t in_dim, int64_t out_dim, common::Rng& rng,
+         bool with_bias = true);
+
+  TensorPtr Forward(const TensorPtr& x) const;
+
+  const TensorPtr& weight() const { return weight_; }
+
+ private:
+  TensorPtr weight_;
+  TensorPtr bias_;  // null when bias disabled
+};
+
+/// One graph-attention layer with `num_heads` heads over a fixed edge list
+/// (paper Eq. 7 substrate). Uses the diagonal linear transformation of
+/// [Yang et al. 2015] as in the paper: h = x ⊙ w_diag, then per-head
+/// additive attention with LeakyReLU and segment softmax over incoming
+/// edges.
+class GatLayer : public Module {
+ public:
+  GatLayer(int64_t dim, int64_t num_heads, common::Rng& rng);
+
+  /// x: num_nodes x dim; edges: message-passing arcs (with self-loops).
+  TensorPtr Forward(const TensorPtr& x,
+                    const graph::Graph::DirectedEdges& edges,
+                    int64_t num_nodes) const;
+
+ private:
+  int64_t dim_;
+  int64_t num_heads_;
+  int64_t head_dim_;
+  TensorPtr w_diag_;                  // 1 x dim
+  std::vector<TensorPtr> attn_src_;   // per head: head_dim x 1
+  std::vector<TensorPtr> attn_dst_;   // per head: head_dim x 1
+};
+
+/// The paper's structure encoder: a two-layer, two-head GAT (Eq. 7).
+class GatEncoder : public Module {
+ public:
+  GatEncoder(int64_t dim, int64_t num_heads, int64_t num_layers,
+             common::Rng& rng);
+
+  TensorPtr Forward(const TensorPtr& x,
+                    const graph::Graph::DirectedEdges& edges,
+                    int64_t num_nodes) const;
+
+ private:
+  std::vector<std::unique_ptr<GatLayer>> layers_;
+};
+
+/// Output of the cross-modal attention block.
+struct CrossModalOutput {
+  /// Fused per-modality embeddings \hat h^ATT_m (Eq. 11–12), one per input.
+  std::vector<TensorPtr> fused;
+  /// Intermediate sublayer output (post-attention LayerNorm + residual,
+  /// before the FFN) — the "(k−1)-th layer" embedding of Proposition 3.
+  std::vector<TensorPtr> fused_mid;
+  /// Modal-level confidence w̃^m (Eq. 13): num_entities x num_modalities,
+  /// rows sum to 1.
+  TensorPtr confidence;
+};
+
+/// Cross-modal Attention Weighted (CAW) block (paper Eq. 9–13): multi-head
+/// attention across an entity's modalities with modally shared projections,
+/// followed by LayerNorm + residual and a feed-forward sublayer.
+class CrossModalAttention : public Module {
+ public:
+  CrossModalAttention(int64_t dim, int64_t num_modalities, int64_t num_heads,
+                      common::Rng& rng);
+
+  CrossModalOutput Forward(const std::vector<TensorPtr>& inputs) const;
+
+ private:
+  int64_t dim_;
+  int64_t num_modalities_;
+  int64_t num_heads_;
+  int64_t head_dim_;
+  std::vector<TensorPtr> w_query_;  // per head: dim x head_dim
+  std::vector<TensorPtr> w_key_;
+  std::vector<TensorPtr> w_value_;
+  TensorPtr w_output_;              // dim x dim
+  TensorPtr ln1_gamma_, ln1_beta_;  // post-attention LayerNorm
+  TensorPtr ffn_w1_, ffn_b1_;       // dim x dim_in
+  TensorPtr ffn_w2_, ffn_b2_;       // dim_in x dim
+  TensorPtr ln2_gamma_, ln2_beta_;  // post-FFN LayerNorm
+};
+
+}  // namespace desalign::nn
+
+#endif  // DESALIGN_NN_LAYERS_H_

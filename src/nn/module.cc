@@ -1,0 +1,39 @@
+#include "nn/module.h"
+
+#include "common/check.h"
+
+namespace desalign::nn {
+
+std::vector<TensorPtr> Module::Parameters() const {
+  std::vector<TensorPtr> out = params_;
+  for (Module* child : children_) {
+    auto sub = child->Parameters();
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+int64_t Module::NumParameters() const {
+  int64_t count = 0;
+  for (const auto& p : Parameters()) count += p->size();
+  return count;
+}
+
+void Module::ZeroGrad() {
+  for (const auto& p : Parameters()) p->ZeroGrad();
+}
+
+TensorPtr Module::AddParameter(const std::string& name, int64_t rows,
+                               int64_t cols) {
+  (void)name;  // kept for debuggability of call sites
+  auto p = tensor::Tensor::Create(rows, cols, /*requires_grad=*/true);
+  params_.push_back(p);
+  return p;
+}
+
+void Module::AddChild(Module* child) {
+  DESALIGN_CHECK(child != nullptr);
+  children_.push_back(child);
+}
+
+}  // namespace desalign::nn

@@ -1,0 +1,48 @@
+#ifndef DESALIGN_NN_MODULE_H_
+#define DESALIGN_NN_MODULE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace desalign::nn {
+
+using tensor::TensorPtr;
+
+/// Base class for neural components: owns trainable parameters and exposes
+/// them (recursively through registered children) to the optimizer.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All trainable parameters, including those of registered children.
+  std::vector<TensorPtr> Parameters() const;
+
+  /// Number of scalar parameters (for model-size reporting).
+  int64_t NumParameters() const;
+
+  /// Zeroes all parameter gradients.
+  void ZeroGrad();
+
+ protected:
+  /// Creates, registers and returns a fresh trainable parameter.
+  TensorPtr AddParameter(const std::string& name, int64_t rows, int64_t cols);
+
+  /// Registers a child module whose parameters are reported by this one.
+  /// The child must outlive this module (normally it is a member).
+  void AddChild(Module* child);
+
+ private:
+  std::vector<TensorPtr> params_;
+  std::vector<Module*> children_;
+};
+
+}  // namespace desalign::nn
+
+#endif  // DESALIGN_NN_MODULE_H_

@@ -1,0 +1,91 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace desalign::nn {
+
+AdamW::AdamW(std::vector<TensorPtr> params, AdamWConfig config)
+    : params_(std::move(params)), config_(config) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.emplace_back(p->size(), 0.0f);
+    v_.emplace_back(p->size(), 0.0f);
+  }
+}
+
+void AdamW::Step() {
+  ++step_;
+  const float bc1 = 1.0f - std::pow(config_.beta1,
+                                    static_cast<float>(step_));
+  const float bc2 = 1.0f - std::pow(config_.beta2,
+                                    static_cast<float>(step_));
+  for (size_t k = 0; k < params_.size(); ++k) {
+    auto& p = *params_[k];
+    if (!p.has_grad()) continue;
+    auto& data = p.data();
+    const auto& g = p.grad();
+    auto& m = m_[k];
+    auto& v = v_[k];
+    for (size_t i = 0; i < data.size(); ++i) {
+      m[i] = config_.beta1 * m[i] + (1.0f - config_.beta1) * g[i];
+      v[i] = config_.beta2 * v[i] + (1.0f - config_.beta2) * g[i] * g[i];
+      const float m_hat = m[i] / bc1;
+      const float v_hat = v[i] / bc2;
+      data[i] -= config_.lr * (m_hat / (std::sqrt(v_hat) + config_.eps) +
+                               config_.weight_decay * data[i]);
+    }
+  }
+}
+
+void AdamW::ZeroGrad() {
+  for (const auto& p : params_) p->ZeroGrad();
+}
+
+CosineWarmupSchedule::CosineWarmupSchedule(float base_lr, int64_t total_steps,
+                                           double warmup_fraction,
+                                           float min_lr_ratio)
+    : base_lr_(base_lr),
+      total_steps_(total_steps),
+      warmup_steps_(static_cast<int64_t>(warmup_fraction *
+                                         static_cast<double>(total_steps))),
+      min_lr_(base_lr * min_lr_ratio) {
+  DESALIGN_CHECK_GT(total_steps, 0);
+}
+
+float CosineWarmupSchedule::LrAt(int64_t step) const {
+  if (warmup_steps_ > 0 && step < warmup_steps_) {
+    return base_lr_ * static_cast<float>(step + 1) /
+           static_cast<float>(warmup_steps_);
+  }
+  const double progress =
+      total_steps_ > warmup_steps_
+          ? static_cast<double>(step - warmup_steps_) /
+                static_cast<double>(total_steps_ - warmup_steps_)
+          : 1.0;
+  const double clamped = progress < 0.0 ? 0.0 : (progress > 1.0 ? 1.0
+                                                                : progress);
+  const double cosine = 0.5 * (1.0 + std::cos(3.14159265358979 * clamped));
+  return static_cast<float>(min_lr_ + (base_lr_ - min_lr_) * cosine);
+}
+
+double ClipGradNorm(const std::vector<TensorPtr>& params, double max_norm) {
+  double total = 0.0;
+  for (const auto& p : params) {
+    if (!p->has_grad()) continue;
+    for (float g : p->grad()) total += static_cast<double>(g) * g;
+  }
+  const double norm = std::sqrt(total);
+  if (norm > max_norm && norm > 0.0) {
+    const float scale = static_cast<float>(max_norm / norm);
+    for (const auto& p : params) {
+      if (!p->has_grad()) continue;
+      for (float& g : p->grad()) g *= scale;
+    }
+  }
+  return norm;
+}
+
+}  // namespace desalign::nn

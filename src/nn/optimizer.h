@@ -1,0 +1,69 @@
+#ifndef DESALIGN_NN_OPTIMIZER_H_
+#define DESALIGN_NN_OPTIMIZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace desalign::nn {
+
+using tensor::TensorPtr;
+
+/// AdamW hyperparameters; defaults follow the paper (β1=0.9, β2=0.999).
+struct AdamWConfig {
+  float lr = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  float weight_decay = 1e-2f;
+};
+
+/// Decoupled-weight-decay Adam over an explicit parameter list.
+class AdamW {
+ public:
+  AdamW(std::vector<TensorPtr> params, AdamWConfig config);
+
+  /// Applies one update from the accumulated gradients.
+  void Step();
+
+  /// Zeroes all parameter gradients.
+  void ZeroGrad();
+
+  void set_lr(float lr) { config_.lr = lr; }
+  float lr() const { return config_.lr; }
+  int64_t step_count() const { return step_; }
+
+ private:
+  std::vector<TensorPtr> params_;
+  AdamWConfig config_;
+  int64_t step_ = 0;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+};
+
+/// Cosine learning-rate schedule with linear warm-up over the first
+/// `warmup_fraction` of `total_steps` (the paper's "cosine warm-up
+/// schedule, 15% steps for LR warmup").
+class CosineWarmupSchedule {
+ public:
+  CosineWarmupSchedule(float base_lr, int64_t total_steps,
+                       double warmup_fraction = 0.15,
+                       float min_lr_ratio = 0.05f);
+
+  float LrAt(int64_t step) const;
+
+ private:
+  float base_lr_;
+  int64_t total_steps_;
+  int64_t warmup_steps_;
+  float min_lr_;
+};
+
+/// Scales gradients so their global l2 norm is at most `max_norm`.
+/// Returns the pre-clip norm.
+double ClipGradNorm(const std::vector<TensorPtr>& params, double max_norm);
+
+}  // namespace desalign::nn
+
+#endif  // DESALIGN_NN_OPTIMIZER_H_

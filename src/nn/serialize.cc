@@ -1,0 +1,79 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+namespace desalign::nn {
+
+namespace {
+
+using common::Status;
+
+constexpr char kMagic[] = "DESALIGNPARAMS1";
+constexpr size_t kMagicLen = sizeof(kMagic) - 1;
+
+}  // namespace
+
+Status SaveParameters(const std::vector<tensor::TensorPtr>& params,
+                      const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out.write(kMagic, kMagicLen);
+  const int64_t count = static_cast<int64_t>(params.size());
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& p : params) {
+    const int64_t rows = p->rows();
+    const int64_t cols = p->cols();
+    out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+    out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+    out.write(reinterpret_cast<const char*>(p->data().data()),
+              static_cast<std::streamsize>(sizeof(float) * rows * cols));
+  }
+  if (!out) return Status::IoError("short write to " + path);
+  return Status::Ok();
+}
+
+Status LoadParameters(const std::vector<tensor::TensorPtr>& params,
+                      const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  char magic[kMagicLen];
+  in.read(magic, kMagicLen);
+  if (!in || std::memcmp(magic, kMagic, kMagicLen) != 0) {
+    return Status::IoError(path + " is not a DESAlign checkpoint");
+  }
+  int64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in || count != static_cast<int64_t>(params.size())) {
+    return Status::InvalidArgument(
+        "checkpoint holds " + std::to_string(count) + " tensors, model has " +
+        std::to_string(params.size()));
+  }
+  // Stage into buffers first so a mid-file error leaves the model intact.
+  std::vector<std::vector<float>> staged;
+  staged.reserve(params.size());
+  for (const auto& p : params) {
+    int64_t rows = 0;
+    int64_t cols = 0;
+    in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+    in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+    if (!in || rows != p->rows() || cols != p->cols()) {
+      return Status::InvalidArgument(
+          "checkpoint tensor shape " + std::to_string(rows) + "x" +
+          std::to_string(cols) + " does not match model " +
+          std::to_string(p->rows()) + "x" + std::to_string(p->cols()));
+    }
+    std::vector<float> data(static_cast<size_t>(rows * cols));
+    in.read(reinterpret_cast<char*>(data.data()),
+            static_cast<std::streamsize>(sizeof(float) * rows * cols));
+    if (!in) return Status::IoError("short read from " + path);
+    staged.push_back(std::move(data));
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    params[i]->data() = std::move(staged[i]);
+  }
+  return Status::Ok();
+}
+
+}  // namespace desalign::nn

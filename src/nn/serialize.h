@@ -1,0 +1,25 @@
+#ifndef DESALIGN_NN_SERIALIZE_H_
+#define DESALIGN_NN_SERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace desalign::nn {
+
+/// Writes a parameter list to `path` (binary: magic, count, then per-tensor
+/// rows/cols/float32 data). Order matters: the same module construction
+/// order must be used when loading.
+common::Status SaveParameters(const std::vector<tensor::TensorPtr>& params,
+                              const std::string& path);
+
+/// Loads parameters saved by SaveParameters into `params` in order.
+/// Fails (without partial writes) when the count or any shape mismatches.
+common::Status LoadParameters(const std::vector<tensor::TensorPtr>& params,
+                              const std::string& path);
+
+}  // namespace desalign::nn
+
+#endif  // DESALIGN_NN_SERIALIZE_H_

@@ -1,0 +1,33 @@
+#include "tensor/init.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace desalign::tensor {
+
+void GlorotUniform(Tensor& t, common::Rng& rng) {
+  const float a = std::sqrt(
+      6.0f / static_cast<float>(t.rows() + t.cols()));
+  FillUniform(t, rng, -a, a);
+}
+
+void FillNormal(Tensor& t, common::Rng& rng, float mean, float stddev) {
+  for (auto& v : t.data()) {
+    v = static_cast<float>(rng.Normal(mean, stddev));
+  }
+}
+
+void FillUniform(Tensor& t, common::Rng& rng, float lo, float hi) {
+  for (auto& v : t.data()) v = rng.UniformF(lo, hi);
+}
+
+void FillConstant(Tensor& t, float value) {
+  std::fill(t.data().begin(), t.data().end(), value);
+}
+
+void FillDiagonal(Tensor& t, float value) {
+  const int64_t n = std::min(t.rows(), t.cols());
+  for (int64_t i = 0; i < n; ++i) t.At(i, i) = value;
+}
+
+}  // namespace desalign::tensor

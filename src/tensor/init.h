@@ -1,0 +1,29 @@
+#ifndef DESALIGN_TENSOR_INIT_H_
+#define DESALIGN_TENSOR_INIT_H_
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace desalign::tensor {
+
+/// Glorot (Xavier) uniform initialization over [-a, a], a = sqrt(6/(fan_in +
+/// fan_out)). The paper relies on Glorot init in its Proposition 2
+/// discussion.
+void GlorotUniform(Tensor& t, common::Rng& rng);
+
+/// Fills with N(mean, stddev) samples.
+void FillNormal(Tensor& t, common::Rng& rng, float mean = 0.0f,
+                float stddev = 1.0f);
+
+/// Fills with U[lo, hi) samples.
+void FillUniform(Tensor& t, common::Rng& rng, float lo, float hi);
+
+/// Fills with a constant.
+void FillConstant(Tensor& t, float value);
+
+/// Sets the main diagonal to `value` (zeros elsewhere untouched).
+void FillDiagonal(Tensor& t, float value);
+
+}  // namespace desalign::tensor
+
+#endif  // DESALIGN_TENSOR_INIT_H_

@@ -1,0 +1,991 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+
+namespace desalign::tensor {
+
+namespace {
+
+void CheckSameShape(const TensorPtr& a, const TensorPtr& b) {
+  DESALIGN_CHECK_EQ(a->rows(), b->rows());
+  DESALIGN_CHECK_EQ(a->cols(), b->cols());
+}
+
+}  // namespace
+
+TensorPtr Add(const TensorPtr& a, const TensorPtr& b) {
+  CheckSameShape(a, b);
+  auto out = Tensor::Create(a->rows(), a->cols());
+  for (int64_t i = 0; i < a->size(); ++i)
+    out->data()[i] = a->data()[i] + b->data()[i];
+  Tensor* ap = a.get();
+  Tensor* bp = b.get();
+  Tensor* op = out.get();
+  out->SetBackward({a, b}, [ap, bp, op]() {
+    const auto& g = op->grad();
+    if (ap->NeedsGrad()) {
+      auto& ga = ap->grad();
+      for (size_t i = 0; i < g.size(); ++i) ga[i] += g[i];
+    }
+    if (bp->NeedsGrad()) {
+      auto& gb = bp->grad();
+      for (size_t i = 0; i < g.size(); ++i) gb[i] += g[i];
+    }
+  });
+  return out;
+}
+
+TensorPtr Sub(const TensorPtr& a, const TensorPtr& b) {
+  CheckSameShape(a, b);
+  auto out = Tensor::Create(a->rows(), a->cols());
+  for (int64_t i = 0; i < a->size(); ++i)
+    out->data()[i] = a->data()[i] - b->data()[i];
+  Tensor* ap = a.get();
+  Tensor* bp = b.get();
+  Tensor* op = out.get();
+  out->SetBackward({a, b}, [ap, bp, op]() {
+    const auto& g = op->grad();
+    if (ap->NeedsGrad()) {
+      auto& ga = ap->grad();
+      for (size_t i = 0; i < g.size(); ++i) ga[i] += g[i];
+    }
+    if (bp->NeedsGrad()) {
+      auto& gb = bp->grad();
+      for (size_t i = 0; i < g.size(); ++i) gb[i] -= g[i];
+    }
+  });
+  return out;
+}
+
+TensorPtr Mul(const TensorPtr& a, const TensorPtr& b) {
+  CheckSameShape(a, b);
+  auto out = Tensor::Create(a->rows(), a->cols());
+  for (int64_t i = 0; i < a->size(); ++i)
+    out->data()[i] = a->data()[i] * b->data()[i];
+  Tensor* ap = a.get();
+  Tensor* bp = b.get();
+  Tensor* op = out.get();
+  out->SetBackward({a, b}, [ap, bp, op]() {
+    const auto& g = op->grad();
+    if (ap->NeedsGrad()) {
+      auto& ga = ap->grad();
+      for (size_t i = 0; i < g.size(); ++i) ga[i] += g[i] * bp->data()[i];
+    }
+    if (bp->NeedsGrad()) {
+      auto& gb = bp->grad();
+      for (size_t i = 0; i < g.size(); ++i) gb[i] += g[i] * ap->data()[i];
+    }
+  });
+  return out;
+}
+
+TensorPtr Div(const TensorPtr& a, const TensorPtr& b) {
+  CheckSameShape(a, b);
+  auto out = Tensor::Create(a->rows(), a->cols());
+  for (int64_t i = 0; i < a->size(); ++i)
+    out->data()[i] = a->data()[i] / b->data()[i];
+  Tensor* ap = a.get();
+  Tensor* bp = b.get();
+  Tensor* op = out.get();
+  out->SetBackward({a, b}, [ap, bp, op]() {
+    const auto& g = op->grad();
+    if (ap->NeedsGrad()) {
+      auto& ga = ap->grad();
+      for (size_t i = 0; i < g.size(); ++i) ga[i] += g[i] / bp->data()[i];
+    }
+    if (bp->NeedsGrad()) {
+      auto& gb = bp->grad();
+      for (size_t i = 0; i < g.size(); ++i) {
+        const float bv = bp->data()[i];
+        gb[i] -= g[i] * ap->data()[i] / (bv * bv);
+      }
+    }
+  });
+  return out;
+}
+
+TensorPtr AddRowVector(const TensorPtr& a, const TensorPtr& b) {
+  DESALIGN_CHECK_EQ(b->rows(), 1);
+  DESALIGN_CHECK_EQ(a->cols(), b->cols());
+  const int64_t n = a->rows();
+  const int64_t c = a->cols();
+  auto out = Tensor::Create(n, c);
+  for (int64_t r = 0; r < n; ++r) {
+    for (int64_t j = 0; j < c; ++j) {
+      out->At(r, j) = a->At(r, j) + b->At(0, j);
+    }
+  }
+  Tensor* ap = a.get();
+  Tensor* bp = b.get();
+  Tensor* op = out.get();
+  out->SetBackward({a, b}, [ap, bp, op, n, c]() {
+    const auto& g = op->grad();
+    if (ap->NeedsGrad()) {
+      auto& ga = ap->grad();
+      for (size_t i = 0; i < g.size(); ++i) ga[i] += g[i];
+    }
+    if (bp->NeedsGrad()) {
+      auto& gb = bp->grad();
+      for (int64_t r = 0; r < n; ++r) {
+        for (int64_t j = 0; j < c; ++j) gb[j] += g[r * c + j];
+      }
+    }
+  });
+  return out;
+}
+
+TensorPtr MulColVector(const TensorPtr& a, const TensorPtr& b) {
+  DESALIGN_CHECK_EQ(b->cols(), 1);
+  DESALIGN_CHECK_EQ(a->rows(), b->rows());
+  const int64_t n = a->rows();
+  const int64_t c = a->cols();
+  auto out = Tensor::Create(n, c);
+  for (int64_t r = 0; r < n; ++r) {
+    const float s = b->At(r, 0);
+    for (int64_t j = 0; j < c; ++j) out->At(r, j) = a->At(r, j) * s;
+  }
+  Tensor* ap = a.get();
+  Tensor* bp = b.get();
+  Tensor* op = out.get();
+  out->SetBackward({a, b}, [ap, bp, op, n, c]() {
+    const auto& g = op->grad();
+    if (ap->NeedsGrad()) {
+      auto& ga = ap->grad();
+      for (int64_t r = 0; r < n; ++r) {
+        const float s = bp->data()[r];
+        for (int64_t j = 0; j < c; ++j) ga[r * c + j] += g[r * c + j] * s;
+      }
+    }
+    if (bp->NeedsGrad()) {
+      auto& gb = bp->grad();
+      for (int64_t r = 0; r < n; ++r) {
+        float acc = 0.0f;
+        for (int64_t j = 0; j < c; ++j)
+          acc += g[r * c + j] * ap->data()[r * c + j];
+        gb[r] += acc;
+      }
+    }
+  });
+  return out;
+}
+
+TensorPtr MulRowVector(const TensorPtr& a, const TensorPtr& b) {
+  DESALIGN_CHECK_EQ(b->rows(), 1);
+  DESALIGN_CHECK_EQ(a->cols(), b->cols());
+  const int64_t n = a->rows();
+  const int64_t c = a->cols();
+  auto out = Tensor::Create(n, c);
+  for (int64_t r = 0; r < n; ++r) {
+    for (int64_t j = 0; j < c; ++j) out->At(r, j) = a->At(r, j) * b->At(0, j);
+  }
+  Tensor* ap = a.get();
+  Tensor* bp = b.get();
+  Tensor* op = out.get();
+  out->SetBackward({a, b}, [ap, bp, op, n, c]() {
+    const auto& g = op->grad();
+    if (ap->NeedsGrad()) {
+      auto& ga = ap->grad();
+      for (int64_t r = 0; r < n; ++r) {
+        for (int64_t j = 0; j < c; ++j) {
+          ga[r * c + j] += g[r * c + j] * bp->data()[j];
+        }
+      }
+    }
+    if (bp->NeedsGrad()) {
+      auto& gb = bp->grad();
+      for (int64_t r = 0; r < n; ++r) {
+        for (int64_t j = 0; j < c; ++j) {
+          gb[j] += g[r * c + j] * ap->data()[r * c + j];
+        }
+      }
+    }
+  });
+  return out;
+}
+
+TensorPtr Scale(const TensorPtr& a, float s) {
+  auto out = Tensor::Create(a->rows(), a->cols());
+  for (int64_t i = 0; i < a->size(); ++i) out->data()[i] = s * a->data()[i];
+  Tensor* ap = a.get();
+  Tensor* op = out.get();
+  out->SetBackward({a}, [ap, op, s]() {
+    if (!ap->NeedsGrad()) return;
+    const auto& g = op->grad();
+    auto& ga = ap->grad();
+    for (size_t i = 0; i < g.size(); ++i) ga[i] += s * g[i];
+  });
+  return out;
+}
+
+TensorPtr AddScalar(const TensorPtr& a, float s) {
+  auto out = Tensor::Create(a->rows(), a->cols());
+  for (int64_t i = 0; i < a->size(); ++i) out->data()[i] = a->data()[i] + s;
+  Tensor* ap = a.get();
+  Tensor* op = out.get();
+  out->SetBackward({a}, [ap, op]() {
+    if (!ap->NeedsGrad()) return;
+    const auto& g = op->grad();
+    auto& ga = ap->grad();
+    for (size_t i = 0; i < g.size(); ++i) ga[i] += g[i];
+  });
+  return out;
+}
+
+TensorPtr Neg(const TensorPtr& a) { return Scale(a, -1.0f); }
+
+TensorPtr MatMul(const TensorPtr& a, const TensorPtr& b) {
+  DESALIGN_CHECK_EQ(a->cols(), b->rows());
+  const int64_t m = a->rows();
+  const int64_t k = a->cols();
+  const int64_t n = b->cols();
+  auto out = Tensor::Create(m, n);
+  // ikj loop order: streams through b and out rows. Row-partitioned across
+  // the global pool (threads write disjoint output rows, so the result is
+  // deterministic for any thread count).
+  const float* ad = a->data().data();
+  const float* bd = b->data().data();
+  float* od = out->data().data();
+  common::ThreadPool::Global().ParallelFor(
+      0, m,
+      [&](int64_t row_begin, int64_t row_end) {
+        for (int64_t i = row_begin; i < row_end; ++i) {
+          for (int64_t p = 0; p < k; ++p) {
+            const float av = ad[i * k + p];
+            if (av == 0.0f) continue;
+            const float* br = bd + p * n;
+            float* orow = od + i * n;
+            for (int64_t j = 0; j < n; ++j) orow[j] += av * br[j];
+          }
+        }
+      },
+      /*grain=*/std::max<int64_t>(1, 65536 / std::max<int64_t>(1, k * n)));
+  Tensor* ap = a.get();
+  Tensor* bp = b.get();
+  Tensor* op = out.get();
+  out->SetBackward({a, b}, [ap, bp, op, m, k, n]() {
+    const float* g = op->grad().data();
+    if (ap->NeedsGrad()) {
+      // dA = G * B^T   (m x k)
+      float* ga = ap->grad().data();
+      const float* bd2 = bp->data().data();
+      for (int64_t i = 0; i < m; ++i) {
+        for (int64_t p = 0; p < k; ++p) {
+          const float* grow = g + i * n;
+          const float* brow = bd2 + p * n;
+          float acc = 0.0f;
+          for (int64_t j = 0; j < n; ++j) acc += grow[j] * brow[j];
+          ga[i * k + p] += acc;
+        }
+      }
+    }
+    if (bp->NeedsGrad()) {
+      // dB = A^T * G   (k x n)
+      float* gb = bp->grad().data();
+      const float* ad2 = ap->data().data();
+      for (int64_t i = 0; i < m; ++i) {
+        const float* grow = g + i * n;
+        for (int64_t p = 0; p < k; ++p) {
+          const float av = ad2[i * k + p];
+          if (av == 0.0f) continue;
+          float* gbrow = gb + p * n;
+          for (int64_t j = 0; j < n; ++j) gbrow[j] += av * grow[j];
+        }
+      }
+    }
+  });
+  return out;
+}
+
+TensorPtr Transpose(const TensorPtr& a) {
+  const int64_t m = a->rows();
+  const int64_t n = a->cols();
+  auto out = Tensor::Create(n, m);
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) out->At(j, i) = a->At(i, j);
+  }
+  Tensor* ap = a.get();
+  Tensor* op = out.get();
+  out->SetBackward({a}, [ap, op, m, n]() {
+    if (!ap->NeedsGrad()) return;
+    const auto& g = op->grad();
+    auto& ga = ap->grad();
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t j = 0; j < n; ++j) ga[i * n + j] += g[j * m + i];
+    }
+  });
+  return out;
+}
+
+TensorPtr SpMM(const CsrMatrixPtr& a, const TensorPtr& x) {
+  DESALIGN_CHECK_EQ(a->cols(), x->rows());
+  const int64_t k = x->cols();
+  auto out = Tensor::Create(a->rows(), k);
+  a->Multiply(x->data().data(), k, out->data().data());
+  if (!GradEnabled() || !x->NeedsGrad()) return out;
+  CsrMatrixPtr at = a->Transpose();
+  Tensor* xp = x.get();
+  Tensor* op = out.get();
+  out->SetBackward({x}, [at, xp, op, k]() {
+    if (!xp->NeedsGrad()) return;
+    std::vector<float> gx(xp->grad().size(), 0.0f);
+    at->Multiply(op->grad().data(), k, gx.data());
+    auto& g = xp->grad();
+    for (size_t i = 0; i < g.size(); ++i) g[i] += gx[i];
+  });
+  return out;
+}
+
+namespace {
+
+template <typename Fwd, typename Bwd>
+TensorPtr UnaryOp(const TensorPtr& a, Fwd fwd, Bwd bwd_factor_from_in_out) {
+  auto out = Tensor::Create(a->rows(), a->cols());
+  for (int64_t i = 0; i < a->size(); ++i)
+    out->data()[i] = fwd(a->data()[i]);
+  Tensor* ap = a.get();
+  Tensor* op = out.get();
+  out->SetBackward({a}, [ap, op, bwd_factor_from_in_out]() {
+    if (!ap->NeedsGrad()) return;
+    const auto& g = op->grad();
+    auto& ga = ap->grad();
+    for (size_t i = 0; i < g.size(); ++i) {
+      ga[i] += g[i] * bwd_factor_from_in_out(ap->data()[i], op->data()[i]);
+    }
+  });
+  return out;
+}
+
+}  // namespace
+
+TensorPtr Relu(const TensorPtr& a) {
+  return UnaryOp(
+      a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
+}
+
+TensorPtr LeakyRelu(const TensorPtr& a, float slope) {
+  return UnaryOp(
+      a, [slope](float x) { return x > 0.0f ? x : slope * x; },
+      [slope](float x, float) { return x > 0.0f ? 1.0f : slope; });
+}
+
+TensorPtr Sigmoid(const TensorPtr& a) {
+  return UnaryOp(
+      a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+TensorPtr Tanh(const TensorPtr& a) {
+  return UnaryOp(
+      a, [](float x) { return std::tanh(x); },
+      [](float, float y) { return 1.0f - y * y; });
+}
+
+TensorPtr Exp(const TensorPtr& a) {
+  return UnaryOp(
+      a, [](float x) { return std::exp(x); },
+      [](float, float y) { return y; });
+}
+
+TensorPtr LogSafe(const TensorPtr& a, float eps) {
+  return UnaryOp(
+      a, [eps](float x) { return std::log(x + eps); },
+      [eps](float x, float) { return 1.0f / (x + eps); });
+}
+
+TensorPtr Square(const TensorPtr& a) {
+  return UnaryOp(
+      a, [](float x) { return x * x; },
+      [](float x, float) { return 2.0f * x; });
+}
+
+TensorPtr Abs(const TensorPtr& a) {
+  return UnaryOp(
+      a, [](float x) { return std::fabs(x); },
+      [](float x, float) { return x > 0.0f ? 1.0f : (x < 0.0f ? -1.0f
+                                                              : 0.0f); });
+}
+
+TensorPtr ClipByValue(const TensorPtr& a, float lo, float hi) {
+  DESALIGN_CHECK_LE(lo, hi);
+  return UnaryOp(
+      a,
+      [lo, hi](float x) { return x < lo ? lo : (x > hi ? hi : x); },
+      [lo, hi](float x, float) {
+        return (x > lo && x < hi) ? 1.0f : 0.0f;
+      });
+}
+
+namespace {
+
+template <typename Pick>
+TensorPtr SelectElementwise(const TensorPtr& a, const TensorPtr& b,
+                            Pick pick_a) {
+  CheckSameShape(a, b);
+  auto out = Tensor::Create(a->rows(), a->cols());
+  std::vector<uint8_t> from_a(static_cast<size_t>(a->size()));
+  for (int64_t i = 0; i < a->size(); ++i) {
+    from_a[i] = pick_a(a->data()[i], b->data()[i]) ? 1 : 0;
+    out->data()[i] = from_a[i] ? a->data()[i] : b->data()[i];
+  }
+  Tensor* ap = a.get();
+  Tensor* bp = b.get();
+  Tensor* op = out.get();
+  out->SetBackward({a, b}, [ap, bp, op, from_a = std::move(from_a)]() {
+    const auto& g = op->grad();
+    if (ap->NeedsGrad()) {
+      auto& ga = ap->grad();
+      for (size_t i = 0; i < g.size(); ++i) {
+        if (from_a[i]) ga[i] += g[i];
+      }
+    }
+    if (bp->NeedsGrad()) {
+      auto& gb = bp->grad();
+      for (size_t i = 0; i < g.size(); ++i) {
+        if (!from_a[i]) gb[i] += g[i];
+      }
+    }
+  });
+  return out;
+}
+
+}  // namespace
+
+TensorPtr MaxElementwise(const TensorPtr& a, const TensorPtr& b) {
+  return SelectElementwise(a, b, [](float x, float y) { return x >= y; });
+}
+
+TensorPtr MinElementwise(const TensorPtr& a, const TensorPtr& b) {
+  return SelectElementwise(a, b, [](float x, float y) { return x <= y; });
+}
+
+TensorPtr RowMax(const TensorPtr& a) {
+  const int64_t n = a->rows();
+  const int64_t c = a->cols();
+  auto out = Tensor::Create(n, 1);
+  std::vector<int64_t> argmax(n, 0);
+  for (int64_t r = 0; r < n; ++r) {
+    float best = a->At(r, 0);
+    for (int64_t j = 1; j < c; ++j) {
+      if (a->At(r, j) > best) {
+        best = a->At(r, j);
+        argmax[r] = j;
+      }
+    }
+    out->data()[r] = best;
+  }
+  Tensor* ap = a.get();
+  Tensor* op = out.get();
+  out->SetBackward({a}, [ap, op, argmax = std::move(argmax), n, c]() {
+    if (!ap->NeedsGrad()) return;
+    const auto& g = op->grad();
+    auto& ga = ap->grad();
+    for (int64_t r = 0; r < n; ++r) ga[r * c + argmax[r]] += g[r];
+  });
+  return out;
+}
+
+TensorPtr ColMean(const TensorPtr& a) {
+  const int64_t n = a->rows();
+  const int64_t c = a->cols();
+  auto out = Tensor::Create(1, c);
+  for (int64_t r = 0; r < n; ++r) {
+    for (int64_t j = 0; j < c; ++j) out->data()[j] += a->At(r, j);
+  }
+  const float inv = 1.0f / static_cast<float>(n);
+  for (auto& v : out->data()) v *= inv;
+  Tensor* ap = a.get();
+  Tensor* op = out.get();
+  out->SetBackward({a}, [ap, op, n, c, inv]() {
+    if (!ap->NeedsGrad()) return;
+    const auto& g = op->grad();
+    auto& ga = ap->grad();
+    for (int64_t r = 0; r < n; ++r) {
+      for (int64_t j = 0; j < c; ++j) ga[r * c + j] += g[j] * inv;
+    }
+  });
+  return out;
+}
+
+std::vector<int64_t> ArgMaxRows(const Tensor& a) {
+  std::vector<int64_t> out(a.rows(), 0);
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    for (int64_t j = 1; j < a.cols(); ++j) {
+      if (a.At(r, j) > a.At(r, out[r])) out[r] = j;
+    }
+  }
+  return out;
+}
+
+TensorPtr RowSoftmax(const TensorPtr& a) {
+  const int64_t n = a->rows();
+  const int64_t c = a->cols();
+  auto out = Tensor::Create(n, c);
+  for (int64_t r = 0; r < n; ++r) {
+    float mx = -std::numeric_limits<float>::infinity();
+    for (int64_t j = 0; j < c; ++j) mx = std::max(mx, a->At(r, j));
+    float denom = 0.0f;
+    for (int64_t j = 0; j < c; ++j) {
+      const float e = std::exp(a->At(r, j) - mx);
+      out->At(r, j) = e;
+      denom += e;
+    }
+    for (int64_t j = 0; j < c; ++j) out->At(r, j) /= denom;
+  }
+  Tensor* ap = a.get();
+  Tensor* op = out.get();
+  out->SetBackward({a}, [ap, op, n, c]() {
+    if (!ap->NeedsGrad()) return;
+    const auto& g = op->grad();
+    auto& ga = ap->grad();
+    for (int64_t r = 0; r < n; ++r) {
+      float dot = 0.0f;
+      for (int64_t j = 0; j < c; ++j)
+        dot += g[r * c + j] * op->data()[r * c + j];
+      for (int64_t j = 0; j < c; ++j) {
+        ga[r * c + j] += op->data()[r * c + j] * (g[r * c + j] - dot);
+      }
+    }
+  });
+  return out;
+}
+
+TensorPtr RowLogSoftmax(const TensorPtr& a) {
+  const int64_t n = a->rows();
+  const int64_t c = a->cols();
+  auto out = Tensor::Create(n, c);
+  for (int64_t r = 0; r < n; ++r) {
+    float mx = -std::numeric_limits<float>::infinity();
+    for (int64_t j = 0; j < c; ++j) mx = std::max(mx, a->At(r, j));
+    float denom = 0.0f;
+    for (int64_t j = 0; j < c; ++j) denom += std::exp(a->At(r, j) - mx);
+    const float logz = mx + std::log(denom);
+    for (int64_t j = 0; j < c; ++j) out->At(r, j) = a->At(r, j) - logz;
+  }
+  Tensor* ap = a.get();
+  Tensor* op = out.get();
+  out->SetBackward({a}, [ap, op, n, c]() {
+    if (!ap->NeedsGrad()) return;
+    const auto& g = op->grad();
+    auto& ga = ap->grad();
+    for (int64_t r = 0; r < n; ++r) {
+      float gsum = 0.0f;
+      for (int64_t j = 0; j < c; ++j) gsum += g[r * c + j];
+      for (int64_t j = 0; j < c; ++j) {
+        const float sm = std::exp(op->data()[r * c + j]);
+        ga[r * c + j] += g[r * c + j] - sm * gsum;
+      }
+    }
+  });
+  return out;
+}
+
+TensorPtr SegmentSoftmax(const TensorPtr& scores,
+                         const std::vector<int64_t>& segments,
+                         int64_t num_segments) {
+  DESALIGN_CHECK_EQ(scores->cols(), 1);
+  const int64_t e = scores->rows();
+  DESALIGN_CHECK_EQ(static_cast<int64_t>(segments.size()), e);
+  auto out = Tensor::Create(e, 1);
+  std::vector<float> seg_max(num_segments,
+                             -std::numeric_limits<float>::infinity());
+  for (int64_t i = 0; i < e; ++i) {
+    seg_max[segments[i]] = std::max(seg_max[segments[i]], scores->data()[i]);
+  }
+  std::vector<float> seg_denom(num_segments, 0.0f);
+  for (int64_t i = 0; i < e; ++i) {
+    const float ev = std::exp(scores->data()[i] - seg_max[segments[i]]);
+    out->data()[i] = ev;
+    seg_denom[segments[i]] += ev;
+  }
+  for (int64_t i = 0; i < e; ++i) out->data()[i] /= seg_denom[segments[i]];
+  Tensor* sp = scores.get();
+  Tensor* op = out.get();
+  std::vector<int64_t> segs = segments;
+  out->SetBackward({scores}, [sp, op, segs = std::move(segs), num_segments,
+                              e]() {
+    if (!sp->NeedsGrad()) return;
+    const auto& g = op->grad();
+    auto& gs = sp->grad();
+    std::vector<float> seg_dot(num_segments, 0.0f);
+    for (int64_t i = 0; i < e; ++i)
+      seg_dot[segs[i]] += g[i] * op->data()[i];
+    for (int64_t i = 0; i < e; ++i) {
+      gs[i] += op->data()[i] * (g[i] - seg_dot[segs[i]]);
+    }
+  });
+  return out;
+}
+
+TensorPtr Sum(const TensorPtr& a) {
+  auto out = Tensor::Create(1, 1);
+  double acc = 0.0;
+  for (int64_t i = 0; i < a->size(); ++i) acc += a->data()[i];
+  out->data()[0] = static_cast<float>(acc);
+  Tensor* ap = a.get();
+  Tensor* op = out.get();
+  out->SetBackward({a}, [ap, op]() {
+    if (!ap->NeedsGrad()) return;
+    const float g = op->grad()[0];
+    auto& ga = ap->grad();
+    for (auto& v : ga) v += g;
+  });
+  return out;
+}
+
+TensorPtr Mean(const TensorPtr& a) {
+  const float inv = 1.0f / static_cast<float>(a->size());
+  return Scale(Sum(a), inv);
+}
+
+TensorPtr RowSum(const TensorPtr& a) {
+  const int64_t n = a->rows();
+  const int64_t c = a->cols();
+  auto out = Tensor::Create(n, 1);
+  for (int64_t r = 0; r < n; ++r) {
+    float acc = 0.0f;
+    for (int64_t j = 0; j < c; ++j) acc += a->At(r, j);
+    out->data()[r] = acc;
+  }
+  Tensor* ap = a.get();
+  Tensor* op = out.get();
+  out->SetBackward({a}, [ap, op, n, c]() {
+    if (!ap->NeedsGrad()) return;
+    const auto& g = op->grad();
+    auto& ga = ap->grad();
+    for (int64_t r = 0; r < n; ++r) {
+      for (int64_t j = 0; j < c; ++j) ga[r * c + j] += g[r];
+    }
+  });
+  return out;
+}
+
+TensorPtr SegmentSum(const TensorPtr& values,
+                     const std::vector<int64_t>& segments,
+                     int64_t num_segments) {
+  const int64_t e = values->rows();
+  const int64_t c = values->cols();
+  DESALIGN_CHECK_EQ(static_cast<int64_t>(segments.size()), e);
+  auto out = Tensor::Create(num_segments, c);
+  for (int64_t i = 0; i < e; ++i) {
+    const int64_t s = segments[i];
+    DESALIGN_DCHECK(s >= 0 && s < num_segments);
+    for (int64_t j = 0; j < c; ++j) {
+      out->At(s, j) += values->At(i, j);
+    }
+  }
+  Tensor* vp = values.get();
+  Tensor* op = out.get();
+  std::vector<int64_t> segs = segments;
+  out->SetBackward({values}, [vp, op, segs = std::move(segs), e, c]() {
+    if (!vp->NeedsGrad()) return;
+    const auto& g = op->grad();
+    auto& gv = vp->grad();
+    for (int64_t i = 0; i < e; ++i) {
+      const int64_t s = segs[i];
+      for (int64_t j = 0; j < c; ++j) gv[i * c + j] += g[s * c + j];
+    }
+  });
+  return out;
+}
+
+TensorPtr ConcatCols(const std::vector<TensorPtr>& parts) {
+  DESALIGN_CHECK(!parts.empty());
+  const int64_t n = parts[0]->rows();
+  int64_t total_c = 0;
+  for (const auto& p : parts) {
+    DESALIGN_CHECK_EQ(p->rows(), n);
+    total_c += p->cols();
+  }
+  auto out = Tensor::Create(n, total_c);
+  int64_t offset = 0;
+  for (const auto& p : parts) {
+    const int64_t c = p->cols();
+    for (int64_t r = 0; r < n; ++r) {
+      for (int64_t j = 0; j < c; ++j) out->At(r, offset + j) = p->At(r, j);
+    }
+    offset += c;
+  }
+  std::vector<TensorPtr> parents = parts;
+  Tensor* op = out.get();
+  std::vector<Tensor*> raw;
+  std::vector<int64_t> col_counts;
+  for (const auto& p : parts) {
+    raw.push_back(p.get());
+    col_counts.push_back(p->cols());
+  }
+  out->SetBackward(std::move(parents), [op, raw = std::move(raw),
+                                        col_counts = std::move(col_counts), n,
+                                        total_c]() {
+    const auto& g = op->grad();
+    int64_t offset2 = 0;
+    for (size_t k = 0; k < raw.size(); ++k) {
+      const int64_t c = col_counts[k];
+      if (raw[k]->NeedsGrad()) {
+        auto& gp = raw[k]->grad();
+        for (int64_t r = 0; r < n; ++r) {
+          for (int64_t j = 0; j < c; ++j) {
+            gp[r * c + j] += g[r * total_c + offset2 + j];
+          }
+        }
+      }
+      offset2 += c;
+    }
+  });
+  return out;
+}
+
+TensorPtr ConcatRows(const std::vector<TensorPtr>& parts) {
+  DESALIGN_CHECK(!parts.empty());
+  const int64_t c = parts[0]->cols();
+  int64_t total_n = 0;
+  for (const auto& p : parts) {
+    DESALIGN_CHECK_EQ(p->cols(), c);
+    total_n += p->rows();
+  }
+  auto out = Tensor::Create(total_n, c);
+  int64_t offset = 0;
+  for (const auto& p : parts) {
+    std::copy(p->data().begin(), p->data().end(),
+              out->data().begin() + offset * c);
+    offset += p->rows();
+  }
+  std::vector<TensorPtr> parents = parts;
+  Tensor* op = out.get();
+  std::vector<Tensor*> raw;
+  std::vector<int64_t> row_counts;
+  for (const auto& p : parts) {
+    raw.push_back(p.get());
+    row_counts.push_back(p->rows());
+  }
+  out->SetBackward(std::move(parents),
+                   [op, raw = std::move(raw),
+                    row_counts = std::move(row_counts), c]() {
+                     const auto& g = op->grad();
+                     int64_t offset2 = 0;
+                     for (size_t k = 0; k < raw.size(); ++k) {
+                       const int64_t n = row_counts[k];
+                       if (raw[k]->NeedsGrad()) {
+                         auto& gp = raw[k]->grad();
+                         for (int64_t i = 0; i < n * c; ++i) {
+                           gp[i] += g[offset2 * c + i];
+                         }
+                       }
+                       offset2 += n;
+                     }
+                   });
+  return out;
+}
+
+TensorPtr SliceCols(const TensorPtr& a, int64_t start, int64_t count) {
+  DESALIGN_CHECK_GE(start, 0);
+  DESALIGN_CHECK_GT(count, 0);
+  DESALIGN_CHECK_LE(start + count, a->cols());
+  const int64_t n = a->rows();
+  const int64_t c = a->cols();
+  auto out = Tensor::Create(n, count);
+  for (int64_t r = 0; r < n; ++r) {
+    for (int64_t j = 0; j < count; ++j) out->At(r, j) = a->At(r, start + j);
+  }
+  Tensor* ap = a.get();
+  Tensor* op = out.get();
+  out->SetBackward({a}, [ap, op, start, count, n, c]() {
+    if (!ap->NeedsGrad()) return;
+    const auto& g = op->grad();
+    auto& ga = ap->grad();
+    for (int64_t r = 0; r < n; ++r) {
+      for (int64_t j = 0; j < count; ++j) {
+        ga[r * c + start + j] += g[r * count + j];
+      }
+    }
+  });
+  return out;
+}
+
+TensorPtr GatherRows(const TensorPtr& a, std::vector<int64_t> indices) {
+  const int64_t e = static_cast<int64_t>(indices.size());
+  DESALIGN_CHECK_GT(e, 0);
+  const int64_t c = a->cols();
+  for (int64_t idx : indices) {
+    DESALIGN_CHECK(idx >= 0 && idx < a->rows());
+  }
+  auto out = Tensor::Create(e, c);
+  for (int64_t i = 0; i < e; ++i) {
+    std::copy(a->data().begin() + indices[i] * c,
+              a->data().begin() + (indices[i] + 1) * c,
+              out->data().begin() + i * c);
+  }
+  Tensor* ap = a.get();
+  Tensor* op = out.get();
+  out->SetBackward({a}, [ap, op, indices = std::move(indices), e, c]() {
+    if (!ap->NeedsGrad()) return;
+    const auto& g = op->grad();
+    auto& ga = ap->grad();
+    for (int64_t i = 0; i < e; ++i) {
+      for (int64_t j = 0; j < c; ++j) {
+        ga[indices[i] * c + j] += g[i * c + j];
+      }
+    }
+  });
+  return out;
+}
+
+TensorPtr TakeDiag(const TensorPtr& a) {
+  DESALIGN_CHECK_EQ(a->rows(), a->cols());
+  const int64_t n = a->rows();
+  auto out = Tensor::Create(n, 1);
+  for (int64_t i = 0; i < n; ++i) out->data()[i] = a->At(i, i);
+  Tensor* ap = a.get();
+  Tensor* op = out.get();
+  out->SetBackward({a}, [ap, op, n]() {
+    if (!ap->NeedsGrad()) return;
+    const auto& g = op->grad();
+    auto& ga = ap->grad();
+    for (int64_t i = 0; i < n; ++i) ga[i * n + i] += g[i];
+  });
+  return out;
+}
+
+TensorPtr RowL2Normalize(const TensorPtr& a, float eps) {
+  const int64_t n = a->rows();
+  const int64_t c = a->cols();
+  auto out = Tensor::Create(n, c);
+  std::vector<float> norms(n);
+  for (int64_t r = 0; r < n; ++r) {
+    double acc = 0.0;
+    for (int64_t j = 0; j < c; ++j) {
+      const float v = a->At(r, j);
+      acc += static_cast<double>(v) * v;
+    }
+    norms[r] = static_cast<float>(std::sqrt(acc + eps));
+    for (int64_t j = 0; j < c; ++j) out->At(r, j) = a->At(r, j) / norms[r];
+  }
+  Tensor* ap = a.get();
+  Tensor* op = out.get();
+  out->SetBackward({a}, [ap, op, norms = std::move(norms), n, c]() {
+    if (!ap->NeedsGrad()) return;
+    const auto& g = op->grad();
+    auto& ga = ap->grad();
+    for (int64_t r = 0; r < n; ++r) {
+      float dot = 0.0f;
+      for (int64_t j = 0; j < c; ++j)
+        dot += g[r * c + j] * op->data()[r * c + j];
+      for (int64_t j = 0; j < c; ++j) {
+        ga[r * c + j] +=
+            (g[r * c + j] - op->data()[r * c + j] * dot) / norms[r];
+      }
+    }
+  });
+  return out;
+}
+
+TensorPtr LayerNorm(const TensorPtr& x, const TensorPtr& gamma,
+                    const TensorPtr& beta, float eps) {
+  const int64_t n = x->rows();
+  const int64_t c = x->cols();
+  DESALIGN_CHECK_EQ(gamma->rows(), 1);
+  DESALIGN_CHECK_EQ(gamma->cols(), c);
+  DESALIGN_CHECK_EQ(beta->rows(), 1);
+  DESALIGN_CHECK_EQ(beta->cols(), c);
+  auto out = Tensor::Create(n, c);
+  std::vector<float> inv_sigma(n);
+  std::vector<float> xhat(static_cast<size_t>(n * c));
+  for (int64_t r = 0; r < n; ++r) {
+    double mean = 0.0;
+    for (int64_t j = 0; j < c; ++j) mean += x->At(r, j);
+    mean /= c;
+    double var = 0.0;
+    for (int64_t j = 0; j < c; ++j) {
+      const double d = x->At(r, j) - mean;
+      var += d * d;
+    }
+    var /= c;
+    inv_sigma[r] = static_cast<float>(1.0 / std::sqrt(var + eps));
+    for (int64_t j = 0; j < c; ++j) {
+      const float xh =
+          (x->At(r, j) - static_cast<float>(mean)) * inv_sigma[r];
+      xhat[r * c + j] = xh;
+      out->At(r, j) = gamma->At(0, j) * xh + beta->At(0, j);
+    }
+  }
+  Tensor* xp = x.get();
+  Tensor* gp = gamma.get();
+  Tensor* bp = beta.get();
+  Tensor* op = out.get();
+  out->SetBackward({x, gamma, beta}, [xp, gp, bp, op,
+                                      inv_sigma = std::move(inv_sigma),
+                                      xhat = std::move(xhat), n, c]() {
+    const auto& g = op->grad();
+    if (gp->NeedsGrad()) {
+      auto& gg = gp->grad();
+      for (int64_t r = 0; r < n; ++r) {
+        for (int64_t j = 0; j < c; ++j) {
+          gg[j] += g[r * c + j] * xhat[r * c + j];
+        }
+      }
+    }
+    if (bp->NeedsGrad()) {
+      auto& gb = bp->grad();
+      for (int64_t r = 0; r < n; ++r) {
+        for (int64_t j = 0; j < c; ++j) gb[j] += g[r * c + j];
+      }
+    }
+    if (xp->NeedsGrad()) {
+      auto& gx = xp->grad();
+      for (int64_t r = 0; r < n; ++r) {
+        // d = gamma ⊙ dy; dx = (d - mean(d) - xhat*mean(d⊙xhat)) * inv_sigma
+        float mean_d = 0.0f;
+        float mean_dx = 0.0f;
+        for (int64_t j = 0; j < c; ++j) {
+          const float d = gp->data()[j] * g[r * c + j];
+          mean_d += d;
+          mean_dx += d * xhat[r * c + j];
+        }
+        mean_d /= c;
+        mean_dx /= c;
+        for (int64_t j = 0; j < c; ++j) {
+          const float d = gp->data()[j] * g[r * c + j];
+          gx[r * c + j] +=
+              (d - mean_d - xhat[r * c + j] * mean_dx) * inv_sigma[r];
+        }
+      }
+    }
+  });
+  return out;
+}
+
+TensorPtr Dropout(const TensorPtr& a, float p, common::Rng& rng,
+                  bool training) {
+  if (!training || p <= 0.0f) return a;
+  DESALIGN_CHECK_LT(p, 1.0f);
+  const float keep = 1.0f - p;
+  auto out = Tensor::Create(a->rows(), a->cols());
+  std::vector<float> mask(static_cast<size_t>(a->size()));
+  for (int64_t i = 0; i < a->size(); ++i) {
+    mask[i] = rng.Bernoulli(keep) ? 1.0f / keep : 0.0f;
+    out->data()[i] = a->data()[i] * mask[i];
+  }
+  Tensor* ap = a.get();
+  Tensor* op = out.get();
+  out->SetBackward({a}, [ap, op, mask = std::move(mask)]() {
+    if (!ap->NeedsGrad()) return;
+    const auto& g = op->grad();
+    auto& ga = ap->grad();
+    for (size_t i = 0; i < g.size(); ++i) ga[i] += g[i] * mask[i];
+  });
+  return out;
+}
+
+TensorPtr RowDot(const TensorPtr& a, const TensorPtr& b) {
+  return RowSum(Mul(a, b));
+}
+
+TensorPtr SumSquares(const TensorPtr& a) { return Sum(Square(a)); }
+
+}  // namespace desalign::tensor

@@ -1,0 +1,77 @@
+#ifndef DESALIGN_TENSOR_SPARSE_H_
+#define DESALIGN_TENSOR_SPARSE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace desalign::tensor {
+
+/// A single (row, col, value) sparse entry.
+struct Triplet {
+  int64_t row = 0;
+  int64_t col = 0;
+  float value = 0.0f;
+};
+
+class CsrMatrix;
+using CsrMatrixPtr = std::shared_ptr<const CsrMatrix>;
+
+/// Immutable compressed-sparse-row float matrix. Used for adjacency
+/// matrices, normalized adjacencies Ã and Laplacians Δ; the SpMM autograd op
+/// multiplies it against dense tensors.
+class CsrMatrix {
+ public:
+  /// Builds from COO triplets; duplicate (row, col) entries are summed.
+  static CsrMatrixPtr FromTriplets(int64_t rows, int64_t cols,
+                                   std::vector<Triplet> triplets);
+
+  /// Identity matrix of size n.
+  static CsrMatrixPtr Identity(int64_t n);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t nnz() const { return static_cast<int64_t>(values_.size()); }
+
+  const std::vector<int64_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<int64_t>& col_idx() const { return col_idx_; }
+  const std::vector<float>& values() const { return values_; }
+
+  /// y = this * x  (dense x: cols() x k, y: rows() x k, both row-major).
+  void Multiply(const float* x, int64_t k, float* y) const;
+
+  /// Returns the transposed matrix.
+  CsrMatrixPtr Transpose() const;
+
+  /// Returns alpha*this + beta*other (shapes must match; union sparsity).
+  CsrMatrixPtr Add(const CsrMatrix& other, float alpha, float beta) const;
+
+  /// Returns the dense entry (row, col); O(log nnz_row) binary search.
+  float At(int64_t row, int64_t col) const;
+
+  /// Row sums (out-degree for an adjacency matrix).
+  std::vector<float> RowSums() const;
+
+  /// True if equal to its own transpose (within tolerance).
+  bool IsSymmetric(float tol = 1e-6f) const;
+
+  /// Extracts the sub-matrix of rows where row_mask is true and columns
+  /// where col_mask is true, in original relative order. This is the
+  /// block-partition primitive behind the paper's Eq. 2 decomposition
+  /// (A_cc, A_co, A_oc, A_oo) and the sub-Laplacian Δ_oo of Eq. 19.
+  CsrMatrixPtr SubMatrix(const std::vector<bool>& row_mask,
+                         const std::vector<bool>& col_mask) const;
+
+ private:
+  CsrMatrix(int64_t rows, int64_t cols) : rows_(rows), cols_(cols) {}
+
+  int64_t rows_;
+  int64_t cols_;
+  std::vector<int64_t> row_ptr_;
+  std::vector<int64_t> col_idx_;
+  std::vector<float> values_;
+};
+
+}  // namespace desalign::tensor
+
+#endif  // DESALIGN_TENSOR_SPARSE_H_

@@ -1,0 +1,93 @@
+#include "align/assignment.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace desalign::align {
+namespace {
+
+using tensor::Tensor;
+
+TEST(GreedyMatchTest, PicksObviousDiagonal) {
+  auto sim = Tensor::FromData(3, 3,
+                              {0.9f, 0.1f, 0.1f,
+                               0.1f, 0.8f, 0.1f,
+                               0.1f, 0.1f, 0.7f});
+  auto match = GreedyOneToOneMatch(*sim);
+  EXPECT_EQ(match, (std::vector<int64_t>{0, 1, 2}));
+  EXPECT_DOUBLE_EQ(MatchingAccuracy(match), 1.0);
+}
+
+TEST(GreedyMatchTest, ResolvesConflictsByScore) {
+  // Both rows prefer column 0; row 0 has the stronger claim, row 1 must
+  // settle for column 1.
+  auto sim = Tensor::FromData(2, 2,
+                              {0.9f, 0.2f,
+                               0.8f, 0.3f});
+  auto match = GreedyOneToOneMatch(*sim);
+  EXPECT_EQ(match, (std::vector<int64_t>{0, 1}));
+}
+
+TEST(GreedyMatchTest, RectangularLeavesRowsUnmatched) {
+  auto sim = Tensor::FromData(3, 2, {0.9f, 0.1f, 0.1f, 0.8f, 0.5f, 0.5f});
+  auto match = GreedyOneToOneMatch(*sim);
+  int64_t unmatched = 0;
+  for (int64_t m : match) {
+    if (m < 0) ++unmatched;
+  }
+  EXPECT_EQ(unmatched, 1);
+}
+
+TEST(HungarianMatchTest, OptimalOnConflictCase) {
+  // Greedy picks (0,0)=0.9 then (1,1)=0.1 => 1.0 total; optimal is
+  // (0,1)+(1,0)=0.8+0.8=1.6.
+  auto sim = Tensor::FromData(2, 2,
+                              {0.9f, 0.8f,
+                               0.8f, 0.1f});
+  auto greedy = GreedyOneToOneMatch(*sim);
+  auto optimal = HungarianMatch(*sim);
+  EXPECT_EQ(optimal, (std::vector<int64_t>{1, 0}));
+  EXPECT_GT(MatchingScore(*sim, optimal), MatchingScore(*sim, greedy));
+}
+
+TEST(HungarianMatchTest, MatchesEveryRowExactlyOnce) {
+  common::Rng rng(5);
+  auto sim = Tensor::Create(12, 12);
+  for (auto& v : sim->data()) v = rng.UniformF(0.0f, 1.0f);
+  auto match = HungarianMatch(*sim);
+  std::vector<bool> used(12, false);
+  for (int64_t m : match) {
+    ASSERT_GE(m, 0);
+    ASSERT_LT(m, 12);
+    EXPECT_FALSE(used[m]);
+    used[m] = true;
+  }
+}
+
+class AssignmentPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AssignmentPropertyTest, HungarianDominatesGreedy) {
+  common::Rng rng(GetParam());
+  const int64_t n = 8 + static_cast<int64_t>(GetParam() % 5);
+  auto sim = Tensor::Create(n, n);
+  for (auto& v : sim->data()) v = rng.UniformF(-1.0f, 1.0f);
+  auto greedy = GreedyOneToOneMatch(*sim);
+  auto optimal = HungarianMatch(*sim);
+  EXPECT_GE(MatchingScore(*sim, optimal),
+            MatchingScore(*sim, greedy) - 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AssignmentPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(MatchingAccuracyTest, CountsDiagonalHits) {
+  EXPECT_DOUBLE_EQ(MatchingAccuracy({0, 1, 2, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(MatchingAccuracy({1, 0, 2, 3}), 0.5);
+  EXPECT_DOUBLE_EQ(MatchingAccuracy({-1, -1}), 0.0);
+  EXPECT_DOUBLE_EQ(MatchingAccuracy({}), 0.0);
+}
+
+}  // namespace
+}  // namespace desalign::align

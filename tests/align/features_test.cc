@@ -1,0 +1,119 @@
+#include "align/features.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "kg/synthetic.h"
+
+namespace desalign::align {
+namespace {
+
+kg::AlignedKgPair TestData(double image_ratio = 0.5) {
+  kg::SyntheticSpec spec;
+  spec.num_entities = 150;
+  spec.image_ratio = image_ratio;
+  spec.text_ratio = 0.7;
+  spec.seed = 17;
+  return kg::GenerateSyntheticPair(spec);
+}
+
+TEST(FeaturesTest, StacksSourceThenTarget) {
+  auto data = TestData();
+  common::Rng rng(1);
+  auto f = BuildCombinedFeatures(data, MissingFeaturePolicy::kZeroFill, rng);
+  EXPECT_EQ(f.num_source, 150);
+  EXPECT_EQ(f.num_target, 150);
+  EXPECT_EQ(f.total(), 300);
+  EXPECT_EQ(f.visual->rows(), 300);
+  EXPECT_EQ(f.relation->cols(),
+            data.source.relation_features.dim());
+  // Presence masks concatenate in order.
+  for (int64_t i = 0; i < 150; ++i) {
+    EXPECT_EQ(f.visual_present[i], data.source.visual_features.present[i]);
+    EXPECT_EQ(f.visual_present[150 + i],
+              data.target.visual_features.present[i]);
+  }
+}
+
+TEST(FeaturesTest, PresentRowsAreUnitNorm) {
+  auto data = TestData();
+  common::Rng rng(2);
+  auto f = BuildCombinedFeatures(data, MissingFeaturePolicy::kZeroFill, rng);
+  for (int64_t i = 0; i < f.total(); ++i) {
+    if (!f.visual_present[i]) continue;
+    double norm = 0.0;
+    for (int64_t j = 0; j < f.visual->cols(); ++j) {
+      norm += static_cast<double>(f.visual->At(i, j)) * f.visual->At(i, j);
+    }
+    EXPECT_NEAR(std::sqrt(norm), 1.0, 1e-4);
+  }
+}
+
+TEST(FeaturesTest, ZeroFillLeavesMissingRowsZero) {
+  auto data = TestData();
+  common::Rng rng(3);
+  auto f = BuildCombinedFeatures(data, MissingFeaturePolicy::kZeroFill, rng);
+  for (int64_t i = 0; i < f.total(); ++i) {
+    if (f.visual_present[i]) continue;
+    for (int64_t j = 0; j < f.visual->cols(); ++j) {
+      EXPECT_EQ(f.visual->At(i, j), 0.0f);
+    }
+  }
+}
+
+TEST(FeaturesTest, RandomFillMatchesPresentMoments) {
+  auto data = TestData(/*image_ratio=*/0.5);
+  common::Rng rng(4);
+  auto f = BuildCombinedFeatures(
+      data, MissingFeaturePolicy::kRandomFromDistribution, rng);
+  // Compare column means of present vs filled rows.
+  const int64_t c = f.visual->cols();
+  double present_mean = 0.0;
+  double filled_mean = 0.0;
+  double filled_sq = 0.0;
+  int64_t n_present = 0;
+  int64_t n_filled = 0;
+  for (int64_t i = 0; i < f.total(); ++i) {
+    for (int64_t j = 0; j < c; ++j) {
+      if (f.visual_present[i]) {
+        present_mean += f.visual->At(i, j);
+        ++n_present;
+      } else {
+        filled_mean += f.visual->At(i, j);
+        filled_sq += static_cast<double>(f.visual->At(i, j)) *
+                     f.visual->At(i, j);
+        ++n_filled;
+      }
+    }
+  }
+  ASSERT_GT(n_filled, 0);
+  present_mean /= n_present;
+  filled_mean /= n_filled;
+  EXPECT_NEAR(filled_mean, present_mean, 0.05);
+  // Filled rows are genuinely non-zero noise.
+  EXPECT_GT(filled_sq / n_filled, 1e-4);
+}
+
+TEST(FeaturesTest, AllPresentIntersectsMasks) {
+  auto data = TestData();
+  common::Rng rng(5);
+  auto f = BuildCombinedFeatures(data, MissingFeaturePolicy::kZeroFill, rng);
+  auto all = f.AllPresent();
+  for (int64_t i = 0; i < f.total(); ++i) {
+    EXPECT_EQ(all[i], f.relation_present[i] && f.text_present[i] &&
+                          f.visual_present[i]);
+  }
+}
+
+TEST(FeaturesTest, PresentForDispatch) {
+  auto data = TestData();
+  common::Rng rng(6);
+  auto f = BuildCombinedFeatures(data, MissingFeaturePolicy::kZeroFill, rng);
+  EXPECT_EQ(&f.PresentFor(kg::Modality::kText), &f.text_present);
+  EXPECT_EQ(&f.PresentFor(kg::Modality::kVisual), &f.visual_present);
+  EXPECT_EQ(&f.PresentFor(kg::Modality::kRelation), &f.relation_present);
+}
+
+}  // namespace
+}  // namespace desalign::align

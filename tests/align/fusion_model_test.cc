@@ -1,0 +1,123 @@
+#include "align/fusion_model.h"
+
+#include <gtest/gtest.h>
+
+#include "kg/synthetic.h"
+
+namespace desalign::align {
+namespace {
+
+kg::AlignedKgPair SmallData(uint64_t seed = 21) {
+  kg::SyntheticSpec spec;
+  spec.num_entities = 120;
+  spec.seed = seed;
+  spec.seed_ratio = 0.3;
+  return kg::GenerateSyntheticPair(spec);
+}
+
+FusionModelConfig FastConfig() {
+  FusionModelConfig cfg;
+  cfg.dim = 16;
+  cfg.epochs = 25;
+  return cfg;
+}
+
+TEST(FusionModelTest, TrainsAboveChance) {
+  auto data = SmallData();
+  FusionAlignModel model(FastConfig());
+  auto result = model.Evaluate(data);
+  // Chance H@1 on 84 test pairs ~ 1.2%; require a large margin.
+  EXPECT_GT(result.metrics.h_at_1, 0.15);
+  EXPECT_GT(result.metrics.mrr, result.metrics.h_at_1);
+  EXPECT_EQ(result.metrics.num_queries,
+            static_cast<int64_t>(data.test_pairs.size()));
+}
+
+TEST(FusionModelTest, EvaStyleFusionAlsoTrains) {
+  auto data = SmallData();
+  auto cfg = FastConfig();
+  cfg.use_cross_modal_attention = false;
+  cfg.use_intra_modal_losses = false;
+  FusionAlignModel model(cfg);
+  auto result = model.Evaluate(data);
+  EXPECT_GT(result.metrics.h_at_1, 0.05);
+}
+
+TEST(FusionModelTest, DeterministicGivenSeed) {
+  auto data = SmallData();
+  FusionAlignModel a(FastConfig());
+  FusionAlignModel b(FastConfig());
+  auto ra = a.Evaluate(data);
+  auto rb = b.Evaluate(data);
+  EXPECT_DOUBLE_EQ(ra.metrics.h_at_1, rb.metrics.h_at_1);
+  EXPECT_DOUBLE_EQ(ra.metrics.mrr, rb.metrics.mrr);
+}
+
+TEST(FusionModelTest, DisablingModalitiesStillTrains) {
+  auto data = SmallData();
+  auto cfg = FastConfig();
+  cfg.use_modality[static_cast<int>(kg::Modality::kVisual)] = false;
+  cfg.use_modality[static_cast<int>(kg::Modality::kText)] = false;
+  FusionAlignModel model(cfg);
+  auto result = model.Evaluate(data);
+  EXPECT_GT(result.metrics.h_at_1, 0.02);
+}
+
+TEST(FusionModelTest, MinConfidenceVariantTrains) {
+  auto data = SmallData();
+  auto cfg = FastConfig();
+  cfg.use_min_confidence = true;
+  FusionAlignModel model(cfg);
+  auto result = model.Evaluate(data);
+  EXPECT_GT(result.metrics.h_at_1, 0.15);
+}
+
+TEST(FusionModelTest, FitMoreImprovesOrHolds) {
+  auto data = SmallData();
+  auto cfg = FastConfig();
+  cfg.epochs = 10;  // deliberately undertrained
+  FusionAlignModel model(cfg);
+  model.Fit(data);
+  auto before = MetricsFromSimilarity(*model.DecodeSimilarity(data));
+  model.FitMore(data, data.train_pairs, 30);
+  auto after = MetricsFromSimilarity(*model.DecodeSimilarity(data));
+  EXPECT_GE(after.h_at_1, before.h_at_1 - 0.02);
+  EXPECT_GT(after.h_at_1, 0.1);
+}
+
+TEST(FusionModelTest, NumParametersPositiveAndConfigDependent) {
+  auto data = SmallData();
+  FusionAlignModel caw_model(FastConfig());
+  caw_model.Fit(data);
+  auto cfg = FastConfig();
+  cfg.use_cross_modal_attention = false;
+  FusionAlignModel eva_model(cfg);
+  eva_model.Fit(data);
+  EXPECT_GT(caw_model.NumParameters(), eva_model.NumParameters());
+}
+
+TEST(FusionModelTest, EnergySnapshotIsFiniteAndNonNegative) {
+  auto data = SmallData();
+  FusionAlignModel model(FastConfig());
+  model.Fit(data);
+  auto snap = model.MeasureDirichletEnergies();
+  EXPECT_GE(snap.e_initial, 0.0);
+  EXPECT_GE(snap.e_mid, 0.0);
+  EXPECT_GE(snap.e_final, 0.0);
+  EXPECT_TRUE(std::isfinite(snap.e_initial));
+  EXPECT_TRUE(std::isfinite(snap.e_final));
+}
+
+TEST(FusionModelTest, EarlyStoppingTerminates) {
+  auto data = SmallData();
+  auto cfg = FastConfig();
+  cfg.epochs = 200;
+  cfg.early_stop_patience = 3;
+  FusionAlignModel model(cfg);
+  model.Fit(data);  // must return (early stop or full run) without hanging
+  auto m = MetricsFromSimilarity(*model.DecodeSimilarity(data));
+  EXPECT_GT(m.h_at_1, 0.1);
+}
+
+}  // namespace
+}  // namespace desalign::align

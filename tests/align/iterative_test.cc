@@ -1,0 +1,94 @@
+#include "align/iterative.h"
+
+#include <gtest/gtest.h>
+
+#include "kg/synthetic.h"
+#include "tensor/tensor.h"
+
+namespace desalign::align {
+namespace {
+
+using tensor::Tensor;
+
+kg::AlignedKgPair PairsOnly(int64_t n) {
+  kg::AlignedKgPair data;
+  for (int64_t i = 0; i < n; ++i) {
+    data.test_pairs.push_back({i * 10, i * 10 + 1});
+  }
+  return data;
+}
+
+TEST(MutualNearestTest, ExtractsCleanDiagonal) {
+  auto data = PairsOnly(3);
+  auto sim = Tensor::FromData(3, 3,
+                              {0.9f, 0.1f, 0.1f,
+                               0.1f, 0.8f, 0.1f,
+                               0.1f, 0.1f, 0.7f});
+  auto pseudo = MutualNearestPairs(*sim, data, 0.5f);
+  ASSERT_EQ(pseudo.size(), 3u);
+  EXPECT_EQ(pseudo[0].source, 0);
+  EXPECT_EQ(pseudo[0].target, 1);
+  EXPECT_EQ(pseudo[2].source, 20);
+  EXPECT_EQ(pseudo[2].target, 21);
+}
+
+TEST(MutualNearestTest, ThresholdFilters) {
+  auto data = PairsOnly(2);
+  auto sim = Tensor::FromData(2, 2, {0.9f, 0.0f, 0.0f, 0.3f});
+  auto pseudo = MutualNearestPairs(*sim, data, 0.5f);
+  ASSERT_EQ(pseudo.size(), 1u);
+  EXPECT_EQ(pseudo[0].source, 0);
+}
+
+TEST(MutualNearestTest, NonMutualPairsAreDropped) {
+  // Row 0 prefers column 1, but column 1's best row is 1 -> no pair for 0.
+  auto data = PairsOnly(2);
+  auto sim = Tensor::FromData(2, 2,
+                              {0.2f, 0.6f,
+                               0.1f, 0.9f});
+  auto pseudo = MutualNearestPairs(*sim, data, 0.0f);
+  ASSERT_EQ(pseudo.size(), 1u);
+  EXPECT_EQ(pseudo[0].source, 10);
+  EXPECT_EQ(pseudo[0].target, 11);
+}
+
+TEST(MutualNearestTest, CrossPairExtraction) {
+  // Mutual nearest can pick off-diagonal (model believes i matches j).
+  auto data = PairsOnly(2);
+  auto sim = Tensor::FromData(2, 2,
+                              {0.1f, 0.9f,
+                               0.8f, 0.1f});
+  auto pseudo = MutualNearestPairs(*sim, data, 0.5f);
+  ASSERT_EQ(pseudo.size(), 2u);
+  EXPECT_EQ(pseudo[0].source, 0);
+  EXPECT_EQ(pseudo[0].target, 11);  // test pair 1's target entity
+  EXPECT_EQ(pseudo[1].source, 10);
+  EXPECT_EQ(pseudo[1].target, 1);
+}
+
+TEST(IterativeRefinementTest, ImprovesUndertrainedModel) {
+  kg::SyntheticSpec spec;
+  spec.num_entities = 120;
+  spec.seed = 31;
+  spec.seed_ratio = 0.15;
+  auto data = kg::GenerateSyntheticPair(spec);
+
+  FusionModelConfig cfg;
+  cfg.dim = 16;
+  cfg.epochs = 25;
+  FusionAlignModel model(cfg);
+  model.Fit(data);
+  auto before = MetricsFromSimilarity(*model.DecodeSimilarity(data));
+
+  IterativeConfig iter;
+  iter.rounds = 2;
+  iter.epochs_per_round = 15;
+  iter.min_similarity = 0.4f;
+  RunIterativeRefinement(model, data, iter);
+  auto after = MetricsFromSimilarity(*model.DecodeSimilarity(data));
+  EXPECT_GE(after.h_at_1, before.h_at_1 - 0.03);
+  EXPECT_GT(after.h_at_1, 0.1);
+}
+
+}  // namespace
+}  // namespace desalign::align

@@ -1,0 +1,103 @@
+#include "align/loss.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "align/metrics.h"
+#include "common/rng.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+#include "testing/grad_check.h"
+
+namespace desalign::align {
+namespace {
+
+namespace ops = desalign::tensor;
+using tensor::Tensor;
+using tensor::TensorPtr;
+
+TensorPtr RandomEmb(int64_t n, int64_t d, uint64_t seed, bool grad = false) {
+  common::Rng rng(seed);
+  auto t = Tensor::Create(n, d, grad);
+  tensor::FillNormal(*t, rng);
+  return t;
+}
+
+TEST(ContrastiveLossTest, PerfectAlignmentHasLowLoss) {
+  // Higher dimension keeps random negatives nearly orthogonal, so the
+  // diagonal dominates after temperature scaling.
+  auto z = RandomEmb(8, 16, 1);
+  auto loss_aligned = ContrastiveAlignmentLoss(z, z, 0.05f);
+  auto z2 = RandomEmb(8, 16, 2);
+  auto loss_random = ContrastiveAlignmentLoss(z, z2, 0.05f);
+  EXPECT_LT(loss_aligned->ScalarValue(), loss_random->ScalarValue());
+  EXPECT_LT(loss_aligned->ScalarValue(), 0.1f);
+}
+
+TEST(ContrastiveLossTest, RandomPairsNearLogBatch) {
+  // With i.i.d. random embeddings the expected loss is ~log(B).
+  auto z1 = RandomEmb(64, 8, 3);
+  auto z2 = RandomEmb(64, 8, 4);
+  const float loss = ContrastiveAlignmentLoss(z1, z2, 1.0f)->ScalarValue();
+  EXPECT_NEAR(loss, std::log(64.0f), 0.6f);
+}
+
+TEST(ContrastiveLossTest, SymmetricInArguments) {
+  auto z1 = RandomEmb(6, 4, 5);
+  auto z2 = RandomEmb(6, 4, 6);
+  const float a = ContrastiveAlignmentLoss(z1, z2, 0.2f)->ScalarValue();
+  const float b = ContrastiveAlignmentLoss(z2, z1, 0.2f)->ScalarValue();
+  EXPECT_NEAR(a, b, 1e-5);
+}
+
+TEST(ContrastiveLossTest, WeightsScaleContributions) {
+  auto z1 = RandomEmb(4, 4, 7);
+  auto z2 = RandomEmb(4, 4, 8);
+  auto uniform = Tensor::Full(4, 1, 1.0f);
+  const float unweighted =
+      ContrastiveAlignmentLoss(z1, z2, 0.2f)->ScalarValue();
+  const float weighted =
+      ContrastiveAlignmentLoss(z1, z2, 0.2f, uniform)->ScalarValue();
+  EXPECT_NEAR(unweighted, weighted, 1e-5);
+  auto halved = Tensor::Full(4, 1, 0.5f);
+  const float half =
+      ContrastiveAlignmentLoss(z1, z2, 0.2f, halved)->ScalarValue();
+  EXPECT_NEAR(half, 0.5f * unweighted, 1e-5);
+}
+
+TEST(ContrastiveLossTest, GradientsMatchFiniteDifferences) {
+  auto z1 = RandomEmb(4, 3, 9, /*grad=*/true);
+  auto z2 = RandomEmb(4, 3, 10, /*grad=*/true);
+  desalign::testing::CheckGradients(
+      {z1, z2}, [&] { return ContrastiveAlignmentLoss(z1, z2, 0.5f); });
+}
+
+TEST(ContrastiveLossTest, TrainingOnLossAlignsEmbeddings) {
+  // Gradient descent on the loss should pull paired rows together in
+  // cosine similarity.
+  auto z1 = RandomEmb(6, 4, 11, /*grad=*/true);
+  auto z2 = RandomEmb(6, 4, 12, /*grad=*/true);
+  auto mean_diag_cos = [&] {
+    auto sim = CosineSimilarityMatrix(z1, z2);
+    float acc = 0.0f;
+    for (int64_t i = 0; i < 6; ++i) acc += sim->At(i, i);
+    return acc / 6.0f;
+  };
+  const float before = mean_diag_cos();
+  for (int step = 0; step < 200; ++step) {
+    auto loss = ContrastiveAlignmentLoss(z1, z2, 0.2f);
+    z1->ZeroGrad();
+    z2->ZeroGrad();
+    loss->Backward();
+    for (auto* t : {z1.get(), z2.get()}) {
+      for (int64_t i = 0; i < t->size(); ++i) {
+        t->data()[i] -= 0.1f * t->grad()[i];
+      }
+    }
+  }
+  EXPECT_GT(mean_diag_cos(), before + 0.3f);
+}
+
+}  // namespace
+}  // namespace desalign::align

@@ -1,0 +1,100 @@
+// Coverage for the fusion model's auxiliary features: CSLS decoding flag,
+// per-epoch energy tracing, and the harness' CSLS pass-through.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "align/fusion_model.h"
+#include "align/metrics.h"
+#include "eval/harness.h"
+#include "kg/synthetic.h"
+
+namespace desalign::align {
+namespace {
+
+kg::AlignedKgPair SmallData() {
+  kg::SyntheticSpec spec;
+  spec.num_entities = 100;
+  spec.seed = 91;
+  spec.seed_ratio = 0.3;
+  return kg::GenerateSyntheticPair(spec);
+}
+
+FusionModelConfig FastConfig() {
+  FusionModelConfig cfg;
+  cfg.dim = 12;
+  cfg.epochs = 15;
+  return cfg;
+}
+
+TEST(ModelFeaturesTest, CslsFlagChangesDecodedSimilarities) {
+  auto data = SmallData();
+  auto cfg = FastConfig();
+  FusionAlignModel plain(cfg);
+  plain.Fit(data);
+  auto sim_plain = plain.DecodeSimilarity(data);
+
+  cfg.use_csls = true;
+  FusionAlignModel corrected(cfg);
+  corrected.Fit(data);
+  auto sim_csls = corrected.DecodeSimilarity(data);
+
+  // Same training seed => same model; only the decode transform differs.
+  double diff = 0.0;
+  for (int64_t i = 0; i < sim_plain->size(); ++i) {
+    diff += std::fabs(sim_plain->data()[i] - sim_csls->data()[i]);
+  }
+  EXPECT_GT(diff / sim_plain->size(), 1e-4);
+  // CSLS must not wreck accuracy.
+  auto m_plain = MetricsFromSimilarity(*sim_plain);
+  auto m_csls = MetricsFromSimilarity(*sim_csls);
+  EXPECT_GE(m_csls.h_at_1, m_plain.h_at_1 - 0.05);
+}
+
+TEST(ModelFeaturesTest, EnergyTraceRecordsOnePerEpoch) {
+  auto data = SmallData();
+  auto cfg = FastConfig();
+  cfg.record_energy_trace = true;
+  FusionAlignModel model(cfg);
+  model.Fit(data);
+  ASSERT_EQ(model.energy_trace().size(), static_cast<size_t>(cfg.epochs));
+  for (const auto& snap : model.energy_trace()) {
+    EXPECT_GE(snap.e_initial, 0.0);
+    EXPECT_GE(snap.e_final, 0.0);
+    EXPECT_TRUE(std::isfinite(snap.e_mid));
+  }
+}
+
+TEST(ModelFeaturesTest, EnergyTraceOffByDefault) {
+  auto data = SmallData();
+  FusionAlignModel model(FastConfig());
+  model.Fit(data);
+  EXPECT_TRUE(model.energy_trace().empty());
+}
+
+TEST(ModelFeaturesTest, HarnessCslsParameter) {
+  auto data = SmallData();
+  auto& settings = eval::GlobalHarnessSettings();
+  const auto saved = settings;
+  settings.dim = 12;
+  settings.epochs = 10;
+  auto factory = eval::ProminentMethods()[0];  // EVA
+  auto plain = eval::RunCell(factory, data, 3);
+  auto csls = eval::RunCell(factory, data, 3, /*iterative=*/false, {},
+                            /*csls=*/true);
+  EXPECT_GE(csls.metrics.h_at_1, plain.metrics.h_at_1 - 0.05);
+  settings = saved;
+}
+
+TEST(ModelFeaturesTest, H5BetweenH1AndH10) {
+  auto data = SmallData();
+  FusionAlignModel model(FastConfig());
+  auto r = model.Evaluate(data);
+  EXPECT_GE(r.metrics.h_at_5, r.metrics.h_at_1);
+  EXPECT_LE(r.metrics.h_at_5, r.metrics.h_at_10);
+  EXPECT_GT(r.metrics.h_at_5, 0.0);
+}
+
+}  // namespace
+}  // namespace desalign::align

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "align/metrics.h"
+#include "baselines/fusion_baselines.h"
+#include "baselines/gcn_align.h"
+#include "baselines/poe.h"
+#include "baselines/transe.h"
+#include "kg/synthetic.h"
+
+namespace desalign::baselines {
+namespace {
+
+kg::AlignedKgPair SmallData(uint64_t seed = 61) {
+  kg::SyntheticSpec spec;
+  spec.num_entities = 130;
+  spec.seed = seed;
+  spec.seed_ratio = 0.3;
+  return kg::GenerateSyntheticPair(spec);
+}
+
+TEST(FusionBaselinesTest, ConfigsEncodeTheFamilyLadder) {
+  auto eva = EvaConfig();
+  auto mclea = McleaConfig();
+  auto meaformer = MeaformerConfig();
+  EXPECT_FALSE(eva.use_cross_modal_attention);
+  EXPECT_FALSE(eva.use_intra_modal_losses);
+  EXPECT_FALSE(mclea.use_cross_modal_attention);
+  EXPECT_TRUE(mclea.use_intra_modal_losses);
+  EXPECT_TRUE(meaformer.use_cross_modal_attention);
+  EXPECT_TRUE(meaformer.use_intra_modal_losses);
+  // None of the baselines uses DESAlign's min-confidence weighting, and all
+  // interpolate missing features from a predefined distribution.
+  for (const auto& cfg : {eva, mclea, meaformer}) {
+    EXPECT_FALSE(cfg.use_min_confidence);
+    EXPECT_EQ(cfg.missing_policy,
+              align::MissingFeaturePolicy::kRandomFromDistribution);
+  }
+}
+
+TEST(FusionBaselinesTest, FactoriesProduceNamedModels) {
+  EXPECT_EQ(MakeEva()->name(), "EVA");
+  EXPECT_EQ(MakeMclea()->name(), "MCLEA");
+  EXPECT_EQ(MakeMeaformer()->name(), "MEAformer");
+}
+
+TEST(GcnAlignTest, TrainsAboveChance) {
+  auto data = SmallData();
+  GcnAlignConfig cfg;
+  cfg.dim = 16;
+  cfg.epochs = 30;
+  GcnAlignModel model(cfg);
+  auto r = model.Evaluate(data);
+  EXPECT_GT(r.metrics.h_at_1, 0.05);
+  EXPECT_EQ(r.metrics.num_queries,
+            static_cast<int64_t>(data.test_pairs.size()));
+}
+
+TEST(TranseTest, TrainsAboveChanceViaSharedSeeds) {
+  auto data = SmallData();
+  TranseConfig cfg;
+  cfg.dim = 16;
+  cfg.epochs = 30;
+  TranseModel model(cfg);
+  auto r = model.Evaluate(data);
+  // Structure-only: weak but above the ~1% chance level.
+  EXPECT_GT(r.metrics.h_at_10, 0.08);
+}
+
+TEST(TranseTest, SeedPairsShareEmbeddingRows) {
+  auto data = SmallData();
+  TranseConfig cfg;
+  cfg.dim = 8;
+  cfg.epochs = 1;
+  TranseModel model(cfg);
+  model.Fit(data);
+  // Decode on the TRAIN pairs: shared rows means similarity exactly 1.
+  kg::AlignedKgPair probe = data;
+  probe.test_pairs = data.train_pairs;
+  auto sim = model.DecodeSimilarity(probe);
+  for (int64_t i = 0; i < sim->rows(); ++i) {
+    EXPECT_NEAR(sim->At(i, i), 1.0f, 1e-4);
+  }
+}
+
+TEST(BaselineOrderingTest, FusionFamilyBeatsStructureOnly) {
+  auto data = SmallData(62);
+  TranseConfig transe_cfg;
+  transe_cfg.dim = 16;
+  transe_cfg.epochs = 20;
+  TranseModel transe(transe_cfg);
+  auto r_transe = transe.Evaluate(data);
+
+  auto mea_cfg = MeaformerConfig(3);
+  mea_cfg.dim = 16;
+  mea_cfg.epochs = 25;
+  align::FusionAlignModel meaformer(mea_cfg);
+  auto r_mea = meaformer.Evaluate(data);
+
+  EXPECT_GT(r_mea.metrics.mrr, r_transe.metrics.mrr);
+}
+
+
+TEST(PoeTest, LearnsExpertWeightsAndScoresAboveChance) {
+  auto data = SmallData(63);
+  PoeConfig cfg;
+  cfg.fit_iterations = 100;
+  PoeModel model(cfg);
+  auto r = model.Evaluate(data);
+  // No representation learning: modest, but clearly above ~1% chance.
+  EXPECT_GT(r.metrics.h_at_10, 0.15);
+  ASSERT_EQ(model.expert_weights().size(), 4u);
+}
+
+TEST(PoeTest, DecodeRequiresFit) {
+  PoeConfig cfg;
+  PoeModel model(cfg);
+  auto data = SmallData(63);
+  EXPECT_DEATH(model.DecodeSimilarity(data), "fitted");
+}
+
+TEST(IpTranseTest, IterativeRoundsDoNotRegress) {
+  auto data = SmallData(64);
+  TranseConfig base_cfg;
+  base_cfg.dim = 16;
+  base_cfg.epochs = 20;
+  TranseModel base(base_cfg);
+  auto r_base = base.Evaluate(data);
+
+  TranseConfig ip_cfg = IpTranseConfig();
+  ip_cfg.dim = 16;
+  ip_cfg.epochs = 20;
+  TranseModel ip(ip_cfg);
+  auto r_ip = ip.Evaluate(data);
+  EXPECT_EQ(ip.name(), "IPTransE");
+  EXPECT_GE(r_ip.metrics.h_at_10, r_base.metrics.h_at_10 - 0.05);
+}
+
+TEST(AttrGnnTest, AttributeInputModeTrains) {
+  auto data = SmallData(65);
+  GcnAlignConfig cfg = AttrGnnConfig();
+  cfg.dim = 16;
+  cfg.epochs = 30;
+  GcnAlignModel model(cfg);
+  auto r = model.Evaluate(data);
+  EXPECT_EQ(model.name(), "AttrGNN");
+  EXPECT_GT(r.metrics.h_at_1, 0.03);
+}
+
+TEST(MmeaTest, MarginRankingVariantTrains) {
+  auto data = SmallData(66);
+  auto cfg = MmeaConfig(2);
+  cfg.dim = 16;
+  cfg.epochs = 30;
+  align::FusionAlignModel model(cfg);
+  auto r = model.Evaluate(data);
+  EXPECT_GT(r.metrics.h_at_1, 0.05);
+  // Margin-era objective is expected to trail contrastive EVA.
+  auto eva_cfg = EvaConfig(2);
+  eva_cfg.dim = 16;
+  eva_cfg.epochs = 30;
+  align::FusionAlignModel eva(eva_cfg);
+  auto r_eva = eva.Evaluate(data);
+  EXPECT_GE(r_eva.metrics.mrr, r.metrics.mrr - 0.1);
+}
+
+}  // namespace
+}  // namespace desalign::baselines

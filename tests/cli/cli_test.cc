@@ -1,0 +1,154 @@
+#include "cli/cli.h"
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace desalign::cli {
+namespace {
+
+int RunTool(std::initializer_list<const char*> args, std::string* output) {
+  std::ostringstream os;
+  std::vector<std::string> v;
+  for (const char* a : args) v.emplace_back(a);
+  const int code = RunCli(v, os);
+  *output = os.str();
+  return code;
+}
+
+TEST(CliTest, NoArgsPrintsUsage) {
+  std::string out;
+  EXPECT_EQ(RunTool({}, &out), 2);
+  EXPECT_NE(out.find("usage: desalign"), std::string::npos);
+}
+
+TEST(CliTest, HelpCommandSucceeds) {
+  std::string out;
+  EXPECT_EQ(RunTool({"help"}, &out), 0);
+  EXPECT_NE(out.find("sweep"), std::string::npos);
+}
+
+TEST(CliTest, UnknownCommandFails) {
+  std::string out;
+  EXPECT_EQ(RunTool({"frobnicate"}, &out), 2);
+}
+
+TEST(CliTest, StatsOnPreset) {
+  std::string out;
+  EXPECT_EQ(RunTool({"stats", "--preset=FBYG15K", "--entities=80"}, &out), 0);
+  EXPECT_NE(out.find("FBYG15K-src"), std::string::npos);
+  EXPECT_NE(out.find("R_seed"), std::string::npos);
+}
+
+TEST(CliTest, StatsUnknownPresetFails) {
+  std::string out;
+  EXPECT_EQ(RunTool({"stats", "--preset=NOPE"}, &out), 1);
+}
+
+TEST(CliTest, GenerateRequiresOut) {
+  std::string out;
+  EXPECT_EQ(RunTool({"generate", "--preset=FBDB15K"}, &out), 1);
+}
+
+TEST(CliTest, GenerateThenStatsRoundTrip) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("desalign_cli_test_" + std::to_string(::getpid()));
+  std::string out;
+  EXPECT_EQ(RunTool({"generate", "--preset=FBDB15K", "--entities=80",
+                 "--out", dir.c_str()},
+                &out),
+            0);
+  EXPECT_NE(out.find("wrote FBDB15K"), std::string::npos);
+  std::string stats_out;
+  std::string data_flag = "--data=" + dir.string();
+  EXPECT_EQ(RunTool({"stats", data_flag.c_str()}, &stats_out), 0);
+  EXPECT_NE(stats_out.find("FBDB15K-src"), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CliTest, RunTrainsTinyModel) {
+  std::string out;
+  EXPECT_EQ(RunTool({"run", "--preset=FBDB15K", "--entities=80", "--epochs=5",
+                 "--dim=8", "--method=EVA"},
+                &out),
+            0);
+  EXPECT_NE(out.find("EVA"), std::string::npos);
+  EXPECT_NE(out.find("H@1"), std::string::npos);
+}
+
+TEST(CliTest, RunUnknownMethodFails) {
+  std::string out;
+  EXPECT_EQ(RunTool({"run", "--preset=FBDB15K", "--method=NotAModel"}, &out), 1);
+}
+
+TEST(CliTest, SweepProducesOneRowPerMethod) {
+  std::string out;
+  EXPECT_EQ(RunTool({"sweep", "--preset=FBDB15K", "--entities=80", "--epochs=5",
+                 "--dim=8", "--variable=image_ratio", "--values=0.2,0.8",
+                 "--methods=EVA,DESAlign"},
+                &out),
+            0);
+  EXPECT_NE(out.find("EVA"), std::string::npos);
+  EXPECT_NE(out.find("DESAlign"), std::string::npos);
+  EXPECT_NE(out.find("0.20"), std::string::npos);
+  EXPECT_NE(out.find("0.80"), std::string::npos);
+}
+
+TEST(CliTest, SweepRejectsBadVariable) {
+  std::string out;
+  EXPECT_EQ(RunTool({"sweep", "--preset=FBDB15K", "--entities=80",
+                 "--variable=nonsense", "--values=0.5", "--epochs=2",
+                 "--dim=8", "--methods=EVA"},
+                &out),
+            1);
+}
+
+TEST(CliTest, SweepRejectsDataDir) {
+  std::string out;
+  EXPECT_EQ(
+      RunTool({"sweep", "--data=/tmp/x", "--values=0.5", "--methods=EVA"}, &out),
+      1);
+}
+
+
+TEST(CliTest, SweepWritesCsv) {
+  const auto csv = std::filesystem::temp_directory_path() /
+                   ("desalign_sweep_" + std::to_string(::getpid()) + ".csv");
+  std::string out;
+  std::string csv_flag = "--csv=" + csv.string();
+  EXPECT_EQ(RunTool({"sweep", "--preset=FBDB15K", "--entities=80",
+                     "--epochs=3", "--dim=8", "--variable=text_ratio",
+                     "--values=0.3,0.9", "--methods=EVA",
+                     csv_flag.c_str()},
+                    &out),
+            0);
+  EXPECT_NE(out.find("wrote 2 rows"), std::string::npos);
+  std::ifstream in(csv);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_NE(header.find("method"), std::string::npos);
+  EXPECT_NE(header.find("text_ratio"), std::string::npos);
+  int data_rows = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) ++data_rows;
+  }
+  EXPECT_EQ(data_rows, 2);
+  std::filesystem::remove(csv);
+}
+
+TEST(CliTest, RunWithCslsSucceeds) {
+  std::string out;
+  EXPECT_EQ(RunTool({"run", "--preset=FBDB15K", "--entities=80",
+                     "--epochs=3", "--dim=8", "--method=EVA", "--csls"},
+                    &out),
+            0);
+  EXPECT_NE(out.find("H@1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace desalign::cli

@@ -1,0 +1,38 @@
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  DESALIGN_CHECK(true);
+  DESALIGN_CHECK_EQ(1, 1);
+  DESALIGN_CHECK_NE(1, 2);
+  DESALIGN_CHECK_LT(1, 2);
+  DESALIGN_CHECK_LE(2, 2);
+  DESALIGN_CHECK_GT(3, 2);
+  DESALIGN_CHECK_GE(3, 3);
+  DESALIGN_CHECK_MSG(true, "never shown");
+}
+
+TEST(CheckDeathTest, FailureAborts) {
+  EXPECT_DEATH(DESALIGN_CHECK(false), "CHECK failed");
+  EXPECT_DEATH(DESALIGN_CHECK_EQ(1, 2), "CHECK failed");
+  EXPECT_DEATH(DESALIGN_CHECK_MSG(false, "custom context"),
+               "custom context");
+}
+
+TEST(CheckDeathTest, MessageNamesTheExpression) {
+  const int x = 5;
+  EXPECT_DEATH(DESALIGN_CHECK_LT(x, 3), "\\(x\\) < \\(3\\)");
+}
+
+TEST(CheckTest, DcheckCompiledPerBuildType) {
+#ifdef NDEBUG
+  DESALIGN_DCHECK(false);  // compiled out in release builds
+#else
+  EXPECT_DEATH(DESALIGN_DCHECK(false), "CHECK failed");
+#endif
+}
+
+}  // namespace

@@ -1,0 +1,139 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace desalign::common {
+namespace {
+
+std::vector<const char*> Argv(std::initializer_list<const char*> args) {
+  return std::vector<const char*>(args);
+}
+
+TEST(FlagParserTest, DefaultsAppliedBeforeParse) {
+  FlagParser parser("test");
+  std::string s;
+  int64_t i;
+  double d;
+  bool b;
+  parser.AddString("name", "fallback", "", &s);
+  parser.AddInt64("count", 42, "", &i);
+  parser.AddDouble("ratio", 0.5, "", &d);
+  parser.AddBool("fast", true, "", &b);
+  EXPECT_EQ(s, "fallback");
+  EXPECT_EQ(i, 42);
+  EXPECT_DOUBLE_EQ(d, 0.5);
+  EXPECT_TRUE(b);
+}
+
+TEST(FlagParserTest, ParsesEqualsAndSpaceSyntax) {
+  FlagParser parser("test");
+  std::string s;
+  int64_t i;
+  parser.AddString("name", "", "", &s);
+  parser.AddInt64("count", 0, "", &i);
+  auto argv = Argv({"--name=abc", "--count", "17"});
+  ASSERT_TRUE(parser.Parse(static_cast<int>(argv.size()), argv.data(), 0)
+                  .ok());
+  EXPECT_EQ(s, "abc");
+  EXPECT_EQ(i, 17);
+}
+
+TEST(FlagParserTest, BoolForms) {
+  FlagParser parser("test");
+  bool a;
+  bool b;
+  bool c;
+  parser.AddBool("alpha", false, "", &a);
+  parser.AddBool("beta", true, "", &b);
+  parser.AddBool("gamma", false, "", &c);
+  auto argv = Argv({"--alpha", "--no-beta", "--gamma=true"});
+  ASSERT_TRUE(parser.Parse(static_cast<int>(argv.size()), argv.data(), 0)
+                  .ok());
+  EXPECT_TRUE(a);
+  EXPECT_FALSE(b);
+  EXPECT_TRUE(c);
+}
+
+TEST(FlagParserTest, CollectsPositionals) {
+  FlagParser parser("test");
+  int64_t i;
+  parser.AddInt64("n", 0, "", &i);
+  auto argv = Argv({"first", "--n=3", "second"});
+  ASSERT_TRUE(parser.Parse(static_cast<int>(argv.size()), argv.data(), 0)
+                  .ok());
+  ASSERT_EQ(parser.positional().size(), 2u);
+  EXPECT_EQ(parser.positional()[0], "first");
+  EXPECT_EQ(parser.positional()[1], "second");
+}
+
+TEST(FlagParserTest, UnknownFlagIsError) {
+  FlagParser parser("test");
+  auto argv = Argv({"--bogus=1"});
+  auto status = parser.Parse(static_cast<int>(argv.size()), argv.data(), 0);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FlagParserTest, MalformedNumbersAreErrors) {
+  FlagParser parser("test");
+  int64_t i;
+  double d;
+  parser.AddInt64("count", 0, "", &i);
+  parser.AddDouble("ratio", 0, "", &d);
+  {
+    auto argv = Argv({"--count=abc"});
+    EXPECT_FALSE(
+        parser.Parse(static_cast<int>(argv.size()), argv.data(), 0).ok());
+  }
+  {
+    auto argv = Argv({"--ratio=1.2.3"});
+    EXPECT_FALSE(
+        parser.Parse(static_cast<int>(argv.size()), argv.data(), 0).ok());
+  }
+}
+
+TEST(FlagParserTest, MissingValueIsError) {
+  FlagParser parser("test");
+  std::string s;
+  parser.AddString("name", "", "", &s);
+  auto argv = Argv({"--name"});
+  EXPECT_FALSE(
+      parser.Parse(static_cast<int>(argv.size()), argv.data(), 0).ok());
+}
+
+TEST(FlagParserTest, HelpShortCircuits) {
+  FlagParser parser("test tool");
+  auto argv = Argv({"--help"});
+  auto status = parser.Parse(static_cast<int>(argv.size()), argv.data(), 0);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(FlagParserTest, UsageListsFlagsAndDefaults) {
+  FlagParser parser("my tool");
+  int64_t i;
+  parser.AddInt64("epochs", 60, "training epochs", &i);
+  const std::string usage = parser.Usage();
+  EXPECT_NE(usage.find("my tool"), std::string::npos);
+  EXPECT_NE(usage.find("--epochs"), std::string::npos);
+  EXPECT_NE(usage.find("60"), std::string::npos);
+  EXPECT_NE(usage.find("training epochs"), std::string::npos);
+}
+
+TEST(ParseListsTest, DoubleList) {
+  auto r = ParseDoubleList("0.1, 0.5 ,1");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().size(), 3u);
+  EXPECT_DOUBLE_EQ(r.value()[1], 0.5);
+  EXPECT_FALSE(ParseDoubleList("1,x").ok());
+  EXPECT_TRUE(ParseDoubleList("").ok());
+}
+
+TEST(ParseListsTest, StringList) {
+  auto v = ParseStringList(" a ,b,, c ");
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], "a");
+  EXPECT_EQ(v[2], "c");
+}
+
+}  // namespace
+}  // namespace desalign::common

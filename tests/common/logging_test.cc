@@ -1,0 +1,33 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace desalign::common {
+namespace {
+
+TEST(LoggingTest, LevelRoundTrip) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, SuppressedMessageDoesNotCrash) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  DESALIGN_LOG(Debug) << "this should be dropped " << 42;
+  DESALIGN_LOG(Info) << "and this " << 3.14;
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, EmittedMessageDoesNotCrash) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kDebug);
+  DESALIGN_LOG(Debug) << "visible debug message";
+  SetLogLevel(original);
+}
+
+}  // namespace
+}  // namespace desalign::common

@@ -1,0 +1,43 @@
+#include "common/stopwatch.h"
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace desalign::common {
+namespace {
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double elapsed = watch.ElapsedMillis();
+  EXPECT_GE(elapsed, 15.0);
+  EXPECT_LT(elapsed, 5000.0);
+}
+
+TEST(StopwatchTest, ResetRestartsWindow) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  watch.Reset();
+  EXPECT_LT(watch.ElapsedMillis(), 15.0);
+}
+
+TEST(StopwatchTest, SecondsAndMillisAgree) {
+  Stopwatch watch;
+  const double s = watch.ElapsedSeconds();
+  const double ms = watch.ElapsedMillis();
+  EXPECT_GE(ms, s * 1e3 - 1.0);
+}
+
+TEST(StopwatchTest, Monotone) {
+  Stopwatch watch;
+  double prev = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    const double now = watch.ElapsedSeconds();
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+}
+
+}  // namespace
+}  // namespace desalign::common

@@ -1,0 +1,57 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace desalign::common {
+namespace {
+
+TEST(StringsTest, SplitBasic) {
+  auto parts = Split("a\tb\tc", '\t');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  auto parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringsTest, SplitSingleField) {
+  auto parts = Split("alone", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "alone");
+}
+
+TEST(StringsTest, JoinInvertsSplit) {
+  std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(Join(parts, '/'), "x/y/z");
+  EXPECT_EQ(Split(Join(parts, '/'), '/'), parts);
+}
+
+TEST(StringsTest, JoinEmpty) { EXPECT_EQ(Join({}, ','), ""); }
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(Trim("  hello \t\n"), "hello");
+  EXPECT_EQ(Trim("nospace"), "nospace");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(StringsTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(47.06, 1), "47.1");
+  EXPECT_EQ(FormatDouble(-0.5, 0), "-0");
+}
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("DBP15K-ZH-EN", "DBP15K"));
+  EXPECT_FALSE(StartsWith("FB", "FBDB"));
+  EXPECT_TRUE(StartsWith("x", ""));
+}
+
+}  // namespace
+}  // namespace desalign::common

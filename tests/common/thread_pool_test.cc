@@ -1,0 +1,93 @@
+#include <algorithm>
+#include <mutex>
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace desalign::common {
+namespace {
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(
+      0, 1000,
+      [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+      },
+      /*grain=*/10);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, SmallRangesRunInline) {
+  ThreadPool pool(4);
+  std::vector<int> hits(8, 0);  // not atomic: must be single-threaded
+  pool.ParallelFor(
+      0, 8,
+      [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) ++hits[i];
+      },
+      /*grain=*/1024);
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(5, 5, [&](int64_t, int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolHasNoWorkers) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  int64_t total = 0;
+  pool.ParallelFor(0, 100,
+                   [&](int64_t begin, int64_t end) { total += end - begin; },
+                   /*grain=*/1);
+  EXPECT_EQ(total, 100);
+}
+
+TEST(ThreadPoolTest, DeterministicPartitioning) {
+  // The chunk boundaries depend only on range and thread count, so two
+  // runs record identical (begin, end) multisets.
+  ThreadPool pool(3);
+  auto record = [&pool] {
+    std::mutex m;
+    std::vector<std::pair<int64_t, int64_t>> chunks;
+    pool.ParallelFor(
+        0, 999,
+        [&](int64_t begin, int64_t end) {
+          std::lock_guard<std::mutex> lock(m);
+          chunks.emplace_back(begin, end);
+        },
+        /*grain=*/1);
+    std::sort(chunks.begin(), chunks.end());
+    return chunks;
+  };
+  EXPECT_EQ(record(), record());
+}
+
+TEST(ThreadPoolTest, ManySequentialDispatches) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> total{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.ParallelFor(
+        0, 64,
+        [&](int64_t begin, int64_t end) { total += end - begin; },
+        /*grain=*/4);
+  }
+  EXPECT_EQ(total.load(), 200 * 64);
+}
+
+TEST(ThreadPoolTest, GlobalPoolIsSingleton) {
+  EXPECT_EQ(&ThreadPool::Global(), &ThreadPool::Global());
+  EXPECT_GE(ThreadPool::Global().num_threads(), 1);
+}
+
+}  // namespace
+}  // namespace desalign::common

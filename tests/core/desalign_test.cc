@@ -1,0 +1,143 @@
+#include "core/desalign.h"
+
+#include <gtest/gtest.h>
+
+#include "align/metrics.h"
+#include "baselines/fusion_baselines.h"
+#include "kg/synthetic.h"
+
+namespace desalign::core {
+namespace {
+
+kg::AlignedKgPair SmallData(uint64_t seed = 41, double image_ratio = 0.85) {
+  kg::SyntheticSpec spec;
+  spec.num_entities = 130;
+  spec.seed = seed;
+  spec.seed_ratio = 0.3;
+  spec.image_ratio = image_ratio;
+  return kg::GenerateSyntheticPair(spec);
+}
+
+DesalignConfig FastConfig(uint64_t seed = 1) {
+  auto cfg = DesalignConfig::Default(seed);
+  cfg.base.dim = 16;
+  cfg.base.epochs = 25;
+  return cfg;
+}
+
+TEST(DesalignConfigTest, DefaultEnablesAllComponents) {
+  auto cfg = DesalignConfig::Default();
+  EXPECT_TRUE(cfg.base.use_cross_modal_attention);
+  EXPECT_TRUE(cfg.base.use_intra_modal_losses);
+  EXPECT_TRUE(cfg.base.use_min_confidence);
+  EXPECT_TRUE(cfg.use_mmsl);
+  EXPECT_TRUE(cfg.use_propagation);
+  EXPECT_EQ(cfg.base.missing_policy,
+            align::MissingFeaturePolicy::kZeroFill);
+  EXPECT_EQ(cfg.base.name, "DESAlign");
+}
+
+TEST(DesalignTest, TrainsWellAboveChance) {
+  auto data = SmallData();
+  DesalignModel model(FastConfig());
+  auto result = model.Evaluate(data);
+  EXPECT_GT(result.metrics.h_at_1, 0.3);
+  EXPECT_GT(result.metrics.mrr, result.metrics.h_at_1);
+}
+
+TEST(DesalignTest, PropagationDecodingChangesSimilarities) {
+  auto data = SmallData(43, /*image_ratio=*/0.4);
+  auto cfg = FastConfig();
+  cfg.propagation_iterations = 2;
+  DesalignModel with_sp(cfg);
+  with_sp.Fit(data);
+  auto sim_sp = with_sp.DecodeSimilarity(data);
+
+  auto cfg_off = cfg;
+  cfg_off.use_propagation = false;
+  DesalignModel without_sp(cfg_off);
+  without_sp.Fit(data);
+  auto sim_plain = without_sp.DecodeSimilarity(data);
+
+  // Same training (identical seeds/config up to decode), different decode.
+  double diff = 0.0;
+  for (int64_t i = 0; i < sim_sp->size(); ++i) {
+    diff += std::fabs(sim_sp->data()[i] - sim_plain->data()[i]);
+  }
+  EXPECT_GT(diff / sim_sp->size(), 1e-4);
+}
+
+TEST(DesalignTest, PropagationHelpsUnderMissingModality) {
+  // With heavily missing images, SP decoding should not hurt and typically
+  // helps; require no significant regression.
+  auto data = SmallData(44, /*image_ratio=*/0.3);
+  auto cfg = FastConfig(3);
+  DesalignModel with_sp(cfg);
+  auto r_sp = with_sp.Evaluate(data);
+
+  auto cfg_off = FastConfig(3);
+  cfg_off.use_propagation = false;
+  DesalignModel without_sp(cfg_off);
+  auto r_plain = without_sp.Evaluate(data);
+
+  EXPECT_GE(r_sp.metrics.mrr, r_plain.metrics.mrr - 0.03);
+}
+
+TEST(DesalignTest, ZeroPropagationIterationsFallsBackToPlainDecode) {
+  auto data = SmallData();
+  auto cfg = FastConfig();
+  cfg.propagation_iterations = 0;
+  DesalignModel model(cfg);
+  model.Fit(data);
+  auto sim = model.DecodeSimilarity(data);
+  EXPECT_EQ(sim->rows(), static_cast<int64_t>(data.test_pairs.size()));
+}
+
+TEST(DesalignTest, BeatsMeaformerBaselineOnSameData) {
+  auto data = SmallData(45);
+  DesalignModel desalign(FastConfig(5));
+  auto r_ours = desalign.Evaluate(data);
+
+  auto meaformer_cfg = baselines::MeaformerConfig(5);
+  meaformer_cfg.dim = 16;
+  meaformer_cfg.epochs = 25;
+  align::FusionAlignModel meaformer(meaformer_cfg);
+  auto r_base = meaformer.Evaluate(data);
+
+  EXPECT_GE(r_ours.metrics.mrr, r_base.metrics.mrr - 0.02);
+}
+
+TEST(DesalignTest, AblationSwitchesProduceWorkingModels) {
+  auto data = SmallData(46);
+  for (int variant = 0; variant < 4; ++variant) {
+    auto cfg = FastConfig(7);
+    switch (variant) {
+      case 0:
+        cfg.use_mmsl = false;
+        break;
+      case 1:
+        cfg.use_propagation = false;
+        break;
+      case 2:
+        cfg.base.use_min_confidence = false;
+        break;
+      case 3:
+        cfg.base.use_initial_task_loss = false;
+        break;
+    }
+    DesalignModel model(cfg);
+    auto r = model.Evaluate(data);
+    EXPECT_GT(r.metrics.h_at_1, 0.15) << "variant " << variant;
+  }
+}
+
+TEST(DesalignTest, DeterministicGivenSeed) {
+  auto data = SmallData(47);
+  DesalignModel a(FastConfig(9));
+  DesalignModel b(FastConfig(9));
+  EXPECT_DOUBLE_EQ(a.Evaluate(data).metrics.mrr,
+                   b.Evaluate(data).metrics.mrr);
+}
+
+}  // namespace
+}  // namespace desalign::core

@@ -1,0 +1,189 @@
+// Semantic Propagation tests: the explicit Euler scheme (Eq. 20–22), its
+// convergence to the closed-form solution (Eq. 19 / Proposition 4), and its
+// low-pass (energy-decreasing) behaviour.
+
+#include "core/semantic_propagation.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/dirichlet.h"
+#include "graph/graph.h"
+#include "tensor/init.h"
+#include "tensor/tensor.h"
+
+namespace desalign::core {
+namespace {
+
+using graph::Graph;
+using tensor::Tensor;
+using tensor::TensorPtr;
+
+Graph ConnectedRandomGraph(int64_t n, int64_t extra_edges, uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<std::pair<int64_t, int64_t>> edges;
+  for (int64_t i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+  for (int64_t e = 0; e < extra_edges; ++e) {
+    int64_t u = rng.UniformInt(n);
+    int64_t v = rng.UniformInt(n);
+    if (u != v) edges.emplace_back(u, v);
+  }
+  return Graph(n, std::move(edges));
+}
+
+TensorPtr RandomX(int64_t n, int64_t d, uint64_t seed) {
+  common::Rng rng(seed);
+  auto x = Tensor::Create(n, d);
+  tensor::FillNormal(*x, rng);
+  return x;
+}
+
+TEST(PropagationTest, StepPreservesKnownRows) {
+  Graph g = ConnectedRandomGraph(10, 12, 1);
+  auto norm = g.NormalizedAdjacency();
+  auto x = RandomX(10, 3, 2);
+  std::vector<bool> known(10, false);
+  known[0] = known[4] = known[7] = true;
+  auto next = SemanticPropagation::Step(norm, x, x, known);
+  for (int64_t i : {0, 4, 7}) {
+    for (int64_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(next->At(i, j), x->At(i, j));
+    }
+  }
+}
+
+TEST(PropagationTest, StepWithUnitStepIsFilterPlusReset) {
+  Graph g = ConnectedRandomGraph(8, 10, 3);
+  auto norm = g.NormalizedAdjacency();
+  auto x = RandomX(8, 2, 4);
+  std::vector<bool> known(8, false);
+  auto next = SemanticPropagation::Step(norm, x, x, known, 1.0f);
+  // With no known rows and h=1, the step is exactly x <- Ãx.
+  std::vector<float> expected(16);
+  norm->Multiply(x->data().data(), 2, expected.data());
+  for (int64_t i = 0; i < 16; ++i) {
+    EXPECT_NEAR(next->data()[i], expected[i], 1e-6);
+  }
+}
+
+TEST(PropagationTest, FractionalStepInterpolates) {
+  Graph g = ConnectedRandomGraph(8, 10, 5);
+  auto norm = g.NormalizedAdjacency();
+  auto x = RandomX(8, 2, 6);
+  std::vector<bool> known(8, false);
+  auto full = SemanticPropagation::Step(norm, x, x, known, 1.0f);
+  auto half = SemanticPropagation::Step(norm, x, x, known, 0.5f);
+  for (int64_t i = 0; i < x->size(); ++i) {
+    EXPECT_NEAR(half->data()[i],
+                0.5f * x->data()[i] + 0.5f * full->data()[i], 1e-5);
+  }
+}
+
+TEST(PropagationTest, RunReturnsAllStates) {
+  Graph g = ConnectedRandomGraph(8, 10, 7);
+  auto norm = g.NormalizedAdjacency();
+  auto x = RandomX(8, 2, 8);
+  std::vector<bool> known(8, true);
+  auto states = SemanticPropagation::Run(norm, x, known, 4);
+  ASSERT_EQ(states.size(), 5u);
+  EXPECT_EQ(states[0].get(), x.get());
+  // With everything known, every state equals x.
+  for (const auto& s : states) {
+    EXPECT_EQ(s->data(), x->data());
+  }
+}
+
+TEST(PropagationTest, FilteringDecreasesDirichletEnergy) {
+  // The Euler scheme is gradient descent on the Dirichlet energy, so each
+  // unconstrained step smooths the features (paper §IV-C).
+  Graph g = ConnectedRandomGraph(20, 40, 9);
+  auto norm = g.NormalizedAdjacency();
+  auto x = RandomX(20, 4, 10);
+  std::vector<bool> known(20, false);
+  auto states = SemanticPropagation::Run(norm, x, known, 5);
+  double prev = graph::DirichletEnergy(norm, states[0]);
+  for (size_t k = 1; k < states.size(); ++k) {
+    const double e = graph::DirichletEnergy(norm, states[k]);
+    EXPECT_LE(e, prev + 1e-4);
+    prev = e;
+  }
+}
+
+// Proposition 4 / Eq. 19: the Euler iteration with boundary reset converges
+// to the closed-form interpolation of the missing rows.
+class ClosedFormConvergenceTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(ClosedFormConvergenceTest, EulerConvergesToClosedForm) {
+  const uint64_t seed = GetParam();
+  Graph g = ConnectedRandomGraph(14, 20, seed);
+  auto norm = g.NormalizedAdjacency();
+  auto x = RandomX(14, 3, seed + 50);
+  common::Rng rng(seed + 99);
+  std::vector<bool> known(14, false);
+  int known_count = 0;
+  for (int64_t i = 0; i < 14; ++i) {
+    known[i] = rng.Bernoulli(0.6);
+    known_count += known[i];
+  }
+  if (known_count == 0) known[0] = true;
+
+  auto closed = SemanticPropagation::SolveClosedForm(norm, x, known);
+  auto states = SemanticPropagation::Run(norm, x, known, 400);
+  const auto& final_state = states.back();
+  for (int64_t i = 0; i < x->size(); ++i) {
+    EXPECT_NEAR(final_state->data()[i], closed->data()[i], 5e-3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClosedFormConvergenceTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(ClosedFormTest, KnownRowsPassThrough) {
+  Graph g = ConnectedRandomGraph(10, 15, 11);
+  auto norm = g.NormalizedAdjacency();
+  auto x = RandomX(10, 2, 12);
+  std::vector<bool> known(10, true);
+  known[3] = known[6] = false;
+  auto solved = SemanticPropagation::SolveClosedForm(norm, x, known);
+  for (int64_t i = 0; i < 10; ++i) {
+    if (!known[i]) continue;
+    for (int64_t j = 0; j < 2; ++j) {
+      EXPECT_EQ(solved->At(i, j), x->At(i, j));
+    }
+  }
+}
+
+TEST(ClosedFormTest, InterpolatedValueIsNeighborhoodAverageOnStar) {
+  // Star graph: center 0 unknown, leaves known. The harmonic solution for
+  // the center is determined by the normalized-adjacency stationarity
+  // (I − Ã)₀₀ x₀ = Σ_leaf Ã₀ℓ x_ℓ.
+  Graph g(4, {{0, 1}, {0, 2}, {0, 3}});
+  auto norm = g.NormalizedAdjacency();
+  auto x = Tensor::FromData(4, 1, {0.0f, 1.0f, 1.0f, 1.0f});
+  std::vector<bool> known = {false, true, true, true};
+  auto solved = SemanticPropagation::SolveClosedForm(norm, x, known);
+  // Stationarity: x0 = (Ãx)_0 => x0(1 − Ã00) = Σ Ã0ℓ·1.
+  double coupling = 0.0;
+  for (int64_t l = 1; l < 4; ++l) coupling += norm->At(0, l);
+  const double expected = coupling / (1.0 - norm->At(0, 0));
+  EXPECT_NEAR(solved->At(0, 0), expected, 1e-4);
+  // Symmetric normalization is not row-stochastic, so the harmonic value
+  // need not stay inside [min, max] of the leaves — but it must inherit
+  // their sign.
+  EXPECT_GT(solved->At(0, 0), 0.0f);
+}
+
+TEST(ClosedFormTest, AllKnownIsIdentity) {
+  Graph g = ConnectedRandomGraph(6, 8, 13);
+  auto norm = g.NormalizedAdjacency();
+  auto x = RandomX(6, 2, 14);
+  std::vector<bool> known(6, true);
+  auto solved = SemanticPropagation::SolveClosedForm(norm, x, known);
+  EXPECT_EQ(solved->data(), x->data());
+}
+
+}  // namespace
+}  // namespace desalign::core

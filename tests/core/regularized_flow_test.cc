@@ -1,0 +1,121 @@
+// Tests for the regularized gradient flow (the [19] generalization):
+// fidelity limits, reduction to plain propagation, and monotone descent of
+// the composite energy.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/semantic_propagation.h"
+#include "graph/dirichlet.h"
+#include "graph/graph.h"
+#include "tensor/init.h"
+
+namespace desalign::core {
+namespace {
+
+using graph::Graph;
+using tensor::Tensor;
+using tensor::TensorPtr;
+
+Graph TestGraph(uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<std::pair<int64_t, int64_t>> edges;
+  for (int64_t i = 0; i + 1 < 16; ++i) edges.emplace_back(i, i + 1);
+  for (int e = 0; e < 20; ++e) {
+    edges.emplace_back(rng.UniformInt(16), rng.UniformInt(16));
+  }
+  return Graph(16, std::move(edges));
+}
+
+TensorPtr RandomX(uint64_t seed) {
+  common::Rng rng(seed);
+  auto x = Tensor::Create(16, 3);
+  tensor::FillNormal(*x, rng);
+  return x;
+}
+
+TEST(RegularizedFlowTest, ZeroFidelityMatchesPlainEuler) {
+  auto g = TestGraph(1);
+  auto norm = g.NormalizedAdjacency();
+  auto x0 = RandomX(2);
+  std::vector<bool> none(16, false);
+  auto plain = SemanticPropagation::Run(norm, x0, none, 4, /*step=*/0.5f);
+  auto reg = SemanticPropagation::RunRegularized(norm, x0, /*fidelity=*/0.0f,
+                                                 4, /*step=*/0.5f);
+  ASSERT_EQ(plain.size(), reg.size());
+  for (size_t s = 0; s < plain.size(); ++s) {
+    for (int64_t i = 0; i < x0->size(); ++i) {
+      EXPECT_NEAR(plain[s]->data()[i], reg[s]->data()[i], 1e-5);
+    }
+  }
+}
+
+TEST(RegularizedFlowTest, HighFidelityPinsToInitialValue) {
+  auto g = TestGraph(3);
+  auto norm = g.NormalizedAdjacency();
+  auto x0 = RandomX(4);
+  const float mu = 50.0f;
+  auto states = SemanticPropagation::RunRegularized(
+      norm, x0, mu, 30, /*step=*/1.0f / (1.0f + mu / 2.0f));
+  // Fixed point satisfies Δx + μ(x−x0) = 0 => x ≈ x0 + O(1/μ).
+  double max_dev = 0.0;
+  for (int64_t i = 0; i < x0->size(); ++i) {
+    max_dev = std::max(
+        max_dev, static_cast<double>(std::fabs(states.back()->data()[i] -
+                                               x0->data()[i])));
+  }
+  EXPECT_LT(max_dev, 0.1);
+}
+
+TEST(RegularizedFlowTest, CompositeEnergyDecreasesMonotonically) {
+  auto g = TestGraph(5);
+  auto norm = g.NormalizedAdjacency();
+  auto x0 = RandomX(6);
+  const float mu = 0.5f;
+  auto states =
+      SemanticPropagation::RunRegularized(norm, x0, mu, 10, /*step=*/0.5f);
+  auto composite = [&](const TensorPtr& x) {
+    double fidelity = 0.0;
+    for (int64_t i = 0; i < x->size(); ++i) {
+      const double d = x->data()[i] - x0->data()[i];
+      fidelity += d * d;
+    }
+    return graph::DirichletEnergy(norm, x) + 0.5 * mu * fidelity;
+  };
+  double prev = composite(states[0]);
+  for (size_t s = 1; s < states.size(); ++s) {
+    const double e = composite(states[s]);
+    EXPECT_LE(e, prev + 1e-5);
+    prev = e;
+  }
+}
+
+TEST(RegularizedFlowTest, FidelityReducesDriftMonotonically) {
+  auto g = TestGraph(7);
+  auto norm = g.NormalizedAdjacency();
+  auto x0 = RandomX(8);
+  auto drift = [&](float mu) {
+    auto states = SemanticPropagation::RunRegularized(
+        norm, x0, mu, 8, /*step=*/1.0f / (1.0f + mu / 2.0f));
+    double acc = 0.0;
+    for (int64_t i = 0; i < x0->size(); ++i) {
+      const double d = states.back()->data()[i] - x0->data()[i];
+      acc += d * d;
+    }
+    return acc;
+  };
+  EXPECT_GT(drift(0.0f), drift(1.0f));
+  EXPECT_GT(drift(1.0f), drift(10.0f));
+}
+
+TEST(RegularizedFlowTest, UnstableStepIsRejected) {
+  auto g = TestGraph(9);
+  auto norm = g.NormalizedAdjacency();
+  auto x0 = RandomX(10);
+  EXPECT_DEATH(SemanticPropagation::RunRegularized(norm, x0, /*mu=*/4.0f,
+                                                   2, /*step=*/1.0f),
+               "CHECK failed");
+}
+
+}  // namespace
+}  // namespace desalign::core

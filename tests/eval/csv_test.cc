@@ -1,0 +1,67 @@
+#include "eval/csv.h"
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace desalign::eval {
+namespace {
+
+TEST(CsvEscapeTest, PlainFieldsPassThrough) {
+  EXPECT_EQ(CsvEscape("abc"), "abc");
+  EXPECT_EQ(CsvEscape("0.471"), "0.471");
+}
+
+TEST(CsvEscapeTest, QuotesCommasNewlines) {
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvEscape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvRecorderTest, HeaderFollowsFirstRowOrder) {
+  CsvRecorder rec;
+  rec.AddRow({{"b", "2"}, {"a", "1"}});  // map iterates a, b
+  rec.AddRow({{"a", "3"}, {"c", "4"}});
+  const std::string out = rec.ToString();
+  EXPECT_EQ(out, "a,b,c\n1,2,\n3,,4\n");
+}
+
+TEST(CsvRecorderTest, AddResultColumns) {
+  CsvRecorder rec;
+  align::EvalResult result;
+  result.metrics.h_at_1 = 0.5;
+  result.metrics.mrr = 0.6;
+  result.train_seconds = 1.25;
+  rec.AddResult("DESAlign", "FBDB15K", result, {{"image_ratio", "0.3"}});
+  const std::string out = rec.ToString();
+  EXPECT_NE(out.find("method"), std::string::npos);
+  EXPECT_NE(out.find("DESAlign"), std::string::npos);
+  EXPECT_NE(out.find("0.5000"), std::string::npos);
+  EXPECT_NE(out.find("image_ratio"), std::string::npos);
+  EXPECT_EQ(rec.num_rows(), 1u);
+}
+
+TEST(CsvRecorderTest, WriteFileRoundTrip) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("desalign_csv_" + std::to_string(::getpid()) + ".csv");
+  CsvRecorder rec;
+  rec.AddRow({{"x", "1"}});
+  ASSERT_TRUE(rec.WriteFile(path.string()).ok());
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "x\n1\n");
+  std::filesystem::remove(path);
+}
+
+TEST(CsvRecorderTest, WriteFileBadPathFails) {
+  CsvRecorder rec;
+  rec.AddRow({{"x", "1"}});
+  EXPECT_FALSE(rec.WriteFile("/nonexistent_dir_zzz/file.csv").ok());
+}
+
+}  // namespace
+}  // namespace desalign::eval

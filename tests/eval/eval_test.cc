@@ -1,0 +1,98 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "eval/harness.h"
+#include "eval/table.h"
+#include "kg/synthetic.h"
+
+namespace desalign::eval {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumnsAndPads) {
+  TablePrinter table({"A", "LongHeader"});
+  table.AddRow({"xx", "1"});
+  table.AddRow({"y"});  // short rows are padded
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| A  | LongHeader |"), std::string::npos);
+  EXPECT_NE(out.find("| xx | 1          |"), std::string::npos);
+  EXPECT_NE(out.find("| y  |            |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, SeparatorRendersAsRule) {
+  TablePrinter table({"H"});
+  table.AddRow({"a"});
+  table.AddSeparator();
+  table.AddRow({"b"});
+  std::ostringstream os;
+  table.Print(os);
+  // header rule + post-header + separator + trailing = 4 rules.
+  const std::string out = os.str();
+  size_t rules = 0;
+  size_t pos = 0;
+  while ((pos = out.find("+---", pos)) != std::string::npos) {
+    ++rules;
+    pos += 4;
+  }
+  EXPECT_EQ(rules, 4u);
+}
+
+TEST(FormattersTest, PctAndSecs) {
+  EXPECT_EQ(Pct(0.4712), "47.1");
+  EXPECT_EQ(Pct(1.0), "100.0");
+  EXPECT_EQ(Secs(1.234), "1.23s");
+}
+
+TEST(HarnessTest, MethodRegistries) {
+  auto prominent = ProminentMethods();
+  ASSERT_EQ(prominent.size(), 4u);
+  EXPECT_EQ(prominent[0].name, "EVA");
+  EXPECT_EQ(prominent[3].name, "DESAlign");
+  auto all = AllBasicMethods();
+  ASSERT_EQ(all.size(), 10u);
+  EXPECT_EQ(all[0].name, "TransE");
+  EXPECT_EQ(all[1].name, "IPTransE");
+  EXPECT_EQ(all[2].name, "PoE");
+  EXPECT_EQ(all[3].name, "GCN-align");
+  EXPECT_EQ(all[4].name, "AttrGNN");
+  EXPECT_EQ(all[5].name, "MMEA");
+  EXPECT_EQ(all.back().name, "DESAlign");
+}
+
+TEST(HarnessTest, GlobalSettingsAffectFactories) {
+  auto& settings = GlobalHarnessSettings();
+  const auto saved = settings;
+  settings.dim = 8;
+  settings.epochs = 3;
+
+  kg::SyntheticSpec spec;
+  spec.num_entities = 60;
+  spec.seed = 5;
+  auto data = kg::GenerateSyntheticPair(spec);
+  // A 3-epoch run at dim 8 must finish quickly and produce metrics.
+  auto result = RunCell(ProminentMethods()[2], data, /*seed=*/1);
+  EXPECT_GE(result.metrics.h_at_1, 0.0);
+  EXPECT_LT(result.train_seconds, 10.0);
+
+  settings = saved;
+}
+
+TEST(HarnessTest, RunCellIterativeFallsBackForNonFusionMethods) {
+  kg::SyntheticSpec spec;
+  spec.num_entities = 60;
+  spec.seed = 6;
+  auto data = kg::GenerateSyntheticPair(spec);
+  auto& settings = GlobalHarnessSettings();
+  const auto saved = settings;
+  settings.epochs = 3;
+  settings.dim = 8;
+  // TransE is not a fusion model; iterative mode must not crash.
+  auto result = RunCell(AllBasicMethods()[0], data, 1, /*iterative=*/true);
+  EXPECT_GE(result.metrics.mrr, 0.0);
+  settings = saved;
+}
+
+}  // namespace
+}  // namespace desalign::eval

@@ -1,0 +1,78 @@
+#include "graph/algorithms.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace desalign::graph {
+namespace {
+
+Graph TwoTriangles() {
+  // 0-1-2 triangle, 3-4-5 triangle, node 6 isolated.
+  return Graph(7, {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}});
+}
+
+TEST(ConnectedComponentsTest, LabelsAndSizes) {
+  auto labels = ConnectedComponents(TwoTriangles());
+  EXPECT_EQ(labels.num_components, 3);
+  EXPECT_EQ(labels.label[0], labels.label[1]);
+  EXPECT_EQ(labels.label[0], labels.label[2]);
+  EXPECT_EQ(labels.label[3], labels.label[5]);
+  EXPECT_NE(labels.label[0], labels.label[3]);
+  EXPECT_NE(labels.label[6], labels.label[0]);
+  auto sizes = labels.ComponentSizes();
+  std::sort(sizes.begin(), sizes.end());
+  EXPECT_EQ(sizes, (std::vector<int64_t>{1, 3, 3}));
+}
+
+TEST(ConnectedComponentsTest, SingleComponent) {
+  Graph path(4, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_TRUE(IsConnected(path));
+  EXPECT_FALSE(IsConnected(TwoTriangles()));
+}
+
+TEST(BfsTest, DistancesOnPath) {
+  Graph path(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  auto dist = BfsDistances(path, 0);
+  EXPECT_EQ(dist, (std::vector<int64_t>{0, 1, 2, 3, 4}));
+  auto from_middle = BfsDistances(path, 2);
+  EXPECT_EQ(from_middle, (std::vector<int64_t>{2, 1, 0, 1, 2}));
+}
+
+TEST(BfsTest, UnreachableIsMinusOne) {
+  auto dist = BfsDistances(TwoTriangles(), 0);
+  EXPECT_EQ(dist[3], -1);
+  EXPECT_EQ(dist[6], -1);
+  EXPECT_EQ(dist[2], 1);
+}
+
+TEST(KHopTest, GrowsWithRadius) {
+  Graph path(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  EXPECT_EQ(KHopNeighborhood(path, 0, 0),
+            (std::vector<int64_t>{0}));
+  EXPECT_EQ(KHopNeighborhood(path, 0, 2),
+            (std::vector<int64_t>{0, 1, 2}));
+  EXPECT_EQ(KHopNeighborhood(path, 2, 10).size(), 5u);
+}
+
+TEST(InducedSubgraphTest, KeepsInternalEdgesOnly) {
+  Graph g = TwoTriangles();
+  auto sub = InducedSubgraph(g, {0, 1, 3});
+  EXPECT_EQ(sub.num_nodes(), 3);
+  // Only 0-1 survives (2 is excluded, 3 connects to excluded 4/5).
+  EXPECT_EQ(sub.num_edges(), 1);
+  EXPECT_EQ(sub.edges()[0], (std::pair<int64_t, int64_t>{0, 1}));
+}
+
+TEST(GraphStatisticsTest, Summary) {
+  auto s = ComputeGraphStatistics(TwoTriangles());
+  EXPECT_EQ(s.num_nodes, 7);
+  EXPECT_EQ(s.num_edges, 6);
+  EXPECT_EQ(s.num_components, 3);
+  EXPECT_EQ(s.max_degree, 2);
+  EXPECT_EQ(s.isolated_nodes, 1);
+  EXPECT_NEAR(s.average_degree, 12.0 / 7.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace desalign::graph

@@ -1,0 +1,214 @@
+// Property tests for the paper's theoretical apparatus: Definition 3
+// (Dirichlet energy), Proposition 1 (convexity bound), Corollary 1
+// (interpolation quality bounds), Proposition 2 (singular-value energy
+// bounds), and the spectral range of the normalized Laplacian.
+
+#include "graph/dirichlet.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+
+namespace desalign::graph {
+namespace {
+
+using tensor::Tensor;
+using tensor::TensorPtr;
+
+Graph RandomGraph(int64_t n, int64_t num_edges, uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<std::pair<int64_t, int64_t>> edges;
+  for (int64_t e = 0; e < num_edges; ++e) {
+    int64_t u = rng.UniformInt(n);
+    int64_t v = rng.UniformInt(n);
+    if (u == v) v = (v + 1) % n;
+    edges.emplace_back(u, v);
+  }
+  // Ensure connectivity with a path backbone.
+  for (int64_t i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+  return Graph(n, std::move(edges));
+}
+
+TensorPtr RandomFeatures(int64_t n, int64_t d, uint64_t seed) {
+  common::Rng rng(seed);
+  auto x = Tensor::Create(n, d);
+  tensor::FillNormal(*x, rng);
+  return x;
+}
+
+TEST(DirichletTest, EnergyIsZeroForLaplacianNullspace) {
+  // On a connected graph the null space of Δ = I − Ã is spanned by
+  // D^{1/2}·1: features proportional to sqrt(deg+1) have zero energy.
+  Graph g = RandomGraph(12, 20, 1);
+  auto norm = g.NormalizedAdjacency();
+  auto deg = g.Degrees();
+  auto x = Tensor::Create(12, 3);
+  for (int64_t i = 0; i < 12; ++i) {
+    for (int64_t j = 0; j < 3; ++j) {
+      x->At(i, j) = std::sqrt(static_cast<float>(deg[i] + 1)) *
+                    static_cast<float>(j + 1);
+    }
+  }
+  EXPECT_NEAR(DirichletEnergy(norm, x), 0.0, 1e-3);
+}
+
+TEST(DirichletTest, EnergyIsNonNegative) {
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    Graph g = RandomGraph(15, 30, seed);
+    auto norm = g.NormalizedAdjacency();
+    auto x = RandomFeatures(15, 4, seed + 100);
+    EXPECT_GE(DirichletEnergy(norm, x), -1e-4);
+  }
+}
+
+TEST(DirichletTest, EnergyMatchesExplicitTraceFormula) {
+  Graph g = RandomGraph(10, 18, 3);
+  auto norm = g.NormalizedAdjacency();
+  auto lap = g.Laplacian();
+  auto x = RandomFeatures(10, 3, 5);
+  // tr(XᵀΔX) computed densely.
+  double expected = 0.0;
+  for (int64_t i = 0; i < 10; ++i) {
+    for (int64_t j = 0; j < 10; ++j) {
+      const double lv = lap->At(i, j);
+      if (lv == 0.0) continue;
+      for (int64_t c = 0; c < 3; ++c) {
+        expected += x->At(i, c) * lv * x->At(j, c);
+      }
+    }
+  }
+  EXPECT_NEAR(DirichletEnergy(norm, x), expected, 1e-3);
+}
+
+TEST(DirichletTest, EnergyNodeMatchesPlainEnergyAndDifferentiates) {
+  Graph g = RandomGraph(8, 14, 7);
+  auto norm = g.NormalizedAdjacency();
+  common::Rng rng(9);
+  auto x = Tensor::Create(8, 3, /*requires_grad=*/true);
+  tensor::FillNormal(*x, rng);
+  auto node = DirichletEnergyNode(norm, x);
+  EXPECT_NEAR(node->ScalarValue(), DirichletEnergy(norm, x), 1e-3);
+  node->Backward();
+  // ∇E = 2ΔX; spot-check a few entries.
+  auto lap = g.Laplacian();
+  for (int64_t i = 0; i < 8; ++i) {
+    double expected = 0.0;
+    for (int64_t j = 0; j < 8; ++j) {
+      expected += 2.0 * lap->At(i, j) * x->At(j, 0);
+    }
+    EXPECT_NEAR(x->grad()[i * 3 + 0], expected, 1e-3);
+  }
+}
+
+TEST(DirichletTest, LaplacianEigenvaluesWithinZeroTwo) {
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    Graph g = RandomGraph(20, 40, seed);
+    const double lambda = LargestEigenvalue(g.Laplacian());
+    EXPECT_GE(lambda, 0.0);
+    EXPECT_LT(lambda, 2.0);  // [23] Chung: λ_max ∈ [0, 2)
+  }
+}
+
+TEST(DirichletTest, LargestEigenvalueOfIdentityIsOne) {
+  auto eye = tensor::CsrMatrix::Identity(6);
+  EXPECT_NEAR(LargestEigenvalue(eye), 1.0, 1e-6);
+}
+
+// Proposition 1: E(X̂) − E(X) ≥ 2⟨ΔX, X̂−X⟩ for arbitrary perturbations.
+class Proposition1Test : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Proposition1Test, ConvexityLowerBoundHolds) {
+  const uint64_t seed = GetParam();
+  Graph g = RandomGraph(12, 25, seed);
+  auto norm = g.NormalizedAdjacency();
+  auto x = RandomFeatures(12, 4, seed * 13 + 1);
+  auto x_hat = RandomFeatures(12, 4, seed * 13 + 2);
+  const double lhs = DirichletEnergy(norm, x_hat) - DirichletEnergy(norm, x);
+  // 2⟨ΔX, X̂−X⟩ with Δ = I − Ã.
+  const int64_t n = 12;
+  const int64_t d = 4;
+  std::vector<float> ax(n * d);
+  norm->Multiply(x->data().data(), d, ax.data());
+  double rhs = 0.0;
+  for (int64_t i = 0; i < n * d; ++i) {
+    const double dx = x->data()[i] - ax[i];  // (ΔX)_i
+    rhs += 2.0 * dx * (x_hat->data()[i] - x->data()[i]);
+  }
+  EXPECT_GE(lhs, rhs - 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Proposition1Test,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// Corollary 1: ||X̂−X||₂ is bracketed by the energy gap over 2λ_max·M and
+// 2λ_max·m. We verify the computed bracket is ordered and contains
+// plausible magnitudes.
+TEST(DirichletTest, Corollary1BoundsAreOrdered) {
+  Graph g = RandomGraph(12, 25, 11);
+  auto norm = g.NormalizedAdjacency();
+  auto x = RandomFeatures(12, 4, 21);
+  auto x_hat = RandomFeatures(12, 4, 22);
+  const double e_x = DirichletEnergy(norm, x);
+  const double e_hat = DirichletEnergy(norm, x_hat);
+  const double lambda = LargestEigenvalue(g.Laplacian());
+  const double norm_x = x->FrobeniusNorm();
+  const double norm_hat = x_hat->FrobeniusNorm();
+  const double big = std::max(norm_x, norm_hat);
+  const double small = std::min(norm_x, norm_hat);
+  auto bounds = InterpolationQualityBounds(e_hat, e_x, lambda, small, big);
+  EXPECT_LE(bounds.lower, bounds.upper);
+  EXPECT_GE(bounds.lower, 0.0);
+  // The Lipschitz lower bound must not exceed the true difference norm.
+  auto diff = tensor::Sub(x_hat, x);
+  EXPECT_LE(bounds.lower, diff->FrobeniusNorm() + 1e-3);
+}
+
+// Proposition 2: p_min·E(X) ≤ E(XW) ≤ p_max·E(X) with p the squared
+// extreme singular values of W.
+class Proposition2Test : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Proposition2Test, LayerEnergyBoundsHold) {
+  const uint64_t seed = GetParam();
+  Graph g = RandomGraph(14, 30, seed);
+  auto norm = g.NormalizedAdjacency();
+  auto x = RandomFeatures(14, 5, seed * 31 + 1);
+  common::Rng rng(seed * 31 + 2);
+  auto w = Tensor::Create(5, 5);
+  tensor::GlorotUniform(*w, rng);
+  const auto sv = EstimateSingularValueBounds(w);
+  EXPECT_GE(sv.p_max, sv.p_min);
+  const double e_x = DirichletEnergy(norm, x);
+  const double e_xw = DirichletEnergy(norm, tensor::MatMul(x, w));
+  EXPECT_LE(e_xw, sv.p_max * e_x * (1.0 + 1e-3) + 1e-4);
+  EXPECT_GE(e_xw, sv.p_min * e_x * (1.0 - 1e-3) - 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Proposition2Test,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(DirichletTest, SingularValueBoundsOnKnownMatrix) {
+  // diag(3, 1): singular values 3 and 1, squares 9 and 1.
+  auto w = Tensor::FromData(2, 2, {3, 0, 0, 1});
+  auto sv = EstimateSingularValueBounds(w);
+  EXPECT_NEAR(sv.p_max, 9.0, 1e-3);
+  EXPECT_NEAR(sv.p_min, 1.0, 1e-3);
+}
+
+TEST(DirichletTest, NearSingularWeightCollapsesEnergy) {
+  // The over-smoothing mechanism of Proposition 2: a weight matrix with a
+  // tiny smallest singular value can drive the layer energy toward zero.
+  Graph g = RandomGraph(10, 18, 3);
+  auto norm = g.NormalizedAdjacency();
+  auto x = RandomFeatures(10, 3, 4);
+  auto w = Tensor::FromData(3, 3, {1e-3f, 0, 0, 0, 1e-3f, 0, 0, 0, 1e-3f});
+  const double e = DirichletEnergy(norm, tensor::MatMul(x, w));
+  EXPECT_LT(e, 1e-4 * DirichletEnergy(norm, x));
+}
+
+}  // namespace
+}  // namespace desalign::graph

@@ -1,0 +1,122 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/dirichlet.h"
+
+namespace desalign::graph {
+namespace {
+
+Graph PathGraph(int64_t n) {
+  std::vector<std::pair<int64_t, int64_t>> edges;
+  for (int64_t i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+  return Graph(n, std::move(edges));
+}
+
+TEST(GraphTest, DeduplicatesAndDropsSelfLoops) {
+  Graph g(3, {{0, 1}, {1, 0}, {0, 1}, {2, 2}});
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.num_nodes(), 3);
+}
+
+TEST(GraphTest, AdjacencyIsSymmetricBinary) {
+  Graph g(4, {{0, 1}, {1, 2}, {2, 3}, {0, 3}});
+  auto a = g.Adjacency();
+  EXPECT_TRUE(a->IsSymmetric());
+  EXPECT_FLOAT_EQ(a->At(0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(a->At(1, 0), 1.0f);
+  EXPECT_FLOAT_EQ(a->At(0, 2), 0.0f);
+  EXPECT_EQ(a->nnz(), 8);
+}
+
+TEST(GraphTest, DegreesMatchEdgeList) {
+  Graph g(4, {{0, 1}, {1, 2}, {1, 3}});
+  auto deg = g.Degrees();
+  EXPECT_EQ(deg[0], 1);
+  EXPECT_EQ(deg[1], 3);
+  EXPECT_EQ(deg[2], 1);
+  EXPECT_EQ(deg[3], 1);
+}
+
+TEST(GraphTest, NormalizedAdjacencySymmetricWithUnitSpectralRadius) {
+  common::Rng rng(5);
+  std::vector<std::pair<int64_t, int64_t>> edges;
+  for (int i = 0; i < 60; ++i) {
+    edges.emplace_back(rng.UniformInt(20), rng.UniformInt(20));
+  }
+  Graph g(20, std::move(edges));
+  auto norm = g.NormalizedAdjacency();
+  EXPECT_TRUE(norm->IsSymmetric(1e-5f));
+  // Row sums can exceed 1 on irregular graphs, but the spectral radius of
+  // D^-1/2(A+I)D^-1/2 is exactly 1 (eigenvector D^{1/2}·1).
+  EXPECT_NEAR(LargestEigenvalue(norm), 1.0, 1e-4);
+  for (float s : norm->RowSums()) {
+    EXPECT_GT(s, 0.0f);
+  }
+}
+
+TEST(GraphTest, NormalizedAdjacencyRegularGraphRowSumsAreOne) {
+  // On a cycle every node has degree 2; with self-loops, D^-1/2(A+I)D^-1/2
+  // rows sum to exactly 1.
+  std::vector<std::pair<int64_t, int64_t>> edges;
+  const int64_t n = 8;
+  for (int64_t i = 0; i < n; ++i) edges.emplace_back(i, (i + 1) % n);
+  Graph g(n, std::move(edges));
+  for (float s : g.NormalizedAdjacency()->RowSums()) {
+    EXPECT_NEAR(s, 1.0f, 1e-5);
+  }
+}
+
+TEST(GraphTest, IsolatedNodeGetsIdentityRow) {
+  Graph g(3, {{0, 1}});  // node 2 isolated
+  auto norm = g.NormalizedAdjacency();
+  EXPECT_FLOAT_EQ(norm->At(2, 2), 1.0f);
+  EXPECT_FLOAT_EQ(norm->At(2, 0), 0.0f);
+}
+
+TEST(GraphTest, LaplacianIsIdentityMinusNormalizedAdjacency) {
+  Graph g = PathGraph(5);
+  auto lap = g.Laplacian();
+  auto norm = g.NormalizedAdjacency();
+  for (int64_t i = 0; i < 5; ++i) {
+    for (int64_t j = 0; j < 5; ++j) {
+      const float expected = (i == j ? 1.0f : 0.0f) - norm->At(i, j);
+      EXPECT_NEAR(lap->At(i, j), expected, 1e-6);
+    }
+  }
+}
+
+TEST(GraphTest, MessagePassingEdgesBothDirectionsPlusSelfLoops) {
+  Graph g(3, {{0, 1}, {1, 2}});
+  auto mp = g.MessagePassingEdges(true);
+  EXPECT_EQ(mp.src.size(), 2u * 2u + 3u);
+  // Every node appears as its own source/destination once (self-loop).
+  int self_loops = 0;
+  for (size_t i = 0; i < mp.src.size(); ++i) {
+    if (mp.src[i] == mp.dst[i]) ++self_loops;
+  }
+  EXPECT_EQ(self_loops, 3);
+  auto mp_no_self = g.MessagePassingEdges(false);
+  EXPECT_EQ(mp_no_self.src.size(), 4u);
+}
+
+TEST(GraphTest, DisjointUnionShiftsSecondGraph) {
+  Graph a(2, {{0, 1}});
+  Graph b(3, {{0, 2}});
+  Graph u = Graph::DisjointUnion(a, b);
+  EXPECT_EQ(u.num_nodes(), 5);
+  EXPECT_EQ(u.num_edges(), 2);
+  auto adj = u.Adjacency();
+  EXPECT_FLOAT_EQ(adj->At(0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(adj->At(2, 4), 1.0f);
+  // No cross edges.
+  for (int64_t i = 0; i < 2; ++i) {
+    for (int64_t j = 2; j < 5; ++j) {
+      EXPECT_FLOAT_EQ(adj->At(i, j), 0.0f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace desalign::graph

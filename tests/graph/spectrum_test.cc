@@ -1,0 +1,136 @@
+// Exact spectral validation of the paper's Laplacian claims, using the
+// Jacobi eigensolver: λ(Δ) ⊂ [0, 2), multiplicity of eigenvalue 0 equals
+// the number of connected components, and the power-iteration estimate
+// agrees with the true extreme eigenvalue.
+
+#include "graph/spectrum.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/algorithms.h"
+#include "graph/dirichlet.h"
+#include "graph/graph.h"
+
+namespace desalign::graph {
+namespace {
+
+TEST(JacobiTest, DiagonalMatrixEigenvaluesAreDiagonal) {
+  auto m = tensor::CsrMatrix::FromTriplets(
+      3, 3, {{0, 0, 3.0f}, {1, 1, -1.0f}, {2, 2, 2.0f}});
+  auto eig = SymmetricEigenvalues(*m);
+  ASSERT_EQ(eig.size(), 3u);
+  EXPECT_NEAR(eig[0], -1.0, 1e-8);
+  EXPECT_NEAR(eig[1], 2.0, 1e-8);
+  EXPECT_NEAR(eig[2], 3.0, 1e-8);
+}
+
+TEST(JacobiTest, TwoByTwoKnownSpectrum) {
+  // [[2,1],[1,2]] has eigenvalues 1 and 3.
+  auto m = tensor::CsrMatrix::FromTriplets(
+      2, 2, {{0, 0, 2.0f}, {0, 1, 1.0f}, {1, 0, 1.0f}, {1, 1, 2.0f}});
+  auto eig = SymmetricEigenvalues(*m);
+  EXPECT_NEAR(eig[0], 1.0, 1e-8);
+  EXPECT_NEAR(eig[1], 3.0, 1e-8);
+}
+
+TEST(JacobiTest, TraceAndSumAgree) {
+  common::Rng rng(4);
+  std::vector<tensor::Triplet> t;
+  const int64_t n = 12;
+  double trace = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const float d = rng.UniformF(-2.0f, 2.0f);
+    t.push_back({i, i, d});
+    trace += d;
+    for (int64_t j = i + 1; j < n; ++j) {
+      if (!rng.Bernoulli(0.3)) continue;
+      const float v = rng.UniformF(-1.0f, 1.0f);
+      t.push_back({i, j, v});
+      t.push_back({j, i, v});
+    }
+  }
+  auto m = tensor::CsrMatrix::FromTriplets(n, n, std::move(t));
+  auto eig = SymmetricEigenvalues(*m);
+  double sum = 0.0;
+  for (double v : eig) sum += v;
+  EXPECT_NEAR(sum, trace, 1e-5);
+}
+
+Graph RandomGraph(int64_t n, int64_t extra, uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<std::pair<int64_t, int64_t>> edges;
+  for (int64_t i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+  for (int64_t e = 0; e < extra; ++e) {
+    edges.emplace_back(rng.UniformInt(n), rng.UniformInt(n));
+  }
+  return Graph(n, std::move(edges));
+}
+
+class LaplacianSpectrumTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LaplacianSpectrumTest, EigenvaluesInZeroTwo) {
+  Graph g = RandomGraph(24, 40, GetParam());
+  auto eig = SymmetricEigenvalues(*g.Laplacian());
+  EXPECT_NEAR(eig.front(), 0.0, 1e-6);
+  EXPECT_LT(eig.back(), 2.0);  // Chung: λ_max(Δ) < 2 when not bipartite-ish
+  for (double v : eig) EXPECT_GE(v, -1e-6);
+}
+
+TEST_P(LaplacianSpectrumTest, PowerIterationMatchesJacobi) {
+  Graph g = RandomGraph(20, 30, GetParam() + 100);
+  auto lap = g.Laplacian();
+  const double power = LargestEigenvalue(lap, /*iterations=*/500);
+  const double exact = SymmetricEigenvalues(*lap).back();
+  EXPECT_NEAR(power, exact, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LaplacianSpectrumTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(LaplacianSpectrumTest, ZeroMultiplicityEqualsComponentCount) {
+  // Two triangles + isolated node: 3 components.
+  Graph g(7, {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}});
+  auto summary = SummarizeLaplacianSpectrum(*g.Laplacian());
+  EXPECT_EQ(summary.num_near_zero,
+            ConnectedComponents(g).num_components);
+  EXPECT_NEAR(summary.lambda_min, 0.0, 1e-6);
+  // Disconnected graph: Fiedler value is 0.
+  EXPECT_NEAR(summary.lambda_2, 0.0, 1e-6);  // float32 inputs
+}
+
+TEST(LaplacianSpectrumTest, ConnectedGraphHasPositiveFiedlerValue) {
+  Graph g = RandomGraph(15, 25, 9);
+  ASSERT_TRUE(IsConnected(g));
+  auto summary = SummarizeLaplacianSpectrum(*g.Laplacian());
+  EXPECT_EQ(summary.num_near_zero, 1);
+  EXPECT_GT(summary.lambda_2, 1e-4);
+}
+
+TEST(SubMatrixTest, BlockPartitionOfEquationTwo) {
+  // Partition Δ into known (c) and unknown (o) blocks as in Eq. 2/19.
+  Graph g = RandomGraph(10, 15, 11);
+  auto lap = g.Laplacian();
+  std::vector<bool> known = {true, false, true,  true, false,
+                             true, true,  false, true, true};
+  std::vector<bool> unknown(known.size());
+  for (size_t i = 0; i < known.size(); ++i) unknown[i] = !known[i];
+
+  auto d_oo = lap->SubMatrix(unknown, unknown);
+  auto d_oc = lap->SubMatrix(unknown, known);
+  EXPECT_EQ(d_oo->rows(), 3);
+  EXPECT_EQ(d_oo->cols(), 3);
+  EXPECT_EQ(d_oc->rows(), 3);
+  EXPECT_EQ(d_oc->cols(), 7);
+  // Diagonal blocks of a PSD matrix are PSD: eigenvalues >= 0. In fact
+  // Δ_oo is non-singular when every unknown component touches a known node
+  // ([33] Rossi et al.) — its smallest eigenvalue is strictly positive.
+  auto eig = SymmetricEigenvalues(*d_oo);
+  EXPECT_GT(eig.front(), 0.0);
+  // Entries carry over from the full matrix.
+  EXPECT_NEAR(d_oo->At(0, 0), lap->At(1, 1), 1e-6);
+  EXPECT_NEAR(d_oc->At(0, 0), lap->At(1, 0), 1e-6);
+}
+
+}  // namespace
+}  // namespace desalign::graph

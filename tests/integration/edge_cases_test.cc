@@ -1,0 +1,144 @@
+// Consolidated edge-case coverage across modules: unusual but legal
+// configurations a downstream user can reach through the public API.
+
+#include <filesystem>
+#include <gtest/gtest.h>
+
+#include "align/fusion_model.h"
+#include "align/metrics.h"
+#include "common/rng.h"
+#include "core/desalign.h"
+#include "kg/io.h"
+#include "kg/synthetic.h"
+#include "nn/layers.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+
+namespace desalign {
+namespace {
+
+kg::AlignedKgPair TinyData(uint64_t seed = 301) {
+  kg::SyntheticSpec spec;
+  spec.num_entities = 60;
+  spec.seed = seed;
+  spec.seed_ratio = 0.3;
+  return kg::GenerateSyntheticPair(spec);
+}
+
+TEST(EdgeCasesTest, SingleHeadSingleLayerGat) {
+  common::Rng rng(1);
+  nn::GatEncoder gat(8, /*heads=*/1, /*layers=*/1, rng);
+  graph::Graph g(4, {{0, 1}, {2, 3}});
+  auto edges = g.MessagePassingEdges(true);
+  auto x = tensor::Tensor::Create(4, 8);
+  tensor::FillNormal(*x, rng);
+  auto y = gat.Forward(x, edges, 4);
+  EXPECT_EQ(y->rows(), 4);
+  EXPECT_EQ(y->cols(), 8);
+}
+
+TEST(EdgeCasesTest, GatWithoutSelfLoopsOnIsolatedNodeIsZero) {
+  common::Rng rng(2);
+  nn::GatLayer gat(4, 1, rng);
+  graph::Graph g(3, {{0, 1}});  // node 2 isolated
+  auto edges = g.MessagePassingEdges(/*add_self_loops=*/false);
+  auto x = tensor::Tensor::Full(3, 4, 1.0f);
+  auto y = gat.Forward(x, edges, 3);
+  for (int64_t j = 0; j < 4; ++j) {
+    EXPECT_EQ(y->At(2, j), 0.0f);  // no incoming messages
+  }
+}
+
+TEST(EdgeCasesTest, MultiHeadCrossModalAttention) {
+  common::Rng rng(3);
+  nn::CrossModalAttention caw(8, 4, /*heads=*/2, rng);
+  std::vector<tensor::TensorPtr> inputs;
+  for (int m = 0; m < 4; ++m) {
+    auto t = tensor::Tensor::Create(3, 8);
+    tensor::FillNormal(*t, rng);
+    inputs.push_back(t);
+  }
+  auto out = caw.Forward(inputs);
+  EXPECT_EQ(out.fused[0]->cols(), 8);
+  EXPECT_EQ(out.confidence->cols(), 4);
+}
+
+TEST(EdgeCasesTest, FusionModelWithOnlyGraphModality) {
+  auto data = TinyData();
+  align::FusionModelConfig cfg;
+  cfg.dim = 8;
+  cfg.epochs = 10;
+  cfg.use_modality = {true, false, false, false};
+  cfg.use_cross_modal_attention = false;  // single modality, no fusion need
+  cfg.use_intra_modal_losses = false;
+  align::FusionAlignModel model(cfg);
+  auto r = model.Evaluate(data);
+  EXPECT_GT(r.metrics.mrr, 0.03);  // structure-only is weak but works
+}
+
+TEST(EdgeCasesTest, CawWithTwoModalities) {
+  auto data = TinyData(303);
+  align::FusionModelConfig cfg;
+  cfg.dim = 8;
+  cfg.epochs = 10;
+  cfg.use_modality = {false, true, true, false};  // relation + text only
+  align::FusionAlignModel model(cfg);
+  auto r = model.Evaluate(data);
+  EXPECT_GT(r.metrics.mrr, 0.05);
+}
+
+TEST(EdgeCasesTest, DesalignOnFullyObservedData) {
+  // No missing modality at all: propagation must not hurt.
+  kg::SyntheticSpec spec;
+  spec.num_entities = 80;
+  spec.image_ratio = 1.0;
+  spec.text_ratio = 1.0;
+  spec.seed = 305;
+  auto data = kg::GenerateSyntheticPair(spec);
+  auto cfg = core::DesalignConfig::Default(5);
+  cfg.base.dim = 8;
+  cfg.base.epochs = 12;
+  core::DesalignModel model(cfg);
+  auto r = model.Evaluate(data);
+  EXPECT_GT(r.metrics.h_at_1, 0.3);
+}
+
+TEST(EdgeCasesTest, MinimalSeedCount) {
+  auto data = TinyData(307);
+  data.test_pairs.insert(data.test_pairs.end(), data.train_pairs.begin() + 1,
+                         data.train_pairs.end());
+  data.train_pairs.resize(1);  // a single seed pair
+  align::FusionModelConfig cfg;
+  cfg.dim = 8;
+  cfg.epochs = 5;
+  align::FusionAlignModel model(cfg);
+  model.Fit(data);  // must not crash with a 1-pair batch
+  auto sim = model.DecodeSimilarity(data);
+  EXPECT_EQ(sim->rows(), static_cast<int64_t>(data.test_pairs.size()));
+}
+
+TEST(EdgeCasesTest, TwoEntityGraphPropagation) {
+  graph::Graph g(2, {{0, 1}});
+  auto norm = g.NormalizedAdjacency();
+  auto x = tensor::Tensor::FromData(2, 1, {1.0f, 0.0f});
+  std::vector<bool> known = {true, false};
+  auto solved = core::SemanticPropagation::SolveClosedForm(norm, x, known);
+  EXPECT_GT(solved->At(1, 0), 0.0f);  // pulled toward its known neighbour
+  auto states = core::SemanticPropagation::Run(norm, x, known, 50);
+  EXPECT_NEAR(states.back()->At(1, 0), solved->At(1, 0), 1e-3);
+}
+
+TEST(EdgeCasesTest, SaveLoadWithSingleTestPair) {
+  auto data = TinyData(309);
+  data.test_pairs.resize(1);
+  const auto dir =
+      std::filesystem::temp_directory_path() / "desalign_edge_io";
+  ASSERT_TRUE(kg::SaveDataset(data, dir.string()).ok());
+  auto loaded = kg::LoadDataset(dir.string());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().test_pairs.size(), 1u);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace desalign

@@ -1,0 +1,70 @@
+// The full downstream-user journey in one test: generate → save → reload →
+// degrade (perturb) → train DESAlign → checkpoint → restore in a fresh
+// process-like model → decode with propagation → assignment matching.
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "align/assignment.h"
+#include "align/metrics.h"
+#include "core/desalign.h"
+#include "kg/io.h"
+#include "kg/perturb.h"
+#include "kg/presets.h"
+#include "kg/synthetic.h"
+
+namespace desalign {
+namespace {
+
+TEST(UserJourneyTest, EndToEnd) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "desalign_user_journey";
+  const auto ckpt = dir / "model.ckpt";
+
+  // 1. Generate and persist a dataset.
+  kg::SyntheticSpec spec = kg::PresetDbp15k(kg::Dbp15kLang::kZhEn);
+  spec.num_entities = 120;
+  spec.seed = 2024;
+  auto data = kg::GenerateSyntheticPair(spec);
+  ASSERT_TRUE(kg::SaveDataset(data, dir.string()).ok());
+
+  // 2. Reload and degrade the visual modality (the real-data robustness
+  //    workflow).
+  auto loaded = kg::LoadDataset(dir.string());
+  ASSERT_TRUE(loaded.ok());
+  auto degraded = std::move(loaded).value();
+  common::Rng rng(5);
+  kg::DropModalityFeatures(degraded, kg::Modality::kVisual, 0.5, rng);
+
+  // 3. Train DESAlign and checkpoint it.
+  auto cfg = core::DesalignConfig::Default(/*seed=*/11);
+  cfg.base.dim = 16;
+  cfg.base.epochs = 25;
+  cfg.propagation_iterations = 1;
+  core::DesalignModel model(cfg);
+  model.Fit(degraded);
+  auto trained_metrics =
+      align::MetricsFromSimilarity(*model.DecodeSimilarity(degraded));
+  EXPECT_GT(trained_metrics.h_at_1, 0.25);
+  ASSERT_TRUE(model.SaveCheckpoint(ckpt.string()).ok());
+
+  // 4. Restore into a fresh model and verify identical decoding.
+  core::DesalignModel restored(cfg);
+  restored.Warmup(degraded);
+  ASSERT_TRUE(restored.LoadCheckpoint(ckpt.string()).ok());
+  auto sim = restored.DecodeSimilarity(degraded);
+  auto restored_metrics = align::MetricsFromSimilarity(*sim);
+  EXPECT_DOUBLE_EQ(restored_metrics.mrr, trained_metrics.mrr);
+
+  // 5. Commit to a one-to-one matching; the optimal assignment should not
+  //    fall below independent ranking accuracy by much (usually above).
+  auto match = align::HungarianMatch(*sim);
+  EXPECT_GE(align::MatchingAccuracy(match),
+            trained_metrics.h_at_1 - 0.05);
+
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace desalign

@@ -1,0 +1,92 @@
+// Property sweep over the synthetic-generator parameter space: every
+// sampled configuration must satisfy the structural invariants the models
+// rely on.
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+#include "kg/synthetic.h"
+
+namespace desalign::kg {
+namespace {
+
+using SweepParam =
+    std::tuple<int64_t /*entities*/, double /*image*/, double /*text*/,
+               double /*seeds*/>;
+
+class GeneratorSweepTest : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(GeneratorSweepTest, InvariantsHold) {
+  auto [entities, image_ratio, text_ratio, seed_ratio] = GetParam();
+  SyntheticSpec spec;
+  spec.num_entities = entities;
+  spec.image_ratio = image_ratio;
+  spec.text_ratio = text_ratio;
+  spec.seed_ratio = seed_ratio;
+  spec.seed = 1000 + static_cast<uint64_t>(entities);
+  auto pair = GenerateSyntheticPair(spec);
+
+  for (const auto* kg : {&pair.source, &pair.target}) {
+    // Entity ids in range everywhere.
+    for (const auto& t : kg->triples) {
+      ASSERT_GE(t.head, 0);
+      ASSERT_LT(t.head, entities);
+      ASSERT_GE(t.tail, 0);
+      ASSERT_LT(t.tail, entities);
+      ASSERT_GE(t.relation, 0);
+      ASSERT_LT(t.relation, kg->num_relations);
+    }
+    for (const auto& a : kg->attribute_triples) {
+      ASSERT_GE(a.entity, 0);
+      ASSERT_LT(a.entity, entities);
+      ASSERT_GE(a.attribute, 0);
+      ASSERT_LT(a.attribute, kg->num_attributes);
+    }
+    // Feature tables sized to the entity set.
+    EXPECT_EQ(kg->relation_features.num_entities(), entities);
+    EXPECT_EQ(kg->text_features.num_entities(), entities);
+    EXPECT_EQ(kg->visual_features.num_entities(), entities);
+    // Presence ratios track the spec (loose bound: small samples).
+    EXPECT_NEAR(kg->visual_features.PresentRatio(), image_ratio, 0.15);
+    EXPECT_NEAR(kg->text_features.PresentRatio(), text_ratio, 0.15);
+    // No NaNs in features.
+    for (float v : kg->visual_features.features->data()) {
+      ASSERT_TRUE(std::isfinite(v));
+    }
+  }
+
+  // Alignment is a bijection covering every entity.
+  std::set<int64_t> sources, targets;
+  for (const auto& pairs : {pair.train_pairs, pair.test_pairs}) {
+    for (const auto& p : pairs) {
+      EXPECT_TRUE(sources.insert(p.source).second);
+      EXPECT_TRUE(targets.insert(p.target).second);
+    }
+  }
+  EXPECT_EQ(static_cast<int64_t>(sources.size()), entities);
+  EXPECT_EQ(static_cast<int64_t>(targets.size()), entities);
+  EXPECT_NEAR(pair.SeedRatio(), seed_ratio, 0.02);
+
+  // Graphs are mostly connected (one dominant component).
+  auto stats = graph::ComputeGraphStatistics(pair.source.BuildGraph());
+  auto sizes =
+      graph::ConnectedComponents(pair.source.BuildGraph()).ComponentSizes();
+  const int64_t largest = *std::max_element(sizes.begin(), sizes.end());
+  EXPECT_GT(largest, entities / 2);
+  EXPECT_GT(stats.average_degree, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Space, GeneratorSweepTest,
+    ::testing::Values(
+        SweepParam{80, 0.9, 0.9, 0.3}, SweepParam{150, 0.05, 0.9, 0.3},
+        SweepParam{150, 0.9, 0.05, 0.3}, SweepParam{150, 0.5, 0.5, 0.01},
+        SweepParam{200, 0.3, 0.7, 0.8}, SweepParam{300, 1.0, 1.0, 0.5}));
+
+}  // namespace
+}  // namespace desalign::kg

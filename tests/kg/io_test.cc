@@ -1,0 +1,94 @@
+#include "kg/io.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "kg/synthetic.h"
+
+namespace desalign::kg {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("desalign_io_test_" + std::to_string(::getpid()));
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  std::filesystem::path dir_;
+};
+
+TEST_F(IoTest, RoundTripPreservesDataset) {
+  SyntheticSpec spec;
+  spec.name = "roundtrip";
+  spec.num_entities = 60;
+  spec.num_relations = 6;
+  spec.num_attributes = 10;
+  spec.seed = 5;
+  auto original = GenerateSyntheticPair(spec);
+
+  ASSERT_TRUE(SaveDataset(original, dir_.string()).ok());
+  auto loaded_result = LoadDataset(dir_.string());
+  ASSERT_TRUE(loaded_result.ok()) << loaded_result.status().ToString();
+  const auto& loaded = loaded_result.value();
+
+  EXPECT_EQ(loaded.name, original.name);
+  EXPECT_EQ(loaded.source.name, original.source.name);
+  EXPECT_EQ(loaded.source.num_entities, original.source.num_entities);
+  EXPECT_EQ(loaded.source.triples, original.source.triples);
+  EXPECT_EQ(loaded.target.triples, original.target.triples);
+  EXPECT_EQ(loaded.source.attribute_triples,
+            original.source.attribute_triples);
+  EXPECT_EQ(loaded.source.visual_features.features->data(),
+            original.source.visual_features.features->data());
+  EXPECT_EQ(loaded.source.visual_features.present,
+            original.source.visual_features.present);
+  EXPECT_EQ(loaded.target.text_features.features->data(),
+            original.target.text_features.features->data());
+  ASSERT_EQ(loaded.train_pairs.size(), original.train_pairs.size());
+  for (size_t i = 0; i < loaded.train_pairs.size(); ++i) {
+    EXPECT_EQ(loaded.train_pairs[i], original.train_pairs[i]);
+  }
+  ASSERT_EQ(loaded.test_pairs.size(), original.test_pairs.size());
+}
+
+TEST_F(IoTest, LoadMissingDirectoryFails) {
+  auto r = LoadDataset((dir_ / "does_not_exist").string());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), common::StatusCode::kIoError);
+}
+
+TEST_F(IoTest, SaveCreatesExpectedFiles) {
+  SyntheticSpec spec;
+  spec.num_entities = 20;
+  auto pair = GenerateSyntheticPair(spec);
+  ASSERT_TRUE(SaveDataset(pair, dir_.string()).ok());
+  for (const char* file :
+       {"meta.tsv", "src_triples.tsv", "tgt_triples.tsv",
+        "src_attr_triples.tsv", "tgt_attr_triples.tsv", "train_pairs.tsv",
+        "test_pairs.tsv", "src_rel.fbin", "src_text.fbin", "src_vis.fbin",
+        "tgt_rel.fbin", "tgt_text.fbin", "tgt_vis.fbin"}) {
+    EXPECT_TRUE(std::filesystem::exists(dir_ / file)) << file;
+  }
+}
+
+TEST_F(IoTest, CorruptFeatureFileFails) {
+  SyntheticSpec spec;
+  spec.num_entities = 20;
+  auto pair = GenerateSyntheticPair(spec);
+  ASSERT_TRUE(SaveDataset(pair, dir_.string()).ok());
+  // Truncate one feature file.
+  std::filesystem::resize_file(dir_ / "src_vis.fbin", 8);
+  auto r = LoadDataset(dir_.string());
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace desalign::kg

@@ -1,0 +1,126 @@
+#include "kg/mmkg.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.h"
+
+namespace desalign::kg {
+namespace {
+
+using tensor::Tensor;
+
+Mmkg TinyKg() {
+  Mmkg kg;
+  kg.name = "tiny";
+  kg.num_entities = 4;
+  kg.num_relations = 2;
+  kg.num_attributes = 3;
+  kg.triples = {{0, 0, 1}, {1, 1, 2}, {2, 0, 3}};
+  kg.attribute_triples = {{0, 0, 1.0f}, {0, 1, 2.0f}, {3, 2, 1.0f}};
+  kg.relation_features.features = Tensor::Create(4, 2);
+  kg.relation_features.present = {true, true, true, true};
+  kg.text_features.features = Tensor::Create(4, 3);
+  kg.text_features.present = {true, false, false, true};
+  kg.visual_features.features = Tensor::Create(4, 5);
+  kg.visual_features.present = {true, true, false, false};
+  return kg;
+}
+
+TEST(ModalityTest, NamesAndOrder) {
+  EXPECT_STREQ(ModalityName(Modality::kGraph), "g");
+  EXPECT_STREQ(ModalityName(Modality::kRelation), "r");
+  EXPECT_STREQ(ModalityName(Modality::kText), "t");
+  EXPECT_STREQ(ModalityName(Modality::kVisual), "v");
+  const auto& all = AllModalities();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0], Modality::kGraph);
+  EXPECT_EQ(all[3], Modality::kVisual);
+}
+
+TEST(FeatureTableTest, PresentAccounting) {
+  auto kg = TinyKg();
+  EXPECT_EQ(kg.text_features.PresentCount(), 2);
+  EXPECT_DOUBLE_EQ(kg.text_features.PresentRatio(), 0.5);
+  EXPECT_EQ(kg.text_features.dim(), 3);
+  EXPECT_EQ(kg.text_features.num_entities(), 4);
+}
+
+TEST(MmkgTest, BuildGraphFromTriples) {
+  auto kg = TinyKg();
+  auto g = kg.BuildGraph();
+  EXPECT_EQ(g.num_nodes(), 4);
+  EXPECT_EQ(g.num_edges(), 3);
+}
+
+TEST(MmkgTest, FeaturesForDispatch) {
+  auto kg = TinyKg();
+  EXPECT_EQ(kg.FeaturesFor(Modality::kGraph), nullptr);
+  EXPECT_EQ(kg.FeaturesFor(Modality::kRelation), &kg.relation_features);
+  EXPECT_EQ(kg.FeaturesFor(Modality::kText), &kg.text_features);
+  EXPECT_EQ(kg.FeaturesFor(Modality::kVisual), &kg.visual_features);
+}
+
+TEST(MmkgTest, StatisticsMatchContents) {
+  auto kg = TinyKg();
+  auto stats = ComputeStatistics(kg);
+  EXPECT_EQ(stats.entities, 4);
+  EXPECT_EQ(stats.relations, 2);
+  EXPECT_EQ(stats.attributes, 3);
+  EXPECT_EQ(stats.relation_triples, 3);
+  EXPECT_EQ(stats.attribute_triples, 3);
+  EXPECT_EQ(stats.images, 2);
+}
+
+TEST(AlignedKgPairTest, SeedRatio) {
+  AlignedKgPair pair;
+  pair.train_pairs = {{0, 0}, {1, 1}};
+  pair.test_pairs = {{2, 2}, {3, 3}, {4, 4}, {5, 5}, {6, 6}, {7, 7}};
+  EXPECT_DOUBLE_EQ(pair.SeedRatio(), 0.25);
+  EXPECT_EQ(pair.TotalPairs(), 8);
+}
+
+TEST(AlignedKgPairTest, ResplitChangesRatioKeepsPairs) {
+  AlignedKgPair pair;
+  for (int64_t i = 0; i < 10; ++i) {
+    if (i < 3) {
+      pair.train_pairs.push_back({i, i + 100});
+    } else {
+      pair.test_pairs.push_back({i, i + 100});
+    }
+  }
+  pair.Resplit(0.5, /*seed=*/1);
+  EXPECT_EQ(pair.train_pairs.size(), 5u);
+  EXPECT_EQ(pair.test_pairs.size(), 5u);
+  // The multiset of pairs is preserved and targets stay consistent.
+  std::vector<AlignmentPair> all = pair.train_pairs;
+  all.insert(all.end(), pair.test_pairs.begin(), pair.test_pairs.end());
+  for (const auto& p : all) EXPECT_EQ(p.target, p.source + 100);
+  EXPECT_EQ(all.size(), 10u);
+}
+
+TEST(AlignedKgPairTest, ResplitDeterministicAndSeedSensitive) {
+  auto make = [] {
+    AlignedKgPair pair;
+    for (int64_t i = 0; i < 20; ++i) pair.test_pairs.push_back({i, i});
+    pair.train_pairs.push_back({20, 20});
+    return pair;
+  };
+  auto a = make();
+  auto b = make();
+  a.Resplit(0.3, 5);
+  b.Resplit(0.3, 5);
+  EXPECT_EQ(a.train_pairs.size(), b.train_pairs.size());
+  for (size_t i = 0; i < a.train_pairs.size(); ++i) {
+    EXPECT_EQ(a.train_pairs[i].source, b.train_pairs[i].source);
+  }
+  auto c = make();
+  c.Resplit(0.3, 6);
+  bool differs = c.train_pairs.size() != a.train_pairs.size();
+  for (size_t i = 0; !differs && i < a.train_pairs.size(); ++i) {
+    differs = c.train_pairs[i].source != a.train_pairs[i].source;
+  }
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace desalign::kg

@@ -1,0 +1,132 @@
+#include "kg/perturb.h"
+
+#include <gtest/gtest.h>
+
+#include "kg/synthetic.h"
+#include "tensor/tensor.h"
+
+namespace desalign::kg {
+namespace {
+
+AlignedKgPair FullData() {
+  SyntheticSpec spec;
+  spec.num_entities = 300;
+  spec.image_ratio = 1.0;
+  spec.text_ratio = 1.0;
+  spec.seed = 13;
+  return GenerateSyntheticPair(spec);
+}
+
+TEST(PerturbTest, DropModalityHitsTargetRatio) {
+  auto pair = FullData();
+  common::Rng rng(1);
+  DropModalityFeatures(pair, Modality::kVisual, 0.4, rng);
+  EXPECT_NEAR(pair.source.visual_features.PresentRatio(), 0.4, 0.08);
+  EXPECT_NEAR(pair.target.visual_features.PresentRatio(), 0.4, 0.08);
+}
+
+TEST(PerturbTest, DroppedRowsAreZeroed) {
+  auto pair = FullData();
+  common::Rng rng(2);
+  DropModalityFeatures(pair.source, Modality::kText, 0.5, rng);
+  const auto& ft = pair.source.text_features;
+  for (int64_t i = 0; i < ft.num_entities(); ++i) {
+    if (ft.present[i]) continue;
+    for (int64_t j = 0; j < ft.dim(); ++j) {
+      EXPECT_EQ(ft.features->At(i, j), 0.0f);
+    }
+  }
+}
+
+TEST(PerturbTest, DropIsMonotoneInKeepRatio) {
+  auto pair = FullData();
+  common::Rng rng(3);
+  DropModalityFeatures(pair.source, Modality::kVisual, 1.0, rng);
+  EXPECT_DOUBLE_EQ(pair.source.visual_features.PresentRatio(), 1.0);
+  DropModalityFeatures(pair.source, Modality::kVisual, 0.0, rng);
+  EXPECT_DOUBLE_EQ(pair.source.visual_features.PresentRatio(), 0.0);
+}
+
+TEST(PerturbTest, DropTriplesShrinksEdgeSet) {
+  auto pair = FullData();
+  const size_t before = pair.source.triples.size();
+  common::Rng rng(4);
+  DropTriples(pair.source, 0.5, rng);
+  const size_t after = pair.source.triples.size();
+  EXPECT_LT(after, before);
+  EXPECT_NEAR(static_cast<double>(after) / before, 0.5, 0.1);
+}
+
+TEST(PerturbTest, AddNoiseTriplesGrowsEdgeSetWithValidIds) {
+  auto pair = FullData();
+  const size_t before = pair.source.triples.size();
+  common::Rng rng(5);
+  AddNoiseTriples(pair.source, 100, rng);
+  EXPECT_EQ(pair.source.triples.size(), before + 100);
+  for (const auto& t : pair.source.triples) {
+    EXPECT_GE(t.head, 0);
+    EXPECT_LT(t.head, pair.source.num_entities);
+    EXPECT_GE(t.relation, 0);
+    EXPECT_LT(t.relation, pair.source.num_relations);
+    EXPECT_NE(t.head, t.tail);
+  }
+}
+
+TEST(PerturbTest, FeatureNoisePerturbsOnlyPresentRows) {
+  auto pair = FullData();
+  common::Rng rng(6);
+  DropModalityFeatures(pair.source, Modality::kVisual, 0.5, rng);
+  auto before = pair.source.visual_features.features->Detach();
+  AddFeatureNoise(pair.source, Modality::kVisual, 0.1, rng);
+  const auto& ft = pair.source.visual_features;
+  for (int64_t i = 0; i < ft.num_entities(); ++i) {
+    bool changed = false;
+    for (int64_t j = 0; j < ft.dim(); ++j) {
+      if (ft.features->At(i, j) != before->At(i, j)) changed = true;
+    }
+    EXPECT_EQ(changed, static_cast<bool>(ft.present[i])) << "row " << i;
+  }
+}
+
+TEST(PerturbTest, GraphModalityIsRejected) {
+  auto pair = FullData();
+  common::Rng rng(7);
+  EXPECT_DEATH(
+      DropModalityFeatures(pair.source, Modality::kGraph, 0.5, rng),
+      "feature table");
+}
+
+
+TEST(ReconcileFeatureDimsTest, PadsDisjointVocabularies) {
+  auto pair = FullData();
+  // Simulate a real pair whose attribute schemas differ in width.
+  const int64_t n = pair.target.num_entities;
+  const int64_t old_dim = 5;
+  auto narrow = tensor::Tensor::Create(n, old_dim);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < old_dim; ++j) narrow->At(i, j) = 1.0f + j;
+  }
+  pair.target.text_features.features = narrow;
+  pair.target.num_attributes = old_dim;
+  const int64_t src_dim = pair.source.text_features.dim();
+
+  ReconcileFeatureDims(pair);
+  EXPECT_EQ(pair.source.text_features.dim(), src_dim + old_dim);
+  EXPECT_EQ(pair.target.text_features.dim(), src_dim + old_dim);
+  // Target columns shifted past the source block; source zero there.
+  EXPECT_FLOAT_EQ(pair.target.text_features.features->At(0, src_dim), 1.0f);
+  EXPECT_FLOAT_EQ(pair.source.text_features.features->At(0, src_dim), 0.0f);
+  // Relation tables had equal dims (shared vocab) -> untouched.
+  EXPECT_EQ(pair.source.relation_features.dim(),
+            pair.target.relation_features.dim());
+}
+
+TEST(ReconcileFeatureDimsTest, NoopOnSharedVocabulary) {
+  auto pair = FullData();
+  const int64_t before = pair.source.text_features.dim();
+  ReconcileFeatureDims(pair);
+  EXPECT_EQ(pair.source.text_features.dim(), before);
+}
+
+}  // namespace
+}  // namespace desalign::kg

@@ -1,0 +1,72 @@
+#include "kg/presets.h"
+
+#include <gtest/gtest.h>
+
+#include "kg/synthetic.h"
+
+namespace desalign::kg {
+namespace {
+
+TEST(PresetsTest, FiveNamedPresets) {
+  auto presets = AllPresets();
+  ASSERT_EQ(presets.size(), 5u);
+  EXPECT_EQ(presets[0].name, "FBDB15K");
+  EXPECT_EQ(presets[1].name, "FBYG15K");
+  EXPECT_EQ(presets[2].name, "DBP15K-ZH-EN");
+  EXPECT_EQ(presets[3].name, "DBP15K-JA-EN");
+  EXPECT_EQ(presets[4].name, "DBP15K-FR-EN");
+}
+
+TEST(PresetsTest, LookupByName) {
+  auto r = PresetByName("FBYG15K");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().name, "FBYG15K");
+  auto missing = PresetByName("DBP15K-DE-EN");
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), common::StatusCode::kNotFound);
+}
+
+TEST(PresetsTest, MonolingualVsBilingualHeterogeneity) {
+  auto mono = PresetFbDb15k();
+  auto bi = PresetDbp15k(Dbp15kLang::kZhEn);
+  // Bilingual data is structurally noisier across the two KGs...
+  EXPECT_LT(bi.edge_keep_prob, mono.edge_keep_prob);
+  EXPECT_LT(bi.relation_vocab_overlap, mono.relation_vocab_overlap);
+  // ...but has stronger visual features (DBP15K scores higher overall).
+  EXPECT_LT(bi.visual_noise, mono.visual_noise);
+}
+
+TEST(PresetsTest, FbygHasSparsestAttributeSchema) {
+  // YAGO15K carries only 7 attribute types in the real data; the analogue
+  // must be the sparsest.
+  auto fbyg = PresetFbYg15k();
+  for (const auto& other : AllPresets()) {
+    if (other.name == "FBYG15K") continue;
+    EXPECT_LT(fbyg.num_attributes, other.num_attributes);
+  }
+}
+
+TEST(PresetsTest, SeedRatiosMatchPaperDefaults) {
+  EXPECT_DOUBLE_EQ(PresetFbDb15k().seed_ratio, 0.2);
+  EXPECT_DOUBLE_EQ(PresetDbp15k(Dbp15kLang::kFrEn).seed_ratio, 0.3);
+}
+
+TEST(PresetsTest, EveryPresetGenerates) {
+  for (auto spec : AllPresets()) {
+    spec.num_entities = 80;  // shrink for test speed
+    auto pair = GenerateSyntheticPair(spec);
+    EXPECT_EQ(pair.name, spec.name);
+    EXPECT_EQ(pair.source.num_entities, 80);
+    EXPECT_GT(pair.source.triples.size(), 0u);
+    EXPECT_GT(pair.source.attribute_triples.size(), 0u);
+  }
+}
+
+TEST(PresetsTest, ImageRatiosMirrorTableOne) {
+  // FBYG15K: 73.24% of entities have images; DBP15K roughly 67-80%.
+  EXPECT_NEAR(PresetFbYg15k().image_ratio, 0.73, 0.02);
+  EXPECT_GT(PresetFbDb15k().image_ratio, PresetFbYg15k().image_ratio);
+}
+
+}  // namespace
+}  // namespace desalign::kg

@@ -1,0 +1,192 @@
+#include "kg/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace desalign::kg {
+namespace {
+
+SyntheticSpec SmallSpec() {
+  SyntheticSpec spec;
+  spec.name = "test";
+  spec.num_entities = 120;
+  spec.num_clusters = 4;
+  spec.num_relations = 8;
+  spec.num_attributes = 16;
+  spec.seed = 99;
+  return spec;
+}
+
+TEST(SyntheticTest, BasicShape) {
+  auto pair = GenerateSyntheticPair(SmallSpec());
+  EXPECT_EQ(pair.source.num_entities, 120);
+  EXPECT_EQ(pair.target.num_entities, 120);
+  EXPECT_GT(pair.source.triples.size(), 100u);
+  EXPECT_GT(pair.target.triples.size(), 100u);
+  EXPECT_EQ(pair.TotalPairs(), 120);
+}
+
+TEST(SyntheticTest, DeterministicInSeed) {
+  auto a = GenerateSyntheticPair(SmallSpec());
+  auto b = GenerateSyntheticPair(SmallSpec());
+  ASSERT_EQ(a.source.triples.size(), b.source.triples.size());
+  EXPECT_EQ(a.source.triples, b.source.triples);
+  EXPECT_EQ(a.source.visual_features.features->data(),
+            b.source.visual_features.features->data());
+  ASSERT_EQ(a.train_pairs.size(), b.train_pairs.size());
+  for (size_t i = 0; i < a.train_pairs.size(); ++i) {
+    EXPECT_EQ(a.train_pairs[i], b.train_pairs[i]);
+  }
+}
+
+TEST(SyntheticTest, DifferentSeedsDiffer) {
+  auto spec = SmallSpec();
+  auto a = GenerateSyntheticPair(spec);
+  spec.seed = 100;
+  auto b = GenerateSyntheticPair(spec);
+  EXPECT_NE(a.source.triples, b.source.triples);
+}
+
+TEST(SyntheticTest, AlignmentIsOneToOnePermutation) {
+  auto pair = GenerateSyntheticPair(SmallSpec());
+  std::set<int64_t> sources, targets;
+  auto check = [&](const std::vector<AlignmentPair>& pairs) {
+    for (const auto& p : pairs) {
+      EXPECT_TRUE(sources.insert(p.source).second);
+      EXPECT_TRUE(targets.insert(p.target).second);
+      EXPECT_GE(p.source, 0);
+      EXPECT_LT(p.source, 120);
+      EXPECT_GE(p.target, 0);
+      EXPECT_LT(p.target, 120);
+    }
+  };
+  check(pair.train_pairs);
+  check(pair.test_pairs);
+  EXPECT_EQ(sources.size(), 120u);
+  EXPECT_EQ(targets.size(), 120u);
+}
+
+TEST(SyntheticTest, SeedRatioRespected) {
+  auto spec = SmallSpec();
+  spec.seed_ratio = 0.25;
+  auto pair = GenerateSyntheticPair(spec);
+  EXPECT_EQ(pair.train_pairs.size(), 30u);
+  EXPECT_EQ(pair.test_pairs.size(), 90u);
+}
+
+TEST(SyntheticTest, ImageRatioControlsPresence) {
+  auto spec = SmallSpec();
+  spec.num_entities = 600;
+  spec.image_ratio = 0.3;
+  auto pair = GenerateSyntheticPair(spec);
+  EXPECT_NEAR(pair.source.visual_features.PresentRatio(), 0.3, 0.07);
+  EXPECT_NEAR(pair.target.visual_features.PresentRatio(), 0.3, 0.07);
+}
+
+TEST(SyntheticTest, TextRatioControlsPresenceAndZeroesRows) {
+  auto spec = SmallSpec();
+  spec.num_entities = 400;
+  spec.text_ratio = 0.5;
+  auto pair = GenerateSyntheticPair(spec);
+  EXPECT_NEAR(pair.source.text_features.PresentRatio(), 0.5, 0.08);
+  const auto& ft = pair.source.text_features;
+  for (int64_t i = 0; i < 400; ++i) {
+    if (ft.present[i]) continue;
+    for (int64_t j = 0; j < ft.dim(); ++j) {
+      EXPECT_EQ(ft.features->At(i, j), 0.0f);
+    }
+  }
+}
+
+TEST(SyntheticTest, MissingVisualRowsAreZero) {
+  auto spec = SmallSpec();
+  spec.image_ratio = 0.5;
+  auto pair = GenerateSyntheticPair(spec);
+  const auto& vt = pair.source.visual_features;
+  for (int64_t i = 0; i < spec.num_entities; ++i) {
+    if (vt.present[i]) continue;
+    for (int64_t j = 0; j < vt.dim(); ++j) {
+      EXPECT_EQ(vt.features->At(i, j), 0.0f);
+    }
+  }
+}
+
+TEST(SyntheticTest, VocabularyOverlapBoundsIds) {
+  auto spec = SmallSpec();
+  spec.relation_vocab_overlap = 0.5;
+  auto pair = GenerateSyntheticPair(spec);
+  // Union vocabulary: latent 8 relations, 4 shared => union size 12.
+  EXPECT_EQ(pair.source.num_relations, 12);
+  EXPECT_EQ(pair.target.num_relations, 12);
+  // Source uses only latent ids [0, 8); target never uses [4, 8) ids that
+  // are source-private beyond the shared range... source ids < 8.
+  for (const auto& t : pair.source.triples) {
+    EXPECT_LT(t.relation, 8);
+  }
+  // Target relation ids are either shared [0,4) or remapped [8,12).
+  for (const auto& t : pair.target.triples) {
+    EXPECT_TRUE(t.relation < 4 || t.relation >= 8) << t.relation;
+    EXPECT_LT(t.relation, 12);
+  }
+}
+
+TEST(SyntheticTest, AlignedEntitiesHaveCorrelatedVisualFeatures) {
+  auto spec = SmallSpec();
+  spec.num_entities = 200;
+  spec.image_ratio = 1.0;
+  spec.visual_noise = 0.1;
+  auto pair = GenerateSyntheticPair(spec);
+  // Cosine similarity of aligned visual features should beat random pairs
+  // on average.
+  auto cosine = [&](int64_t i, int64_t j) {
+    const auto& fs = *pair.source.visual_features.features;
+    const auto& ft = *pair.target.visual_features.features;
+    double dot = 0.0;
+    double ns = 0.0;
+    double nt = 0.0;
+    for (int64_t c = 0; c < fs.cols(); ++c) {
+      dot += fs.At(i, c) * ft.At(j, c);
+      ns += fs.At(i, c) * fs.At(i, c);
+      nt += ft.At(j, c) * ft.At(j, c);
+    }
+    return dot / (std::sqrt(ns) * std::sqrt(nt) + 1e-9);
+  };
+  double aligned = 0.0;
+  double shuffled = 0.0;
+  const auto& pairs = pair.test_pairs;
+  for (size_t k = 0; k < pairs.size(); ++k) {
+    aligned += cosine(pairs[k].source, pairs[k].target);
+    shuffled += cosine(pairs[k].source,
+                       pairs[(k + 7) % pairs.size()].target);
+  }
+  EXPECT_GT(aligned / pairs.size(), shuffled / pairs.size() + 0.2);
+}
+
+TEST(SyntheticTest, RelationFeaturesReflectIncidentTriples) {
+  auto pair = GenerateSyntheticPair(SmallSpec());
+  const auto& kg = pair.source;
+  // An entity with at least one triple must have a nonzero relation row.
+  std::vector<bool> has_triple(kg.num_entities, false);
+  for (const auto& t : kg.triples) {
+    has_triple[t.head] = true;
+    has_triple[t.tail] = true;
+  }
+  for (int64_t i = 0; i < kg.num_entities; ++i) {
+    double row_sum = 0.0;
+    for (int64_t j = 0; j < kg.num_relations; ++j) {
+      row_sum += kg.relation_features.features->At(i, j);
+    }
+    if (has_triple[i]) {
+      EXPECT_GT(row_sum, 0.0);
+      EXPECT_TRUE(kg.relation_features.present[i]);
+    } else {
+      EXPECT_EQ(row_sum, 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace desalign::kg

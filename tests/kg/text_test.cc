@@ -1,0 +1,108 @@
+#include "kg/text.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace desalign::kg {
+namespace {
+
+TEST(TokenizeTest, LowercasesAndSplitsOnPunctuation) {
+  auto tokens = Tokenize("Elon Reeve Musk, born-1971 (Pretoria)!");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"elon", "reeve", "musk",
+                                              "born", "1971", "pretoria"}));
+}
+
+TEST(TokenizeTest, EmptyAndAllPunctuation) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("—!?., ").empty());
+}
+
+TEST(VocabularyTest, CountsAndIds) {
+  Vocabulary vocab;
+  vocab.AddText("club club national team");
+  EXPECT_EQ(vocab.size(), 3);
+  const int64_t club = vocab.IdOf("club");
+  ASSERT_GE(club, 0);
+  EXPECT_EQ(vocab.CountOf(club), 2);
+  EXPECT_EQ(vocab.IdOf("missing"), -1);
+}
+
+TEST(VocabularyTest, PruneByMinCount) {
+  Vocabulary vocab;
+  vocab.AddText("a a a b b c");
+  vocab.Prune(/*min_count=*/2, /*max_size=*/100);
+  EXPECT_EQ(vocab.size(), 2);
+  EXPECT_GE(vocab.IdOf("a"), 0);
+  EXPECT_GE(vocab.IdOf("b"), 0);
+  EXPECT_EQ(vocab.IdOf("c"), -1);
+}
+
+TEST(VocabularyTest, PruneByMaxSizeKeepsMostFrequent) {
+  Vocabulary vocab;
+  vocab.AddText("x x x y y z");
+  vocab.Prune(1, /*max_size=*/2);
+  EXPECT_EQ(vocab.size(), 2);
+  // Descending frequency: x first.
+  EXPECT_EQ(vocab.IdOf("x"), 0);
+  EXPECT_EQ(vocab.IdOf("y"), 1);
+  EXPECT_EQ(vocab.IdOf("z"), -1);
+}
+
+TEST(VocabularyTest, PruneTiesBrokenLexicographically) {
+  Vocabulary vocab;
+  vocab.AddText("beta alpha gamma");
+  vocab.Prune(1, 2);
+  EXPECT_EQ(vocab.IdOf("alpha"), 0);
+  EXPECT_EQ(vocab.IdOf("beta"), 1);
+  EXPECT_EQ(vocab.IdOf("gamma"), -1);
+}
+
+TEST(BowFeaturesTest, CountsAndPresence) {
+  std::vector<std::string> docs = {"red red blue", "", "green"};
+  auto bow = BuildBow(docs);
+  EXPECT_EQ(bow.features.num_entities(), 3);
+  EXPECT_EQ(bow.vocabulary.size(), 3);
+  const int64_t red = bow.vocabulary.IdOf("red");
+  EXPECT_NEAR(bow.features.features->At(0, red), std::log1p(2.0f), 1e-5);
+  EXPECT_TRUE(bow.features.present[0]);
+  EXPECT_FALSE(bow.features.present[1]);  // empty document => absent
+  EXPECT_TRUE(bow.features.present[2]);
+}
+
+TEST(BowFeaturesTest, OutOfVocabularyTokensAreIgnored) {
+  Vocabulary vocab;
+  vocab.AddText("known");
+  auto table = BuildBowFeatures({"known unknown", "unknown"}, vocab);
+  EXPECT_TRUE(table.present[0]);
+  EXPECT_FALSE(table.present[1]);
+  EXPECT_GT(table.features->At(0, 0), 0.0f);
+}
+
+TEST(BowFeaturesTest, SharedVocabularyMakesDocsComparable) {
+  // The cross-KG use case: build one vocabulary over both KGs' attribute
+  // strings, then per-KG features over the shared id space.
+  std::vector<std::string> kg1 = {"striker barcelona", "physicist berlin"};
+  std::vector<std::string> kg2 = {"forward barcelona", "physicist munich"};
+  Vocabulary vocab;
+  for (const auto& d : kg1) vocab.AddText(d);
+  for (const auto& d : kg2) vocab.AddText(d);
+  vocab.Prune(1, 100);
+  auto f1 = BuildBowFeatures(kg1, vocab);
+  auto f2 = BuildBowFeatures(kg2, vocab);
+  // Matching entities share tokens -> positive dot product; mismatched
+  // pairs share none.
+  auto dot = [&](int64_t i, int64_t j) {
+    float acc = 0.0f;
+    for (int64_t c = 0; c < vocab.size(); ++c) {
+      acc += f1.features->At(i, c) * f2.features->At(j, c);
+    }
+    return acc;
+  };
+  EXPECT_GT(dot(0, 0), 0.0f);
+  EXPECT_GT(dot(1, 1), 0.0f);
+  EXPECT_EQ(dot(0, 1), 0.0f);
+}
+
+}  // namespace
+}  // namespace desalign::kg

@@ -1,0 +1,173 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+#include "testing/grad_check.h"
+
+namespace desalign::nn {
+namespace {
+
+namespace ops = desalign::tensor;
+using tensor::Tensor;
+using tensor::TensorPtr;
+
+TEST(LinearTest, ForwardMatchesManual) {
+  common::Rng rng(1);
+  Linear fc(2, 2, rng);
+  auto x = Tensor::FromData(1, 2, {1.0f, 2.0f});
+  auto y = fc.Forward(x);
+  const auto& w = *fc.weight();
+  // bias starts at zero.
+  EXPECT_NEAR(y->At(0, 0), 1.0f * w.At(0, 0) + 2.0f * w.At(1, 0), 1e-5);
+  EXPECT_NEAR(y->At(0, 1), 1.0f * w.At(0, 1) + 2.0f * w.At(1, 1), 1e-5);
+}
+
+TEST(LinearTest, GradientsFlowToParameters) {
+  common::Rng rng(2);
+  Linear fc(3, 2, rng);
+  auto x = Tensor::FromData(2, 3, {1, 2, 3, 4, 5, 6});
+  auto loss = ops::Sum(ops::Square(fc.Forward(x)));
+  loss->Backward();
+  for (const auto& p : fc.Parameters()) {
+    ASSERT_TRUE(p->has_grad());
+    float norm = 0.0f;
+    for (float g : p->grad()) norm += g * g;
+    EXPECT_GT(norm, 0.0f);
+  }
+}
+
+graph::Graph::DirectedEdges TriangleEdges() {
+  graph::Graph g(3, {{0, 1}, {1, 2}, {0, 2}});
+  return g.MessagePassingEdges(true);
+}
+
+TEST(GatLayerTest, OutputShape) {
+  common::Rng rng(3);
+  GatLayer gat(8, 2, rng);
+  auto x = Tensor::Create(3, 8);
+  tensor::FillNormal(*x, rng);
+  auto edges = TriangleEdges();
+  auto y = gat.Forward(x, edges, 3);
+  EXPECT_EQ(y->rows(), 3);
+  EXPECT_EQ(y->cols(), 8);
+}
+
+TEST(GatLayerTest, AttentionIsConvexCombinationOfTransformedInputs) {
+  // With identity diagonal weight, the GAT output of each node is a convex
+  // combination of neighbour features, so each output coordinate lies in
+  // the min/max range over the node's in-neighbourhood.
+  common::Rng rng(4);
+  GatLayer gat(4, 1, rng);
+  auto x = Tensor::Create(3, 4);
+  tensor::FillNormal(*x, rng);
+  auto edges = TriangleEdges();  // fully connected incl. self-loops
+  auto y = gat.Forward(x, edges, 3);
+  for (int64_t j = 0; j < 4; ++j) {
+    float lo = std::min({x->At(0, j), x->At(1, j), x->At(2, j)});
+    float hi = std::max({x->At(0, j), x->At(1, j), x->At(2, j)});
+    for (int64_t i = 0; i < 3; ++i) {
+      EXPECT_GE(y->At(i, j), lo - 1e-5);
+      EXPECT_LE(y->At(i, j), hi + 1e-5);
+    }
+  }
+}
+
+TEST(GatLayerTest, GradCheckThroughAttention) {
+  common::Rng rng(5);
+  GatLayer gat(4, 2, rng);
+  auto x = Tensor::Create(3, 4, /*requires_grad=*/true);
+  tensor::FillNormal(*x, rng);
+  auto edges = TriangleEdges();
+  auto inputs = gat.Parameters();
+  inputs.push_back(x);
+  desalign::testing::CheckGradients(inputs, [&] {
+    return ops::Sum(ops::Square(gat.Forward(x, edges, 3)));
+  });
+}
+
+TEST(GatEncoderTest, StacksLayers) {
+  common::Rng rng(6);
+  GatEncoder enc(6, 2, 2, rng);
+  auto x = Tensor::Create(3, 6);
+  tensor::FillNormal(*x, rng);
+  auto edges = TriangleEdges();
+  auto y = enc.Forward(x, edges, 3);
+  EXPECT_EQ(y->rows(), 3);
+  EXPECT_EQ(y->cols(), 6);
+  // Two layers, each with 1 diag + 2*2 attention params.
+  EXPECT_EQ(enc.Parameters().size(), 2u * 5u);
+}
+
+std::vector<TensorPtr> FourModalInputs(int64_t n, int64_t d, uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<TensorPtr> inputs;
+  for (int m = 0; m < 4; ++m) {
+    auto t = Tensor::Create(n, d);
+    tensor::FillNormal(*t, rng);
+    inputs.push_back(t);
+  }
+  return inputs;
+}
+
+TEST(CrossModalAttentionTest, OutputShapesAndConfidenceSimplex) {
+  common::Rng rng(7);
+  CrossModalAttention caw(8, 4, 2, rng);
+  auto inputs = FourModalInputs(5, 8, 8);
+  auto out = caw.Forward(inputs);
+  ASSERT_EQ(out.fused.size(), 4u);
+  ASSERT_EQ(out.fused_mid.size(), 4u);
+  for (const auto& f : out.fused) {
+    EXPECT_EQ(f->rows(), 5);
+    EXPECT_EQ(f->cols(), 8);
+  }
+  ASSERT_TRUE(out.confidence != nullptr);
+  EXPECT_EQ(out.confidence->rows(), 5);
+  EXPECT_EQ(out.confidence->cols(), 4);
+  for (int64_t i = 0; i < 5; ++i) {
+    float sum = 0.0f;
+    for (int64_t m = 0; m < 4; ++m) {
+      const float w = out.confidence->At(i, m);
+      EXPECT_GT(w, 0.0f);
+      sum += w;
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-4);
+  }
+}
+
+TEST(CrossModalAttentionTest, GradientsReachAllParameters) {
+  common::Rng rng(9);
+  CrossModalAttention caw(4, 4, 1, rng);
+  auto inputs = FourModalInputs(3, 4, 10);
+  auto out = caw.Forward(inputs);
+  TensorPtr loss;
+  for (const auto& f : out.fused) {
+    auto term = ops::Sum(ops::Square(f));
+    loss = loss ? ops::Add(loss, term) : term;
+  }
+  loss = ops::Add(loss, ops::Sum(ops::Square(out.confidence)));
+  loss->Backward();
+  for (const auto& p : caw.Parameters()) {
+    ASSERT_TRUE(p->has_grad());
+  }
+}
+
+TEST(CrossModalAttentionTest, ConfidenceReactsToInformativeModality) {
+  // If one modality is pure zeros its keys attract no structured attention;
+  // check confidences are not degenerate (no NaN, proper simplex).
+  common::Rng rng(11);
+  CrossModalAttention caw(4, 4, 1, rng);
+  auto inputs = FourModalInputs(6, 4, 12);
+  inputs[2] = Tensor::Zeros(6, 4);
+  auto out = caw.Forward(inputs);
+  for (float v : out.confidence->data()) {
+    EXPECT_FALSE(std::isnan(v));
+  }
+}
+
+}  // namespace
+}  // namespace desalign::nn

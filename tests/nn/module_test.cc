@@ -1,0 +1,61 @@
+#include "nn/module.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/layers.h"
+
+namespace desalign::nn {
+namespace {
+
+class Child : public Module {
+ public:
+  Child() { p_ = AddParameter("p", 2, 3); }
+  TensorPtr p_;
+};
+
+class Parent : public Module {
+ public:
+  Parent() {
+    q_ = AddParameter("q", 1, 4);
+    AddChild(&child_);
+  }
+  TensorPtr q_;
+  Child child_;
+};
+
+TEST(ModuleTest, ParametersIncludeChildren) {
+  Parent m;
+  auto params = m.Parameters();
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_EQ(m.NumParameters(), 4 + 6);
+}
+
+TEST(ModuleTest, ParametersRequireGrad) {
+  Parent m;
+  for (const auto& p : m.Parameters()) {
+    EXPECT_TRUE(p->requires_grad());
+  }
+}
+
+TEST(ModuleTest, ZeroGradClearsAll) {
+  Parent m;
+  for (const auto& p : m.Parameters()) {
+    p->grad().assign(p->size(), 1.0f);
+  }
+  m.ZeroGrad();
+  for (const auto& p : m.Parameters()) {
+    for (float g : p->grad()) EXPECT_EQ(g, 0.0f);
+  }
+}
+
+TEST(ModuleTest, LinearParameterCount) {
+  common::Rng rng(1);
+  Linear with_bias(5, 3, rng, /*with_bias=*/true);
+  EXPECT_EQ(with_bias.NumParameters(), 5 * 3 + 3);
+  Linear no_bias(5, 3, rng, /*with_bias=*/false);
+  EXPECT_EQ(no_bias.NumParameters(), 5 * 3);
+}
+
+}  // namespace
+}  // namespace desalign::nn

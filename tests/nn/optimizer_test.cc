@@ -1,0 +1,107 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace desalign::nn {
+namespace {
+
+namespace ops = desalign::tensor;
+using tensor::Tensor;
+
+TEST(AdamWTest, MinimizesQuadratic) {
+  auto x = Tensor::FromData(1, 2, {5.0f, -3.0f}, /*requires_grad=*/true);
+  AdamWConfig cfg;
+  cfg.lr = 0.1f;
+  cfg.weight_decay = 0.0f;
+  AdamW opt({x}, cfg);
+  for (int step = 0; step < 300; ++step) {
+    auto loss = ops::SumSquares(x);
+    opt.ZeroGrad();
+    loss->Backward();
+    opt.Step();
+  }
+  EXPECT_NEAR(x->data()[0], 0.0f, 1e-2);
+  EXPECT_NEAR(x->data()[1], 0.0f, 1e-2);
+  EXPECT_EQ(opt.step_count(), 300);
+}
+
+TEST(AdamWTest, FirstStepHasMagnitudeLr) {
+  // With bias correction, the first Adam step is ~lr in the gradient
+  // direction regardless of gradient scale.
+  auto x = Tensor::FromData(1, 1, {10.0f}, /*requires_grad=*/true);
+  AdamWConfig cfg;
+  cfg.lr = 0.5f;
+  cfg.weight_decay = 0.0f;
+  AdamW opt({x}, cfg);
+  auto loss = ops::Scale(ops::Sum(x), 123.0f);  // constant gradient 123
+  opt.ZeroGrad();
+  loss->Backward();
+  opt.Step();
+  EXPECT_NEAR(x->data()[0], 10.0f - 0.5f, 1e-3);
+}
+
+TEST(AdamWTest, DecoupledWeightDecayShrinksWithoutGradient) {
+  auto x = Tensor::FromData(1, 1, {2.0f}, /*requires_grad=*/true);
+  AdamWConfig cfg;
+  cfg.lr = 0.1f;
+  cfg.weight_decay = 0.5f;
+  AdamW opt({x}, cfg);
+  // Zero gradient but allocated buffer -> only weight decay applies.
+  x->grad();
+  opt.Step();
+  EXPECT_NEAR(x->data()[0], 2.0f - 0.1f * 0.5f * 2.0f, 1e-5);
+}
+
+TEST(AdamWTest, SkipsParamsWithoutGradBuffers) {
+  auto x = Tensor::FromData(1, 1, {2.0f}, /*requires_grad=*/true);
+  AdamWConfig cfg;
+  AdamW opt({x}, cfg);
+  opt.Step();  // no grad() was ever touched
+  EXPECT_FLOAT_EQ(x->data()[0], 2.0f);
+}
+
+TEST(CosineWarmupScheduleTest, WarmupRampsLinearly) {
+  CosineWarmupSchedule sched(1.0f, 100, 0.2, 0.0f);
+  EXPECT_NEAR(sched.LrAt(0), 1.0f / 20.0f, 1e-5);
+  EXPECT_NEAR(sched.LrAt(9), 0.5f, 1e-5);
+  EXPECT_NEAR(sched.LrAt(19), 1.0f, 1e-5);
+}
+
+TEST(CosineWarmupScheduleTest, CosineDecaysToMin) {
+  CosineWarmupSchedule sched(1.0f, 100, 0.0, 0.1f);
+  EXPECT_NEAR(sched.LrAt(0), 1.0f, 1e-5);
+  EXPECT_NEAR(sched.LrAt(100), 0.1f, 1e-5);
+  // Midpoint of cosine = average of max and min.
+  EXPECT_NEAR(sched.LrAt(50), 0.55f, 1e-3);
+  // Monotone decreasing after warmup.
+  for (int s = 1; s <= 100; ++s) {
+    EXPECT_LE(sched.LrAt(s), sched.LrAt(s - 1) + 1e-6);
+  }
+}
+
+TEST(ClipGradNormTest, ScalesDownLargeGradients) {
+  auto x = Tensor::FromData(1, 2, {0.0f, 0.0f}, /*requires_grad=*/true);
+  x->grad()[0] = 3.0f;
+  x->grad()[1] = 4.0f;
+  const double pre = ClipGradNorm({x}, 1.0);
+  EXPECT_NEAR(pre, 5.0, 1e-5);
+  EXPECT_NEAR(x->grad()[0], 0.6f, 1e-5);
+  EXPECT_NEAR(x->grad()[1], 0.8f, 1e-5);
+}
+
+TEST(ClipGradNormTest, LeavesSmallGradientsAlone) {
+  auto x = Tensor::FromData(1, 2, {0.0f, 0.0f}, /*requires_grad=*/true);
+  x->grad()[0] = 0.3f;
+  x->grad()[1] = 0.4f;
+  ClipGradNorm({x}, 1.0);
+  EXPECT_FLOAT_EQ(x->grad()[0], 0.3f);
+  EXPECT_FLOAT_EQ(x->grad()[1], 0.4f);
+}
+
+}  // namespace
+}  // namespace desalign::nn

@@ -1,0 +1,124 @@
+#include "nn/serialize.h"
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "align/fusion_model.h"
+#include "align/metrics.h"
+#include "common/rng.h"
+#include "kg/synthetic.h"
+#include "tensor/init.h"
+
+namespace desalign::nn {
+namespace {
+
+using tensor::Tensor;
+using tensor::TensorPtr;
+
+class SerializeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("desalign_ckpt_" + std::to_string(::getpid()) + ".bin"))
+                .string();
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+  }
+  std::string path_;
+};
+
+std::vector<TensorPtr> MakeParams(uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<TensorPtr> params = {
+      Tensor::Create(3, 4, true),
+      Tensor::Create(1, 7, true),
+      Tensor::Create(5, 5, true),
+  };
+  for (auto& p : params) tensor::FillNormal(*p, rng);
+  return params;
+}
+
+TEST_F(SerializeTest, RoundTripRestoresExactValues) {
+  auto original = MakeParams(1);
+  ASSERT_TRUE(SaveParameters(original, path_).ok());
+  auto restored = MakeParams(2);  // different values, same shapes
+  ASSERT_TRUE(LoadParameters(restored, path_).ok());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(restored[i]->data(), original[i]->data());
+  }
+}
+
+TEST_F(SerializeTest, CountMismatchFails) {
+  auto params = MakeParams(3);
+  ASSERT_TRUE(SaveParameters(params, path_).ok());
+  params.pop_back();
+  auto status = LoadParameters(params, path_);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), common::StatusCode::kInvalidArgument);
+}
+
+TEST_F(SerializeTest, ShapeMismatchFailsWithoutMutation) {
+  auto params = MakeParams(4);
+  ASSERT_TRUE(SaveParameters(params, path_).ok());
+  auto wrong = MakeParams(5);
+  wrong[1] = Tensor::Create(2, 7, true);
+  const auto before = wrong[0]->data();
+  ASSERT_FALSE(LoadParameters(wrong, path_).ok());
+  EXPECT_EQ(wrong[0]->data(), before);  // no partial load
+}
+
+TEST_F(SerializeTest, GarbageFileRejected) {
+  std::ofstream(path_) << "definitely not a checkpoint";
+  auto params = MakeParams(6);
+  auto status = LoadParameters(params, path_);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), common::StatusCode::kIoError);
+}
+
+TEST_F(SerializeTest, MissingFileRejected) {
+  auto params = MakeParams(7);
+  EXPECT_FALSE(LoadParameters(params, path_ + ".nope").ok());
+}
+
+TEST_F(SerializeTest, FusionModelCheckpointReproducesDecode) {
+  kg::SyntheticSpec spec;
+  spec.num_entities = 100;
+  spec.seed = 21;
+  auto data = kg::GenerateSyntheticPair(spec);
+
+  align::FusionModelConfig cfg;
+  cfg.dim = 16;
+  cfg.epochs = 15;
+  align::FusionAlignModel trained(cfg);
+  trained.Fit(data);
+  auto expected = trained.DecodeSimilarity(data);
+  ASSERT_TRUE(trained.SaveCheckpoint(path_).ok());
+
+  align::FusionAlignModel restored(cfg);
+  // Loading before Warmup is a precondition failure.
+  EXPECT_EQ(restored.LoadCheckpoint(path_).code(),
+            common::StatusCode::kFailedPrecondition);
+  restored.Warmup(data);
+  ASSERT_TRUE(restored.LoadCheckpoint(path_).ok());
+  auto actual = restored.DecodeSimilarity(data);
+  ASSERT_EQ(actual->size(), expected->size());
+  for (int64_t i = 0; i < actual->size(); ++i) {
+    EXPECT_NEAR(actual->data()[i], expected->data()[i], 1e-6);
+  }
+}
+
+TEST_F(SerializeTest, SaveBeforePrepareFails) {
+  align::FusionModelConfig cfg;
+  align::FusionAlignModel model(cfg);
+  EXPECT_EQ(model.SaveCheckpoint(path_).code(),
+            common::StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace desalign::nn

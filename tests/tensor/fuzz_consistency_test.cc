@@ -1,0 +1,176 @@
+// Randomized consistency checks: sparse kernels against naive dense
+// references, and autograd under structural stress (deep chains, wide
+// fan-out, mixed reuse).
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+#include "tensor/sparse.h"
+#include "tensor/tensor.h"
+
+namespace desalign::tensor {
+namespace {
+
+// Dense mirror of a sparse matrix for reference computations.
+std::vector<double> Densify(const CsrMatrix& m) {
+  std::vector<double> dense(static_cast<size_t>(m.rows() * m.cols()), 0.0);
+  for (int64_t r = 0; r < m.rows(); ++r) {
+    for (int64_t p = m.row_ptr()[r]; p < m.row_ptr()[r + 1]; ++p) {
+      dense[r * m.cols() + m.col_idx()[p]] = m.values()[p];
+    }
+  }
+  return dense;
+}
+
+CsrMatrixPtr RandomSparse(int64_t rows, int64_t cols, double density,
+                          common::Rng& rng) {
+  std::vector<Triplet> t;
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < cols; ++c) {
+      if (rng.Bernoulli(density)) {
+        t.push_back({r, c, rng.UniformF(-2.0f, 2.0f)});
+      }
+    }
+  }
+  if (t.empty()) t.push_back({0, 0, 1.0f});
+  return CsrMatrix::FromTriplets(rows, cols, std::move(t));
+}
+
+class SparseFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SparseFuzzTest, MultiplyMatchesDenseReference) {
+  common::Rng rng(GetParam());
+  const int64_t rows = 5 + rng.UniformInt(20);
+  const int64_t cols = 5 + rng.UniformInt(20);
+  const int64_t k = 1 + rng.UniformInt(6);
+  auto m = RandomSparse(rows, cols, 0.2, rng);
+  auto dense = Densify(*m);
+  std::vector<float> x(static_cast<size_t>(cols * k));
+  for (auto& v : x) v = rng.UniformF(-1.0f, 1.0f);
+  std::vector<float> y(static_cast<size_t>(rows * k));
+  m->Multiply(x.data(), k, y.data());
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t j = 0; j < k; ++j) {
+      double expected = 0.0;
+      for (int64_t c = 0; c < cols; ++c) {
+        expected += dense[r * cols + c] * x[c * k + j];
+      }
+      EXPECT_NEAR(y[r * k + j], expected, 1e-3);
+    }
+  }
+}
+
+TEST_P(SparseFuzzTest, TransposeMatchesDenseReference) {
+  common::Rng rng(GetParam() + 1000);
+  const int64_t rows = 4 + rng.UniformInt(12);
+  const int64_t cols = 4 + rng.UniformInt(12);
+  auto m = RandomSparse(rows, cols, 0.25, rng);
+  auto t = m->Transpose();
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < cols; ++c) {
+      EXPECT_FLOAT_EQ(m->At(r, c), t->At(c, r));
+    }
+  }
+}
+
+TEST_P(SparseFuzzTest, AddMatchesDenseReference) {
+  common::Rng rng(GetParam() + 2000);
+  const int64_t n = 4 + rng.UniformInt(10);
+  auto a = RandomSparse(n, n, 0.3, rng);
+  auto b = RandomSparse(n, n, 0.3, rng);
+  const float alpha = rng.UniformF(-2.0f, 2.0f);
+  const float beta = rng.UniformF(-2.0f, 2.0f);
+  auto c = a->Add(*b, alpha, beta);
+  for (int64_t r = 0; r < n; ++r) {
+    for (int64_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(c->At(r, j), alpha * a->At(r, j) + beta * b->At(r, j),
+                  1e-4);
+    }
+  }
+}
+
+TEST_P(SparseFuzzTest, SubMatrixMatchesDenseReference) {
+  common::Rng rng(GetParam() + 3000);
+  const int64_t n = 6 + rng.UniformInt(10);
+  auto m = RandomSparse(n, n, 0.3, rng);
+  std::vector<bool> rmask(n), cmask(n);
+  for (int64_t i = 0; i < n; ++i) {
+    rmask[i] = rng.Bernoulli(0.6);
+    cmask[i] = rng.Bernoulli(0.6);
+  }
+  rmask[0] = cmask[0] = true;  // non-empty selection
+  auto sub = m->SubMatrix(rmask, cmask);
+  int64_t rr = 0;
+  for (int64_t r = 0; r < n; ++r) {
+    if (!rmask[r]) continue;
+    int64_t cc = 0;
+    for (int64_t c = 0; c < n; ++c) {
+      if (!cmask[c]) continue;
+      EXPECT_FLOAT_EQ(sub->At(rr, cc), m->At(r, c));
+      ++cc;
+    }
+    ++rr;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SparseFuzzTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(AutogradStressTest, DeepChainGradientIsProductOfScales) {
+  auto x = Tensor::FromData(1, 1, {1.0f}, /*requires_grad=*/true);
+  TensorPtr y = x;
+  double expected = 1.0;
+  for (int i = 0; i < 100; ++i) {
+    const float s = 1.0f + 0.01f * static_cast<float>(i % 5);
+    y = Scale(y, s);
+    expected *= s;
+  }
+  Sum(y)->Backward();
+  EXPECT_NEAR(x->grad()[0], expected, expected * 1e-4);
+}
+
+TEST(AutogradStressTest, WideFanOutAccumulates) {
+  auto x = Tensor::FromData(1, 4, {1, 2, 3, 4}, /*requires_grad=*/true);
+  TensorPtr total;
+  const int branches = 50;
+  for (int b = 0; b < branches; ++b) {
+    auto term = Sum(Scale(x, static_cast<float>(b % 3)));
+    total = total ? Add(total, term) : term;
+  }
+  total->Backward();
+  // Σ_b (b % 3) over 50 branches: 17 zeros, 17 ones, 16 twos => 49.
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_FLOAT_EQ(x->grad()[i], 49.0f);
+  }
+}
+
+TEST(AutogradStressTest, RepeatedBackwardFromFreshGraphsAccumulates) {
+  auto x = Tensor::FromData(1, 1, {2.0f}, /*requires_grad=*/true);
+  for (int i = 0; i < 3; ++i) {
+    Sum(Square(x))->Backward();  // d/dx x^2 = 4 each time
+  }
+  EXPECT_FLOAT_EQ(x->grad()[0], 12.0f);
+  x->ZeroGrad();
+  Sum(Square(x))->Backward();
+  EXPECT_FLOAT_EQ(x->grad()[0], 4.0f);
+}
+
+TEST(AutogradStressTest, GraphFreesItselfAfterLossScopeEnds) {
+  // Children hold their parents; once the loss goes out of scope, the
+  // intermediate nodes must be released (use_count back to 1 for leaves).
+  auto x = Tensor::FromData(2, 2, {1, 2, 3, 4}, /*requires_grad=*/true);
+  {
+    auto loss = Sum(Square(MatMul(x, Transpose(x))));
+    loss->Backward();
+    EXPECT_GT(x.use_count(), 1);  // referenced by the graph
+  }
+  EXPECT_EQ(x.use_count(), 1);  // graph gone, no cycles
+}
+
+}  // namespace
+}  // namespace desalign::tensor

@@ -1,0 +1,81 @@
+#include "tensor/init.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace desalign::tensor {
+namespace {
+
+TEST(InitTest, GlorotUniformWithinBounds) {
+  common::Rng rng(1);
+  auto t = Tensor::Create(40, 60);
+  GlorotUniform(*t, rng);
+  const float bound = std::sqrt(6.0f / (40 + 60));
+  float max_abs = 0.0f;
+  for (float v : t->data()) max_abs = std::max(max_abs, std::fabs(v));
+  EXPECT_LE(max_abs, bound);
+  EXPECT_GT(max_abs, bound * 0.8f);  // spread actually reaches the bound
+}
+
+TEST(InitTest, GlorotUniformRoughlyZeroMean) {
+  common::Rng rng(2);
+  auto t = Tensor::Create(100, 100);
+  GlorotUniform(*t, rng);
+  double sum = 0.0;
+  for (float v : t->data()) sum += v;
+  EXPECT_NEAR(sum / t->size(), 0.0, 0.01);
+}
+
+TEST(InitTest, FillNormalMoments) {
+  common::Rng rng(3);
+  auto t = Tensor::Create(100, 100);
+  FillNormal(*t, rng, 2.0f, 0.5f);
+  double sum = 0.0;
+  double sq = 0.0;
+  for (float v : t->data()) {
+    sum += v;
+    sq += static_cast<double>(v) * v;
+  }
+  const double mean = sum / t->size();
+  const double var = sq / t->size() - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 0.5, 0.05);
+}
+
+TEST(InitTest, FillUniformRange) {
+  common::Rng rng(4);
+  auto t = Tensor::Create(50, 50);
+  FillUniform(*t, rng, -1.0f, 2.0f);
+  for (float v : t->data()) {
+    EXPECT_GE(v, -1.0f);
+    EXPECT_LT(v, 2.0f);
+  }
+}
+
+TEST(InitTest, FillConstantAndDiagonal) {
+  auto t = Tensor::Create(3, 5);
+  FillConstant(*t, 4.0f);
+  for (float v : t->data()) EXPECT_EQ(v, 4.0f);
+  auto d = Tensor::Create(3, 5);
+  FillDiagonal(*d, 2.0f);
+  EXPECT_EQ(d->At(0, 0), 2.0f);
+  EXPECT_EQ(d->At(2, 2), 2.0f);
+  EXPECT_EQ(d->At(0, 1), 0.0f);
+}
+
+TEST(InitTest, DeterministicAcrossRuns) {
+  common::Rng a(9);
+  common::Rng b(9);
+  auto ta = Tensor::Create(8, 8);
+  auto tb = Tensor::Create(8, 8);
+  GlorotUniform(*ta, a);
+  GlorotUniform(*tb, b);
+  EXPECT_EQ(ta->data(), tb->data());
+}
+
+}  // namespace
+}  // namespace desalign::tensor

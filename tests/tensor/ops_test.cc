@@ -1,0 +1,294 @@
+#include "tensor/ops.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace desalign::tensor {
+namespace {
+
+TEST(OpsTest, AddSubMulDiv) {
+  auto a = Tensor::FromData(1, 4, {1, 2, 3, 4});
+  auto b = Tensor::FromData(1, 4, {4, 3, 2, 1});
+  EXPECT_EQ(Add(a, b)->data(), std::vector<float>({5, 5, 5, 5}));
+  EXPECT_EQ(Sub(a, b)->data(), std::vector<float>({-3, -1, 1, 3}));
+  EXPECT_EQ(Mul(a, b)->data(), std::vector<float>({4, 6, 6, 4}));
+  auto d = Div(a, b);
+  EXPECT_FLOAT_EQ(d->data()[0], 0.25f);
+  EXPECT_FLOAT_EQ(d->data()[3], 4.0f);
+}
+
+TEST(OpsTest, Broadcasts) {
+  auto a = Tensor::FromData(2, 2, {1, 2, 3, 4});
+  auto row = Tensor::FromData(1, 2, {10, 20});
+  auto col = Tensor::FromData(2, 1, {2, 3});
+  EXPECT_EQ(AddRowVector(a, row)->data(),
+            std::vector<float>({11, 22, 13, 24}));
+  EXPECT_EQ(MulRowVector(a, row)->data(),
+            std::vector<float>({10, 40, 30, 80}));
+  EXPECT_EQ(MulColVector(a, col)->data(),
+            std::vector<float>({2, 4, 9, 12}));
+}
+
+TEST(OpsTest, ScaleAddScalarNeg) {
+  auto a = Tensor::FromData(1, 3, {1, -2, 3});
+  EXPECT_EQ(Scale(a, 2.0f)->data(), std::vector<float>({2, -4, 6}));
+  EXPECT_EQ(AddScalar(a, 1.0f)->data(), std::vector<float>({2, -1, 4}));
+  EXPECT_EQ(Neg(a)->data(), std::vector<float>({-1, 2, -3}));
+}
+
+TEST(OpsTest, MatMulSmall) {
+  auto a = Tensor::FromData(2, 3, {1, 2, 3, 4, 5, 6});
+  auto b = Tensor::FromData(3, 2, {7, 8, 9, 10, 11, 12});
+  auto c = MatMul(a, b);
+  EXPECT_FLOAT_EQ(c->At(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c->At(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c->At(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c->At(1, 1), 154.0f);
+}
+
+TEST(OpsTest, TransposeValues) {
+  auto a = Tensor::FromData(2, 3, {1, 2, 3, 4, 5, 6});
+  auto t = Transpose(a);
+  EXPECT_EQ(t->rows(), 3);
+  EXPECT_EQ(t->cols(), 2);
+  EXPECT_FLOAT_EQ(t->At(2, 1), 6.0f);
+  EXPECT_FLOAT_EQ(t->At(0, 1), 4.0f);
+}
+
+TEST(OpsTest, Nonlinearities) {
+  auto a = Tensor::FromData(1, 2, {-1.0f, 2.0f});
+  EXPECT_EQ(Relu(a)->data(), std::vector<float>({0, 2}));
+  auto lr = LeakyRelu(a, 0.1f);
+  EXPECT_FLOAT_EQ(lr->data()[0], -0.1f);
+  EXPECT_FLOAT_EQ(lr->data()[1], 2.0f);
+  auto sg = Sigmoid(Tensor::FromData(1, 1, {0.0f}));
+  EXPECT_FLOAT_EQ(sg->data()[0], 0.5f);
+  auto th = Tanh(Tensor::FromData(1, 1, {0.0f}));
+  EXPECT_FLOAT_EQ(th->data()[0], 0.0f);
+  auto ex = Exp(Tensor::FromData(1, 1, {1.0f}));
+  EXPECT_NEAR(ex->data()[0], 2.71828f, 1e-4);
+  auto lg = LogSafe(Tensor::FromData(1, 1, {std::exp(2.0f)}));
+  EXPECT_NEAR(lg->data()[0], 2.0f, 1e-4);
+  EXPECT_EQ(Square(a)->data(), std::vector<float>({1, 4}));
+}
+
+TEST(OpsTest, RowSoftmaxRowsSumToOne) {
+  auto a = Tensor::FromData(2, 3, {1, 2, 3, -5, 0, 5});
+  auto s = RowSoftmax(a);
+  for (int64_t r = 0; r < 2; ++r) {
+    float sum = 0.0f;
+    for (int64_t c = 0; c < 3; ++c) {
+      sum += s->At(r, c);
+      EXPECT_GT(s->At(r, c), 0.0f);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5);
+  }
+  // Monotone in the logits.
+  EXPECT_LT(s->At(0, 0), s->At(0, 1));
+  EXPECT_LT(s->At(0, 1), s->At(0, 2));
+}
+
+TEST(OpsTest, RowSoftmaxNumericallyStableForLargeLogits) {
+  auto a = Tensor::FromData(1, 2, {1000.0f, 1001.0f});
+  auto s = RowSoftmax(a);
+  EXPECT_FALSE(std::isnan(s->data()[0]));
+  EXPECT_NEAR(s->data()[0] + s->data()[1], 1.0f, 1e-5);
+}
+
+TEST(OpsTest, RowLogSoftmaxMatchesLogOfSoftmax) {
+  auto a = Tensor::FromData(1, 3, {0.5f, -1.0f, 2.0f});
+  auto ls = RowLogSoftmax(a);
+  auto s = RowSoftmax(a);
+  for (int64_t c = 0; c < 3; ++c) {
+    EXPECT_NEAR(ls->At(0, c), std::log(s->At(0, c)), 1e-5);
+  }
+}
+
+TEST(OpsTest, SegmentSoftmaxSumsToOnePerSegment) {
+  auto scores = Tensor::FromData(5, 1, {1, 2, 3, -1, 4});
+  std::vector<int64_t> seg = {0, 0, 1, 1, 1};
+  auto s = SegmentSoftmax(scores, seg, 2);
+  EXPECT_NEAR(s->data()[0] + s->data()[1], 1.0f, 1e-5);
+  EXPECT_NEAR(s->data()[2] + s->data()[3] + s->data()[4], 1.0f, 1e-5);
+}
+
+TEST(OpsTest, SegmentSoftmaxSingletonSegmentIsOne) {
+  auto scores = Tensor::FromData(2, 1, {-100.0f, 3.0f});
+  auto s = SegmentSoftmax(scores, {0, 1}, 2);
+  EXPECT_NEAR(s->data()[0], 1.0f, 1e-5);
+  EXPECT_NEAR(s->data()[1], 1.0f, 1e-5);
+}
+
+TEST(OpsTest, Reductions) {
+  auto a = Tensor::FromData(2, 2, {1, 2, 3, 4});
+  EXPECT_FLOAT_EQ(Sum(a)->ScalarValue(), 10.0f);
+  EXPECT_FLOAT_EQ(Mean(a)->ScalarValue(), 2.5f);
+  auto rs = RowSum(a);
+  EXPECT_FLOAT_EQ(rs->data()[0], 3.0f);
+  EXPECT_FLOAT_EQ(rs->data()[1], 7.0f);
+  EXPECT_FLOAT_EQ(SumSquares(a)->ScalarValue(), 30.0f);
+}
+
+TEST(OpsTest, SegmentSumScatters) {
+  auto v = Tensor::FromData(3, 2, {1, 2, 3, 4, 5, 6});
+  auto out = SegmentSum(v, {1, 0, 1}, 2);
+  EXPECT_FLOAT_EQ(out->At(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(out->At(0, 1), 4.0f);
+  EXPECT_FLOAT_EQ(out->At(1, 0), 6.0f);
+  EXPECT_FLOAT_EQ(out->At(1, 1), 8.0f);
+}
+
+TEST(OpsTest, ConcatAndSliceColsInverse) {
+  auto a = Tensor::FromData(2, 1, {1, 2});
+  auto b = Tensor::FromData(2, 2, {3, 4, 5, 6});
+  auto c = ConcatCols({a, b});
+  EXPECT_EQ(c->cols(), 3);
+  EXPECT_FLOAT_EQ(c->At(1, 2), 6.0f);
+  auto back = SliceCols(c, 1, 2);
+  EXPECT_EQ(back->data(), b->data());
+}
+
+TEST(OpsTest, ConcatRows) {
+  auto a = Tensor::FromData(1, 2, {1, 2});
+  auto b = Tensor::FromData(2, 2, {3, 4, 5, 6});
+  auto c = ConcatRows({a, b});
+  EXPECT_EQ(c->rows(), 3);
+  EXPECT_FLOAT_EQ(c->At(2, 1), 6.0f);
+}
+
+TEST(OpsTest, GatherRowsSelectsAndRepeats) {
+  auto a = Tensor::FromData(3, 2, {1, 2, 3, 4, 5, 6});
+  auto g = GatherRows(a, {2, 0, 2});
+  EXPECT_EQ(g->rows(), 3);
+  EXPECT_FLOAT_EQ(g->At(0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(g->At(1, 1), 2.0f);
+  EXPECT_FLOAT_EQ(g->At(2, 1), 6.0f);
+}
+
+TEST(OpsTest, TakeDiag) {
+  auto a = Tensor::FromData(2, 2, {1, 2, 3, 4});
+  auto d = TakeDiag(a);
+  EXPECT_EQ(d->rows(), 2);
+  EXPECT_FLOAT_EQ(d->data()[0], 1.0f);
+  EXPECT_FLOAT_EQ(d->data()[1], 4.0f);
+}
+
+TEST(OpsTest, RowL2NormalizeUnitNorm) {
+  auto a = Tensor::FromData(2, 2, {3, 4, 0, 5});
+  auto n = RowL2Normalize(a);
+  EXPECT_NEAR(n->At(0, 0), 0.6f, 1e-5);
+  EXPECT_NEAR(n->At(0, 1), 0.8f, 1e-5);
+  EXPECT_NEAR(n->At(1, 1), 1.0f, 1e-5);
+}
+
+TEST(OpsTest, RowL2NormalizeZeroRowIsSafe) {
+  auto a = Tensor::FromData(1, 3, {0, 0, 0});
+  auto n = RowL2Normalize(a);
+  for (float v : n->data()) {
+    EXPECT_FALSE(std::isnan(v));
+    EXPECT_EQ(v, 0.0f);
+  }
+}
+
+TEST(OpsTest, LayerNormRowMomentsAndAffine) {
+  auto x = Tensor::FromData(1, 4, {1, 2, 3, 4});
+  auto gamma = Tensor::FromData(1, 4, {1, 1, 1, 1});
+  auto beta = Tensor::FromData(1, 4, {0, 0, 0, 0});
+  auto y = LayerNorm(x, gamma, beta);
+  float mean = 0.0f;
+  float var = 0.0f;
+  for (int64_t c = 0; c < 4; ++c) mean += y->At(0, c);
+  mean /= 4;
+  for (int64_t c = 0; c < 4; ++c) {
+    var += (y->At(0, c) - mean) * (y->At(0, c) - mean);
+  }
+  var /= 4;
+  EXPECT_NEAR(mean, 0.0f, 1e-5);
+  EXPECT_NEAR(var, 1.0f, 1e-3);
+  // Affine shift applies.
+  auto beta2 = Tensor::FromData(1, 4, {5, 5, 5, 5});
+  auto y2 = LayerNorm(x, gamma, beta2);
+  EXPECT_NEAR(y2->At(0, 0), y->At(0, 0) + 5.0f, 1e-5);
+}
+
+TEST(OpsTest, DropoutModes) {
+  common::Rng rng(3);
+  auto a = Tensor::Full(10, 10, 1.0f);
+  // Inference: identity (same object).
+  auto pass = Dropout(a, 0.5f, rng, /*training=*/false);
+  EXPECT_EQ(pass.get(), a.get());
+  // p = 0: identity.
+  auto pass2 = Dropout(a, 0.0f, rng, /*training=*/true);
+  EXPECT_EQ(pass2.get(), a.get());
+  // Training: zeros appear and survivors are scaled by 1/(1-p).
+  auto d = Dropout(a, 0.5f, rng, /*training=*/true);
+  int zeros = 0;
+  for (float v : d->data()) {
+    if (v == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_FLOAT_EQ(v, 2.0f);
+    }
+  }
+  EXPECT_GT(zeros, 20);
+  EXPECT_LT(zeros, 80);
+}
+
+TEST(OpsTest, SpMMMatchesDense) {
+  auto m = CsrMatrix::FromTriplets(
+      2, 3, {{0, 0, 1.0f}, {0, 2, 2.0f}, {1, 1, 3.0f}});
+  auto x = Tensor::FromData(3, 2, {1, 10, 2, 20, 3, 30});
+  auto y = SpMM(m, x);
+  EXPECT_FLOAT_EQ(y->At(0, 0), 7.0f);
+  EXPECT_FLOAT_EQ(y->At(0, 1), 70.0f);
+  EXPECT_FLOAT_EQ(y->At(1, 0), 6.0f);
+  EXPECT_FLOAT_EQ(y->At(1, 1), 60.0f);
+}
+
+TEST(OpsTest, RowDotMatchesManual) {
+  auto a = Tensor::FromData(2, 2, {1, 2, 3, 4});
+  auto b = Tensor::FromData(2, 2, {5, 6, 7, 8});
+  auto d = RowDot(a, b);
+  EXPECT_FLOAT_EQ(d->data()[0], 17.0f);
+  EXPECT_FLOAT_EQ(d->data()[1], 53.0f);
+}
+
+
+TEST(OpsTest, AbsAndClip) {
+  auto a = Tensor::FromData(1, 4, {-2, -0.5f, 0.5f, 2});
+  EXPECT_EQ(Abs(a)->data(), std::vector<float>({2, 0.5f, 0.5f, 2}));
+  auto c = ClipByValue(a, -1.0f, 1.0f);
+  EXPECT_EQ(c->data(), std::vector<float>({-1, -0.5f, 0.5f, 1}));
+}
+
+TEST(OpsTest, ElementwiseMaxMin) {
+  auto a = Tensor::FromData(1, 3, {1, 5, 3});
+  auto b = Tensor::FromData(1, 3, {2, 4, 3});
+  EXPECT_EQ(MaxElementwise(a, b)->data(), std::vector<float>({2, 5, 3}));
+  EXPECT_EQ(MinElementwise(a, b)->data(), std::vector<float>({1, 4, 3}));
+}
+
+TEST(OpsTest, RowMaxAndArgMax) {
+  auto a = Tensor::FromData(2, 3, {1, 7, 3, 9, 2, 8});
+  auto m = RowMax(a);
+  EXPECT_FLOAT_EQ(m->data()[0], 7.0f);
+  EXPECT_FLOAT_EQ(m->data()[1], 9.0f);
+  auto idx = ArgMaxRows(*a);
+  EXPECT_EQ(idx[0], 1);
+  EXPECT_EQ(idx[1], 0);
+}
+
+TEST(OpsTest, ColMean) {
+  auto a = Tensor::FromData(2, 2, {1, 2, 3, 4});
+  auto m = ColMean(a);
+  EXPECT_EQ(m->rows(), 1);
+  EXPECT_FLOAT_EQ(m->data()[0], 2.0f);
+  EXPECT_FLOAT_EQ(m->data()[1], 3.0f);
+}
+
+}  // namespace
+}  // namespace desalign::tensor

@@ -1,0 +1,114 @@
+#include "tensor/sparse.h"
+
+#include <gtest/gtest.h>
+
+namespace desalign::tensor {
+namespace {
+
+CsrMatrixPtr SmallMatrix() {
+  // [ 1 0 2 ]
+  // [ 0 3 0 ]
+  return CsrMatrix::FromTriplets(
+      2, 3, {{0, 0, 1.0f}, {0, 2, 2.0f}, {1, 1, 3.0f}});
+}
+
+TEST(CsrMatrixTest, FromTripletsShapeAndNnz) {
+  auto m = SmallMatrix();
+  EXPECT_EQ(m->rows(), 2);
+  EXPECT_EQ(m->cols(), 3);
+  EXPECT_EQ(m->nnz(), 3);
+}
+
+TEST(CsrMatrixTest, AtReadsEntries) {
+  auto m = SmallMatrix();
+  EXPECT_FLOAT_EQ(m->At(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(m->At(0, 1), 0.0f);
+  EXPECT_FLOAT_EQ(m->At(0, 2), 2.0f);
+  EXPECT_FLOAT_EQ(m->At(1, 1), 3.0f);
+}
+
+TEST(CsrMatrixTest, DuplicateTripletsAreSummed) {
+  auto m = CsrMatrix::FromTriplets(1, 1, {{0, 0, 1.0f}, {0, 0, 2.5f}});
+  EXPECT_EQ(m->nnz(), 1);
+  EXPECT_FLOAT_EQ(m->At(0, 0), 3.5f);
+}
+
+TEST(CsrMatrixTest, MultiplyVector) {
+  auto m = SmallMatrix();
+  const float x[3] = {1.0f, 2.0f, 3.0f};
+  float y[2];
+  m->Multiply(x, 1, y);
+  EXPECT_FLOAT_EQ(y[0], 1.0f * 1 + 2.0f * 3);  // 7
+  EXPECT_FLOAT_EQ(y[1], 3.0f * 2);             // 6
+}
+
+TEST(CsrMatrixTest, MultiplyMultiColumn) {
+  auto m = SmallMatrix();
+  // x is 3x2 row-major.
+  const float x[6] = {1, 10, 2, 20, 3, 30};
+  float y[4];
+  m->Multiply(x, 2, y);
+  EXPECT_FLOAT_EQ(y[0], 7.0f);
+  EXPECT_FLOAT_EQ(y[1], 70.0f);
+  EXPECT_FLOAT_EQ(y[2], 6.0f);
+  EXPECT_FLOAT_EQ(y[3], 60.0f);
+}
+
+TEST(CsrMatrixTest, TransposeEntries) {
+  auto t = SmallMatrix()->Transpose();
+  EXPECT_EQ(t->rows(), 3);
+  EXPECT_EQ(t->cols(), 2);
+  EXPECT_FLOAT_EQ(t->At(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(t->At(2, 0), 2.0f);
+  EXPECT_FLOAT_EQ(t->At(1, 1), 3.0f);
+}
+
+TEST(CsrMatrixTest, TransposeTwiceIsIdentityOp) {
+  auto m = SmallMatrix();
+  auto tt = m->Transpose()->Transpose();
+  for (int64_t r = 0; r < 2; ++r) {
+    for (int64_t c = 0; c < 3; ++c) {
+      EXPECT_FLOAT_EQ(tt->At(r, c), m->At(r, c));
+    }
+  }
+}
+
+TEST(CsrMatrixTest, AddWithCoefficients) {
+  auto a = CsrMatrix::FromTriplets(2, 2, {{0, 0, 1.0f}, {1, 1, 2.0f}});
+  auto b = CsrMatrix::FromTriplets(2, 2, {{0, 0, 3.0f}, {0, 1, 4.0f}});
+  auto c = a->Add(*b, 2.0f, -1.0f);  // 2a - b
+  EXPECT_FLOAT_EQ(c->At(0, 0), -1.0f);
+  EXPECT_FLOAT_EQ(c->At(0, 1), -4.0f);
+  EXPECT_FLOAT_EQ(c->At(1, 1), 4.0f);
+}
+
+TEST(CsrMatrixTest, Identity) {
+  auto eye = CsrMatrix::Identity(3);
+  EXPECT_EQ(eye->nnz(), 3);
+  const float x[3] = {5, 6, 7};
+  float y[3];
+  eye->Multiply(x, 1, y);
+  EXPECT_FLOAT_EQ(y[0], 5.0f);
+  EXPECT_FLOAT_EQ(y[1], 6.0f);
+  EXPECT_FLOAT_EQ(y[2], 7.0f);
+}
+
+TEST(CsrMatrixTest, RowSums) {
+  auto sums = SmallMatrix()->RowSums();
+  ASSERT_EQ(sums.size(), 2u);
+  EXPECT_FLOAT_EQ(sums[0], 3.0f);
+  EXPECT_FLOAT_EQ(sums[1], 3.0f);
+}
+
+TEST(CsrMatrixTest, SymmetryCheck) {
+  auto sym = CsrMatrix::FromTriplets(
+      2, 2, {{0, 1, 2.0f}, {1, 0, 2.0f}, {0, 0, 1.0f}});
+  EXPECT_TRUE(sym->IsSymmetric());
+  auto asym = CsrMatrix::FromTriplets(2, 2, {{0, 1, 2.0f}});
+  EXPECT_FALSE(asym->IsSymmetric());
+  auto rect = CsrMatrix::FromTriplets(2, 3, {{0, 1, 2.0f}});
+  EXPECT_FALSE(rect->IsSymmetric());
+}
+
+}  // namespace
+}  // namespace desalign::tensor

@@ -1,0 +1,53 @@
+#ifndef DESALIGN_TESTS_TESTING_GRAD_CHECK_H_
+#define DESALIGN_TESTS_TESTING_GRAD_CHECK_H_
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.h"
+
+namespace desalign::testing {
+
+/// Verifies analytic gradients of `fn` (a scalar-valued tensor program)
+/// against central finite differences for every entry of every input.
+/// `fn` must rebuild the graph from the inputs on each call.
+inline void CheckGradients(
+    const std::vector<tensor::TensorPtr>& inputs,
+    const std::function<tensor::TensorPtr(void)>& fn, float eps = 1e-2f,
+    float tol = 2e-2f) {
+  for (const auto& in : inputs) {
+    ASSERT_TRUE(in->requires_grad());
+    in->ZeroGrad();
+  }
+  auto loss = fn();
+  ASSERT_EQ(loss->rows(), 1);
+  ASSERT_EQ(loss->cols(), 1);
+  loss->Backward();
+
+  for (size_t k = 0; k < inputs.size(); ++k) {
+    auto& in = *inputs[k];
+    ASSERT_TRUE(in.has_grad()) << "input " << k << " received no gradient";
+    for (int64_t i = 0; i < in.size(); ++i) {
+      const float original = in.data()[i];
+      in.data()[i] = original + eps;
+      const float plus = fn()->ScalarValue();
+      in.data()[i] = original - eps;
+      const float minus = fn()->ScalarValue();
+      in.data()[i] = original;
+      const float numeric = (plus - minus) / (2.0f * eps);
+      const float analytic = in.grad()[i];
+      const float scale =
+          std::max(1.0f, std::max(std::fabs(numeric), std::fabs(analytic)));
+      EXPECT_NEAR(analytic / scale, numeric / scale, tol)
+          << "input " << k << " entry " << i << " analytic=" << analytic
+          << " numeric=" << numeric;
+    }
+  }
+}
+
+}  // namespace desalign::testing
+
+#endif  // DESALIGN_TESTS_TESTING_GRAD_CHECK_H_

@@ -1,0 +1,9 @@
+// The `desalign` command-line tool: dataset generation, statistics,
+// training runs and robustness sweeps from the shell. See cli/cli.h for
+// the subcommand reference, or run with --help.
+
+#include "cli/cli.h"
+
+int main(int argc, char** argv) {
+  return desalign::cli::RunCliMain(argc, argv);
+}
