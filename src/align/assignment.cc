@@ -10,6 +10,8 @@ namespace desalign::align {
 std::vector<int64_t> GreedyOneToOneMatch(const tensor::Tensor& sim) {
   const int64_t n = sim.rows();
   const int64_t m = sim.cols();
+  if (n == 0 || m == 0) return std::vector<int64_t>(n, -1);
+  if (n == 1 && m == 1) return {0};
   struct Cell {
     float value;
     int64_t row;
@@ -42,8 +44,12 @@ std::vector<int64_t> GreedyOneToOneMatch(const tensor::Tensor& sim) {
 }
 
 std::vector<int64_t> HungarianMatch(const tensor::Tensor& sim) {
-  DESALIGN_CHECK_EQ(sim.rows(), sim.cols());
+  DESALIGN_CHECK_MSG(sim.rows() == sim.cols(),
+                     "HungarianMatch requires a square matrix; see the "
+                     "shape contract in assignment.h");
   const int64_t n = sim.rows();
+  if (n == 0) return {};
+  if (n == 1) return {0};
   // Minimize cost = -similarity with the O(n^3) potentials formulation
   // (1-indexed internal arrays, standard Jonker–Volgenant scheme).
   const double kInf = std::numeric_limits<double>::infinity();

@@ -15,13 +15,24 @@ namespace desalign::align {
 // setting of Zeng et al. [51].
 
 /// Greedy global matching: repeatedly commits the highest-similarity
-/// unmatched (row, column) pair. Returns, per row, the matched column
-/// (every row is matched when the matrix is square). O(n² log n).
+/// unmatched (row, column) pair. O(n·m·log(n·m)).
+///
+/// Shape contract: any rectangular n x m matrix is accepted. Exactly
+/// min(n, m) rows are matched; the remaining rows carry -1 (callers must
+/// treat -1 as "unmatched", never index with it). Degenerate inputs are
+/// well-defined: an empty matrix (n == 0 or m == 0) yields a vector of n
+/// entries of -1, and a 1x1 matrix yields {0}. (tensor::Tensor currently
+/// forbids 0-sized matrices, so the empty guard is defensive.)
 std::vector<int64_t> GreedyOneToOneMatch(const tensor::Tensor& sim);
 
 /// Optimal assignment maximizing total similarity via the Hungarian
-/// algorithm (Jonker–Volgenant style potentials), O(n³). Requires a
-/// square matrix.
+/// algorithm (Jonker–Volgenant style potentials), O(n³).
+///
+/// Shape contract: requires a square matrix (CHECK-fails on non-square
+/// input — pad rectangular problems with a -inf-ish constant first, or use
+/// GreedyOneToOneMatch which handles rectangles natively). A 0x0 matrix
+/// yields {} and a 1x1 matrix yields {0}; every row of a square input is
+/// matched to a distinct column.
 std::vector<int64_t> HungarianMatch(const tensor::Tensor& sim);
 
 /// Fraction of rows whose match is the ground-truth diagonal entry.

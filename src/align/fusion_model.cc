@@ -100,6 +100,18 @@ int64_t FusionAlignModel::NumParameters() const {
   return total;
 }
 
+TensorPtr FusionAlignModel::FusedEmbeddings() {
+  DESALIGN_CHECK_MSG(prepared_, "FusedEmbeddings requires a fitted model");
+  tensor::NoGradGuard no_grad;
+  auto state = Forward();
+  return state.h_ori->Detach();
+}
+
+int64_t FusionAlignModel::num_source_entities() const {
+  DESALIGN_CHECK_MSG(prepared_, "num_source_entities requires Fit/Warmup");
+  return features_.num_source;
+}
+
 FusionAlignModel::ForwardState FusionAlignModel::Forward() {
   DESALIGN_CHECK_MSG(prepared_, "Fit must run before Forward");
   ForwardState state;

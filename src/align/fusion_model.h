@@ -107,6 +107,17 @@ class FusionAlignModel : public AlignmentMethod {
   /// Total trainable scalars (for the efficiency analysis).
   int64_t NumParameters() const;
 
+  /// Final fused entity representations X^(0) for every entity of both
+  /// KGs (source rows first, then target rows), as a gradient-detached
+  /// (N_src + N_tgt) x D matrix from a no-grad forward pass. Requires a
+  /// fitted model (or Warmup + LoadCheckpoint). This is the matrix the
+  /// serve::EmbeddingStore indexes for query-time top-k retrieval.
+  tensor::TensorPtr FusedEmbeddings();
+
+  /// Number of source-KG entities, i.e. the row where the target block of
+  /// FusedEmbeddings() starts. Requires a prepared model.
+  int64_t num_source_entities() const;
+
   /// Dirichlet energies of the semantic embedding at the three layers of
   /// Proposition 3, measured on the current weights (no-grad forward).
   /// Energies are normalized by N·d so values are comparable across

@@ -1,12 +1,21 @@
 #include "cli/cli.h"
 
-#include <cstdio>
-#include <memory>
+#include <unistd.h>
 
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <future>
+#include <memory>
+#include <thread>
+
+#include "align/fusion_model.h"
 #include "align/iterative.h"
 #include "align/metrics.h"
 #include "common/flags.h"
+#include "common/stopwatch.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "core/desalign.h"
 #include "eval/csv.h"
 #include "eval/harness.h"
@@ -14,6 +23,10 @@
 #include "kg/io.h"
 #include "kg/presets.h"
 #include "kg/synthetic.h"
+#include "serve/batch_queue.h"
+#include "serve/embedding_store.h"
+#include "serve/stats.h"
+#include "serve/topk.h"
 
 namespace desalign::cli {
 
@@ -29,6 +42,17 @@ std::vector<const char*> ToArgv(const std::vector<std::string>& args) {
   for (const auto& a : args) argv.push_back(a.c_str());
   return argv;
 }
+
+// Global --threads flag, registered by every subcommand so one knob sizes
+// ThreadPool::Global() for all parallel kernels.
+struct ThreadsFlag {
+  int64_t threads = 0;
+
+  void Register(FlagParser& parser) {
+    common::AddThreadsFlag(parser, &threads);
+  }
+  Status Apply() const { return common::ApplyThreadsFlag(threads); }
+};
 
 // Dataset source flags shared by stats/run/sweep.
 struct DatasetFlags {
@@ -84,11 +108,14 @@ Status CmdGenerate(const std::vector<std::string>& args, std::ostream& out) {
   FlagParser parser("desalign generate: sample a synthetic MMEA dataset");
   DatasetFlags dataset;
   dataset.Register(parser);
+  ThreadsFlag threads;
+  threads.Register(parser);
   std::string out_dir;
   parser.AddString("out", "", "output directory (required)", &out_dir);
   auto argv = ToArgv(args);
   DESALIGN_RETURN_NOT_OK(
       parser.Parse(static_cast<int>(argv.size()), argv.data(), 0));
+  DESALIGN_RETURN_NOT_OK(threads.Apply());
   if (out_dir.empty()) {
     return Status::InvalidArgument("generate requires --out=DIR");
   }
@@ -104,9 +131,12 @@ Status CmdStats(const std::vector<std::string>& args, std::ostream& out) {
   FlagParser parser("desalign stats: dataset statistics");
   DatasetFlags dataset;
   dataset.Register(parser);
+  ThreadsFlag threads;
+  threads.Register(parser);
   auto argv = ToArgv(args);
   DESALIGN_RETURN_NOT_OK(
       parser.Parse(static_cast<int>(argv.size()), argv.data(), 0));
+  DESALIGN_RETURN_NOT_OK(threads.Apply());
   DESALIGN_ASSIGN_OR_RETURN(auto pair, dataset.Load());
   eval::TablePrinter table({"KG", "Ent.", "Rel.", "Att.", "R.Triples",
                             "A.Triples", "Image", "text%", "image%"});
@@ -131,6 +161,8 @@ Status CmdRun(const std::vector<std::string>& args, std::ostream& out) {
   FlagParser parser("desalign run: train and evaluate one method");
   DatasetFlags dataset;
   dataset.Register(parser);
+  ThreadsFlag threads;
+  threads.Register(parser);
   std::string method_name;
   int64_t epochs;
   int64_t dim;
@@ -153,6 +185,7 @@ Status CmdRun(const std::vector<std::string>& args, std::ostream& out) {
   auto argv = ToArgv(args);
   DESALIGN_RETURN_NOT_OK(
       parser.Parse(static_cast<int>(argv.size()), argv.data(), 0));
+  DESALIGN_RETURN_NOT_OK(threads.Apply());
 
   DESALIGN_ASSIGN_OR_RETURN(auto data, dataset.Load());
   auto& settings = eval::GlobalHarnessSettings();
@@ -182,6 +215,8 @@ Status CmdSweep(const std::vector<std::string>& args, std::ostream& out) {
   FlagParser parser("desalign sweep: robustness sweep over a dataset knob");
   DatasetFlags dataset;
   dataset.Register(parser);
+  ThreadsFlag threads;
+  threads.Register(parser);
   std::string variable;
   std::string values_text;
   std::string methods_text;
@@ -201,6 +236,7 @@ Status CmdSweep(const std::vector<std::string>& args, std::ostream& out) {
   auto argv = ToArgv(args);
   DESALIGN_RETURN_NOT_OK(
       parser.Parse(static_cast<int>(argv.size()), argv.data(), 0));
+  DESALIGN_RETURN_NOT_OK(threads.Apply());
   if (!dataset.data_dir.empty()) {
     return Status::InvalidArgument(
         "sweep regenerates datasets per ratio; use --preset, not --data");
@@ -259,6 +295,165 @@ Status CmdSweep(const std::vector<std::string>& args, std::ostream& out) {
   return Status::Ok();
 }
 
+// serve-bench: the full online-retrieval journey — generate (or load) a
+// dataset, train a fusion model briefly, persist its fused embeddings
+// through an nn::serialize checkpoint, rebuild an EmbeddingStore from that
+// checkpoint, then replay queries through BatchQueue + TopKRetriever from
+// concurrent submitter threads and report latency/throughput.
+Status CmdServeBench(const std::vector<std::string>& args,
+                     std::ostream& out) {
+  FlagParser parser(
+      "desalign serve-bench: checkpoint-backed alignment query benchmark");
+  DatasetFlags dataset;
+  dataset.Register(parser);
+  ThreadsFlag threads;
+  threads.Register(parser);
+  std::string method_name;
+  std::string checkpoint;
+  int64_t epochs;
+  int64_t dim;
+  int64_t method_seed;
+  int64_t num_queries;
+  int64_t k;
+  int64_t max_batch;
+  int64_t submitters;
+  int64_t block_rows;
+  double max_wait_ms;
+  parser.AddString("method", "DESAlign",
+                   "fusion-family method to train (EVA, MCLEA, MEAformer, "
+                   "DESAlign)",
+                   &method_name);
+  parser.AddString("checkpoint", "",
+                   "embedding checkpoint path (empty = temp file, removed "
+                   "after the run)",
+                   &checkpoint);
+  parser.AddInt64("epochs", 10, "training epochs before serving", &epochs);
+  parser.AddInt64("dim", 32, "hidden dimension", &dim);
+  parser.AddInt64("method-seed", 7, "model init seed", &method_seed);
+  parser.AddInt64("queries", 2000, "queries to replay", &num_queries);
+  parser.AddInt64("k", 10, "candidates per query", &k);
+  parser.AddInt64("max-batch", 64, "BatchQueue max batch size", &max_batch);
+  parser.AddInt64("submitters", 4, "concurrent submitter threads",
+                  &submitters);
+  parser.AddInt64("block", 256, "target rows per retrieval block",
+                  &block_rows);
+  parser.AddDouble("max-wait-ms", 1.0, "BatchQueue batching window",
+                   &max_wait_ms);
+  auto argv = ToArgv(args);
+  DESALIGN_RETURN_NOT_OK(
+      parser.Parse(static_cast<int>(argv.size()), argv.data(), 0));
+  DESALIGN_RETURN_NOT_OK(threads.Apply());
+  if (num_queries <= 0 || k <= 0 || submitters <= 0) {
+    return Status::InvalidArgument(
+        "--queries, --k and --submitters must be positive");
+  }
+
+  // ---- Train a fusion model briefly ----
+  DESALIGN_ASSIGN_OR_RETURN(auto data, dataset.Load());
+  if (data.test_pairs.empty()) {
+    return Status::InvalidArgument("dataset has no test pairs to replay");
+  }
+  auto& settings = eval::GlobalHarnessSettings();
+  settings.dim = dim;
+  settings.epochs = static_cast<int>(epochs);
+  DESALIGN_ASSIGN_OR_RETURN(auto factory, FindMethod(method_name));
+  auto method = factory.make(static_cast<uint64_t>(method_seed));
+  common::Stopwatch train_clock;
+  method->Fit(data);
+  const double train_seconds = train_clock.ElapsedSeconds();
+  auto* fusion = dynamic_cast<align::FusionAlignModel*>(method.get());
+  if (fusion == nullptr) {
+    return Status::InvalidArgument(
+        "serve-bench needs a fusion-family method (EVA, MCLEA, MEAformer, "
+        "DESAlign); '" + method_name + "' does not expose fused embeddings");
+  }
+
+  // ---- Checkpoint round-trip: model embeddings -> disk -> store ----
+  auto embeddings = fusion->FusedEmbeddings();
+  const int64_t num_source = fusion->num_source_entities();
+  const int64_t num_target = embeddings->rows() - num_source;
+  const int64_t d = embeddings->cols();
+  std::vector<float> target_block(
+      embeddings->data().begin() + num_source * d, embeddings->data().end());
+  const auto built = serve::EmbeddingStore::FromRows(num_target, d,
+                                                     std::move(target_block));
+  const bool temp_checkpoint = checkpoint.empty();
+  if (temp_checkpoint) {
+    checkpoint = (std::filesystem::temp_directory_path() /
+                  ("desalign_serve_" + std::to_string(::getpid()) + ".ckpt"))
+                     .string();
+  }
+  DESALIGN_RETURN_NOT_OK(built.Save(checkpoint));
+  DESALIGN_ASSIGN_OR_RETURN(auto store,
+                            serve::EmbeddingStore::Load(checkpoint));
+  if (temp_checkpoint) {
+    std::error_code ec;
+    std::filesystem::remove(checkpoint, ec);
+  }
+
+  // ---- Replay queries through the batching front door ----
+  serve::TopKOptions topk_options;
+  topk_options.block_rows = block_rows;
+  serve::TopKRetriever retriever(&store, topk_options);
+  serve::ServeStats stats;
+  serve::BatchQueueOptions queue_options;
+  queue_options.max_batch = max_batch;
+  queue_options.max_wait_ms = max_wait_ms;
+  queue_options.k = k;
+
+  const auto& tests = data.test_pairs;
+  std::atomic<int64_t> hits_at_1{0};
+  std::atomic<int64_t> hits_at_k{0};
+  stats.Reset();
+  {
+    serve::BatchQueue queue(&retriever, queue_options, &stats);
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<size_t>(submitters));
+    for (int64_t s = 0; s < submitters; ++s) {
+      workers.emplace_back([&, s] {
+        std::vector<std::future<serve::TopKResult>> futures;
+        std::vector<int64_t> truths;
+        for (int64_t i = s; i < num_queries; i += submitters) {
+          const auto& pair = tests[static_cast<size_t>(i) % tests.size()];
+          const float* row = embeddings->data().data() + pair.source * d;
+          futures.push_back(
+              queue.Submit(std::vector<float>(row, row + d)));
+          truths.push_back(pair.target);
+        }
+        int64_t h1 = 0;
+        int64_t hk = 0;
+        for (size_t i = 0; i < futures.size(); ++i) {
+          const serve::TopKResult result = futures[i].get();
+          if (!result.ids.empty() && result.ids[0] == truths[i]) ++h1;
+          for (int64_t id : result.ids) {
+            if (id == truths[i]) {
+              ++hk;
+              break;
+            }
+          }
+        }
+        hits_at_1 += h1;
+        hits_at_k += hk;
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+
+  // ---- Report ----
+  out << "serve-bench: " << data.name << ", " << store.size()
+      << " target entities, dim " << store.dim() << ", trained "
+      << method_name << " for " << epochs << " epochs ("
+      << eval::Secs(train_seconds) << "), "
+      << common::ThreadPool::Global().num_threads() << " threads\n";
+  stats.PrintTable(out);
+  const double q = static_cast<double>(num_queries);
+  out << "recall@1 " << eval::Pct(static_cast<double>(hits_at_1) / q)
+      << "%, recall@" << k << " "
+      << eval::Pct(static_cast<double>(hits_at_k) / q)
+      << "% over " << num_queries << " replayed queries\n";
+  return Status::Ok();
+}
+
 constexpr char kTopLevelUsage[] =
     "usage: desalign <command> [flags]\n"
     "commands:\n"
@@ -266,6 +461,7 @@ constexpr char kTopLevelUsage[] =
     "  stats      print dataset statistics\n"
     "  run        train + evaluate one alignment method\n"
     "  sweep      robustness sweep over image/text/seed ratio\n"
+    "  serve-bench  train, checkpoint, then replay top-k alignment queries\n"
     "run `desalign <command> --help` for command flags.\n";
 
 }  // namespace
@@ -286,6 +482,8 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out) {
     status = CmdRun(rest, out);
   } else if (command == "sweep") {
     status = CmdSweep(rest, out);
+  } else if (command == "serve-bench") {
+    status = CmdServeBench(rest, out);
   } else if (command == "--help" || command == "-h" || command == "help") {
     out << kTopLevelUsage;
     return 0;

@@ -11,7 +11,7 @@ namespace desalign::cli {
 
 /// Entry point for the `desalign` command-line tool. Subcommands:
 ///
-///   generate  --preset=FBDB15K --entities=600 --seed-ratio=0.2 \
+///   generate  --preset=FBDB15K --entities=600 --seed-ratio=0.2
 ///             --image-ratio=0.9 --text-ratio=0.95 --seed=7 --out=DIR
 ///       Samples a synthetic MMEA dataset and writes it to DIR.
 ///
@@ -25,6 +25,17 @@ namespace desalign::cli {
 ///   sweep     --variable=image_ratio|text_ratio|seed_ratio
 ///             --values=0.1,0.3,0.5 --methods=EVA,DESAlign --preset=NAME
 ///       Runs a robustness sweep and prints one row per method.
+///
+///   serve-bench  [--preset=NAME | --data=DIR] [--method=DESAlign]
+///             [--epochs=..] [--queries=..] [--k=..] [--max-batch=..]
+///             [--max-wait-ms=..] [--submitters=..] [--threads=..]
+///             [--checkpoint=PATH]
+///       Trains briefly, persists the fused embeddings through an
+///       nn::serialize checkpoint, rebuilds a serve::EmbeddingStore from
+///       it, replays queries through serve::BatchQueue from concurrent
+///       submitters, and prints a latency/throughput table (p50/p95).
+///
+/// Every subcommand accepts --threads=N to size the global worker pool.
 ///
 /// Returns the process exit code; all output goes to `out` (results) and
 /// stderr (diagnostics), so the tool is scriptable and testable.

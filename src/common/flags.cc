@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/strings.h"
+#include "common/thread_pool.h"
 
 namespace desalign::common {
 
@@ -167,6 +168,22 @@ std::string FlagParser::Usage() const {
        << "      " << f.help << "\n";
   }
   return os.str();
+}
+
+void AddThreadsFlag(FlagParser& parser, int64_t* out) {
+  parser.AddInt64("threads", 0,
+                  "worker threads for parallel kernels (0 = auto: "
+                  "DESALIGN_NUM_THREADS env, else hardware)",
+                  out);
+}
+
+Status ApplyThreadsFlag(int64_t threads) {
+  if (threads < 0) {
+    return Status::InvalidArgument("--threads must be >= 0, got " +
+                                   std::to_string(threads));
+  }
+  ThreadPool::SetGlobalThreadCount(static_cast<int>(threads));
+  return Status::Ok();
 }
 
 Result<std::vector<double>> ParseDoubleList(const std::string& text) {

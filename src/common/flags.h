@@ -58,6 +58,16 @@ class FlagParser {
   std::vector<std::string> positional_;
 };
 
+/// Registers the global `--threads` flag (0 = auto: DESALIGN_NUM_THREADS
+/// env var, else min(8, hardware_concurrency)). Every CLI subcommand
+/// registers this so one knob sizes every ThreadPool::Global() call site
+/// (tensor matmul, sparse spmm, serve retrieval).
+void AddThreadsFlag(FlagParser& parser, int64_t* out);
+
+/// Applies a parsed `--threads` value by resizing ThreadPool::Global().
+/// Negative values are invalid; 0 restores the automatic default.
+Status ApplyThreadsFlag(int64_t threads);
+
 /// Splits "a,b,c" into doubles; Status on malformed entries.
 Result<std::vector<double>> ParseDoubleList(const std::string& text);
 

@@ -17,12 +17,37 @@ int ResolveThreadCount() {
   return static_cast<int>(std::min(8u, std::max(1u, hw)));
 }
 
+// The global pool is guarded so --threads can rebuild it at startup; it is
+// intentionally leaked at exit to dodge static-destruction-order issues.
+std::mutex& GlobalPoolMutex() {
+  static std::mutex& m = *new std::mutex;
+  return m;
+}
+
+ThreadPool*& GlobalPoolSlot() {
+  static ThreadPool* pool = nullptr;
+  return pool;
+}
+
 }  // namespace
 
 ThreadPool& ThreadPool::Global() {
-  static ThreadPool& pool = *new ThreadPool(ResolveThreadCount());
-  return pool;
+  std::lock_guard<std::mutex> lock(GlobalPoolMutex());
+  ThreadPool*& pool = GlobalPoolSlot();
+  if (pool == nullptr) pool = new ThreadPool(ResolveThreadCount());
+  return *pool;
 }
+
+void ThreadPool::SetGlobalThreadCount(int num_threads) {
+  const int resolved = num_threads >= 1 ? num_threads : ResolveThreadCount();
+  std::lock_guard<std::mutex> lock(GlobalPoolMutex());
+  ThreadPool*& pool = GlobalPoolSlot();
+  if (pool != nullptr && pool->num_threads() == resolved) return;
+  delete pool;  // joins the old workers; no work may be in flight
+  pool = new ThreadPool(resolved);
+}
+
+int ThreadPool::DefaultThreadCount() { return ResolveThreadCount(); }
 
 ThreadPool::ThreadPool(int num_threads)
     : num_threads_(std::max(1, num_threads)) {

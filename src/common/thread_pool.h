@@ -20,8 +20,19 @@ namespace desalign::common {
 /// ParallelFor degenerates to a plain loop on the caller.
 class ThreadPool {
  public:
-  /// Process-wide pool (lazily constructed, never destroyed).
+  /// Process-wide pool (lazily constructed, never destroyed at exit).
   static ThreadPool& Global();
+
+  /// Resizes the process-wide pool: n >= 1 forces that many threads, n <= 0
+  /// restores the automatic default (DESALIGN_NUM_THREADS env var, else
+  /// min(8, hardware_concurrency)). The old pool is drained and joined, so
+  /// this must not race with in-flight ParallelFor calls — call it at
+  /// startup (the CLI's --threads flag) or between parallel sections.
+  static void SetGlobalThreadCount(int num_threads);
+
+  /// The automatic thread count SetGlobalThreadCount(0) / the first
+  /// Global() call would resolve to.
+  static int DefaultThreadCount();
 
   explicit ThreadPool(int num_threads);
   ~ThreadPool();

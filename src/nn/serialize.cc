@@ -76,4 +76,46 @@ Status LoadParameters(const std::vector<tensor::TensorPtr>& params,
   return Status::Ok();
 }
 
+common::Result<std::vector<tensor::TensorPtr>> LoadAllParameters(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  char magic[kMagicLen];
+  in.read(magic, kMagicLen);
+  if (!in || std::memcmp(magic, kMagic, kMagicLen) != 0) {
+    return Status::IoError(path + " is not a DESAlign checkpoint");
+  }
+  int64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  // Cap the header values before trusting them with allocations: a
+  // truncated or bit-flipped file must fail cleanly, not bad_alloc.
+  constexpr int64_t kMaxTensors = 1 << 20;
+  constexpr int64_t kMaxElements = int64_t{1} << 33;  // 32 GiB of floats
+  if (!in || count < 0 || count > kMaxTensors) {
+    return Status::IoError(path + " has an implausible tensor count (" +
+                           std::to_string(count) + "); corrupt checkpoint?");
+  }
+  std::vector<tensor::TensorPtr> tensors;
+  tensors.reserve(static_cast<size_t>(count));
+  for (int64_t t = 0; t < count; ++t) {
+    int64_t rows = 0;
+    int64_t cols = 0;
+    in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+    in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+    if (!in) return Status::IoError("truncated checkpoint " + path);
+    if (rows < 0 || cols < 0 || (rows > 0 && cols > kMaxElements / rows)) {
+      return Status::IoError(path + " tensor " + std::to_string(t) +
+                             " has an implausible shape " +
+                             std::to_string(rows) + "x" +
+                             std::to_string(cols) + "; corrupt checkpoint?");
+    }
+    std::vector<float> data(static_cast<size_t>(rows * cols));
+    in.read(reinterpret_cast<char*>(data.data()),
+            static_cast<std::streamsize>(sizeof(float) * rows * cols));
+    if (!in) return Status::IoError("truncated checkpoint " + path);
+    tensors.push_back(tensor::Tensor::FromData(rows, cols, std::move(data)));
+  }
+  return tensors;
+}
+
 }  // namespace desalign::nn

@@ -20,6 +20,14 @@ common::Status SaveParameters(const std::vector<tensor::TensorPtr>& params,
 common::Status LoadParameters(const std::vector<tensor::TensorPtr>& params,
                               const std::string& path);
 
+/// Loads every tensor of a SaveParameters checkpoint, discovering count
+/// and shapes from the file — the entry point for consumers (e.g.
+/// serve::EmbeddingStore) that have no model to dictate shapes. Corrupt,
+/// truncated or implausible headers produce a clean error Status, never a
+/// crash or an over-allocation.
+common::Result<std::vector<tensor::TensorPtr>> LoadAllParameters(
+    const std::string& path);
+
 }  // namespace desalign::nn
 
 #endif  // DESALIGN_NN_SERIALIZE_H_

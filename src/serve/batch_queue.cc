@@ -1,0 +1,119 @@
+#include "serve/batch_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace desalign::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MillisSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+BatchQueue::BatchQueue(const TopKRetriever* retriever,
+                       BatchQueueOptions options, ServeStats* stats)
+    : retriever_(retriever), options_(options), stats_(stats) {
+  DESALIGN_CHECK(retriever_ != nullptr);
+  DESALIGN_CHECK_GT(options_.max_batch, 0);
+  DESALIGN_CHECK_GT(options_.k, 0);
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+BatchQueue::~BatchQueue() { Shutdown(); }
+
+std::future<TopKResult> BatchQueue::Submit(std::vector<float> query) {
+  DESALIGN_CHECK_EQ(static_cast<int64_t>(query.size()),
+                    retriever_->store().dim());
+  Pending req;
+  req.query = std::move(query);
+  req.enqueued = Clock::now();
+  std::future<TopKResult> future = req.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) {
+      req.promise.set_value(TopKResult{});
+      return future;
+    }
+    pending_.push_back(std::move(req));
+  }
+  wake_.notify_all();
+  return future;
+}
+
+void BatchQueue::Shutdown() {
+  std::thread to_join;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+    to_join = std::move(worker_);  // claimed by exactly one caller
+  }
+  wake_.notify_all();
+  if (to_join.joinable()) to_join.join();
+}
+
+int64_t BatchQueue::batches_processed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return batches_;
+}
+
+void BatchQueue::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    wake_.wait(lock, [this] { return stop_ || !pending_.empty(); });
+    if (pending_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+    if (!stop_) {
+      // Give co-batching a chance: hold until the batch fills or the
+      // oldest pending query has waited max_wait_ms.
+      const auto deadline =
+          pending_.front().enqueued +
+          std::chrono::duration_cast<Clock::duration>(
+              std::chrono::duration<double, std::milli>(options_.max_wait_ms));
+      wake_.wait_until(lock, deadline, [this] {
+        return stop_ ||
+               static_cast<int64_t>(pending_.size()) >= options_.max_batch;
+      });
+    }
+    const size_t take = std::min(pending_.size(),
+                                 static_cast<size_t>(options_.max_batch));
+    std::vector<Pending> batch(
+        std::make_move_iterator(pending_.begin()),
+        std::make_move_iterator(pending_.begin() + take));
+    pending_.erase(pending_.begin(), pending_.begin() + take);
+    lock.unlock();
+    ProcessBatch(std::move(batch));
+    lock.lock();
+    ++batches_;
+  }
+}
+
+void BatchQueue::ProcessBatch(std::vector<Pending> batch) {
+  const int64_t d = retriever_->store().dim();
+  const int64_t b = static_cast<int64_t>(batch.size());
+  std::vector<float> queries(static_cast<size_t>(b * d));
+  for (int64_t i = 0; i < b; ++i) {
+    std::copy(batch[static_cast<size_t>(i)].query.begin(),
+              batch[static_cast<size_t>(i)].query.end(),
+              queries.begin() + i * d);
+  }
+  std::vector<TopKResult> results =
+      retriever_->Retrieve(queries.data(), b, options_.k);
+  for (int64_t i = 0; i < b; ++i) {
+    Pending& req = batch[static_cast<size_t>(i)];
+    if (stats_ != nullptr) stats_->RecordQuery(MillisSince(req.enqueued));
+    req.promise.set_value(std::move(results[static_cast<size_t>(i)]));
+  }
+  if (stats_ != nullptr) stats_->RecordBatch(b);
+}
+
+}  // namespace desalign::serve

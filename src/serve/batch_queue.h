@@ -1,0 +1,82 @@
+#ifndef DESALIGN_SERVE_BATCH_QUEUE_H_
+#define DESALIGN_SERVE_BATCH_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/stats.h"
+#include "serve/topk.h"
+
+namespace desalign::serve {
+
+struct BatchQueueOptions {
+  /// Queries drained into one retrieval call; reaching it wakes the worker
+  /// immediately.
+  int64_t max_batch = 64;
+  /// Longest a pending query waits for co-batching before the worker runs
+  /// a partial batch.
+  double max_wait_ms = 1.0;
+  /// Candidates returned per query.
+  int64_t k = 10;
+};
+
+/// Request-batching front door for TopKRetriever: callers submit single
+/// queries from any thread and get a future; a dedicated worker drains up
+/// to `max_batch` pending queries (or whatever accumulated within
+/// `max_wait_ms` of the oldest one) into one batched Retrieve call. This
+/// trades a bounded per-query delay for the cache locality of blocked
+/// batch scans — the standard online-serving pattern.
+///
+/// Latencies (submit to completion, including queue wait) and batch sizes
+/// are recorded on the optional ServeStats.
+class BatchQueue {
+ public:
+  /// `retriever` (and its store) and `stats` must outlive the queue.
+  BatchQueue(const TopKRetriever* retriever, BatchQueueOptions options = {},
+             ServeStats* stats = nullptr);
+  ~BatchQueue();
+
+  BatchQueue(const BatchQueue&) = delete;
+  BatchQueue& operator=(const BatchQueue&) = delete;
+
+  /// Enqueues one query (size must equal the store dim). The future is
+  /// fulfilled by the worker; after Shutdown it resolves immediately to an
+  /// empty result.
+  std::future<TopKResult> Submit(std::vector<float> query);
+
+  /// Drains every pending query, then stops the worker. Idempotent; also
+  /// called by the destructor.
+  void Shutdown();
+
+  int64_t batches_processed() const;
+
+ private:
+  struct Pending {
+    std::vector<float> query;
+    std::promise<TopKResult> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void WorkerLoop();
+  void ProcessBatch(std::vector<Pending> batch);
+
+  const TopKRetriever* retriever_;
+  BatchQueueOptions options_;
+  ServeStats* stats_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  std::vector<Pending> pending_;
+  bool stop_ = false;
+  int64_t batches_ = 0;
+  std::thread worker_;
+};
+
+}  // namespace desalign::serve
+
+#endif  // DESALIGN_SERVE_BATCH_QUEUE_H_

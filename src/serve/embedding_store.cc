@@ -1,0 +1,68 @@
+#include "serve/embedding_store.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+#include "nn/serialize.h"
+
+namespace desalign::serve {
+
+void L2NormalizeRows(float* data, int64_t rows, int64_t dim, float eps) {
+  for (int64_t r = 0; r < rows; ++r) {
+    float* row = data + r * dim;
+    float sum = 0.0f;
+    for (int64_t c = 0; c < dim; ++c) sum += row[c] * row[c];
+    // Idempotent within float rounding: rows that are already unit (e.g.
+    // a store re-loaded from its own checkpoint) keep their exact bits, so
+    // save/load round trips are bit-exact.
+    if (std::fabs(sum - 1.0f) <= 1e-5f) continue;
+    const float norm = std::sqrt(sum);
+    if (norm <= eps) continue;
+    const float inv = 1.0f / norm;
+    for (int64_t c = 0; c < dim; ++c) row[c] *= inv;
+  }
+}
+
+EmbeddingStore::EmbeddingStore(int64_t rows, int64_t cols,
+                               std::vector<float> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  DESALIGN_CHECK_EQ(static_cast<int64_t>(data_.size()), rows_ * cols_);
+  L2NormalizeRows(data_.data(), rows_, cols_);
+}
+
+EmbeddingStore EmbeddingStore::FromTensor(const tensor::Tensor& embeddings) {
+  return EmbeddingStore(embeddings.rows(), embeddings.cols(),
+                        embeddings.data());
+}
+
+EmbeddingStore EmbeddingStore::FromRows(int64_t rows, int64_t cols,
+                                        std::vector<float> data) {
+  return EmbeddingStore(rows, cols, std::move(data));
+}
+
+common::Status EmbeddingStore::Save(const std::string& path) const {
+  auto t = tensor::Tensor::FromData(rows_, cols_, data_);
+  return nn::SaveParameters({t}, path);
+}
+
+common::Result<EmbeddingStore> EmbeddingStore::Load(const std::string& path,
+                                                    int64_t tensor_index) {
+  DESALIGN_ASSIGN_OR_RETURN(auto tensors, nn::LoadAllParameters(path));
+  if (tensor_index < 0 ||
+      tensor_index >= static_cast<int64_t>(tensors.size())) {
+    return common::Status::InvalidArgument(
+        "checkpoint " + path + " holds " + std::to_string(tensors.size()) +
+        " tensors; index " + std::to_string(tensor_index) +
+        " is out of range");
+  }
+  const auto& t = tensors[static_cast<size_t>(tensor_index)];
+  if (t->rows() <= 0 || t->cols() <= 0) {
+    return common::Status::InvalidArgument(
+        "checkpoint tensor " + std::to_string(tensor_index) +
+        " is empty; cannot serve from it");
+  }
+  return EmbeddingStore(t->rows(), t->cols(), t->data());
+}
+
+}  // namespace desalign::serve

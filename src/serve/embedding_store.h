@@ -1,0 +1,71 @@
+#ifndef DESALIGN_SERVE_EMBEDDING_STORE_H_
+#define DESALIGN_SERVE_EMBEDDING_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace desalign::serve {
+
+/// Immutable, query-time view of a fused entity embedding table. Rows are
+/// copied once into a contiguous row-major float block and L2-normalized
+/// at construction, so cosine similarity at serving time is a plain dot
+/// product and every retrieval touches cache-friendly memory.
+///
+/// A store is either built in-memory from a tensor produced by a fitted
+/// model (`align::FusionAlignModel::FusedEmbeddings`) or restored from an
+/// `nn::serialize` checkpoint file, which is how a trained model's
+/// embeddings reach a serving process that never sees the training data.
+class EmbeddingStore {
+ public:
+  /// Copies and L2-normalizes all rows of `embeddings`. Zero rows (e.g.
+  /// entities whose every modality was missing) stay zero and therefore
+  /// never enter a top-k result ahead of a real match.
+  static EmbeddingStore FromTensor(const tensor::Tensor& embeddings);
+
+  /// Adopts `data` (size must equal rows * cols) and L2-normalizes it.
+  static EmbeddingStore FromRows(int64_t rows, int64_t cols,
+                                 std::vector<float> data);
+
+  /// Writes the (already normalized) table as a single-tensor checkpoint
+  /// compatible with `nn::LoadParameters` / `nn::LoadAllParameters`.
+  common::Status Save(const std::string& path) const;
+
+  /// Restores a store from checkpoint tensor `tensor_index` of `path`.
+  /// Returns a clean Status (never crashes) on missing, corrupt or
+  /// truncated files; rows are re-normalized defensively so a store is
+  /// valid even when the checkpoint holds raw embeddings.
+  static common::Result<EmbeddingStore> Load(const std::string& path,
+                                             int64_t tensor_index = 0);
+
+  /// Empty store (0 x 0); exists so the class fits common::Result. Every
+  /// populated store comes from the factories above.
+  EmbeddingStore() = default;
+
+  int64_t size() const { return rows_; }
+  int64_t dim() const { return cols_; }
+
+  /// Contiguous row `i` (dim() floats).
+  const float* row(int64_t i) const { return data_.data() + i * cols_; }
+  const std::vector<float>& data() const { return data_; }
+
+ private:
+  EmbeddingStore(int64_t rows, int64_t cols, std::vector<float> data);
+
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// L2-normalizes each `dim`-sized row of `data` in place; rows with norm
+/// below `eps` are left untouched. Shared by the store and query paths so
+/// stored rows and incoming queries go through bit-identical scaling.
+void L2NormalizeRows(float* data, int64_t rows, int64_t dim,
+                     float eps = 1e-12f);
+
+}  // namespace desalign::serve
+
+#endif  // DESALIGN_SERVE_EMBEDDING_STORE_H_

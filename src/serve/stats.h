@@ -1,0 +1,66 @@
+#ifndef DESALIGN_SERVE_STATS_H_
+#define DESALIGN_SERVE_STATS_H_
+
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <random>
+#include <vector>
+
+#include "common/stopwatch.h"
+
+namespace desalign::serve {
+
+/// Point-in-time view of the serving counters. Percentiles cover the
+/// reservoir sample; count/min/max/mean cover every recorded query.
+struct ServeStatsSnapshot {
+  int64_t queries = 0;
+  int64_t batches = 0;
+  double elapsed_seconds = 0.0;
+  double queries_per_second = 0.0;
+  double mean_batch_size = 0.0;
+  double mean_latency_ms = 0.0;
+  double p50_latency_ms = 0.0;
+  double p95_latency_ms = 0.0;
+  double max_latency_ms = 0.0;
+};
+
+/// Thread-safe per-call latency / throughput counters for the serving
+/// path. Latency percentiles use reservoir sampling (algorithm R with a
+/// deterministic engine) so memory stays bounded no matter how many
+/// queries are replayed; throughput is measured from construction (or the
+/// last Reset) to the Snapshot call.
+class ServeStats {
+ public:
+  explicit ServeStats(int64_t reservoir_capacity = 4096, uint64_t seed = 1);
+
+  /// Records one completed query (submit-to-result latency).
+  void RecordQuery(double latency_ms);
+
+  /// Records one drained batch of `size` queries.
+  void RecordBatch(int64_t size);
+
+  /// Restarts the throughput clock and clears all counters.
+  void Reset();
+
+  ServeStatsSnapshot Snapshot() const;
+
+  /// Prints a one-row latency/throughput table via eval::TablePrinter.
+  void PrintTable(std::ostream& os) const;
+
+ private:
+  mutable std::mutex mutex_;
+  int64_t capacity_;
+  std::mt19937_64 engine_;
+  common::Stopwatch clock_;
+  int64_t queries_ = 0;
+  int64_t batches_ = 0;
+  int64_t batched_queries_ = 0;
+  double sum_latency_ms_ = 0.0;
+  double max_latency_ms_ = 0.0;
+  std::vector<double> reservoir_;
+};
+
+}  // namespace desalign::serve
+
+#endif  // DESALIGN_SERVE_STATS_H_

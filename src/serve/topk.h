@@ -1,0 +1,66 @@
+#ifndef DESALIGN_SERVE_TOPK_H_
+#define DESALIGN_SERVE_TOPK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "serve/embedding_store.h"
+#include "tensor/tensor.h"
+
+namespace desalign::serve {
+
+/// Top-k candidates for one query, best first. Ordering is the total order
+/// (score descending, entity id ascending), so results are deterministic
+/// even under score ties.
+struct TopKResult {
+  std::vector<int64_t> ids;
+  std::vector<float> scores;
+};
+
+struct TopKOptions {
+  /// Target rows scanned per block; a block's rows stay hot in cache while
+  /// every query in the worker's chunk consumes them.
+  int64_t block_rows = 256;
+  /// Pool used to parallelize across queries; null means
+  /// `common::ThreadPool::Global()` (sized by the --threads flag /
+  /// DESALIGN_NUM_THREADS).
+  common::ThreadPool* pool = nullptr;
+};
+
+/// Batched cosine top-k over an EmbeddingStore. Queries are L2-normalized
+/// internally, so scores are true cosine similarities. Two paths share one
+/// dot-product kernel and one ordering contract and therefore return
+/// bit-identical results:
+///
+///  - Retrieve: blocked scan with a per-query bounded heap, parallelized
+///    across the query batch via ThreadPool::ParallelFor;
+///  - RetrieveBruteForce: single-threaded full score vector + sort, the
+///    exact reference used by the tests and the bench baseline.
+class TopKRetriever {
+ public:
+  /// `store` must outlive the retriever.
+  explicit TopKRetriever(const EmbeddingStore* store,
+                         TopKOptions options = {});
+
+  /// `queries` is num_queries x store->dim() row-major. k is clamped to
+  /// the store size; k <= 0 yields empty results.
+  std::vector<TopKResult> Retrieve(const float* queries, int64_t num_queries,
+                                   int64_t k) const;
+  std::vector<TopKResult> Retrieve(const tensor::Tensor& queries,
+                                   int64_t k) const;
+
+  std::vector<TopKResult> RetrieveBruteForce(const float* queries,
+                                             int64_t num_queries,
+                                             int64_t k) const;
+
+  const EmbeddingStore& store() const { return *store_; }
+
+ private:
+  const EmbeddingStore* store_;
+  TopKOptions options_;
+};
+
+}  // namespace desalign::serve
+
+#endif  // DESALIGN_SERVE_TOPK_H_

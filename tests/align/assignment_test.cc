@@ -82,6 +82,23 @@ TEST_P(AssignmentPropertyTest, HungarianDominatesGreedy) {
 INSTANTIATE_TEST_SUITE_P(Seeds, AssignmentPropertyTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
 
+// Note: tensor::Tensor CHECK-rejects 0-sized dimensions, so the empty-
+// matrix guards inside GreedyOneToOneMatch / HungarianMatch are defensive
+// and cannot be exercised through the public Tensor API; the smallest
+// constructible inputs are covered here.
+TEST(AssignmentEdgeCaseTest, OneByOne) {
+  for (float v : {-2.5f, 0.0f, 7.0f}) {
+    auto sim = Tensor::FromData(1, 1, {v});
+    EXPECT_EQ(GreedyOneToOneMatch(*sim), (std::vector<int64_t>{0}));
+    EXPECT_EQ(HungarianMatch(*sim), (std::vector<int64_t>{0}));
+  }
+}
+
+TEST(AssignmentEdgeCaseTest, SingleRowPicksBestColumn) {
+  auto sim = Tensor::FromData(1, 4, {0.1f, 0.9f, 0.3f, 0.2f});
+  EXPECT_EQ(GreedyOneToOneMatch(*sim), (std::vector<int64_t>{1}));
+}
+
 TEST(MatchingAccuracyTest, CountsDiagonalHits) {
   EXPECT_DOUBLE_EQ(MatchingAccuracy({0, 1, 2, 3}), 1.0);
   EXPECT_DOUBLE_EQ(MatchingAccuracy({1, 0, 2, 3}), 0.5);

@@ -150,5 +150,48 @@ TEST(CliTest, RunWithCslsSucceeds) {
   EXPECT_NE(out.find("H@1"), std::string::npos);
 }
 
+TEST(CliTest, ServeBenchEndToEnd) {
+  std::string out;
+  EXPECT_EQ(RunTool({"serve-bench", "--preset=FBDB15K", "--entities=80",
+                     "--epochs=2", "--dim=8", "--queries=60",
+                     "--submitters=3", "--k=5", "--max-batch=16",
+                     "--threads=2"},
+                    &out),
+            0);
+  EXPECT_NE(out.find("p50(ms)"), std::string::npos);
+  EXPECT_NE(out.find("p95(ms)"), std::string::npos);
+  EXPECT_NE(out.find("qps"), std::string::npos);
+  EXPECT_NE(out.find("recall@1"), std::string::npos);
+  EXPECT_NE(out.find("recall@5"), std::string::npos);
+}
+
+TEST(CliTest, ServeBenchPersistsCheckpointWhenAsked) {
+  const auto ckpt = std::filesystem::temp_directory_path() /
+                    ("desalign_cli_serve_" + std::to_string(::getpid()) +
+                     ".ckpt");
+  std::string out;
+  EXPECT_EQ(RunTool({"serve-bench", "--preset=FBDB15K", "--entities=60",
+                     "--epochs=1", "--dim=8", "--queries=20",
+                     "--submitters=1",
+                     ("--checkpoint=" + ckpt.string()).c_str()},
+                    &out),
+            0);
+  EXPECT_TRUE(std::filesystem::exists(ckpt));
+  std::filesystem::remove(ckpt);
+}
+
+TEST(CliTest, ServeBenchRejectsNonFusionMethod) {
+  std::string out;
+  EXPECT_EQ(RunTool({"serve-bench", "--preset=FBDB15K", "--entities=60",
+                     "--epochs=1", "--dim=8", "--method=TransE"},
+                    &out),
+            1);
+}
+
+TEST(CliTest, ServeBenchRejectsBadThreads) {
+  std::string out;
+  EXPECT_EQ(RunTool({"serve-bench", "--threads=-2"}, &out), 1);
+}
+
 }  // namespace
 }  // namespace desalign::cli

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/thread_pool.h"
+
 namespace desalign::common {
 namespace {
 
@@ -133,6 +135,23 @@ TEST(ParseListsTest, StringList) {
   ASSERT_EQ(v.size(), 3u);
   EXPECT_EQ(v[0], "a");
   EXPECT_EQ(v[2], "c");
+}
+
+TEST(ThreadsFlagTest, ParsesAndSizesGlobalPool) {
+  FlagParser parser("test");
+  int64_t threads;
+  AddThreadsFlag(parser, &threads);
+  auto argv = Argv({"prog", "--threads=2"});
+  ASSERT_TRUE(
+      parser.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_EQ(threads, 2);
+  ASSERT_TRUE(ApplyThreadsFlag(threads).ok());
+  EXPECT_EQ(ThreadPool::Global().num_threads(), 2);
+  EXPECT_FALSE(ApplyThreadsFlag(-1).ok());
+  // Restore the automatic default for the rest of the test binary.
+  ASSERT_TRUE(ApplyThreadsFlag(0).ok());
+  EXPECT_EQ(ThreadPool::Global().num_threads(),
+            ThreadPool::DefaultThreadCount());
 }
 
 }  // namespace

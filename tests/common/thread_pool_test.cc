@@ -89,5 +89,22 @@ TEST(ThreadPoolTest, GlobalPoolIsSingleton) {
   EXPECT_GE(ThreadPool::Global().num_threads(), 1);
 }
 
+TEST(ThreadPoolTest, SetGlobalThreadCountResizesAndStillRuns) {
+  ThreadPool::SetGlobalThreadCount(3);
+  EXPECT_EQ(ThreadPool::Global().num_threads(), 3);
+  std::atomic<int64_t> total{0};
+  ThreadPool::Global().ParallelFor(
+      0, 1000, [&](int64_t b, int64_t e) { total += e - b; }, /*grain=*/8);
+  EXPECT_EQ(total.load(), 1000);
+  // Resizing to the same count keeps the existing pool alive.
+  ThreadPool* before = &ThreadPool::Global();
+  ThreadPool::SetGlobalThreadCount(3);
+  EXPECT_EQ(before, &ThreadPool::Global());
+  // 0 restores the automatic default.
+  ThreadPool::SetGlobalThreadCount(0);
+  EXPECT_EQ(ThreadPool::Global().num_threads(),
+            ThreadPool::DefaultThreadCount());
+}
+
 }  // namespace
 }  // namespace desalign::common

@@ -33,6 +33,9 @@ class SerializeTest : public ::testing::Test {
   std::string path_;
 };
 
+// Length of the on-disk magic "DESALIGNPARAMS1"; the count field follows.
+constexpr uint64_t kMagicLenForTest = 15;
+
 std::vector<TensorPtr> MakeParams(uint64_t seed) {
   common::Rng rng(seed);
   std::vector<TensorPtr> params = {
@@ -84,6 +87,66 @@ TEST_F(SerializeTest, GarbageFileRejected) {
 TEST_F(SerializeTest, MissingFileRejected) {
   auto params = MakeParams(7);
   EXPECT_FALSE(LoadParameters(params, path_ + ".nope").ok());
+}
+
+TEST_F(SerializeTest, TruncatedFileRejectedWithoutMutation) {
+  auto params = MakeParams(8);
+  ASSERT_TRUE(SaveParameters(params, path_).ok());
+  // Chop the file mid-way through the last tensor's payload.
+  const auto full = std::filesystem::file_size(path_);
+  std::filesystem::resize_file(path_, full - 17);
+  auto fresh = MakeParams(9);
+  const auto before = fresh[2]->data();
+  auto status = LoadParameters(fresh, path_);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), common::StatusCode::kIoError);
+  EXPECT_EQ(fresh[2]->data(), before);  // staged load left params intact
+}
+
+TEST_F(SerializeTest, LoadAllParametersRoundTrip) {
+  auto params = MakeParams(10);
+  ASSERT_TRUE(SaveParameters(params, path_).ok());
+  auto loaded = LoadAllParameters(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().size(), params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    EXPECT_EQ(loaded.value()[i]->rows(), params[i]->rows());
+    EXPECT_EQ(loaded.value()[i]->cols(), params[i]->cols());
+    EXPECT_EQ(loaded.value()[i]->data(), params[i]->data());
+  }
+}
+
+TEST_F(SerializeTest, LoadAllParametersRejectsTruncation) {
+  auto params = MakeParams(11);
+  ASSERT_TRUE(SaveParameters(params, path_).ok());
+  const auto full = std::filesystem::file_size(path_);
+  for (const auto keep : {full - 3, full / 2, kMagicLenForTest + 4}) {
+    std::filesystem::resize_file(path_, keep);
+    auto loaded = LoadAllParameters(path_);
+    ASSERT_FALSE(loaded.ok()) << "kept " << keep << " bytes";
+    EXPECT_EQ(loaded.status().code(), common::StatusCode::kIoError);
+  }
+}
+
+TEST_F(SerializeTest, LoadAllParametersRejectsCorruptHeader) {
+  auto params = MakeParams(12);
+  ASSERT_TRUE(SaveParameters(params, path_).ok());
+  // Overwrite the tensor count with an absurd value; the loader must
+  // refuse rather than attempt a giant allocation.
+  std::fstream f(path_, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(static_cast<std::streamoff>(kMagicLenForTest));
+  const int64_t absurd = int64_t{1} << 60;
+  f.write(reinterpret_cast<const char*>(&absurd), sizeof(absurd));
+  f.close();
+  auto loaded = LoadAllParameters(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), common::StatusCode::kIoError);
+}
+
+TEST_F(SerializeTest, LoadAllParametersRejectsGarbage) {
+  std::ofstream(path_) << "garbage";
+  EXPECT_FALSE(LoadAllParameters(path_).ok());
+  EXPECT_FALSE(LoadAllParameters(path_ + ".nope").ok());
 }
 
 TEST_F(SerializeTest, FusionModelCheckpointReproducesDecode) {

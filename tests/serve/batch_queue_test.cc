@@ -1,0 +1,140 @@
+#include "serve/batch_queue.h"
+
+#include <future>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "serve/embedding_store.h"
+#include "serve/stats.h"
+#include "serve/topk.h"
+
+namespace desalign::serve {
+namespace {
+
+std::vector<float> RandomRows(int64_t rows, int64_t dim, uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<float> data(static_cast<size_t>(rows * dim));
+  for (auto& v : data) v = rng.UniformF(-1.0f, 1.0f);
+  return data;
+}
+
+TEST(BatchQueueTest, SingleQueryMatchesDirectRetrieval) {
+  const int64_t dim = 8;
+  const auto data = RandomRows(40, dim, 5);
+  const auto store = EmbeddingStore::FromRows(40, dim, data);
+  TopKRetriever retriever(&store);
+  BatchQueueOptions options;
+  options.k = 4;
+  BatchQueue queue(&retriever, options);
+
+  const auto query = RandomRows(1, dim, 9);
+  auto result = queue.Submit(query).get();
+  const auto direct = retriever.Retrieve(query.data(), 1, 4);
+  EXPECT_EQ(result.ids, direct[0].ids);
+  EXPECT_EQ(result.scores, direct[0].scores);
+}
+
+TEST(BatchQueueTest, ConcurrentSubmittersGetTheirOwnResults) {
+  const int64_t dim = 10;
+  const int64_t num_entities = 64;
+  const auto data = RandomRows(num_entities, dim, 21);
+  const auto store = EmbeddingStore::FromRows(num_entities, dim, data);
+  TopKRetriever retriever(&store);
+  BatchQueueOptions options;
+  options.k = 1;
+  options.max_batch = 8;
+  options.max_wait_ms = 0.5;
+  ServeStats stats;
+  BatchQueue queue(&retriever, options, &stats);
+
+  // Each submitter replays stored (already normalized) rows; the rank-1
+  // result must be the row's own id, proving results are never swapped
+  // between interleaved requests from different threads.
+  constexpr int kThreads = 6;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> submitters;
+  std::vector<int> failures(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      common::Rng rng(100 + static_cast<uint64_t>(t));
+      for (int i = 0; i < kPerThread; ++i) {
+        const int64_t id = rng.UniformInt(num_entities);
+        const float* row = store.row(id);
+        auto result =
+            queue.Submit(std::vector<float>(row, row + dim)).get();
+        if (result.ids.size() != 1 || result.ids[0] != id) ++failures[t];
+      }
+    });
+  }
+  for (auto& s : submitters) s.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(failures[t], 0);
+
+  const auto snap = stats.Snapshot();
+  EXPECT_EQ(snap.queries, kThreads * kPerThread);
+  EXPECT_GT(snap.batches, 0);
+  EXPECT_GT(snap.p95_latency_ms, 0.0);
+}
+
+TEST(BatchQueueTest, BacklogIsCoBatched) {
+  const int64_t dim = 4;
+  const auto data = RandomRows(32, dim, 2);
+  const auto store = EmbeddingStore::FromRows(32, dim, data);
+  TopKRetriever retriever(&store);
+  BatchQueueOptions options;
+  options.k = 2;
+  options.max_batch = 16;
+  options.max_wait_ms = 20.0;  // wide window => the backlog groups
+  BatchQueue queue(&retriever, options);
+
+  std::vector<std::future<TopKResult>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(queue.Submit(RandomRows(1, dim, 50 + i)));
+  }
+  for (auto& f : futures) EXPECT_EQ(f.get().ids.size(), 2u);
+  // 64 queries through max_batch=16 takes at least 4 drains but far fewer
+  // than 64 if batching works at all.
+  EXPECT_GE(queue.batches_processed(), 4);
+  EXPECT_LT(queue.batches_processed(), 40);
+}
+
+TEST(BatchQueueTest, ShutdownDrainsPendingAndRejectsNewWork) {
+  const int64_t dim = 4;
+  const auto data = RandomRows(16, dim, 3);
+  const auto store = EmbeddingStore::FromRows(16, dim, data);
+  TopKRetriever retriever(&store);
+  BatchQueueOptions options;
+  options.k = 3;
+  options.max_wait_ms = 50.0;
+  BatchQueue queue(&retriever, options);
+
+  std::vector<std::future<TopKResult>> futures;
+  for (int i = 0; i < 10; ++i) {
+    futures.push_back(queue.Submit(RandomRows(1, dim, 70 + i)));
+  }
+  queue.Shutdown();
+  for (auto& f : futures) EXPECT_EQ(f.get().ids.size(), 3u);
+  // After shutdown, submissions resolve immediately and empty.
+  EXPECT_TRUE(queue.Submit(RandomRows(1, dim, 99)).get().ids.empty());
+}
+
+TEST(BatchQueueTest, DestructorCompletesOutstandingFutures) {
+  const int64_t dim = 4;
+  const auto data = RandomRows(16, dim, 4);
+  const auto store = EmbeddingStore::FromRows(16, dim, data);
+  TopKRetriever retriever(&store);
+  std::future<TopKResult> future;
+  {
+    BatchQueueOptions options;
+    options.k = 1;
+    options.max_wait_ms = 100.0;
+    BatchQueue queue(&retriever, options);
+    future = queue.Submit(RandomRows(1, dim, 8));
+  }
+  EXPECT_EQ(future.get().ids.size(), 1u);
+}
+
+}  // namespace
+}  // namespace desalign::serve

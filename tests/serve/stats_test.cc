@@ -1,0 +1,80 @@
+#include "serve/stats.h"
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace desalign::serve {
+namespace {
+
+TEST(ServeStatsTest, CountsAndPercentiles) {
+  ServeStats stats;
+  for (int i = 1; i <= 100; ++i) {
+    stats.RecordQuery(static_cast<double>(i));
+  }
+  stats.RecordBatch(60);
+  stats.RecordBatch(40);
+  const auto snap = stats.Snapshot();
+  EXPECT_EQ(snap.queries, 100);
+  EXPECT_EQ(snap.batches, 2);
+  EXPECT_DOUBLE_EQ(snap.mean_batch_size, 50.0);
+  EXPECT_DOUBLE_EQ(snap.mean_latency_ms, 50.5);
+  EXPECT_DOUBLE_EQ(snap.max_latency_ms, 100.0);
+  // 1..100 fits in the reservoir, so percentiles are exact (nearest rank).
+  EXPECT_NEAR(snap.p50_latency_ms, 50.0, 1.0);
+  EXPECT_NEAR(snap.p95_latency_ms, 95.0, 1.0);
+  EXPECT_GT(snap.queries_per_second, 0.0);
+}
+
+TEST(ServeStatsTest, ReservoirBoundsMemoryButTracksTail) {
+  ServeStats stats(/*reservoir_capacity=*/256);
+  for (int i = 0; i < 20000; ++i) {
+    stats.RecordQuery(i < 19000 ? 1.0 : 100.0);  // 5% slow tail
+  }
+  const auto snap = stats.Snapshot();
+  EXPECT_EQ(snap.queries, 20000);
+  EXPECT_DOUBLE_EQ(snap.max_latency_ms, 100.0);
+  EXPECT_NEAR(snap.p50_latency_ms, 1.0, 1e-9);
+}
+
+TEST(ServeStatsTest, ResetClearsEverything) {
+  ServeStats stats;
+  stats.RecordQuery(5.0);
+  stats.RecordBatch(1);
+  stats.Reset();
+  const auto snap = stats.Snapshot();
+  EXPECT_EQ(snap.queries, 0);
+  EXPECT_EQ(snap.batches, 0);
+  EXPECT_DOUBLE_EQ(snap.max_latency_ms, 0.0);
+  EXPECT_DOUBLE_EQ(snap.p95_latency_ms, 0.0);
+}
+
+TEST(ServeStatsTest, ConcurrentRecordingIsConsistent) {
+  ServeStats stats;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) stats.RecordQuery(1.0);
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(stats.Snapshot().queries, kThreads * kPerThread);
+}
+
+TEST(ServeStatsTest, PrintTableShowsPercentileColumns) {
+  ServeStats stats;
+  stats.RecordQuery(2.0);
+  stats.RecordBatch(1);
+  std::ostringstream os;
+  stats.PrintTable(os);
+  EXPECT_NE(os.str().find("p50(ms)"), std::string::npos);
+  EXPECT_NE(os.str().find("p95(ms)"), std::string::npos);
+  EXPECT_NE(os.str().find("qps"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace desalign::serve

@@ -1,0 +1,112 @@
+#include "serve/topk.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "serve/embedding_store.h"
+
+namespace desalign::serve {
+namespace {
+
+std::vector<float> RandomRows(int64_t rows, int64_t dim, uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<float> data(static_cast<size_t>(rows * dim));
+  for (auto& v : data) v = rng.UniformF(-1.0f, 1.0f);
+  return data;
+}
+
+void ExpectSameResults(const std::vector<TopKResult>& actual,
+                       const std::vector<TopKResult>& expected) {
+  ASSERT_EQ(actual.size(), expected.size());
+  for (size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_EQ(actual[i].ids, expected[i].ids) << "query " << i;
+    EXPECT_EQ(actual[i].scores, expected[i].scores) << "query " << i;
+  }
+}
+
+TEST(TopKRetrieverTest, MatchesBruteForceAcrossShapes) {
+  // Sweep k, batch size, block size and thread count; the blocked pooled
+  // path must be bit-identical to the brute-force reference everywhere.
+  const int64_t dim = 13;
+  const auto store_data = RandomRows(97, dim, 3);
+  const auto store = EmbeddingStore::FromRows(97, dim, store_data);
+  for (int threads : {1, 2, 5}) {
+    common::ThreadPool pool(threads);
+    for (int64_t block : {1, 16, 97, 1000}) {
+      TopKOptions options;
+      options.block_rows = block;
+      options.pool = &pool;
+      TopKRetriever retriever(&store, options);
+      for (int64_t batch : {1, 7, 33}) {
+        const auto queries = RandomRows(batch, dim, 100 + batch);
+        for (int64_t k : {1, 5, 97, 200}) {
+          const auto expected =
+              retriever.RetrieveBruteForce(queries.data(), batch, k);
+          const auto actual = retriever.Retrieve(queries.data(), batch, k);
+          ExpectSameResults(actual, expected);
+        }
+      }
+    }
+  }
+}
+
+TEST(TopKRetrieverTest, SelfQueryRanksItselfFirst) {
+  const int64_t dim = 8;
+  const auto data = RandomRows(50, dim, 11);
+  const auto store = EmbeddingStore::FromRows(50, dim, data);
+  TopKRetriever retriever(&store);
+  // Stored rows are normalized; querying with raw row r must return r at
+  // rank 1 with cosine ~1.
+  const auto results = retriever.Retrieve(data.data(), 50, 3);
+  for (int64_t r = 0; r < 50; ++r) {
+    ASSERT_EQ(results[r].ids.size(), 3u);
+    EXPECT_EQ(results[r].ids[0], r);
+    EXPECT_NEAR(results[r].scores[0], 1.0f, 1e-5f);
+  }
+}
+
+TEST(TopKRetrieverTest, TiesBreakTowardSmallerId) {
+  // Duplicate rows produce exactly equal scores; ordering must be by id.
+  std::vector<float> data = {1, 0, 1, 0, 0, 1, 1, 0};
+  const auto store = EmbeddingStore::FromRows(4, 2, data);
+  TopKRetriever retriever(&store);
+  const std::vector<float> query = {1, 0};
+  const auto results = retriever.Retrieve(query.data(), 1, 3);
+  EXPECT_EQ(results[0].ids, (std::vector<int64_t>{0, 1, 3}));
+  const auto brute = retriever.RetrieveBruteForce(query.data(), 1, 3);
+  EXPECT_EQ(results[0].ids, brute[0].ids);
+}
+
+TEST(TopKRetrieverTest, KClampedToStoreSize) {
+  const auto store = EmbeddingStore::FromRows(3, 2, {1, 0, 0, 1, 1, 1});
+  TopKRetriever retriever(&store);
+  const std::vector<float> query = {1, 0};
+  const auto results = retriever.Retrieve(query.data(), 1, 99);
+  EXPECT_EQ(results[0].ids.size(), 3u);
+  const auto none = retriever.Retrieve(query.data(), 1, 0);
+  EXPECT_TRUE(none[0].ids.empty());
+}
+
+TEST(TopKRetrieverTest, EmptyQueryBatch) {
+  const auto store = EmbeddingStore::FromRows(3, 2, {1, 0, 0, 1, 1, 1});
+  TopKRetriever retriever(&store);
+  EXPECT_TRUE(retriever.Retrieve(nullptr, 0, 5).empty());
+}
+
+TEST(TopKRetrieverTest, TensorOverloadMatchesRawPointer) {
+  const int64_t dim = 6;
+  const auto data = RandomRows(20, dim, 17);
+  const auto store = EmbeddingStore::FromRows(20, dim, data);
+  TopKRetriever retriever(&store);
+  const auto queries = RandomRows(4, dim, 23);
+  auto t = tensor::Tensor::FromData(4, dim, queries);
+  ExpectSameResults(retriever.Retrieve(*t, 5),
+                    retriever.Retrieve(queries.data(), 4, 5));
+}
+
+}  // namespace
+}  // namespace desalign::serve
