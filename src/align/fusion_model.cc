@@ -6,9 +6,12 @@
 
 #include "align/loss.h"
 #include "common/check.h"
+#include "common/stopwatch.h"
 #include "graph/dirichlet.h"
 #include "nn/serialize.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/init.h"
 #include "tensor/ops.h"
 
@@ -227,15 +230,19 @@ TensorPtr FusionAlignModel::ComputeLoss(
   };
 
   // L_task^(0) and L_task^(k) (φ = 1 for the joint objectives).
-  if (config_.use_initial_task_loss || !state.h_fus) {
-    accumulate(pair_loss(state.h_ori, nullptr));
-  }
-  if (state.h_fus) {
-    accumulate(pair_loss(state.h_fus, nullptr));
+  {
+    obs::TraceSpan span("task");
+    if (config_.use_initial_task_loss || !state.h_fus) {
+      accumulate(pair_loss(state.h_ori, nullptr));
+    }
+    if (state.h_fus) {
+      accumulate(pair_loss(state.h_fus, nullptr));
+    }
   }
 
   // Intra-modal objectives Σ_m (L_m^(k−1) + L_m^(k)).
   if (config_.use_intra_modal_losses) {
+    obs::TraceSpan span("intra_modal");
     for (Modality m : ActiveModalities()) {
       const int mi = Index(m);
       auto phi = PairConfidence(state, mi, src_rows, tgt_rows);
@@ -251,7 +258,10 @@ TensorPtr FusionAlignModel::ComputeLoss(
     }
   }
 
-  accumulate(ExtraLoss(state));
+  {
+    obs::TraceSpan span("extra");
+    accumulate(ExtraLoss(state));
+  }
   DESALIGN_CHECK(total != nullptr);
   return total;
 }
@@ -276,20 +286,49 @@ void FusionAlignModel::RunEpochs(const std::vector<kg::AlignmentPair>& seeds,
   nn::CosineWarmupSchedule schedule(config_.lr, epochs,
                                     config_.warmup_fraction);
 
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  obs::Counter& epoch_counter = metrics.GetCounter("train.epochs");
+  obs::Gauge& loss_gauge = metrics.GetGauge("train.loss");
+  obs::Histogram& epoch_ms = metrics.GetHistogram("train.epoch_ms");
+
+  obs::TraceSpan train_span("train");
   float best_loss = std::numeric_limits<float>::infinity();
   int stall = 0;
   for (int epoch = 0; epoch < epochs; ++epoch) {
+    obs::TraceSpan epoch_span("epoch");
+    common::Stopwatch epoch_clock;
     optimizer.set_lr(schedule.LrAt(epoch));
-    auto state = Forward();
-    auto loss = ComputeLoss(state, src_rows, tgt_rows);
+    auto state = [&] {
+      obs::TraceSpan span("forward");
+      return Forward();
+    }();
+    TensorPtr loss;
+    {
+      obs::TraceSpan span("loss");
+      loss = ComputeLoss(state, src_rows, tgt_rows);
+    }
     optimizer.ZeroGrad();
-    loss->Backward();
-    nn::ClipGradNorm(params, config_.grad_clip);
-    optimizer.Step();
+    {
+      obs::TraceSpan span("backward");
+      loss->Backward();
+      nn::ClipGradNorm(params, config_.grad_clip);
+    }
+    {
+      obs::TraceSpan span("optimizer");
+      optimizer.Step();
+    }
     if (config_.record_energy_trace) {
-      energy_trace_.push_back(MeasureDirichletEnergies());
+      obs::TraceSpan span("energy_trace");
+      const EnergySnapshot snap = MeasureDirichletEnergies();
+      energy_trace_.push_back(snap);
+      metrics.GetSeries("train.energy.initial").Append(snap.e_initial);
+      metrics.GetSeries("train.energy.mid").Append(snap.e_mid);
+      metrics.GetSeries("train.energy.final").Append(snap.e_final);
     }
     const float loss_value = loss->ScalarValue();
+    epoch_counter.Increment();
+    loss_gauge.Set(loss_value);
+    epoch_ms.Record(epoch_clock.ElapsedSeconds() * 1e3);
     if (config_.early_stop_patience > 0) {
       if (loss_value < best_loss - 1e-4f) {
         best_loss = loss_value;
@@ -382,6 +421,7 @@ TensorPtr FusionAlignModel::SimilarityFromEmbeddings(
 
 TensorPtr FusionAlignModel::DecodeSimilarity(const kg::AlignedKgPair& data) {
   DESALIGN_CHECK_MSG(prepared_, "DecodeSimilarity requires a fitted model");
+  obs::TraceSpan span("decode");
   tensor::NoGradGuard no_grad;
   auto state = Forward();
   auto sim = SimilarityFromEmbeddings(state, data);

@@ -23,6 +23,9 @@
 #include "kg/io.h"
 #include "kg/presets.h"
 #include "kg/synthetic.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "serve/batch_queue.h"
 #include "serve/embedding_store.h"
 #include "serve/stats.h"
@@ -52,6 +55,37 @@ struct ThreadsFlag {
     common::AddThreadsFlag(parser, &threads);
   }
   Status Apply() const { return common::ApplyThreadsFlag(threads); }
+};
+
+// Global --metrics-out flag, registered by every subcommand: when set, the
+// run starts from a clean registry/span tree with detail-gated measurements
+// enabled, and ends by writing an obs::RunReport (format by extension,
+// .json or .csv). See docs/OBSERVABILITY.md for the schema.
+struct MetricsFlag {
+  std::string path;
+
+  void Register(FlagParser& parser) {
+    parser.AddString("metrics-out", "",
+                     "write a metrics/trace report to this .json or .csv "
+                     "file at exit (enables detailed instrumentation)",
+                     &path);
+  }
+  Status Begin() const {
+    if (path.empty()) return Status::Ok();
+    // Reject a bad path before the run, not after a long training job.
+    DESALIGN_RETURN_NOT_OK(obs::RunReport::ValidatePath(path));
+    obs::MetricsRegistry::Global().ResetAll();
+    obs::ResetSpanTree();
+    obs::MetricsRegistry::Global().set_detail_enabled(true);
+    return Status::Ok();
+  }
+  Status Finish(std::ostream& out) const {
+    if (path.empty()) return Status::Ok();
+    obs::MetricsRegistry::Global().set_detail_enabled(false);
+    DESALIGN_RETURN_NOT_OK(obs::RunReport::Collect().WriteTo(path));
+    out << "wrote metrics report to " << path << "\n";
+    return Status::Ok();
+  }
 };
 
 // Dataset source flags shared by stats/run/sweep.
@@ -110,12 +144,15 @@ Status CmdGenerate(const std::vector<std::string>& args, std::ostream& out) {
   dataset.Register(parser);
   ThreadsFlag threads;
   threads.Register(parser);
+  MetricsFlag metrics;
+  metrics.Register(parser);
   std::string out_dir;
   parser.AddString("out", "", "output directory (required)", &out_dir);
   auto argv = ToArgv(args);
   DESALIGN_RETURN_NOT_OK(
       parser.Parse(static_cast<int>(argv.size()), argv.data(), 0));
   DESALIGN_RETURN_NOT_OK(threads.Apply());
+  DESALIGN_RETURN_NOT_OK(metrics.Begin());
   if (out_dir.empty()) {
     return Status::InvalidArgument("generate requires --out=DIR");
   }
@@ -124,7 +161,7 @@ Status CmdGenerate(const std::vector<std::string>& args, std::ostream& out) {
   out << "wrote " << pair.name << " (" << pair.source.num_entities << "+"
       << pair.target.num_entities << " entities, "
       << pair.train_pairs.size() << " seeds) to " << out_dir << "\n";
-  return Status::Ok();
+  return metrics.Finish(out);
 }
 
 Status CmdStats(const std::vector<std::string>& args, std::ostream& out) {
@@ -133,10 +170,13 @@ Status CmdStats(const std::vector<std::string>& args, std::ostream& out) {
   dataset.Register(parser);
   ThreadsFlag threads;
   threads.Register(parser);
+  MetricsFlag metrics;
+  metrics.Register(parser);
   auto argv = ToArgv(args);
   DESALIGN_RETURN_NOT_OK(
       parser.Parse(static_cast<int>(argv.size()), argv.data(), 0));
   DESALIGN_RETURN_NOT_OK(threads.Apply());
+  DESALIGN_RETURN_NOT_OK(metrics.Begin());
   DESALIGN_ASSIGN_OR_RETURN(auto pair, dataset.Load());
   eval::TablePrinter table({"KG", "Ent.", "Rel.", "Att.", "R.Triples",
                             "A.Triples", "Image", "text%", "image%"});
@@ -154,7 +194,7 @@ Status CmdStats(const std::vector<std::string>& args, std::ostream& out) {
   out << "alignments: " << pair.train_pairs.size() << " seed / "
       << pair.test_pairs.size() << " test (R_seed="
       << eval::Pct(pair.SeedRatio()) << "%)\n";
-  return Status::Ok();
+  return metrics.Finish(out);
 }
 
 Status CmdRun(const std::vector<std::string>& args, std::ostream& out) {
@@ -163,6 +203,8 @@ Status CmdRun(const std::vector<std::string>& args, std::ostream& out) {
   dataset.Register(parser);
   ThreadsFlag threads;
   threads.Register(parser);
+  MetricsFlag metrics;
+  metrics.Register(parser);
   std::string method_name;
   int64_t epochs;
   int64_t dim;
@@ -186,6 +228,7 @@ Status CmdRun(const std::vector<std::string>& args, std::ostream& out) {
   DESALIGN_RETURN_NOT_OK(
       parser.Parse(static_cast<int>(argv.size()), argv.data(), 0));
   DESALIGN_RETURN_NOT_OK(threads.Apply());
+  DESALIGN_RETURN_NOT_OK(metrics.Begin());
 
   DESALIGN_ASSIGN_OR_RETURN(auto data, dataset.Load());
   auto& settings = eval::GlobalHarnessSettings();
@@ -208,7 +251,7 @@ Status CmdRun(const std::vector<std::string>& args, std::ostream& out) {
                 eval::Secs(result.train_seconds),
                 eval::Secs(result.decode_seconds)});
   table.Print(out);
-  return Status::Ok();
+  return metrics.Finish(out);
 }
 
 Status CmdSweep(const std::vector<std::string>& args, std::ostream& out) {
@@ -217,6 +260,8 @@ Status CmdSweep(const std::vector<std::string>& args, std::ostream& out) {
   dataset.Register(parser);
   ThreadsFlag threads;
   threads.Register(parser);
+  MetricsFlag metrics;
+  metrics.Register(parser);
   std::string variable;
   std::string values_text;
   std::string methods_text;
@@ -237,6 +282,7 @@ Status CmdSweep(const std::vector<std::string>& args, std::ostream& out) {
   DESALIGN_RETURN_NOT_OK(
       parser.Parse(static_cast<int>(argv.size()), argv.data(), 0));
   DESALIGN_RETURN_NOT_OK(threads.Apply());
+  DESALIGN_RETURN_NOT_OK(metrics.Begin());
   if (!dataset.data_dir.empty()) {
     return Status::InvalidArgument(
         "sweep regenerates datasets per ratio; use --preset, not --data");
@@ -292,7 +338,7 @@ Status CmdSweep(const std::vector<std::string>& args, std::ostream& out) {
     DESALIGN_RETURN_NOT_OK(csv.WriteFile(csv_path));
     out << "wrote " << csv.num_rows() << " rows to " << csv_path << "\n";
   }
-  return Status::Ok();
+  return metrics.Finish(out);
 }
 
 // serve-bench: the full online-retrieval journey — generate (or load) a
@@ -308,6 +354,8 @@ Status CmdServeBench(const std::vector<std::string>& args,
   dataset.Register(parser);
   ThreadsFlag threads;
   threads.Register(parser);
+  MetricsFlag metrics;
+  metrics.Register(parser);
   std::string method_name;
   std::string checkpoint;
   int64_t epochs;
@@ -343,6 +391,7 @@ Status CmdServeBench(const std::vector<std::string>& args,
   DESALIGN_RETURN_NOT_OK(
       parser.Parse(static_cast<int>(argv.size()), argv.data(), 0));
   DESALIGN_RETURN_NOT_OK(threads.Apply());
+  DESALIGN_RETURN_NOT_OK(metrics.Begin());
   if (num_queries <= 0 || k <= 0 || submitters <= 0) {
     return Status::InvalidArgument(
         "--queries, --k and --submitters must be positive");
@@ -451,7 +500,7 @@ Status CmdServeBench(const std::vector<std::string>& args,
       << "%, recall@" << k << " "
       << eval::Pct(static_cast<double>(hits_at_k) / q)
       << "% over " << num_queries << " replayed queries\n";
-  return Status::Ok();
+  return metrics.Finish(out);
 }
 
 constexpr char kTopLevelUsage[] =

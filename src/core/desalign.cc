@@ -4,6 +4,7 @@
 
 #include "align/metrics.h"
 #include "common/check.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 
 namespace desalign::core {
@@ -32,6 +33,7 @@ DesalignModel::DesalignModel(DesalignConfig config)
 
 TensorPtr DesalignModel::ExtraLoss(const ForwardState& state) {
   if (!dcfg_.use_mmsl) return nullptr;
+  obs::TraceSpan span("mmsl");
   return MmslPenalty(norm_adj_union_, state.h_ori, state.h_mid, state.h_fus,
                      dcfg_.mmsl);
 }
@@ -55,6 +57,7 @@ TensorPtr DesalignModel::SimilarityFromEmbeddings(
     return FusionAlignModel::SimilarityFromEmbeddings(state, data);
   }
   tensor::NoGradGuard no_grad;
+  obs::TraceSpan span("propagation");
   const int64_t ns = features_.num_source;
   const int64_t nt = features_.num_target;
   auto x = state.h_ori->Detach();

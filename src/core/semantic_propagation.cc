@@ -3,6 +3,9 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "graph/dirichlet.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/tensor.h"
 
 namespace desalign::core {
@@ -44,6 +47,22 @@ TensorPtr SemanticPropagation::Step(const CsrMatrixPtr& normalized_adjacency,
 std::vector<TensorPtr> SemanticPropagation::Run(
     const CsrMatrixPtr& normalized_adjacency, const TensorPtr& x0,
     const std::vector<bool>& known, int iterations, float step_size) {
+  obs::TraceSpan span("propagation_run");
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  metrics.GetCounter("propagation.runs").Increment();
+  metrics.GetCounter("propagation.iterations").Increment(iterations);
+  // Per-state energy evaluation costs an extra SpMM per iteration, so the
+  // convergence curve is only recorded when `--metrics-out` (or a test)
+  // turns the detail flag on.
+  const bool record_energy = metrics.detail_enabled();
+  obs::Series* energy = record_energy
+                            ? &metrics.GetSeries("propagation.dirichlet_energy")
+                            : nullptr;
+  const double scale =
+      1.0 / static_cast<double>(x0->rows() * x0->cols());
+  if (energy != nullptr) {
+    energy->Append(graph::DirichletEnergy(normalized_adjacency, x0) * scale);
+  }
   std::vector<TensorPtr> states;
   states.reserve(iterations + 1);
   states.push_back(x0);
@@ -51,6 +70,9 @@ std::vector<TensorPtr> SemanticPropagation::Run(
   for (int it = 0; it < iterations; ++it) {
     x = Step(normalized_adjacency, x, x0, known, step_size);
     states.push_back(x);
+    if (energy != nullptr) {
+      energy->Append(graph::DirichletEnergy(normalized_adjacency, x) * scale);
+    }
   }
   return states;
 }

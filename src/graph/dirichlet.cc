@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
 
 namespace desalign::graph {
 
@@ -12,6 +13,11 @@ using tensor::Tensor;
 double DirichletEnergy(const CsrMatrixPtr& normalized_adjacency,
                        const TensorPtr& x) {
   DESALIGN_CHECK_EQ(normalized_adjacency->rows(), x->rows());
+  // Static: monitoring code calls this per propagation state; re-resolving
+  // the counter by name every call would be map-lookup noise.
+  static obs::Counter& evals =
+      obs::MetricsRegistry::Global().GetCounter("dirichlet.energy_evals");
+  evals.Increment();
   const int64_t n = x->rows();
   const int64_t d = x->cols();
   std::vector<float> ax(static_cast<size_t>(n * d));

@@ -1,0 +1,220 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace desalign::obs {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+void AtomicAddDouble(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMinDouble(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (value < current &&
+         !target.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMaxDouble(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (value > current &&
+         !target.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count <= 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // 0-based fractional rank; the last rank is count - 1.
+  const double rank = q * static_cast<double>(count - 1);
+  int64_t seen = 0;
+  for (size_t b = 0; b < counts.size(); ++b) {
+    const int64_t in_bucket = counts[b];
+    if (in_bucket == 0) continue;
+    if (rank < static_cast<double>(seen + in_bucket)) {
+      const double lower = b == 0 ? 0.0 : bounds[b - 1];
+      const double upper = b < bounds.size() ? bounds[b] : max;
+      const double fraction =
+          (rank - static_cast<double>(seen) + 0.5) /
+          static_cast<double>(in_bucket);
+      const double value = lower + fraction * (upper - lower);
+      // Clamping to the observed range makes degenerate distributions
+      // (0/1 samples, all-duplicates) exact.
+      return std::clamp(value, min, max);
+    }
+    seen += in_bucket;
+  }
+  return max;
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(bounds.empty() ? DefaultLatencyBucketsMs()
+                             : std::move(bounds)),
+      min_(kInf),
+      max_(-kInf) {
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    DESALIGN_CHECK_MSG(bounds_[i - 1] < bounds_[i],
+                       "histogram bounds must be strictly increasing");
+  }
+  counts_ = std::make_unique<std::atomic<int64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
+}
+
+std::vector<double> Histogram::ExponentialBuckets(double start, double factor,
+                                                  int count) {
+  DESALIGN_CHECK(start > 0.0 && factor > 1.0 && count > 0);
+  std::vector<double> bounds(static_cast<size_t>(count));
+  double edge = start;
+  for (int i = 0; i < count; ++i) {
+    bounds[static_cast<size_t>(i)] = edge;
+    edge *= factor;
+  }
+  return bounds;
+}
+
+const std::vector<double>& Histogram::DefaultLatencyBucketsMs() {
+  // 1e-3 ms .. ~1e5 ms with 10% growth: ~194 edges, fixed ~1.5 KiB.
+  static const std::vector<double>& buckets =
+      *new std::vector<double>(ExponentialBuckets(1e-3, 1.1, 194));
+  return buckets;
+}
+
+void Histogram::Record(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const size_t bucket = static_cast<size_t>(it - bounds_.begin());
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(sum_, value);
+  AtomicMinDouble(min_, value);
+  AtomicMaxDouble(max_, value);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.resize(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    snap.counts[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  const double lo = min_.load(std::memory_order_relaxed);
+  const double hi = max_.load(std::memory_order_relaxed);
+  snap.min = std::isfinite(lo) ? lo : 0.0;
+  snap.max = std::isfinite(hi) ? hi : 0.0;
+  snap.mean = snap.count > 0 ? snap.sum / static_cast<double>(snap.count)
+                             : 0.0;
+  snap.p50 = snap.Quantile(0.50);
+  snap.p95 = snap.Quantile(0.95);
+  snap.p99 = snap.Quantile(0.99);
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(kInf, std::memory_order_relaxed);
+  max_.store(-kInf, std::memory_order_relaxed);
+}
+
+void Series::Append(double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  values_.push_back(value);
+}
+
+std::vector<double> Series::values() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return values_;
+}
+
+int64_t Series::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int64_t>(values_.size());
+}
+
+void Series::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  values_.clear();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked intentionally: call sites cache metric references, and the
+  // registry must outlive every static-destruction-order hazard.
+  static MetricsRegistry& registry = *new MetricsRegistry();
+  return registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+Series& MetricsRegistry::GetSeries(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = series_[name];
+  if (!slot) slot = std::make_unique<Series>();
+  return *slot;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, metric] : counters_) metric->Reset();
+  for (auto& [name, metric] : gauges_) metric->Reset();
+  for (auto& [name, metric] : histograms_) metric->Reset();
+  for (auto& [name, metric] : series_) metric->Reset();
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::Collect() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snap;
+  for (const auto& [name, metric] : counters_) {
+    snap.counters[name] = metric->value();
+  }
+  for (const auto& [name, metric] : gauges_) {
+    snap.gauges[name] = metric->value();
+  }
+  for (const auto& [name, metric] : histograms_) {
+    snap.histograms[name] = metric->Snapshot();
+  }
+  for (const auto& [name, metric] : series_) {
+    snap.series[name] = metric->values();
+  }
+  return snap;
+}
+
+}  // namespace desalign::obs

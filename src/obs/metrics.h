@@ -1,0 +1,174 @@
+#ifndef DESALIGN_OBS_METRICS_H_
+#define DESALIGN_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace desalign::obs {
+
+/// Monotonic event counter. Increment is a relaxed atomic add, so counters
+/// are safe (and cheap) to bump from any thread, including hot loops.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-written scalar (loss value, queue depth, ...). Set/value are atomic
+/// loads/stores; there is no read-modify-write, so writers simply race to
+/// publish the freshest value.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Point-in-time view of a Histogram. `bounds[i]` is the inclusive upper
+/// edge of bucket i; the final bucket (counts.back()) is the overflow
+/// bucket (+inf). min/max/mean are exact over every recorded value;
+/// quantiles interpolate within the containing bucket and are clamped to
+/// [min, max], so they are exact whenever all samples share one value
+/// (in particular for 0 or 1 samples) and otherwise accurate to the
+/// bucket's relative width.
+struct HistogramSnapshot {
+  int64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  std::vector<double> bounds;
+  std::vector<int64_t> counts;
+
+  /// Interpolated quantile (q in [0, 1]) over the bucket counts, clamped
+  /// to the observed [min, max].
+  double Quantile(double q) const;
+};
+
+/// Fixed-bucket histogram with lock-free recording: per-bucket relaxed
+/// atomic counters plus atomic sum/min/max, so concurrent Record calls
+/// never block each other and the type is safe under ThreadSanitizer.
+/// Memory is fixed at construction no matter how many values are recorded
+/// — the property the serving path needs for unbounded query replays.
+class Histogram {
+ public:
+  /// `bounds` are strictly increasing inclusive bucket upper edges; an
+  /// implicit +inf overflow bucket is appended. Empty bounds fall back to
+  /// DefaultLatencyBucketsMs().
+  explicit Histogram(std::vector<double> bounds = {});
+
+  /// Exponential edges start, start*factor, ... (count edges, factor > 1).
+  static std::vector<double> ExponentialBuckets(double start, double factor,
+                                                int count);
+  /// Default latency scale: 1 microsecond to ~100 seconds in milliseconds,
+  /// ~10% relative resolution (so interpolated quantiles are within ~5%).
+  static const std::vector<double>& DefaultLatencyBucketsMs();
+
+  void Record(double value);
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  HistogramSnapshot Snapshot() const;
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<int64_t>[]> counts_;  // bounds_.size() + 1
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+/// Append-only sequence of observations in recording order — the shape of
+/// a convergence curve (per-iteration propagation Dirichlet energy,
+/// per-epoch energy trace). Unlike a Histogram it grows with the run, so
+/// it is reserved for low-frequency series (per epoch / per iteration).
+class Series {
+ public:
+  void Append(double value);
+  std::vector<double> values() const;
+  int64_t size() const;
+  void Reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<double> values_;
+};
+
+/// Process-wide, thread-safe metrics registry. Metrics are created on
+/// first lookup and live for the process lifetime, so call sites may cache
+/// the returned references; Reset zeroes values in place and never
+/// invalidates them. Names are dot-separated paths (`train.epochs`,
+/// `serve.latency_ms`) and form a stable reporting interface — see
+/// docs/OBSERVABILITY.md before renaming anything.
+///
+/// The `detail` flag gates derived measurements that cost real compute
+/// (e.g. per-iteration Dirichlet-energy evaluation during semantic
+/// propagation). Always-on instrumentation (counters, spans, latency
+/// histograms) is cheap enough to leave unconditional; `--metrics-out`
+/// turns detail on for the duration of a CLI run.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create. Each kind has its own namespace, but reuse of one
+  /// name across kinds is confusing — don't. For histograms, `bounds` is
+  /// honoured only by the call that creates the metric.
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name,
+                          std::vector<double> bounds = {});
+  Series& GetSeries(const std::string& name);
+
+  bool detail_enabled() const {
+    return detail_.load(std::memory_order_relaxed);
+  }
+  void set_detail_enabled(bool enabled) {
+    detail_.store(enabled, std::memory_order_relaxed);
+  }
+
+  /// Zeroes every registered metric in place (handles stay valid).
+  void ResetAll();
+
+  /// Consistent-enough copy for export; concurrent writers may land
+  /// between two metric reads, which a run report can tolerate.
+  struct Snapshot {
+    std::map<std::string, int64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, HistogramSnapshot> histograms;
+    std::map<std::string, std::vector<double>> series;
+  };
+  Snapshot Collect() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<Series>> series_;
+  std::atomic<bool> detail_{false};
+};
+
+}  // namespace desalign::obs
+
+#endif  // DESALIGN_OBS_METRICS_H_

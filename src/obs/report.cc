@@ -1,0 +1,228 @@
+#include "obs/report.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace desalign::obs {
+
+namespace {
+
+std::string FormatDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", value);
+  return buf;
+}
+
+// JSON has no representation for inf/nan; emit null so the file stays
+// parseable by strict consumers (jq).
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  return FormatDouble(value);
+}
+
+std::string JsonString(const std::string& text) {
+  std::string out = "\"";
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void AppendHistogramJson(const HistogramSnapshot& hist, std::ostream& os) {
+  os << "{\"count\":" << hist.count << ",\"sum\":" << JsonNumber(hist.sum)
+     << ",\"min\":" << JsonNumber(hist.min)
+     << ",\"max\":" << JsonNumber(hist.max)
+     << ",\"mean\":" << JsonNumber(hist.mean)
+     << ",\"p50\":" << JsonNumber(hist.p50)
+     << ",\"p95\":" << JsonNumber(hist.p95)
+     << ",\"p99\":" << JsonNumber(hist.p99) << ",\"buckets\":[";
+  bool first = true;
+  for (size_t b = 0; b < hist.counts.size(); ++b) {
+    if (hist.counts[b] == 0) continue;
+    if (!first) os << ',';
+    first = false;
+    os << "{\"le\":"
+       << (b < hist.bounds.size() ? JsonNumber(hist.bounds[b]) : "null")
+       << ",\"count\":" << hist.counts[b] << '}';
+  }
+  os << "]}";
+}
+
+void AppendSpanJson(const SpanNodeSnapshot& span, std::ostream& os) {
+  os << "{\"name\":" << JsonString(span.name) << ",\"count\":" << span.count
+     << ",\"total_seconds\":" << JsonNumber(span.total_seconds)
+     << ",\"children\":[";
+  for (size_t i = 0; i < span.children.size(); ++i) {
+    if (i) os << ',';
+    AppendSpanJson(span.children[i], os);
+  }
+  os << "]}";
+}
+
+// CSV fields never need quoting here: metric/span names are code-chosen
+// identifiers and values are numbers. Keep commas/quotes out of names.
+void AppendCsvRow(std::ostream& os, const std::string& kind,
+                  const std::string& name, const std::string& field,
+                  const std::string& value) {
+  os << kind << ',' << name << ',' << field << ',' << value << '\n';
+}
+
+void AppendSpanCsv(const SpanNodeSnapshot& span, const std::string& prefix,
+                   std::ostream& os) {
+  const std::string path = prefix.empty() ? span.name : prefix + "/" + span.name;
+  AppendCsvRow(os, "span", path, "count", std::to_string(span.count));
+  AppendCsvRow(os, "span", path, "total_seconds",
+               FormatDouble(span.total_seconds));
+  for (const auto& child : span.children) {
+    AppendSpanCsv(child, path, os);
+  }
+}
+
+bool HasSuffix(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+RunReport RunReport::Collect() {
+  return Collect(MetricsRegistry::Global());
+}
+
+RunReport RunReport::Collect(const MetricsRegistry& registry) {
+  RunReport report;
+  report.metrics_ = registry.Collect();
+  report.spans_ = CollectSpanTree();
+  return report;
+}
+
+std::string RunReport::ToJson() const {
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : metrics_.counters) {
+    if (!first) os << ',';
+    first = false;
+    os << JsonString(name) << ':' << value;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : metrics_.gauges) {
+    if (!first) os << ',';
+    first = false;
+    os << JsonString(name) << ':' << JsonNumber(value);
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : metrics_.histograms) {
+    if (!first) os << ',';
+    first = false;
+    os << JsonString(name) << ':';
+    AppendHistogramJson(hist, os);
+  }
+  os << "},\"series\":{";
+  first = true;
+  for (const auto& [name, values] : metrics_.series) {
+    if (!first) os << ',';
+    first = false;
+    os << JsonString(name) << ":[";
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (i) os << ',';
+      os << JsonNumber(values[i]);
+    }
+    os << ']';
+  }
+  os << "},\"spans\":[";
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    if (i) os << ',';
+    AppendSpanJson(spans_[i], os);
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string RunReport::ToCsv() const {
+  std::ostringstream os;
+  os << "kind,name,field,value\n";
+  for (const auto& [name, value] : metrics_.counters) {
+    AppendCsvRow(os, "counter", name, "value", std::to_string(value));
+  }
+  for (const auto& [name, value] : metrics_.gauges) {
+    AppendCsvRow(os, "gauge", name, "value", FormatDouble(value));
+  }
+  for (const auto& [name, hist] : metrics_.histograms) {
+    AppendCsvRow(os, "histogram", name, "count", std::to_string(hist.count));
+    AppendCsvRow(os, "histogram", name, "sum", FormatDouble(hist.sum));
+    AppendCsvRow(os, "histogram", name, "min", FormatDouble(hist.min));
+    AppendCsvRow(os, "histogram", name, "max", FormatDouble(hist.max));
+    AppendCsvRow(os, "histogram", name, "mean", FormatDouble(hist.mean));
+    AppendCsvRow(os, "histogram", name, "p50", FormatDouble(hist.p50));
+    AppendCsvRow(os, "histogram", name, "p95", FormatDouble(hist.p95));
+    AppendCsvRow(os, "histogram", name, "p99", FormatDouble(hist.p99));
+  }
+  for (const auto& [name, values] : metrics_.series) {
+    for (size_t i = 0; i < values.size(); ++i) {
+      AppendCsvRow(os, "series", name, std::to_string(i),
+                   FormatDouble(values[i]));
+    }
+  }
+  for (const auto& span : spans_) {
+    AppendSpanCsv(span, "", os);
+  }
+  return os.str();
+}
+
+common::Status RunReport::ValidatePath(const std::string& path) {
+  if (HasSuffix(path, ".json") || HasSuffix(path, ".csv")) {
+    return common::Status::Ok();
+  }
+  return common::Status::InvalidArgument(
+      "metrics report path must end in .json or .csv: " + path);
+}
+
+common::Status RunReport::WriteTo(const std::string& path) const {
+  DESALIGN_RETURN_NOT_OK(ValidatePath(path));
+  std::string payload;
+  if (HasSuffix(path, ".json")) {
+    payload = ToJson();
+    payload += '\n';
+  } else {
+    payload = ToCsv();
+  }
+  std::ofstream out(path);
+  if (!out) {
+    return common::Status::IoError("cannot open " + path + " for writing");
+  }
+  out << payload;
+  if (!out) return common::Status::IoError("short write to " + path);
+  return common::Status::Ok();
+}
+
+}  // namespace desalign::obs

@@ -1,0 +1,53 @@
+#ifndef DESALIGN_OBS_REPORT_H_
+#define DESALIGN_OBS_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace desalign::obs {
+
+/// One run's worth of observability output: a registry snapshot plus the
+/// aggregated span tree, with JSON/CSV serializers. The JSON schema
+/// (documented in docs/OBSERVABILITY.md) is what `--metrics-out` writes
+/// and what downstream tooling (jq sanity checks, plotting scripts)
+/// consumes, so treat field names as a stable interface.
+class RunReport {
+ public:
+  /// Snapshots MetricsRegistry::Global() and the global span tree.
+  static RunReport Collect();
+  /// Snapshots an explicit registry (tests use private registries).
+  static RunReport Collect(const MetricsRegistry& registry);
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...},
+  ///  "series": {...}, "spans": [...]}. Non-finite doubles serialize as
+  ///  null; histogram buckets list only non-empty ones as {le, count}
+  ///  pairs (le == null for the overflow bucket).
+  std::string ToJson() const;
+
+  /// Flat rows `kind,name,field,value` — spans use slash-joined paths
+  /// for the name, series use the sample index as the field.
+  std::string ToCsv() const;
+
+  /// Ok iff `path` ends in a supported report extension (`.json` or
+  /// `.csv`). Lets callers reject a bad path up front instead of after a
+  /// long run.
+  static common::Status ValidatePath(const std::string& path);
+
+  /// Dispatches on extension: `.json` or `.csv`.
+  common::Status WriteTo(const std::string& path) const;
+
+  const MetricsRegistry::Snapshot& metrics() const { return metrics_; }
+  const std::vector<SpanNodeSnapshot>& spans() const { return spans_; }
+
+ private:
+  MetricsRegistry::Snapshot metrics_;
+  std::vector<SpanNodeSnapshot> spans_;
+};
+
+}  // namespace desalign::obs
+
+#endif  // DESALIGN_OBS_REPORT_H_

@@ -1,0 +1,115 @@
+#include "obs/trace.h"
+
+#include <memory>
+#include <mutex>
+
+namespace desalign::obs {
+
+namespace {
+
+// Internal aggregation node. Children are owned and ordered by first open,
+// which keeps the exported tree in program order (forward before backward).
+struct SpanNode {
+  std::string name;
+  int64_t count = 0;
+  double total_seconds = 0.0;
+  std::vector<std::unique_ptr<SpanNode>> children;
+
+  SpanNode* FindOrAddChild(std::string_view child_name) {
+    for (auto& child : children) {
+      if (child->name == child_name) return child.get();
+    }
+    children.push_back(std::make_unique<SpanNode>());
+    children.back()->name = std::string(child_name);
+    return children.back().get();
+  }
+};
+
+struct SpanTree {
+  std::mutex mutex;
+  // Sentinel root; its children are the exported roots.
+  SpanNode root;
+};
+
+SpanTree& GlobalTree() {
+  static SpanTree& tree = *new SpanTree();
+  return tree;
+}
+
+// Per-thread innermost open span. Spans opened on a worker thread nest
+// under whatever that thread previously opened, not under another
+// thread's stack — cross-thread work shows up as its own root.
+thread_local SpanNode* tls_open_span = nullptr;
+
+SpanNodeSnapshot SnapshotNode(const SpanNode& node) {
+  SpanNodeSnapshot snap;
+  snap.name = node.name;
+  snap.count = node.count;
+  snap.total_seconds = node.total_seconds;
+  snap.children.reserve(node.children.size());
+  for (const auto& child : node.children) {
+    snap.children.push_back(SnapshotNode(*child));
+  }
+  return snap;
+}
+
+}  // namespace
+
+const SpanNodeSnapshot* SpanNodeSnapshot::Child(
+    std::string_view child_name) const {
+  for (const auto& child : children) {
+    if (child.name == child_name) return &child;
+  }
+  return nullptr;
+}
+
+TraceSpan::TraceSpan(std::string_view name) {
+  SpanTree& tree = GlobalTree();
+  SpanNode* parent = tls_open_span;
+  parent_ = parent;
+  {
+    std::lock_guard<std::mutex> lock(tree.mutex);
+    node_ = (parent ? parent : &tree.root)->FindOrAddChild(name);
+  }
+  tls_open_span = static_cast<SpanNode*>(node_);
+  // Start the clock after the bookkeeping so node lookup does not count
+  // toward the span's own time.
+  start_ = std::chrono::steady_clock::now();
+}
+
+TraceSpan::~TraceSpan() {
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  const double seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(elapsed)
+          .count();
+  SpanNode* node = static_cast<SpanNode*>(node_);
+  SpanTree& tree = GlobalTree();
+  {
+    std::lock_guard<std::mutex> lock(tree.mutex);
+    node->count += 1;
+    node->total_seconds += seconds;
+  }
+  // Spans are scoped objects, so within a thread destruction order is
+  // reverse construction order: the innermost open span reverts to
+  // whatever it was when this span opened.
+  tls_open_span = static_cast<SpanNode*>(parent_);
+}
+
+std::vector<SpanNodeSnapshot> CollectSpanTree() {
+  SpanTree& tree = GlobalTree();
+  std::lock_guard<std::mutex> lock(tree.mutex);
+  std::vector<SpanNodeSnapshot> roots;
+  roots.reserve(tree.root.children.size());
+  for (const auto& child : tree.root.children) {
+    roots.push_back(SnapshotNode(*child));
+  }
+  return roots;
+}
+
+void ResetSpanTree() {
+  SpanTree& tree = GlobalTree();
+  std::lock_guard<std::mutex> lock(tree.mutex);
+  tree.root.children.clear();
+}
+
+}  // namespace desalign::obs

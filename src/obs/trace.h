@@ -1,0 +1,60 @@
+#ifndef DESALIGN_OBS_TRACE_H_
+#define DESALIGN_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace desalign::obs {
+
+/// Aggregated view of one node of the phase tree: how many times the phase
+/// ran and the total wall-time spent inside it (children included, since a
+/// parent span is open while its children run).
+struct SpanNodeSnapshot {
+  std::string name;
+  int64_t count = 0;
+  double total_seconds = 0.0;
+  std::vector<SpanNodeSnapshot> children;
+
+  /// Depth-first lookup of a direct child by name; nullptr when absent.
+  const SpanNodeSnapshot* Child(std::string_view child_name) const;
+};
+
+/// RAII scoped timer that aggregates into a process-wide per-phase
+/// wall-time tree. Nesting follows C++ scopes per thread: a span opened
+/// while another span on the same thread is live becomes its child; spans
+/// opened on other threads start new roots. Repeated visits to the same
+/// path accumulate (count, total), so a 60-epoch loop yields one
+/// `train/epoch` node with count 60 — the shape the efficiency analysis
+/// reads ("where did this epoch's time go").
+///
+/// Cost is two steady_clock reads plus one short critical section per
+/// span, so spans belong at phase granularity (epoch, decode, batch), not
+/// around individual tensor ops.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  // Internal tree nodes; opaque to keep the header light.
+  void* node_;
+  void* parent_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Copies the current span tree (root nodes in first-open order).
+std::vector<SpanNodeSnapshot> CollectSpanTree();
+
+/// Clears the aggregated tree. Must not run while any span is live —
+/// call it between runs (the CLI does, right before an instrumented run).
+void ResetSpanTree();
+
+}  // namespace desalign::obs
+
+#endif  // DESALIGN_OBS_TRACE_H_

@@ -1,23 +1,12 @@
 #include "serve/stats.h"
 
-#include <algorithm>
-#include <cmath>
 #include <cstdio>
 
-#include "common/check.h"
 #include "eval/table.h"
 
 namespace desalign::serve {
 
 namespace {
-
-// Nearest-rank percentile over a sorted sample.
-double PercentileSorted(const std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  const double pos = q * static_cast<double>(sorted.size() - 1);
-  const size_t idx = static_cast<size_t>(std::llround(pos));
-  return sorted[std::min(idx, sorted.size() - 1)];
-}
 
 std::string Ms(double ms) {
   char buf[32];
@@ -33,79 +22,61 @@ std::string Num(double v) {
 
 }  // namespace
 
-ServeStats::ServeStats(int64_t reservoir_capacity, uint64_t seed)
-    : capacity_(reservoir_capacity), engine_(seed) {
-  DESALIGN_CHECK_GT(capacity_, 0);
-  reservoir_.reserve(static_cast<size_t>(capacity_));
+ServeStats::ServeStats(obs::MetricsRegistry* registry, std::string prefix) {
+  obs::MetricsRegistry& reg =
+      registry ? *registry : obs::MetricsRegistry::Global();
+  latency_ = &reg.GetHistogram(prefix + ".latency_ms");
+  // Powers-of-two edges: batch sizes are small integers and only the
+  // count/sum (exact) feed the reported mean.
+  batches_ = &reg.GetHistogram(prefix + ".batch_size",
+                               obs::Histogram::ExponentialBuckets(1.0, 2.0, 16));
+  Reset();
 }
 
 void ServeStats::RecordQuery(double latency_ms) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++queries_;
-  sum_latency_ms_ += latency_ms;
-  max_latency_ms_ = std::max(max_latency_ms_, latency_ms);
-  if (static_cast<int64_t>(reservoir_.size()) < capacity_) {
-    reservoir_.push_back(latency_ms);
-  } else {
-    // Algorithm R: the i-th observation replaces a random slot with
-    // probability capacity / i, keeping a uniform sample.
-    const uint64_t slot = engine_() % static_cast<uint64_t>(queries_);
-    if (slot < static_cast<uint64_t>(capacity_)) {
-      reservoir_[static_cast<size_t>(slot)] = latency_ms;
-    }
-  }
+  latency_->Record(latency_ms);
 }
 
 void ServeStats::RecordBatch(int64_t size) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++batches_;
-  batched_queries_ += size;
+  batches_->Record(static_cast<double>(size));
 }
 
 void ServeStats::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  queries_ = 0;
-  batches_ = 0;
-  batched_queries_ = 0;
-  sum_latency_ms_ = 0.0;
-  max_latency_ms_ = 0.0;
-  reservoir_.clear();
+  latency_->Reset();
+  batches_->Reset();
   clock_.Reset();
 }
 
 ServeStatsSnapshot ServeStats::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const obs::HistogramSnapshot latency = latency_->Snapshot();
+  const obs::HistogramSnapshot batches = batches_->Snapshot();
   ServeStatsSnapshot snap;
-  snap.queries = queries_;
-  snap.batches = batches_;
+  snap.queries = latency.count;
+  snap.batches = batches.count;
   snap.elapsed_seconds = clock_.ElapsedSeconds();
   if (snap.elapsed_seconds > 0.0) {
     snap.queries_per_second =
-        static_cast<double>(queries_) / snap.elapsed_seconds;
+        static_cast<double>(snap.queries) / snap.elapsed_seconds;
   }
-  if (batches_ > 0) {
-    snap.mean_batch_size =
-        static_cast<double>(batched_queries_) / static_cast<double>(batches_);
-  }
-  if (queries_ > 0) {
-    snap.mean_latency_ms = sum_latency_ms_ / static_cast<double>(queries_);
-  }
-  snap.max_latency_ms = max_latency_ms_;
-  std::vector<double> sorted = reservoir_;
-  std::sort(sorted.begin(), sorted.end());
-  snap.p50_latency_ms = PercentileSorted(sorted, 0.50);
-  snap.p95_latency_ms = PercentileSorted(sorted, 0.95);
+  snap.mean_batch_size = batches.mean;
+  snap.mean_latency_ms = latency.mean;
+  snap.p50_latency_ms = latency.p50;
+  snap.p95_latency_ms = latency.p95;
+  snap.p99_latency_ms = latency.p99;
+  snap.max_latency_ms = latency.max;
   return snap;
 }
 
 void ServeStats::PrintTable(std::ostream& os) const {
   const ServeStatsSnapshot s = Snapshot();
   eval::TablePrinter table({"queries", "batches", "avg batch", "qps",
-                            "mean(ms)", "p50(ms)", "p95(ms)", "max(ms)"});
+                            "mean(ms)", "p50(ms)", "p95(ms)", "p99(ms)",
+                            "max(ms)"});
   table.AddRow({std::to_string(s.queries), std::to_string(s.batches),
                 Num(s.mean_batch_size), Num(s.queries_per_second),
                 Ms(s.mean_latency_ms), Ms(s.p50_latency_ms),
-                Ms(s.p95_latency_ms), Ms(s.max_latency_ms)});
+                Ms(s.p95_latency_ms), Ms(s.p99_latency_ms),
+                Ms(s.max_latency_ms)});
   table.Print(os);
 }
 

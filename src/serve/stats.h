@@ -2,17 +2,18 @@
 #define DESALIGN_SERVE_STATS_H_
 
 #include <cstdint>
-#include <mutex>
 #include <ostream>
-#include <random>
-#include <vector>
+#include <string>
 
 #include "common/stopwatch.h"
+#include "obs/metrics.h"
 
 namespace desalign::serve {
 
-/// Point-in-time view of the serving counters. Percentiles cover the
-/// reservoir sample; count/min/max/mean cover every recorded query.
+/// Point-in-time view of the serving counters. count/min/max/mean are
+/// exact over every recorded query; percentiles come from the shared
+/// fixed-bucket histogram (~10% bucket resolution, exact for 0/1/
+/// duplicate-valued samples).
 struct ServeStatsSnapshot {
   int64_t queries = 0;
   int64_t batches = 0;
@@ -22,17 +23,25 @@ struct ServeStatsSnapshot {
   double mean_latency_ms = 0.0;
   double p50_latency_ms = 0.0;
   double p95_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
   double max_latency_ms = 0.0;
 };
 
 /// Thread-safe per-call latency / throughput counters for the serving
-/// path. Latency percentiles use reservoir sampling (algorithm R with a
-/// deterministic engine) so memory stays bounded no matter how many
-/// queries are replayed; throughput is measured from construction (or the
-/// last Reset) to the Snapshot call.
+/// path, backed by obs::Histogram metrics in a MetricsRegistry — so a
+/// serve-bench run and a training run report through one registry and one
+/// `--metrics-out` file. Recording is lock-free; memory stays fixed no
+/// matter how many queries are replayed. Throughput is measured from
+/// construction (or the last Reset) to the Snapshot call.
 class ServeStats {
  public:
-  explicit ServeStats(int64_t reservoir_capacity = 4096, uint64_t seed = 1);
+  /// Binds to `<prefix>.latency_ms` and `<prefix>.batch_size` in
+  /// `registry` (nullptr → MetricsRegistry::Global()) and resets them, so
+  /// each ServeStats instance starts a fresh measurement window. Use one
+  /// ServeStats per prefix per process; two live instances with the same
+  /// prefix would share (and stomp) the same histograms.
+  explicit ServeStats(obs::MetricsRegistry* registry = nullptr,
+                      std::string prefix = "serve");
 
   /// Records one completed query (submit-to-result latency).
   void RecordQuery(double latency_ms);
@@ -40,7 +49,7 @@ class ServeStats {
   /// Records one drained batch of `size` queries.
   void RecordBatch(int64_t size);
 
-  /// Restarts the throughput clock and clears all counters.
+  /// Restarts the throughput clock and clears this instance's histograms.
   void Reset();
 
   ServeStatsSnapshot Snapshot() const;
@@ -49,16 +58,9 @@ class ServeStats {
   void PrintTable(std::ostream& os) const;
 
  private:
-  mutable std::mutex mutex_;
-  int64_t capacity_;
-  std::mt19937_64 engine_;
+  obs::Histogram* latency_;  // owned by the registry
+  obs::Histogram* batches_;  // owned by the registry
   common::Stopwatch clock_;
-  int64_t queries_ = 0;
-  int64_t batches_ = 0;
-  int64_t batched_queries_ = 0;
-  double sum_latency_ms_ = 0.0;
-  double max_latency_ms_ = 0.0;
-  std::vector<double> reservoir_;
 };
 
 }  // namespace desalign::serve

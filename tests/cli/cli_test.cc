@@ -193,5 +193,86 @@ TEST(CliTest, ServeBenchRejectsBadThreads) {
   EXPECT_EQ(RunTool({"serve-bench", "--threads=-2"}, &out), 1);
 }
 
+std::string ReadAll(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(CliTest, RunWritesMetricsReport) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("desalign_cli_metrics_" + std::to_string(::getpid()) +
+                     ".json");
+  std::string out;
+  EXPECT_EQ(RunTool({"run", "--preset=FBDB15K", "--entities=80", "--epochs=4",
+                     "--dim=8", "--method=DESAlign",
+                     ("--metrics-out=" + path.string()).c_str()},
+                    &out),
+            0);
+  EXPECT_NE(out.find("wrote metrics report"), std::string::npos);
+  ASSERT_TRUE(std::filesystem::exists(path));
+  const std::string json = ReadAll(path);
+  std::filesystem::remove(path);
+  // Training counters/series from the unified registry.
+  EXPECT_NE(json.find("\"train.epochs\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"train.loss\""), std::string::npos);
+  EXPECT_NE(json.find("\"train.epoch_ms\""), std::string::npos);
+  // Detail-gated per-iteration propagation energy curve.
+  EXPECT_NE(json.find("\"propagation.dirichlet_energy\":["),
+            std::string::npos);
+  EXPECT_NE(json.find("\"propagation.runs\""), std::string::npos);
+  EXPECT_NE(json.find("\"dirichlet.energy_evals\""), std::string::npos);
+  // Span tree covers the training phases.
+  EXPECT_NE(json.find("\"name\":\"train\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"epoch\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"forward\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"backward\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"mmsl\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"decode\""), std::string::npos);
+}
+
+TEST(CliTest, ServeBenchWritesServeHistogramsToMetricsReport) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("desalign_cli_serve_metrics_" +
+                     std::to_string(::getpid()) + ".json");
+  std::string out;
+  EXPECT_EQ(RunTool({"serve-bench", "--preset=FBDB15K", "--entities=60",
+                     "--epochs=1", "--dim=8", "--queries=20",
+                     "--submitters=1", "--method=EVA",
+                     ("--metrics-out=" + path.string()).c_str()},
+                    &out),
+            0);
+  ASSERT_TRUE(std::filesystem::exists(path));
+  const std::string json = ReadAll(path);
+  std::filesystem::remove(path);
+  // One registry: training metrics and serve-path histograms side by side.
+  EXPECT_NE(json.find("\"train.epochs\""), std::string::npos);
+  EXPECT_NE(json.find("\"serve.latency_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"serve.batch_size\""), std::string::npos);
+}
+
+TEST(CliTest, MetricsOutSupportsCsv) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("desalign_cli_metrics_" + std::to_string(::getpid()) +
+                     ".csv");
+  std::string out;
+  EXPECT_EQ(RunTool({"stats", "--preset=FBDB15K", "--entities=60",
+                     ("--metrics-out=" + path.string()).c_str()},
+                    &out),
+            0);
+  ASSERT_TRUE(std::filesystem::exists(path));
+  const std::string csv = ReadAll(path);
+  std::filesystem::remove(path);
+  EXPECT_EQ(csv.rfind("kind,name,field,value", 0), 0u);
+}
+
+TEST(CliTest, MetricsOutRejectsUnknownExtension) {
+  std::string out;
+  EXPECT_EQ(RunTool({"stats", "--preset=FBDB15K", "--entities=60",
+                     "--metrics-out=/tmp/desalign_metrics.txt"},
+                    &out),
+            1);
+}
+
 }  // namespace
 }  // namespace desalign::cli

@@ -1,0 +1,195 @@
+// End-to-end pipeline test: synthetic MMKG → train DESAlign → persist
+// embeddings through a checkpoint → EmbeddingStore::Load → top-k
+// retrieval. The serving stack must return exactly what the in-memory
+// model would predict — the checkpoint hop and the blocked/parallel
+// retrieval path are not allowed to change a single result.
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/desalign.h"
+#include "kg/synthetic.h"
+#include "serve/embedding_store.h"
+#include "serve/topk.h"
+
+namespace desalign {
+namespace {
+
+kg::AlignedKgPair TinyData(uint64_t seed = 93) {
+  kg::SyntheticSpec spec;
+  spec.num_entities = 80;
+  spec.seed = seed;
+  spec.seed_ratio = 0.3;
+  return kg::GenerateSyntheticPair(spec);
+}
+
+core::DesalignConfig TinyConfig(uint64_t seed = 5) {
+  auto cfg = core::DesalignConfig::Default(seed);
+  cfg.base.dim = 8;
+  cfg.base.epochs = 5;
+  cfg.propagation_iterations = 2;
+  return cfg;
+}
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+class TrainServeRoundtripTest : public ::testing::Test {
+ protected:
+  // Train once for the whole suite; every test reads the same artifacts.
+  static void SetUpTestSuite() {
+    data_ = new kg::AlignedKgPair(TinyData());
+    model_ = new core::DesalignModel(TinyConfig());
+    model_->Fit(*data_);
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    model_ = nullptr;
+    delete data_;
+    data_ = nullptr;
+  }
+
+  static kg::AlignedKgPair* data_;
+  static core::DesalignModel* model_;
+};
+
+kg::AlignedKgPair* TrainServeRoundtripTest::data_ = nullptr;
+core::DesalignModel* TrainServeRoundtripTest::model_ = nullptr;
+
+// Target-KG block of the fused table, in serving's local id space.
+std::vector<float> TargetBlock(core::DesalignModel& model) {
+  auto embeddings = model.FusedEmbeddings();
+  const int64_t num_source = model.num_source_entities();
+  const int64_t d = embeddings->cols();
+  return std::vector<float>(
+      embeddings->data().begin() + num_source * d, embeddings->data().end());
+}
+
+TEST_F(TrainServeRoundtripTest, CheckpointRoundTripIsBitExact) {
+  auto block = TargetBlock(*model_);
+  auto embeddings = model_->FusedEmbeddings();
+  const int64_t num_target =
+      embeddings->rows() - model_->num_source_entities();
+  const auto built = serve::EmbeddingStore::FromRows(
+      num_target, embeddings->cols(), std::move(block));
+  const std::string path = TempPath("desalign_roundtrip_store.ckpt");
+  ASSERT_TRUE(built.Save(path).ok());
+  auto loaded = serve::EmbeddingStore::Load(path);
+  std::filesystem::remove(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().size(), built.size());
+  ASSERT_EQ(loaded.value().dim(), built.dim());
+  EXPECT_EQ(std::memcmp(loaded.value().data().data(), built.data().data(),
+                        built.data().size() * sizeof(float)),
+            0)
+      << "checkpoint round trip altered normalized embeddings";
+}
+
+TEST_F(TrainServeRoundtripTest, RetrievalAgreesWithInMemoryModel) {
+  auto embeddings = model_->FusedEmbeddings();
+  const int64_t num_source = model_->num_source_entities();
+  const int64_t num_target = embeddings->rows() - num_source;
+  const int64_t d = embeddings->cols();
+
+  const auto built = serve::EmbeddingStore::FromRows(
+      num_target, d, TargetBlock(*model_));
+  const std::string path = TempPath("desalign_roundtrip_topk.ckpt");
+  ASSERT_TRUE(built.Save(path).ok());
+  auto loaded = serve::EmbeddingStore::Load(path);
+  std::filesystem::remove(path);
+  ASSERT_TRUE(loaded.ok());
+
+  // Queries: every test pair's source entity, straight from the model.
+  const int64_t k = 5;
+  std::vector<float> queries;
+  std::vector<int64_t> query_sources;
+  for (const auto& pair : data_->test_pairs) {
+    const float* row = embeddings->data().data() + pair.source * d;
+    queries.insert(queries.end(), row, row + d);
+    query_sources.push_back(pair.source);
+  }
+  const int64_t num_queries =
+      static_cast<int64_t>(query_sources.size());
+  ASSERT_GT(num_queries, 0);
+
+  serve::TopKRetriever retriever(&loaded.value());
+  const auto served = retriever.Retrieve(queries.data(), num_queries, k);
+  const auto brute =
+      retriever.RetrieveBruteForce(queries.data(), num_queries, k);
+  ASSERT_EQ(served.size(), brute.size());
+
+  // In-memory prediction: double-precision cosine against the raw fused
+  // target rows (the model's own view, no store normalization path).
+  for (int64_t q = 0; q < num_queries; ++q) {
+    ASSERT_EQ(served[q].ids, brute[q].ids) << "query " << q;
+    ASSERT_EQ(served[q].scores.size(), static_cast<size_t>(k));
+    const float* query_row =
+        embeddings->data().data() + query_sources[q] * d;
+    double qnorm = 0.0;
+    for (int64_t c = 0; c < d; ++c) {
+      qnorm += static_cast<double>(query_row[c]) * query_row[c];
+    }
+    qnorm = std::sqrt(qnorm);
+    std::vector<std::pair<double, int64_t>> scored;
+    scored.reserve(num_target);
+    for (int64_t t = 0; t < num_target; ++t) {
+      const float* target_row =
+          embeddings->data().data() + (num_source + t) * d;
+      double dot = 0.0;
+      double tnorm = 0.0;
+      for (int64_t c = 0; c < d; ++c) {
+        dot += static_cast<double>(query_row[c]) * target_row[c];
+        tnorm += static_cast<double>(target_row[c]) * target_row[c];
+      }
+      tnorm = std::sqrt(tnorm);
+      const double cosine =
+          (qnorm > 0.0 && tnorm > 0.0) ? dot / (qnorm * tnorm) : 0.0;
+      // Same tie order as TopKResult: score descending, id ascending.
+      scored.emplace_back(-cosine, t);
+    }
+    std::sort(scored.begin(), scored.end());
+    for (int64_t i = 0; i < k; ++i) {
+      EXPECT_EQ(served[q].ids[i], scored[i].second)
+          << "query " << q << " rank " << i;
+      EXPECT_NEAR(served[q].scores[i], -scored[i].first, 1e-4)
+          << "query " << q << " rank " << i;
+    }
+  }
+}
+
+TEST_F(TrainServeRoundtripTest, ModelCheckpointRestoresIdenticalModel) {
+  const std::string path = TempPath("desalign_roundtrip_model.ckpt");
+  ASSERT_TRUE(model_->SaveCheckpoint(path).ok());
+
+  core::DesalignModel restored(TinyConfig(/*seed=*/99));  // different init
+  restored.Warmup(*data_);
+  ASSERT_TRUE(restored.LoadCheckpoint(path).ok());
+  std::filesystem::remove(path);
+
+  auto original = model_->FusedEmbeddings();
+  auto reloaded = restored.FusedEmbeddings();
+  ASSERT_EQ(original->size(), reloaded->size());
+  EXPECT_EQ(std::memcmp(original->data().data(), reloaded->data().data(),
+                        static_cast<size_t>(original->size()) * sizeof(float)),
+            0)
+      << "restored model computes different embeddings";
+
+  auto sim_a = model_->DecodeSimilarity(*data_);
+  auto sim_b = restored.DecodeSimilarity(*data_);
+  ASSERT_EQ(sim_a->size(), sim_b->size());
+  EXPECT_EQ(std::memcmp(sim_a->data().data(), sim_b->data().data(),
+                        static_cast<size_t>(sim_a->size()) * sizeof(float)),
+            0)
+      << "restored model decodes different similarities";
+}
+
+}  // namespace
+}  // namespace desalign

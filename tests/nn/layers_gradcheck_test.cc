@@ -1,0 +1,184 @@
+// Numeric gradient checks for the composite nn layers. layers_test.cc
+// covers shapes and gradient *flow*; here every parameter and input of
+// Linear, GatEncoder and CrossModalAttention is verified against central
+// finite differences, including across randomized shapes.
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+#include "nn/layers.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+#include "testing/grad_check.h"
+
+namespace desalign::nn {
+namespace {
+
+namespace ops = desalign::tensor;
+using tensor::Tensor;
+using tensor::TensorPtr;
+
+TensorPtr RandomInput(int64_t r, int64_t c, uint64_t seed,
+                      bool requires_grad = true) {
+  common::Rng rng(seed);
+  auto t = Tensor::Create(r, c, requires_grad);
+  tensor::FillNormal(*t, rng, 0.0f, 0.8f);
+  return t;
+}
+
+graph::Graph::DirectedEdges TriangleEdges() {
+  graph::Graph g(3, {{0, 1}, {1, 2}, {0, 2}});
+  return g.MessagePassingEdges(true);
+}
+
+TEST(LinearGradCheckTest, ParametersAndInput) {
+  common::Rng rng(11);
+  Linear fc(3, 2, rng);
+  auto x = RandomInput(4, 3, 12);
+  auto inputs = fc.Parameters();
+  inputs.push_back(x);
+  desalign::testing::CheckGradients(inputs, [&] {
+    return ops::Sum(ops::Square(fc.Forward(x)));
+  });
+}
+
+TEST(LinearGradCheckTest, WithoutBias) {
+  common::Rng rng(13);
+  Linear fc(2, 3, rng, /*with_bias=*/false);
+  auto x = RandomInput(3, 2, 14);
+  auto inputs = fc.Parameters();
+  inputs.push_back(x);
+  desalign::testing::CheckGradients(inputs, [&] {
+    return ops::Sum(ops::Square(fc.Forward(x)));
+  });
+}
+
+// Randomized shapes for Linear.
+class LinearShapeGradTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(LinearShapeGradTest, Gradients) {
+  auto [n, in_dim, out_dim] = GetParam();
+  const uint64_t seed = 700 + static_cast<uint64_t>(n * 17 + in_dim * 3 +
+                                                    out_dim);
+  common::Rng rng(seed);
+  Linear fc(in_dim, out_dim, rng);
+  auto x = RandomInput(n, in_dim, seed + 1);
+  auto inputs = fc.Parameters();
+  inputs.push_back(x);
+  desalign::testing::CheckGradients(inputs, [&] {
+    return ops::Sum(ops::Square(fc.Forward(x)));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, LinearShapeGradTest,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(1, 4, 2),
+                      std::make_tuple(5, 2, 2), std::make_tuple(3, 3, 5)));
+
+TEST(GatEncoderGradCheckTest, MultiLayerParametersAndInput) {
+  common::Rng rng(15);
+  GatEncoder enc(4, /*num_heads=*/2, /*num_layers=*/2, rng);
+  auto x = RandomInput(3, 4, 16);
+  auto edges = TriangleEdges();
+  auto inputs = enc.Parameters();
+  inputs.push_back(x);
+  desalign::testing::CheckGradients(inputs, [&] {
+    return ops::Sum(ops::Square(enc.Forward(x, edges, 3)));
+  });
+}
+
+TEST(GatEncoderGradCheckTest, SingleHeadSingleLayer) {
+  common::Rng rng(17);
+  GatEncoder enc(2, /*num_heads=*/1, /*num_layers=*/1, rng);
+  auto x = RandomInput(3, 2, 18);
+  auto edges = TriangleEdges();
+  auto inputs = enc.Parameters();
+  inputs.push_back(x);
+  desalign::testing::CheckGradients(inputs, [&] {
+    return ops::Sum(ops::Square(enc.Forward(x, edges, 3)));
+  });
+}
+
+std::vector<TensorPtr> ModalInputs(int64_t num_modalities, int64_t n,
+                                   int64_t d, uint64_t seed) {
+  std::vector<TensorPtr> inputs;
+  for (int64_t m = 0; m < num_modalities; ++m) {
+    inputs.push_back(RandomInput(n, d, seed + static_cast<uint64_t>(m)));
+  }
+  return inputs;
+}
+
+TEST(CrossModalAttentionGradCheckTest, AllParametersAndInputs) {
+  common::Rng rng(19);
+  const int64_t dim = 4;
+  CrossModalAttention caw(dim, /*num_modalities=*/2, /*num_heads=*/2, rng);
+  auto modal = ModalInputs(2, /*n=*/3, dim, 20);
+  auto inputs = caw.Parameters();
+  for (const auto& m : modal) inputs.push_back(m);
+  desalign::testing::CheckGradients(inputs, [&] {
+    auto out = caw.Forward(modal);
+    TensorPtr total;
+    for (const auto& fused : out.fused) {
+      auto term = ops::Sum(ops::Square(fused));
+      total = total ? ops::Add(total, term) : term;
+    }
+    return total;
+  });
+}
+
+TEST(CrossModalAttentionGradCheckTest, MidLayerOutputsAreDifferentiable) {
+  common::Rng rng(21);
+  const int64_t dim = 4;
+  CrossModalAttention caw(dim, /*num_modalities=*/2, /*num_heads=*/1, rng);
+  auto modal = ModalInputs(2, /*n=*/2, dim, 22);
+  // Only the modal inputs: fused_mid is taken before the FFN and the
+  // second LayerNorm, so those parameters legitimately receive no
+  // gradient from a mid-only loss.
+  std::vector<TensorPtr> inputs(modal.begin(), modal.end());
+  desalign::testing::CheckGradients(inputs, [&] {
+    auto out = caw.Forward(modal);
+    TensorPtr total;
+    for (const auto& mid : out.fused_mid) {
+      auto term = ops::Sum(ops::Square(mid));
+      total = total ? ops::Add(total, term) : term;
+    }
+    return total;
+  });
+}
+
+// Randomized shapes for the attention block (modalities x heads).
+class CrossModalShapeGradTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CrossModalShapeGradTest, Gradients) {
+  auto [num_modalities, num_heads] = GetParam();
+  const int64_t dim = 4;  // must be divisible by num_heads
+  const uint64_t seed =
+      800 + static_cast<uint64_t>(num_modalities * 11 + num_heads);
+  common::Rng rng(seed);
+  CrossModalAttention caw(dim, num_modalities, num_heads, rng);
+  auto modal = ModalInputs(num_modalities, /*n=*/2, dim, seed + 1);
+  auto inputs = caw.Parameters();
+  for (const auto& m : modal) inputs.push_back(m);
+  desalign::testing::CheckGradients(inputs, [&] {
+    auto out = caw.Forward(modal);
+    TensorPtr total;
+    for (const auto& fused : out.fused) {
+      auto term = ops::Sum(ops::Square(fused));
+      total = total ? ops::Add(total, term) : term;
+    }
+    return total;
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CrossModalShapeGradTest,
+    ::testing::Values(std::make_tuple(2, 1), std::make_tuple(3, 2),
+                      std::make_tuple(4, 4)));
+
+}  // namespace
+}  // namespace desalign::nn

@@ -1,0 +1,124 @@
+// Contention tests for the obs primitives. These are the tests the
+// `sanitizer` CTest label exists for: under DESALIGN_SANITIZE=thread they
+// prove Record/Increment/Collect and concurrent span construction are
+// race-free, and in a normal build they check no updates are lost.
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace desalign::obs {
+namespace {
+
+constexpr int kThreads = 8;
+constexpr int kPerThread = 5000;
+
+void RunOnThreads(const std::function<void(int)>& body) {
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] { body(t); });
+  }
+  for (auto& w : workers) w.join();
+}
+
+TEST(ObsConcurrencyTest, CounterLosesNoIncrements) {
+  Counter counter;
+  RunOnThreads([&](int) {
+    for (int i = 0; i < kPerThread; ++i) counter.Increment();
+  });
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+}
+
+TEST(ObsConcurrencyTest, HistogramLosesNoRecordsUnderContention) {
+  Histogram hist;
+  RunOnThreads([&](int t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      hist.Record(static_cast<double>(t + 1));
+    }
+  });
+  const auto snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, kThreads * kPerThread);
+  // Sum of t+1 over threads, kPerThread each.
+  const double expected_sum =
+      kPerThread * (kThreads * (kThreads + 1)) / 2.0;
+  EXPECT_DOUBLE_EQ(snap.sum, expected_sum);
+  EXPECT_DOUBLE_EQ(snap.min, 1.0);
+  EXPECT_DOUBLE_EQ(snap.max, static_cast<double>(kThreads));
+  int64_t bucket_total = 0;
+  for (int64_t c : snap.counts) bucket_total += c;
+  EXPECT_EQ(bucket_total, snap.count);
+}
+
+TEST(ObsConcurrencyTest, RegistryLookupsRaceSafely) {
+  MetricsRegistry registry;
+  RunOnThreads([&](int t) {
+    for (int i = 0; i < 500; ++i) {
+      registry.GetCounter("shared").Increment();
+      registry.GetCounter("own." + std::to_string(t)).Increment();
+      registry.GetHistogram("lat").Record(1.0);
+      registry.GetGauge("g").Set(static_cast<double>(i));
+    }
+  });
+  const auto snap = registry.Collect();
+  EXPECT_EQ(snap.counters.at("shared"), kThreads * 500);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(snap.counters.at("own." + std::to_string(t)), 500);
+  }
+  EXPECT_EQ(snap.histograms.at("lat").count, kThreads * 500);
+}
+
+TEST(ObsConcurrencyTest, CollectWhileRecordingIsSafe) {
+  MetricsRegistry registry;
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      const auto snap = registry.Collect();
+      if (snap.histograms.count("h")) {
+        EXPECT_GE(snap.histograms.at("h").count, 0);
+      }
+    }
+  });
+  RunOnThreads([&](int) {
+    for (int i = 0; i < kPerThread; ++i) registry.GetHistogram("h").Record(2.0);
+  });
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(registry.Collect().histograms.at("h").count,
+            kThreads * kPerThread);
+}
+
+TEST(ObsConcurrencyTest, SeriesAppendsFromManyThreads) {
+  Series series;
+  RunOnThreads([&](int) {
+    for (int i = 0; i < 1000; ++i) series.Append(1.0);
+  });
+  EXPECT_EQ(series.size(), kThreads * 1000);
+}
+
+TEST(ObsConcurrencyTest, SpansOnManyThreadsAggregateSafely) {
+  ResetSpanTree();
+  RunOnThreads([&](int) {
+    for (int i = 0; i < 200; ++i) {
+      TraceSpan outer("thread_phase");
+      TraceSpan inner("inner");
+    }
+  });
+  const auto roots = CollectSpanTree();
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_EQ(roots[0].name, "thread_phase");
+  EXPECT_EQ(roots[0].count, kThreads * 200);
+  const SpanNodeSnapshot* inner = roots[0].Child("inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->count, kThreads * 200);
+  ResetSpanTree();
+}
+
+}  // namespace
+}  // namespace desalign::obs

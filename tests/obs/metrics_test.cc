@@ -1,0 +1,167 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace desalign::obs {
+namespace {
+
+TEST(CounterTest, IncrementAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST(GaugeTest, LastWriteWins) {
+  Gauge g;
+  g.Set(1.5);
+  g.Set(-2.25);
+  EXPECT_DOUBLE_EQ(g.value(), -2.25);
+  g.Reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(HistogramTest, ExponentialBucketEdges) {
+  const auto edges = Histogram::ExponentialBuckets(1.0, 2.0, 4);
+  ASSERT_EQ(edges.size(), 4u);
+  EXPECT_DOUBLE_EQ(edges[0], 1.0);
+  EXPECT_DOUBLE_EQ(edges[3], 8.0);
+}
+
+TEST(HistogramTest, EmptySnapshotIsZero) {
+  Histogram h;
+  const auto snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 0);
+  EXPECT_DOUBLE_EQ(snap.sum, 0.0);
+  EXPECT_DOUBLE_EQ(snap.min, 0.0);
+  EXPECT_DOUBLE_EQ(snap.max, 0.0);
+  EXPECT_DOUBLE_EQ(snap.mean, 0.0);
+  EXPECT_DOUBLE_EQ(snap.p50, 0.0);
+  EXPECT_DOUBLE_EQ(snap.p99, 0.0);
+}
+
+TEST(HistogramTest, SingleSampleQuantilesAreExact) {
+  Histogram h;
+  h.Record(12.34);
+  const auto snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 1);
+  EXPECT_DOUBLE_EQ(snap.min, 12.34);
+  EXPECT_DOUBLE_EQ(snap.max, 12.34);
+  EXPECT_DOUBLE_EQ(snap.p50, 12.34);
+  EXPECT_DOUBLE_EQ(snap.p95, 12.34);
+  EXPECT_DOUBLE_EQ(snap.p99, 12.34);
+}
+
+TEST(HistogramTest, DuplicateSamplesQuantilesAreExact) {
+  Histogram h;
+  for (int i = 0; i < 500; ++i) h.Record(0.125);
+  const auto snap = h.Snapshot();
+  EXPECT_DOUBLE_EQ(snap.p50, 0.125);
+  EXPECT_DOUBLE_EQ(snap.p99, 0.125);
+  EXPECT_DOUBLE_EQ(snap.mean, 0.125);
+}
+
+TEST(HistogramTest, QuantilesWithinBucketResolution) {
+  Histogram h;  // default buckets, ~10% relative width
+  for (int i = 1; i <= 1000; ++i) h.Record(static_cast<double>(i));
+  const auto snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 1000);
+  EXPECT_DOUBLE_EQ(snap.max, 1000.0);
+  EXPECT_NEAR(snap.p50, 500.0, 50.0);
+  EXPECT_NEAR(snap.p95, 950.0, 95.0);
+  EXPECT_NEAR(snap.p99, 990.0, 99.0);
+}
+
+TEST(HistogramTest, OverflowBucketCatchesValuesAboveLastEdge) {
+  Histogram h(std::vector<double>{1.0, 2.0});
+  h.Record(0.5);
+  h.Record(1.5);
+  h.Record(100.0);
+  const auto snap = h.Snapshot();
+  ASSERT_EQ(snap.counts.size(), 3u);
+  EXPECT_EQ(snap.counts[0], 1);
+  EXPECT_EQ(snap.counts[1], 1);
+  EXPECT_EQ(snap.counts[2], 1);
+  EXPECT_DOUBLE_EQ(snap.max, 100.0);
+  // The top quantile interpolates inside the overflow bucket using the
+  // observed max as its upper edge.
+  EXPECT_LE(snap.p99, 100.0);
+  EXPECT_GT(snap.p99, 2.0);
+}
+
+TEST(HistogramTest, ResetClearsInPlace) {
+  Histogram h;
+  h.Record(3.0);
+  h.Reset();
+  const auto snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 0);
+  EXPECT_DOUBLE_EQ(snap.max, 0.0);
+  h.Record(4.0);
+  EXPECT_EQ(h.count(), 1);
+}
+
+TEST(SeriesTest, PreservesRecordingOrder) {
+  Series s;
+  s.Append(3.0);
+  s.Append(1.0);
+  s.Append(2.0);
+  EXPECT_EQ(s.size(), 3);
+  const auto values = s.values();
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_DOUBLE_EQ(values[0], 3.0);
+  EXPECT_DOUBLE_EQ(values[1], 1.0);
+  EXPECT_DOUBLE_EQ(values[2], 2.0);
+  s.Reset();
+  EXPECT_EQ(s.size(), 0);
+}
+
+TEST(MetricsRegistryTest, FindOrCreateReturnsStableReferences) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("x");
+  Counter& b = registry.GetCounter("x");
+  EXPECT_EQ(&a, &b);
+  a.Increment();
+  EXPECT_EQ(b.value(), 1);
+  // References survive Reset and further creations.
+  registry.GetCounter("y");
+  registry.ResetAll();
+  EXPECT_EQ(a.value(), 0);
+  a.Increment(5);
+  EXPECT_EQ(registry.GetCounter("x").value(), 5);
+}
+
+TEST(MetricsRegistryTest, CollectSeesEveryKind) {
+  MetricsRegistry registry;
+  registry.GetCounter("c").Increment(3);
+  registry.GetGauge("g").Set(2.5);
+  registry.GetHistogram("h").Record(1.0);
+  registry.GetSeries("s").Append(9.0);
+  const auto snap = registry.Collect();
+  EXPECT_EQ(snap.counters.at("c"), 3);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("g"), 2.5);
+  EXPECT_EQ(snap.histograms.at("h").count, 1);
+  ASSERT_EQ(snap.series.at("s").size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.series.at("s")[0], 9.0);
+}
+
+TEST(MetricsRegistryTest, DetailFlagDefaultsOff) {
+  MetricsRegistry registry;
+  EXPECT_FALSE(registry.detail_enabled());
+  registry.set_detail_enabled(true);
+  EXPECT_TRUE(registry.detail_enabled());
+  registry.set_detail_enabled(false);
+  EXPECT_FALSE(registry.detail_enabled());
+}
+
+TEST(MetricsRegistryTest, GlobalIsASingleton) {
+  EXPECT_EQ(&MetricsRegistry::Global(), &MetricsRegistry::Global());
+}
+
+}  // namespace
+}  // namespace desalign::obs

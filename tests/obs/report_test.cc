@@ -1,0 +1,111 @@
+#include "obs/report.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace desalign::obs {
+namespace {
+
+class ReportTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ResetSpanTree(); }
+
+  MetricsRegistry registry_;
+
+  RunReport MakeReport() {
+    registry_.GetCounter("train.epochs").Increment(5);
+    registry_.GetGauge("train.loss").Set(0.25);
+    registry_.GetHistogram("serve.latency_ms").Record(2.0);
+    registry_.GetSeries("propagation.dirichlet_energy").Append(1.5);
+    registry_.GetSeries("propagation.dirichlet_energy").Append(0.75);
+    {
+      TraceSpan train("train");
+      TraceSpan epoch("epoch");
+    }
+    return RunReport::Collect(registry_);
+  }
+
+  static std::string TempPath(const std::string& name) {
+    return (std::filesystem::temp_directory_path() / name).string();
+  }
+};
+
+TEST_F(ReportTest, JsonContainsEveryKind) {
+  const std::string json = MakeReport().ToJson();
+  EXPECT_NE(json.find("\"counters\":{\"train.epochs\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"train.loss\":0.25"), std::string::npos);
+  EXPECT_NE(json.find("\"serve.latency_ms\":{\"count\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"propagation.dirichlet_energy\":[1.5,0.75]"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"train\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"epoch\""), std::string::npos);
+  // Only the non-empty histogram bucket is listed.
+  EXPECT_NE(json.find("\"buckets\":[{\"le\":"), std::string::npos);
+}
+
+TEST_F(ReportTest, JsonHandlesNonFiniteGauges) {
+  registry_.GetGauge("bad").Set(std::numeric_limits<double>::infinity());
+  const std::string json = RunReport::Collect(registry_).ToJson();
+  EXPECT_NE(json.find("\"bad\":null"), std::string::npos);
+}
+
+TEST_F(ReportTest, JsonEscapesNames) {
+  registry_.GetCounter("weird\"name\\with\nstuff").Increment();
+  const std::string json = RunReport::Collect(registry_).ToJson();
+  EXPECT_NE(json.find("\"weird\\\"name\\\\with\\nstuff\""), std::string::npos);
+}
+
+TEST_F(ReportTest, CsvHasHeaderAndAllKinds) {
+  const std::string csv = MakeReport().ToCsv();
+  std::istringstream lines(csv);
+  std::string first;
+  std::getline(lines, first);
+  EXPECT_EQ(first, "kind,name,field,value");
+  EXPECT_NE(csv.find("counter,train.epochs,value,5"), std::string::npos);
+  EXPECT_NE(csv.find("gauge,train.loss,value,0.25"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,serve.latency_ms,count,1"),
+            std::string::npos);
+  EXPECT_NE(csv.find("series,propagation.dirichlet_energy,0,1.5"),
+            std::string::npos);
+  EXPECT_NE(csv.find("series,propagation.dirichlet_energy,1,0.75"),
+            std::string::npos);
+  EXPECT_NE(csv.find("span,train,count,1"), std::string::npos);
+  EXPECT_NE(csv.find("span,train/epoch,count,1"), std::string::npos);
+}
+
+TEST_F(ReportTest, WriteToDispatchesOnExtension) {
+  const RunReport report = MakeReport();
+  const std::string json_path = TempPath("desalign_report_test.json");
+  const std::string csv_path = TempPath("desalign_report_test.csv");
+  ASSERT_TRUE(report.WriteTo(json_path).ok());
+  ASSERT_TRUE(report.WriteTo(csv_path).ok());
+  std::ifstream json_in(json_path);
+  std::string json((std::istreambuf_iterator<char>(json_in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_EQ(json.front(), '{');
+  std::ifstream csv_in(csv_path);
+  std::string csv_first;
+  std::getline(csv_in, csv_first);
+  EXPECT_EQ(csv_first, "kind,name,field,value");
+  std::remove(json_path.c_str());
+  std::remove(csv_path.c_str());
+}
+
+TEST_F(ReportTest, WriteToRejectsUnknownExtension) {
+  const auto status = MakeReport().WriteTo(TempPath("report.txt"));
+  EXPECT_FALSE(status.ok());
+}
+
+TEST_F(ReportTest, WriteToFailsOnUnwritablePath) {
+  const auto status =
+      MakeReport().WriteTo("/nonexistent-dir/deeper/report.json");
+  EXPECT_FALSE(status.ok());
+}
+
+}  // namespace
+}  // namespace desalign::obs

@@ -1,0 +1,92 @@
+#include "obs/trace.h"
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace desalign::obs {
+namespace {
+
+// The span tree is process-global; each test starts from a clean slate.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ResetSpanTree(); }
+};
+
+TEST_F(TraceTest, NestedScopesBuildATree) {
+  {
+    TraceSpan outer("outer");
+    {
+      TraceSpan inner("inner");
+    }
+    {
+      TraceSpan inner("inner");
+    }
+    TraceSpan sibling("sibling");
+  }
+  const auto roots = CollectSpanTree();
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_EQ(roots[0].name, "outer");
+  EXPECT_EQ(roots[0].count, 1);
+  ASSERT_EQ(roots[0].children.size(), 2u);
+  const SpanNodeSnapshot* inner = roots[0].Child("inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->count, 2);
+  const SpanNodeSnapshot* sibling = roots[0].Child("sibling");
+  ASSERT_NE(sibling, nullptr);
+  EXPECT_EQ(sibling->count, 1);
+  EXPECT_EQ(roots[0].Child("missing"), nullptr);
+}
+
+TEST_F(TraceTest, RepeatedVisitsAccumulate) {
+  for (int i = 0; i < 10; ++i) {
+    TraceSpan span("loop");
+  }
+  const auto roots = CollectSpanTree();
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_EQ(roots[0].count, 10);
+  EXPECT_GE(roots[0].total_seconds, 0.0);
+}
+
+TEST_F(TraceTest, ParentTimeCoversChildTime) {
+  {
+    TraceSpan outer("outer");
+    TraceSpan inner("inner");
+    // Busy-wait a little so the timings are clearly nonzero.
+    volatile double sink = 0.0;
+    for (int i = 0; i < 100000; ++i) sink += static_cast<double>(i);
+    (void)sink;
+  }
+  const auto roots = CollectSpanTree();
+  ASSERT_EQ(roots.size(), 1u);
+  const SpanNodeSnapshot* inner = roots[0].Child("inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_GT(inner->total_seconds, 0.0);
+  EXPECT_GE(roots[0].total_seconds, inner->total_seconds);
+}
+
+TEST_F(TraceTest, SpansOnOtherThreadsBecomeSeparateRoots) {
+  {
+    TraceSpan main_span("main_phase");
+    std::thread worker([] {
+      TraceSpan span("worker_phase");
+    });
+    worker.join();
+  }
+  const auto roots = CollectSpanTree();
+  ASSERT_EQ(roots.size(), 2u);
+  EXPECT_EQ(roots[0].name, "main_phase");
+  EXPECT_EQ(roots[1].name, "worker_phase");
+  EXPECT_TRUE(roots[0].children.empty());
+}
+
+TEST_F(TraceTest, ResetClearsTheTree) {
+  {
+    TraceSpan span("phase");
+  }
+  ResetSpanTree();
+  EXPECT_TRUE(CollectSpanTree().empty());
+}
+
+}  // namespace
+}  // namespace desalign::obs

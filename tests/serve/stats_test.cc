@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
+
 namespace desalign::serve {
 namespace {
 
@@ -22,21 +24,73 @@ TEST(ServeStatsTest, CountsAndPercentiles) {
   EXPECT_DOUBLE_EQ(snap.mean_batch_size, 50.0);
   EXPECT_DOUBLE_EQ(snap.mean_latency_ms, 50.5);
   EXPECT_DOUBLE_EQ(snap.max_latency_ms, 100.0);
-  // 1..100 fits in the reservoir, so percentiles are exact (nearest rank).
-  EXPECT_NEAR(snap.p50_latency_ms, 50.0, 1.0);
-  EXPECT_NEAR(snap.p95_latency_ms, 95.0, 1.0);
+  // Percentiles interpolate within ~10%-wide histogram buckets, so allow
+  // one bucket of slack (the pre-migration reservoir was exact here).
+  EXPECT_NEAR(snap.p50_latency_ms, 50.0, 5.0);
+  EXPECT_NEAR(snap.p95_latency_ms, 95.0, 9.5);
+  EXPECT_NEAR(snap.p99_latency_ms, 99.0, 9.9);
   EXPECT_GT(snap.queries_per_second, 0.0);
 }
 
-TEST(ServeStatsTest, ReservoirBoundsMemoryButTracksTail) {
-  ServeStats stats(/*reservoir_capacity=*/256);
+TEST(ServeStatsTest, FixedBucketsBoundMemoryButTrackTail) {
+  ServeStats stats;
   for (int i = 0; i < 20000; ++i) {
     stats.RecordQuery(i < 19000 ? 1.0 : 100.0);  // 5% slow tail
   }
   const auto snap = stats.Snapshot();
   EXPECT_EQ(snap.queries, 20000);
   EXPECT_DOUBLE_EQ(snap.max_latency_ms, 100.0);
-  EXPECT_NEAR(snap.p50_latency_ms, 1.0, 1e-9);
+  EXPECT_NEAR(snap.p50_latency_ms, 1.0, 0.1);
+  // The tail starts exactly at the 95th percentile; both tail percentiles
+  // must land in the slow mode, not between the modes.
+  EXPECT_NEAR(snap.p99_latency_ms, 100.0, 10.0);
+}
+
+// --- Percentile edge cases locked in across the histogram migration ---
+
+TEST(ServeStatsTest, EmptySnapshotIsAllZero) {
+  ServeStats stats;
+  const auto snap = stats.Snapshot();
+  EXPECT_EQ(snap.queries, 0);
+  EXPECT_DOUBLE_EQ(snap.mean_latency_ms, 0.0);
+  EXPECT_DOUBLE_EQ(snap.p50_latency_ms, 0.0);
+  EXPECT_DOUBLE_EQ(snap.p95_latency_ms, 0.0);
+  EXPECT_DOUBLE_EQ(snap.p99_latency_ms, 0.0);
+  EXPECT_DOUBLE_EQ(snap.max_latency_ms, 0.0);
+}
+
+TEST(ServeStatsTest, SingleSamplePercentilesAreExact) {
+  ServeStats stats;
+  stats.RecordQuery(3.25);
+  const auto snap = stats.Snapshot();
+  EXPECT_EQ(snap.queries, 1);
+  EXPECT_DOUBLE_EQ(snap.mean_latency_ms, 3.25);
+  EXPECT_DOUBLE_EQ(snap.p50_latency_ms, 3.25);
+  EXPECT_DOUBLE_EQ(snap.p95_latency_ms, 3.25);
+  EXPECT_DOUBLE_EQ(snap.p99_latency_ms, 3.25);
+  EXPECT_DOUBLE_EQ(snap.max_latency_ms, 3.25);
+}
+
+TEST(ServeStatsTest, DuplicateSamplePercentilesAreExact) {
+  ServeStats stats;
+  for (int i = 0; i < 1000; ++i) stats.RecordQuery(7.5);
+  const auto snap = stats.Snapshot();
+  EXPECT_DOUBLE_EQ(snap.p50_latency_ms, 7.5);
+  EXPECT_DOUBLE_EQ(snap.p95_latency_ms, 7.5);
+  EXPECT_DOUBLE_EQ(snap.p99_latency_ms, 7.5);
+  EXPECT_DOUBLE_EQ(snap.mean_latency_ms, 7.5);
+}
+
+TEST(ServeStatsTest, ReportsThroughSharedRegistry) {
+  obs::MetricsRegistry registry;
+  ServeStats stats(&registry, "serve_test");
+  stats.RecordQuery(2.0);
+  stats.RecordBatch(4);
+  const auto collected = registry.Collect();
+  ASSERT_TRUE(collected.histograms.count("serve_test.latency_ms"));
+  ASSERT_TRUE(collected.histograms.count("serve_test.batch_size"));
+  EXPECT_EQ(collected.histograms.at("serve_test.latency_ms").count, 1);
+  EXPECT_DOUBLE_EQ(collected.histograms.at("serve_test.batch_size").sum, 4.0);
 }
 
 TEST(ServeStatsTest, ResetClearsEverything) {
@@ -73,6 +127,7 @@ TEST(ServeStatsTest, PrintTableShowsPercentileColumns) {
   stats.PrintTable(os);
   EXPECT_NE(os.str().find("p50(ms)"), std::string::npos);
   EXPECT_NE(os.str().find("p95(ms)"), std::string::npos);
+  EXPECT_NE(os.str().find("p99(ms)"), std::string::npos);
   EXPECT_NE(os.str().find("qps"), std::string::npos);
 }
 

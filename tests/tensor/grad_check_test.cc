@@ -248,5 +248,54 @@ TEST_P(SoftmaxWidthGradTest, Gradients) {
 INSTANTIATE_TEST_SUITE_P(Widths, SoftmaxWidthGradTest,
                          ::testing::Values(1, 2, 3, 4, 8, 16));
 
+TEST(GradCheckTest, ScaleAddScalarNeg) {
+  auto a = RandomParam(3, 4, 60);
+  CheckGradients({a}, [&] { return Sum(Scale(a, 2.5f)); });
+  CheckGradients({a}, [&] { return Sum(Scale(a, -0.75f)); });
+  CheckGradients({a}, [&] { return Sum(Square(AddScalar(a, 1.25f))); });
+  CheckGradients({a}, [&] { return Sum(Square(Neg(a))); });
+}
+
+TEST(GradCheckTest, RowDot) {
+  auto a = RandomParam(4, 3, 61);
+  auto b = RandomParam(4, 3, 62);
+  CheckGradients({a, b}, [&] { return Sum(Square(RowDot(a, b))); });
+}
+
+TEST(GradCheckTest, SumSquares) {
+  auto a = RandomParam(3, 5, 63, 0.7f);
+  CheckGradients({a}, [&] { return SumSquares(a); });
+}
+
+TEST(GradCheckTest, SumSquaresComposesLikeDirichletEnergy) {
+  // The shape MmslPenalty builds: SumSquares(x) − Sum(x ⊙ f(x)).
+  auto a = RandomParam(3, 3, 64, 0.6f);
+  CheckGradients(
+      {a}, [&] { return Sub(SumSquares(a), Sum(Mul(a, Tanh(a)))); });
+}
+
+// Property sweep: the cheap elementwise/reduction ops across randomized
+// shapes, seeded per shape so failures reproduce exactly.
+class ElementwiseShapeGradTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ElementwiseShapeGradTest, Gradients) {
+  auto [r, c] = GetParam();
+  const uint64_t seed = 500 + static_cast<uint64_t>(r * 13 + c);
+  auto a = RandomParam(r, c, seed, 0.8f);
+  auto b = RandomParam(r, c, seed + 1, 0.8f);
+  CheckGradients({a}, [&] { return Sum(Scale(a, 1.5f)); });
+  CheckGradients({a}, [&] { return Sum(Square(AddScalar(a, -0.5f))); });
+  CheckGradients({a}, [&] { return Sum(Square(Neg(a))); });
+  CheckGradients({a, b}, [&] { return Sum(Square(RowDot(a, b))); });
+  CheckGradients({a}, [&] { return SumSquares(a); });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ElementwiseShapeGradTest,
+    ::testing::Values(std::make_tuple(1, 1), std::make_tuple(1, 7),
+                      std::make_tuple(6, 1), std::make_tuple(3, 4),
+                      std::make_tuple(5, 5)));
+
 }  // namespace
 }  // namespace desalign::tensor

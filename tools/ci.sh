@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# CI entry point: the tier-1 gate plus the sanitizer gate.
+#
+#   tools/ci.sh            # full: tier-1 build + all tests, then TSan suite
+#   tools/ci.sh --tier1    # only the tier-1 gate (build + full ctest)
+#   tools/ci.sh --tsan     # only the ThreadSanitizer-labelled suite
+#
+# Test labels (see tests/CMakeLists.txt):
+#   unit        — fast, hermetic, single-component tests
+#   integration — multi-component pipelines (train → serve, determinism)
+#   sanitizer   — concurrency-sensitive suites worth re-running under TSan
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc)"
+
+run_tier1=1
+run_tsan=1
+case "${1:-}" in
+  --tier1) run_tsan=0 ;;
+  --tsan) run_tier1=0 ;;
+  "") ;;
+  *) echo "usage: tools/ci.sh [--tier1|--tsan]" >&2; exit 2 ;;
+esac
+
+if [[ "${run_tier1}" == 1 ]]; then
+  echo "== tier-1: build + full test suite =="
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build -j "${JOBS}"
+  ctest --test-dir build --output-on-failure -j "${JOBS}"
+fi
+
+if [[ "${run_tsan}" == 1 ]]; then
+  echo "== sanitizer: ThreadSanitizer build + labelled suites =="
+  cmake -B build-tsan -S . -DDESALIGN_SANITIZE=thread
+  cmake --build build-tsan -j "${JOBS}"
+  ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" -L sanitizer
+fi
+
+echo "ci.sh: all requested gates passed"
