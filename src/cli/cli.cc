@@ -5,6 +5,7 @@
 #include <atomic>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <future>
 #include <memory>
 #include <thread>
@@ -30,6 +31,7 @@
 #include "serve/embedding_store.h"
 #include "serve/stats.h"
 #include "serve/topk.h"
+#include "tensor/kernels/kernel_bench.h"
 
 namespace desalign::cli {
 
@@ -503,6 +505,69 @@ Status CmdServeBench(const std::vector<std::string>& args,
   return metrics.Finish(out);
 }
 
+// bench-kernels: the tensor kernel regression benchmark — times every major
+// kernel against the serial scalar reference across a thread-count x ISA
+// grid and writes BENCH_kernels.json. tools/ci.sh runs the --smoke
+// configuration; docs/PERFORMANCE.md documents the schema.
+Status CmdBenchKernels(const std::vector<std::string>& args,
+                       std::ostream& out) {
+  FlagParser parser(
+      "desalign bench-kernels: tensor kernel layer vs scalar reference");
+  std::string out_path;
+  std::string threads_list;
+  int64_t repeats;
+  bool smoke;
+  parser.AddString("out", "BENCH_kernels.json", "output JSON path",
+                   &out_path);
+  parser.AddString("threads-list", "1,2,4,8",
+                   "comma-separated thread counts to sweep", &threads_list);
+  parser.AddInt64("repeats", 5, "timing repeats per measurement (min wins)",
+                  &repeats);
+  parser.AddBool("smoke", false, "tiny shapes for CI smoke runs", &smoke);
+  auto argv = ToArgv(args);
+  DESALIGN_RETURN_NOT_OK(
+      parser.Parse(static_cast<int>(argv.size()), argv.data(), 0));
+  if (repeats <= 0) {
+    return Status::InvalidArgument("--repeats must be positive");
+  }
+
+  tensor::kernels::KernelBenchOptions options;
+  options.thread_counts.clear();
+  for (const auto& tok : common::Split(threads_list, ',')) {
+    const std::string trimmed(common::Trim(tok));
+    if (trimmed.empty()) continue;
+    const int t = std::atoi(trimmed.c_str());
+    if (t <= 0) {
+      return Status::InvalidArgument("--threads-list entries must be "
+                                     "positive integers, got '" + tok + "'");
+    }
+    options.thread_counts.push_back(t);
+  }
+  if (options.thread_counts.empty()) {
+    return Status::InvalidArgument("--threads-list is empty");
+  }
+  options.repeats = static_cast<int>(repeats);
+  options.smoke = smoke;
+
+  const auto report = tensor::kernels::RunKernelBench(options);
+
+  std::ofstream file(out_path);
+  if (!file) {
+    return Status::InvalidArgument("cannot open '" + out_path +
+                                   "' for writing");
+  }
+  file << report.ToJson();
+  file.close();
+
+  for (const auto& c : report.cases) {
+    out << c.op << " " << c.rows << "x" << c.cols << ": ref "
+        << common::FormatDouble(c.ref_ns_per_elem, 3) << " ns/elem, best "
+        << common::FormatDouble(c.BestSpeedup(), 2) << "x\n";
+  }
+  out << "wrote " << out_path << " (" << report.cases.size() << " cases)\n";
+  return Status::Ok();
+}
+
 constexpr char kTopLevelUsage[] =
     "usage: desalign <command> [flags]\n"
     "commands:\n"
@@ -511,6 +576,8 @@ constexpr char kTopLevelUsage[] =
     "  run        train + evaluate one alignment method\n"
     "  sweep      robustness sweep over image/text/seed ratio\n"
     "  serve-bench  train, checkpoint, then replay top-k alignment queries\n"
+    "  bench-kernels  time tensor kernels vs the scalar reference, write "
+    "BENCH_kernels.json\n"
     "run `desalign <command> --help` for command flags.\n";
 
 }  // namespace
@@ -533,6 +600,8 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out) {
     status = CmdSweep(rest, out);
   } else if (command == "serve-bench") {
     status = CmdServeBench(rest, out);
+  } else if (command == "bench-kernels") {
+    status = CmdBenchKernels(rest, out);
   } else if (command == "--help" || command == "-h" || command == "help") {
     out << kTopLevelUsage;
     return 0;

@@ -49,6 +49,11 @@ void ThreadPool::SetGlobalThreadCount(int num_threads) {
 
 int ThreadPool::DefaultThreadCount() { return ResolveThreadCount(); }
 
+int64_t ThreadPool::GrainForCost(int64_t cost_per_item, int64_t target_ops) {
+  return std::max<int64_t>(
+      1, target_ops / std::max<int64_t>(1, cost_per_item));
+}
+
 ThreadPool::ThreadPool(int num_threads)
     : num_threads_(std::max(1, num_threads)) {
   // The caller participates in ParallelFor, so spawn one fewer worker.

@@ -34,6 +34,14 @@ class ThreadPool {
   /// Global() call would resolve to.
   static int DefaultThreadCount();
 
+  /// ParallelFor grain for a loop whose per-index cost is roughly
+  /// `cost_per_item` scalar operations: sized so each chunk carries about
+  /// `target_ops` operations, keeping dispatch overhead negligible without
+  /// starving the pool of chunks. Grain only affects partitioning, never
+  /// results (chunks own disjoint index ranges).
+  static int64_t GrainForCost(int64_t cost_per_item,
+                              int64_t target_ops = 65536);
+
   explicit ThreadPool(int num_threads);
   ~ThreadPool();
 

@@ -1,0 +1,81 @@
+#include "tensor/kernels/dispatch.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/thread_pool.h"
+
+namespace desalign::tensor::kernels {
+
+namespace {
+
+#if defined(__x86_64__) || defined(__i386__)
+bool DetectAvx2() { return __builtin_cpu_supports("avx2") != 0; }
+#else
+bool DetectAvx2() { return false; }
+#endif
+
+// Environment resolution happens once; SetIsaOverride takes precedence and
+// is cheap to flip (tests and the bench harness toggle it per measurement).
+IsaLevel EnvIsa(bool cpu_avx2) {
+  const char* env = std::getenv("DESALIGN_KERNEL_ISA");
+  if (env != nullptr && std::strcmp(env, "scalar") == 0) {
+    return IsaLevel::kScalar;
+  }
+  return cpu_avx2 ? IsaLevel::kAvx2 : IsaLevel::kScalar;
+}
+
+std::atomic<bool> g_has_override{false};
+std::atomic<IsaLevel> g_override{IsaLevel::kScalar};
+std::atomic<int64_t> g_forced_grain{0};
+
+}  // namespace
+
+bool CpuSupportsAvx2() {
+  static const bool supported = DetectAvx2();
+  return supported;
+}
+
+IsaLevel ActiveIsa() {
+  if (g_has_override.load(std::memory_order_relaxed)) {
+    const IsaLevel level = g_override.load(std::memory_order_relaxed);
+    if (level == IsaLevel::kAvx2 && !CpuSupportsAvx2()) {
+      return IsaLevel::kScalar;
+    }
+    return level;
+  }
+  static const IsaLevel resolved = EnvIsa(CpuSupportsAvx2());
+  return resolved;
+}
+
+void SetIsaOverride(IsaLevel level, bool has_override) {
+  g_override.store(level, std::memory_order_relaxed);
+  g_has_override.store(has_override, std::memory_order_relaxed);
+}
+
+const char* IsaName(IsaLevel level) {
+  switch (level) {
+    case IsaLevel::kAvx2:
+      return "avx2";
+    case IsaLevel::kScalar:
+      break;
+  }
+  return "scalar";
+}
+
+void SetForcedGrainForTesting(int64_t grain) {
+  g_forced_grain.store(grain, std::memory_order_relaxed);
+}
+
+int64_t ForcedGrainForTesting() {
+  return g_forced_grain.load(std::memory_order_relaxed);
+}
+
+int64_t KernelGrain(int64_t cost_per_item) {
+  const int64_t forced = ForcedGrainForTesting();
+  if (forced > 0) return forced;
+  return common::ThreadPool::GrainForCost(cost_per_item);
+}
+
+}  // namespace desalign::tensor::kernels

@@ -1,0 +1,50 @@
+#ifndef DESALIGN_TENSOR_KERNELS_DISPATCH_H_
+#define DESALIGN_TENSOR_KERNELS_DISPATCH_H_
+
+#include <cstdint>
+
+namespace desalign::tensor::kernels {
+
+/// Instruction-set level a kernel body runs at. The vector paths are
+/// restricted to operations whose lanes are independent IEEE operations
+/// (add/sub/mul/div/min/max/blend), so every level produces bit-identical
+/// results — ISA selection is a speed knob, never a numerics knob. That is
+/// the property the determinism suite (tests/integration) relies on; see
+/// docs/PERFORMANCE.md "Determinism contract".
+enum class IsaLevel {
+  kScalar = 0,
+  kAvx2 = 1,
+};
+
+/// The level kernel dispatch currently resolves to: the best level the CPU
+/// supports, unless overridden by SetIsaOverride or the DESALIGN_KERNEL_ISA
+/// environment variable ("scalar" or "avx2"; an unsupported request falls
+/// back to scalar).
+IsaLevel ActiveIsa();
+
+/// True when the running CPU supports AVX2 (and this build targets x86).
+bool CpuSupportsAvx2();
+
+/// Forces a level (clamped to what the CPU supports); pass
+/// `has_override=false` to restore automatic resolution. Used by the
+/// bit-exactness tests and the benchmark harness to measure scalar vs
+/// vector on the same machine.
+void SetIsaOverride(IsaLevel level, bool has_override = true);
+
+/// "scalar" / "avx2".
+const char* IsaName(IsaLevel level);
+
+/// Test hook: when set to g > 0, every kernel uses `g` as its ParallelFor
+/// grain so tiny tensors still exercise multi-chunk partitioning. 0 restores
+/// the automatic cost-based grain. Not for production use.
+void SetForcedGrainForTesting(int64_t grain);
+int64_t ForcedGrainForTesting();
+
+/// Grain actually used by a kernel whose per-index cost is roughly
+/// `cost_per_item` scalar operations: the forced test grain if set, else
+/// ~64k operations per chunk.
+int64_t KernelGrain(int64_t cost_per_item);
+
+}  // namespace desalign::tensor::kernels
+
+#endif  // DESALIGN_TENSOR_KERNELS_DISPATCH_H_

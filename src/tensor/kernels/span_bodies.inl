@@ -1,0 +1,224 @@
+// Elementwise span bodies — the single source of truth for every
+// lane-independent kernel loop. This file is included (inside a namespace)
+// by two translation units:
+//
+//   elementwise.cc   -> kernels::scalar_impl  (baseline codegen)
+//   avx2.cc          -> kernels::avx2_impl    (#pragma GCC target("avx2"))
+//
+// so each body exists at two ISA levels with identical C++ semantics. Every
+// loop here is lane-independent (output element i depends only on input
+// element(s) i), every operation is an IEEE-754 single op (or libm call)
+// applied per lane, and the build pins -ffp-contract=off, so the two
+// instantiations are bit-identical — vector width is a speed knob, not a
+// numerics knob. Reductions (dot products, row sums) must NOT live here;
+// they belong in rowwise.cc / gemm.cc where the accumulation order is
+// explicitly sequenced.
+//
+// No #include directives in this file: it is textually included inside a
+// namespace. The including .cc provides <cmath> and <cstdint>.
+
+#define DESALIGN_RESTRICT __restrict__
+
+// ---- Forward: binary ----
+
+void AddBody(const float* DESALIGN_RESTRICT a,
+                    const float* DESALIGN_RESTRICT b,
+                    float* DESALIGN_RESTRICT y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] = a[i] + b[i];
+}
+
+void SubBody(const float* DESALIGN_RESTRICT a,
+                    const float* DESALIGN_RESTRICT b,
+                    float* DESALIGN_RESTRICT y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] = a[i] - b[i];
+}
+
+void MulBody(const float* DESALIGN_RESTRICT a,
+                    const float* DESALIGN_RESTRICT b,
+                    float* DESALIGN_RESTRICT y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] = a[i] * b[i];
+}
+
+void DivBody(const float* DESALIGN_RESTRICT a,
+                    const float* DESALIGN_RESTRICT b,
+                    float* DESALIGN_RESTRICT y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] = a[i] / b[i];
+}
+
+// ---- Forward: scalar-constant ----
+
+void ScaleBody(const float* DESALIGN_RESTRICT x, float s,
+                      float* DESALIGN_RESTRICT y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] = s * x[i];
+}
+
+void AddConstBody(const float* DESALIGN_RESTRICT x, float s,
+                         float* DESALIGN_RESTRICT y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] = x[i] + s;
+}
+
+// Distinct from ScaleBody (`s * x`): operand order is preserved from the
+// call sites this replaced (MulColVector computes `a * s`).
+void MulConstBody(const float* DESALIGN_RESTRICT x, float s,
+                  float* DESALIGN_RESTRICT y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] = x[i] * s;
+}
+
+// ---- Forward: unary nonlinearities ----
+
+void ReluBody(const float* DESALIGN_RESTRICT x,
+                     float* DESALIGN_RESTRICT y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] = x[i] > 0.0f ? x[i] : 0.0f;
+}
+
+void LeakyReluBody(const float* DESALIGN_RESTRICT x, float slope,
+                          float* DESALIGN_RESTRICT y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] = x[i] > 0.0f ? x[i] : slope * x[i];
+}
+
+void SigmoidBody(const float* DESALIGN_RESTRICT x,
+                        float* DESALIGN_RESTRICT y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] = 1.0f / (1.0f + std::exp(-x[i]));
+}
+
+void TanhBody(const float* DESALIGN_RESTRICT x,
+                     float* DESALIGN_RESTRICT y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] = std::tanh(x[i]);
+}
+
+void ExpBody(const float* DESALIGN_RESTRICT x,
+                    float* DESALIGN_RESTRICT y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] = std::exp(x[i]);
+}
+
+void LogEpsBody(const float* DESALIGN_RESTRICT x, float eps,
+                       float* DESALIGN_RESTRICT y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] = std::log(x[i] + eps);
+}
+
+void SquareBody(const float* DESALIGN_RESTRICT x,
+                       float* DESALIGN_RESTRICT y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] = x[i] * x[i];
+}
+
+void AbsBody(const float* DESALIGN_RESTRICT x,
+                    float* DESALIGN_RESTRICT y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] = std::fabs(x[i]);
+}
+
+void ClipBody(const float* DESALIGN_RESTRICT x, float lo, float hi,
+                     float* DESALIGN_RESTRICT y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    y[i] = x[i] < lo ? lo : (x[i] > hi ? hi : x[i]);
+  }
+}
+
+// ---- Backward: accumulating forms (out[i] += expr) ----
+// Expressions mirror the pre-kernel-layer ops.cc lambdas exactly — the
+// bit-exactness suite compares against those (kernels/reference.cc).
+
+void AccBody(const float* DESALIGN_RESTRICT g,
+                    float* DESALIGN_RESTRICT out, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) out[i] += g[i];
+}
+
+void AccNegBody(const float* DESALIGN_RESTRICT g,
+                       float* DESALIGN_RESTRICT out, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) out[i] -= g[i];
+}
+
+void AxpyBody(float alpha, const float* DESALIGN_RESTRICT x,
+                     float* DESALIGN_RESTRICT out, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) out[i] += alpha * x[i];
+}
+
+void AccConstBody(float v, float* DESALIGN_RESTRICT out, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) out[i] += v;
+}
+
+// `out += g * s` — operand order matches the RowSum/MulColVector/Dropout
+// backward lambdas this replaced (gradient first, then the factor).
+void AccMulConstBody(const float* DESALIGN_RESTRICT g, float s,
+                     float* DESALIGN_RESTRICT out, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) out[i] += g[i] * s;
+}
+
+void AccMulBody(const float* DESALIGN_RESTRICT g,
+                       const float* DESALIGN_RESTRICT x,
+                       float* DESALIGN_RESTRICT out, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) out[i] += g[i] * x[i];
+}
+
+void AccDivBody(const float* DESALIGN_RESTRICT g,
+                       const float* DESALIGN_RESTRICT b,
+                       float* DESALIGN_RESTRICT out, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) out[i] += g[i] / b[i];
+}
+
+void DivGradBBody(const float* DESALIGN_RESTRICT g,
+                         const float* DESALIGN_RESTRICT a,
+                         const float* DESALIGN_RESTRICT b,
+                         float* DESALIGN_RESTRICT out, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    const float bv = b[i];
+    out[i] -= g[i] * a[i] / (bv * bv);
+  }
+}
+
+void ReluGradBody(const float* DESALIGN_RESTRICT g,
+                         const float* DESALIGN_RESTRICT x,
+                         float* DESALIGN_RESTRICT out, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    out[i] += g[i] * (x[i] > 0.0f ? 1.0f : 0.0f);
+  }
+}
+
+void LeakyReluGradBody(const float* DESALIGN_RESTRICT g,
+                              const float* DESALIGN_RESTRICT x, float slope,
+                              float* DESALIGN_RESTRICT out, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    out[i] += g[i] * (x[i] > 0.0f ? 1.0f : slope);
+  }
+}
+
+void SigmoidGradBody(const float* DESALIGN_RESTRICT g,
+                            const float* DESALIGN_RESTRICT y,
+                            float* DESALIGN_RESTRICT out, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) out[i] += g[i] * (y[i] * (1.0f - y[i]));
+}
+
+void TanhGradBody(const float* DESALIGN_RESTRICT g,
+                         const float* DESALIGN_RESTRICT y,
+                         float* DESALIGN_RESTRICT out, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) out[i] += g[i] * (1.0f - y[i] * y[i]);
+}
+
+void LogEpsGradBody(const float* DESALIGN_RESTRICT g,
+                           const float* DESALIGN_RESTRICT x, float eps,
+                           float* DESALIGN_RESTRICT out, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) out[i] += g[i] * (1.0f / (x[i] + eps));
+}
+
+void SquareGradBody(const float* DESALIGN_RESTRICT g,
+                           const float* DESALIGN_RESTRICT x,
+                           float* DESALIGN_RESTRICT out, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) out[i] += g[i] * (2.0f * x[i]);
+}
+
+void AbsGradBody(const float* DESALIGN_RESTRICT g,
+                        const float* DESALIGN_RESTRICT x,
+                        float* DESALIGN_RESTRICT out, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    out[i] += g[i] * (x[i] > 0.0f ? 1.0f : (x[i] < 0.0f ? -1.0f : 0.0f));
+  }
+}
+
+void ClipGradBody(const float* DESALIGN_RESTRICT g,
+                         const float* DESALIGN_RESTRICT x, float lo, float hi,
+                         float* DESALIGN_RESTRICT out, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    out[i] += g[i] * ((x[i] > lo && x[i] < hi) ? 1.0f : 0.0f);
+  }
+}
+
+#undef DESALIGN_RESTRICT

@@ -6,7 +6,10 @@
 #include <limits>
 
 #include "common/check.h"
-#include "common/thread_pool.h"
+#include "tensor/kernels/buffer_pool.h"
+#include "tensor/kernels/elementwise.h"
+#include "tensor/kernels/gemm.h"
+#include "tensor/kernels/rowwise.h"
 
 namespace desalign::tensor {
 
@@ -21,21 +24,20 @@ void CheckSameShape(const TensorPtr& a, const TensorPtr& b) {
 
 TensorPtr Add(const TensorPtr& a, const TensorPtr& b) {
   CheckSameShape(a, b);
-  auto out = Tensor::Create(a->rows(), a->cols());
-  for (int64_t i = 0; i < a->size(); ++i)
-    out->data()[i] = a->data()[i] + b->data()[i];
+  auto out = Tensor::CreateUninitialized(a->rows(), a->cols());
+  kernels::Add(a->data().data(), b->data().data(), out->data().data(),
+               a->size());
   Tensor* ap = a.get();
   Tensor* bp = b.get();
   Tensor* op = out.get();
   out->SetBackward({a, b}, [ap, bp, op]() {
     const auto& g = op->grad();
+    const int64_t n = static_cast<int64_t>(g.size());
     if (ap->NeedsGrad()) {
-      auto& ga = ap->grad();
-      for (size_t i = 0; i < g.size(); ++i) ga[i] += g[i];
+      kernels::Accumulate(g.data(), ap->grad().data(), n);
     }
     if (bp->NeedsGrad()) {
-      auto& gb = bp->grad();
-      for (size_t i = 0; i < g.size(); ++i) gb[i] += g[i];
+      kernels::Accumulate(g.data(), bp->grad().data(), n);
     }
   });
   return out;
@@ -43,21 +45,20 @@ TensorPtr Add(const TensorPtr& a, const TensorPtr& b) {
 
 TensorPtr Sub(const TensorPtr& a, const TensorPtr& b) {
   CheckSameShape(a, b);
-  auto out = Tensor::Create(a->rows(), a->cols());
-  for (int64_t i = 0; i < a->size(); ++i)
-    out->data()[i] = a->data()[i] - b->data()[i];
+  auto out = Tensor::CreateUninitialized(a->rows(), a->cols());
+  kernels::Sub(a->data().data(), b->data().data(), out->data().data(),
+               a->size());
   Tensor* ap = a.get();
   Tensor* bp = b.get();
   Tensor* op = out.get();
   out->SetBackward({a, b}, [ap, bp, op]() {
     const auto& g = op->grad();
+    const int64_t n = static_cast<int64_t>(g.size());
     if (ap->NeedsGrad()) {
-      auto& ga = ap->grad();
-      for (size_t i = 0; i < g.size(); ++i) ga[i] += g[i];
+      kernels::Accumulate(g.data(), ap->grad().data(), n);
     }
     if (bp->NeedsGrad()) {
-      auto& gb = bp->grad();
-      for (size_t i = 0; i < g.size(); ++i) gb[i] -= g[i];
+      kernels::AccumulateNeg(g.data(), bp->grad().data(), n);
     }
   });
   return out;
@@ -65,21 +66,22 @@ TensorPtr Sub(const TensorPtr& a, const TensorPtr& b) {
 
 TensorPtr Mul(const TensorPtr& a, const TensorPtr& b) {
   CheckSameShape(a, b);
-  auto out = Tensor::Create(a->rows(), a->cols());
-  for (int64_t i = 0; i < a->size(); ++i)
-    out->data()[i] = a->data()[i] * b->data()[i];
+  auto out = Tensor::CreateUninitialized(a->rows(), a->cols());
+  kernels::Mul(a->data().data(), b->data().data(), out->data().data(),
+               a->size());
   Tensor* ap = a.get();
   Tensor* bp = b.get();
   Tensor* op = out.get();
   out->SetBackward({a, b}, [ap, bp, op]() {
     const auto& g = op->grad();
+    const int64_t n = static_cast<int64_t>(g.size());
     if (ap->NeedsGrad()) {
-      auto& ga = ap->grad();
-      for (size_t i = 0; i < g.size(); ++i) ga[i] += g[i] * bp->data()[i];
+      kernels::AccumulateProduct(g.data(), bp->data().data(),
+                                 ap->grad().data(), n);
     }
     if (bp->NeedsGrad()) {
-      auto& gb = bp->grad();
-      for (size_t i = 0; i < g.size(); ++i) gb[i] += g[i] * ap->data()[i];
+      kernels::AccumulateProduct(g.data(), ap->data().data(),
+                                 bp->grad().data(), n);
     }
   });
   return out;
@@ -87,24 +89,22 @@ TensorPtr Mul(const TensorPtr& a, const TensorPtr& b) {
 
 TensorPtr Div(const TensorPtr& a, const TensorPtr& b) {
   CheckSameShape(a, b);
-  auto out = Tensor::Create(a->rows(), a->cols());
-  for (int64_t i = 0; i < a->size(); ++i)
-    out->data()[i] = a->data()[i] / b->data()[i];
+  auto out = Tensor::CreateUninitialized(a->rows(), a->cols());
+  kernels::Div(a->data().data(), b->data().data(), out->data().data(),
+               a->size());
   Tensor* ap = a.get();
   Tensor* bp = b.get();
   Tensor* op = out.get();
   out->SetBackward({a, b}, [ap, bp, op]() {
     const auto& g = op->grad();
+    const int64_t n = static_cast<int64_t>(g.size());
     if (ap->NeedsGrad()) {
-      auto& ga = ap->grad();
-      for (size_t i = 0; i < g.size(); ++i) ga[i] += g[i] / bp->data()[i];
+      kernels::AccumulateQuotient(g.data(), bp->data().data(),
+                                  ap->grad().data(), n);
     }
     if (bp->NeedsGrad()) {
-      auto& gb = bp->grad();
-      for (size_t i = 0; i < g.size(); ++i) {
-        const float bv = bp->data()[i];
-        gb[i] -= g[i] * ap->data()[i] / (bv * bv);
-      }
+      kernels::DivGradB(g.data(), ap->data().data(), bp->data().data(),
+                        bp->grad().data(), n);
     }
   });
   return out;
@@ -115,26 +115,19 @@ TensorPtr AddRowVector(const TensorPtr& a, const TensorPtr& b) {
   DESALIGN_CHECK_EQ(a->cols(), b->cols());
   const int64_t n = a->rows();
   const int64_t c = a->cols();
-  auto out = Tensor::Create(n, c);
-  for (int64_t r = 0; r < n; ++r) {
-    for (int64_t j = 0; j < c; ++j) {
-      out->At(r, j) = a->At(r, j) + b->At(0, j);
-    }
-  }
+  auto out = Tensor::CreateUninitialized(n, c);
+  kernels::AddRowBroadcast(a->data().data(), b->data().data(),
+                           out->data().data(), n, c);
   Tensor* ap = a.get();
   Tensor* bp = b.get();
   Tensor* op = out.get();
   out->SetBackward({a, b}, [ap, bp, op, n, c]() {
     const auto& g = op->grad();
     if (ap->NeedsGrad()) {
-      auto& ga = ap->grad();
-      for (size_t i = 0; i < g.size(); ++i) ga[i] += g[i];
+      kernels::Accumulate(g.data(), ap->grad().data(), n * c);
     }
     if (bp->NeedsGrad()) {
-      auto& gb = bp->grad();
-      for (int64_t r = 0; r < n; ++r) {
-        for (int64_t j = 0; j < c; ++j) gb[j] += g[r * c + j];
-      }
+      kernels::ColumnAcc(g.data(), bp->grad().data(), n, c);
     }
   });
   return out;
@@ -145,31 +138,21 @@ TensorPtr MulColVector(const TensorPtr& a, const TensorPtr& b) {
   DESALIGN_CHECK_EQ(a->rows(), b->rows());
   const int64_t n = a->rows();
   const int64_t c = a->cols();
-  auto out = Tensor::Create(n, c);
-  for (int64_t r = 0; r < n; ++r) {
-    const float s = b->At(r, 0);
-    for (int64_t j = 0; j < c; ++j) out->At(r, j) = a->At(r, j) * s;
-  }
+  auto out = Tensor::CreateUninitialized(n, c);
+  kernels::RowScale(a->data().data(), b->data().data(), out->data().data(),
+                    n, c);
   Tensor* ap = a.get();
   Tensor* bp = b.get();
   Tensor* op = out.get();
   out->SetBackward({a, b}, [ap, bp, op, n, c]() {
     const auto& g = op->grad();
     if (ap->NeedsGrad()) {
-      auto& ga = ap->grad();
-      for (int64_t r = 0; r < n; ++r) {
-        const float s = bp->data()[r];
-        for (int64_t j = 0; j < c; ++j) ga[r * c + j] += g[r * c + j] * s;
-      }
+      kernels::RowScaleAcc(g.data(), bp->data().data(), ap->grad().data(), n,
+                           c);
     }
     if (bp->NeedsGrad()) {
-      auto& gb = bp->grad();
-      for (int64_t r = 0; r < n; ++r) {
-        float acc = 0.0f;
-        for (int64_t j = 0; j < c; ++j)
-          acc += g[r * c + j] * ap->data()[r * c + j];
-        gb[r] += acc;
-      }
+      kernels::RowDotAcc(g.data(), ap->data().data(), bp->grad().data(), n,
+                         c);
     }
   });
   return out;
@@ -180,59 +163,50 @@ TensorPtr MulRowVector(const TensorPtr& a, const TensorPtr& b) {
   DESALIGN_CHECK_EQ(a->cols(), b->cols());
   const int64_t n = a->rows();
   const int64_t c = a->cols();
-  auto out = Tensor::Create(n, c);
-  for (int64_t r = 0; r < n; ++r) {
-    for (int64_t j = 0; j < c; ++j) out->At(r, j) = a->At(r, j) * b->At(0, j);
-  }
+  auto out = Tensor::CreateUninitialized(n, c);
+  kernels::MulRowBroadcast(a->data().data(), b->data().data(),
+                           out->data().data(), n, c);
   Tensor* ap = a.get();
   Tensor* bp = b.get();
   Tensor* op = out.get();
   out->SetBackward({a, b}, [ap, bp, op, n, c]() {
     const auto& g = op->grad();
     if (ap->NeedsGrad()) {
-      auto& ga = ap->grad();
-      for (int64_t r = 0; r < n; ++r) {
-        for (int64_t j = 0; j < c; ++j) {
-          ga[r * c + j] += g[r * c + j] * bp->data()[j];
-        }
-      }
+      kernels::MulRowBroadcastAcc(g.data(), bp->data().data(),
+                                  ap->grad().data(), n, c);
     }
     if (bp->NeedsGrad()) {
-      auto& gb = bp->grad();
-      for (int64_t r = 0; r < n; ++r) {
-        for (int64_t j = 0; j < c; ++j) {
-          gb[j] += g[r * c + j] * ap->data()[r * c + j];
-        }
-      }
+      kernels::ColumnAccMul(g.data(), ap->data().data(), bp->grad().data(),
+                            n, c);
     }
   });
   return out;
 }
 
 TensorPtr Scale(const TensorPtr& a, float s) {
-  auto out = Tensor::Create(a->rows(), a->cols());
-  for (int64_t i = 0; i < a->size(); ++i) out->data()[i] = s * a->data()[i];
+  auto out = Tensor::CreateUninitialized(a->rows(), a->cols());
+  kernels::Scale(a->data().data(), s, out->data().data(), a->size());
   Tensor* ap = a.get();
   Tensor* op = out.get();
   out->SetBackward({a}, [ap, op, s]() {
     if (!ap->NeedsGrad()) return;
     const auto& g = op->grad();
-    auto& ga = ap->grad();
-    for (size_t i = 0; i < g.size(); ++i) ga[i] += s * g[i];
+    kernels::Axpy(s, g.data(), ap->grad().data(),
+                  static_cast<int64_t>(g.size()));
   });
   return out;
 }
 
 TensorPtr AddScalar(const TensorPtr& a, float s) {
-  auto out = Tensor::Create(a->rows(), a->cols());
-  for (int64_t i = 0; i < a->size(); ++i) out->data()[i] = a->data()[i] + s;
+  auto out = Tensor::CreateUninitialized(a->rows(), a->cols());
+  kernels::AddScalar(a->data().data(), s, out->data().data(), a->size());
   Tensor* ap = a.get();
   Tensor* op = out.get();
   out->SetBackward({a}, [ap, op]() {
     if (!ap->NeedsGrad()) return;
     const auto& g = op->grad();
-    auto& ga = ap->grad();
-    for (size_t i = 0; i < g.size(); ++i) ga[i] += g[i];
+    kernels::Accumulate(g.data(), ap->grad().data(),
+                        static_cast<int64_t>(g.size()));
   });
   return out;
 }
@@ -244,59 +218,19 @@ TensorPtr MatMul(const TensorPtr& a, const TensorPtr& b) {
   const int64_t m = a->rows();
   const int64_t k = a->cols();
   const int64_t n = b->cols();
-  auto out = Tensor::Create(m, n);
-  // ikj loop order: streams through b and out rows. Row-partitioned across
-  // the global pool (threads write disjoint output rows, so the result is
-  // deterministic for any thread count).
-  const float* ad = a->data().data();
-  const float* bd = b->data().data();
-  float* od = out->data().data();
-  common::ThreadPool::Global().ParallelFor(
-      0, m,
-      [&](int64_t row_begin, int64_t row_end) {
-        for (int64_t i = row_begin; i < row_end; ++i) {
-          for (int64_t p = 0; p < k; ++p) {
-            const float av = ad[i * k + p];
-            if (av == 0.0f) continue;
-            const float* br = bd + p * n;
-            float* orow = od + i * n;
-            for (int64_t j = 0; j < n; ++j) orow[j] += av * br[j];
-          }
-        }
-      },
-      /*grain=*/std::max<int64_t>(1, 65536 / std::max<int64_t>(1, k * n)));
+  auto out = Tensor::CreateUninitialized(m, n);
+  kernels::MatMul(a->data().data(), b->data().data(), out->data().data(), m,
+                  k, n);
   Tensor* ap = a.get();
   Tensor* bp = b.get();
   Tensor* op = out.get();
   out->SetBackward({a, b}, [ap, bp, op, m, k, n]() {
     const float* g = op->grad().data();
     if (ap->NeedsGrad()) {
-      // dA = G * B^T   (m x k)
-      float* ga = ap->grad().data();
-      const float* bd2 = bp->data().data();
-      for (int64_t i = 0; i < m; ++i) {
-        for (int64_t p = 0; p < k; ++p) {
-          const float* grow = g + i * n;
-          const float* brow = bd2 + p * n;
-          float acc = 0.0f;
-          for (int64_t j = 0; j < n; ++j) acc += grow[j] * brow[j];
-          ga[i * k + p] += acc;
-        }
-      }
+      kernels::MatMulGradA(g, bp->data().data(), ap->grad().data(), m, k, n);
     }
     if (bp->NeedsGrad()) {
-      // dB = A^T * G   (k x n)
-      float* gb = bp->grad().data();
-      const float* ad2 = ap->data().data();
-      for (int64_t i = 0; i < m; ++i) {
-        const float* grow = g + i * n;
-        for (int64_t p = 0; p < k; ++p) {
-          const float av = ad2[i * k + p];
-          if (av == 0.0f) continue;
-          float* gbrow = gb + p * n;
-          for (int64_t j = 0; j < n; ++j) gbrow[j] += av * grow[j];
-        }
-      }
+      kernels::MatMulGradB(g, ap->data().data(), bp->grad().data(), m, k, n);
     }
   });
   return out;
@@ -305,19 +239,13 @@ TensorPtr MatMul(const TensorPtr& a, const TensorPtr& b) {
 TensorPtr Transpose(const TensorPtr& a) {
   const int64_t m = a->rows();
   const int64_t n = a->cols();
-  auto out = Tensor::Create(n, m);
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t j = 0; j < n; ++j) out->At(j, i) = a->At(i, j);
-  }
+  auto out = Tensor::CreateUninitialized(n, m);
+  kernels::Transpose(a->data().data(), out->data().data(), m, n);
   Tensor* ap = a.get();
   Tensor* op = out.get();
   out->SetBackward({a}, [ap, op, m, n]() {
     if (!ap->NeedsGrad()) return;
-    const auto& g = op->grad();
-    auto& ga = ap->grad();
-    for (int64_t i = 0; i < m; ++i) {
-      for (int64_t j = 0; j < n; ++j) ga[i * n + j] += g[j * m + i];
-    }
+    kernels::TransposeAcc(op->grad().data(), ap->grad().data(), m, n);
   });
   return out;
 }
@@ -325,7 +253,9 @@ TensorPtr Transpose(const TensorPtr& a) {
 TensorPtr SpMM(const CsrMatrixPtr& a, const TensorPtr& x) {
   DESALIGN_CHECK_EQ(a->cols(), x->rows());
   const int64_t k = x->cols();
-  auto out = Tensor::Create(a->rows(), k);
+  // Multiply zeroes its output rows before accumulating, so an
+  // uninitialized output is safe.
+  auto out = Tensor::CreateUninitialized(a->rows(), k);
   a->Multiply(x->data().data(), k, out->data().data());
   if (!GradEnabled() || !x->NeedsGrad()) return out;
   CsrMatrixPtr at = a->Transpose();
@@ -333,93 +263,142 @@ TensorPtr SpMM(const CsrMatrixPtr& a, const TensorPtr& x) {
   Tensor* op = out.get();
   out->SetBackward({x}, [at, xp, op, k]() {
     if (!xp->NeedsGrad()) return;
-    std::vector<float> gx(xp->grad().size(), 0.0f);
-    at->Multiply(op->grad().data(), k, gx.data());
     auto& g = xp->grad();
-    for (size_t i = 0; i < g.size(); ++i) g[i] += gx[i];
+    const int64_t n = static_cast<int64_t>(g.size());
+    kernels::PooledBuffer gx(g.size(), /*zero=*/false);
+    at->Multiply(op->grad().data(), k, gx.data());
+    kernels::Accumulate(gx.data(), g.data(), n);
   });
   return out;
 }
-
-namespace {
-
-template <typename Fwd, typename Bwd>
-TensorPtr UnaryOp(const TensorPtr& a, Fwd fwd, Bwd bwd_factor_from_in_out) {
-  auto out = Tensor::Create(a->rows(), a->cols());
-  for (int64_t i = 0; i < a->size(); ++i)
-    out->data()[i] = fwd(a->data()[i]);
-  Tensor* ap = a.get();
-  Tensor* op = out.get();
-  out->SetBackward({a}, [ap, op, bwd_factor_from_in_out]() {
-    if (!ap->NeedsGrad()) return;
-    const auto& g = op->grad();
-    auto& ga = ap->grad();
-    for (size_t i = 0; i < g.size(); ++i) {
-      ga[i] += g[i] * bwd_factor_from_in_out(ap->data()[i], op->data()[i]);
-    }
-  });
-  return out;
-}
-
-}  // namespace
 
 TensorPtr Relu(const TensorPtr& a) {
-  return UnaryOp(
-      a, [](float x) { return x > 0.0f ? x : 0.0f; },
-      [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
+  auto out = Tensor::CreateUninitialized(a->rows(), a->cols());
+  kernels::Relu(a->data().data(), out->data().data(), a->size());
+  Tensor* ap = a.get();
+  Tensor* op = out.get();
+  out->SetBackward({a}, [ap, op]() {
+    if (!ap->NeedsGrad()) return;
+    const auto& g = op->grad();
+    kernels::ReluGrad(g.data(), ap->data().data(), ap->grad().data(),
+                      static_cast<int64_t>(g.size()));
+  });
+  return out;
 }
 
 TensorPtr LeakyRelu(const TensorPtr& a, float slope) {
-  return UnaryOp(
-      a, [slope](float x) { return x > 0.0f ? x : slope * x; },
-      [slope](float x, float) { return x > 0.0f ? 1.0f : slope; });
+  auto out = Tensor::CreateUninitialized(a->rows(), a->cols());
+  kernels::LeakyRelu(a->data().data(), slope, out->data().data(), a->size());
+  Tensor* ap = a.get();
+  Tensor* op = out.get();
+  out->SetBackward({a}, [ap, op, slope]() {
+    if (!ap->NeedsGrad()) return;
+    const auto& g = op->grad();
+    kernels::LeakyReluGrad(g.data(), ap->data().data(), slope,
+                           ap->grad().data(),
+                           static_cast<int64_t>(g.size()));
+  });
+  return out;
 }
 
 TensorPtr Sigmoid(const TensorPtr& a) {
-  return UnaryOp(
-      a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
-      [](float, float y) { return y * (1.0f - y); });
+  auto out = Tensor::CreateUninitialized(a->rows(), a->cols());
+  kernels::Sigmoid(a->data().data(), out->data().data(), a->size());
+  Tensor* ap = a.get();
+  Tensor* op = out.get();
+  out->SetBackward({a}, [ap, op]() {
+    if (!ap->NeedsGrad()) return;
+    const auto& g = op->grad();
+    kernels::SigmoidGrad(g.data(), op->data().data(), ap->grad().data(),
+                         static_cast<int64_t>(g.size()));
+  });
+  return out;
 }
 
 TensorPtr Tanh(const TensorPtr& a) {
-  return UnaryOp(
-      a, [](float x) { return std::tanh(x); },
-      [](float, float y) { return 1.0f - y * y; });
+  auto out = Tensor::CreateUninitialized(a->rows(), a->cols());
+  kernels::Tanh(a->data().data(), out->data().data(), a->size());
+  Tensor* ap = a.get();
+  Tensor* op = out.get();
+  out->SetBackward({a}, [ap, op]() {
+    if (!ap->NeedsGrad()) return;
+    const auto& g = op->grad();
+    kernels::TanhGrad(g.data(), op->data().data(), ap->grad().data(),
+                      static_cast<int64_t>(g.size()));
+  });
+  return out;
 }
 
 TensorPtr Exp(const TensorPtr& a) {
-  return UnaryOp(
-      a, [](float x) { return std::exp(x); },
-      [](float, float y) { return y; });
+  auto out = Tensor::CreateUninitialized(a->rows(), a->cols());
+  kernels::Exp(a->data().data(), out->data().data(), a->size());
+  Tensor* ap = a.get();
+  Tensor* op = out.get();
+  out->SetBackward({a}, [ap, op]() {
+    if (!ap->NeedsGrad()) return;
+    const auto& g = op->grad();
+    kernels::AccumulateProduct(g.data(), op->data().data(),
+                               ap->grad().data(),
+                               static_cast<int64_t>(g.size()));
+  });
+  return out;
 }
 
 TensorPtr LogSafe(const TensorPtr& a, float eps) {
-  return UnaryOp(
-      a, [eps](float x) { return std::log(x + eps); },
-      [eps](float x, float) { return 1.0f / (x + eps); });
+  auto out = Tensor::CreateUninitialized(a->rows(), a->cols());
+  kernels::LogEps(a->data().data(), eps, out->data().data(), a->size());
+  Tensor* ap = a.get();
+  Tensor* op = out.get();
+  out->SetBackward({a}, [ap, op, eps]() {
+    if (!ap->NeedsGrad()) return;
+    const auto& g = op->grad();
+    kernels::LogEpsGrad(g.data(), ap->data().data(), eps, ap->grad().data(),
+                        static_cast<int64_t>(g.size()));
+  });
+  return out;
 }
 
 TensorPtr Square(const TensorPtr& a) {
-  return UnaryOp(
-      a, [](float x) { return x * x; },
-      [](float x, float) { return 2.0f * x; });
+  auto out = Tensor::CreateUninitialized(a->rows(), a->cols());
+  kernels::Square(a->data().data(), out->data().data(), a->size());
+  Tensor* ap = a.get();
+  Tensor* op = out.get();
+  out->SetBackward({a}, [ap, op]() {
+    if (!ap->NeedsGrad()) return;
+    const auto& g = op->grad();
+    kernels::SquareGrad(g.data(), ap->data().data(), ap->grad().data(),
+                        static_cast<int64_t>(g.size()));
+  });
+  return out;
 }
 
 TensorPtr Abs(const TensorPtr& a) {
-  return UnaryOp(
-      a, [](float x) { return std::fabs(x); },
-      [](float x, float) { return x > 0.0f ? 1.0f : (x < 0.0f ? -1.0f
-                                                              : 0.0f); });
+  auto out = Tensor::CreateUninitialized(a->rows(), a->cols());
+  kernels::Abs(a->data().data(), out->data().data(), a->size());
+  Tensor* ap = a.get();
+  Tensor* op = out.get();
+  out->SetBackward({a}, [ap, op]() {
+    if (!ap->NeedsGrad()) return;
+    const auto& g = op->grad();
+    kernels::AbsGrad(g.data(), ap->data().data(), ap->grad().data(),
+                     static_cast<int64_t>(g.size()));
+  });
+  return out;
 }
 
 TensorPtr ClipByValue(const TensorPtr& a, float lo, float hi) {
   DESALIGN_CHECK_LE(lo, hi);
-  return UnaryOp(
-      a,
-      [lo, hi](float x) { return x < lo ? lo : (x > hi ? hi : x); },
-      [lo, hi](float x, float) {
-        return (x > lo && x < hi) ? 1.0f : 0.0f;
-      });
+  auto out = Tensor::CreateUninitialized(a->rows(), a->cols());
+  kernels::Clip(a->data().data(), lo, hi, out->data().data(), a->size());
+  Tensor* ap = a.get();
+  Tensor* op = out.get();
+  out->SetBackward({a}, [ap, op, lo, hi]() {
+    if (!ap->NeedsGrad()) return;
+    const auto& g = op->grad();
+    kernels::ClipGrad(g.data(), ap->data().data(), lo, hi,
+                      ap->grad().data(), static_cast<int64_t>(g.size()));
+  });
+  return out;
 }
 
 namespace {
@@ -428,7 +407,7 @@ template <typename Pick>
 TensorPtr SelectElementwise(const TensorPtr& a, const TensorPtr& b,
                             Pick pick_a) {
   CheckSameShape(a, b);
-  auto out = Tensor::Create(a->rows(), a->cols());
+  auto out = Tensor::CreateUninitialized(a->rows(), a->cols());
   std::vector<uint8_t> from_a(static_cast<size_t>(a->size()));
   for (int64_t i = 0; i < a->size(); ++i) {
     from_a[i] = pick_a(a->data()[i], b->data()[i]) ? 1 : 0;
@@ -468,7 +447,7 @@ TensorPtr MinElementwise(const TensorPtr& a, const TensorPtr& b) {
 TensorPtr RowMax(const TensorPtr& a) {
   const int64_t n = a->rows();
   const int64_t c = a->cols();
-  auto out = Tensor::Create(n, 1);
+  auto out = Tensor::CreateUninitialized(n, 1);
   std::vector<int64_t> argmax(n, 0);
   for (int64_t r = 0; r < n; ++r) {
     float best = a->At(r, 0);
@@ -526,32 +505,14 @@ std::vector<int64_t> ArgMaxRows(const Tensor& a) {
 TensorPtr RowSoftmax(const TensorPtr& a) {
   const int64_t n = a->rows();
   const int64_t c = a->cols();
-  auto out = Tensor::Create(n, c);
-  for (int64_t r = 0; r < n; ++r) {
-    float mx = -std::numeric_limits<float>::infinity();
-    for (int64_t j = 0; j < c; ++j) mx = std::max(mx, a->At(r, j));
-    float denom = 0.0f;
-    for (int64_t j = 0; j < c; ++j) {
-      const float e = std::exp(a->At(r, j) - mx);
-      out->At(r, j) = e;
-      denom += e;
-    }
-    for (int64_t j = 0; j < c; ++j) out->At(r, j) /= denom;
-  }
+  auto out = Tensor::CreateUninitialized(n, c);
+  kernels::RowSoftmax(a->data().data(), out->data().data(), n, c);
   Tensor* ap = a.get();
   Tensor* op = out.get();
   out->SetBackward({a}, [ap, op, n, c]() {
     if (!ap->NeedsGrad()) return;
-    const auto& g = op->grad();
-    auto& ga = ap->grad();
-    for (int64_t r = 0; r < n; ++r) {
-      float dot = 0.0f;
-      for (int64_t j = 0; j < c; ++j)
-        dot += g[r * c + j] * op->data()[r * c + j];
-      for (int64_t j = 0; j < c; ++j) {
-        ga[r * c + j] += op->data()[r * c + j] * (g[r * c + j] - dot);
-      }
-    }
+    kernels::RowSoftmaxGrad(op->data().data(), op->grad().data(),
+                            ap->grad().data(), n, c);
   });
   return out;
 }
@@ -559,29 +520,14 @@ TensorPtr RowSoftmax(const TensorPtr& a) {
 TensorPtr RowLogSoftmax(const TensorPtr& a) {
   const int64_t n = a->rows();
   const int64_t c = a->cols();
-  auto out = Tensor::Create(n, c);
-  for (int64_t r = 0; r < n; ++r) {
-    float mx = -std::numeric_limits<float>::infinity();
-    for (int64_t j = 0; j < c; ++j) mx = std::max(mx, a->At(r, j));
-    float denom = 0.0f;
-    for (int64_t j = 0; j < c; ++j) denom += std::exp(a->At(r, j) - mx);
-    const float logz = mx + std::log(denom);
-    for (int64_t j = 0; j < c; ++j) out->At(r, j) = a->At(r, j) - logz;
-  }
+  auto out = Tensor::CreateUninitialized(n, c);
+  kernels::RowLogSoftmax(a->data().data(), out->data().data(), n, c);
   Tensor* ap = a.get();
   Tensor* op = out.get();
   out->SetBackward({a}, [ap, op, n, c]() {
     if (!ap->NeedsGrad()) return;
-    const auto& g = op->grad();
-    auto& ga = ap->grad();
-    for (int64_t r = 0; r < n; ++r) {
-      float gsum = 0.0f;
-      for (int64_t j = 0; j < c; ++j) gsum += g[r * c + j];
-      for (int64_t j = 0; j < c; ++j) {
-        const float sm = std::exp(op->data()[r * c + j]);
-        ga[r * c + j] += g[r * c + j] - sm * gsum;
-      }
-    }
+    kernels::RowLogSoftmaxGrad(op->data().data(), op->grad().data(),
+                               ap->grad().data(), n, c);
   });
   return out;
 }
@@ -592,19 +538,26 @@ TensorPtr SegmentSoftmax(const TensorPtr& scores,
   DESALIGN_CHECK_EQ(scores->cols(), 1);
   const int64_t e = scores->rows();
   DESALIGN_CHECK_EQ(static_cast<int64_t>(segments.size()), e);
-  auto out = Tensor::Create(e, 1);
-  std::vector<float> seg_max(num_segments,
-                             -std::numeric_limits<float>::infinity());
-  for (int64_t i = 0; i < e; ++i) {
-    seg_max[segments[i]] = std::max(seg_max[segments[i]], scores->data()[i]);
+  auto out = Tensor::CreateUninitialized(e, 1);
+  kernels::PooledBuffer seg_max(static_cast<size_t>(num_segments),
+                                /*zero=*/false);
+  for (int64_t s = 0; s < num_segments; ++s) {
+    seg_max.data()[s] = -std::numeric_limits<float>::infinity();
   }
-  std::vector<float> seg_denom(num_segments, 0.0f);
   for (int64_t i = 0; i < e; ++i) {
-    const float ev = std::exp(scores->data()[i] - seg_max[segments[i]]);
+    seg_max.data()[segments[i]] =
+        std::max(seg_max.data()[segments[i]], scores->data()[i]);
+  }
+  kernels::PooledBuffer seg_denom(static_cast<size_t>(num_segments),
+                                  /*zero=*/true);
+  for (int64_t i = 0; i < e; ++i) {
+    const float ev = std::exp(scores->data()[i] - seg_max.data()[segments[i]]);
     out->data()[i] = ev;
-    seg_denom[segments[i]] += ev;
+    seg_denom.data()[segments[i]] += ev;
   }
-  for (int64_t i = 0; i < e; ++i) out->data()[i] /= seg_denom[segments[i]];
+  for (int64_t i = 0; i < e; ++i) {
+    out->data()[i] /= seg_denom.data()[segments[i]];
+  }
   Tensor* sp = scores.get();
   Tensor* op = out.get();
   std::vector<int64_t> segs = segments;
@@ -613,18 +566,19 @@ TensorPtr SegmentSoftmax(const TensorPtr& scores,
     if (!sp->NeedsGrad()) return;
     const auto& g = op->grad();
     auto& gs = sp->grad();
-    std::vector<float> seg_dot(num_segments, 0.0f);
+    kernels::PooledBuffer seg_dot(static_cast<size_t>(num_segments),
+                                  /*zero=*/true);
     for (int64_t i = 0; i < e; ++i)
-      seg_dot[segs[i]] += g[i] * op->data()[i];
+      seg_dot.data()[segs[i]] += g[i] * op->data()[i];
     for (int64_t i = 0; i < e; ++i) {
-      gs[i] += op->data()[i] * (g[i] - seg_dot[segs[i]]);
+      gs[i] += op->data()[i] * (g[i] - seg_dot.data()[segs[i]]);
     }
   });
   return out;
 }
 
 TensorPtr Sum(const TensorPtr& a) {
-  auto out = Tensor::Create(1, 1);
+  auto out = Tensor::CreateUninitialized(1, 1);
   double acc = 0.0;
   for (int64_t i = 0; i < a->size(); ++i) acc += a->data()[i];
   out->data()[0] = static_cast<float>(acc);
@@ -634,7 +588,8 @@ TensorPtr Sum(const TensorPtr& a) {
     if (!ap->NeedsGrad()) return;
     const float g = op->grad()[0];
     auto& ga = ap->grad();
-    for (auto& v : ga) v += g;
+    kernels::AccumulateConstant(g, ga.data(),
+                                static_cast<int64_t>(ga.size()));
   });
   return out;
 }
@@ -647,7 +602,7 @@ TensorPtr Mean(const TensorPtr& a) {
 TensorPtr RowSum(const TensorPtr& a) {
   const int64_t n = a->rows();
   const int64_t c = a->cols();
-  auto out = Tensor::Create(n, 1);
+  auto out = Tensor::CreateUninitialized(n, 1);
   for (int64_t r = 0; r < n; ++r) {
     float acc = 0.0f;
     for (int64_t j = 0; j < c; ++j) acc += a->At(r, j);
@@ -657,11 +612,7 @@ TensorPtr RowSum(const TensorPtr& a) {
   Tensor* op = out.get();
   out->SetBackward({a}, [ap, op, n, c]() {
     if (!ap->NeedsGrad()) return;
-    const auto& g = op->grad();
-    auto& ga = ap->grad();
-    for (int64_t r = 0; r < n; ++r) {
-      for (int64_t j = 0; j < c; ++j) ga[r * c + j] += g[r];
-    }
+    kernels::AddColBroadcastAcc(op->grad().data(), ap->grad().data(), n, c);
   });
   return out;
 }
@@ -673,24 +624,15 @@ TensorPtr SegmentSum(const TensorPtr& values,
   const int64_t c = values->cols();
   DESALIGN_CHECK_EQ(static_cast<int64_t>(segments.size()), e);
   auto out = Tensor::Create(num_segments, c);
-  for (int64_t i = 0; i < e; ++i) {
-    const int64_t s = segments[i];
-    DESALIGN_DCHECK(s >= 0 && s < num_segments);
-    for (int64_t j = 0; j < c; ++j) {
-      out->At(s, j) += values->At(i, j);
-    }
-  }
+  kernels::ScatterAddRows(values->data().data(), segments.data(),
+                          out->data().data(), e, c);
   Tensor* vp = values.get();
   Tensor* op = out.get();
   std::vector<int64_t> segs = segments;
   out->SetBackward({values}, [vp, op, segs = std::move(segs), e, c]() {
     if (!vp->NeedsGrad()) return;
-    const auto& g = op->grad();
-    auto& gv = vp->grad();
-    for (int64_t i = 0; i < e; ++i) {
-      const int64_t s = segs[i];
-      for (int64_t j = 0; j < c; ++j) gv[i * c + j] += g[s * c + j];
-    }
+    kernels::GatherRowsAcc(op->grad().data(), segs.data(), vp->grad().data(),
+                           e, c);
   });
   return out;
 }
@@ -703,14 +645,13 @@ TensorPtr ConcatCols(const std::vector<TensorPtr>& parts) {
     DESALIGN_CHECK_EQ(p->rows(), n);
     total_c += p->cols();
   }
-  auto out = Tensor::Create(n, total_c);
+  auto out = Tensor::CreateUninitialized(n, total_c);
   int64_t offset = 0;
   for (const auto& p : parts) {
-    const int64_t c = p->cols();
-    for (int64_t r = 0; r < n; ++r) {
-      for (int64_t j = 0; j < c; ++j) out->At(r, offset + j) = p->At(r, j);
-    }
-    offset += c;
+    kernels::CopyDenseToStrided(p->data().data(),
+                                out->data().data() + offset, total_c, n,
+                                p->cols());
+    offset += p->cols();
   }
   std::vector<TensorPtr> parents = parts;
   Tensor* op = out.get();
@@ -728,12 +669,8 @@ TensorPtr ConcatCols(const std::vector<TensorPtr>& parts) {
     for (size_t k = 0; k < raw.size(); ++k) {
       const int64_t c = col_counts[k];
       if (raw[k]->NeedsGrad()) {
-        auto& gp = raw[k]->grad();
-        for (int64_t r = 0; r < n; ++r) {
-          for (int64_t j = 0; j < c; ++j) {
-            gp[r * c + j] += g[r * total_c + offset2 + j];
-          }
-        }
+        kernels::AccStridedToDense(g.data() + offset2, total_c,
+                                   raw[k]->grad().data(), n, c);
       }
       offset2 += c;
     }
@@ -749,7 +686,7 @@ TensorPtr ConcatRows(const std::vector<TensorPtr>& parts) {
     DESALIGN_CHECK_EQ(p->cols(), c);
     total_n += p->rows();
   }
-  auto out = Tensor::Create(total_n, c);
+  auto out = Tensor::CreateUninitialized(total_n, c);
   int64_t offset = 0;
   for (const auto& p : parts) {
     std::copy(p->data().begin(), p->data().end(),
@@ -772,10 +709,8 @@ TensorPtr ConcatRows(const std::vector<TensorPtr>& parts) {
                      for (size_t k = 0; k < raw.size(); ++k) {
                        const int64_t n = row_counts[k];
                        if (raw[k]->NeedsGrad()) {
-                         auto& gp = raw[k]->grad();
-                         for (int64_t i = 0; i < n * c; ++i) {
-                           gp[i] += g[offset2 * c + i];
-                         }
+                         kernels::Accumulate(g.data() + offset2 * c,
+                                             raw[k]->grad().data(), n * c);
                        }
                        offset2 += n;
                      }
@@ -789,21 +724,15 @@ TensorPtr SliceCols(const TensorPtr& a, int64_t start, int64_t count) {
   DESALIGN_CHECK_LE(start + count, a->cols());
   const int64_t n = a->rows();
   const int64_t c = a->cols();
-  auto out = Tensor::Create(n, count);
-  for (int64_t r = 0; r < n; ++r) {
-    for (int64_t j = 0; j < count; ++j) out->At(r, j) = a->At(r, start + j);
-  }
+  auto out = Tensor::CreateUninitialized(n, count);
+  kernels::CopyStridedToDense(a->data().data() + start, c,
+                              out->data().data(), n, count);
   Tensor* ap = a.get();
   Tensor* op = out.get();
   out->SetBackward({a}, [ap, op, start, count, n, c]() {
     if (!ap->NeedsGrad()) return;
-    const auto& g = op->grad();
-    auto& ga = ap->grad();
-    for (int64_t r = 0; r < n; ++r) {
-      for (int64_t j = 0; j < count; ++j) {
-        ga[r * c + start + j] += g[r * count + j];
-      }
-    }
+    kernels::AccDenseToStrided(op->grad().data(),
+                               ap->grad().data() + start, c, n, count);
   });
   return out;
 }
@@ -815,23 +744,15 @@ TensorPtr GatherRows(const TensorPtr& a, std::vector<int64_t> indices) {
   for (int64_t idx : indices) {
     DESALIGN_CHECK(idx >= 0 && idx < a->rows());
   }
-  auto out = Tensor::Create(e, c);
-  for (int64_t i = 0; i < e; ++i) {
-    std::copy(a->data().begin() + indices[i] * c,
-              a->data().begin() + (indices[i] + 1) * c,
-              out->data().begin() + i * c);
-  }
+  auto out = Tensor::CreateUninitialized(e, c);
+  kernels::GatherRows(a->data().data(), indices.data(), out->data().data(),
+                      e, c);
   Tensor* ap = a.get();
   Tensor* op = out.get();
   out->SetBackward({a}, [ap, op, indices = std::move(indices), e, c]() {
     if (!ap->NeedsGrad()) return;
-    const auto& g = op->grad();
-    auto& ga = ap->grad();
-    for (int64_t i = 0; i < e; ++i) {
-      for (int64_t j = 0; j < c; ++j) {
-        ga[indices[i] * c + j] += g[i * c + j];
-      }
-    }
+    kernels::ScatterAddRows(op->grad().data(), indices.data(),
+                            ap->grad().data(), e, c);
   });
   return out;
 }
@@ -839,7 +760,7 @@ TensorPtr GatherRows(const TensorPtr& a, std::vector<int64_t> indices) {
 TensorPtr TakeDiag(const TensorPtr& a) {
   DESALIGN_CHECK_EQ(a->rows(), a->cols());
   const int64_t n = a->rows();
-  auto out = Tensor::Create(n, 1);
+  auto out = Tensor::CreateUninitialized(n, 1);
   for (int64_t i = 0; i < n; ++i) out->data()[i] = a->At(i, i);
   Tensor* ap = a.get();
   Tensor* op = out.get();
@@ -855,32 +776,16 @@ TensorPtr TakeDiag(const TensorPtr& a) {
 TensorPtr RowL2Normalize(const TensorPtr& a, float eps) {
   const int64_t n = a->rows();
   const int64_t c = a->cols();
-  auto out = Tensor::Create(n, c);
-  std::vector<float> norms(n);
-  for (int64_t r = 0; r < n; ++r) {
-    double acc = 0.0;
-    for (int64_t j = 0; j < c; ++j) {
-      const float v = a->At(r, j);
-      acc += static_cast<double>(v) * v;
-    }
-    norms[r] = static_cast<float>(std::sqrt(acc + eps));
-    for (int64_t j = 0; j < c; ++j) out->At(r, j) = a->At(r, j) / norms[r];
-  }
+  auto out = Tensor::CreateUninitialized(n, c);
+  kernels::PooledBuffer norms(static_cast<size_t>(n), /*zero=*/false);
+  kernels::RowL2Normalize(a->data().data(), eps, out->data().data(),
+                          norms.data(), n, c);
   Tensor* ap = a.get();
   Tensor* op = out.get();
   out->SetBackward({a}, [ap, op, norms = std::move(norms), n, c]() {
     if (!ap->NeedsGrad()) return;
-    const auto& g = op->grad();
-    auto& ga = ap->grad();
-    for (int64_t r = 0; r < n; ++r) {
-      float dot = 0.0f;
-      for (int64_t j = 0; j < c; ++j)
-        dot += g[r * c + j] * op->data()[r * c + j];
-      for (int64_t j = 0; j < c; ++j) {
-        ga[r * c + j] +=
-            (g[r * c + j] - op->data()[r * c + j] * dot) / norms[r];
-      }
-    }
+    kernels::RowL2NormalizeGrad(op->data().data(), op->grad().data(),
+                                norms.data(), ap->grad().data(), n, c);
   });
   return out;
 }
@@ -893,27 +798,12 @@ TensorPtr LayerNorm(const TensorPtr& x, const TensorPtr& gamma,
   DESALIGN_CHECK_EQ(gamma->cols(), c);
   DESALIGN_CHECK_EQ(beta->rows(), 1);
   DESALIGN_CHECK_EQ(beta->cols(), c);
-  auto out = Tensor::Create(n, c);
-  std::vector<float> inv_sigma(n);
-  std::vector<float> xhat(static_cast<size_t>(n * c));
-  for (int64_t r = 0; r < n; ++r) {
-    double mean = 0.0;
-    for (int64_t j = 0; j < c; ++j) mean += x->At(r, j);
-    mean /= c;
-    double var = 0.0;
-    for (int64_t j = 0; j < c; ++j) {
-      const double d = x->At(r, j) - mean;
-      var += d * d;
-    }
-    var /= c;
-    inv_sigma[r] = static_cast<float>(1.0 / std::sqrt(var + eps));
-    for (int64_t j = 0; j < c; ++j) {
-      const float xh =
-          (x->At(r, j) - static_cast<float>(mean)) * inv_sigma[r];
-      xhat[r * c + j] = xh;
-      out->At(r, j) = gamma->At(0, j) * xh + beta->At(0, j);
-    }
-  }
+  auto out = Tensor::CreateUninitialized(n, c);
+  kernels::PooledBuffer inv_sigma(static_cast<size_t>(n), /*zero=*/false);
+  kernels::PooledBuffer xhat(static_cast<size_t>(n * c), /*zero=*/false);
+  kernels::LayerNormForward(x->data().data(), gamma->data().data(),
+                            beta->data().data(), eps, out->data().data(),
+                            xhat.data(), inv_sigma.data(), n, c);
   Tensor* xp = x.get();
   Tensor* gp = gamma.get();
   Tensor* bp = beta.get();
@@ -923,38 +813,14 @@ TensorPtr LayerNorm(const TensorPtr& x, const TensorPtr& gamma,
                                       xhat = std::move(xhat), n, c]() {
     const auto& g = op->grad();
     if (gp->NeedsGrad()) {
-      auto& gg = gp->grad();
-      for (int64_t r = 0; r < n; ++r) {
-        for (int64_t j = 0; j < c; ++j) {
-          gg[j] += g[r * c + j] * xhat[r * c + j];
-        }
-      }
+      kernels::ColumnAccMul(g.data(), xhat.data(), gp->grad().data(), n, c);
     }
     if (bp->NeedsGrad()) {
-      auto& gb = bp->grad();
-      for (int64_t r = 0; r < n; ++r) {
-        for (int64_t j = 0; j < c; ++j) gb[j] += g[r * c + j];
-      }
+      kernels::ColumnAcc(g.data(), bp->grad().data(), n, c);
     }
     if (xp->NeedsGrad()) {
-      auto& gx = xp->grad();
-      for (int64_t r = 0; r < n; ++r) {
-        // d = gamma ⊙ dy; dx = (d - mean(d) - xhat*mean(d⊙xhat)) * inv_sigma
-        float mean_d = 0.0f;
-        float mean_dx = 0.0f;
-        for (int64_t j = 0; j < c; ++j) {
-          const float d = gp->data()[j] * g[r * c + j];
-          mean_d += d;
-          mean_dx += d * xhat[r * c + j];
-        }
-        mean_d /= c;
-        mean_dx /= c;
-        for (int64_t j = 0; j < c; ++j) {
-          const float d = gp->data()[j] * g[r * c + j];
-          gx[r * c + j] +=
-              (d - mean_d - xhat[r * c + j] * mean_dx) * inv_sigma[r];
-        }
-      }
+      kernels::LayerNormGradX(g.data(), gp->data().data(), xhat.data(),
+                              inv_sigma.data(), xp->grad().data(), n, c);
     }
   });
   return out;
@@ -965,19 +831,21 @@ TensorPtr Dropout(const TensorPtr& a, float p, common::Rng& rng,
   if (!training || p <= 0.0f) return a;
   DESALIGN_CHECK_LT(p, 1.0f);
   const float keep = 1.0f - p;
-  auto out = Tensor::Create(a->rows(), a->cols());
-  std::vector<float> mask(static_cast<size_t>(a->size()));
+  auto out = Tensor::CreateUninitialized(a->rows(), a->cols());
+  // The mask must be drawn sequentially (the rng stream is part of the
+  // training contract), so the forward loop stays serial.
+  kernels::PooledBuffer mask(static_cast<size_t>(a->size()), /*zero=*/false);
   for (int64_t i = 0; i < a->size(); ++i) {
-    mask[i] = rng.Bernoulli(keep) ? 1.0f / keep : 0.0f;
-    out->data()[i] = a->data()[i] * mask[i];
+    mask.data()[i] = rng.Bernoulli(keep) ? 1.0f / keep : 0.0f;
+    out->data()[i] = a->data()[i] * mask.data()[i];
   }
   Tensor* ap = a.get();
   Tensor* op = out.get();
   out->SetBackward({a}, [ap, op, mask = std::move(mask)]() {
     if (!ap->NeedsGrad()) return;
     const auto& g = op->grad();
-    auto& ga = ap->grad();
-    for (size_t i = 0; i < g.size(); ++i) ga[i] += g[i] * mask[i];
+    kernels::AccumulateProduct(g.data(), mask.data(), ap->grad().data(),
+                               static_cast<int64_t>(g.size()));
   });
   return out;
 }

@@ -13,32 +13,57 @@ CsrMatrixPtr CsrMatrix::FromTriplets(int64_t rows, int64_t cols,
                                      std::vector<Triplet> triplets) {
   DESALIGN_CHECK_GT(rows, 0);
   DESALIGN_CHECK_GT(cols, 0);
+  auto m = std::shared_ptr<CsrMatrix>(new CsrMatrix(rows, cols));
+  // One pass validates bounds and counts entries per row; a second pass
+  // buckets triplets by row (counting sort on the row index). Only the
+  // within-row column sort remains comparison-based, so the build is
+  // O(nnz + rows + sum_r nnz_r log nnz_r) instead of a global
+  // O(nnz log nnz) sort. stable_sort keeps duplicate (row, col) entries in
+  // insertion order, making the dedup summation order deterministic (the
+  // previous global std::sort left it unspecified).
+  m->row_ptr_.assign(static_cast<size_t>(rows) + 1, 0);
   for (const auto& t : triplets) {
     DESALIGN_CHECK(t.row >= 0 && t.row < rows);
     DESALIGN_CHECK(t.col >= 0 && t.col < cols);
-  }
-  std::sort(triplets.begin(), triplets.end(),
-            [](const Triplet& a, const Triplet& b) {
-              return a.row != b.row ? a.row < b.row : a.col < b.col;
-            });
-  auto m = std::shared_ptr<CsrMatrix>(new CsrMatrix(rows, cols));
-  m->row_ptr_.assign(rows + 1, 0);
-  m->col_idx_.reserve(triplets.size());
-  m->values_.reserve(triplets.size());
-  for (size_t i = 0; i < triplets.size();) {
-    size_t j = i;
-    float sum = 0.0f;
-    while (j < triplets.size() && triplets[j].row == triplets[i].row &&
-           triplets[j].col == triplets[i].col) {
-      sum += triplets[j].value;
-      ++j;
-    }
-    m->col_idx_.push_back(triplets[i].col);
-    m->values_.push_back(sum);
-    m->row_ptr_[triplets[i].row + 1]++;
-    i = j;
+    ++m->row_ptr_[static_cast<size_t>(t.row) + 1];
   }
   for (int64_t r = 0; r < rows; ++r) m->row_ptr_[r + 1] += m->row_ptr_[r];
+
+  struct Entry {
+    int64_t col;
+    float value;
+  };
+  std::vector<Entry> entries(triplets.size());
+  std::vector<int64_t> cursor(m->row_ptr_.begin(), m->row_ptr_.end() - 1);
+  for (const auto& t : triplets) {
+    entries[static_cast<size_t>(cursor[t.row]++)] = {t.col, t.value};
+  }
+
+  m->col_idx_.reserve(triplets.size());
+  m->values_.reserve(triplets.size());
+  std::vector<int64_t> dedup_counts(static_cast<size_t>(rows), 0);
+  for (int64_t r = 0; r < rows; ++r) {
+    const int64_t begin = m->row_ptr_[r];
+    const int64_t end = m->row_ptr_[r + 1];
+    std::stable_sort(entries.begin() + begin, entries.begin() + end,
+                     [](const Entry& a, const Entry& b) {
+                       return a.col < b.col;
+                     });
+    for (int64_t i = begin; i < end; ++i) {
+      if (i > begin && entries[i].col == entries[i - 1].col &&
+          !m->col_idx_.empty() && m->col_idx_.back() == entries[i].col) {
+        m->values_.back() += entries[i].value;
+      } else {
+        m->col_idx_.push_back(entries[i].col);
+        m->values_.push_back(entries[i].value);
+        ++dedup_counts[r];
+      }
+    }
+  }
+  m->row_ptr_[0] = 0;
+  for (int64_t r = 0; r < rows; ++r) {
+    m->row_ptr_[r + 1] = m->row_ptr_[r] + dedup_counts[r];
+  }
   return m;
 }
 
@@ -68,14 +93,26 @@ void CsrMatrix::Multiply(const float* x, int64_t k, float* y) const {
 }
 
 CsrMatrixPtr CsrMatrix::Transpose() const {
-  std::vector<Triplet> t;
-  t.reserve(values_.size());
+  // Counting sort on the column index: O(nnz + cols) with no comparison
+  // sort and no triplet round-trip. Scanning rows in ascending order means
+  // each transposed row receives its entries with ascending column index,
+  // so the output is already in canonical CSR form; values are moved
+  // bit-unchanged.
+  auto m = std::shared_ptr<CsrMatrix>(new CsrMatrix(cols_, rows_));
+  m->row_ptr_.assign(static_cast<size_t>(cols_) + 1, 0);
+  for (int64_t c : col_idx_) ++m->row_ptr_[static_cast<size_t>(c) + 1];
+  for (int64_t c = 0; c < cols_; ++c) m->row_ptr_[c + 1] += m->row_ptr_[c];
+  m->col_idx_.resize(values_.size());
+  m->values_.resize(values_.size());
+  std::vector<int64_t> cursor(m->row_ptr_.begin(), m->row_ptr_.end() - 1);
   for (int64_t r = 0; r < rows_; ++r) {
     for (int64_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
-      t.push_back({col_idx_[p], r, values_[p]});
+      const int64_t slot = cursor[col_idx_[p]]++;
+      m->col_idx_[slot] = r;
+      m->values_[slot] = values_[p];
     }
   }
-  return FromTriplets(cols_, rows_, std::move(t));
+  return m;
 }
 
 CsrMatrixPtr CsrMatrix::Add(const CsrMatrix& other, float alpha,

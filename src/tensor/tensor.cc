@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "tensor/kernels/buffer_pool.h"
 
 namespace desalign::tensor {
 
@@ -21,22 +22,39 @@ NoGradGuard::~NoGradGuard() { g_grad_enabled = previous_; }
 bool GradEnabled() { return g_grad_enabled; }
 
 Tensor::Tensor(int64_t rows, int64_t cols, bool requires_grad)
-    : rows_(rows),
-      cols_(cols),
-      requires_grad_(requires_grad),
-      data_(static_cast<size_t>(rows * cols), 0.0f) {
+    : Tensor(rows, cols, requires_grad, /*zero_init=*/true) {}
+
+Tensor::Tensor(int64_t rows, int64_t cols, bool requires_grad,
+               bool zero_init)
+    : rows_(rows), cols_(cols), requires_grad_(requires_grad) {
   DESALIGN_CHECK_GT(rows, 0);
   DESALIGN_CHECK_GT(cols, 0);
+  data_ = kernels::BufferPool::Global().Acquire(
+      static_cast<size_t>(rows * cols), zero_init);
+}
+
+Tensor::~Tensor() {
+  auto& pool = kernels::BufferPool::Global();
+  pool.Release(std::move(data_));
+  pool.Release(std::move(grad_));
 }
 
 TensorPtr Tensor::Create(int64_t rows, int64_t cols, bool requires_grad) {
   return std::make_shared<Tensor>(rows, cols, requires_grad);
 }
 
+TensorPtr Tensor::CreateUninitialized(int64_t rows, int64_t cols,
+                                      bool requires_grad) {
+  return std::make_shared<Tensor>(rows, cols, requires_grad,
+                                  /*zero_init=*/false);
+}
+
 TensorPtr Tensor::FromData(int64_t rows, int64_t cols,
                            std::vector<float> data, bool requires_grad) {
   DESALIGN_CHECK_EQ(static_cast<int64_t>(data.size()), rows * cols);
-  auto t = Create(rows, cols, requires_grad);
+  auto t = CreateUninitialized(rows, cols, requires_grad);
+  // The adopted buffer replaces the pooled one, which goes back to the pool.
+  kernels::BufferPool::Global().Release(std::move(t->data_));
   t->data_ = std::move(data);
   return t;
 }
@@ -57,7 +75,10 @@ TensorPtr Tensor::Scalar(float value, bool requires_grad) {
 }
 
 std::vector<float>& Tensor::grad() {
-  if (grad_.empty()) grad_.assign(data_.size(), 0.0f);
+  if (grad_.empty()) {
+    grad_ = kernels::BufferPool::Global().Acquire(data_.size(),
+                                                  /*zero=*/true);
+  }
   return grad_;
 }
 

@@ -24,9 +24,15 @@ using TensorPtr = std::shared_ptr<Tensor>;
 /// scope.
 class Tensor {
  public:
-  /// Creates an uninitialized (zero-filled) rows x cols tensor.
+  /// Creates a zero-filled rows x cols tensor.
   static TensorPtr Create(int64_t rows, int64_t cols,
                           bool requires_grad = false);
+
+  /// Creates a tensor whose data contents are unspecified (possibly stale
+  /// bytes from the buffer pool). Reserved for ops that overwrite every
+  /// element before any read — never hand one to code that accumulates.
+  static TensorPtr CreateUninitialized(int64_t rows, int64_t cols,
+                                       bool requires_grad = false);
 
   /// Creates a tensor adopting `data` (size must equal rows*cols).
   static TensorPtr FromData(int64_t rows, int64_t cols,
@@ -45,6 +51,10 @@ class Tensor {
   static TensorPtr Scalar(float value, bool requires_grad = false);
 
   Tensor(int64_t rows, int64_t cols, bool requires_grad);
+  Tensor(int64_t rows, int64_t cols, bool requires_grad, bool zero_init);
+
+  /// Returns the data and gradient buffers to the global BufferPool.
+  ~Tensor();
 
   Tensor(const Tensor&) = delete;
   Tensor& operator=(const Tensor&) = delete;

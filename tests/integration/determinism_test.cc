@@ -13,6 +13,8 @@
 #include "common/thread_pool.h"
 #include "core/desalign.h"
 #include "kg/synthetic.h"
+#include "tensor/kernels/buffer_pool.h"
+#include "tensor/kernels/dispatch.h"
 #include "tensor/tensor.h"
 
 namespace desalign {
@@ -91,6 +93,62 @@ TEST(DeterminismTest, ThreadCountInvariant) {
   ExpectBitExact(serial.fused, parallel.fused, "fused embeddings");
   ExpectBitExact(serial.similarity, parallel.similarity,
                  "decoded similarity");
+}
+
+// The BufferPool hands out recycled (possibly stale) storage; results must
+// not depend on it. Train with the pool disabled (fresh zeroed allocations,
+// the pre-pool behaviour), then twice with it enabled — the second enabled
+// run recycles dirty buffers from the first, which is exactly the state
+// where a kernel reading uninitialized output storage would diverge.
+TEST(DeterminismTest, BufferPoolInvariant) {
+  auto data = TinyData();
+  auto& pool = tensor::kernels::BufferPool::Global();
+  pool.set_enabled(false);
+  const RunArtifacts off = TrainAndDecode(data, 5);
+  pool.set_enabled(true);
+  pool.Clear();
+  const RunArtifacts cold = TrainAndDecode(data, 5);
+  const RunArtifacts warm = TrainAndDecode(data, 5);
+  ExpectBitExact(off.fused, cold.fused, "fused embeddings (pool off vs on)");
+  ExpectBitExact(off.similarity, cold.similarity,
+                 "decoded similarity (pool off vs on)");
+  ExpectBitExact(off.fused, warm.fused,
+                 "fused embeddings (pool off vs warm/dirty pool)");
+  ExpectBitExact(off.similarity, warm.similarity,
+                 "decoded similarity (pool off vs warm/dirty pool)");
+}
+
+// ISA selection is a speed knob, never a numerics knob: forcing the scalar
+// bodies must reproduce the auto-dispatched (possibly AVX2) run exactly.
+TEST(DeterminismTest, IsaInvariant) {
+  auto data = TinyData();
+  const RunArtifacts auto_isa = TrainAndDecode(data, 5);
+  tensor::kernels::SetIsaOverride(tensor::kernels::IsaLevel::kScalar);
+  const RunArtifacts scalar = TrainAndDecode(data, 5);
+  tensor::kernels::SetIsaOverride(tensor::kernels::IsaLevel::kScalar,
+                                  /*has_override=*/false);
+  ExpectBitExact(auto_isa.fused, scalar.fused, "fused embeddings");
+  ExpectBitExact(auto_isa.similarity, scalar.similarity,
+                 "decoded similarity");
+}
+
+// Acceptance check for the pool: once every live shape has been seen, the
+// epoch loop should run close to allocation-free. The first run warms the
+// buckets; the second must be served almost entirely from them.
+TEST(DeterminismTest, BufferPoolSteadyStateHitRate) {
+  auto data = TinyData();
+  auto& pool = tensor::kernels::BufferPool::Global();
+  pool.set_enabled(true);
+  TrainAndDecode(data, 5);  // warm the buckets
+  pool.ResetStats();
+  TrainAndDecode(data, 5);
+  const auto stats = pool.GetStats();
+  ASSERT_GT(stats.hits + stats.misses, 0);
+  // Not exactly 1.0: a bucket that overflows kMaxBuffersPerBucket at the
+  // peak of the graph discards, and those allocations miss again next run.
+  EXPECT_GE(stats.HitRate(), 0.95)
+      << "steady-state training should recycle nearly every buffer, got "
+      << stats.hits << " hits / " << stats.misses << " misses";
 }
 
 TEST(DeterminismTest, DatasetGenerationIsSeedDeterministic) {

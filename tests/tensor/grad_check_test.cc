@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "tensor/init.h"
+#include "tensor/kernels/dispatch.h"
 #include "tensor/ops.h"
 #include "tensor/tensor.h"
 #include "testing/grad_check.h"
@@ -215,6 +217,50 @@ TEST(GradCheckTest, AbsClipMaxMinRowMaxColMean) {
   CheckGradients({a, b}, [&] { return Sum(MinElementwise(a, b)); });
   CheckGradients({a}, [&] { return Sum(Square(RowMax(a))); });
   CheckGradients({a}, [&] { return Sum(Square(ColMean(a))); });
+}
+
+// Re-run the heaviest compositions with the backward pass actually split
+// across threads: 4 workers and a forced grain of 1 chunk these tiny shapes
+// into multiple pieces, so the parallelized backwards (matmul, LayerNorm,
+// L2-normalize, softmax, scatter/column reductions) are gradient-checked on
+// the same multi-chunk code path production uses on large tensors.
+TEST(GradCheckTest, ParallelizedBackwardsStillPass) {
+  common::ThreadPool::SetGlobalThreadCount(4);
+  kernels::SetForcedGrainForTesting(1);
+
+  auto a = RandomParam(3, 4, 60);
+  auto b = RandomParam(4, 2, 61);
+  CheckGradients({a, b}, [&] { return Sum(MatMul(a, b)); });
+
+  auto x = RandomParam(3, 5, 62);
+  auto gamma = RandomParam(1, 5, 63);
+  auto beta = RandomParam(1, 5, 64);
+  auto probe = RandomParam(3, 5, 65);
+  probe->set_requires_grad(false);
+  CheckGradients({x, gamma, beta}, [&] {
+    return Sum(Mul(LayerNorm(x, gamma, beta), probe));
+  });
+
+  auto z1 = RandomParam(4, 3, 66);
+  auto z2 = RandomParam(4, 3, 67);
+  CheckGradients({z1, z2}, [&] {
+    auto s = Scale(MatMul(RowL2Normalize(z1), Transpose(RowL2Normalize(z2))),
+                   5.0f);
+    return Neg(Mean(TakeDiag(RowLogSoftmax(s))));
+  });
+
+  auto v = RandomParam(5, 3, 68);
+  std::vector<int64_t> seg = {1, 0, 1, 2, 0};
+  CheckGradients({v}, [&] { return Sum(Square(SegmentSum(v, seg, 3))); });
+
+  auto row = RandomParam(1, 4, 69);
+  auto g = RandomParam(3, 4, 70);
+  CheckGradients({g, row}, [&] {
+    return Sum(Square(MulRowVector(AddRowVector(g, row), row)));
+  });
+
+  kernels::SetForcedGrainForTesting(0);
+  common::ThreadPool::SetGlobalThreadCount(0);
 }
 
 // Parameterized sweep: MatMul gradients across a range of shapes.

@@ -1,0 +1,583 @@
+// Bit-exactness suite for the kernel layer: every kernel must produce
+// byte-identical output to the serial scalar reference
+// (kernels/reference.cc — the pre-kernel-layer ops.cc loops) under every
+// ISA level the CPU supports and under multi-chunk parallel partitioning
+// (4 threads with the grain forced to 1 so even 1x1 shapes split). Shapes
+// deliberately include empty, single-row, single-column and 63/65-wide
+// cases to hit vector-width remainders on both sides.
+
+#include <cstring>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "tensor/kernels/dispatch.h"
+#include "tensor/kernels/elementwise.h"
+#include "tensor/kernels/gemm.h"
+#include "tensor/kernels/reference.h"
+#include "tensor/kernels/rowwise.h"
+
+namespace desalign::tensor::kernels {
+namespace {
+
+struct Shape {
+  int64_t n;
+  int64_t c;
+};
+
+// 63/65 columns straddle the 8-lane AVX2 width; 129 forces a remainder
+// after 16 full lanes; {0, x} and {1, 1} are the degenerate floors.
+const Shape kShapes[] = {{0, 17}, {1, 1},  {1, 63},  {2, 65},
+                         {7, 129}, {33, 64}, {128, 63}, {65, 65}};
+
+std::vector<float> RandomVec(common::Rng& rng, size_t n, float lo = -2.0f,
+                             float hi = 2.0f) {
+  std::vector<float> v(n);
+  for (auto& x : v) x = rng.UniformF(lo, hi);
+  return v;
+}
+
+// Runs `kernel` under every ISA x partitioning configuration and asserts the
+// bytes written into the output buffer match `ref` exactly. `base` seeds the
+// output buffer so accumulating kernels are checked against a nonzero
+// starting point.
+void ExpectConfigsBitExact(const std::function<void(float*)>& kernel,
+                           const std::function<void(float*)>& ref,
+                           const std::vector<float>& base) {
+  std::vector<float> expected = base;
+  ref(expected.data());
+
+  struct Config {
+    IsaLevel isa;
+    int threads;
+  };
+  std::vector<Config> configs = {{IsaLevel::kScalar, 1},
+                                 {IsaLevel::kScalar, 4}};
+  if (CpuSupportsAvx2()) {
+    configs.push_back({IsaLevel::kAvx2, 1});
+    configs.push_back({IsaLevel::kAvx2, 4});
+  }
+  for (const auto& config : configs) {
+    common::ThreadPool::SetGlobalThreadCount(config.threads);
+    // Grain 1 makes even tiny shapes span multiple chunks, exercising the
+    // partition boundaries that a production grain would never hit here.
+    SetForcedGrainForTesting(config.threads > 1 ? 1 : 0);
+    SetIsaOverride(config.isa);
+    std::vector<float> got = base;
+    kernel(got.data());
+    SetIsaOverride(IsaLevel::kScalar, /*has_override=*/false);
+    SetForcedGrainForTesting(0);
+    common::ThreadPool::SetGlobalThreadCount(0);
+    ASSERT_EQ(got.size(), expected.size());
+    EXPECT_EQ(std::memcmp(got.data(), expected.data(),
+                          got.size() * sizeof(float)),
+              0)
+        << IsaName(config.isa) << " @" << config.threads
+        << " threads diverged from the scalar reference";
+  }
+}
+
+TEST(KernelsBitExactTest, BinaryElementwise) {
+  common::Rng rng(101);
+  for (const auto& s : kShapes) {
+    const size_t n = static_cast<size_t>(s.n * s.c);
+    auto a = RandomVec(rng, n);
+    auto b = RandomVec(rng, n);
+    for (auto& v : b) v = 1.5f + std::fabs(v);  // Div-safe denominator
+    const std::vector<float> base(n, 0.0f);
+    ExpectConfigsBitExact([&](float* y) { Add(a.data(), b.data(), y, n); },
+                          [&](float* y) {
+                            reference::Add(a.data(), b.data(), y, n);
+                          },
+                          base);
+    ExpectConfigsBitExact([&](float* y) { Sub(a.data(), b.data(), y, n); },
+                          [&](float* y) {
+                            reference::Sub(a.data(), b.data(), y, n);
+                          },
+                          base);
+    ExpectConfigsBitExact([&](float* y) { Mul(a.data(), b.data(), y, n); },
+                          [&](float* y) {
+                            reference::Mul(a.data(), b.data(), y, n);
+                          },
+                          base);
+    ExpectConfigsBitExact([&](float* y) { Div(a.data(), b.data(), y, n); },
+                          [&](float* y) {
+                            reference::Div(a.data(), b.data(), y, n);
+                          },
+                          base);
+  }
+}
+
+TEST(KernelsBitExactTest, ScalarAndUnaryElementwise) {
+  common::Rng rng(102);
+  for (const auto& s : kShapes) {
+    const size_t n = static_cast<size_t>(s.n * s.c);
+    auto x = RandomVec(rng, n);
+    auto pos = RandomVec(rng, n, 0.05f, 3.0f);
+    const std::vector<float> base(n, 0.0f);
+    ExpectConfigsBitExact(
+        [&](float* y) { Scale(x.data(), 1.7f, y, n); },
+        [&](float* y) { reference::Scale(x.data(), 1.7f, y, n); }, base);
+    ExpectConfigsBitExact(
+        [&](float* y) { MulScalar(x.data(), -0.3f, y, n); },
+        [&](float* y) { reference::MulScalar(x.data(), -0.3f, y, n); }, base);
+    ExpectConfigsBitExact(
+        [&](float* y) { AddScalar(x.data(), 0.9f, y, n); },
+        [&](float* y) { reference::AddScalar(x.data(), 0.9f, y, n); }, base);
+    ExpectConfigsBitExact(
+        [&](float* y) { Relu(x.data(), y, n); },
+        [&](float* y) { reference::Relu(x.data(), y, n); }, base);
+    ExpectConfigsBitExact(
+        [&](float* y) { LeakyRelu(x.data(), 0.2f, y, n); },
+        [&](float* y) { reference::LeakyRelu(x.data(), 0.2f, y, n); }, base);
+    ExpectConfigsBitExact(
+        [&](float* y) { Sigmoid(x.data(), y, n); },
+        [&](float* y) { reference::Sigmoid(x.data(), y, n); }, base);
+    ExpectConfigsBitExact(
+        [&](float* y) { Tanh(x.data(), y, n); },
+        [&](float* y) { reference::Tanh(x.data(), y, n); }, base);
+    ExpectConfigsBitExact(
+        [&](float* y) { Exp(x.data(), y, n); },
+        [&](float* y) { reference::Exp(x.data(), y, n); }, base);
+    ExpectConfigsBitExact(
+        [&](float* y) { LogEps(pos.data(), 1e-12f, y, n); },
+        [&](float* y) { reference::LogEps(pos.data(), 1e-12f, y, n); }, base);
+    ExpectConfigsBitExact(
+        [&](float* y) { Square(x.data(), y, n); },
+        [&](float* y) { reference::Square(x.data(), y, n); }, base);
+    ExpectConfigsBitExact(
+        [&](float* y) { Abs(x.data(), y, n); },
+        [&](float* y) { reference::Abs(x.data(), y, n); }, base);
+    ExpectConfigsBitExact(
+        [&](float* y) { Clip(x.data(), -0.5f, 0.8f, y, n); },
+        [&](float* y) { reference::Clip(x.data(), -0.5f, 0.8f, y, n); },
+        base);
+  }
+}
+
+TEST(KernelsBitExactTest, AccumulatingElementwise) {
+  common::Rng rng(103);
+  for (const auto& s : kShapes) {
+    const size_t n = static_cast<size_t>(s.n * s.c);
+    auto g = RandomVec(rng, n);
+    auto x = RandomVec(rng, n);
+    auto b = RandomVec(rng, n);
+    for (auto& v : b) v = 1.5f + std::fabs(v);
+    auto base = RandomVec(rng, n);  // accumulate onto nonzero contents
+    ExpectConfigsBitExact(
+        [&](float* out) { Accumulate(g.data(), out, n); },
+        [&](float* out) { reference::Accumulate(g.data(), out, n); }, base);
+    ExpectConfigsBitExact(
+        [&](float* out) { AccumulateNeg(g.data(), out, n); },
+        [&](float* out) { reference::AccumulateNeg(g.data(), out, n); },
+        base);
+    ExpectConfigsBitExact(
+        [&](float* out) { Axpy(0.7f, x.data(), out, n); },
+        [&](float* out) { reference::Axpy(0.7f, x.data(), out, n); }, base);
+    ExpectConfigsBitExact(
+        [&](float* out) { AccumulateConstant(0.45f, out, n); },
+        [&](float* out) { reference::AccumulateConstant(0.45f, out, n); },
+        base);
+    ExpectConfigsBitExact(
+        [&](float* out) { AccumulateScaled(g.data(), -1.2f, out, n); },
+        [&](float* out) {
+          reference::AccumulateScaled(g.data(), -1.2f, out, n);
+        },
+        base);
+    ExpectConfigsBitExact(
+        [&](float* out) { AccumulateProduct(g.data(), x.data(), out, n); },
+        [&](float* out) {
+          reference::AccumulateProduct(g.data(), x.data(), out, n);
+        },
+        base);
+    ExpectConfigsBitExact(
+        [&](float* out) { AccumulateQuotient(g.data(), b.data(), out, n); },
+        [&](float* out) {
+          reference::AccumulateQuotient(g.data(), b.data(), out, n);
+        },
+        base);
+    ExpectConfigsBitExact(
+        [&](float* out) { DivGradB(g.data(), x.data(), b.data(), out, n); },
+        [&](float* out) {
+          reference::DivGradB(g.data(), x.data(), b.data(), out, n);
+        },
+        base);
+    ExpectConfigsBitExact(
+        [&](float* out) { ReluGrad(g.data(), x.data(), out, n); },
+        [&](float* out) { reference::ReluGrad(g.data(), x.data(), out, n); },
+        base);
+    ExpectConfigsBitExact(
+        [&](float* out) { LeakyReluGrad(g.data(), x.data(), 0.2f, out, n); },
+        [&](float* out) {
+          reference::LeakyReluGrad(g.data(), x.data(), 0.2f, out, n);
+        },
+        base);
+    ExpectConfigsBitExact(
+        [&](float* out) { SigmoidGrad(g.data(), x.data(), out, n); },
+        [&](float* out) {
+          reference::SigmoidGrad(g.data(), x.data(), out, n);
+        },
+        base);
+    ExpectConfigsBitExact(
+        [&](float* out) { TanhGrad(g.data(), x.data(), out, n); },
+        [&](float* out) { reference::TanhGrad(g.data(), x.data(), out, n); },
+        base);
+    ExpectConfigsBitExact(
+        [&](float* out) { LogEpsGrad(g.data(), b.data(), 1e-12f, out, n); },
+        [&](float* out) {
+          reference::LogEpsGrad(g.data(), b.data(), 1e-12f, out, n);
+        },
+        base);
+    ExpectConfigsBitExact(
+        [&](float* out) { SquareGrad(g.data(), x.data(), out, n); },
+        [&](float* out) {
+          reference::SquareGrad(g.data(), x.data(), out, n);
+        },
+        base);
+    ExpectConfigsBitExact(
+        [&](float* out) { AbsGrad(g.data(), x.data(), out, n); },
+        [&](float* out) { reference::AbsGrad(g.data(), x.data(), out, n); },
+        base);
+    ExpectConfigsBitExact(
+        [&](float* out) { ClipGrad(g.data(), x.data(), -0.5f, 0.8f, out, n); },
+        [&](float* out) {
+          reference::ClipGrad(g.data(), x.data(), -0.5f, 0.8f, out, n);
+        },
+        base);
+  }
+}
+
+TEST(KernelsBitExactTest, Broadcasts) {
+  common::Rng rng(104);
+  for (const auto& s : kShapes) {
+    const int64_t n = s.n;
+    const int64_t c = s.c;
+    auto a = RandomVec(rng, static_cast<size_t>(n * c));
+    auto g = RandomVec(rng, static_cast<size_t>(n * c));
+    auto row = RandomVec(rng, static_cast<size_t>(c));
+    auto col = RandomVec(rng, static_cast<size_t>(n));
+    const std::vector<float> zero_nc(static_cast<size_t>(n * c), 0.0f);
+    auto base_nc = RandomVec(rng, static_cast<size_t>(n * c));
+    auto base_c = RandomVec(rng, static_cast<size_t>(c));
+    auto base_n = RandomVec(rng, static_cast<size_t>(n));
+    ExpectConfigsBitExact(
+        [&](float* y) { AddRowBroadcast(a.data(), row.data(), y, n, c); },
+        [&](float* y) {
+          reference::AddRowBroadcast(a.data(), row.data(), y, n, c);
+        },
+        zero_nc);
+    ExpectConfigsBitExact(
+        [&](float* y) { MulRowBroadcast(a.data(), row.data(), y, n, c); },
+        [&](float* y) {
+          reference::MulRowBroadcast(a.data(), row.data(), y, n, c);
+        },
+        zero_nc);
+    ExpectConfigsBitExact(
+        [&](float* out) {
+          MulRowBroadcastAcc(g.data(), row.data(), out, n, c);
+        },
+        [&](float* out) {
+          reference::MulRowBroadcastAcc(g.data(), row.data(), out, n, c);
+        },
+        base_nc);
+    ExpectConfigsBitExact(
+        [&](float* y) { RowScale(a.data(), col.data(), y, n, c); },
+        [&](float* y) { reference::RowScale(a.data(), col.data(), y, n, c); },
+        zero_nc);
+    ExpectConfigsBitExact(
+        [&](float* out) { RowScaleAcc(g.data(), col.data(), out, n, c); },
+        [&](float* out) {
+          reference::RowScaleAcc(g.data(), col.data(), out, n, c);
+        },
+        base_nc);
+    ExpectConfigsBitExact(
+        [&](float* out) { RowDotAcc(g.data(), a.data(), out, n, c); },
+        [&](float* out) {
+          reference::RowDotAcc(g.data(), a.data(), out, n, c);
+        },
+        base_n);
+    ExpectConfigsBitExact(
+        [&](float* out) { AddColBroadcastAcc(col.data(), out, n, c); },
+        [&](float* out) {
+          reference::AddColBroadcastAcc(col.data(), out, n, c);
+        },
+        base_nc);
+    ExpectConfigsBitExact(
+        [&](float* out) { ColumnAcc(g.data(), out, n, c); },
+        [&](float* out) { reference::ColumnAcc(g.data(), out, n, c); },
+        base_c);
+    ExpectConfigsBitExact(
+        [&](float* out) { ColumnAccMul(g.data(), a.data(), out, n, c); },
+        [&](float* out) {
+          reference::ColumnAccMul(g.data(), a.data(), out, n, c);
+        },
+        base_c);
+  }
+}
+
+TEST(KernelsBitExactTest, SoftmaxAndNormalization) {
+  common::Rng rng(105);
+  for (const auto& s : kShapes) {
+    const int64_t n = s.n;
+    const int64_t c = s.c;
+    const size_t nc = static_cast<size_t>(n * c);
+    auto x = RandomVec(rng, nc);
+    auto g = RandomVec(rng, nc);
+    auto gamma = RandomVec(rng, static_cast<size_t>(c), 0.5f, 1.5f);
+    auto beta = RandomVec(rng, static_cast<size_t>(c));
+    const std::vector<float> zero_nc(nc, 0.0f);
+    auto base_nc = RandomVec(rng, nc);
+
+    ExpectConfigsBitExact(
+        [&](float* y) { RowSoftmax(x.data(), y, n, c); },
+        [&](float* y) { reference::RowSoftmax(x.data(), y, n, c); },
+        zero_nc);
+    ExpectConfigsBitExact(
+        [&](float* y) { RowLogSoftmax(x.data(), y, n, c); },
+        [&](float* y) { reference::RowLogSoftmax(x.data(), y, n, c); },
+        zero_nc);
+
+    std::vector<float> soft(nc);
+    std::vector<float> logsoft(nc);
+    reference::RowSoftmax(x.data(), soft.data(), n, c);
+    reference::RowLogSoftmax(x.data(), logsoft.data(), n, c);
+    ExpectConfigsBitExact(
+        [&](float* out) { RowSoftmaxGrad(soft.data(), g.data(), out, n, c); },
+        [&](float* out) {
+          reference::RowSoftmaxGrad(soft.data(), g.data(), out, n, c);
+        },
+        base_nc);
+    ExpectConfigsBitExact(
+        [&](float* out) {
+          RowLogSoftmaxGrad(logsoft.data(), g.data(), out, n, c);
+        },
+        [&](float* out) {
+          reference::RowLogSoftmaxGrad(logsoft.data(), g.data(), out, n, c);
+        },
+        base_nc);
+
+    // RowL2Normalize writes y (n*c) and norms (n) — check both by packing
+    // them into one output buffer.
+    ExpectConfigsBitExact(
+        [&](float* out) {
+          RowL2Normalize(x.data(), 1e-12f, out, out + n * c, n, c);
+        },
+        [&](float* out) {
+          reference::RowL2Normalize(x.data(), 1e-12f, out, out + n * c, n,
+                                    c);
+        },
+        std::vector<float>(nc + static_cast<size_t>(n), 0.0f));
+    std::vector<float> l2y(nc);
+    std::vector<float> norms(static_cast<size_t>(n));
+    reference::RowL2Normalize(x.data(), 1e-12f, l2y.data(), norms.data(), n,
+                              c);
+    ExpectConfigsBitExact(
+        [&](float* out) {
+          RowL2NormalizeGrad(l2y.data(), g.data(), norms.data(), out, n, c);
+        },
+        [&](float* out) {
+          reference::RowL2NormalizeGrad(l2y.data(), g.data(), norms.data(),
+                                        out, n, c);
+        },
+        base_nc);
+
+    // LayerNormForward writes y, xhat (both n*c) and inv_sigma (n).
+    ExpectConfigsBitExact(
+        [&](float* out) {
+          LayerNormForward(x.data(), gamma.data(), beta.data(), 1e-5f, out,
+                           out + n * c, out + 2 * n * c, n, c);
+        },
+        [&](float* out) {
+          reference::LayerNormForward(x.data(), gamma.data(), beta.data(),
+                                      1e-5f, out, out + n * c,
+                                      out + 2 * n * c, n, c);
+        },
+        std::vector<float>(2 * nc + static_cast<size_t>(n), 0.0f));
+    std::vector<float> lny(nc);
+    std::vector<float> xhat(nc);
+    std::vector<float> inv_sigma(static_cast<size_t>(n));
+    reference::LayerNormForward(x.data(), gamma.data(), beta.data(), 1e-5f,
+                                lny.data(), xhat.data(), inv_sigma.data(), n,
+                                c);
+    ExpectConfigsBitExact(
+        [&](float* out) {
+          LayerNormGradX(g.data(), gamma.data(), xhat.data(),
+                         inv_sigma.data(), out, n, c);
+        },
+        [&](float* out) {
+          reference::LayerNormGradX(g.data(), gamma.data(), xhat.data(),
+                                    inv_sigma.data(), out, n, c);
+        },
+        base_nc);
+  }
+}
+
+TEST(KernelsBitExactTest, GatherScatterTranspose) {
+  common::Rng rng(106);
+  for (const auto& s : kShapes) {
+    const int64_t n = std::max<int64_t>(s.n, 1);  // gather source rows
+    const int64_t c = s.c;
+    const int64_t e = s.n * 2 + 1;  // more indices than rows → duplicates
+    auto a = RandomVec(rng, static_cast<size_t>(n * c));
+    auto g = RandomVec(rng, static_cast<size_t>(e * c));
+    std::vector<int64_t> indices(static_cast<size_t>(e));
+    for (auto& i : indices) i = rng.UniformInt(n);
+    auto base_nc = RandomVec(rng, static_cast<size_t>(n * c));
+    auto base_ec = RandomVec(rng, static_cast<size_t>(e * c));
+    ExpectConfigsBitExact(
+        [&](float* y) { GatherRows(a.data(), indices.data(), y, e, c); },
+        [&](float* y) {
+          reference::GatherRows(a.data(), indices.data(), y, e, c);
+        },
+        std::vector<float>(static_cast<size_t>(e * c), 0.0f));
+    // Duplicate indices: the column-partitioned scatter must reproduce the
+    // serial ascending-i accumulation order per column exactly.
+    ExpectConfigsBitExact(
+        [&](float* out) {
+          ScatterAddRows(g.data(), indices.data(), out, e, c);
+        },
+        [&](float* out) {
+          reference::ScatterAddRows(g.data(), indices.data(), out, e, c);
+        },
+        base_nc);
+    ExpectConfigsBitExact(
+        [&](float* out) {
+          GatherRowsAcc(a.data(), indices.data(), out, e, c);
+        },
+        [&](float* out) {
+          reference::GatherRowsAcc(a.data(), indices.data(), out, e, c);
+        },
+        base_ec);
+
+    const int64_t m = s.n;
+    ExpectConfigsBitExact(
+        [&](float* y) { Transpose(a.data(), y, m, c); },
+        [&](float* y) { reference::Transpose(a.data(), y, m, c); },
+        std::vector<float>(static_cast<size_t>(m * c), 0.0f));
+    auto gt = RandomVec(rng, static_cast<size_t>(m * c));
+    auto base_mc = RandomVec(rng, static_cast<size_t>(m * c));
+    ExpectConfigsBitExact(
+        [&](float* out) { TransposeAcc(gt.data(), out, m, c); },
+        [&](float* out) { reference::TransposeAcc(gt.data(), out, m, c); },
+        base_mc);
+  }
+}
+
+TEST(KernelsBitExactTest, StridedCopies) {
+  // reference.cc has no strided variants (the old ops.cc inlined these
+  // loops), so the expected values are computed with local serial loops.
+  common::Rng rng(107);
+  const int64_t n = 9;
+  const int64_t stride = 13;
+  const int64_t c = 5;
+  auto src = RandomVec(rng, static_cast<size_t>(n * stride));
+  auto dense = RandomVec(rng, static_cast<size_t>(n * c));
+
+  std::vector<float> expected_dense(static_cast<size_t>(n * c), 0.0f);
+  for (int64_t r = 0; r < n; ++r) {
+    for (int64_t j = 0; j < c; ++j) {
+      expected_dense[r * c + j] = src[r * stride + j];
+    }
+  }
+  ExpectConfigsBitExact(
+      [&](float* dst) {
+        CopyStridedToDense(src.data(), stride, dst, n, c);
+      },
+      [&](float* dst) {
+        std::memcpy(dst, expected_dense.data(),
+                    expected_dense.size() * sizeof(float));
+      },
+      std::vector<float>(static_cast<size_t>(n * c), 0.0f));
+
+  auto base_strided = RandomVec(rng, static_cast<size_t>(n * stride));
+  std::vector<float> expected_strided = base_strided;
+  for (int64_t r = 0; r < n; ++r) {
+    for (int64_t j = 0; j < c; ++j) {
+      expected_strided[r * stride + j] = dense[r * c + j];
+    }
+  }
+  ExpectConfigsBitExact(
+      [&](float* dst) { CopyDenseToStrided(dense.data(), dst, stride, n, c); },
+      [&](float* dst) {
+        std::memcpy(dst, expected_strided.data(),
+                    expected_strided.size() * sizeof(float));
+      },
+      base_strided);
+
+  auto base_acc = RandomVec(rng, static_cast<size_t>(n * c));
+  std::vector<float> expected_acc = base_acc;
+  for (int64_t r = 0; r < n; ++r) {
+    for (int64_t j = 0; j < c; ++j) {
+      expected_acc[r * c + j] += src[r * stride + j];
+    }
+  }
+  ExpectConfigsBitExact(
+      [&](float* out) { AccStridedToDense(src.data(), stride, out, n, c); },
+      [&](float* out) {
+        std::memcpy(out, expected_acc.data(),
+                    expected_acc.size() * sizeof(float));
+      },
+      base_acc);
+
+  auto base_acc2 = RandomVec(rng, static_cast<size_t>(n * stride));
+  std::vector<float> expected_acc2 = base_acc2;
+  for (int64_t r = 0; r < n; ++r) {
+    for (int64_t j = 0; j < c; ++j) {
+      expected_acc2[r * stride + j] += dense[r * c + j];
+    }
+  }
+  ExpectConfigsBitExact(
+      [&](float* out) { AccDenseToStrided(dense.data(), out, stride, n, c); },
+      [&](float* out) {
+        std::memcpy(out, expected_acc2.data(),
+                    expected_acc2.size() * sizeof(float));
+      },
+      base_acc2);
+}
+
+TEST(KernelsBitExactTest, MatMulForwardAndBackward) {
+  common::Rng rng(108);
+  struct Mkn {
+    int64_t m, k, n;
+  };
+  const Mkn shapes[] = {{1, 1, 1}, {3, 5, 2}, {7, 63, 33}, {16, 65, 17},
+                        {33, 32, 65}};
+  for (const auto& s : shapes) {
+    auto a = RandomVec(rng, static_cast<size_t>(s.m * s.k));
+    auto b = RandomVec(rng, static_cast<size_t>(s.k * s.n));
+    auto g = RandomVec(rng, static_cast<size_t>(s.m * s.n));
+    // The forward skips exact-zero a elements; plant some to keep that
+    // branch equivalent on every path.
+    for (size_t i = 0; i < a.size(); i += 7) a[i] = 0.0f;
+    ExpectConfigsBitExact(
+        [&](float* y) { MatMul(a.data(), b.data(), y, s.m, s.k, s.n); },
+        [&](float* y) {
+          reference::MatMul(a.data(), b.data(), y, s.m, s.k, s.n);
+        },
+        std::vector<float>(static_cast<size_t>(s.m * s.n), 0.0f));
+    auto base_ga = RandomVec(rng, static_cast<size_t>(s.m * s.k));
+    ExpectConfigsBitExact(
+        [&](float* ga) {
+          MatMulGradA(g.data(), b.data(), ga, s.m, s.k, s.n);
+        },
+        [&](float* ga) {
+          reference::MatMulGradA(g.data(), b.data(), ga, s.m, s.k, s.n);
+        },
+        base_ga);
+    auto base_gb = RandomVec(rng, static_cast<size_t>(s.k * s.n));
+    ExpectConfigsBitExact(
+        [&](float* gb) {
+          MatMulGradB(g.data(), a.data(), gb, s.m, s.k, s.n);
+        },
+        [&](float* gb) {
+          reference::MatMulGradB(g.data(), a.data(), gb, s.m, s.k, s.n);
+        },
+        base_gb);
+  }
+}
+
+}  // namespace
+}  // namespace desalign::tensor::kernels

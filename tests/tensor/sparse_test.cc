@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
+
 namespace desalign::tensor {
 namespace {
 
@@ -108,6 +110,87 @@ TEST(CsrMatrixTest, SymmetryCheck) {
   EXPECT_FALSE(asym->IsSymmetric());
   auto rect = CsrMatrix::FromTriplets(2, 3, {{0, 1, 2.0f}});
   EXPECT_FALSE(rect->IsSymmetric());
+}
+
+// The one-pass counting-sort build must be insensitive to triplet order for
+// duplicate-free inputs: any permutation yields the identical CSR arrays.
+TEST(CsrMatrixTest, FromTripletsOrderInvariantWithoutDuplicates) {
+  common::Rng rng(77);
+  std::vector<Triplet> triplets;
+  for (int64_t r = 0; r < 17; ++r) {
+    for (int64_t c = 0; c < 23; ++c) {
+      if (rng.Bernoulli(0.3)) {
+        triplets.push_back({r, c, rng.UniformF(-2.0f, 2.0f)});
+      }
+    }
+  }
+  auto sorted = triplets;
+  auto shuffled = triplets;
+  for (size_t i = shuffled.size(); i > 1; --i) {
+    std::swap(shuffled[i - 1],
+              shuffled[static_cast<size_t>(rng.UniformInt(
+                  static_cast<int64_t>(i)))]);
+  }
+  auto a = CsrMatrix::FromTriplets(17, 23, std::move(sorted));
+  auto b = CsrMatrix::FromTriplets(17, 23, std::move(shuffled));
+  EXPECT_EQ(a->row_ptr(), b->row_ptr());
+  EXPECT_EQ(a->col_idx(), b->col_idx());
+  EXPECT_EQ(a->values(), b->values());
+}
+
+// With duplicates, summation follows insertion order (stable within-row
+// sort), so repeated builds from the same triplet list are bit-identical.
+TEST(CsrMatrixTest, FromTripletsDuplicateSummationIsDeterministic) {
+  std::vector<Triplet> triplets = {
+      {0, 1, 0.1f}, {1, 0, 2.0f}, {0, 1, 0.2f}, {0, 0, -1.0f},
+      {0, 1, 0.3f}, {1, 0, -0.5f}};
+  auto a = CsrMatrix::FromTriplets(2, 2, triplets);
+  auto b = CsrMatrix::FromTriplets(2, 2, triplets);
+  EXPECT_EQ(a->nnz(), 3);
+  EXPECT_EQ(a->values(), b->values());
+  // Insertion order: (0.1 + 0.2) + 0.3.
+  EXPECT_FLOAT_EQ(a->At(0, 1), (0.1f + 0.2f) + 0.3f);
+  EXPECT_FLOAT_EQ(a->At(1, 0), 1.5f);
+}
+
+// The counting-sort transpose must produce canonical CSR (ascending columns
+// within each row, matching what FromTriplets would build) and move values
+// bit-unchanged — checked against an explicit triplet round-trip.
+TEST(CsrMatrixTest, TransposeMatchesTripletRoundTrip) {
+  common::Rng rng(78);
+  std::vector<Triplet> triplets;
+  for (int64_t r = 0; r < 29; ++r) {
+    for (int64_t c = 0; c < 13; ++c) {
+      if (rng.Bernoulli(0.25)) {
+        triplets.push_back({r, c, rng.UniformF(-2.0f, 2.0f)});
+      }
+    }
+  }
+  auto m = CsrMatrix::FromTriplets(29, 13, std::move(triplets));
+  std::vector<Triplet> flipped;
+  for (int64_t r = 0; r < m->rows(); ++r) {
+    for (int64_t p = m->row_ptr()[r]; p < m->row_ptr()[r + 1]; ++p) {
+      flipped.push_back({m->col_idx()[p], r, m->values()[p]});
+    }
+  }
+  auto expected = CsrMatrix::FromTriplets(13, 29, std::move(flipped));
+  auto t = m->Transpose();
+  EXPECT_EQ(t->rows(), 13);
+  EXPECT_EQ(t->cols(), 29);
+  EXPECT_EQ(t->row_ptr(), expected->row_ptr());
+  EXPECT_EQ(t->col_idx(), expected->col_idx());
+  EXPECT_EQ(t->values(), expected->values());
+}
+
+TEST(CsrMatrixTest, TransposeHandlesEmptyRowsAndCols) {
+  // Column 1 and row 2 are empty; both must survive the counting sort as
+  // empty rows/columns of the transpose.
+  auto m = CsrMatrix::FromTriplets(3, 3, {{0, 0, 1.0f}, {1, 2, 2.0f}});
+  auto t = m->Transpose();
+  EXPECT_EQ(t->nnz(), 2);
+  EXPECT_FLOAT_EQ(t->At(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(t->At(2, 1), 2.0f);
+  EXPECT_EQ(t->row_ptr()[1], t->row_ptr()[2]);  // transposed row 1 is empty
 }
 
 }  // namespace

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # CI entry point: the tier-1 gate plus the sanitizer gate.
 #
-#   tools/ci.sh            # full: tier-1 build + all tests, then TSan suite
-#   tools/ci.sh --tier1    # only the tier-1 gate (build + full ctest)
+#   tools/ci.sh            # full: tier-1 build + all tests + kernel-bench
+#                          # smoke, then TSan suite
+#   tools/ci.sh --tier1    # only the tier-1 gate (build + full ctest +
+#                          # kernel-bench smoke)
 #   tools/ci.sh --tsan     # only the ThreadSanitizer-labelled suite
 #
 # Test labels (see tests/CMakeLists.txt):
@@ -28,6 +30,34 @@ if [[ "${run_tier1}" == 1 ]]; then
   cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
   cmake --build build -j "${JOBS}"
   ctest --test-dir build --output-on-failure -j "${JOBS}"
+
+  echo "== kernel-bench smoke: schema + vector-path regression gate =="
+  # Tiny shapes, two repeats: this is a regression tripwire (does the
+  # vector path at least match the scalar reference on elementwise ops?),
+  # not a performance measurement — see docs/PERFORMANCE.md for real runs.
+  ./build/tools/desalign bench-kernels --smoke --threads-list=1,2 \
+    --repeats=2 --out=build/BENCH_kernels_smoke.json
+  python3 - <<'EOF'
+import json
+with open("build/BENCH_kernels_smoke.json") as f:
+    report = json.load(f)
+assert report["schema"] == "desalign.kernel_bench.v1", report.get("schema")
+cases = {c["op"]: c for c in report["cases"]}
+assert len(cases) >= 15, f"expected >=15 bench cases, got {len(cases)}"
+for case in report["cases"]:
+    assert case["ref_ns_per_elem"] > 0, case
+    for v in case["variants"]:
+        assert v["isa"] in ("scalar", "avx2"), v
+        assert v["ns_per_elem"] > 0 and v["speedup"] > 0, v
+# The contiguous elementwise kernels are the pure vector path: even at
+# smoke sizes their best variant must not regress below the old serial
+# scalar loops.
+for op in ("add", "mul", "axpy", "relu"):
+    best = max(v["speedup"] for v in cases[op]["variants"])
+    assert best >= 1.0, f"{op}: best speedup {best:.2f} < 1.0"
+print(f"kernel-bench smoke OK: {len(cases)} cases, schema v1, "
+      "vector path >= scalar reference")
+EOF
 fi
 
 if [[ "${run_tsan}" == 1 ]]; then
