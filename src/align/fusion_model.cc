@@ -6,8 +6,10 @@
 
 #include "align/loss.h"
 #include "common/check.h"
+#include "common/fault_injection.h"
 #include "common/stopwatch.h"
 #include "graph/dirichlet.h"
+#include "nn/checkpoint.h"
 #include "nn/serialize.h"
 #include "common/logging.h"
 #include "obs/metrics.h"
@@ -288,16 +290,115 @@ void FusionAlignModel::RunEpochs(const std::vector<kg::AlignmentPair>& seeds,
 
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
   obs::Counter& epoch_counter = metrics.GetCounter("train.epochs");
+  obs::Counter& nonfinite_counter = metrics.GetCounter("train.nonfinite_skips");
+  obs::Counter& rollback_counter = metrics.GetCounter("train.rollbacks");
   obs::Gauge& loss_gauge = metrics.GetGauge("train.loss");
   obs::Histogram& epoch_ms = metrics.GetHistogram("train.epoch_ms");
+  obs::Histogram& ckpt_write_ms = metrics.GetHistogram("checkpoint.write_ms");
+  common::FaultInjector& faults = common::FaultInjector::Global();
 
-  obs::TraceSpan train_span("train");
   float best_loss = std::numeric_limits<float>::infinity();
   int stall = 0;
-  for (int epoch = 0; epoch < epochs; ++epoch) {
+  float lr_scale = 1.0f;  // non-finite-guard backoff; 1.0f multiply is exact
+  int start_epoch = 0;
+  int bad_streak = 0;
+
+  // Restores model weights, optimizer moments, and the RNG from `ckpt`.
+  // `restore_lr_scale` is true on resume; a mid-run rollback keeps the
+  // decayed scale so repeated instability keeps shrinking the LR.
+  const auto restore = [&](const nn::TrainingCheckpoint& ckpt,
+                           bool restore_lr_scale) -> common::Status {
+    if (ckpt.tensors.size() != params.size()) {
+      return common::Status::InvalidArgument(
+          "checkpoint holds " + std::to_string(ckpt.tensors.size()) +
+          " tensors, model has " + std::to_string(params.size()));
+    }
+    for (size_t i = 0; i < params.size(); ++i) {
+      if (ckpt.tensors[i]->rows() != params[i]->rows() ||
+          ckpt.tensors[i]->cols() != params[i]->cols()) {
+        return common::Status::InvalidArgument(
+            "checkpoint tensor " + std::to_string(i) +
+            " shape does not match the model");
+      }
+    }
+    for (size_t i = 0; i < params.size(); ++i) {
+      params[i]->data() = ckpt.tensors[i]->data();
+    }
+    if (ckpt.has_optimizer) {
+      DESALIGN_RETURN_NOT_OK(
+          optimizer.RestoreState(ckpt.opt_step, ckpt.opt_m, ckpt.opt_v));
+    }
+    if (ckpt.has_rng && !rng_.DeserializeState(ckpt.rng_state)) {
+      return common::Status::IoError("checkpoint rng state is malformed");
+    }
+    if (ckpt.has_train_state) {
+      best_loss = ckpt.best_loss;
+      stall = ckpt.stall;
+      if (restore_lr_scale) lr_scale = ckpt.lr_scale;
+    }
+    return common::Status::Ok();
+  };
+
+  std::optional<nn::CheckpointManager> ckpts;
+  if (!config_.checkpoint_dir.empty()) {
+    nn::CheckpointManager::Options opts;
+    opts.keep_last = config_.checkpoint_keep;
+    ckpts.emplace(config_.checkpoint_dir, opts);
+    if (const auto st = ckpts->Init(); !st.ok()) {
+      DESALIGN_LOG(Warning) << config_.name
+                            << ": checkpointing disabled: " << st.ToString();
+      ckpts.reset();
+    }
+  }
+  if (ckpts && config_.resume) {
+    std::string loaded_path;
+    auto loaded = ckpts->LoadLatestValid(&loaded_path);
+    if (loaded.ok()) {
+      if (const auto st = restore(loaded.value(), /*restore_lr_scale=*/true);
+          st.ok()) {
+        start_epoch = static_cast<int>(loaded.value().epoch) + 1;
+        DESALIGN_LOG(Info) << config_.name << ": resumed from "
+                           << loaded_path << " at epoch " << start_epoch;
+      } else {
+        DESALIGN_LOG(Warning) << config_.name << ": cannot resume from "
+                              << loaded_path << ": " << st.ToString();
+      }
+    } else {
+      DESALIGN_LOG(Info) << config_.name << ": nothing to resume ("
+                         << loaded.status().ToString() << ")";
+    }
+  }
+
+  const auto write_checkpoint = [&](int epoch) {
+    if (!ckpts) return;
+    common::Stopwatch ckpt_clock;
+    nn::TrainingCheckpoint ckpt;
+    ckpt.epoch = epoch;
+    ckpt.tensors = params;
+    ckpt.has_optimizer = true;
+    ckpt.opt_step = optimizer.step_count();
+    ckpt.opt_m = optimizer.moment1();
+    ckpt.opt_v = optimizer.moment2();
+    ckpt.has_rng = true;
+    ckpt.rng_state = rng_.SerializeState();
+    ckpt.has_train_state = true;
+    ckpt.best_loss = best_loss;
+    ckpt.stall = stall;
+    ckpt.lr_scale = lr_scale;
+    if (const auto st = ckpts->Write(ckpt); !st.ok()) {
+      // Training outlives a failed checkpoint write; the previous
+      // checkpoint is still intact thanks to the atomic publish.
+      DESALIGN_LOG(Warning) << config_.name << ": checkpoint write failed: "
+                            << st.ToString();
+    }
+    ckpt_write_ms.Record(ckpt_clock.ElapsedSeconds() * 1e3);
+  };
+
+  obs::TraceSpan train_span("train");
+  for (int epoch = start_epoch; epoch < epochs; ++epoch) {
     obs::TraceSpan epoch_span("epoch");
     common::Stopwatch epoch_clock;
-    optimizer.set_lr(schedule.LrAt(epoch));
+    optimizer.set_lr(schedule.LrAt(epoch) * lr_scale);
     auto state = [&] {
       obs::TraceSpan span("forward");
       return Forward();
@@ -313,6 +414,49 @@ void FusionAlignModel::RunEpochs(const std::vector<kg::AlignmentPair>& seeds,
       loss->Backward();
       nn::ClipGradNorm(params, config_.grad_clip);
     }
+
+    float loss_value = loss->ScalarValue();
+    if (faults.OnSite("train.loss").kind == common::FaultKind::kNan) {
+      loss_value = std::numeric_limits<float>::quiet_NaN();
+    }
+    const bool grads_finite = [&] {
+      for (const auto& p : params) {
+        if (!p->has_grad()) continue;
+        for (float g : p->grad()) {
+          if (!std::isfinite(g)) return false;
+        }
+      }
+      return true;
+    }();
+
+    if (!std::isfinite(loss_value) || !grads_finite) {
+      // Non-finite guard: skip the update, back the LR off, and after
+      // max_bad_steps consecutive bad epochs roll back to the last
+      // checkpoint (the epoch counter keeps advancing).
+      nonfinite_counter.Increment();
+      lr_scale *= config_.nonfinite_lr_backoff;
+      ++bad_streak;
+      DESALIGN_LOG(Warning)
+          << config_.name << ": non-finite "
+          << (std::isfinite(loss_value) ? "gradients" : "loss")
+          << " at epoch " << epoch << "; skipping update (lr_scale="
+          << lr_scale << ")";
+      if (bad_streak >= config_.max_bad_steps && ckpts) {
+        auto latest = ckpts->LoadLatestValid();
+        if (latest.ok() &&
+            restore(latest.value(), /*restore_lr_scale=*/false).ok()) {
+          rollback_counter.Increment();
+          bad_streak = 0;
+          DESALIGN_LOG(Warning) << config_.name
+                                << ": rolled back to checkpoint at epoch "
+                                << latest.value().epoch;
+        }
+      }
+      epoch_counter.Increment();
+      epoch_ms.Record(epoch_clock.ElapsedSeconds() * 1e3);
+      continue;
+    }
+    bad_streak = 0;
     {
       obs::TraceSpan span("optimizer");
       optimizer.Step();
@@ -325,10 +469,10 @@ void FusionAlignModel::RunEpochs(const std::vector<kg::AlignmentPair>& seeds,
       metrics.GetSeries("train.energy.mid").Append(snap.e_mid);
       metrics.GetSeries("train.energy.final").Append(snap.e_final);
     }
-    const float loss_value = loss->ScalarValue();
     epoch_counter.Increment();
     loss_gauge.Set(loss_value);
     epoch_ms.Record(epoch_clock.ElapsedSeconds() * 1e3);
+    bool stop = false;
     if (config_.early_stop_patience > 0) {
       if (loss_value < best_loss - 1e-4f) {
         best_loss = loss_value;
@@ -336,8 +480,20 @@ void FusionAlignModel::RunEpochs(const std::vector<kg::AlignmentPair>& seeds,
       } else if (++stall >= config_.early_stop_patience) {
         DESALIGN_LOG(Debug) << config_.name << ": early stop at epoch "
                             << epoch;
-        break;
+        stop = true;
       }
+    }
+    if (ckpts && (stop || epoch == epochs - 1 ||
+                  (epoch + 1) % std::max(config_.checkpoint_every, 1) == 0)) {
+      write_checkpoint(epoch);
+    }
+    if (stop) break;
+    // Fault site "train.epoch": `stop@K` simulates a crash at the end of
+    // the K-th trained epoch (the crash-resume integration test).
+    if (faults.OnSite("train.epoch").kind == common::FaultKind::kStop) {
+      DESALIGN_LOG(Warning) << config_.name
+                            << ": injected crash after epoch " << epoch;
+      return;
     }
   }
 }
@@ -364,7 +520,10 @@ common::Status FusionAlignModel::SaveCheckpoint(
     return common::Status::FailedPrecondition(
         "model has no parameters yet; Fit or Warmup first");
   }
-  return nn::SaveParameters(CollectParameters(), path);
+  // Params-only v2 checkpoint: checksummed and atomically published.
+  nn::TrainingCheckpoint ckpt;
+  ckpt.tensors = CollectParameters();
+  return nn::SaveCheckpoint(ckpt, path);
 }
 
 common::Status FusionAlignModel::LoadCheckpoint(const std::string& path) {

@@ -49,6 +49,21 @@ struct FusionModelConfig {
   double warmup_fraction = 0.15;
   int early_stop_patience = 0;  ///< 0 disables early stopping
 
+  // ---- Crash safety (docs/ROBUSTNESS.md) ----
+  /// Directory for rotating training checkpoints; empty disables them.
+  std::string checkpoint_dir;
+  int checkpoint_every = 5;  ///< epochs between checkpoint writes
+  int checkpoint_keep = 3;   ///< last-K retention in checkpoint_dir
+  /// Resume from the newest valid checkpoint in checkpoint_dir. Bit-exact:
+  /// the run finishes with the same weights and metrics as an
+  /// uninterrupted run of the same config (same seed and thread count).
+  bool resume = false;
+  /// Consecutive non-finite steps tolerated (skip + LR backoff) before
+  /// training rolls the weights back to the last checkpoint.
+  int max_bad_steps = 3;
+  /// LR multiplier applied after each non-finite step (compounds).
+  float nonfinite_lr_backoff = 0.5f;
+
   // ---- Family switches ----
   /// Cross-modal attention fusion (MEAformer/DESAlign) vs. global learnable
   /// modality weights (EVA/MCLEA).
@@ -103,6 +118,19 @@ class FusionAlignModel : public AlignmentMethod {
   common::Status LoadCheckpoint(const std::string& path);
 
   const FusionModelConfig& config() const { return config_; }
+
+  /// Enables crash-safe checkpointing for the next Fit: rotating
+  /// checkpoints under `dir` every `every` epochs keeping the newest
+  /// `keep`, resuming from the newest valid one when `resume` is set.
+  /// Exists so CLI/driver code can arm checkpointing on a model built by
+  /// a method factory, which fixes the rest of the config.
+  void ConfigureCheckpointing(std::string dir, int every, int keep,
+                              bool resume) {
+    config_.checkpoint_dir = std::move(dir);
+    config_.checkpoint_every = every;
+    config_.checkpoint_keep = keep;
+    config_.resume = resume;
+  }
 
   /// Total trainable scalars (for the efficiency analysis).
   int64_t NumParameters() const;

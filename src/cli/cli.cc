@@ -256,6 +256,104 @@ Status CmdRun(const std::vector<std::string>& args, std::ostream& out) {
   return metrics.Finish(out);
 }
 
+// train: crash-safe training of one fusion-family model. Unlike `run`, it
+// writes rotating checksummed checkpoints while training and `--resume`
+// continues an interrupted run bit-exactly (same final weights and metrics
+// as an uninterrupted run with the same seed and thread count). The final
+// parameters can additionally be exported with --out. See
+// docs/ROBUSTNESS.md for the checkpoint format and resume semantics.
+Status CmdTrain(const std::vector<std::string>& args, std::ostream& out) {
+  FlagParser parser("desalign train: crash-safe training with checkpoints");
+  DatasetFlags dataset;
+  dataset.Register(parser);
+  ThreadsFlag threads;
+  threads.Register(parser);
+  MetricsFlag metrics;
+  metrics.Register(parser);
+  std::string method_name;
+  std::string checkpoint_dir;
+  std::string out_path;
+  int64_t epochs;
+  int64_t dim;
+  int64_t np;
+  int64_t method_seed;
+  int64_t checkpoint_every;
+  int64_t checkpoint_keep;
+  bool resume;
+  parser.AddString("method", "DESAlign",
+                   "fusion-family method (EVA, MCLEA, MEAformer, DESAlign)",
+                   &method_name);
+  parser.AddInt64("epochs", 60, "training epochs", &epochs);
+  parser.AddInt64("dim", 32, "hidden dimension", &dim);
+  parser.AddInt64("np", 2, "DESAlign propagation iterations", &np);
+  parser.AddInt64("method-seed", 7, "model init seed", &method_seed);
+  parser.AddString("checkpoint-dir", "",
+                   "directory for rotating training checkpoints (required)",
+                   &checkpoint_dir);
+  parser.AddInt64("checkpoint-every", 5, "epochs between checkpoints",
+                  &checkpoint_every);
+  parser.AddInt64("checkpoint-keep", 3, "checkpoints retained",
+                  &checkpoint_keep);
+  parser.AddBool("resume", false,
+                 "resume from the newest valid checkpoint in "
+                 "--checkpoint-dir",
+                 &resume);
+  parser.AddString("out", "",
+                   "also export the final parameters to this file",
+                   &out_path);
+  auto argv = ToArgv(args);
+  DESALIGN_RETURN_NOT_OK(
+      parser.Parse(static_cast<int>(argv.size()), argv.data(), 0));
+  DESALIGN_RETURN_NOT_OK(threads.Apply());
+  DESALIGN_RETURN_NOT_OK(metrics.Begin());
+  if (checkpoint_dir.empty()) {
+    return Status::InvalidArgument("train requires --checkpoint-dir=DIR");
+  }
+  if (checkpoint_every <= 0 || checkpoint_keep <= 0) {
+    return Status::InvalidArgument(
+        "--checkpoint-every and --checkpoint-keep must be positive");
+  }
+
+  DESALIGN_ASSIGN_OR_RETURN(auto data, dataset.Load());
+  auto& settings = eval::GlobalHarnessSettings();
+  settings.dim = dim;
+  settings.epochs = static_cast<int>(epochs);
+  settings.propagation_iterations = static_cast<int>(np);
+  DESALIGN_ASSIGN_OR_RETURN(auto factory, FindMethod(method_name));
+  auto method = factory.make(static_cast<uint64_t>(method_seed));
+  auto* fusion = dynamic_cast<align::FusionAlignModel*>(method.get());
+  if (fusion == nullptr) {
+    return Status::InvalidArgument(
+        "train needs a fusion-family method (EVA, MCLEA, MEAformer, "
+        "DESAlign); '" + method_name + "' does not support checkpointing");
+  }
+  fusion->ConfigureCheckpointing(checkpoint_dir,
+                                 static_cast<int>(checkpoint_every),
+                                 static_cast<int>(checkpoint_keep), resume);
+
+  common::Stopwatch train_clock;
+  fusion->Fit(data);
+  const double train_seconds = train_clock.ElapsedSeconds();
+  auto sim = fusion->DecodeSimilarity(data);
+  const auto ranking = align::MetricsFromSimilarity(*sim);
+
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  eval::TablePrinter table({"Method", "Dataset", "H@1", "H@10", "MRR",
+                            "loss", "skips", "rollbacks", "train(s)"});
+  table.AddRow({method_name, data.name, eval::Pct(ranking.h_at_1),
+                eval::Pct(ranking.h_at_10), eval::Pct(ranking.mrr),
+                common::FormatDouble(reg.GetGauge("train.loss").value(), 6),
+                std::to_string(reg.GetCounter("train.nonfinite_skips").value()),
+                std::to_string(reg.GetCounter("train.rollbacks").value()),
+                eval::Secs(train_seconds)});
+  table.Print(out);
+  if (!out_path.empty()) {
+    DESALIGN_RETURN_NOT_OK(fusion->SaveCheckpoint(out_path));
+    out << "wrote final parameters to " << out_path << "\n";
+  }
+  return metrics.Finish(out);
+}
+
 Status CmdSweep(const std::vector<std::string>& args, std::ostream& out) {
   FlagParser parser("desalign sweep: robustness sweep over a dataset knob");
   DatasetFlags dataset;
@@ -574,6 +672,8 @@ constexpr char kTopLevelUsage[] =
     "  generate   sample a synthetic MMEA dataset and write it to disk\n"
     "  stats      print dataset statistics\n"
     "  run        train + evaluate one alignment method\n"
+    "  train      crash-safe training: rotating checksummed checkpoints "
+    "and --resume\n"
     "  sweep      robustness sweep over image/text/seed ratio\n"
     "  serve-bench  train, checkpoint, then replay top-k alignment queries\n"
     "  bench-kernels  time tensor kernels vs the scalar reference, write "
@@ -596,6 +696,8 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out) {
     status = CmdStats(rest, out);
   } else if (command == "run") {
     status = CmdRun(rest, out);
+  } else if (command == "train") {
+    status = CmdTrain(rest, out);
   } else if (command == "sweep") {
     status = CmdSweep(rest, out);
   } else if (command == "serve-bench") {

@@ -1,0 +1,18 @@
+#ifndef DESALIGN_COMMON_CRC32_H_
+#define DESALIGN_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace desalign::common {
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib/gzip variant) over `size` bytes.
+/// Pass a previous return value as `seed` to checksum data incrementally:
+///   crc = Crc32(a, na); crc = Crc32(b, nb, crc);
+/// equals Crc32 over the concatenation. Used by the checkpoint format to
+/// detect torn writes and bit rot before any payload is trusted.
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+}  // namespace desalign::common
+
+#endif  // DESALIGN_COMMON_CRC32_H_

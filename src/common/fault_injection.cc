@@ -1,0 +1,118 @@
+#include "common/fault_injection.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace desalign::common {
+
+namespace {
+
+Result<FaultKind> ParseKind(std::string_view text) {
+  if (text == "fail") return FaultKind::kFail;
+  if (text == "short") return FaultKind::kShortWrite;
+  if (text == "bitflip") return FaultKind::kBitFlip;
+  if (text == "nan") return FaultKind::kNan;
+  if (text == "stop") return FaultKind::kStop;
+  return Status::InvalidArgument("unknown fault action '" +
+                                 std::string(text) + "'");
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = [] {
+    auto* inj = new FaultInjector();
+    inj->ConfigureFromEnv();
+    return inj;
+  }();
+  return *injector;
+}
+
+Result<FaultInjector::Rule> FaultInjector::ParseRule(const std::string& text) {
+  Rule rule;
+  std::string body = text;
+  // Trailing '@hit' selector.
+  if (const auto at = body.rfind('@'); at != std::string::npos) {
+    const std::string hit_text(Trim(body.substr(at + 1)));
+    body = body.substr(0, at);
+    if (hit_text == "*") {
+      rule.every = true;
+    } else if (!ParseInt64(hit_text, &rule.hit) || rule.hit < 1) {
+      return Status::InvalidArgument("fault rule '" + text +
+                                     "' has a bad @hit selector");
+    }
+  }
+  auto fields = Split(body, ':');
+  if (fields.size() < 2 || fields.size() > 3) {
+    return Status::InvalidArgument(
+        "fault rule '" + text + "' is not site:action[:param][@hit]");
+  }
+  rule.site = std::string(Trim(fields[0]));
+  if (rule.site.empty()) {
+    return Status::InvalidArgument("fault rule '" + text +
+                                   "' has an empty site");
+  }
+  DESALIGN_ASSIGN_OR_RETURN(rule.kind, ParseKind(Trim(fields[1])));
+  if (fields.size() == 3 &&
+      (!ParseInt64(Trim(fields[2]), &rule.param) || rule.param < 0)) {
+    return Status::InvalidArgument("fault rule '" + text +
+                                   "' has a bad param");
+  }
+  return rule;
+}
+
+Status FaultInjector::Configure(const std::string& spec) {
+  std::vector<Rule> rules;
+  for (const auto& entry : Split(spec, ';')) {
+    if (Trim(entry).empty()) continue;
+    DESALIGN_ASSIGN_OR_RETURN(Rule rule, ParseRule(std::string(Trim(entry))));
+    rules.push_back(std::move(rule));
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  rules_ = std::move(rules);
+  hits_.clear();
+  fires_ = 0;
+  armed_.store(!rules_.empty(), std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+void FaultInjector::ConfigureFromEnv() {
+  const char* env = std::getenv("DESALIGN_FAULTS");
+  if (env == nullptr) return;
+  const Status status = Configure(env);
+  if (!status.ok()) {
+    std::fprintf(stderr, "DESALIGN_FAULTS: %s\n", status.ToString().c_str());
+    std::abort();
+  }
+}
+
+void FaultInjector::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rules_.clear();
+  hits_.clear();
+  fires_ = 0;
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+FaultAction FaultInjector::OnSite(const std::string& site) {
+  if (!armed()) return {};
+  std::lock_guard<std::mutex> lock(mutex_);
+  const int64_t hit = ++hits_[site];
+  for (const auto& rule : rules_) {
+    if (rule.site != site) continue;
+    if (rule.every || rule.hit == hit) {
+      ++fires_;
+      return {rule.kind, rule.param};
+    }
+  }
+  return {};
+}
+
+int64_t FaultInjector::fire_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fires_;
+}
+
+}  // namespace desalign::common

@@ -1,0 +1,105 @@
+#ifndef DESALIGN_COMMON_FAULT_INJECTION_H_
+#define DESALIGN_COMMON_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace desalign::common {
+
+/// What a fault-injection rule does when it fires at a site.
+enum class FaultKind {
+  kNone = 0,
+  kFail,        ///< the operation reports an IoError
+  kShortWrite,  ///< only the first `param` bytes are written (torn write)
+  kBitFlip,     ///< bit 0 of byte `param` of the buffer is flipped
+  kNan,         ///< a numeric value is replaced by a quiet NaN
+  kStop,        ///< the surrounding loop returns early (simulated crash)
+};
+
+/// Resolved action for one site hit; falsy when no rule fired.
+struct FaultAction {
+  FaultKind kind = FaultKind::kNone;
+  int64_t param = 0;
+  explicit operator bool() const { return kind != FaultKind::kNone; }
+};
+
+/// Deterministic, env-driven fault injector for crash-safety tests.
+///
+/// A spec is a semicolon-separated rule list; each rule is
+///
+///   site ':' action [':' param] ['@' hit]
+///
+/// where `site` is a dot-separated site name (e.g. `ckpt.write.data`),
+/// `action` is one of fail | short | bitflip | nan | stop, `param` is the
+/// integer the action needs (bytes kept for `short`, byte offset for
+/// `bitflip`), and `hit` selects the 1-based occurrence that fires (`@*`
+/// fires on every occurrence; the default is `@1`). Examples:
+///
+///   ckpt.write.data:short:64@2     torn second checkpoint write
+///   ckpt.read:bitflip:100          flip a bit in the first read
+///   train.loss:nan@3;train.loss:nan@4   two bad training steps
+///
+/// Instrumented call sites ask `OnSite(name)` once per operation; each call
+/// advances that site's hit counter, so firing is a pure function of the
+/// spec and the call sequence — no clocks, no randomness. The process-wide
+/// injector is configured from the `DESALIGN_FAULTS` environment variable
+/// the first time Global() is reached; tests call Configure()/Clear()
+/// directly. When no rules are armed, OnSite is a single relaxed atomic
+/// load. See docs/ROBUSTNESS.md.
+class FaultInjector {
+ public:
+  static FaultInjector& Global();
+
+  FaultInjector() = default;
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Replaces all rules with `spec` (empty spec = disarm) and resets hit
+  /// and fire counters. InvalidArgument on syntax errors, in which case
+  /// the previous rules are kept.
+  Status Configure(const std::string& spec);
+
+  /// Configure(getenv("DESALIGN_FAULTS")); a malformed env spec aborts the
+  /// process, since silently ignoring requested faults would void a test.
+  void ConfigureFromEnv();
+
+  /// Removes every rule and resets counters.
+  void Clear();
+
+  /// Records one hit of `site` and returns the action to apply (falsy for
+  /// "proceed normally"). When several rules match the same hit, the first
+  /// configured one wins.
+  FaultAction OnSite(const std::string& site);
+
+  /// Total number of rule firings since the last Configure/Clear.
+  int64_t fire_count() const;
+
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Rule {
+    std::string site;
+    FaultKind kind = FaultKind::kNone;
+    int64_t param = 0;
+    int64_t hit = 1;     // 1-based occurrence
+    bool every = false;  // fire on all occurrences
+  };
+
+  static Result<Rule> ParseRule(const std::string& text);
+
+  mutable std::mutex mutex_;
+  std::vector<Rule> rules_;
+  std::map<std::string, int64_t> hits_;
+  int64_t fires_ = 0;
+  std::atomic<bool> armed_{false};
+};
+
+}  // namespace desalign::common
+
+#endif  // DESALIGN_COMMON_FAULT_INJECTION_H_

@@ -1,10 +1,28 @@
 #include "common/rng.h"
 
 #include <numeric>
+#include <sstream>
 
 #include "common/check.h"
 
 namespace desalign::common {
+
+std::string Rng::SerializeState() const {
+  std::ostringstream out;
+  out << engine_;
+  return out.str();
+}
+
+bool Rng::DeserializeState(const std::string& state) {
+  std::istringstream in(state);
+  std::mt19937_64 restored;
+  in >> restored;
+  if (in.fail()) return false;
+  engine_ = restored;
+  unit_.reset();
+  normal_.reset();
+  return true;
+}
 
 std::vector<int64_t> Rng::SampleWithoutReplacement(int64_t n, int64_t k) {
   DESALIGN_CHECK_LE(k, n);

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <random>
+#include <string>
 #include <vector>
 
 namespace desalign::common {
@@ -63,6 +64,17 @@ class Rng {
   Rng Fork() { return Rng(engine_()); }
 
   std::mt19937_64& engine() { return engine_; }
+
+  /// Engine state as portable ASCII (the standard stream format), for
+  /// checkpointing. The cached distribution state (e.g. the Box-Muller
+  /// spare of Normal()) is NOT captured — DeserializeState resets the
+  /// distributions, so a save/restore pair is a stream-reset point. The
+  /// integer draws (UniformInt, Shuffle, Fork) are exact regardless.
+  std::string SerializeState() const;
+
+  /// Restores a SerializeState() snapshot and resets the distributions.
+  /// False (generator untouched) when `state` is malformed.
+  bool DeserializeState(const std::string& state);
 
  private:
   std::mt19937_64 engine_;

@@ -1,7 +1,9 @@
 #include "common/strings.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 
 namespace desalign::common {
 
@@ -49,6 +51,32 @@ std::string FormatDouble(double value, int digits) {
 bool StartsWith(std::string_view text, std::string_view prefix) {
   return text.size() >= prefix.size() &&
          text.substr(0, prefix.size()) == prefix;
+}
+
+bool ParseInt64(std::string_view text, int64_t* out) {
+  if (text.empty() || text.size() >= 32) return false;
+  char buf[32];
+  text.copy(buf, text.size());
+  buf[text.size()] = '\0';
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(buf, &end, 10);
+  if (errno == ERANGE || end != buf + text.size()) return false;
+  *out = static_cast<int64_t>(value);
+  return true;
+}
+
+bool ParseFloat(std::string_view text, float* out) {
+  if (text.empty() || text.size() >= 64) return false;
+  char buf[64];
+  text.copy(buf, text.size());
+  buf[text.size()] = '\0';
+  errno = 0;
+  char* end = nullptr;
+  const float value = std::strtof(buf, &end);
+  if (errno == ERANGE || end != buf + text.size()) return false;
+  *out = value;
+  return true;
 }
 
 }  // namespace desalign::common

@@ -22,6 +22,15 @@ std::string FormatDouble(double value, int digits);
 /// True when `text` starts with `prefix`.
 bool StartsWith(std::string_view text, std::string_view prefix);
 
+/// Strict decimal int64 parse: the whole of `text` must be one optionally
+/// signed integer (no trailing junk, no overflow). Returns false without
+/// touching `*out` on failure — never throws, unlike std::stoll, which is
+/// why the file loaders use these for untrusted input.
+bool ParseInt64(std::string_view text, int64_t* out);
+
+/// Strict float parse with the same whole-string contract as ParseInt64.
+bool ParseFloat(std::string_view text, float* out);
+
 }  // namespace desalign::common
 
 #endif  // DESALIGN_COMMON_STRINGS_H_

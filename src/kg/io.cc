@@ -17,6 +17,27 @@ using common::Result;
 using common::Status;
 using tensor::Tensor;
 
+// strtoll/strtof-based parsers: a non-numeric field in a hand-edited or
+// corrupted file must surface as a Status, never as a std::invalid_argument
+// crash (which is what std::stoll/std::stof would throw).
+Status ParseIdField(const std::string& field, const std::string& path,
+                    const std::string& line, int64_t* out) {
+  if (!common::ParseInt64(common::Trim(field), out)) {
+    return Status::IoError("non-numeric field '" + field + "' in " + path +
+                           ": " + line);
+  }
+  return Status::Ok();
+}
+
+Status ParseValueField(const std::string& field, const std::string& path,
+                       const std::string& line, float* out) {
+  if (!common::ParseFloat(common::Trim(field), out)) {
+    return Status::IoError("non-numeric field '" + field + "' in " + path +
+                           ": " + line);
+  }
+  return Status::Ok();
+}
+
 Status WriteTriples(const std::string& path,
                     const std::vector<Triple>& triples) {
   std::ofstream out(path);
@@ -39,8 +60,11 @@ Result<std::vector<Triple>> ReadTriples(const std::string& path) {
       return Status::IoError("malformed triple line in " + path + ": " +
                              line);
     }
-    triples.push_back({std::stoll(fields[0]), std::stoll(fields[1]),
-                       std::stoll(fields[2])});
+    Triple t;
+    DESALIGN_RETURN_NOT_OK(ParseIdField(fields[0], path, line, &t.head));
+    DESALIGN_RETURN_NOT_OK(ParseIdField(fields[1], path, line, &t.relation));
+    DESALIGN_RETURN_NOT_OK(ParseIdField(fields[2], path, line, &t.tail));
+    triples.push_back(t);
   }
   return triples;
 }
@@ -68,8 +92,11 @@ Result<std::vector<AttributeTriple>> ReadAttrTriples(
       return Status::IoError("malformed attribute line in " + path + ": " +
                              line);
     }
-    triples.push_back({std::stoll(fields[0]), std::stoll(fields[1]),
-                       std::stof(fields[2])});
+    AttributeTriple t;
+    DESALIGN_RETURN_NOT_OK(ParseIdField(fields[0], path, line, &t.entity));
+    DESALIGN_RETURN_NOT_OK(ParseIdField(fields[1], path, line, &t.attribute));
+    DESALIGN_RETURN_NOT_OK(ParseValueField(fields[2], path, line, &t.count));
+    triples.push_back(t);
   }
   return triples;
 }
@@ -95,7 +122,10 @@ Result<std::vector<AlignmentPair>> ReadPairs(const std::string& path) {
     if (fields.size() != 2) {
       return Status::IoError("malformed pair line in " + path + ": " + line);
     }
-    pairs.push_back({std::stoll(fields[0]), std::stoll(fields[1])});
+    AlignmentPair p;
+    DESALIGN_RETURN_NOT_OK(ParseIdField(fields[0], path, line, &p.source));
+    DESALIGN_RETURN_NOT_OK(ParseIdField(fields[1], path, line, &p.target));
+    pairs.push_back(p);
   }
   return pairs;
 }
@@ -127,6 +157,14 @@ Result<FeatureTable> ReadFeatures(const std::string& path) {
   in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
   if (!in || rows <= 0 || cols <= 0) {
     return Status::IoError("corrupt feature header in " + path);
+  }
+  // Cap the header before trusting it with an allocation: a bit-flipped
+  // rows/cols must fail cleanly, not bad_alloc (or overflow rows*cols).
+  constexpr int64_t kMaxElements = int64_t{1} << 33;  // 32 GiB of floats
+  if (cols > kMaxElements / rows) {
+    return Status::IoError("implausible feature shape " +
+                           std::to_string(rows) + "x" + std::to_string(cols) +
+                           " in " + path + "; corrupt header?");
   }
   std::vector<float> data(static_cast<size_t>(rows * cols));
   in.read(reinterpret_cast<char*>(data.data()),

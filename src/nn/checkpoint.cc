@@ -1,0 +1,395 @@
+#include "nn/checkpoint.h"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "common/atomic_file.h"
+#include "common/crc32.h"
+#include "common/logging.h"
+#include "common/strings.h"
+#include "nn/serialize.h"
+
+namespace desalign::nn {
+
+namespace {
+
+using common::Crc32;
+using common::Result;
+using common::Status;
+
+// v2 layout (docs/ROBUSTNESS.md):
+//   kMagic
+//   -- footer-checksummed region --
+//   u32 version | i64 epoch | u32 flags | i64 tensor_count
+//   per tensor: i64 rows | i64 cols | f32[rows*cols] | u32 crc(payload)
+//   [flags&kHasOptimizer] i64 step; per tensor: f32[] m, u32 crc,
+//                                               f32[] v, u32 crc
+//   [flags&kHasRng]       i64 len | bytes | u32 crc
+//   [flags&kHasTrain]     f32 best_loss | i32 stall | f32 lr_scale
+//   -- region ends --
+//   u32 footer_crc(region) | kEndMarker
+constexpr char kMagic[] = "DESALIGNCKPT2\n";
+constexpr size_t kMagicLen = sizeof(kMagic) - 1;
+constexpr char kEndMarker[] = "DCKPTEND";
+constexpr size_t kEndMarkerLen = sizeof(kEndMarker) - 1;
+constexpr uint32_t kVersion = 2;
+constexpr uint32_t kHasOptimizer = 1;
+constexpr uint32_t kHasRng = 2;
+constexpr uint32_t kHasTrain = 4;
+
+constexpr char kLegacyMagic[] = "DESALIGNPARAMS1";
+constexpr size_t kLegacyMagicLen = sizeof(kLegacyMagic) - 1;
+
+template <typename T>
+void Append(std::string* out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out->append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+void AppendFloats(std::string* out, const std::vector<float>& values) {
+  out->append(reinterpret_cast<const char*>(values.data()),
+              values.size() * sizeof(float));
+  Append<uint32_t>(out, Crc32(values.data(), values.size() * sizeof(float)));
+}
+
+/// Bounds-checked forward-only reader over the in-memory file. Every Read
+/// validates the remaining length first, so a truncated or lying header can
+/// never cause an out-of-bounds read or an unbounded allocation.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view bytes) : bytes_(bytes) {}
+
+  template <typename T>
+  bool Read(T* out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (remaining() < sizeof(T)) return false;
+    std::memcpy(out, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  /// Reads `count` floats plus their trailing CRC; false on truncation,
+  /// CRC mismatch sets `*crc_ok` false (payload is still consumed).
+  bool ReadFloats(size_t count, std::vector<float>* out, bool* crc_ok) {
+    const size_t payload = count * sizeof(float);
+    if (remaining() < payload + sizeof(uint32_t)) return false;
+    out->resize(count);
+    std::memcpy(out->data(), bytes_.data() + pos_, payload);
+    const uint32_t actual = Crc32(bytes_.data() + pos_, payload);
+    pos_ += payload;
+    uint32_t stored = 0;
+    Read(&stored);
+    *crc_ok = stored == actual;
+    return true;
+  }
+
+  bool ReadString(size_t count, std::string* out) {
+    if (remaining() < count) return false;
+    out->assign(bytes_.data() + pos_, count);
+    pos_ += count;
+    return true;
+  }
+
+  size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+Status Corrupt(const std::string& path, const std::string& detail) {
+  return Status::IoError("corrupt checkpoint " + path + ": " + detail);
+}
+
+}  // namespace
+
+Status SaveCheckpoint(const TrainingCheckpoint& ckpt,
+                      const std::string& path) {
+  if (ckpt.has_optimizer && (ckpt.opt_m.size() != ckpt.tensors.size() ||
+                             ckpt.opt_v.size() != ckpt.tensors.size())) {
+    return Status::InvalidArgument(
+        "optimizer moment count does not match tensor count");
+  }
+  std::string body;  // the footer-checksummed region
+  Append<uint32_t>(&body, kVersion);
+  Append<int64_t>(&body, ckpt.epoch);
+  const uint32_t flags = (ckpt.has_optimizer ? kHasOptimizer : 0) |
+                         (ckpt.has_rng ? kHasRng : 0) |
+                         (ckpt.has_train_state ? kHasTrain : 0);
+  Append<uint32_t>(&body, flags);
+  Append<int64_t>(&body, static_cast<int64_t>(ckpt.tensors.size()));
+  for (const auto& t : ckpt.tensors) {
+    Append<int64_t>(&body, t->rows());
+    Append<int64_t>(&body, t->cols());
+    AppendFloats(&body, t->data());
+  }
+  if (ckpt.has_optimizer) {
+    Append<int64_t>(&body, ckpt.opt_step);
+    for (size_t i = 0; i < ckpt.tensors.size(); ++i) {
+      if (ckpt.opt_m[i].size() != ckpt.tensors[i]->data().size() ||
+          ckpt.opt_v[i].size() != ckpt.tensors[i]->data().size()) {
+        return Status::InvalidArgument(
+            "optimizer moment size does not match tensor " +
+            std::to_string(i));
+      }
+      AppendFloats(&body, ckpt.opt_m[i]);
+      AppendFloats(&body, ckpt.opt_v[i]);
+    }
+  }
+  if (ckpt.has_rng) {
+    Append<int64_t>(&body, static_cast<int64_t>(ckpt.rng_state.size()));
+    body.append(ckpt.rng_state);
+    Append<uint32_t>(&body,
+                     Crc32(ckpt.rng_state.data(), ckpt.rng_state.size()));
+  }
+  if (ckpt.has_train_state) {
+    Append<float>(&body, ckpt.best_loss);
+    Append<int32_t>(&body, ckpt.stall);
+    Append<float>(&body, ckpt.lr_scale);
+  }
+
+  std::string file;
+  file.reserve(kMagicLen + body.size() + sizeof(uint32_t) + kEndMarkerLen);
+  file.append(kMagic, kMagicLen);
+  file.append(body);
+  Append<uint32_t>(&file, Crc32(body.data(), body.size()));
+  file.append(kEndMarker, kEndMarkerLen);
+  return common::AtomicWriteFile(path, file, "ckpt.write");
+}
+
+bool IsVersionedCheckpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  char magic[kMagicLen];
+  in.read(magic, kMagicLen);
+  return in && std::memcmp(magic, kMagic, kMagicLen) == 0;
+}
+
+Result<TrainingCheckpoint> LoadCheckpoint(const std::string& path) {
+  std::string bytes;
+  DESALIGN_RETURN_NOT_OK(
+      common::ReadFileToString(path, &bytes, "ckpt.read"));
+
+  if (bytes.size() >= kLegacyMagicLen &&
+      std::memcmp(bytes.data(), kLegacyMagic, kLegacyMagicLen) == 0) {
+    // Legacy SaveParameters file: params only, pre-checksum era.
+    DESALIGN_ASSIGN_OR_RETURN(auto tensors, LoadAllParameters(path));
+    TrainingCheckpoint ckpt;
+    ckpt.tensors = std::move(tensors);
+    return ckpt;
+  }
+  if (bytes.size() < kMagicLen + sizeof(uint32_t) + kEndMarkerLen ||
+      std::memcmp(bytes.data(), kMagic, kMagicLen) != 0) {
+    return Status::IoError(path + " is not a DESAlign checkpoint");
+  }
+  if (std::memcmp(bytes.data() + bytes.size() - kEndMarkerLen, kEndMarker,
+                  kEndMarkerLen) != 0) {
+    return Corrupt(path, "missing end marker (torn write?)");
+  }
+  const size_t body_len =
+      bytes.size() - kMagicLen - sizeof(uint32_t) - kEndMarkerLen;
+  uint32_t footer_crc = 0;
+  std::memcpy(&footer_crc, bytes.data() + kMagicLen + body_len,
+              sizeof(footer_crc));
+  if (Crc32(bytes.data() + kMagicLen, body_len) != footer_crc) {
+    return Corrupt(path, "footer checksum mismatch");
+  }
+
+  ByteReader reader(std::string_view(bytes).substr(kMagicLen, body_len));
+  uint32_t version = 0;
+  uint32_t flags = 0;
+  int64_t tensor_count = 0;
+  TrainingCheckpoint ckpt;
+  if (!reader.Read(&version) || !reader.Read(&ckpt.epoch) ||
+      !reader.Read(&flags) || !reader.Read(&tensor_count)) {
+    return Corrupt(path, "truncated header");
+  }
+  if (version != kVersion) {
+    return Status::IoError(path + " has unsupported checkpoint version " +
+                           std::to_string(version));
+  }
+  if (tensor_count < 0 || ckpt.epoch < 0) {
+    return Corrupt(path, "negative header field");
+  }
+  bool crc_ok = true;
+  for (int64_t t = 0; t < tensor_count; ++t) {
+    int64_t rows = 0;
+    int64_t cols = 0;
+    if (!reader.Read(&rows) || !reader.Read(&cols)) {
+      return Corrupt(path, "truncated tensor header");
+    }
+    if (rows < 0 || cols < 0 ||
+        (cols > 0 &&
+         rows > static_cast<int64_t>(reader.remaining() / sizeof(float)) /
+                    cols)) {
+      return Corrupt(path, "implausible tensor shape " +
+                               std::to_string(rows) + "x" +
+                               std::to_string(cols));
+    }
+    std::vector<float> data;
+    if (!reader.ReadFloats(static_cast<size_t>(rows * cols), &data,
+                           &crc_ok)) {
+      return Corrupt(path, "truncated tensor payload");
+    }
+    if (!crc_ok) {
+      return Corrupt(path, "tensor " + std::to_string(t) +
+                               " checksum mismatch");
+    }
+    ckpt.tensors.push_back(
+        tensor::Tensor::FromData(rows, cols, std::move(data)));
+  }
+  if (flags & kHasOptimizer) {
+    ckpt.has_optimizer = true;
+    if (!reader.Read(&ckpt.opt_step)) {
+      return Corrupt(path, "truncated optimizer step");
+    }
+    for (int64_t t = 0; t < tensor_count; ++t) {
+      const size_t n = ckpt.tensors[static_cast<size_t>(t)]->data().size();
+      std::vector<float> m;
+      std::vector<float> v;
+      if (!reader.ReadFloats(n, &m, &crc_ok) || !crc_ok) {
+        return Corrupt(path, "bad optimizer m for tensor " +
+                                 std::to_string(t));
+      }
+      if (!reader.ReadFloats(n, &v, &crc_ok) || !crc_ok) {
+        return Corrupt(path, "bad optimizer v for tensor " +
+                                 std::to_string(t));
+      }
+      ckpt.opt_m.push_back(std::move(m));
+      ckpt.opt_v.push_back(std::move(v));
+    }
+  }
+  if (flags & kHasRng) {
+    ckpt.has_rng = true;
+    int64_t len = 0;
+    if (!reader.Read(&len) || len < 0 ||
+        static_cast<size_t>(len) > reader.remaining() ||
+        !reader.ReadString(static_cast<size_t>(len), &ckpt.rng_state)) {
+      return Corrupt(path, "truncated rng state");
+    }
+    uint32_t stored = 0;
+    if (!reader.Read(&stored) ||
+        stored != Crc32(ckpt.rng_state.data(), ckpt.rng_state.size())) {
+      return Corrupt(path, "rng state checksum mismatch");
+    }
+  }
+  if (flags & kHasTrain) {
+    ckpt.has_train_state = true;
+    if (!reader.Read(&ckpt.best_loss) || !reader.Read(&ckpt.stall) ||
+        !reader.Read(&ckpt.lr_scale)) {
+      return Corrupt(path, "truncated train state");
+    }
+  }
+  if (reader.remaining() != 0) {
+    return Corrupt(path, std::to_string(reader.remaining()) +
+                             " unexpected trailing bytes");
+  }
+  return ckpt;
+}
+
+// ---------------------------------------------------------------------------
+// CheckpointManager
+
+namespace {
+
+constexpr char kManifestName[] = "MANIFEST";
+constexpr char kManifestHeader[] = "desalign.ckpt.manifest.v1";
+constexpr char kFilePrefix[] = "ckpt_";
+constexpr char kFileSuffix[] = ".dckpt";
+
+std::string CheckpointFileName(int64_t epoch) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s%08lld%s", kFilePrefix,
+                static_cast<long long>(epoch), kFileSuffix);
+  return buf;
+}
+
+}  // namespace
+
+CheckpointManager::CheckpointManager(std::string dir, Options options)
+    : dir_(std::move(dir)), options_(options) {
+  options_.keep_last = std::max(options_.keep_last, 1);
+}
+
+std::string CheckpointManager::PathOf(const std::string& name) const {
+  return dir_ + "/" + name;
+}
+
+Status CheckpointManager::Init() {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    return Status::IoError("cannot create checkpoint directory " + dir_ +
+                           ": " + ec.message());
+  }
+  files_.clear();
+  // Prefer the manifest; fall back to a directory scan so a crashed or
+  // manually pruned directory still resumes.
+  std::ifstream manifest(PathOf(kManifestName));
+  std::string line;
+  if (manifest && std::getline(manifest, line) && line == kManifestHeader) {
+    while (std::getline(manifest, line)) {
+      const std::string name(common::Trim(line));
+      if (!name.empty() && std::filesystem::exists(PathOf(name))) {
+        files_.push_back(name);
+      }
+    }
+    return Status::Ok();
+  }
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (common::StartsWith(name, kFilePrefix) &&
+        name.size() > std::strlen(kFileSuffix) &&
+        name.compare(name.size() - std::strlen(kFileSuffix),
+                     std::strlen(kFileSuffix), kFileSuffix) == 0) {
+      files_.push_back(name);
+    }
+  }
+  std::sort(files_.begin(), files_.end());  // zero-padded epoch => oldest first
+  return Status::Ok();
+}
+
+Status CheckpointManager::WriteManifest() const {
+  std::string body(kManifestHeader);
+  body.push_back('\n');
+  for (const auto& name : files_) {
+    body += name;
+    body.push_back('\n');
+  }
+  return common::AtomicWriteFile(PathOf(kManifestName), body,
+                                 "manifest.write");
+}
+
+Status CheckpointManager::Write(const TrainingCheckpoint& ckpt) {
+  const std::string name = CheckpointFileName(ckpt.epoch);
+  DESALIGN_RETURN_NOT_OK(SaveCheckpoint(ckpt, PathOf(name)));
+  if (std::find(files_.begin(), files_.end(), name) == files_.end()) {
+    files_.push_back(name);
+  }
+  // Prune only after the new file is durable and listed.
+  DESALIGN_RETURN_NOT_OK(WriteManifest());
+  while (static_cast<int>(files_.size()) > options_.keep_last) {
+    std::error_code ec;
+    std::filesystem::remove(PathOf(files_.front()), ec);
+    files_.erase(files_.begin());
+  }
+  return WriteManifest();
+}
+
+Result<TrainingCheckpoint> CheckpointManager::LoadLatestValid(
+    std::string* loaded_path) const {
+  for (auto it = files_.rbegin(); it != files_.rend(); ++it) {
+    const std::string path = PathOf(*it);
+    auto loaded = LoadCheckpoint(path);
+    if (loaded.ok()) {
+      if (loaded_path != nullptr) *loaded_path = path;
+      return loaded;
+    }
+    DESALIGN_LOG(Warning) << "skipping unloadable checkpoint: "
+                          << loaded.status().ToString();
+  }
+  return Status::NotFound("no valid checkpoint in " + dir_);
+}
+
+}  // namespace desalign::nn

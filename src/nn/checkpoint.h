@@ -1,0 +1,104 @@
+#ifndef DESALIGN_NN_CHECKPOINT_H_
+#define DESALIGN_NN_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace desalign::nn {
+
+/// Everything a training run needs to continue bit-exactly: model params,
+/// AdamW moments + step, the RNG engine, the epoch counter, and the loop's
+/// scalar state (early-stop bookkeeping and the non-finite LR backoff).
+/// The params-only subset (`tensors` with every `has_*` flag false) is the
+/// shape serve-side embedding snapshots use.
+struct TrainingCheckpoint {
+  int64_t epoch = 0;  ///< last completed epoch (0-based)
+  std::vector<tensor::TensorPtr> tensors;
+
+  bool has_optimizer = false;
+  int64_t opt_step = 0;
+  std::vector<std::vector<float>> opt_m;  ///< first moments, per tensor
+  std::vector<std::vector<float>> opt_v;  ///< second moments, per tensor
+
+  bool has_rng = false;
+  std::string rng_state;  ///< common::Rng::SerializeState()
+
+  bool has_train_state = false;
+  float best_loss = 0.0f;  ///< early-stopping best
+  int32_t stall = 0;       ///< early-stopping stall counter
+  float lr_scale = 1.0f;   ///< non-finite-guard LR backoff factor
+};
+
+/// Writes `ckpt` to `path` in the versioned v2 format: magic, header,
+/// per-tensor payloads each followed by a CRC32, optional optimizer / RNG /
+/// train-state sections, a footer CRC32 over everything after the magic,
+/// and a trailing end marker. The file is published atomically (tmp +
+/// fsync + rename via common::AtomicWriteFile, fault site "ckpt.write"),
+/// so a crash mid-save never clobbers an existing checkpoint.
+/// See docs/ROBUSTNESS.md for the byte layout.
+common::Status SaveCheckpoint(const TrainingCheckpoint& ckpt,
+                              const std::string& path);
+
+/// Loads and fully validates a v2 checkpoint: head/tail magic, footer CRC,
+/// bounds-checked section parsing, per-payload CRCs. Any corruption —
+/// truncation, torn write, bit flip — yields a clean error Status; corrupt
+/// data is never returned. Also accepts legacy SaveParameters (v1) files,
+/// which load as params-only checkpoints (no integrity check beyond shape
+/// plausibility — v1 predates checksums). Fault site "ckpt.read".
+common::Result<TrainingCheckpoint> LoadCheckpoint(const std::string& path);
+
+/// True when `path` starts with the v2 checkpoint magic. Missing or short
+/// files report false.
+bool IsVersionedCheckpoint(const std::string& path);
+
+/// Rotating last-K checkpoint directory with a manifest. Files are named
+/// `ckpt_<epoch>.dckpt`; `MANIFEST` lists them oldest-first and is itself
+/// written atomically (fault site "manifest.write"), so the directory is
+/// always recoverable. A missing or corrupt manifest is rebuilt by
+/// scanning the directory, which makes the manager safe to point at a
+/// directory a crashed run left in any state.
+class CheckpointManager {
+ public:
+  struct Options {
+    int keep_last = 3;  ///< checkpoints retained after pruning (>= 1)
+  };
+
+  explicit CheckpointManager(std::string dir) : CheckpointManager(std::move(dir), Options()) {}
+  CheckpointManager(std::string dir, Options options);
+
+  /// Creates the directory if needed and loads (or rebuilds) the manifest.
+  common::Status Init();
+
+  /// Saves `ckpt` as `ckpt_<epoch>.dckpt`, updates the manifest, then
+  /// prunes to the newest `keep_last` files. Pruning happens only after
+  /// the new checkpoint is durable, so the retained set never shrinks
+  /// below keep_last valid-at-write-time snapshots.
+  common::Status Write(const TrainingCheckpoint& ckpt);
+
+  /// Loads the newest checkpoint that passes full validation, walking
+  /// backwards past corrupt ones (each rejection is logged). NotFound when
+  /// no file validates. `loaded_path`, when non-null, receives the
+  /// winning file's path.
+  common::Result<TrainingCheckpoint> LoadLatestValid(
+      std::string* loaded_path = nullptr) const;
+
+  /// Manifest contents, oldest first (file names, not paths).
+  const std::vector<std::string>& files() const { return files_; }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string PathOf(const std::string& name) const;
+  common::Status WriteManifest() const;
+
+  std::string dir_;
+  Options options_;
+  std::vector<std::string> files_;  // oldest first
+};
+
+}  // namespace desalign::nn
+
+#endif  // DESALIGN_NN_CHECKPOINT_H_

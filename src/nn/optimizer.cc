@@ -44,6 +44,32 @@ void AdamW::ZeroGrad() {
   for (const auto& p : params_) p->ZeroGrad();
 }
 
+common::Status AdamW::RestoreState(int64_t step,
+                                   std::vector<std::vector<float>> m,
+                                   std::vector<std::vector<float>> v) {
+  if (step < 0) {
+    return common::Status::InvalidArgument("negative optimizer step");
+  }
+  if (m.size() != params_.size() || v.size() != params_.size()) {
+    return common::Status::InvalidArgument(
+        "optimizer state holds " + std::to_string(m.size()) +
+        " moment buffers, optimizer has " + std::to_string(params_.size()) +
+        " parameters");
+  }
+  for (size_t k = 0; k < params_.size(); ++k) {
+    if (m[k].size() != params_[k]->data().size() ||
+        v[k].size() != params_[k]->data().size()) {
+      return common::Status::InvalidArgument(
+          "optimizer moment size mismatch for parameter " +
+          std::to_string(k));
+    }
+  }
+  step_ = step;
+  m_ = std::move(m);
+  v_ = std::move(v);
+  return common::Status::Ok();
+}
+
 CosineWarmupSchedule::CosineWarmupSchedule(float base_lr, int64_t total_steps,
                                            double warmup_fraction,
                                            float min_lr_ratio)

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/status.h"
 #include "tensor/tensor.h"
 
 namespace desalign::nn {
@@ -33,6 +34,17 @@ class AdamW {
   void set_lr(float lr) { config_.lr = lr; }
   float lr() const { return config_.lr; }
   int64_t step_count() const { return step_; }
+
+  /// Moment buffers, ordered like the parameter list (for checkpointing).
+  const std::vector<std::vector<float>>& moment1() const { return m_; }
+  const std::vector<std::vector<float>>& moment2() const { return v_; }
+
+  /// Restores step counter and moments from a checkpoint so resumed
+  /// training continues bit-exactly. Moment shapes must match the
+  /// parameter list this optimizer was built over.
+  common::Status RestoreState(int64_t step,
+                              std::vector<std::vector<float>> m,
+                              std::vector<std::vector<float>> v);
 
  private:
   std::vector<TensorPtr> params_;

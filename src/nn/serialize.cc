@@ -4,6 +4,8 @@
 #include <cstring>
 #include <fstream>
 
+#include "nn/checkpoint.h"
+
 namespace desalign::nn {
 
 namespace {
@@ -36,6 +38,31 @@ Status SaveParameters(const std::vector<tensor::TensorPtr>& params,
 
 Status LoadParameters(const std::vector<tensor::TensorPtr>& params,
                       const std::string& path) {
+  if (IsVersionedCheckpoint(path)) {
+    DESALIGN_ASSIGN_OR_RETURN(TrainingCheckpoint ckpt, LoadCheckpoint(path));
+    if (ckpt.tensors.size() != params.size()) {
+      return Status::InvalidArgument(
+          "checkpoint holds " + std::to_string(ckpt.tensors.size()) +
+          " tensors, model has " + std::to_string(params.size()));
+    }
+    // Validate every shape before touching the model so a mismatch cannot
+    // leave it half-loaded.
+    for (size_t i = 0; i < params.size(); ++i) {
+      if (ckpt.tensors[i]->rows() != params[i]->rows() ||
+          ckpt.tensors[i]->cols() != params[i]->cols()) {
+        return Status::InvalidArgument(
+            "checkpoint tensor shape " +
+            std::to_string(ckpt.tensors[i]->rows()) + "x" +
+            std::to_string(ckpt.tensors[i]->cols()) +
+            " does not match model " + std::to_string(params[i]->rows()) +
+            "x" + std::to_string(params[i]->cols()));
+      }
+    }
+    for (size_t i = 0; i < params.size(); ++i) {
+      params[i]->data() = std::move(ckpt.tensors[i]->data());
+    }
+    return Status::Ok();
+  }
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open " + path);
   char magic[kMagicLen];
@@ -78,6 +105,10 @@ Status LoadParameters(const std::vector<tensor::TensorPtr>& params,
 
 common::Result<std::vector<tensor::TensorPtr>> LoadAllParameters(
     const std::string& path) {
+  if (IsVersionedCheckpoint(path)) {
+    DESALIGN_ASSIGN_OR_RETURN(TrainingCheckpoint ckpt, LoadCheckpoint(path));
+    return std::move(ckpt.tensors);
+  }
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open " + path);
   char magic[kMagicLen];

@@ -1,10 +1,16 @@
 #include "serve/embedding_store.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <thread>
 #include <utility>
 
 #include "common/check.h"
+#include "common/logging.h"
+#include "nn/checkpoint.h"
 #include "nn/serialize.h"
+#include "serve/stats.h"
 
 namespace desalign::serve {
 
@@ -42,8 +48,9 @@ EmbeddingStore EmbeddingStore::FromRows(int64_t rows, int64_t cols,
 }
 
 common::Status EmbeddingStore::Save(const std::string& path) const {
-  auto t = tensor::Tensor::FromData(rows_, cols_, data_);
-  return nn::SaveParameters({t}, path);
+  nn::TrainingCheckpoint ckpt;
+  ckpt.tensors.push_back(tensor::Tensor::FromData(rows_, cols_, data_));
+  return nn::SaveCheckpoint(ckpt, path);
 }
 
 common::Result<EmbeddingStore> EmbeddingStore::Load(const std::string& path,
@@ -63,6 +70,42 @@ common::Result<EmbeddingStore> EmbeddingStore::Load(const std::string& path,
         " is empty; cannot serve from it");
   }
   return EmbeddingStore(t->rows(), t->cols(), t->data());
+}
+
+common::Status EmbeddingStore::Reload(const std::string& path,
+                                      const ReloadOptions& options,
+                                      ServeStats* stats) {
+  const int attempts = std::max(options.max_attempts, 1);
+  double backoff_ms = options.backoff_ms;
+  common::Status last = common::Status::Internal("reload never attempted");
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0 && backoff_ms > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(backoff_ms));
+      backoff_ms *= 2.0;
+    }
+    auto loaded = Load(path);
+    if (loaded.ok()) {
+      if (rows_ > 0 && loaded.value().dim() != cols_) {
+        // Permanent: queries embedded for the old dimension cannot be
+        // scored against the new table, so retrying cannot help.
+        if (stats != nullptr) stats->RecordReload(false);
+        return common::Status::InvalidArgument(
+            "reload of " + path + " would change dim from " +
+            std::to_string(cols_) + " to " +
+            std::to_string(loaded.value().dim()));
+      }
+      *this = std::move(loaded).value();
+      if (stats != nullptr) stats->RecordReload(true);
+      return common::Status::Ok();
+    }
+    last = loaded.status();
+    DESALIGN_LOG(Warning) << "reload attempt " << (attempt + 1) << "/"
+                          << attempts << " failed: " << last.ToString();
+    if (last.code() == common::StatusCode::kInvalidArgument) break;
+  }
+  if (stats != nullptr) stats->RecordReload(false);
+  return last;  // the previous snapshot is still being served
 }
 
 }  // namespace desalign::serve

@@ -10,6 +10,14 @@
 
 namespace desalign::serve {
 
+class ServeStats;
+
+/// Retry policy for EmbeddingStore::Reload.
+struct ReloadOptions {
+  int max_attempts = 3;     ///< total load attempts (>= 1)
+  double backoff_ms = 10.0; ///< sleep before retry 2; doubles per retry
+};
+
 /// Immutable, query-time view of a fused entity embedding table. Rows are
 /// copied once into a contiguous row-major float block and L2-normalized
 /// at construction, so cosine similarity at serving time is a plain dot
@@ -30,8 +38,9 @@ class EmbeddingStore {
   static EmbeddingStore FromRows(int64_t rows, int64_t cols,
                                  std::vector<float> data);
 
-  /// Writes the (already normalized) table as a single-tensor checkpoint
-  /// compatible with `nn::LoadParameters` / `nn::LoadAllParameters`.
+  /// Writes the (already normalized) table as a single-tensor v2
+  /// checkpoint: checksummed and atomically published, loadable with
+  /// `nn::LoadParameters` / `nn::LoadAllParameters` / `Load` below.
   common::Status Save(const std::string& path) const;
 
   /// Restores a store from checkpoint tensor `tensor_index` of `path`.
@@ -44,6 +53,20 @@ class EmbeddingStore {
   /// Empty store (0 x 0); exists so the class fits common::Result. Every
   /// populated store comes from the factories above.
   EmbeddingStore() = default;
+
+  /// Degradation-safe snapshot swap: loads and fully validates the
+  /// checkpoint at `path` (checksums included for v2 files) into a fresh
+  /// table and only then replaces this store's contents. On any failure —
+  /// missing file, corruption, torn write — the store keeps serving its
+  /// previous snapshot unchanged. Transient IO errors are retried up to
+  /// `options.max_attempts` with exponential backoff; a dimension change
+  /// relative to the current (non-empty) table is permanent and fails
+  /// immediately, since queries embedded for the old dim cannot be scored
+  /// against the new one. Outcomes are counted on `stats` when provided
+  /// (`<prefix>.reloads_ok` / `<prefix>.reloads_failed`).
+  common::Status Reload(const std::string& path,
+                        const ReloadOptions& options = {},
+                        ServeStats* stats = nullptr);
 
   int64_t size() const { return rows_; }
   int64_t dim() const { return cols_; }

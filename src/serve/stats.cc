@@ -30,6 +30,8 @@ ServeStats::ServeStats(obs::MetricsRegistry* registry, std::string prefix) {
   // count/sum (exact) feed the reported mean.
   batches_ = &reg.GetHistogram(prefix + ".batch_size",
                                obs::Histogram::ExponentialBuckets(1.0, 2.0, 16));
+  reloads_ok_ = &reg.GetCounter(prefix + ".reloads_ok");
+  reloads_failed_ = &reg.GetCounter(prefix + ".reloads_failed");
   Reset();
 }
 
@@ -41,9 +43,15 @@ void ServeStats::RecordBatch(int64_t size) {
   batches_->Record(static_cast<double>(size));
 }
 
+void ServeStats::RecordReload(bool ok) {
+  (ok ? reloads_ok_ : reloads_failed_)->Increment();
+}
+
 void ServeStats::Reset() {
   latency_->Reset();
   batches_->Reset();
+  reloads_ok_->Reset();
+  reloads_failed_->Reset();
   clock_.Reset();
 }
 
@@ -64,6 +72,8 @@ ServeStatsSnapshot ServeStats::Snapshot() const {
   snap.p95_latency_ms = latency.p95;
   snap.p99_latency_ms = latency.p99;
   snap.max_latency_ms = latency.max;
+  snap.reloads_ok = reloads_ok_->value();
+  snap.reloads_failed = reloads_failed_->value();
   return snap;
 }
 

@@ -25,6 +25,8 @@ struct ServeStatsSnapshot {
   double p95_latency_ms = 0.0;
   double p99_latency_ms = 0.0;
   double max_latency_ms = 0.0;
+  int64_t reloads_ok = 0;      ///< snapshot swaps that succeeded
+  int64_t reloads_failed = 0;  ///< reloads rejected (store kept last-good)
 };
 
 /// Thread-safe per-call latency / throughput counters for the serving
@@ -49,6 +51,10 @@ class ServeStats {
   /// Records one drained batch of `size` queries.
   void RecordBatch(int64_t size);
 
+  /// Records the outcome of an EmbeddingStore::Reload (counters
+  /// `<prefix>.reloads_ok` / `<prefix>.reloads_failed`).
+  void RecordReload(bool ok);
+
   /// Restarts the throughput clock and clears this instance's histograms.
   void Reset();
 
@@ -58,8 +64,10 @@ class ServeStats {
   void PrintTable(std::ostream& os) const;
 
  private:
-  obs::Histogram* latency_;  // owned by the registry
-  obs::Histogram* batches_;  // owned by the registry
+  obs::Histogram* latency_;        // owned by the registry
+  obs::Histogram* batches_;        // owned by the registry
+  obs::Counter* reloads_ok_;       // owned by the registry
+  obs::Counter* reloads_failed_;   // owned by the registry
   common::Stopwatch clock_;
 };
 

@@ -251,6 +251,78 @@ TEST(CliTest, ServeBenchWritesServeHistogramsToMetricsReport) {
   EXPECT_NE(json.find("\"serve.batch_size\""), std::string::npos);
 }
 
+TEST(CliTest, TrainWritesCheckpointsAndMetricsRow) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("desalign_cli_train_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  const auto metrics = dir.string() + "_metrics.json";
+  std::string out;
+  EXPECT_EQ(RunTool({"train", "--preset=FBDB15K", "--entities=60",
+                     "--epochs=4", "--dim=8", "--method=EVA",
+                     "--checkpoint-every=2",
+                     ("--checkpoint-dir=" + dir.string()).c_str(),
+                     ("--metrics-out=" + metrics).c_str()},
+                    &out),
+            0);
+  EXPECT_NE(out.find("H@1"), std::string::npos);
+  EXPECT_NE(out.find("skips"), std::string::npos);
+  EXPECT_NE(out.find("rollbacks"), std::string::npos);
+  EXPECT_TRUE(std::filesystem::exists(dir / "MANIFEST"));
+  EXPECT_TRUE(std::filesystem::exists(dir / "ckpt_00000003.dckpt"));
+  // The crash-safety metrics flow through the unified registry.
+  const std::string json = ReadAll(metrics);
+  std::filesystem::remove(metrics);
+  EXPECT_NE(json.find("\"train.nonfinite_skips\""), std::string::npos);
+  EXPECT_NE(json.find("\"train.rollbacks\""), std::string::npos);
+  EXPECT_NE(json.find("\"checkpoint.write_ms\""), std::string::npos);
+
+  // A second invocation with --resume finds the final-epoch checkpoint,
+  // has nothing left to train, and still reports metrics cleanly.
+  std::string resumed;
+  EXPECT_EQ(RunTool({"train", "--preset=FBDB15K", "--entities=60",
+                     "--epochs=4", "--dim=8", "--method=EVA",
+                     "--checkpoint-every=2", "--resume",
+                     ("--checkpoint-dir=" + dir.string()).c_str()},
+                    &resumed),
+            0);
+  EXPECT_NE(resumed.find("H@1"), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CliTest, TrainRequiresCheckpointDir) {
+  std::string out;
+  EXPECT_EQ(RunTool({"train", "--preset=FBDB15K", "--entities=60",
+                     "--epochs=2", "--dim=8"},
+                    &out),
+            1);
+}
+
+TEST(CliTest, TrainRejectsNonFusionMethod) {
+  std::string out;
+  EXPECT_EQ(RunTool({"train", "--preset=FBDB15K", "--entities=60",
+                     "--epochs=2", "--dim=8", "--method=TransE",
+                     "--checkpoint-dir=/tmp/desalign_cli_train_bad"},
+                    &out),
+            1);
+}
+
+TEST(CliTest, TrainExportsFinalParameters) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("desalign_cli_train_out_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  const auto params = dir / "final.ckpt";
+  std::string out;
+  EXPECT_EQ(RunTool({"train", "--preset=FBDB15K", "--entities=60",
+                     "--epochs=2", "--dim=8", "--method=EVA",
+                     ("--checkpoint-dir=" + (dir / "ckpts").string()).c_str(),
+                     ("--out=" + params.string()).c_str()},
+                    &out),
+            0);
+  EXPECT_NE(out.find("wrote final parameters"), std::string::npos);
+  EXPECT_TRUE(std::filesystem::exists(params));
+  std::filesystem::remove_all(dir);
+}
+
 TEST(CliTest, MetricsOutSupportsCsv) {
   const auto path = std::filesystem::temp_directory_path() /
                     ("desalign_cli_metrics_" + std::to_string(::getpid()) +

@@ -1,0 +1,122 @@
+#include "common/atomic_file.h"
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "common/fault_injection.h"
+
+namespace desalign::common {
+namespace {
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+// AtomicWriteFile/ReadFileToString route injection through the global
+// injector, so the fixture guarantees it is disarmed around every test.
+class AtomicFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FaultInjector::Global().Clear();
+    path_ = (std::filesystem::temp_directory_path() /
+             ("desalign_atomic_" + std::to_string(::getpid()) + ".bin"))
+                .string();
+  }
+  void TearDown() override {
+    FaultInjector::Global().Clear();
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+    std::filesystem::remove(path_ + ".tmp", ec);
+  }
+  std::string path_;
+};
+
+TEST_F(AtomicFileTest, RoundTrip) {
+  const std::string payload("binary\0payload", 14);
+  ASSERT_TRUE(AtomicWriteFile(path_, payload).ok());
+  std::string read_back;
+  ASSERT_TRUE(ReadFileToString(path_, &read_back).ok());
+  EXPECT_EQ(read_back, payload);
+  EXPECT_FALSE(std::filesystem::exists(path_ + ".tmp"));
+}
+
+TEST_F(AtomicFileTest, OverwriteReplacesWholeFile) {
+  ASSERT_TRUE(AtomicWriteFile(path_, "a much longer first version").ok());
+  ASSERT_TRUE(AtomicWriteFile(path_, "v2").ok());
+  EXPECT_EQ(Slurp(path_), "v2");
+}
+
+TEST_F(AtomicFileTest, ReadMissingFileFails) {
+  std::string out;
+  const auto status = ReadFileToString(path_ + ".nope", &out);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+}
+
+TEST_F(AtomicFileTest, InjectedOpenFailureLeavesTargetIntact) {
+  ASSERT_TRUE(AtomicWriteFile(path_, "original").ok());
+  ASSERT_TRUE(
+      FaultInjector::Global().Configure("atomic_write.open:fail").ok());
+  EXPECT_FALSE(AtomicWriteFile(path_, "replacement").ok());
+  EXPECT_EQ(Slurp(path_), "original");
+}
+
+TEST_F(AtomicFileTest, InjectedWriteFailureLeavesTargetIntact) {
+  ASSERT_TRUE(AtomicWriteFile(path_, "original").ok());
+  ASSERT_TRUE(
+      FaultInjector::Global().Configure("atomic_write.data:fail").ok());
+  EXPECT_FALSE(AtomicWriteFile(path_, "replacement").ok());
+  EXPECT_EQ(Slurp(path_), "original");
+  EXPECT_FALSE(std::filesystem::exists(path_ + ".tmp"));
+}
+
+TEST_F(AtomicFileTest, InjectedRenameFailureLeavesTargetIntact) {
+  ASSERT_TRUE(AtomicWriteFile(path_, "original").ok());
+  ASSERT_TRUE(
+      FaultInjector::Global().Configure("atomic_write.rename:fail").ok());
+  EXPECT_FALSE(AtomicWriteFile(path_, "replacement").ok());
+  EXPECT_EQ(Slurp(path_), "original");
+}
+
+TEST_F(AtomicFileTest, InjectedShortWritePublishesTornFile) {
+  // short:N models a crash where the rename landed but the data didn't:
+  // the call reports success and the reader sees a truncated file.
+  ASSERT_TRUE(
+      FaultInjector::Global().Configure("atomic_write.data:short:5").ok());
+  ASSERT_TRUE(AtomicWriteFile(path_, "twelve bytes").ok());
+  EXPECT_EQ(Slurp(path_), "twelv");
+}
+
+TEST_F(AtomicFileTest, InjectedBitFlipCorruptsOneByte) {
+  ASSERT_TRUE(
+      FaultInjector::Global().Configure("atomic_write.data:bitflip:3").ok());
+  ASSERT_TRUE(AtomicWriteFile(path_, "abcdefgh").ok());
+  const std::string got = Slurp(path_);
+  ASSERT_EQ(got.size(), 8u);
+  EXPECT_EQ(got[3], 'd' ^ 1);
+  EXPECT_EQ(got.substr(0, 3), "abc");
+}
+
+TEST_F(AtomicFileTest, InjectedReadFaults) {
+  ASSERT_TRUE(AtomicWriteFile(path_, "abcdefgh").ok());
+  ASSERT_TRUE(FaultInjector::Global()
+                  .Configure("file.read:fail@1;file.read:bitflip:0@2")
+                  .ok());
+  std::string out;
+  EXPECT_FALSE(ReadFileToString(path_, &out).ok());  // transient failure
+  ASSERT_TRUE(ReadFileToString(path_, &out).ok());   // then a bit flip
+  EXPECT_EQ(out[0], 'a' ^ 1);
+  ASSERT_TRUE(ReadFileToString(path_, &out).ok());   // then clean
+  EXPECT_EQ(out, "abcdefgh");
+  // The on-disk file was never touched by the read-side faults.
+  EXPECT_EQ(Slurp(path_), "abcdefgh");
+}
+
+}  // namespace
+}  // namespace desalign::common

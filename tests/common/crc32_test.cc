@@ -1,0 +1,41 @@
+#include "common/crc32.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace desalign::common {
+namespace {
+
+TEST(Crc32Test, KnownVector) {
+  // The canonical CRC-32/IEEE check value.
+  const std::string text = "123456789";
+  EXPECT_EQ(Crc32(text.data(), text.size()), 0xCBF43926u);
+}
+
+TEST(Crc32Test, EmptyIsZero) { EXPECT_EQ(Crc32("", 0), 0u); }
+
+TEST(Crc32Test, IncrementalChainingMatchesOneShot) {
+  const std::string text = "the quick brown fox jumps over the lazy dog";
+  const uint32_t one_shot = Crc32(text.data(), text.size());
+  for (size_t split : {size_t{0}, size_t{1}, text.size() / 2, text.size()}) {
+    const uint32_t first = Crc32(text.data(), split);
+    const uint32_t chained = Crc32(text.data() + split, text.size() - split,
+                                   first);
+    EXPECT_EQ(chained, one_shot) << "split at " << split;
+  }
+}
+
+TEST(Crc32Test, SingleBitFlipChangesChecksum) {
+  std::string text = "checkpoint payload bytes";
+  const uint32_t clean = Crc32(text.data(), text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    std::string corrupt = text;
+    corrupt[i] ^= 1;
+    EXPECT_NE(Crc32(corrupt.data(), corrupt.size()), clean)
+        << "flip at byte " << i;
+  }
+}
+
+}  // namespace
+}  // namespace desalign::common

@@ -1,0 +1,109 @@
+#include "common/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+namespace desalign::common {
+namespace {
+
+TEST(FaultInjectionTest, UnarmedInjectorNeverFires) {
+  FaultInjector inj;
+  EXPECT_FALSE(inj.armed());
+  EXPECT_FALSE(inj.OnSite("ckpt.write.data"));
+  EXPECT_EQ(inj.fire_count(), 0);
+}
+
+TEST(FaultInjectionTest, DefaultHitIsFirstOccurrence) {
+  FaultInjector inj;
+  ASSERT_TRUE(inj.Configure("ckpt.read:fail").ok());
+  EXPECT_TRUE(inj.armed());
+  const auto first = inj.OnSite("ckpt.read");
+  EXPECT_EQ(first.kind, FaultKind::kFail);
+  EXPECT_FALSE(inj.OnSite("ckpt.read"));  // @1 only
+  EXPECT_EQ(inj.fire_count(), 1);
+}
+
+TEST(FaultInjectionTest, HitSelectorFiresOnExactOccurrence) {
+  FaultInjector inj;
+  ASSERT_TRUE(inj.Configure("train.epoch:stop@3").ok());
+  EXPECT_FALSE(inj.OnSite("train.epoch"));
+  EXPECT_FALSE(inj.OnSite("train.epoch"));
+  EXPECT_EQ(inj.OnSite("train.epoch").kind, FaultKind::kStop);
+  EXPECT_FALSE(inj.OnSite("train.epoch"));
+}
+
+TEST(FaultInjectionTest, StarFiresOnEveryOccurrence) {
+  FaultInjector inj;
+  ASSERT_TRUE(inj.Configure("train.loss:nan@*").ok());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(inj.OnSite("train.loss").kind, FaultKind::kNan);
+  }
+  EXPECT_EQ(inj.fire_count(), 5);
+}
+
+TEST(FaultInjectionTest, ParamAndMultipleRules) {
+  FaultInjector inj;
+  ASSERT_TRUE(
+      inj.Configure("a.write:short:64@2; b.write:bitflip:7 ;c.x:fail")
+          .ok());
+  EXPECT_FALSE(inj.OnSite("a.write"));
+  const auto torn = inj.OnSite("a.write");
+  EXPECT_EQ(torn.kind, FaultKind::kShortWrite);
+  EXPECT_EQ(torn.param, 64);
+  const auto flip = inj.OnSite("b.write");
+  EXPECT_EQ(flip.kind, FaultKind::kBitFlip);
+  EXPECT_EQ(flip.param, 7);
+  EXPECT_EQ(inj.OnSite("c.x").kind, FaultKind::kFail);
+  // Sites count hits independently.
+  EXPECT_FALSE(inj.OnSite("unrelated.site"));
+}
+
+TEST(FaultInjectionTest, FirstMatchingRuleWins) {
+  FaultInjector inj;
+  ASSERT_TRUE(inj.Configure("s:fail@*;s:nan@*").ok());
+  EXPECT_EQ(inj.OnSite("s").kind, FaultKind::kFail);
+}
+
+TEST(FaultInjectionTest, ClearDisarms) {
+  FaultInjector inj;
+  ASSERT_TRUE(inj.Configure("s:fail@*").ok());
+  EXPECT_TRUE(inj.OnSite("s"));
+  inj.Clear();
+  EXPECT_FALSE(inj.armed());
+  EXPECT_FALSE(inj.OnSite("s"));
+  EXPECT_EQ(inj.fire_count(), 0);
+}
+
+TEST(FaultInjectionTest, ReconfigureResetsHitCounters) {
+  FaultInjector inj;
+  ASSERT_TRUE(inj.Configure("s:fail@2").ok());
+  EXPECT_FALSE(inj.OnSite("s"));
+  ASSERT_TRUE(inj.Configure("s:fail@2").ok());
+  EXPECT_FALSE(inj.OnSite("s"));  // counter restarted
+  EXPECT_TRUE(inj.OnSite("s"));
+}
+
+TEST(FaultInjectionTest, EmptySpecDisarms) {
+  FaultInjector inj;
+  ASSERT_TRUE(inj.Configure("s:fail@*").ok());
+  ASSERT_TRUE(inj.Configure("").ok());
+  EXPECT_FALSE(inj.armed());
+  ASSERT_TRUE(inj.Configure(" ; ;").ok());
+  EXPECT_FALSE(inj.armed());
+}
+
+TEST(FaultInjectionTest, MalformedSpecsRejectedAndRulesKept) {
+  FaultInjector inj;
+  ASSERT_TRUE(inj.Configure("keep.me:fail@*").ok());
+  for (const char* bad :
+       {"siteonly", "s:explode", "s:fail:notanumber", "s:fail:-3",
+        "s:fail@zero", "s:fail@0", ":fail", "s:fail:1:2"}) {
+    const auto status = inj.Configure(bad);
+    ASSERT_FALSE(status.ok()) << bad;
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << bad;
+  }
+  // The previous configuration survived every failed Configure.
+  EXPECT_EQ(inj.OnSite("keep.me").kind, FaultKind::kFail);
+}
+
+}  // namespace
+}  // namespace desalign::common

@@ -53,5 +53,42 @@ TEST(StringsTest, StartsWith) {
   EXPECT_TRUE(StartsWith("x", ""));
 }
 
+TEST(StringsTest, ParseInt64Valid) {
+  int64_t v = -1;
+  EXPECT_TRUE(ParseInt64("0", &v));
+  EXPECT_EQ(v, 0);
+  EXPECT_TRUE(ParseInt64("-42", &v));
+  EXPECT_EQ(v, -42);
+  EXPECT_TRUE(ParseInt64("9223372036854775807", &v));
+  EXPECT_EQ(v, INT64_MAX);
+}
+
+TEST(StringsTest, ParseInt64Invalid) {
+  int64_t v = 123;
+  for (const char* bad : {"", "abc", "12x", "x12", "1.5", "1 2",
+                          "99999999999999999999", "0x10"}) {
+    EXPECT_FALSE(ParseInt64(bad, &v)) << "'" << bad << "'";
+  }
+  EXPECT_EQ(v, 123);  // failures never write the output
+}
+
+TEST(StringsTest, ParseFloatValid) {
+  float v = -1.0f;
+  EXPECT_TRUE(ParseFloat("0.5", &v));
+  EXPECT_FLOAT_EQ(v, 0.5f);
+  EXPECT_TRUE(ParseFloat("-3e2", &v));
+  EXPECT_FLOAT_EQ(v, -300.0f);
+  EXPECT_TRUE(ParseFloat("7", &v));
+  EXPECT_FLOAT_EQ(v, 7.0f);
+}
+
+TEST(StringsTest, ParseFloatInvalid) {
+  float v = 9.0f;
+  for (const char* bad : {"", "abc", "1.5x", "--1", "1e", "1.0 "}) {
+    EXPECT_FALSE(ParseFloat(bad, &v)) << "'" << bad << "'";
+  }
+  EXPECT_FLOAT_EQ(v, 9.0f);
+}
+
 }  // namespace
 }  // namespace desalign::common

@@ -1,0 +1,183 @@
+// Crash-safety suite: a training run that is killed mid-flight and resumed
+// from its rotating checkpoints must finish with bit-for-bit the same
+// weights and metrics as an uninterrupted run of the same config, and the
+// non-finite guards must keep a run alive through injected NaN epochs.
+// The "kill" is the `train.epoch:stop@K` fault site, which returns from
+// Fit at exactly the point a SIGKILL after the epoch's checkpoint would.
+
+#include <unistd.h>
+
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "align/fusion_model.h"
+#include "align/metrics.h"
+#include "common/fault_injection.h"
+#include "kg/synthetic.h"
+#include "obs/metrics.h"
+#include "tensor/tensor.h"
+
+namespace desalign {
+namespace {
+
+class CrashResumeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    common::FaultInjector::Global().Clear();
+    dir_ = std::filesystem::temp_directory_path() /
+           ("desalign_crash_resume_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    common::FaultInjector::Global().Clear();
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  std::filesystem::path dir_;
+};
+
+kg::AlignedKgPair TinyData() {
+  kg::SyntheticSpec spec;
+  spec.num_entities = 60;
+  spec.seed = 91;
+  spec.seed_ratio = 0.3;
+  return kg::GenerateSyntheticPair(spec);
+}
+
+align::FusionModelConfig TinyConfig() {
+  align::FusionModelConfig cfg;
+  cfg.name = "CrashResume";
+  cfg.seed = 5;
+  cfg.dim = 8;
+  cfg.epochs = 8;
+  return cfg;
+}
+
+struct RunArtifacts {
+  std::vector<float> fused;
+  std::vector<float> similarity;
+  align::RankingMetrics metrics;
+};
+
+RunArtifacts Artifacts(align::FusionAlignModel& model,
+                       const kg::AlignedKgPair& data) {
+  RunArtifacts out;
+  auto fused = model.FusedEmbeddings();
+  out.fused.assign(fused->data().begin(), fused->data().end());
+  auto sim = model.DecodeSimilarity(data);
+  out.similarity.assign(sim->data().begin(), sim->data().end());
+  out.metrics = align::MetricsFromSimilarity(*sim);
+  return out;
+}
+
+// memcmp so the comparison is bit-exact (distinguishes -0.0f, sees NaNs).
+void ExpectBitExact(const std::vector<float>& a, const std::vector<float>& b,
+                    const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  ASSERT_FALSE(a.empty()) << what;
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(float)), 0)
+      << what << ": interrupted+resumed run diverged from uninterrupted run";
+}
+
+TEST_F(CrashResumeTest, KillAndResumeIsBitExact) {
+  const auto data = TinyData();
+
+  // Reference: one uninterrupted run, no checkpointing at all.
+  align::FusionAlignModel reference(TinyConfig());
+  reference.Fit(data);
+  const RunArtifacts expected = Artifacts(reference, data);
+
+  // Interrupted run: checkpoints every 2 epochs, injected crash after the
+  // 4th epoch (epoch 3, which the cadence just checkpointed).
+  const std::string ckpt_dir = (dir_ / "ckpts").string();
+  {
+    align::FusionAlignModel first(TinyConfig());
+    first.ConfigureCheckpointing(ckpt_dir, /*every=*/2, /*keep=*/3,
+                                 /*resume=*/false);
+    ASSERT_TRUE(
+        common::FaultInjector::Global().Configure("train.epoch:stop@4").ok());
+    first.Fit(data);
+    common::FaultInjector::Global().Clear();
+    // The crashed process's in-memory model is discarded; only the
+    // checkpoint directory survives into the "new process" below.
+  }
+
+  align::FusionAlignModel resumed(TinyConfig());
+  resumed.ConfigureCheckpointing(ckpt_dir, /*every=*/2, /*keep=*/3,
+                                 /*resume=*/true);
+  resumed.Fit(data);
+  const RunArtifacts got = Artifacts(resumed, data);
+
+  ExpectBitExact(got.fused, expected.fused, "fused embeddings");
+  ExpectBitExact(got.similarity, expected.similarity, "decoded similarity");
+  EXPECT_EQ(got.metrics.h_at_1, expected.metrics.h_at_1);
+  EXPECT_EQ(got.metrics.h_at_10, expected.metrics.h_at_10);
+  EXPECT_EQ(got.metrics.mrr, expected.metrics.mrr);
+}
+
+TEST_F(CrashResumeTest, ResumeWithEmptyDirTrainsFromScratch) {
+  const auto data = TinyData();
+  align::FusionAlignModel reference(TinyConfig());
+  reference.Fit(data);
+  const RunArtifacts expected = Artifacts(reference, data);
+
+  align::FusionAlignModel fresh(TinyConfig());
+  fresh.ConfigureCheckpointing((dir_ / "empty").string(), 2, 3,
+                               /*resume=*/true);
+  fresh.Fit(data);
+  const RunArtifacts got = Artifacts(fresh, data);
+  ExpectBitExact(got.fused, expected.fused, "fused embeddings");
+}
+
+TEST_F(CrashResumeTest, NonFiniteLossIsSkippedNotFatal) {
+  auto& skips =
+      obs::MetricsRegistry::Global().GetCounter("train.nonfinite_skips");
+  skips.Reset();
+  const auto data = TinyData();
+  align::FusionAlignModel model(TinyConfig());
+  // One injected NaN loss at the 2nd epoch; the guard must skip that
+  // update and the run must still end with finite, usable embeddings.
+  ASSERT_TRUE(
+      common::FaultInjector::Global().Configure("train.loss:nan@2").ok());
+  model.Fit(data);
+  common::FaultInjector::Global().Clear();
+  EXPECT_EQ(skips.value(), 1);
+  const RunArtifacts got = Artifacts(model, data);
+  for (float x : got.fused) ASSERT_TRUE(std::isfinite(x));
+  for (float x : got.similarity) ASSERT_TRUE(std::isfinite(x));
+}
+
+TEST_F(CrashResumeTest, ConsecutiveBadEpochsRollBackToCheckpoint) {
+  auto& skips =
+      obs::MetricsRegistry::Global().GetCounter("train.nonfinite_skips");
+  auto& rollbacks =
+      obs::MetricsRegistry::Global().GetCounter("train.rollbacks");
+  skips.Reset();
+  rollbacks.Reset();
+  const auto data = TinyData();
+  align::FusionAlignModel model(TinyConfig());
+  model.ConfigureCheckpointing((dir_ / "rollback").string(), /*every=*/2,
+                               /*keep=*/3, /*resume=*/false);
+  // Epochs 0-1 are clean (checkpoint lands at epoch 1); epochs 2-4 all
+  // produce NaN losses, which exhausts max_bad_steps (3) and forces a
+  // rollback to the epoch-1 checkpoint.
+  ASSERT_TRUE(common::FaultInjector::Global()
+                  .Configure("train.loss:nan@3;train.loss:nan@4;"
+                             "train.loss:nan@5")
+                  .ok());
+  model.Fit(data);
+  common::FaultInjector::Global().Clear();
+  EXPECT_EQ(skips.value(), 3);
+  EXPECT_EQ(rollbacks.value(), 1);
+  const RunArtifacts got = Artifacts(model, data);
+  for (float x : got.fused) ASSERT_TRUE(std::isfinite(x));
+}
+
+}  // namespace
+}  // namespace desalign

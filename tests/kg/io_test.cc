@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 
 #include <gtest/gtest.h>
 
@@ -86,6 +87,79 @@ TEST_F(IoTest, CorruptFeatureFileFails) {
   ASSERT_TRUE(SaveDataset(pair, dir_.string()).ok());
   // Truncate one feature file.
   std::filesystem::resize_file(dir_ / "src_vis.fbin", 8);
+  auto r = LoadDataset(dir_.string());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(IoTest, CorruptTextFixturesFailWithCleanStatus) {
+  SyntheticSpec spec;
+  spec.num_entities = 20;
+  auto pair = GenerateSyntheticPair(spec);
+
+  // Each case appends one malformed line to an otherwise valid file. The
+  // loader must return an IoError Status (never throw, never crash) and
+  // the message must name the offending file.
+  struct Case {
+    const char* file;
+    const char* bad_line;
+  } const kCases[] = {
+      {"src_triples.tsv", "1\tx\t2"},        // non-numeric relation
+      {"tgt_triples.tsv", "1\t2"},           // wrong field count
+      {"src_triples.tsv", "1\t2\t3\t4"},     // wrong field count
+      {"src_attr_triples.tsv", "3\t4\tnotafloat"},
+      {"tgt_attr_triples.tsv", "3\t4.5\t1"},  // float where id expected
+      {"train_pairs.tsv", "5\t6\t7"},
+      {"test_pairs.tsv", "abc\t1"},
+      {"test_pairs.tsv", "1\t"},  // empty field
+  };
+  for (const auto& c : kCases) {
+    ASSERT_TRUE(SaveDataset(pair, dir_.string()).ok());
+    {
+      std::ofstream out(dir_ / c.file, std::ios::app);
+      out << c.bad_line << '\n';
+    }
+    auto r = LoadDataset(dir_.string());
+    ASSERT_FALSE(r.ok()) << c.file << " + '" << c.bad_line << "'";
+    EXPECT_EQ(r.status().code(), common::StatusCode::kIoError)
+        << c.file << " + '" << c.bad_line << "'";
+    EXPECT_NE(r.status().ToString().find(c.file), std::string::npos)
+        << "error should name the file: " << r.status().ToString();
+  }
+}
+
+TEST_F(IoTest, ImplausibleFeatureHeaderRejectedWithoutAllocating) {
+  SyntheticSpec spec;
+  spec.num_entities = 20;
+  auto pair = GenerateSyntheticPair(spec);
+  ASSERT_TRUE(SaveDataset(pair, dir_.string()).ok());
+  // A corrupted header claiming an absurd shape must be rejected by the
+  // plausibility check, not die attempting a multi-terabyte allocation.
+  const int64_t rows = int64_t{1} << 40;
+  const int64_t cols = int64_t{1} << 40;
+  {
+    std::ofstream out(dir_ / "src_text.fbin",
+                      std::ios::binary | std::ios::in | std::ios::out);
+    out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+    out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+  }
+  auto r = LoadDataset(dir_.string());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), common::StatusCode::kIoError);
+}
+
+TEST_F(IoTest, NegativeFeatureHeaderRejected) {
+  SyntheticSpec spec;
+  spec.num_entities = 20;
+  auto pair = GenerateSyntheticPair(spec);
+  ASSERT_TRUE(SaveDataset(pair, dir_.string()).ok());
+  const int64_t rows = -4;
+  const int64_t cols = 8;
+  {
+    std::ofstream out(dir_ / "tgt_vis.fbin",
+                      std::ios::binary | std::ios::in | std::ios::out);
+    out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+    out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+  }
   auto r = LoadDataset(dir_.string());
   EXPECT_FALSE(r.ok());
 }

@@ -11,6 +11,7 @@
 #include "align/metrics.h"
 #include "common/rng.h"
 #include "kg/synthetic.h"
+#include "nn/checkpoint.h"
 #include "tensor/init.h"
 
 namespace desalign::nn {
@@ -74,6 +75,42 @@ TEST_F(SerializeTest, ShapeMismatchFailsWithoutMutation) {
   const auto before = wrong[0]->data();
   ASSERT_FALSE(LoadParameters(wrong, path_).ok());
   EXPECT_EQ(wrong[0]->data(), before);  // no partial load
+}
+
+TEST_F(SerializeTest, LastTensorShapeMismatchFailsWithoutMutation) {
+  // Regression: an eager loader that copies tensors as it parses would
+  // have already overwritten tensors 0 and 1 by the time it notices the
+  // LAST tensor's shape is wrong. All shapes must be validated before any
+  // data moves.
+  auto params = MakeParams(14);
+  ASSERT_TRUE(SaveParameters(params, path_).ok());
+  auto wrong = MakeParams(15);
+  wrong.back() = Tensor::Create(5, 6, true);  // file has 5x5
+  const auto before0 = wrong[0]->data();
+  const auto before1 = wrong[1]->data();
+  ASSERT_FALSE(LoadParameters(wrong, path_).ok());
+  EXPECT_EQ(wrong[0]->data(), before0);
+  EXPECT_EQ(wrong[1]->data(), before1);
+}
+
+TEST_F(SerializeTest, LastTensorShapeMismatchFailsForV2Checkpoints) {
+  // Same no-partial-write guarantee on the v2 (checksummed) load path.
+  auto params = MakeParams(16);
+  ASSERT_TRUE(SaveCheckpoint(
+                  [&] {
+                    TrainingCheckpoint ckpt;
+                    ckpt.tensors = params;
+                    return ckpt;
+                  }(),
+                  path_)
+                  .ok());
+  auto wrong = MakeParams(17);
+  wrong.back() = Tensor::Create(5, 6, true);
+  const auto before0 = wrong[0]->data();
+  const auto before1 = wrong[1]->data();
+  ASSERT_FALSE(LoadParameters(wrong, path_).ok());
+  EXPECT_EQ(wrong[0]->data(), before0);
+  EXPECT_EQ(wrong[1]->data(), before1);
 }
 
 TEST_F(SerializeTest, GarbageFileRejected) {

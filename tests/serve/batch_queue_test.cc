@@ -1,6 +1,7 @@
 #include "serve/batch_queue.h"
 
 #include <future>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -118,6 +119,83 @@ TEST(BatchQueueTest, ShutdownDrainsPendingAndRejectsNewWork) {
   for (auto& f : futures) EXPECT_EQ(f.get().ids.size(), 3u);
   // After shutdown, submissions resolve immediately and empty.
   EXPECT_TRUE(queue.Submit(RandomRows(1, dim, 99)).get().ids.empty());
+}
+
+TEST(BatchQueueTest, SubmittersRacingShutdownAlwaysGetAFulfilledFuture) {
+  // Stress the Submit/Shutdown race under TSan: submitters hammer the
+  // queue while another thread tears it down. Every future must become
+  // ready — either with k results (accepted before shutdown) or empty
+  // (rejected after) — and no future may throw broken_promise or hang.
+  const int64_t dim = 4;
+  const auto data = RandomRows(16, dim, 6);
+  const auto store = EmbeddingStore::FromRows(16, dim, data);
+  TopKRetriever retriever(&store);
+  for (int round = 0; round < 8; ++round) {
+    BatchQueueOptions options;
+    options.k = 2;
+    options.max_batch = 4;
+    options.max_wait_ms = 0.1;
+    BatchQueue queue(&retriever, options);
+
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 25;
+    std::vector<std::thread> submitters;
+    std::vector<std::vector<std::future<TopKResult>>> futures(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      submitters.emplace_back([&, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          futures[t].push_back(
+              queue.Submit(RandomRows(1, dim, 200 + t * kPerThread + i)));
+        }
+      });
+    }
+    // Shut down while submissions are still in flight.
+    std::thread closer([&] { queue.Shutdown(); });
+    for (auto& s : submitters) s.join();
+    closer.join();
+
+    for (auto& per_thread : futures) {
+      for (auto& f : per_thread) {
+        ASSERT_TRUE(f.valid());
+        TopKResult result;
+        ASSERT_NO_THROW(result = f.get());
+        EXPECT_TRUE(result.ids.empty() || result.ids.size() == 2u);
+      }
+    }
+  }
+}
+
+TEST(BatchQueueTest, DestructionRacingSubmittersLeavesNoBrokenPromise) {
+  const int64_t dim = 4;
+  const auto data = RandomRows(16, dim, 7);
+  const auto store = EmbeddingStore::FromRows(16, dim, data);
+  TopKRetriever retriever(&store);
+  for (int round = 0; round < 8; ++round) {
+    std::vector<std::future<TopKResult>> futures;
+    std::mutex futures_mu;
+    std::vector<std::thread> submitters;
+    {
+      BatchQueueOptions options;
+      options.k = 1;
+      options.max_wait_ms = 0.1;
+      BatchQueue queue(&retriever, options);
+      for (int t = 0; t < 3; ++t) {
+        submitters.emplace_back([&, t] {
+          for (int i = 0; i < 20; ++i) {
+            auto f = queue.Submit(RandomRows(1, dim, 300 + t * 20 + i));
+            std::lock_guard<std::mutex> lock(futures_mu);
+            futures.push_back(std::move(f));
+          }
+        });
+      }
+      for (auto& s : submitters) s.join();
+      // ~BatchQueue runs here with every future already issued.
+    }
+    for (auto& f : futures) {
+      ASSERT_TRUE(f.valid());
+      ASSERT_NO_THROW(f.get());
+    }
+  }
 }
 
 TEST(BatchQueueTest, DestructorCompletesOutstandingFutures) {

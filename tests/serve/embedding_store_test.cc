@@ -8,8 +8,10 @@
 
 #include <gtest/gtest.h>
 
+#include "common/fault_injection.h"
 #include "common/rng.h"
 #include "nn/serialize.h"
+#include "serve/stats.h"
 #include "tensor/tensor.h"
 
 namespace desalign::serve {
@@ -20,11 +22,13 @@ using tensor::Tensor;
 class EmbeddingStoreTest : public ::testing::Test {
  protected:
   void SetUp() override {
+    common::FaultInjector::Global().Clear();
     path_ = (std::filesystem::temp_directory_path() /
              ("desalign_store_" + std::to_string(::getpid()) + ".ckpt"))
                 .string();
   }
   void TearDown() override {
+    common::FaultInjector::Global().Clear();
     std::error_code ec;
     std::filesystem::remove(path_, ec);
   }
@@ -92,6 +96,66 @@ TEST_F(EmbeddingStoreTest, LoadGarbageFailsCleanly) {
   auto loaded = EmbeddingStore::Load(path_);
   ASSERT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), common::StatusCode::kIoError);
+}
+
+TEST_F(EmbeddingStoreTest, ReloadSwapsInNewSnapshot) {
+  auto store = EmbeddingStore::FromRows(2, 3, {1, 0, 0, 0, 1, 0});
+  const auto next = EmbeddingStore::FromRows(4, 3, {0, 0, 1, 0, 1, 0,  //
+                                                    1, 0, 0, 0, 1, 1});
+  ASSERT_TRUE(next.Save(path_).ok());
+  ServeStats stats;
+  ASSERT_TRUE(store.Reload(path_, ReloadOptions{}, &stats).ok());
+  EXPECT_EQ(store.size(), 4);
+  EXPECT_EQ(store.data(), next.data());
+  EXPECT_EQ(stats.Snapshot().reloads_ok, 1);
+  EXPECT_EQ(stats.Snapshot().reloads_failed, 0);
+}
+
+TEST_F(EmbeddingStoreTest, ReloadOfCorruptFileKeepsServingLastGood) {
+  auto store = EmbeddingStore::FromRows(2, 3, {1, 0, 0, 0, 1, 0});
+  const auto before = store.data();
+  std::ofstream(path_, std::ios::binary) << "corrupted snapshot bytes";
+  ServeStats stats;
+  ReloadOptions options;
+  options.max_attempts = 2;
+  options.backoff_ms = 0.0;
+  const auto status = store.Reload(path_, options, &stats);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(store.size(), 2);        // old snapshot still intact
+  EXPECT_EQ(store.data(), before);   // bit-for-bit
+  EXPECT_EQ(stats.Snapshot().reloads_failed, 1);
+}
+
+TEST_F(EmbeddingStoreTest, ReloadRetriesThroughTransientReadFault) {
+  auto store = EmbeddingStore::FromRows(2, 3, {1, 0, 0, 0, 1, 0});
+  const auto next = EmbeddingStore::FromRows(3, 3, {0, 0, 1, 0, 1, 0,  //
+                                                    1, 0, 0});
+  ASSERT_TRUE(next.Save(path_).ok());
+  // First read attempt fails in flight; the bounded retry must succeed.
+  ASSERT_TRUE(
+      common::FaultInjector::Global().Configure("ckpt.read:fail@1").ok());
+  ReloadOptions options;
+  options.max_attempts = 3;
+  options.backoff_ms = 0.1;
+  ServeStats stats;
+  const auto status = store.Reload(path_, options, &stats);
+  common::FaultInjector::Global().Clear();
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(store.size(), 3);
+  EXPECT_EQ(stats.Snapshot().reloads_ok, 1);
+}
+
+TEST_F(EmbeddingStoreTest, ReloadRejectsDimensionChangeImmediately) {
+  auto store = EmbeddingStore::FromRows(2, 3, {1, 0, 0, 0, 1, 0});
+  const auto wrong_dim = EmbeddingStore::FromRows(2, 5, {1, 0, 0, 0, 0,  //
+                                                         0, 1, 0, 0, 0});
+  ASSERT_TRUE(wrong_dim.Save(path_).ok());
+  ServeStats stats;
+  const auto status = store.Reload(path_, ReloadOptions{}, &stats);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), common::StatusCode::kInvalidArgument);
+  EXPECT_EQ(store.dim(), 3);  // unchanged
+  EXPECT_EQ(stats.Snapshot().reloads_failed, 1);
 }
 
 }  // namespace

@@ -1,16 +1,19 @@
 #!/usr/bin/env bash
-# CI entry point: the tier-1 gate plus the sanitizer gate.
+# CI entry point: the tier-1 gate plus the sanitizer and fault gates.
 #
 #   tools/ci.sh            # full: tier-1 build + all tests + kernel-bench
-#                          # smoke, then TSan suite
+#                          # smoke, then ASan faults, then TSan suite
 #   tools/ci.sh --tier1    # only the tier-1 gate (build + full ctest +
 #                          # kernel-bench smoke)
 #   tools/ci.sh --tsan     # only the ThreadSanitizer-labelled suite
+#   tools/ci.sh --faults   # only the fault-injection suite under ASan
 #
 # Test labels (see tests/CMakeLists.txt):
 #   unit        — fast, hermetic, single-component tests
 #   integration — multi-component pipelines (train → serve, determinism)
 #   sanitizer   — concurrency-sensitive suites worth re-running under TSan
+#   faults      — crash-safety suite: checksummed checkpoints, torn-write
+#                 and bit-flip injection, kill-and-resume bit-exactness
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -18,11 +21,13 @@ JOBS="$(nproc)"
 
 run_tier1=1
 run_tsan=1
+run_faults=1
 case "${1:-}" in
-  --tier1) run_tsan=0 ;;
-  --tsan) run_tier1=0 ;;
+  --tier1) run_tsan=0; run_faults=0 ;;
+  --tsan) run_tier1=0; run_faults=0 ;;
+  --faults) run_tier1=0; run_tsan=0 ;;
   "") ;;
-  *) echo "usage: tools/ci.sh [--tier1|--tsan]" >&2; exit 2 ;;
+  *) echo "usage: tools/ci.sh [--tier1|--tsan|--faults]" >&2; exit 2 ;;
 esac
 
 if [[ "${run_tier1}" == 1 ]]; then
@@ -60,11 +65,24 @@ print(f"kernel-bench smoke OK: {len(cases)} cases, schema v1, "
 EOF
 fi
 
+if [[ "${run_faults}" == 1 ]]; then
+  # The fault suite corrupts buffers and tears writes on purpose; ASan
+  # proves the error paths it forces never read or write out of bounds
+  # while they unwind.
+  echo "== faults: AddressSanitizer build + fault-injection suite =="
+  cmake -B build-asan -S . -DDESALIGN_SANITIZE=address
+  cmake --build build-asan -j "${JOBS}"
+  ctest --test-dir build-asan --output-on-failure -j "${JOBS}" -L faults
+fi
+
 if [[ "${run_tsan}" == 1 ]]; then
   echo "== sanitizer: ThreadSanitizer build + labelled suites =="
   cmake -B build-tsan -S . -DDESALIGN_SANITIZE=thread
   cmake --build build-tsan -j "${JOBS}"
   ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" -L sanitizer
+  # The crash-safety tests that double as concurrency tests (batched serve
+  # shutdown races, reload-under-fire) run again with faults armed.
+  ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" -L faults
 fi
 
 echo "ci.sh: all requested gates passed"
