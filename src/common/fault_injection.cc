@@ -70,7 +70,7 @@ Status FaultInjector::Configure(const std::string& spec) {
     DESALIGN_ASSIGN_OR_RETURN(Rule rule, ParseRule(std::string(Trim(entry))));
     rules.push_back(std::move(rule));
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   rules_ = std::move(rules);
   hits_.clear();
   fires_ = 0;
@@ -89,7 +89,7 @@ void FaultInjector::ConfigureFromEnv() {
 }
 
 void FaultInjector::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   rules_.clear();
   hits_.clear();
   fires_ = 0;
@@ -98,7 +98,7 @@ void FaultInjector::Clear() {
 
 FaultAction FaultInjector::OnSite(const std::string& site) {
   if (!armed()) return {};
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const int64_t hit = ++hits_[site];
   for (const auto& rule : rules_) {
     if (rule.site != site) continue;
@@ -111,7 +111,7 @@ FaultAction FaultInjector::OnSite(const std::string& site) {
 }
 
 int64_t FaultInjector::fire_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return fires_;
 }
 

@@ -4,11 +4,12 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace desalign::common {
 
@@ -93,10 +94,10 @@ class FaultInjector {
 
   static Result<Rule> ParseRule(const std::string& text);
 
-  mutable std::mutex mutex_;
-  std::vector<Rule> rules_;
-  std::map<std::string, int64_t> hits_;
-  int64_t fires_ = 0;
+  mutable Mutex mutex_;
+  std::vector<Rule> rules_ GUARDED_BY(mutex_);
+  std::map<std::string, int64_t> hits_ GUARDED_BY(mutex_);
+  int64_t fires_ GUARDED_BY(mutex_) = 0;
   std::atomic<bool> armed_{false};
 };
 

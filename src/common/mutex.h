@@ -1,0 +1,90 @@
+#ifndef DESALIGN_COMMON_MUTEX_H_
+#define DESALIGN_COMMON_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace desalign::common {
+
+/// std::mutex wrapped as a Clang thread-safety CAPABILITY.
+///
+/// libstdc++'s std::mutex / std::lock_guard carry no capability
+/// attributes, so `-Wthread-safety` cannot see them acquire anything and
+/// GUARDED_BY fields would warn on every access. This wrapper (plus
+/// MutexLock / CondVar below) is the annotated locking vocabulary for the
+/// whole tree: any field that a mutex protects is declared
+///
+///   Mutex mutex_;
+///   int64_t pending_ GUARDED_BY(mutex_);
+///
+/// and every access compiles only under a MutexLock (or inside a
+/// REQUIRES(mutex_) function). On GCC everything degrades to plain
+/// std::mutex semantics with zero overhead.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { m_.lock(); }
+  void Unlock() RELEASE() { m_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex m_;
+};
+
+/// RAII scoped lock over Mutex (the annotated std::lock_guard /
+/// std::unique_lock replacement). Holds the capability from construction
+/// to destruction; CondVar::Wait* atomically release and reacquire it,
+/// which the analysis models as "held throughout" — sound for GUARDED_BY,
+/// since the data is only ever touched while the lock is in fact held.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : lock_(mu.m_) {}
+  ~MutexLock() RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable paired with Mutex/MutexLock. The predicate-taking
+/// std::condition_variable overloads are deliberately absent: the analysis
+/// treats a lambda as a separate function and would reject guarded-field
+/// reads inside it, so call sites spell the standard loop out —
+///
+///   MutexLock lock(mutex_);
+///   while (!ready_) cv_.Wait(lock);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  template <class Clock, class Duration>
+  std::cv_status WaitUntil(
+      MutexLock& lock,
+      const std::chrono::time_point<Clock, Duration>& deadline) {
+    return cv_.wait_until(lock.lock_, deadline);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace desalign::common
+
+#endif  // DESALIGN_COMMON_MUTEX_H_

@@ -15,7 +15,7 @@ std::string Rng::SerializeState() const {
 
 bool Rng::DeserializeState(const std::string& state) {
   std::istringstream in(state);
-  std::mt19937_64 restored;
+  std::mt19937_64 restored{kDefaultSeed};
   in >> restored;
   if (in.fail()) return false;
   engine_ = restored;

@@ -14,7 +14,12 @@ namespace desalign::common {
 /// reproducible from a single seed.
 class Rng {
  public:
-  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+  /// Seed used when none is given — named so the default is visible (and
+  /// desalign-lint's unseeded-rng rule can hold the whole tree to
+  /// explicit seeding).
+  static constexpr uint64_t kDefaultSeed = 42;
+
+  explicit Rng(uint64_t seed = kDefaultSeed) : engine_(seed) {}
 
   /// Uniform double in [0, 1).
   double Uniform() { return unit_(engine_); }
@@ -77,7 +82,7 @@ class Rng {
   bool DeserializeState(const std::string& state);
 
  private:
-  std::mt19937_64 engine_;
+  std::mt19937_64 engine_{kDefaultSeed};
   std::uniform_real_distribution<double> unit_{0.0, 1.0};
   std::normal_distribution<double> normal_{0.0, 1.0};
 };

@@ -1,0 +1,107 @@
+#ifndef DESALIGN_COMMON_THREAD_ANNOTATIONS_H_
+#define DESALIGN_COMMON_THREAD_ANNOTATIONS_H_
+
+// Clang thread-safety-analysis attribute macros (no-ops on GCC/MSVC).
+//
+// These drive `-Wthread-safety`, which proves lock discipline at compile
+// time: every field tagged GUARDED_BY(mu) may only be touched while `mu`
+// is held, every function tagged REQUIRES(mu) may only be called with `mu`
+// held, and ACQUIRE/RELEASE-tagged functions must leave the capability in
+// the promised state on every path. The analysis is attribute-driven, so
+// it only sees locks whose types carry CAPABILITY annotations — use
+// common::Mutex / common::MutexLock (common/mutex.h), not bare std::mutex,
+// anywhere a field needs a GUARDED_BY. See docs/STATIC_ANALYSIS.md for
+// the full contract, the CI gate, and the remove-one-annotation self-test.
+//
+// Naming follows the upstream Clang documentation
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) so the macros
+// read the same here as in Abseil/Chromium-style codebases.
+
+#if defined(__clang__) && (!defined(SWIG))
+#define DESALIGN_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define DESALIGN_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op
+#endif
+
+#ifndef CAPABILITY
+#define CAPABILITY(x) DESALIGN_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+#endif
+
+#ifndef SCOPED_CAPABILITY
+#define SCOPED_CAPABILITY DESALIGN_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+#endif
+
+#ifndef GUARDED_BY
+#define GUARDED_BY(x) DESALIGN_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+#endif
+
+#ifndef PT_GUARDED_BY
+#define PT_GUARDED_BY(x) DESALIGN_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+#endif
+
+#ifndef ACQUIRED_BEFORE
+#define ACQUIRED_BEFORE(...) \
+  DESALIGN_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+#endif
+
+#ifndef ACQUIRED_AFTER
+#define ACQUIRED_AFTER(...) \
+  DESALIGN_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+#endif
+
+#ifndef REQUIRES
+#define REQUIRES(...) \
+  DESALIGN_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+#endif
+
+#ifndef REQUIRES_SHARED
+#define REQUIRES_SHARED(...) \
+  DESALIGN_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+#endif
+
+#ifndef ACQUIRE
+#define ACQUIRE(...) \
+  DESALIGN_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+#endif
+
+#ifndef ACQUIRE_SHARED
+#define ACQUIRE_SHARED(...) \
+  DESALIGN_THREAD_ANNOTATION_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+#endif
+
+#ifndef RELEASE
+#define RELEASE(...) \
+  DESALIGN_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+#endif
+
+#ifndef RELEASE_SHARED
+#define RELEASE_SHARED(...) \
+  DESALIGN_THREAD_ANNOTATION_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+#endif
+
+#ifndef TRY_ACQUIRE
+#define TRY_ACQUIRE(...) \
+  DESALIGN_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+#endif
+
+#ifndef EXCLUDES
+#define EXCLUDES(...) \
+  DESALIGN_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+#endif
+
+#ifndef ASSERT_CAPABILITY
+#define ASSERT_CAPABILITY(x) \
+  DESALIGN_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+#endif
+
+#ifndef RETURN_CAPABILITY
+#define RETURN_CAPABILITY(x) \
+  DESALIGN_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+#endif
+
+#ifndef NO_THREAD_SAFETY_ANALYSIS
+#define NO_THREAD_SAFETY_ANALYSIS \
+  DESALIGN_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+#endif
+
+#endif  // DESALIGN_COMMON_THREAD_ANNOTATIONS_H_

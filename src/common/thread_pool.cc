@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <memory>
 
 namespace desalign::common {
 
@@ -17,34 +18,36 @@ int ResolveThreadCount() {
   return static_cast<int>(std::min(8u, std::max(1u, hw)));
 }
 
-// The global pool is guarded so --threads can rebuild it at startup; it is
-// intentionally leaked at exit to dodge static-destruction-order issues.
-std::mutex& GlobalPoolMutex() {
-  static std::mutex& m = *new std::mutex;
+// The global pool is guarded so --threads can rebuild it at startup; the
+// slot (a heap unique_ptr that is itself never destroyed) is intentionally
+// leaked at exit to dodge static-destruction-order issues.
+Mutex& GlobalPoolMutex() {
+  static Mutex& m = *new Mutex;
   return m;
 }
 
-ThreadPool*& GlobalPoolSlot() {
-  static ThreadPool* pool = nullptr;
+std::unique_ptr<ThreadPool>& GlobalPoolSlot() {
+  static std::unique_ptr<ThreadPool>& pool =
+      *new std::unique_ptr<ThreadPool>();
   return pool;
 }
 
 }  // namespace
 
 ThreadPool& ThreadPool::Global() {
-  std::lock_guard<std::mutex> lock(GlobalPoolMutex());
-  ThreadPool*& pool = GlobalPoolSlot();
-  if (pool == nullptr) pool = new ThreadPool(ResolveThreadCount());
+  MutexLock lock(GlobalPoolMutex());
+  std::unique_ptr<ThreadPool>& pool = GlobalPoolSlot();
+  if (pool == nullptr) pool = std::make_unique<ThreadPool>(ResolveThreadCount());
   return *pool;
 }
 
 void ThreadPool::SetGlobalThreadCount(int num_threads) {
   const int resolved = num_threads >= 1 ? num_threads : ResolveThreadCount();
-  std::lock_guard<std::mutex> lock(GlobalPoolMutex());
-  ThreadPool*& pool = GlobalPoolSlot();
+  MutexLock lock(GlobalPoolMutex());
+  std::unique_ptr<ThreadPool>& pool = GlobalPoolSlot();
   if (pool != nullptr && pool->num_threads() == resolved) return;
-  delete pool;  // joins the old workers; no work may be in flight
-  pool = new ThreadPool(resolved);
+  pool.reset();  // joins the old workers; no work may be in flight
+  pool = std::make_unique<ThreadPool>(resolved);
 }
 
 int ThreadPool::DefaultThreadCount() { return ResolveThreadCount(); }
@@ -64,10 +67,10 @@ ThreadPool::ThreadPool(int num_threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutdown_ = true;
   }
-  work_ready_.notify_all();
+  work_ready_.NotifyAll();
   for (auto& w : workers_) w.join();
 }
 
@@ -75,18 +78,18 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     Task task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_ready_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!shutdown_ && queue_.empty()) work_ready_.Wait(lock);
       if (shutdown_ && queue_.empty()) return;
       task = queue_.back();
       queue_.pop_back();
     }
     (*task.fn)(task.begin, task.end);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       --pending_;
     }
-    work_done_.notify_all();
+    work_done_.NotifyAll();
   }
 }
 
@@ -104,7 +107,7 @@ void ThreadPool::ParallelFor(
   const int64_t chunk = (total + max_chunks - 1) / max_chunks;
   // Enqueue all but the first chunk; the caller runs chunk 0 itself.
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (int64_t c = 1; c < max_chunks; ++c) {
       Task task;
       task.fn = &fn;
@@ -115,10 +118,10 @@ void ThreadPool::ParallelFor(
       ++pending_;
     }
   }
-  work_ready_.notify_all();
+  work_ready_.NotifyAll();
   fn(begin, std::min(end, begin + chunk));
-  std::unique_lock<std::mutex> lock(mutex_);
-  work_done_.wait(lock, [this] { return pending_ == 0; });
+  MutexLock lock(mutex_);
+  while (pending_ != 0) work_done_.Wait(lock);
 }
 
 }  // namespace desalign::common

@@ -1,12 +1,13 @@
 #ifndef DESALIGN_COMMON_THREAD_POOL_H_
 #define DESALIGN_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace desalign::common {
 
@@ -69,12 +70,12 @@ class ThreadPool {
 
   int num_threads_;
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable work_ready_;
-  std::condition_variable work_done_;
-  std::vector<Task> queue_;
-  int64_t pending_ = 0;
-  bool shutdown_ = false;
+  Mutex mutex_;
+  CondVar work_ready_;
+  CondVar work_done_;
+  std::vector<Task> queue_ GUARDED_BY(mutex_);
+  int64_t pending_ GUARDED_BY(mutex_) = 0;
+  bool shutdown_ GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace desalign::common

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/fault_injection.h"
 #include "common/strings.h"
 
 namespace desalign::eval {
@@ -68,6 +69,11 @@ std::string CsvRecorder::ToString() const {
 }
 
 common::Status CsvRecorder::WriteFile(const std::string& path) const {
+  // Fault site for crash-safety tests (DESALIGN_FAULTS="csv.write:fail").
+  if (common::FaultInjector::Global().OnSite("csv.write")) {
+    return common::Status::IoError("injected fault at csv.write writing " +
+                                   path);
+  }
   std::ofstream out(path);
   if (!out) {
     return common::Status::IoError("cannot open " + path + " for writing");

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "common/strings.h"
 #include "tensor/tensor.h"
 
@@ -38,8 +39,20 @@ Status ParseValueField(const std::string& field, const std::string& path,
   return Status::Ok();
 }
 
+// Fault hook shared by every writer in this file: crash-safety tests arm
+// these sites (e.g. DESALIGN_FAULTS="io.write.triples:fail") to prove
+// callers surface write failures as Status. Only the `fail` action is
+// meaningful here; torn writes are exercised at the atomic_file layer.
+Status CheckWriteFaultSite(const std::string& site, const std::string& path) {
+  if (common::FaultInjector::Global().OnSite(site)) {
+    return Status::IoError("injected fault at " + site + " writing " + path);
+  }
+  return Status::Ok();
+}
+
 Status WriteTriples(const std::string& path,
                     const std::vector<Triple>& triples) {
+  DESALIGN_RETURN_NOT_OK(CheckWriteFaultSite("io.write.triples", path));
   std::ofstream out(path);
   if (!out) return Status::IoError("cannot open " + path + " for writing");
   for (const auto& t : triples) {
@@ -71,6 +84,7 @@ Result<std::vector<Triple>> ReadTriples(const std::string& path) {
 
 Status WriteAttrTriples(const std::string& path,
                         const std::vector<AttributeTriple>& triples) {
+  DESALIGN_RETURN_NOT_OK(CheckWriteFaultSite("io.write.attrs", path));
   std::ofstream out(path);
   if (!out) return Status::IoError("cannot open " + path + " for writing");
   for (const auto& t : triples) {
@@ -103,6 +117,7 @@ Result<std::vector<AttributeTriple>> ReadAttrTriples(
 
 Status WritePairs(const std::string& path,
                   const std::vector<AlignmentPair>& pairs) {
+  DESALIGN_RETURN_NOT_OK(CheckWriteFaultSite("io.write.pairs", path));
   std::ofstream out(path);
   if (!out) return Status::IoError("cannot open " + path + " for writing");
   for (const auto& p : pairs) {
@@ -133,6 +148,7 @@ Result<std::vector<AlignmentPair>> ReadPairs(const std::string& path) {
 // Binary feature table: [int64 rows][int64 cols][rows*cols float32]
 // [rows uint8 presence].
 Status WriteFeatures(const std::string& path, const FeatureTable& table) {
+  DESALIGN_RETURN_NOT_OK(CheckWriteFaultSite("io.write.features", path));
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::IoError("cannot open " + path + " for writing");
   const int64_t rows = table.features->rows();
@@ -220,6 +236,8 @@ Status SaveDataset(const AlignedKgPair& pair, const std::string& dir) {
   std::filesystem::create_directories(dir, ec);
   if (ec) return Status::IoError("cannot create directory " + dir);
   {
+    DESALIGN_RETURN_NOT_OK(
+        CheckWriteFaultSite("io.write.meta", dir + "/meta.tsv"));
     std::ofstream meta(dir + "/meta.tsv");
     if (!meta) return Status::IoError("cannot write meta.tsv");
     meta << "name\t" << pair.name << '\n';

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "common/fault_injection.h"
 #include "nn/checkpoint.h"
 
 namespace desalign::nn {
@@ -19,6 +20,11 @@ constexpr size_t kMagicLen = sizeof(kMagic) - 1;
 
 Status SaveParameters(const std::vector<tensor::TensorPtr>& params,
                       const std::string& path) {
+  // Fault site for crash-safety tests (the checkpoint layer's torn-write
+  // coverage lives in common/atomic_file; this guards the legacy format).
+  if (common::FaultInjector::Global().OnSite("params.write")) {
+    return Status::IoError("injected fault at params.write writing " + path);
+  }
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::IoError("cannot open " + path + " for writing");
   out.write(kMagic, kMagicLen);

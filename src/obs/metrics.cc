@@ -12,14 +12,18 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-void AtomicAddDouble(std::atomic<double>& target, double delta) {
+// CAS-loop helpers for the Histogram's observability-only sum/min/max —
+// see the allow(float-atomic) rationale on the fields in metrics.h.
+void AtomicAddDouble(std::atomic<double>& target,  // desalign-lint: allow(float-atomic)
+                     double delta) {
   double current = target.load(std::memory_order_relaxed);
   while (!target.compare_exchange_weak(current, current + delta,
                                        std::memory_order_relaxed)) {
   }
 }
 
-void AtomicMinDouble(std::atomic<double>& target, double value) {
+void AtomicMinDouble(std::atomic<double>& target,  // desalign-lint: allow(float-atomic)
+                     double value) {
   double current = target.load(std::memory_order_relaxed);
   while (value < current &&
          !target.compare_exchange_weak(current, value,
@@ -27,7 +31,8 @@ void AtomicMinDouble(std::atomic<double>& target, double value) {
   }
 }
 
-void AtomicMaxDouble(std::atomic<double>& target, double value) {
+void AtomicMaxDouble(std::atomic<double>& target,  // desalign-lint: allow(float-atomic)
+                     double value) {
   double current = target.load(std::memory_order_relaxed);
   while (value > current &&
          !target.compare_exchange_weak(current, value,
@@ -136,22 +141,22 @@ void Histogram::Reset() {
 }
 
 void Series::Append(double value) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   values_.push_back(value);
 }
 
 std::vector<double> Series::values() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return values_;
 }
 
 int64_t Series::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return static_cast<int64_t>(values_.size());
 }
 
 void Series::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   values_.clear();
 }
 
@@ -163,14 +168,14 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter& MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
@@ -178,21 +183,21 @@ Gauge& MetricsRegistry::GetGauge(const std::string& name) {
 
 Histogram& MetricsRegistry::GetHistogram(const std::string& name,
                                          std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
   return *slot;
 }
 
 Series& MetricsRegistry::GetSeries(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   auto& slot = series_[name];
   if (!slot) slot = std::make_unique<Series>();
   return *slot;
 }
 
 void MetricsRegistry::ResetAll() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   for (auto& [name, metric] : counters_) metric->Reset();
   for (auto& [name, metric] : gauges_) metric->Reset();
   for (auto& [name, metric] : histograms_) metric->Reset();
@@ -200,7 +205,7 @@ void MetricsRegistry::ResetAll() {
 }
 
 MetricsRegistry::Snapshot MetricsRegistry::Collect() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   Snapshot snap;
   for (const auto& [name, metric] : counters_) {
     snap.counters[name] = metric->value();

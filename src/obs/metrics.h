@@ -5,9 +5,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace desalign::obs {
 
@@ -35,7 +37,9 @@ class Gauge {
   void Reset() { value_.store(0.0, std::memory_order_relaxed); }
 
  private:
-  std::atomic<double> value_{0.0};
+  // Last-write-wins publish with no read-modify-write: accumulation-order
+  // nondeterminism cannot arise, and gauges never feed computation.
+  std::atomic<double> value_{0.0};  // desalign-lint: allow(float-atomic)
 };
 
 /// Point-in-time view of a Histogram. `bounds[i]` is the inclusive upper
@@ -90,9 +94,13 @@ class Histogram {
   std::vector<double> bounds_;
   std::unique_ptr<std::atomic<int64_t>[]> counts_;  // bounds_.size() + 1
   std::atomic<int64_t> count_{0};
-  std::atomic<double> sum_{0.0};
-  std::atomic<double> min_;
-  std::atomic<double> max_;
+  // sum/min/max are observability-only diagnostics: their CAS-loop updates
+  // are order-dependent in the last float ulp, but snapshots never feed
+  // back into training or serving computation, so the determinism contract
+  // (docs/PERFORMANCE.md) is unaffected.
+  std::atomic<double> sum_{0.0};  // desalign-lint: allow(float-atomic)
+  std::atomic<double> min_;       // desalign-lint: allow(float-atomic)
+  std::atomic<double> max_;       // desalign-lint: allow(float-atomic)
 };
 
 /// Append-only sequence of observations in recording order — the shape of
@@ -107,8 +115,8 @@ class Series {
   void Reset();
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<double> values_;
+  mutable common::Mutex mutex_;
+  std::vector<double> values_ GUARDED_BY(mutex_);
 };
 
 /// Process-wide, thread-safe metrics registry. Metrics are created on
@@ -161,11 +169,13 @@ class MetricsRegistry {
   Snapshot Collect() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
-  std::map<std::string, std::unique_ptr<Series>> series_;
+  mutable common::Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Series>> series_ GUARDED_BY(mutex_);
   std::atomic<bool> detail_{false};
 };
 

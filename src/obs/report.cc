@@ -5,6 +5,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/fault_injection.h"
+
 namespace desalign::obs {
 
 namespace {
@@ -209,6 +211,12 @@ common::Status RunReport::ValidatePath(const std::string& path) {
 
 common::Status RunReport::WriteTo(const std::string& path) const {
   DESALIGN_RETURN_NOT_OK(ValidatePath(path));
+  // Fault site: proves --metrics-out failures surface as Status, never as
+  // a silently missing report (DESALIGN_FAULTS="report.write:fail").
+  if (common::FaultInjector::Global().OnSite("report.write")) {
+    return common::Status::IoError("injected fault at report.write writing " +
+                                   path);
+  }
   std::string payload;
   if (HasSuffix(path, ".json")) {
     payload = ToJson();

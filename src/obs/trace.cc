@@ -1,7 +1,9 @@
 #include "obs/trace.h"
 
 #include <memory>
-#include <mutex>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace desalign::obs {
 
@@ -26,9 +28,9 @@ struct SpanNode {
 };
 
 struct SpanTree {
-  std::mutex mutex;
+  common::Mutex mutex;
   // Sentinel root; its children are the exported roots.
-  SpanNode root;
+  SpanNode root GUARDED_BY(mutex);
 };
 
 SpanTree& GlobalTree() {
@@ -68,7 +70,7 @@ TraceSpan::TraceSpan(std::string_view name) {
   SpanNode* parent = tls_open_span;
   parent_ = parent;
   {
-    std::lock_guard<std::mutex> lock(tree.mutex);
+    common::MutexLock lock(tree.mutex);
     node_ = (parent ? parent : &tree.root)->FindOrAddChild(name);
   }
   tls_open_span = static_cast<SpanNode*>(node_);
@@ -85,7 +87,7 @@ TraceSpan::~TraceSpan() {
   SpanNode* node = static_cast<SpanNode*>(node_);
   SpanTree& tree = GlobalTree();
   {
-    std::lock_guard<std::mutex> lock(tree.mutex);
+    common::MutexLock lock(tree.mutex);
     node->count += 1;
     node->total_seconds += seconds;
   }
@@ -97,7 +99,7 @@ TraceSpan::~TraceSpan() {
 
 std::vector<SpanNodeSnapshot> CollectSpanTree() {
   SpanTree& tree = GlobalTree();
-  std::lock_guard<std::mutex> lock(tree.mutex);
+  common::MutexLock lock(tree.mutex);
   std::vector<SpanNodeSnapshot> roots;
   roots.reserve(tree.root.children.size());
   for (const auto& child : tree.root.children) {
@@ -108,7 +110,7 @@ std::vector<SpanNodeSnapshot> CollectSpanTree() {
 
 void ResetSpanTree() {
   SpanTree& tree = GlobalTree();
-  std::lock_guard<std::mutex> lock(tree.mutex);
+  common::MutexLock lock(tree.mutex);
   tree.root.children.clear();
 }
 

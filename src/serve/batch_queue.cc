@@ -37,62 +37,66 @@ std::future<TopKResult> BatchQueue::Submit(std::vector<float> query) {
   req.enqueued = Clock::now();
   std::future<TopKResult> future = req.promise.get_future();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     if (stop_) {
       req.promise.set_value(TopKResult{});
       return future;
     }
     pending_.push_back(std::move(req));
   }
-  wake_.notify_all();
+  wake_.NotifyAll();
   return future;
 }
 
 void BatchQueue::Shutdown() {
   std::thread to_join;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     stop_ = true;
     to_join = std::move(worker_);  // claimed by exactly one caller
   }
-  wake_.notify_all();
+  wake_.NotifyAll();
   if (to_join.joinable()) to_join.join();
 }
 
 int64_t BatchQueue::batches_processed() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return batches_;
 }
 
 void BatchQueue::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(mutex_);
   while (true) {
-    wake_.wait(lock, [this] { return stop_ || !pending_.empty(); });
-    if (pending_.empty()) {
-      if (stop_) return;
-      continue;
+    std::vector<Pending> batch;
+    {
+      common::MutexLock lock(mutex_);
+      while (!stop_ && pending_.empty()) wake_.Wait(lock);
+      if (pending_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      if (!stop_) {
+        // Give co-batching a chance: hold until the batch fills or the
+        // oldest pending query has waited max_wait_ms.
+        const auto deadline =
+            pending_.front().enqueued +
+            std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double, std::milli>(
+                    options_.max_wait_ms));
+        while (!stop_ &&
+               static_cast<int64_t>(pending_.size()) < options_.max_batch) {
+          if (wake_.WaitUntil(lock, deadline) == std::cv_status::timeout) {
+            break;
+          }
+        }
+      }
+      const size_t take = std::min(pending_.size(),
+                                   static_cast<size_t>(options_.max_batch));
+      batch.assign(std::make_move_iterator(pending_.begin()),
+                   std::make_move_iterator(pending_.begin() + take));
+      pending_.erase(pending_.begin(), pending_.begin() + take);
     }
-    if (!stop_) {
-      // Give co-batching a chance: hold until the batch fills or the
-      // oldest pending query has waited max_wait_ms.
-      const auto deadline =
-          pending_.front().enqueued +
-          std::chrono::duration_cast<Clock::duration>(
-              std::chrono::duration<double, std::milli>(options_.max_wait_ms));
-      wake_.wait_until(lock, deadline, [this] {
-        return stop_ ||
-               static_cast<int64_t>(pending_.size()) >= options_.max_batch;
-      });
-    }
-    const size_t take = std::min(pending_.size(),
-                                 static_cast<size_t>(options_.max_batch));
-    std::vector<Pending> batch(
-        std::make_move_iterator(pending_.begin()),
-        std::make_move_iterator(pending_.begin() + take));
-    pending_.erase(pending_.begin(), pending_.begin() + take);
-    lock.unlock();
     ProcessBatch(std::move(batch));
-    lock.lock();
+    common::MutexLock lock(mutex_);
     ++batches_;
   }
 }

@@ -2,13 +2,13 @@
 #define DESALIGN_SERVE_BATCH_QUEUE_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "serve/stats.h"
 #include "serve/topk.h"
 
@@ -69,12 +69,12 @@ class BatchQueue {
   BatchQueueOptions options_;
   ServeStats* stats_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable wake_;
-  std::vector<Pending> pending_;
-  bool stop_ = false;
-  int64_t batches_ = 0;
-  std::thread worker_;
+  mutable common::Mutex mutex_;
+  common::CondVar wake_;
+  std::vector<Pending> pending_ GUARDED_BY(mutex_);
+  bool stop_ GUARDED_BY(mutex_) = false;
+  int64_t batches_ GUARDED_BY(mutex_) = 0;
+  std::thread worker_ GUARDED_BY(mutex_);  // claimed (moved out) by Shutdown
 };
 
 }  // namespace desalign::serve

@@ -71,7 +71,7 @@ std::vector<float> BufferPool::Acquire(size_t n, bool zero) {
   bool pooled = false;
   bool hit = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     if (enabled_) {
       pooled = true;
       if (bucket >= 0 && !buckets_[bucket].empty()) {
@@ -120,7 +120,7 @@ void BufferPool::Release(std::vector<float>&& buf) {
   bool cached = false;
   bool pooled = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     if (enabled_) {
       pooled = true;
       if (bucket >= 0 && buckets_[bucket].size() < kMaxBuffersPerBucket) {
@@ -142,31 +142,31 @@ void BufferPool::Release(std::vector<float>&& buf) {
       Obs().discard.Increment();
     }
     Obs().cached_bytes.Set(static_cast<double>([this] {
-      std::lock_guard<std::mutex> lock(mutex_);
+      common::MutexLock lock(mutex_);
       return stats_.cached_bytes;
     }()));
   }
 }
 
 bool BufferPool::enabled() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return enabled_;
 }
 
 void BufferPool::set_enabled(bool enabled) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   enabled_ = enabled;
 }
 
 void BufferPool::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   for (auto& bucket : buckets_) bucket.clear();
   stats_.cached_buffers = 0;
   stats_.cached_bytes = 0;
 }
 
 void BufferPool::ResetStats() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   stats_.hits = 0;
   stats_.misses = 0;
   stats_.releases = 0;
@@ -174,7 +174,7 @@ void BufferPool::ResetStats() {
 }
 
 BufferPool::Stats BufferPool::GetStats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return stats_;
 }
 

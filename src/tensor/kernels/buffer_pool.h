@@ -4,8 +4,10 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace desalign::tensor::kernels {
 
@@ -93,10 +95,10 @@ class BufferPool {
   // bucket b can serve any request routed to b. -1 for tiny buffers.
   static int BucketForCapacity(size_t capacity);
 
-  mutable std::mutex mutex_;
-  std::vector<std::vector<float>> buckets_[kNumBuckets];
-  bool enabled_ = true;
-  Stats stats_;
+  mutable common::Mutex mutex_;
+  std::vector<std::vector<float>> buckets_[kNumBuckets] GUARDED_BY(mutex_);
+  bool enabled_ GUARDED_BY(mutex_) = true;
+  Stats stats_ GUARDED_BY(mutex_);
 };
 
 /// RAII workspace buffer for kernel/op temporaries: acquires from the global

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/fault_injection.h"
+
 namespace desalign::eval {
 namespace {
 
@@ -54,6 +56,19 @@ TEST(CsvRecorderTest, WriteFileRoundTrip) {
   std::string content((std::istreambuf_iterator<char>(in)),
                       std::istreambuf_iterator<char>());
   EXPECT_EQ(content, "x\n1\n");
+  std::filesystem::remove(path);
+}
+
+TEST(CsvRecorderTest, WriteFileFaultSiteSurfacesAsStatus) {
+  ASSERT_TRUE(common::FaultInjector::Global().Configure("csv.write:fail").ok());
+  CsvRecorder rec;
+  rec.AddRow({{"a", "1"}});
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("desalign_csv_fault_" + std::to_string(::getpid()));
+  EXPECT_FALSE(rec.WriteFile(path.string()).ok());
+  EXPECT_FALSE(std::filesystem::exists(path));
+  common::FaultInjector::Global().Clear();
+  EXPECT_TRUE(rec.WriteFile(path.string()).ok());
   std::filesystem::remove(path);
 }
 

@@ -8,6 +8,7 @@
 #include <cmath>
 #include <cstring>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -46,23 +47,21 @@ class TrainServeRoundtripTest : public ::testing::Test {
  protected:
   // Train once for the whole suite; every test reads the same artifacts.
   static void SetUpTestSuite() {
-    data_ = new kg::AlignedKgPair(TinyData());
-    model_ = new core::DesalignModel(TinyConfig());
+    data_ = std::make_unique<kg::AlignedKgPair>(TinyData());
+    model_ = std::make_unique<core::DesalignModel>(TinyConfig());
     model_->Fit(*data_);
   }
   static void TearDownTestSuite() {
-    delete model_;
-    model_ = nullptr;
-    delete data_;
-    data_ = nullptr;
+    model_.reset();
+    data_.reset();
   }
 
-  static kg::AlignedKgPair* data_;
-  static core::DesalignModel* model_;
+  static std::unique_ptr<kg::AlignedKgPair> data_;
+  static std::unique_ptr<core::DesalignModel> model_;
 };
 
-kg::AlignedKgPair* TrainServeRoundtripTest::data_ = nullptr;
-core::DesalignModel* TrainServeRoundtripTest::model_ = nullptr;
+std::unique_ptr<kg::AlignedKgPair> TrainServeRoundtripTest::data_;
+std::unique_ptr<core::DesalignModel> TrainServeRoundtripTest::model_;
 
 // Target-KG block of the fused table, in serving's local id space.
 std::vector<float> TargetBlock(core::DesalignModel& model) {

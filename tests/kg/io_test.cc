@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/fault_injection.h"
 #include "kg/synthetic.h"
 
 namespace desalign::kg {
@@ -25,6 +26,31 @@ class IoTest : public ::testing::Test {
   }
   std::filesystem::path dir_;
 };
+
+// Every writer in io.cc is a registered DESALIGN_FAULTS site; an armed
+// `fail` rule must surface as a clean IoError from the public API, and
+// disarming must restore byte-identical output (proven by the round-trip
+// tests below running in the same process).
+TEST_F(IoTest, WriteFaultSitesSurfaceAsStatus) {
+  SyntheticSpec spec;
+  spec.num_entities = 20;
+  spec.seed = 11;
+  auto pair = GenerateSyntheticPair(spec);
+
+  for (const char* site :
+       {"io.write.meta", "io.write.triples", "io.write.pairs",
+        "io.write.attrs", "io.write.features"}) {
+    ASSERT_TRUE(common::FaultInjector::Global()
+                    .Configure(std::string(site) + ":fail")
+                    .ok());
+    const auto status = SaveDataset(pair, dir_.string());
+    EXPECT_FALSE(status.ok()) << "site " << site << " did not fire";
+    EXPECT_NE(status.ToString().find(site), std::string::npos)
+        << status.ToString();
+  }
+  common::FaultInjector::Global().Clear();
+  EXPECT_TRUE(SaveDataset(pair, dir_.string()).ok());
+}
 
 TEST_F(IoTest, RoundTripPreservesDataset) {
   SyntheticSpec spec;

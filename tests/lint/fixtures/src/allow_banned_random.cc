@@ -1,0 +1,6 @@
+// Fixture: pragma-suppressed banned-random (e.g. an interop shim).
+#include <cstdlib>
+
+int SuppressedDraw() {
+  return rand() % 7;  // desalign-lint: allow(banned-random) interop shim
+}

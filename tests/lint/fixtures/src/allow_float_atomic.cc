@@ -1,0 +1,6 @@
+// Fixture: pragma-suppressed float-atomic.
+#include <atomic>
+
+struct ObservabilityOnlyGauge {
+  std::atomic<double> value{0.0};  // desalign-lint: allow(float-atomic) export-only
+};

@@ -1,0 +1,8 @@
+// Fixture: pragma-suppressed missing-fault-site.
+#include <fstream>
+#include <string>
+
+bool WriteScratch(const std::string& path) {
+  std::ofstream out(path);  // desalign-lint: allow(missing-fault-site) debug scratch file
+  return static_cast<bool>(out);
+}

@@ -1,0 +1,8 @@
+// Fixture: pragma-suppressed naked-new.
+struct Arena {
+  void* Allocate();
+};
+
+int* PlacementStyle(Arena& arena) {
+  return new (arena.Allocate()) int(7);  // desalign-lint: allow(naked-new) arena placement
+}

@@ -1,0 +1,9 @@
+// Fixture: pragma-suppressed unordered-iteration.
+#include <unordered_set>
+
+int CountOnly() {
+  std::unordered_set<int> seen;
+  int n = 0;
+  for (int v : seen) n += v > 0 ? 1 : 1;  // desalign-lint: allow(unordered-iteration) order-free reduction
+  return n;
+}

@@ -1,0 +1,7 @@
+// Fixture: pragma-suppressed unseeded-rng.
+#include <random>
+
+int SuppressedDefaultSeed() {
+  std::mt19937 gen;  // desalign-lint: allow(unseeded-rng) deserialize target
+  return static_cast<int>(gen());
+}

@@ -1,0 +1,6 @@
+// Fixture: pragma-suppressed wall-clock.
+#include <ctime>
+
+long SuppressedWallClock() {
+  return time(nullptr);  // desalign-lint: allow(wall-clock) log timestamp
+}

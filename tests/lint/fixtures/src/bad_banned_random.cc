@@ -1,0 +1,7 @@
+// Fixture: seeded banned-random violation (scanned, never compiled).
+#include <cstdlib>
+#include <random>
+
+int UnreproducibleDraw() {
+  return rand() % 7;  // LINT-EXPECT: banned-random
+}

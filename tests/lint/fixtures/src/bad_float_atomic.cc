@@ -1,0 +1,6 @@
+// Fixture: seeded float-atomic violation.
+#include <atomic>
+
+struct RacyAccumulator {
+  std::atomic<double> sum{0.0};  // LINT-EXPECT: float-atomic
+};

@@ -1,0 +1,10 @@
+// Fixture: seeded missing-fault-site violation — a writer with no
+// FaultInjector::OnSite hook anywhere in the file.
+#include <fstream>
+#include <string>
+
+bool WriteBlob(const std::string& path, const std::string& payload) {
+  std::ofstream out(path);  // LINT-EXPECT: missing-fault-site
+  out << payload;
+  return static_cast<bool>(out);
+}

@@ -1,0 +1,4 @@
+// Fixture: seeded naked-new violation.
+void LeakProne() {
+  int* p = new int(7); delete p;  // LINT-EXPECT: naked-new
+}

@@ -1,0 +1,4 @@
+// Fixture: a pragma naming an unknown rule is itself a finding.
+int Fine() {
+  return 7;  // desalign-lint: allow(no-such-rule) typo; LINT-EXPECT: bad-pragma
+}

@@ -1,0 +1,12 @@
+// Fixture: seeded unordered-iteration violation.
+#include <string>
+#include <unordered_map>
+
+std::string SerializeUnstably(const std::unordered_map<int, int>& ignored) {
+  std::unordered_map<int, int> table;
+  std::string out;
+  for (const auto& entry : table) {  // LINT-EXPECT: unordered-iteration
+    out += std::to_string(entry.first);
+  }
+  return out;
+}

@@ -1,0 +1,7 @@
+// Fixture: seeded unseeded-rng violation.
+#include <random>
+
+int DefaultSeededDraw() {
+  std::mt19937 gen;  // LINT-EXPECT: unseeded-rng
+  return static_cast<int>(gen());
+}

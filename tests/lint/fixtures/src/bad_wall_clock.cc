@@ -1,0 +1,6 @@
+// Fixture: seeded wall-clock violation (non-CLI path).
+#include <ctime>
+
+long WallClockSeed() {
+  return time(nullptr);  // LINT-EXPECT: wall-clock
+}

@@ -1,0 +1,6 @@
+// Fixture: the sanctioned alternative to rand()/random_device.
+#include "common/rng.h"
+
+double ReproducibleDraw(desalign::common::Rng& rng) {
+  return rng.Uniform();
+}

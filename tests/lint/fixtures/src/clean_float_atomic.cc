@@ -1,0 +1,7 @@
+// Fixture: integer atomics are deterministic under any interleaving.
+#include <atomic>
+#include <cstdint>
+
+struct Counter {
+  std::atomic<int64_t> count{0};
+};

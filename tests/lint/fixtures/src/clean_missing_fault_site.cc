@@ -1,0 +1,14 @@
+// Fixture: the same writer with a registered fault site is clean.
+#include <fstream>
+#include <string>
+
+#include "common/fault_injection.h"
+
+bool WriteBlob(const std::string& path, const std::string& payload) {
+  if (desalign::common::FaultInjector::Global().OnSite("fixture.write")) {
+    return false;
+  }
+  std::ofstream out(path);
+  out << payload;
+  return static_cast<bool>(out);
+}

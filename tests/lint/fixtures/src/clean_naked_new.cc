@@ -1,0 +1,15 @@
+// Fixture: RAII ownership and the static-leak idiom are both clean.
+#include <memory>
+
+struct Widget {
+  int value = 0;
+};
+
+Widget& GlobalWidget() {
+  static Widget& w = *new Widget();
+  return w;
+}
+
+std::unique_ptr<Widget> MakeWidget() {
+  return std::make_unique<Widget>();
+}

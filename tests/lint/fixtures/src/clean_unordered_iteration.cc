@@ -1,0 +1,16 @@
+// Fixture: lookups into unordered containers are fine; only iteration
+// order is implementation-defined.
+#include <map>
+#include <string>
+#include <unordered_map>
+
+std::string SerializeStably() {
+  std::unordered_map<int, int> lookup;
+  std::map<int, int> ordered;
+  std::string out;
+  if (lookup.find(3) != lookup.end()) out += "hit";
+  for (const auto& entry : ordered) {
+    out += std::to_string(entry.first);
+  }
+  return out;
+}

@@ -1,0 +1,8 @@
+// Fixture: explicit seed satisfies unseeded-rng.
+#include <random>
+
+int SeededDraw(unsigned seed) {
+  std::mt19937 gen(seed);
+  std::mt19937_64 gen64{seed};
+  return static_cast<int>(gen() + gen64());
+}

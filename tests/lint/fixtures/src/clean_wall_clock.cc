@@ -1,0 +1,7 @@
+// Fixture: steady_clock (via Stopwatch) is the sanctioned timer.
+#include <chrono>
+
+double MonotonicSeconds() {
+  const auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}

@@ -1,0 +1,7 @@
+// Fixture: wall-clock reads are allowed under src/cli/ — run banners and
+// report timestamps are CLI concerns, not library behaviour.
+#include <ctime>
+
+long CliTimestamp() {
+  return time(nullptr);
+}

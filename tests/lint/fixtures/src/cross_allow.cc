@@ -1,0 +1,7 @@
+// Fixture: a pragma naming rule A must not silence rule B on the same
+// line — this wall-clock violation carries a banned-random allowance.
+#include <ctime>
+
+long StillFlagged() {
+  return time(nullptr);  // desalign-lint: allow(banned-random) wrong rule; LINT-EXPECT: wall-clock
+}

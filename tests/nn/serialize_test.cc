@@ -9,6 +9,7 @@
 
 #include "align/fusion_model.h"
 #include "align/metrics.h"
+#include "common/fault_injection.h"
 #include "common/rng.h"
 #include "kg/synthetic.h"
 #include "nn/checkpoint.h"
@@ -56,6 +57,18 @@ TEST_F(SerializeTest, RoundTripRestoresExactValues) {
   for (size_t i = 0; i < original.size(); ++i) {
     EXPECT_EQ(restored[i]->data(), original[i]->data());
   }
+}
+
+TEST_F(SerializeTest, SaveFaultSiteSurfacesAsStatus) {
+  auto params = MakeParams(3);
+  ASSERT_TRUE(
+      common::FaultInjector::Global().Configure("params.write:fail").ok());
+  EXPECT_FALSE(SaveParameters(params, path_).ok());
+  common::FaultInjector::Global().Clear();
+  ASSERT_TRUE(SaveParameters(params, path_).ok());
+  auto restored = MakeParams(4);
+  ASSERT_TRUE(LoadParameters(restored, path_).ok());
+  EXPECT_EQ(restored[0]->data(), params[0]->data());
 }
 
 TEST_F(SerializeTest, CountMismatchFails) {

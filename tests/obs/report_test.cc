@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/fault_injection.h"
+
 namespace desalign::obs {
 namespace {
 
@@ -94,6 +96,16 @@ TEST_F(ReportTest, WriteToDispatchesOnExtension) {
   EXPECT_EQ(csv_first, "kind,name,field,value");
   std::remove(json_path.c_str());
   std::remove(csv_path.c_str());
+}
+
+TEST_F(ReportTest, WriteToFaultSiteSurfacesAsStatus) {
+  ASSERT_TRUE(
+      common::FaultInjector::Global().Configure("report.write:fail").ok());
+  const std::string path = TempPath("desalign_report_fault.json");
+  EXPECT_FALSE(MakeReport().WriteTo(path).ok());
+  common::FaultInjector::Global().Clear();
+  EXPECT_TRUE(MakeReport().WriteTo(path).ok());
+  std::remove(path.c_str());
 }
 
 TEST_F(ReportTest, WriteToRejectsUnknownExtension) {

@@ -54,7 +54,7 @@ TEST_F(TraceTest, ParentTimeCoversChildTime) {
     TraceSpan inner("inner");
     // Busy-wait a little so the timings are clearly nonzero.
     volatile double sink = 0.0;
-    for (int i = 0; i < 100000; ++i) sink += static_cast<double>(i);
+    for (int i = 0; i < 100000; ++i) sink = sink + static_cast<double>(i);
     (void)sink;
   }
   const auto roots = CollectSpanTree();

@@ -72,9 +72,11 @@ void ExpectConfigsBitExact(const std::function<void(float*)>& kernel,
     SetForcedGrainForTesting(0);
     common::ThreadPool::SetGlobalThreadCount(0);
     ASSERT_EQ(got.size(), expected.size());
-    EXPECT_EQ(std::memcmp(got.data(), expected.data(),
-                          got.size() * sizeof(float)),
-              0)
+    // memcmp's pointer arguments are declared nonnull; an empty vector's
+    // data() may be null, so the empty-shape cases must not reach it.
+    EXPECT_TRUE(got.empty() ||
+                std::memcmp(got.data(), expected.data(),
+                            got.size() * sizeof(float)) == 0)
         << IsaName(config.isa) << " @" << config.threads
         << " threads diverged from the scalar reference";
   }

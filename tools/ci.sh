@@ -1,8 +1,17 @@
 #!/usr/bin/env bash
-# CI entry point: the tier-1 gate plus the sanitizer and fault gates.
+# CI entry point: the tier-1 gate plus the static-analysis, sanitizer and
+# fault gates.
 #
-#   tools/ci.sh            # full: tier-1 build + all tests + kernel-bench
-#                          # smoke, then ASan faults, then TSan suite
+#   tools/ci.sh            # full: lint, then tier-1 build + all tests +
+#                          # kernel-bench smoke, then UBSan, then ASan
+#                          # faults, then TSan suite
+#   tools/ci.sh lint       # static analysis only: desalign-lint + its
+#                          # fixture suite, then clang-tidy over
+#                          # compile_commands.json (skipped with a notice
+#                          # when clang-tidy is not installed)
+#   tools/ci.sh ubsan      # UndefinedBehaviorSanitizer build + unit and
+#                          # fault suites (-fno-sanitize-recover=all, so
+#                          # any UB report aborts the test)
 #   tools/ci.sh --tier1    # only the tier-1 gate (build + full ctest +
 #                          # kernel-bench smoke)
 #   tools/ci.sh --tsan     # only the ThreadSanitizer-labelled suite
@@ -14,25 +23,63 @@
 #   sanitizer   — concurrency-sensitive suites worth re-running under TSan
 #   faults      — crash-safety suite: checksummed checkpoints, torn-write
 #                 and bit-flip injection, kill-and-resume bit-exactness
+#   lint        — desalign-lint fixture corpus + zero-finding tree scan
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="$(nproc)"
 
+run_lint=1
 run_tier1=1
+run_ubsan=1
 run_tsan=1
 run_faults=1
 case "${1:-}" in
-  --tier1) run_tsan=0; run_faults=0 ;;
-  --tsan) run_tier1=0; run_faults=0 ;;
-  --faults) run_tier1=0; run_tsan=0 ;;
+  lint) run_tier1=0; run_ubsan=0; run_tsan=0; run_faults=0 ;;
+  ubsan) run_lint=0; run_tier1=0; run_tsan=0; run_faults=0 ;;
+  --tier1) run_lint=0; run_ubsan=0; run_tsan=0; run_faults=0 ;;
+  --tsan) run_lint=0; run_tier1=0; run_ubsan=0; run_faults=0 ;;
+  --faults) run_lint=0; run_tier1=0; run_ubsan=0; run_tsan=0 ;;
   "") ;;
-  *) echo "usage: tools/ci.sh [--tier1|--tsan|--faults]" >&2; exit 2 ;;
+  *) echo "usage: tools/ci.sh [lint|ubsan|--tier1|--tsan|--faults]" >&2
+     exit 2 ;;
 esac
+
+if [[ "${run_lint}" == 1 ]]; then
+  echo "== lint: desalign-lint (zero findings over src/ + tests/) =="
+  python3 tools/lint/desalign_lint.py
+  echo "== lint: fixture suite (every rule fires + is suppressible) =="
+  python3 tests/lint/lint_test.py --fixtures
+
+  # clang-tidy needs compile_commands.json; configure (cheap) if absent.
+  if command -v clang-tidy >/dev/null 2>&1; then
+    echo "== lint: clang-tidy (warnings are errors) =="
+    cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+    # Every warning is an error: the tree stays tidy-clean, no NOLINT
+    # budget. Checks are curated in .clang-tidy at the repo root.
+    mapfile -t tidy_sources < <(git ls-files 'src/**/*.cc' 'src/*.cc')
+    clang-tidy -p build --warnings-as-errors='*' "${tidy_sources[@]}"
+  else
+    echo "== lint: clang-tidy not installed — stage skipped =="
+    echo "   (install clang-tidy to run the .clang-tidy check set;"
+    echo "    the desalign-lint gate above still ran and passed)"
+  fi
+
+  # Clang also proves the thread-safety annotations (-Wthread-safety is a
+  # hard error in CMakeLists.txt when the compiler is Clang).
+  if command -v clang++ >/dev/null 2>&1; then
+    echo "== lint: thread-safety analysis build (clang++) =="
+    cmake -B build-tsa -S . -DCMAKE_BUILD_TYPE=Release \
+      -DCMAKE_CXX_COMPILER=clang++ -DDESALIGN_WERROR=ON
+    cmake --build build-tsa -j "${JOBS}"
+  else
+    echo "== lint: clang++ not installed — thread-safety build skipped =="
+  fi
+fi
 
 if [[ "${run_tier1}" == 1 ]]; then
   echo "== tier-1: build + full test suite =="
-  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release -DDESALIGN_WERROR=ON
   cmake --build build -j "${JOBS}"
   ctest --test-dir build --output-on-failure -j "${JOBS}"
 
@@ -63,6 +110,16 @@ for op in ("add", "mul", "axpy", "relu"):
 print(f"kernel-bench smoke OK: {len(cases)} cases, schema v1, "
       "vector path >= scalar reference")
 EOF
+fi
+
+if [[ "${run_ubsan}" == 1 ]]; then
+  # -fno-sanitize-recover=all (set by the CMake branch) turns every UB
+  # report into an abort, so a diagnostic cannot scroll past and exit 0.
+  echo "== ubsan: UndefinedBehaviorSanitizer build + unit & fault suites =="
+  cmake -B build-ubsan -S . -DDESALIGN_SANITIZE=undefined
+  cmake --build build-ubsan -j "${JOBS}"
+  ctest --test-dir build-ubsan --output-on-failure -j "${JOBS}" -L unit
+  ctest --test-dir build-ubsan --output-on-failure -j "${JOBS}" -L faults
 fi
 
 if [[ "${run_faults}" == 1 ]]; then
