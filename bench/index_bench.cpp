@@ -1,0 +1,95 @@
+// Index benchmark: brute-force retrieval vs the two-stage IVF index
+// (src/index/) across an entity-count sweep on clustered synthetic
+// embeddings. Reports per-path p50/p99 latency, qps, recall@k and whether
+// the path is bit-exact vs brute force. Writes BENCH_index.json (schema
+// "desalign.index_bench.v1"); see docs/SERVING.md for how to read it.
+//
+//   ./index_bench [--out=BENCH_index.json]
+//                 [--entities-list=10000,100000,1000000] [--dim=64]
+//                 [--queries=256] [--k=10] [--nprobe=8] [--shards=4]
+//                 [--smoke]
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "common/flags.h"
+#include "common/strings.h"
+#include "index/index_bench.h"
+
+using namespace desalign;
+
+int main(int argc, char** argv) {
+  common::FlagParser parser(
+      "index_bench: IVF two-stage index vs brute-force retrieval");
+  std::string out_path, entities_list;
+  int64_t dim, queries, k, nprobe, centroids, shards, clusters;
+  double noise;
+  bool smoke;
+  parser.AddString("out", "BENCH_index.json", "output JSON path", &out_path);
+  parser.AddString("entities-list", "10000,100000,1000000",
+                   "comma-separated entity counts to sweep", &entities_list);
+  parser.AddInt64("dim", 64, "embedding dimension", &dim);
+  parser.AddInt64("queries", 256, "queries per case", &queries);
+  parser.AddInt64("k", 10, "candidates per query", &k);
+  parser.AddInt64("nprobe", 8, "partial-probe width", &nprobe);
+  parser.AddInt64("centroids", 0, "IVF coarse cells (0 = ~sqrt(n))",
+                  &centroids);
+  parser.AddInt64("shards", 4, "IVF inverted-list shards", &shards);
+  parser.AddInt64("clusters", 256, "synthetic mixture components", &clusters);
+  parser.AddDouble("noise", 0.25, "synthetic per-coordinate noise", &noise);
+  parser.AddBool("smoke", false, "CI mode: smallest entity count only",
+                 &smoke);
+  auto status = parser.Parse(argc, argv);
+  if (!status.ok()) {
+    if (status.code() != common::StatusCode::kFailedPrecondition) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    return 0;  // --help
+  }
+
+  index::IndexBenchOptions options;
+  options.entity_counts.clear();
+  for (const auto& tok : common::Split(entities_list, ',')) {
+    const std::string trimmed(common::Trim(tok));
+    if (trimmed.empty()) continue;
+    options.entity_counts.push_back(std::atoll(trimmed.c_str()));
+  }
+  if (options.entity_counts.empty()) options.entity_counts = {10000};
+  options.dim = dim;
+  options.queries = queries;
+  options.k = k;
+  options.nprobe = nprobe;
+  options.num_centroids = centroids;
+  options.num_shards = static_cast<int>(shards);
+  options.clusters = clusters;
+  options.noise = noise;
+  options.smoke = smoke;
+
+  auto report = index::RunIndexBench(options);
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  out << report.ToJson();
+  out.close();
+
+  for (const auto& c : report.cases) {
+    std::printf("%ld entities, dim %ld, %ld cells, %d shards, build %.1f ms\n",
+                static_cast<long>(c.entities), static_cast<long>(c.dim),
+                static_cast<long>(c.num_centroids), c.shards, c.build_ms);
+    for (const auto& p : c.paths) {
+      std::printf("  %-12s p50 %8.3f ms  p99 %8.3f ms  %8.0f qps  "
+                  "recall@%ld %.4f%s\n",
+                  p.path.c_str(), p.p50_ms, p.p99_ms, p.qps,
+                  static_cast<long>(c.k), p.recall_at_k,
+                  p.bitexact ? "  (bit-exact)" : "");
+    }
+  }
+  std::printf("wrote %s (%zu cases)\n", out_path.c_str(), report.cases.size());
+  return 0;
+}

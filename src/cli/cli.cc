@@ -21,6 +21,8 @@
 #include "eval/csv.h"
 #include "eval/harness.h"
 #include "eval/table.h"
+#include "index/index_bench.h"
+#include "index/ivf.h"
 #include "kg/io.h"
 #include "kg/presets.h"
 #include "kg/synthetic.h"
@@ -467,6 +469,10 @@ Status CmdServeBench(const std::vector<std::string>& args,
   int64_t submitters;
   int64_t block_rows;
   double max_wait_ms;
+  std::string index_kind;
+  int64_t nprobe;
+  int64_t centroids;
+  int64_t shards;
   parser.AddString("method", "DESAlign",
                    "fusion-family method to train (EVA, MCLEA, MEAformer, "
                    "DESAlign)",
@@ -487,6 +493,13 @@ Status CmdServeBench(const std::vector<std::string>& args,
                   &block_rows);
   parser.AddDouble("max-wait-ms", 1.0, "BatchQueue batching window",
                    &max_wait_ms);
+  parser.AddString("index", "brute",
+                   "retriever: brute (exact scan) or ivf (two-stage ANN)",
+                   &index_kind);
+  parser.AddInt64("nprobe", 8, "IVF cells probed per query", &nprobe);
+  parser.AddInt64("centroids", 0, "IVF coarse cells (0 = ~sqrt(n))",
+                  &centroids);
+  parser.AddInt64("shards", 4, "IVF inverted-list shards", &shards);
   auto argv = ToArgv(args);
   DESALIGN_RETURN_NOT_OK(
       parser.Parse(static_cast<int>(argv.size()), argv.data(), 0));
@@ -541,9 +554,15 @@ Status CmdServeBench(const std::vector<std::string>& args,
   }
 
   // ---- Replay queries through the batching front door ----
-  serve::TopKOptions topk_options;
-  topk_options.block_rows = block_rows;
-  serve::TopKRetriever retriever(&store, topk_options);
+  index::RetrieverConfig retriever_config;
+  DESALIGN_ASSIGN_OR_RETURN(retriever_config.kind,
+                            index::ParseRetrieverKind(index_kind));
+  retriever_config.topk.block_rows = block_rows;
+  retriever_config.ivf.nprobe = nprobe;
+  retriever_config.ivf.num_centroids = centroids;
+  retriever_config.ivf.num_shards = static_cast<int>(shards);
+  const std::unique_ptr<serve::Retriever> retriever =
+      index::MakeRetriever(&store, retriever_config);
   serve::ServeStats stats;
   serve::BatchQueueOptions queue_options;
   queue_options.max_batch = max_batch;
@@ -555,7 +574,7 @@ Status CmdServeBench(const std::vector<std::string>& args,
   std::atomic<int64_t> hits_at_k{0};
   stats.Reset();
   {
-    serve::BatchQueue queue(&retriever, queue_options, &stats);
+    serve::BatchQueue queue(retriever.get(), queue_options, &stats);
     std::vector<std::thread> workers;
     workers.reserve(static_cast<size_t>(submitters));
     for (int64_t s = 0; s < submitters; ++s) {
@@ -590,10 +609,16 @@ Status CmdServeBench(const std::vector<std::string>& args,
 
   // ---- Report ----
   out << "serve-bench: " << data.name << ", " << store.size()
-      << " target entities, dim " << store.dim() << ", trained "
-      << method_name << " for " << epochs << " epochs ("
+      << " target entities, dim " << store.dim() << ", index " << index_kind
+      << ", trained " << method_name << " for " << epochs << " epochs ("
       << eval::Secs(train_seconds) << "), "
       << common::ThreadPool::Global().num_threads() << " threads\n";
+  if (const auto* ivf = dynamic_cast<const index::IvfRetriever*>(
+          retriever.get())) {
+    out << "ivf index: " << ivf->num_centroids() << " cells, "
+        << ivf->num_shards() << " shards, nprobe " << nprobe << ", built in "
+        << eval::Secs(ivf->last_build_ms() / 1e3) << "\n";
+  }
   stats.PrintTable(out);
   const double q = static_cast<double>(num_queries);
   out << "recall@1 " << eval::Pct(static_cast<double>(hits_at_1) / q)
@@ -666,6 +691,103 @@ Status CmdBenchKernels(const std::vector<std::string>& args,
   return Status::Ok();
 }
 
+// bench-index: brute force vs the two-stage IVF index across an
+// entity-count sweep on clustered synthetic embeddings; writes
+// BENCH_index.json (schema desalign.index_bench.v1, gated by tools/ci.sh).
+Status CmdBenchIndex(const std::vector<std::string>& args,
+                     std::ostream& out) {
+  FlagParser parser(
+      "desalign bench-index: IVF two-stage index vs brute-force retrieval");
+  ThreadsFlag threads;
+  threads.Register(parser);
+  std::string out_path;
+  std::string entities_list;
+  int64_t dim;
+  int64_t num_queries;
+  int64_t k;
+  int64_t nprobe;
+  int64_t centroids;
+  int64_t shards;
+  int64_t clusters;
+  double noise;
+  bool smoke;
+  parser.AddString("out", "BENCH_index.json", "output JSON path", &out_path);
+  parser.AddString("entities-list", "10000,100000,1000000",
+                   "comma-separated entity counts to sweep", &entities_list);
+  parser.AddInt64("dim", 64, "embedding dimension", &dim);
+  parser.AddInt64("queries", 256, "queries per case", &num_queries);
+  parser.AddInt64("k", 10, "candidates per query", &k);
+  parser.AddInt64("nprobe", 8, "partial-probe width", &nprobe);
+  parser.AddInt64("centroids", 0, "IVF coarse cells (0 = ~sqrt(n))",
+                  &centroids);
+  parser.AddInt64("shards", 4, "IVF inverted-list shards", &shards);
+  parser.AddInt64("clusters", 256, "synthetic mixture components",
+                  &clusters);
+  parser.AddDouble("noise", 0.25, "synthetic per-coordinate noise",
+                   &noise);
+  parser.AddBool("smoke", false,
+                 "CI mode: smallest entity count only, fewer queries",
+                 &smoke);
+  auto argv = ToArgv(args);
+  DESALIGN_RETURN_NOT_OK(
+      parser.Parse(static_cast<int>(argv.size()), argv.data(), 0));
+  DESALIGN_RETURN_NOT_OK(threads.Apply());
+  if (num_queries <= 0 || k <= 0) {
+    return Status::InvalidArgument("--queries and --k must be positive");
+  }
+
+  index::IndexBenchOptions options;
+  options.entity_counts.clear();
+  for (const auto& tok : common::Split(entities_list, ',')) {
+    const std::string trimmed(common::Trim(tok));
+    if (trimmed.empty()) continue;
+    const int64_t n = std::atoll(trimmed.c_str());
+    if (n <= 0) {
+      return Status::InvalidArgument("--entities-list entries must be "
+                                     "positive integers, got '" + tok + "'");
+    }
+    options.entity_counts.push_back(n);
+  }
+  if (options.entity_counts.empty()) {
+    return Status::InvalidArgument("--entities-list is empty");
+  }
+  options.dim = dim;
+  options.queries = num_queries;
+  options.k = k;
+  options.nprobe = nprobe;
+  options.num_centroids = centroids;
+  options.num_shards = static_cast<int>(shards);
+  options.clusters = clusters;
+  options.noise = noise;
+  options.smoke = smoke;
+
+  const auto report = index::RunIndexBench(options);
+
+  std::ofstream file(out_path);
+  if (!file) {
+    return Status::InvalidArgument("cannot open '" + out_path +
+                                   "' for writing");
+  }
+  file << report.ToJson();
+  file.close();
+
+  for (const auto& c : report.cases) {
+    out << c.entities << " entities (dim " << c.dim << ", "
+        << c.num_centroids << " cells, " << c.shards << " shards, built "
+        << eval::Secs(c.build_ms / 1e3) << "):\n";
+    for (const auto& p : c.paths) {
+      out << "  " << p.path << ": p50 "
+          << common::FormatDouble(p.p50_ms, 3) << " ms, p99 "
+          << common::FormatDouble(p.p99_ms, 3) << " ms, "
+          << common::FormatDouble(p.qps, 0) << " qps, recall@" << c.k << " "
+          << common::FormatDouble(p.recall_at_k, 4)
+          << (p.bitexact ? " (bit-exact)" : "") << "\n";
+    }
+  }
+  out << "wrote " << out_path << " (" << report.cases.size() << " cases)\n";
+  return Status::Ok();
+}
+
 constexpr char kTopLevelUsage[] =
     "usage: desalign <command> [flags]\n"
     "commands:\n"
@@ -678,6 +800,8 @@ constexpr char kTopLevelUsage[] =
     "  serve-bench  train, checkpoint, then replay top-k alignment queries\n"
     "  bench-kernels  time tensor kernels vs the scalar reference, write "
     "BENCH_kernels.json\n"
+    "  bench-index  sweep entity counts, IVF index vs brute force, write "
+    "BENCH_index.json\n"
     "run `desalign <command> --help` for command flags.\n";
 
 }  // namespace
@@ -704,6 +828,8 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out) {
     status = CmdServeBench(rest, out);
   } else if (command == "bench-kernels") {
     status = CmdBenchKernels(rest, out);
+  } else if (command == "bench-index") {
+    status = CmdBenchIndex(rest, out);
   } else if (command == "--help" || command == "-h" || command == "help") {
     out << kTopLevelUsage;
     return 0;

@@ -1,0 +1,60 @@
+#ifndef DESALIGN_INDEX_KMEANS_H_
+#define DESALIGN_INDEX_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "serve/embedding_store.h"
+
+namespace desalign::index {
+
+/// Configuration for the coarse quantizer. Every field that influences
+/// the result is explicit — there is no hidden state — so the same
+/// (table, options) pair always trains bit-identical centroids.
+struct KMeansOptions {
+  int64_t num_centroids = 16;  ///< clamped to [1, rows]
+  /// Fixed Lloyd iteration count — no convergence test, because an
+  /// epsilon-based stop would make the trained quantizer depend on float
+  /// noise. Diminishing returns past ~10 for coarse quantization.
+  int iterations = 8;
+  uint64_t seed = common::Rng::kDefaultSeed;
+  /// Rows used for training; 0 = all rows. Capping keeps build time flat
+  /// as the table grows — centroid quality needs a sample, not the corpus.
+  int64_t sample_rows = 0;
+  common::ThreadPool* pool = nullptr;  ///< null = ThreadPool::Global()
+};
+
+/// A trained coarse quantizer: `num_centroids` x `dim` row-major centroid
+/// matrix. Immutable after TrainKMeans returns.
+struct KMeansModel {
+  int64_t num_centroids = 0;
+  int64_t dim = 0;
+  std::vector<float> centroids;
+};
+
+/// Nearest centroid of `x` by squared L2 distance, scanning centroids in
+/// ascending id order with a strictly-less update — exact score ties
+/// break toward the smaller centroid id, the same tie rule the probe
+/// stage uses, so assignment and probing agree bit-for-bit.
+int64_t NearestCentroid(const KMeansModel& model, const float* x);
+
+/// Deterministic Lloyd's k-means over the rows of `table`.
+///
+/// Determinism contract (tested across thread counts):
+///  - initial centroids are `num_centroids` distinct rows sampled with
+///    `common::Rng(seed)`;
+///  - assignment is embarrassingly parallel (each row's nearest centroid
+///    is independent) and runs on the pool;
+///  - the update step accumulates rows into per-centroid sums serially in
+///    ascending row order with double precision, so the reduction order —
+///    and therefore every centroid bit — is independent of the thread
+///    count;
+///  - centroids that attract no rows keep their previous position.
+KMeansModel TrainKMeans(const serve::EmbeddingSnapshot& table,
+                        const KMeansOptions& options);
+
+}  // namespace desalign::index
+
+#endif  // DESALIGN_INDEX_KMEANS_H_

@@ -18,7 +18,7 @@ double MillisSince(Clock::time_point start) {
 
 }  // namespace
 
-BatchQueue::BatchQueue(const TopKRetriever* retriever,
+BatchQueue::BatchQueue(const Retriever* retriever,
                        BatchQueueOptions options, ServeStats* stats)
     : retriever_(retriever), options_(options), stats_(stats) {
   DESALIGN_CHECK(retriever_ != nullptr);
@@ -31,7 +31,7 @@ BatchQueue::~BatchQueue() { Shutdown(); }
 
 std::future<TopKResult> BatchQueue::Submit(std::vector<float> query) {
   DESALIGN_CHECK_EQ(static_cast<int64_t>(query.size()),
-                    retriever_->store().dim());
+                    retriever_->dim());
   Pending req;
   req.query = std::move(query);
   req.enqueued = Clock::now();
@@ -102,7 +102,7 @@ void BatchQueue::WorkerLoop() {
 }
 
 void BatchQueue::ProcessBatch(std::vector<Pending> batch) {
-  const int64_t d = retriever_->store().dim();
+  const int64_t d = retriever_->dim();
   const int64_t b = static_cast<int64_t>(batch.size());
   std::vector<float> queries(static_cast<size_t>(b * d));
   for (int64_t i = 0; i < b; ++i) {

@@ -10,7 +10,7 @@
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "serve/stats.h"
-#include "serve/topk.h"
+#include "serve/retriever.h"
 
 namespace desalign::serve {
 
@@ -25,7 +25,8 @@ struct BatchQueueOptions {
   int64_t k = 10;
 };
 
-/// Request-batching front door for TopKRetriever: callers submit single
+/// Request-batching front door for any Retriever (brute-force
+/// TopKRetriever or the IVF index): callers submit single
 /// queries from any thread and get a future; a dedicated worker drains up
 /// to `max_batch` pending queries (or whatever accumulated within
 /// `max_wait_ms` of the oldest one) into one batched Retrieve call. This
@@ -37,14 +38,14 @@ struct BatchQueueOptions {
 class BatchQueue {
  public:
   /// `retriever` (and its store) and `stats` must outlive the queue.
-  BatchQueue(const TopKRetriever* retriever, BatchQueueOptions options = {},
+  BatchQueue(const Retriever* retriever, BatchQueueOptions options = {},
              ServeStats* stats = nullptr);
   ~BatchQueue();
 
   BatchQueue(const BatchQueue&) = delete;
   BatchQueue& operator=(const BatchQueue&) = delete;
 
-  /// Enqueues one query (size must equal the store dim). The future is
+  /// Enqueues one query (size must equal the retriever dim). The future is
   /// fulfilled by the worker; after Shutdown it resolves immediately to an
   /// empty result.
   std::future<TopKResult> Submit(std::vector<float> query);
@@ -65,7 +66,7 @@ class BatchQueue {
   void WorkerLoop();
   void ProcessBatch(std::vector<Pending> batch);
 
-  const TopKRetriever* retriever_;
+  const Retriever* retriever_;
   BatchQueueOptions options_;
   ServeStats* stats_;
 

@@ -14,6 +14,16 @@
 
 namespace desalign::serve {
 
+namespace {
+
+const std::shared_ptr<const EmbeddingTable>& EmptyTable() {
+  static const std::shared_ptr<const EmbeddingTable> empty =
+      std::make_shared<const EmbeddingTable>();
+  return empty;
+}
+
+}  // namespace
+
 void L2NormalizeRows(float* data, int64_t rows, int64_t dim, float eps) {
   for (int64_t r = 0; r < rows; ++r) {
     float* row = data + r * dim;
@@ -30,11 +40,68 @@ void L2NormalizeRows(float* data, int64_t rows, int64_t dim, float eps) {
   }
 }
 
+EmbeddingSnapshot::EmbeddingSnapshot() : table_(EmptyTable()) {}
+
+EmbeddingSnapshot::EmbeddingSnapshot(
+    std::shared_ptr<const EmbeddingTable> table)
+    : table_(std::move(table)) {
+  DESALIGN_CHECK(table_ != nullptr);
+}
+
+EmbeddingStore::EmbeddingStore() : table_(EmptyTable()) {}
+
 EmbeddingStore::EmbeddingStore(int64_t rows, int64_t cols,
-                               std::vector<float> data)
-    : rows_(rows), cols_(cols), data_(std::move(data)) {
-  DESALIGN_CHECK_EQ(static_cast<int64_t>(data_.size()), rows_ * cols_);
-  L2NormalizeRows(data_.data(), rows_, cols_);
+                               std::vector<float> data) {
+  DESALIGN_CHECK_EQ(static_cast<int64_t>(data.size()), rows * cols);
+  L2NormalizeRows(data.data(), rows, cols);
+  auto table = std::make_shared<EmbeddingTable>();
+  table->rows = rows;
+  table->cols = cols;
+  table->data = std::move(data);
+  common::MutexLock lock(mutex_);
+  table_ = std::move(table);
+}
+
+EmbeddingStore::EmbeddingStore(EmbeddingStore&& other) noexcept
+    : table_(other.SharedTable()) {}
+
+EmbeddingStore& EmbeddingStore::operator=(EmbeddingStore&& other) noexcept {
+  auto table = other.SharedTable();
+  common::MutexLock lock(mutex_);
+  table_ = std::move(table);
+  return *this;
+}
+
+EmbeddingStore::EmbeddingStore(const EmbeddingStore& other)
+    : table_(other.SharedTable()) {}
+
+EmbeddingStore& EmbeddingStore::operator=(const EmbeddingStore& other) {
+  auto table = other.SharedTable();
+  common::MutexLock lock(mutex_);
+  table_ = std::move(table);
+  return *this;
+}
+
+std::shared_ptr<const EmbeddingTable> EmbeddingStore::SharedTable() const {
+  common::MutexLock lock(mutex_);
+  return table_;
+}
+
+EmbeddingSnapshot EmbeddingStore::Snapshot() const {
+  return EmbeddingSnapshot(SharedTable());
+}
+
+int64_t EmbeddingStore::size() const { return SharedTable()->rows; }
+
+int64_t EmbeddingStore::dim() const { return SharedTable()->cols; }
+
+const float* EmbeddingStore::row(int64_t i) const {
+  const auto table = SharedTable();
+  return table->data.data() + i * table->cols;
+}
+
+const std::vector<float>& EmbeddingStore::data() const {
+  return SharedTable()->data;
 }
 
 EmbeddingStore EmbeddingStore::FromTensor(const tensor::Tensor& embeddings) {
@@ -48,8 +115,10 @@ EmbeddingStore EmbeddingStore::FromRows(int64_t rows, int64_t cols,
 }
 
 common::Status EmbeddingStore::Save(const std::string& path) const {
+  const auto table = SharedTable();
   nn::TrainingCheckpoint ckpt;
-  ckpt.tensors.push_back(tensor::Tensor::FromData(rows_, cols_, data_));
+  ckpt.tensors.push_back(
+      tensor::Tensor::FromData(table->rows, table->cols, table->data));
   return nn::SaveCheckpoint(ckpt, path);
 }
 
@@ -86,16 +155,23 @@ common::Status EmbeddingStore::Reload(const std::string& path,
     }
     auto loaded = Load(path);
     if (loaded.ok()) {
-      if (rows_ > 0 && loaded.value().dim() != cols_) {
+      const auto current = SharedTable();
+      const auto fresh = loaded.value().SharedTable();
+      if (current->rows > 0 && fresh->cols != current->cols) {
         // Permanent: queries embedded for the old dimension cannot be
         // scored against the new table, so retrying cannot help.
         if (stats != nullptr) stats->RecordReload(false);
         return common::Status::InvalidArgument(
             "reload of " + path + " would change dim from " +
-            std::to_string(cols_) + " to " +
-            std::to_string(loaded.value().dim()));
+            std::to_string(current->cols) + " to " +
+            std::to_string(fresh->cols));
       }
-      *this = std::move(loaded).value();
+      {
+        // The swap is the only mutation; in-flight snapshots keep the old
+        // table alive and bit-identical until they drop.
+        common::MutexLock lock(mutex_);
+        table_ = fresh;
+      }
       if (stats != nullptr) stats->RecordReload(true);
       return common::Status::Ok();
     }

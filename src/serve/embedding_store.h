@@ -2,10 +2,13 @@
 #define DESALIGN_SERVE_EMBEDDING_STORE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "tensor/tensor.h"
 
 namespace desalign::serve {
@@ -18,15 +21,62 @@ struct ReloadOptions {
   double backoff_ms = 10.0; ///< sleep before retry 2; doubles per retry
 };
 
-/// Immutable, query-time view of a fused entity embedding table. Rows are
-/// copied once into a contiguous row-major float block and L2-normalized
-/// at construction, so cosine similarity at serving time is a plain dot
+/// One immutable embedding table: a contiguous row-major float block of
+/// `rows` x `cols`, L2-normalized row-wise. Tables are shared read-only
+/// between the owning EmbeddingStore and any number of in-flight
+/// EmbeddingSnapshot holders and never mutated after construction.
+struct EmbeddingTable {
+  int64_t rows = 0;
+  int64_t cols = 0;
+  std::vector<float> data;
+};
+
+/// A consistent, immutable view of an EmbeddingStore's table at one point
+/// in time. Copyable and cheap (shared_ptr bump); the underlying table
+/// stays alive — and bit-identical — for as long as any snapshot holds it,
+/// even across concurrent Reload swaps. Every query path (TopKRetriever,
+/// the IVF index) scans through a snapshot, which is what makes hot reload
+/// race-free: a reload publishes a *new* table, it never mutates one a
+/// reader may be scanning.
+class EmbeddingSnapshot {
+ public:
+  /// Empty (0 x 0) view.
+  EmbeddingSnapshot();
+
+  int64_t size() const { return table_->rows; }
+  int64_t dim() const { return table_->cols; }
+
+  /// Contiguous row `i` (dim() floats); valid for the snapshot's lifetime.
+  const float* row(int64_t i) const {
+    return table_->data.data() + i * table_->cols;
+  }
+  const std::vector<float>& data() const { return table_->data; }
+
+ private:
+  friend class EmbeddingStore;
+  explicit EmbeddingSnapshot(std::shared_ptr<const EmbeddingTable> table);
+
+  std::shared_ptr<const EmbeddingTable> table_;  // never null
+};
+
+/// Query-time holder of a fused entity embedding table. Rows are copied
+/// once into a contiguous row-major float block and L2-normalized at
+/// construction, so cosine similarity at serving time is a plain dot
 /// product and every retrieval touches cache-friendly memory.
 ///
 /// A store is either built in-memory from a tensor produced by a fitted
 /// model (`align::FusionAlignModel::FusedEmbeddings`) or restored from an
 /// `nn::serialize` checkpoint file, which is how a trained model's
 /// embeddings reach a serving process that never sees the training data.
+///
+/// Concurrency: the store holds its table behind a mutex-guarded
+/// shared_ptr. `Snapshot()` hands out an immutable view that outlives any
+/// concurrent `Reload`, so queries racing a reload are well-defined: each
+/// query sees exactly one table, either fully-old or fully-new
+/// (tests/serve/reload_race_test.cc runs this under TSan). The
+/// convenience accessors `row()`/`data()` read the *current* table and
+/// are only safe while no concurrent Reload can swap it; retrieval code
+/// must hold a Snapshot instead.
 class EmbeddingStore {
  public:
   /// Copies and L2-normalizes all rows of `embeddings`. Zero rows (e.g.
@@ -52,13 +102,21 @@ class EmbeddingStore {
 
   /// Empty store (0 x 0); exists so the class fits common::Result. Every
   /// populated store comes from the factories above.
-  EmbeddingStore() = default;
+  EmbeddingStore();
+
+  EmbeddingStore(EmbeddingStore&& other) noexcept;
+  EmbeddingStore& operator=(EmbeddingStore&& other) noexcept;
+  /// Copies share the immutable table (shared_ptr bump, no data copy).
+  EmbeddingStore(const EmbeddingStore& other);
+  EmbeddingStore& operator=(const EmbeddingStore& other);
 
   /// Degradation-safe snapshot swap: loads and fully validates the
   /// checkpoint at `path` (checksums included for v2 files) into a fresh
-  /// table and only then replaces this store's contents. On any failure —
-  /// missing file, corruption, torn write — the store keeps serving its
-  /// previous snapshot unchanged. Transient IO errors are retried up to
+  /// table and only then publishes it as the current table; concurrent
+  /// queries holding a Snapshot keep scanning the old table, which stays
+  /// alive until the last snapshot drops. On any failure — missing file,
+  /// corruption, torn write — the store keeps serving its previous
+  /// snapshot unchanged. Transient IO errors are retried up to
   /// `options.max_attempts` with exponential backoff; a dimension change
   /// relative to the current (non-empty) table is permanent and fails
   /// immediately, since queries embedded for the old dim cannot be scored
@@ -68,19 +126,26 @@ class EmbeddingStore {
                         const ReloadOptions& options = {},
                         ServeStats* stats = nullptr);
 
-  int64_t size() const { return rows_; }
-  int64_t dim() const { return cols_; }
+  /// The current table as an immutable shared view; the only way to read
+  /// rows concurrently with Reload.
+  EmbeddingSnapshot Snapshot() const;
 
-  /// Contiguous row `i` (dim() floats).
-  const float* row(int64_t i) const { return data_.data() + i * cols_; }
-  const std::vector<float>& data() const { return data_; }
+  int64_t size() const;
+  int64_t dim() const;
+
+  /// Contiguous row `i` (dim() floats). Single-threaded convenience: the
+  /// pointer targets the current table and dangles if a concurrent Reload
+  /// swaps it. Hold a Snapshot() in retrieval code.
+  const float* row(int64_t i) const;
+  const std::vector<float>& data() const;
 
  private:
   EmbeddingStore(int64_t rows, int64_t cols, std::vector<float> data);
 
-  int64_t rows_ = 0;
-  int64_t cols_ = 0;
-  std::vector<float> data_;
+  std::shared_ptr<const EmbeddingTable> SharedTable() const;
+
+  mutable common::Mutex mutex_;
+  std::shared_ptr<const EmbeddingTable> table_ GUARDED_BY(mutex_);
 };
 
 /// L2-normalizes each `dim`-sized row of `data` in place; rows with norm

@@ -1,0 +1,48 @@
+#ifndef DESALIGN_SERVE_RETRIEVER_H_
+#define DESALIGN_SERVE_RETRIEVER_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace desalign::serve {
+
+/// Top-k candidates for one query, best first. Ordering is the total order
+/// (score descending, entity id ascending), so results are deterministic
+/// even under score ties.
+struct TopKResult {
+  std::vector<int64_t> ids;
+  std::vector<float> scores;
+};
+
+/// Abstract batched top-k retrieval over an entity embedding table. The
+/// serving front door (BatchQueue, serve-bench) programs against this, so
+/// exact brute force (TopKRetriever) and the two-stage ANN index
+/// (index::IvfRetriever) are interchangeable by configuration.
+///
+/// Contract every implementation must honour (and tests enforce):
+///  - `queries` is num_queries x dim() row-major; queries are L2-normalized
+///    internally, scores are cosine similarities;
+///  - the result vector always has exactly num_queries entries, in query
+///    order (num_queries <= 0 yields an empty vector);
+///  - k is clamped to size(); k <= 0 yields empty per-query results;
+///  - ranking follows scoring::Better — score descending, exact float ties
+///    broken toward the smaller entity id — so any two implementations
+///    scoring the same candidate set return byte-identical results.
+class Retriever {
+ public:
+  virtual ~Retriever() = default;
+
+  virtual std::vector<TopKResult> Retrieve(const float* queries,
+                                           int64_t num_queries,
+                                           int64_t k) const = 0;
+
+  /// Embedding dimension queries must match.
+  virtual int64_t dim() const = 0;
+
+  /// Entities currently retrievable.
+  virtual int64_t size() const = 0;
+};
+
+}  // namespace desalign::serve
+
+#endif  // DESALIGN_SERVE_RETRIEVER_H_

@@ -4,90 +4,21 @@
 #include <utility>
 
 #include "common/check.h"
+#include "serve/scoring.h"
 
 namespace desalign::serve {
 
 namespace {
 
-struct Candidate {
-  float score;
-  int64_t id;
-};
+using scoring::Better;
+using scoring::BoundedTopK;
+using scoring::Candidate;
+using scoring::Dot;
 
-/// The single ordering contract: higher score first, ties broken by the
-/// smaller entity id. Both retrieval paths rank with exactly this.
-inline bool Better(const Candidate& a, const Candidate& b) {
-  if (a.score != b.score) return a.score > b.score;
-  return a.id < b.id;
-}
-
-/// Shared dot-product kernel. Four independent accumulators let the
-/// compiler keep the FMA pipeline busy; since *both* paths use this
-/// function, accumulation order is identical and scores are bit-equal.
-inline float Dot(const float* a, const float* b, int64_t d) {
-  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
-  int64_t c = 0;
-  for (; c + 4 <= d; c += 4) {
-    s0 += a[c] * b[c];
-    s1 += a[c + 1] * b[c + 1];
-    s2 += a[c + 2] * b[c + 2];
-    s3 += a[c + 3] * b[c + 3];
-  }
-  for (; c < d; ++c) s0 += a[c] * b[c];
-  return ((s0 + s1) + (s2 + s3));
-}
-
-/// Bounded "worst on top" candidate set of size <= k.
-class BoundedTopK {
- public:
-  explicit BoundedTopK(int64_t k) : k_(k) { heap_.reserve(k); }
-
-  /// Hot path: once the set is full, almost every candidate scores below
-  /// the cached k-th best and is rejected on a single register compare.
-  void Offer(float score, int64_t id) {
-    if (full_ && score < worst_score_) return;
-    OfferSlow(score, id);
-  }
-
-  TopKResult Finish() {
-    std::sort(heap_.begin(), heap_.end(), Better);
-    TopKResult out;
-    out.ids.reserve(heap_.size());
-    out.scores.reserve(heap_.size());
-    for (const auto& c : heap_) {
-      out.ids.push_back(c.id);
-      out.scores.push_back(c.score);
-    }
-    return out;
-  }
-
- private:
-  void OfferSlow(float score, int64_t id) {
-    const Candidate c{score, id};
-    if (static_cast<int64_t>(heap_.size()) < k_) {
-      heap_.push_back(c);
-      std::push_heap(heap_.begin(), heap_.end(), Better);
-      full_ = static_cast<int64_t>(heap_.size()) == k_;
-    } else {
-      if (!Better(c, heap_.front())) return;
-      std::pop_heap(heap_.begin(), heap_.end(), Better);
-      heap_.back() = c;
-      std::push_heap(heap_.begin(), heap_.end(), Better);
-    }
-    worst_score_ = heap_.front().score;
-  }
-
-  int64_t k_;
-  bool full_ = false;
-  float worst_score_ = 0.0f;     // valid only while full_
-  std::vector<Candidate> heap_;  // max-heap on Better => worst at front
-};
-
-std::vector<float> NormalizedQueries(const EmbeddingStore& store,
-                                     const float* queries,
+std::vector<float> NormalizedQueries(int64_t dim, const float* queries,
                                      int64_t num_queries) {
-  std::vector<float> q(queries, queries + num_queries * store.dim());
-  L2NormalizeRows(q.data(), num_queries, store.dim());
+  std::vector<float> q(queries, queries + num_queries * dim);
+  L2NormalizeRows(q.data(), num_queries, dim);
   return q;
 }
 
@@ -102,16 +33,17 @@ TopKRetriever::TopKRetriever(const EmbeddingStore* store, TopKOptions options)
 std::vector<TopKResult> TopKRetriever::Retrieve(const float* queries,
                                                 int64_t num_queries,
                                                 int64_t k) const {
-  std::vector<TopKResult> results(static_cast<size_t>(num_queries));
+  std::vector<TopKResult> results(
+      num_queries > 0 ? static_cast<size_t>(num_queries) : 0);
   if (num_queries <= 0) return results;
-  k = std::min(k, store_->size());
+  const EmbeddingSnapshot snap = store_->Snapshot();
+  k = std::min(k, snap.size());
   if (k <= 0) return results;
 
-  const int64_t d = store_->dim();
-  const int64_t n = store_->size();
+  const int64_t d = snap.dim();
+  const int64_t n = snap.size();
   const int64_t block = options_.block_rows;
-  const std::vector<float> q = NormalizedQueries(*store_, queries,
-                                                 num_queries);
+  const std::vector<float> q = NormalizedQueries(d, queries, num_queries);
 
   common::ThreadPool& pool =
       options_.pool != nullptr ? *options_.pool : common::ThreadPool::Global();
@@ -121,7 +53,7 @@ std::vector<TopKResult> TopKRetriever::Retrieve(const float* queries,
         std::vector<BoundedTopK> heaps;
         heaps.reserve(static_cast<size_t>(qe - qb));
         for (int64_t i = qb; i < qe; ++i) heaps.emplace_back(k);
-        const float* base = store_->row(0);
+        const float* base = snap.row(0);
         for (int64_t b0 = 0; b0 < n; b0 += block) {
           const int64_t b1 = std::min(n, b0 + block);
           // Block scan: the target block stays cache-resident while every
@@ -152,20 +84,21 @@ std::vector<TopKResult> TopKRetriever::Retrieve(const tensor::Tensor& queries,
 
 std::vector<TopKResult> TopKRetriever::RetrieveBruteForce(
     const float* queries, int64_t num_queries, int64_t k) const {
-  std::vector<TopKResult> results(static_cast<size_t>(num_queries));
+  std::vector<TopKResult> results(
+      num_queries > 0 ? static_cast<size_t>(num_queries) : 0);
   if (num_queries <= 0) return results;
-  k = std::min(k, store_->size());
+  const EmbeddingSnapshot snap = store_->Snapshot();
+  k = std::min(k, snap.size());
   if (k <= 0) return results;
 
-  const int64_t d = store_->dim();
-  const int64_t n = store_->size();
-  const std::vector<float> q = NormalizedQueries(*store_, queries,
-                                                 num_queries);
+  const int64_t d = snap.dim();
+  const int64_t n = snap.size();
+  const std::vector<float> q = NormalizedQueries(d, queries, num_queries);
   std::vector<Candidate> scored(static_cast<size_t>(n));
   for (int64_t i = 0; i < num_queries; ++i) {
     const float* qi = q.data() + i * d;
     for (int64_t r = 0; r < n; ++r) {
-      scored[static_cast<size_t>(r)] = {Dot(qi, store_->row(r), d), r};
+      scored[static_cast<size_t>(r)] = {Dot(qi, snap.row(r), d), r};
     }
     std::partial_sort(scored.begin(), scored.begin() + k, scored.end(),
                       Better);

@@ -6,17 +6,10 @@
 
 #include "common/thread_pool.h"
 #include "serve/embedding_store.h"
+#include "serve/retriever.h"
 #include "tensor/tensor.h"
 
 namespace desalign::serve {
-
-/// Top-k candidates for one query, best first. Ordering is the total order
-/// (score descending, entity id ascending), so results are deterministic
-/// even under score ties.
-struct TopKResult {
-  std::vector<int64_t> ids;
-  std::vector<float> scores;
-};
 
 struct TopKOptions {
   /// Target rows scanned per block; a block's rows stay hot in cache while
@@ -28,31 +21,42 @@ struct TopKOptions {
   common::ThreadPool* pool = nullptr;
 };
 
-/// Batched cosine top-k over an EmbeddingStore. Queries are L2-normalized
-/// internally, so scores are true cosine similarities. Two paths share one
-/// dot-product kernel and one ordering contract and therefore return
-/// bit-identical results:
+/// Batched exact cosine top-k over an EmbeddingStore — the brute-force
+/// Retriever. Queries are L2-normalized internally, so scores are true
+/// cosine similarities. Two paths share one dot-product kernel and one
+/// ordering contract (serve/scoring.h) and therefore return bit-identical
+/// results:
 ///
 ///  - Retrieve: blocked scan with a per-query bounded heap, parallelized
 ///    across the query batch via ThreadPool::ParallelFor;
 ///  - RetrieveBruteForce: single-threaded full score vector + sort, the
 ///    exact reference used by the tests and the bench baseline.
-class TopKRetriever {
+///
+/// Each call scans one EmbeddingSnapshot, so retrieval racing a concurrent
+/// EmbeddingStore::Reload sees either the fully-old or the fully-new
+/// table, never a mix.
+///
+/// Edge-case contract (regression-tested in tests/serve/topk_test.cc):
+/// k <= 0 yields empty per-query results; k > size() is clamped to
+/// size(); duplicate scores rank the smaller entity id first.
+class TopKRetriever : public Retriever {
  public:
   /// `store` must outlive the retriever.
   explicit TopKRetriever(const EmbeddingStore* store,
                          TopKOptions options = {});
 
-  /// `queries` is num_queries x store->dim() row-major. k is clamped to
-  /// the store size; k <= 0 yields empty results.
+  /// `queries` is num_queries x dim() row-major.
   std::vector<TopKResult> Retrieve(const float* queries, int64_t num_queries,
-                                   int64_t k) const;
+                                   int64_t k) const override;
   std::vector<TopKResult> Retrieve(const tensor::Tensor& queries,
                                    int64_t k) const;
 
   std::vector<TopKResult> RetrieveBruteForce(const float* queries,
                                              int64_t num_queries,
                                              int64_t k) const;
+
+  int64_t dim() const override { return store_->dim(); }
+  int64_t size() const override { return store_->size(); }
 
   const EmbeddingStore& store() const { return *store_; }
 

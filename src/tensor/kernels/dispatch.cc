@@ -1,5 +1,6 @@
 #include "tensor/kernels/dispatch.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <cstring>
@@ -76,6 +77,15 @@ int64_t KernelGrain(int64_t cost_per_item) {
   const int64_t forced = ForcedGrainForTesting();
   if (forced > 0) return forced;
   return common::ThreadPool::GrainForCost(cost_per_item);
+}
+
+int64_t SpanGrain(int64_t cost_per_item) {
+  const int64_t forced = ForcedGrainForTesting();
+  if (forced > 0) return forced;
+  const int64_t cost = cost_per_item > 0 ? cost_per_item : 1;
+  const int64_t min_elems = kMinSpanOpsPerChunk / cost;
+  return std::max(common::ThreadPool::GrainForCost(cost_per_item),
+                  min_elems > 0 ? min_elems : 1);
 }
 
 }  // namespace desalign::tensor::kernels

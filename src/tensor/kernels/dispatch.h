@@ -45,6 +45,20 @@ int64_t ForcedGrainForTesting();
 /// ~64k operations per chunk.
 int64_t KernelGrain(int64_t cost_per_item);
 
+/// Minimum scalar-op-equivalents a worker chunk must carry before a pure
+/// elementwise span kernel is worth splitting across threads. Elementwise
+/// ops are memory-bound: below this, fork/join and cache-line handoff cost
+/// more than a second core saves (BENCH_kernels.json showed mul/AVX2 at
+/// 0.51x with 2 threads on 64k elements), so small spans run serial.
+inline constexpr int64_t kMinSpanOpsPerChunk = 1 << 17;
+
+/// Grain for pure elementwise span kernels: KernelGrain raised to at least
+/// kMinSpanOpsPerChunk / cost_per_item elements per chunk. The forced test
+/// grain still wins so tests can exercise multi-chunk partitioning on tiny
+/// tensors. Chunking never reorders an elementwise op's per-element math,
+/// so this is a speed knob only — the determinism contract is unaffected.
+int64_t SpanGrain(int64_t cost_per_item);
+
 }  // namespace desalign::tensor::kernels
 
 #endif  // DESALIGN_TENSOR_KERNELS_DISPATCH_H_

@@ -26,7 +26,7 @@ void ParallelSpan(int64_t n, int64_t cost, const SpanFn& fn) {
   const IsaLevel isa = ActiveIsa();
   common::ThreadPool::Global().ParallelFor(
       0, n, [&](int64_t b, int64_t e) { fn(isa, b, e - b); },
-      KernelGrain(cost));
+      SpanGrain(cost));
 }
 
 }  // namespace

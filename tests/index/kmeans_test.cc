@@ -1,0 +1,125 @@
+#include "index/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "serve/embedding_store.h"
+
+namespace desalign::index {
+namespace {
+
+serve::EmbeddingStore RandomStore(int64_t rows, int64_t dim, uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<float> data(static_cast<size_t>(rows * dim));
+  for (auto& v : data) v = rng.UniformF(-1.0f, 1.0f);
+  return serve::EmbeddingStore::FromRows(rows, dim, std::move(data));
+}
+
+TEST(KMeansTest, CentroidCountClampedToRows) {
+  const auto store = RandomStore(5, 4, 1);
+  KMeansOptions options;
+  options.num_centroids = 64;
+  const auto model = TrainKMeans(store.Snapshot(), options);
+  EXPECT_EQ(model.num_centroids, 5);
+  EXPECT_EQ(model.dim, 4);
+  EXPECT_EQ(model.centroids.size(), 20u);
+}
+
+TEST(KMeansTest, EmptyTableYieldsEmptyModel) {
+  const serve::EmbeddingStore store;
+  const auto model = TrainKMeans(store.Snapshot(), KMeansOptions{});
+  EXPECT_EQ(model.num_centroids, 0);
+  EXPECT_TRUE(model.centroids.empty());
+}
+
+TEST(KMeansTest, BitIdenticalAcrossThreadCounts) {
+  // The assignment step is the only parallel piece; it is per-row
+  // independent and the update reduction is serial in row order, so the
+  // trained centroids must be byte-equal no matter the pool size.
+  const auto store = RandomStore(300, 9, 7);
+  std::vector<float> reference;
+  for (const int threads : {1, 2, 5}) {
+    common::ThreadPool pool(threads);
+    KMeansOptions options;
+    options.num_centroids = 17;
+    options.iterations = 6;
+    options.pool = &pool;
+    const auto model = TrainKMeans(store.Snapshot(), options);
+    ASSERT_EQ(model.num_centroids, 17);
+    if (reference.empty()) {
+      reference = model.centroids;
+    } else {
+      EXPECT_EQ(model.centroids, reference) << threads << " threads";
+    }
+  }
+}
+
+TEST(KMeansTest, SampledTrainingIsDeterministic) {
+  const auto store = RandomStore(500, 6, 11);
+  KMeansOptions options;
+  options.num_centroids = 8;
+  options.sample_rows = 128;
+  const auto a = TrainKMeans(store.Snapshot(), options);
+  const auto b = TrainKMeans(store.Snapshot(), options);
+  EXPECT_EQ(a.centroids, b.centroids);
+  // A different seed must (generically) pick different initial rows.
+  options.seed = 999;
+  const auto c = TrainKMeans(store.Snapshot(), options);
+  EXPECT_NE(a.centroids, c.centroids);
+}
+
+TEST(KMeansTest, NearestCentroidTiesBreakTowardSmallerId) {
+  // Two identical centroids: every query ties exactly; id 0 must win.
+  KMeansModel model;
+  model.num_centroids = 3;
+  model.dim = 2;
+  model.centroids = {1.0f, 0.0f, 1.0f, 0.0f, 0.0f, 1.0f};
+  const std::vector<float> q = {1.0f, 0.0f};
+  EXPECT_EQ(NearestCentroid(model, q.data()), 0);
+  const std::vector<float> r = {0.0f, 1.0f};
+  EXPECT_EQ(NearestCentroid(model, r.data()), 2);
+}
+
+TEST(KMeansTest, AssignmentPartitionsAllRows) {
+  const auto store = RandomStore(120, 5, 3);
+  KMeansOptions options;
+  options.num_centroids = 10;
+  const auto model = TrainKMeans(store.Snapshot(), options);
+  const auto snap = store.Snapshot();
+  std::vector<int64_t> counts(10, 0);
+  for (int64_t r = 0; r < snap.size(); ++r) {
+    const int64_t c = NearestCentroid(model, snap.row(r));
+    ASSERT_GE(c, 0);
+    ASSERT_LT(c, 10);
+    ++counts[static_cast<size_t>(c)];
+  }
+  int64_t total = 0;
+  for (const int64_t c : counts) total += c;
+  EXPECT_EQ(total, 120);
+}
+
+TEST(KMeansTest, MoreCentroidsThanDistinctRowsStaysFinite) {
+  // 4 distinct rows duplicated 10x with k=8: some cells go empty and must
+  // keep their initial centroid instead of collapsing to NaN.
+  std::vector<float> data;
+  for (int rep = 0; rep < 10; ++rep) {
+    for (const float base : {1.0f, 2.0f, 3.0f, 4.0f}) {
+      data.push_back(base);
+      data.push_back(-base);
+    }
+  }
+  const auto store = serve::EmbeddingStore::FromRows(40, 2, std::move(data));
+  KMeansOptions options;
+  options.num_centroids = 8;
+  const auto model = TrainKMeans(store.Snapshot(), options);
+  EXPECT_EQ(model.num_centroids, 8);
+  for (const float v : model.centroids) EXPECT_TRUE(std::isfinite(v));
+}
+
+}  // namespace
+}  // namespace desalign::index

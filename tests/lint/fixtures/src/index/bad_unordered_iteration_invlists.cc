@@ -1,0 +1,17 @@
+// Fixture: inverted lists kept in an unordered_map and iterated for a
+// candidate scan — bucket order depends on the hash seed, so two builds
+// would emit candidates (and therefore tie-broken top-k) in different
+// orders. Real index code stores lists CSR-style in id order.
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+int64_t CountCandidates(int64_t cell) {
+  std::unordered_map<int64_t, std::vector<int64_t>> inverted_lists;
+  inverted_lists[cell] = {1, 2, 3};
+  int64_t total = 0;
+  for (const auto& list : inverted_lists) {  // LINT-EXPECT: unordered-iteration
+    total += static_cast<int64_t>(list.second.size());
+  }
+  return total;
+}

@@ -1,0 +1,15 @@
+// Fixture: a k-means initializer drawing centroid rows from a
+// default-constructed engine — the exact bug that would make an IVF index
+// non-reproducible across builds of the same table.
+#include <cstdint>
+#include <random>
+#include <vector>
+
+std::vector<int64_t> PickInitialCentroids(int64_t rows, int64_t k) {
+  std::mt19937_64 gen;  // LINT-EXPECT: unseeded-rng
+  std::vector<int64_t> picks;
+  for (int64_t i = 0; i < k; ++i) {
+    picks.push_back(static_cast<int64_t>(gen() % static_cast<uint64_t>(rows)));
+  }
+  return picks;
+}

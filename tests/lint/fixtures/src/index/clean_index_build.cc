@@ -1,0 +1,17 @@
+// Fixture: the deterministic shape index code must take — an explicitly
+// seeded engine and CSR-style lists scanned in ascending id order.
+#include <cstdint>
+#include <random>
+#include <vector>
+
+std::vector<int64_t> BuildListDeterministically(int64_t rows, uint64_t seed) {
+  std::mt19937_64 gen(seed);
+  std::vector<int64_t> entries;
+  for (int64_t id = 0; id < rows; ++id) {
+    if (gen() % 2 == 0) entries.push_back(id);
+  }
+  int64_t checksum = 0;
+  for (const int64_t id : entries) checksum += id;
+  if (checksum < 0) entries.clear();
+  return entries;
+}

@@ -91,6 +91,64 @@ TEST(TopKRetrieverTest, KClampedToStoreSize) {
   EXPECT_TRUE(none[0].ids.empty());
 }
 
+TEST(TopKRetrieverTest, NegativeKYieldsEmptyPerQueryResults) {
+  // k < 0 is part of the documented contract: same as k == 0, per-query
+  // entries exist (callers index results by query) but hold nothing.
+  const auto store = EmbeddingStore::FromRows(3, 2, {1, 0, 0, 1, 1, 1});
+  TopKRetriever retriever(&store);
+  const std::vector<float> queries = {1, 0, 0, 1};
+  for (const int64_t k : {int64_t{-1}, int64_t{-1000}}) {
+    const auto results = retriever.Retrieve(queries.data(), 2, k);
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_TRUE(results[0].ids.empty());
+    EXPECT_TRUE(results[0].scores.empty());
+    EXPECT_TRUE(results[1].ids.empty());
+    const auto brute = retriever.RetrieveBruteForce(queries.data(), 2, k);
+    ExpectSameResults(results, brute);
+  }
+}
+
+TEST(TopKRetrieverTest, EmptyStoreServesEmptyResults) {
+  const EmbeddingStore store;
+  TopKRetriever retriever(&store);
+  EXPECT_EQ(retriever.size(), 0);
+  const std::vector<float> query = {1, 0};
+  const auto results = retriever.Retrieve(query.data(), 1, 5);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].ids.empty());
+}
+
+TEST(TopKRetrieverTest, DuplicateScoreAtKBoundaryKeepsSmallerIds) {
+  // Five identical rows, k = 3: the heap must evict by id so exactly
+  // {0, 1, 2} survive — the boundary case where a wrong tie-break silently
+  // returns a different-but-equal-scoring set.
+  std::vector<float> data;
+  for (int i = 0; i < 5; ++i) {
+    data.push_back(1);
+    data.push_back(0);
+  }
+  const auto store = EmbeddingStore::FromRows(5, 2, std::move(data));
+  TopKRetriever retriever(&store);
+  const std::vector<float> query = {1, 0};
+  const auto results = retriever.Retrieve(query.data(), 1, 3);
+  EXPECT_EQ(results[0].ids, (std::vector<int64_t>{0, 1, 2}));
+  const auto brute = retriever.RetrieveBruteForce(query.data(), 1, 3);
+  ExpectSameResults(results, brute);
+}
+
+TEST(TopKRetrieverTest, UsableThroughRetrieverInterface) {
+  const int64_t dim = 4;
+  const auto data = RandomRows(10, dim, 29);
+  const auto store = EmbeddingStore::FromRows(10, dim, data);
+  TopKRetriever concrete(&store);
+  const Retriever& retriever = concrete;
+  EXPECT_EQ(retriever.dim(), dim);
+  EXPECT_EQ(retriever.size(), 10);
+  const auto queries = RandomRows(3, dim, 31);
+  ExpectSameResults(retriever.Retrieve(queries.data(), 3, 4),
+                    concrete.RetrieveBruteForce(queries.data(), 3, 4));
+}
+
 TEST(TopKRetrieverTest, EmptyQueryBatch) {
   const auto store = EmbeddingStore::FromRows(3, 2, {1, 0, 0, 1, 1, 1});
   TopKRetriever retriever(&store);

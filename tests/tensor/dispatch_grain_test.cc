@@ -1,0 +1,71 @@
+// SpanGrain regression tests: elementwise span kernels must not split
+// work into chunks carrying fewer than kMinSpanOpsPerChunk scalar-op
+// equivalents (the mul/AVX2 0.51x-at-2-threads fix), while the forced
+// test grain and bit-exactness guarantees stay intact.
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "tensor/kernels/dispatch.h"
+#include "tensor/kernels/elementwise.h"
+
+namespace desalign::tensor::kernels {
+namespace {
+
+TEST(SpanGrainTest, ForcedTestGrainStillWins) {
+  SetForcedGrainForTesting(3);
+  EXPECT_EQ(SpanGrain(1), 3);
+  EXPECT_EQ(SpanGrain(1000), 3);
+  SetForcedGrainForTesting(0);
+}
+
+TEST(SpanGrainTest, CheapOpsGetAtLeastTheMinimumChunk) {
+  // cost 1 (add/mul-style spans): each chunk must carry the full minimum.
+  EXPECT_GE(SpanGrain(1), kMinSpanOpsPerChunk);
+  // A 64k-element mul therefore runs single-chunk at any thread count —
+  // exactly the case that regressed to 0.51x with two threads.
+  EXPECT_GE(SpanGrain(1), int64_t{64} * 1024);
+}
+
+TEST(SpanGrainTest, ExpensiveOpsFallBackToKernelGrain) {
+  // Once cost_per_item is high enough that KernelGrain's own chunks carry
+  // kMinSpanOpsPerChunk, SpanGrain must not inflate them further.
+  const int64_t cost = 24;
+  const int64_t expected = std::max(common::ThreadPool::GrainForCost(cost),
+                                    std::max<int64_t>(1, kMinSpanOpsPerChunk / cost));
+  EXPECT_EQ(SpanGrain(cost), expected);
+  // Very expensive items: the min-chunk floor becomes irrelevant.
+  EXPECT_EQ(SpanGrain(kMinSpanOpsPerChunk),
+            std::max<int64_t>(
+                common::ThreadPool::GrainForCost(kMinSpanOpsPerChunk), 1));
+}
+
+TEST(SpanGrainTest, SmallMulStaysBitExactAcrossThreadCounts) {
+  // The grain change is a partitioning knob only: a sub-threshold span must
+  // produce identical bytes whether the pool has 1 or 4 workers.
+  const int64_t n = 64 * 1024;
+  common::Rng rng(7);
+  std::vector<float> a(static_cast<size_t>(n)), b(static_cast<size_t>(n));
+  for (auto& v : a) v = rng.UniformF(-2.0f, 2.0f);
+  for (auto& v : b) v = rng.UniformF(-2.0f, 2.0f);
+
+  std::vector<float> expected(static_cast<size_t>(n));
+  common::ThreadPool::SetGlobalThreadCount(1);
+  Mul(a.data(), b.data(), expected.data(), n);
+
+  std::vector<float> got(static_cast<size_t>(n));
+  common::ThreadPool::SetGlobalThreadCount(4);
+  Mul(a.data(), b.data(), got.data(), n);
+  common::ThreadPool::SetGlobalThreadCount(0);
+
+  EXPECT_TRUE(std::memcmp(got.data(), expected.data(),
+                          got.size() * sizeof(float)) == 0);
+}
+
+}  // namespace
+}  // namespace desalign::tensor::kernels

@@ -14,6 +14,9 @@
 #                          # any UB report aborts the test)
 #   tools/ci.sh --tier1    # only the tier-1 gate (build + full ctest +
 #                          # kernel-bench smoke)
+#   tools/ci.sh --index    # only the index gate (build + `ctest -L index`
+#                          # + bench-index smoke: recall@10 == 1.0 and
+#                          # bit-exactness at full probe, schema check)
 #   tools/ci.sh --tsan     # only the ThreadSanitizer-labelled suite
 #   tools/ci.sh --faults   # only the fault-injection suite under ASan
 #
@@ -23,6 +26,8 @@
 #   sanitizer   — concurrency-sensitive suites worth re-running under TSan
 #   faults      — crash-safety suite: checksummed checkpoints, torn-write
 #                 and bit-flip injection, kill-and-resume bit-exactness
+#   index       — two-stage ANN index suite (k-means quantizer, IVF
+#                 bit-exactness at full probe, reload-rebuild)
 #   lint        — desalign-lint fixture corpus + zero-finding tree scan
 set -euo pipefail
 
@@ -31,17 +36,19 @@ JOBS="$(nproc)"
 
 run_lint=1
 run_tier1=1
+run_index=1
 run_ubsan=1
 run_tsan=1
 run_faults=1
 case "${1:-}" in
-  lint) run_tier1=0; run_ubsan=0; run_tsan=0; run_faults=0 ;;
-  ubsan) run_lint=0; run_tier1=0; run_tsan=0; run_faults=0 ;;
-  --tier1) run_lint=0; run_ubsan=0; run_tsan=0; run_faults=0 ;;
-  --tsan) run_lint=0; run_tier1=0; run_ubsan=0; run_faults=0 ;;
-  --faults) run_lint=0; run_tier1=0; run_ubsan=0; run_tsan=0 ;;
+  lint) run_tier1=0; run_index=0; run_ubsan=0; run_tsan=0; run_faults=0 ;;
+  ubsan) run_lint=0; run_tier1=0; run_index=0; run_tsan=0; run_faults=0 ;;
+  --tier1) run_lint=0; run_index=0; run_ubsan=0; run_tsan=0; run_faults=0 ;;
+  --index) run_lint=0; run_tier1=0; run_ubsan=0; run_tsan=0; run_faults=0 ;;
+  --tsan) run_lint=0; run_tier1=0; run_index=0; run_ubsan=0; run_faults=0 ;;
+  --faults) run_lint=0; run_tier1=0; run_index=0; run_ubsan=0; run_tsan=0 ;;
   "") ;;
-  *) echo "usage: tools/ci.sh [lint|ubsan|--tier1|--tsan|--faults]" >&2
+  *) echo "usage: tools/ci.sh [lint|ubsan|--tier1|--index|--tsan|--faults]" >&2
      exit 2 ;;
 esac
 
@@ -103,12 +110,56 @@ for case in report["cases"]:
         assert v["ns_per_elem"] > 0 and v["speedup"] > 0, v
 # The contiguous elementwise kernels are the pure vector path: even at
 # smoke sizes their best variant must not regress below the old serial
-# scalar loops.
+# scalar loops — and since the SpanGrain fix, so must EVERY vector
+# variant at <= 2 threads (mul/AVX2 used to hit 0.51x there because a
+# 64k-element span was forked across workers; the min-chunk floor keeps
+# it serial). Skipped per-op when the CPU has no AVX2 variants.
 for op in ("add", "mul", "axpy", "relu"):
-    best = max(v["speedup"] for v in cases[op]["variants"])
+    variants = cases[op]["variants"]
+    best = max(v["speedup"] for v in variants)
     assert best >= 1.0, f"{op}: best speedup {best:.2f} < 1.0"
+    for v in variants:
+        if v["isa"] == "avx2" and v["threads"] <= 2:
+            assert v["speedup"] >= 1.0, (
+                f"{op}: avx2 @{v['threads']} threads regressed to "
+                f"{v['speedup']:.2f}x vs scalar (SpanGrain floor broken?)")
 print(f"kernel-bench smoke OK: {len(cases)} cases, schema v1, "
       "vector path >= scalar reference")
+EOF
+fi
+
+if [[ "${run_index}" == 1 ]]; then
+  echo "== index: two-stage ANN suite + bench-index smoke gate =="
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release -DDESALIGN_WERROR=ON
+  cmake --build build -j "${JOBS}"
+  ctest --test-dir build --output-on-failure -j "${JOBS}" -L index
+
+  # Smoke sweep: one 10^4-entity case. The gate is correctness, not speed:
+  # schema desalign.index_bench.v1, full probe bit-exact vs brute force
+  # with recall@10 == 1.0. Partial probe only needs sane bounds here; its
+  # real recall floor (>= 0.95 at 10^5) is asserted on full BENCH runs.
+  ./build/tools/desalign bench-index --smoke \
+    --out=build/BENCH_index_smoke.json
+  python3 - <<'EOF'
+import json
+with open("build/BENCH_index_smoke.json") as f:
+    report = json.load(f)
+assert report["schema"] == "desalign.index_bench.v1", report.get("schema")
+assert len(report["cases"]) >= 1, "no bench cases"
+for case in report["cases"]:
+    assert case["entities"] > 0 and case["num_centroids"] > 0, case
+    paths = {p["path"]: p for p in case["paths"]}
+    assert {"brute", "ivf_full", "ivf_partial"} <= set(paths), set(paths)
+    full = paths["ivf_full"]
+    assert full["bitexact"] is True, "full probe diverged from brute force"
+    assert full["recall_at_k"] == 1.0, full["recall_at_k"]
+    partial = paths["ivf_partial"]
+    assert 0.0 <= partial["recall_at_k"] <= 1.0, partial["recall_at_k"]
+    for p in case["paths"]:
+        assert p["p50_ms"] > 0 and p["p99_ms"] >= p["p50_ms"], p
+        assert p["qps"] > 0, p
+print(f"index smoke OK: {len(report['cases'])} case(s), schema v1, "
+      "full probe bit-exact with recall@10 == 1.0")
 EOF
 fi
 
