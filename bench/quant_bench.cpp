@@ -1,0 +1,99 @@
+// Quantization benchmark: fp32 vs bf16 vs int8 embedding storage across an
+// entity-count sweep on clustered synthetic embeddings. For each dtype it
+// reports the table footprint and memory reduction vs fp32, single-query
+// p50/p99 latency, recall@k and Hits@1 agreement against fp32 brute-force
+// ground truth, and whether exact mode (int8 scan + fp32 re-rank over all
+// rows) is bit-exact vs the dequantized brute-force reference. Writes
+// BENCH_quant.json (schema "desalign.quant_bench.v1"); see
+// docs/PERFORMANCE.md for how to read it.
+//
+//   ./quant_bench [--out=BENCH_quant.json]
+//                 [--entities-list=10000,100000,1000000] [--dim=64]
+//                 [--queries=256] [--k=10] [--rerank=0] [--clusters=256]
+//                 [--smoke]
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "common/flags.h"
+#include "common/strings.h"
+#include "index/quant_bench.h"
+
+using namespace desalign;
+
+int main(int argc, char** argv) {
+  common::FlagParser parser(
+      "quant_bench: int8/bf16 embedding storage vs fp32 brute force");
+  std::string out_path, entities_list;
+  int64_t dim, queries, k, rerank, clusters;
+  double noise;
+  bool smoke;
+  parser.AddString("out", "BENCH_quant.json", "output JSON path", &out_path);
+  parser.AddString("entities-list", "10000,100000,1000000",
+                   "comma-separated entity counts to sweep", &entities_list);
+  parser.AddInt64("dim", 64, "embedding dimension", &dim);
+  parser.AddInt64("queries", 256, "queries per case", &queries);
+  parser.AddInt64("k", 10, "candidates per query", &k);
+  parser.AddInt64("rerank", 0,
+                  "int8 stage-2 fp32 re-rank width (0 = auto, <0 = exact)",
+                  &rerank);
+  parser.AddInt64("clusters", 256, "synthetic mixture components", &clusters);
+  parser.AddDouble("noise", 0.25, "synthetic per-coordinate noise", &noise);
+  parser.AddBool("smoke", false, "CI mode: smallest entity count only",
+                 &smoke);
+  auto status = parser.Parse(argc, argv);
+  if (!status.ok()) {
+    if (status.code() != common::StatusCode::kFailedPrecondition) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    return 0;  // --help
+  }
+
+  index::QuantBenchOptions options;
+  options.entity_counts.clear();
+  for (const auto& tok : common::Split(entities_list, ',')) {
+    const std::string trimmed(common::Trim(tok));
+    if (trimmed.empty()) continue;
+    options.entity_counts.push_back(std::atoll(trimmed.c_str()));
+  }
+  if (options.entity_counts.empty()) options.entity_counts = {10000};
+  options.dim = dim;
+  options.queries = queries;
+  options.k = k;
+  options.rerank_candidates = rerank;
+  options.clusters = clusters;
+  options.noise = noise;
+  options.smoke = smoke;
+
+  auto report = index::RunQuantBench(options);
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  out << report.ToJson();
+  out.close();
+
+  for (const auto& c : report.cases) {
+    std::printf("%ld entities, dim %ld, k %ld\n",
+                static_cast<long>(c.entities), static_cast<long>(c.dim),
+                static_cast<long>(c.k));
+    for (const auto& d : c.dtypes) {
+      std::printf("  %-5s %10ld B (%.2fx)  p50 %8.3f ms  p99 %8.3f ms  "
+                  "recall@%ld %.4f",
+                  d.dtype.c_str(), static_cast<long>(d.table_bytes),
+                  d.memory_reduction, d.p50_ms, d.p99_ms,
+                  static_cast<long>(c.k), d.recall_at_k);
+      if (d.dtype == "int8") std::printf(" (raw %.4f)", d.recall_at_k_raw);
+      std::printf("  hits@1 %.4f%s%s\n", d.hits_at_1,
+                  d.bitexact_full ? "  (bit-exact full)" : "",
+                  d.refined_exact_matches_fp32 ? " (refined == fp32)" : "");
+    }
+  }
+  std::printf("wrote %s (%zu cases)\n", out_path.c_str(), report.cases.size());
+  return 0;
+}

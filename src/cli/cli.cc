@@ -23,6 +23,8 @@
 #include "eval/table.h"
 #include "index/index_bench.h"
 #include "index/ivf.h"
+#include "index/quant_bench.h"
+#include "nn/quant.h"
 #include "kg/io.h"
 #include "kg/presets.h"
 #include "kg/synthetic.h"
@@ -788,6 +790,153 @@ Status CmdBenchIndex(const std::vector<std::string>& args,
   return Status::Ok();
 }
 
+// quantize: offline checkpoint conversion — loads an embedding tensor from
+// any supported checkpoint (v1/v2/v3), quantizes it row-wise, and writes a
+// dtype-tagged v3 checkpoint a serving process can Load or Reload.
+Status CmdQuantize(const std::vector<std::string>& args, std::ostream& out) {
+  FlagParser parser(
+      "desalign quantize: convert a checkpoint's embedding table to "
+      "int8/bf16 v3 storage");
+  std::string in_path;
+  std::string out_path;
+  std::string dtype_name;
+  int64_t tensor_index;
+  parser.AddString("in", "", "input checkpoint (v1/v2/v3)", &in_path);
+  parser.AddString("out", "", "output v3 checkpoint path", &out_path);
+  parser.AddString("dtype", "int8", "target dtype: int8|bf16|fp32",
+                   &dtype_name);
+  parser.AddInt64("tensor", 0, "tensor index within the checkpoint",
+                  &tensor_index);
+  auto argv = ToArgv(args);
+  DESALIGN_RETURN_NOT_OK(
+      parser.Parse(static_cast<int>(argv.size()), argv.data(), 0));
+  if (in_path.empty() || out_path.empty()) {
+    return Status::InvalidArgument("--in and --out are required");
+  }
+  DESALIGN_ASSIGN_OR_RETURN(const nn::TensorDtype dtype,
+                            nn::ParseDtype(dtype_name));
+
+  DESALIGN_ASSIGN_OR_RETURN(auto store,
+                            serve::EmbeddingStore::Load(in_path, tensor_index));
+  DESALIGN_ASSIGN_OR_RETURN(auto quantized, store.Quantize(dtype));
+  DESALIGN_RETURN_NOT_OK(quantized.Save(out_path));
+
+  const auto snap = quantized.Snapshot();
+  const auto before = store.Snapshot().MemoryBytes();
+  const auto after = snap.MemoryBytes();
+  out << "quantized " << snap.size() << " x " << snap.dim() << " "
+      << nn::DtypeName(store.Snapshot().dtype()) << " -> "
+      << nn::DtypeName(snap.dtype()) << ": "
+      << before << " -> " << after << " bytes ("
+      << common::FormatDouble(
+             after > 0 ? static_cast<double>(before) /
+                             static_cast<double>(after)
+                       : 0.0,
+             2)
+      << "x), wrote " << out_path << "\n";
+  return Status::Ok();
+}
+
+// bench-quant: fp32 vs bf16 vs int8 storage across an entity-count sweep;
+// writes BENCH_quant.json (schema desalign.quant_bench.v1, gated by
+// tools/ci.sh --quant).
+Status CmdBenchQuant(const std::vector<std::string>& args,
+                     std::ostream& out) {
+  FlagParser parser(
+      "desalign bench-quant: quantized embedding storage vs fp32 — memory, "
+      "latency, recall");
+  ThreadsFlag threads;
+  threads.Register(parser);
+  std::string out_path;
+  std::string entities_list;
+  int64_t dim;
+  int64_t num_queries;
+  int64_t k;
+  int64_t rerank;
+  int64_t clusters;
+  double noise;
+  bool smoke;
+  parser.AddString("out", "BENCH_quant.json", "output JSON path", &out_path);
+  parser.AddString("entities-list", "10000,100000,1000000",
+                   "comma-separated entity counts to sweep", &entities_list);
+  parser.AddInt64("dim", 64, "embedding dimension", &dim);
+  parser.AddInt64("queries", 256, "queries per case", &num_queries);
+  parser.AddInt64("k", 10, "candidates per query", &k);
+  parser.AddInt64("rerank", 0,
+                  "int8 stage-2 re-rank width (0 = auto, <0 = all rows)",
+                  &rerank);
+  parser.AddInt64("clusters", 256, "synthetic mixture components",
+                  &clusters);
+  parser.AddDouble("noise", 0.25, "synthetic per-coordinate noise",
+                   &noise);
+  parser.AddBool("smoke", false,
+                 "CI mode: smallest entity count only, fewer queries",
+                 &smoke);
+  auto argv = ToArgv(args);
+  DESALIGN_RETURN_NOT_OK(
+      parser.Parse(static_cast<int>(argv.size()), argv.data(), 0));
+  DESALIGN_RETURN_NOT_OK(threads.Apply());
+  if (num_queries <= 0 || k <= 0) {
+    return Status::InvalidArgument("--queries and --k must be positive");
+  }
+
+  index::QuantBenchOptions options;
+  options.entity_counts.clear();
+  for (const auto& tok : common::Split(entities_list, ',')) {
+    const std::string trimmed(common::Trim(tok));
+    if (trimmed.empty()) continue;
+    const int64_t n = std::atoll(trimmed.c_str());
+    if (n <= 0) {
+      return Status::InvalidArgument("--entities-list entries must be "
+                                     "positive integers, got '" + tok + "'");
+    }
+    options.entity_counts.push_back(n);
+  }
+  if (options.entity_counts.empty()) {
+    return Status::InvalidArgument("--entities-list is empty");
+  }
+  options.dim = dim;
+  options.queries = num_queries;
+  options.k = k;
+  options.rerank_candidates = rerank;
+  options.clusters = clusters;
+  options.noise = noise;
+  options.smoke = smoke;
+
+  const auto report = index::RunQuantBench(options);
+
+  std::ofstream file(out_path);
+  if (!file) {
+    return Status::InvalidArgument("cannot open '" + out_path +
+                                   "' for writing");
+  }
+  file << report.ToJson();
+  file.close();
+
+  for (const auto& c : report.cases) {
+    out << c.entities << " entities (dim " << c.dim << ", k " << c.k
+        << "):\n";
+    for (const auto& d : c.dtypes) {
+      out << "  " << d.dtype << ": "
+          << d.table_bytes << " B ("
+          << common::FormatDouble(d.memory_reduction, 2) << "x), p50 "
+          << common::FormatDouble(d.p50_ms, 3) << " ms, p99 "
+          << common::FormatDouble(d.p99_ms, 3) << " ms, recall@" << c.k
+          << " " << common::FormatDouble(d.recall_at_k, 4)
+          << (d.dtype == "int8"
+                  ? " (raw " + common::FormatDouble(d.recall_at_k_raw, 4) +
+                        ")"
+                  : "")
+          << ", hits@1 " << common::FormatDouble(d.hits_at_1, 4)
+          << (d.bitexact_full ? " (exact-mode bit-exact)" : "")
+          << (d.refined_exact_matches_fp32 ? " (refined == fp32)" : "")
+          << "\n";
+    }
+  }
+  out << "wrote " << out_path << " (" << report.cases.size() << " cases)\n";
+  return Status::Ok();
+}
+
 constexpr char kTopLevelUsage[] =
     "usage: desalign <command> [flags]\n"
     "commands:\n"
@@ -802,6 +951,10 @@ constexpr char kTopLevelUsage[] =
     "BENCH_kernels.json\n"
     "  bench-index  sweep entity counts, IVF index vs brute force, write "
     "BENCH_index.json\n"
+    "  quantize     convert a checkpoint's embeddings to int8/bf16 v3 "
+    "storage\n"
+    "  bench-quant  sweep entity counts, quantized storage vs fp32, write "
+    "BENCH_quant.json\n"
     "run `desalign <command> --help` for command flags.\n";
 
 }  // namespace
@@ -830,6 +983,10 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out) {
     status = CmdBenchKernels(rest, out);
   } else if (command == "bench-index") {
     status = CmdBenchIndex(rest, out);
+  } else if (command == "quantize") {
+    status = CmdQuantize(rest, out);
+  } else if (command == "bench-quant") {
+    status = CmdBenchQuant(rest, out);
   } else if (command == "--help" || command == "-h" || command == "help") {
     out << kTopLevelUsage;
     return 0;

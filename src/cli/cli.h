@@ -35,6 +35,18 @@ namespace desalign::cli {
 ///       it, replays queries through serve::BatchQueue from concurrent
 ///       submitters, and prints a latency/throughput table (p50/p95).
 ///
+///   quantize  --in=CKPT --out=CKPT [--dtype=int8|bf16|fp32] [--tensor=0]
+///       Loads an embedding table from a checkpoint, converts it to the
+///       requested storage dtype (per-row symmetric int8 or bf16), and
+///       writes a dtype-tagged v3 checkpoint for the serving path.
+///
+///   bench-quant  [--out=BENCH_quant.json] [--entities-list=..] [--dim=..]
+///             [--queries=..] [--k=..] [--rerank=..] [--clusters=..]
+///             [--noise=..] [--smoke]
+///       Quantization bench: per-dtype memory footprint, latency,
+///       recall@k / Hits@1 vs fp32 brute force, and the full-probe
+///       bit-exactness gate. Writes schema desalign.quant_bench.v1.
+///
 /// Every subcommand accepts --threads=N to size the global worker pool.
 ///
 /// Returns the process exit code; all output goes to `out` (results) and

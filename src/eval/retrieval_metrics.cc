@@ -1,0 +1,48 @@
+#include "eval/retrieval_metrics.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace desalign::eval {
+
+double MeanRecallAtK(const std::vector<std::vector<int64_t>>& truth,
+                     const std::vector<std::vector<int64_t>>& got) {
+  DESALIGN_CHECK_EQ(truth.size(), got.size());
+  if (truth.empty()) return 1.0;
+  double total = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i].empty()) {
+      total += 1.0;
+      continue;
+    }
+    // Both id lists are small (k entries); count the overlap directly.
+    int64_t hit = 0;
+    for (const int64_t id : got[i]) {
+      if (std::find(truth[i].begin(), truth[i].end(), id) !=
+          truth[i].end()) {
+        ++hit;
+      }
+    }
+    total +=
+        static_cast<double>(hit) / static_cast<double>(truth[i].size());
+  }
+  return total / static_cast<double>(truth.size());
+}
+
+double HitsAt1Agreement(const std::vector<std::vector<int64_t>>& truth,
+                        const std::vector<std::vector<int64_t>>& got) {
+  DESALIGN_CHECK_EQ(truth.size(), got.size());
+  if (truth.empty()) return 1.0;
+  int64_t agree = 0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i].empty()) {
+      ++agree;
+      continue;
+    }
+    if (!got[i].empty() && got[i][0] == truth[i][0]) ++agree;
+  }
+  return static_cast<double>(agree) / static_cast<double>(truth.size());
+}
+
+}  // namespace desalign::eval

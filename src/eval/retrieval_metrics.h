@@ -1,0 +1,30 @@
+#ifndef DESALIGN_EVAL_RETRIEVAL_METRICS_H_
+#define DESALIGN_EVAL_RETRIEVAL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace desalign::eval {
+
+/// Retrieval-quality metrics over per-query ranked id lists, shared by the
+/// index and quantization benches (src/index/*_bench.cc). They operate on
+/// raw id lists rather than serve::TopKResult so eval stays below serve in
+/// the dependency graph.
+
+/// Mean recall@k of `got` against `truth`: per query, the fraction of the
+/// truth ids that appear anywhere in the retrieved list, averaged over
+/// queries. An empty truth list counts as recall 1 (nothing to find);
+/// empty input overall returns 1.
+double MeanRecallAtK(const std::vector<std::vector<int64_t>>& truth,
+                     const std::vector<std::vector<int64_t>>& got);
+
+/// Fraction of queries whose rank-1 id agrees with the truth's rank-1 id —
+/// the serving-side analogue of Hits@1: how often the quantized path names
+/// the same best entity as the fp32 reference. Queries with an empty truth
+/// list count as agreeing; empty input overall returns 1.
+double HitsAt1Agreement(const std::vector<std::vector<int64_t>>& truth,
+                        const std::vector<std::vector<int64_t>>& got);
+
+}  // namespace desalign::eval
+
+#endif  // DESALIGN_EVAL_RETRIEVAL_METRICS_H_

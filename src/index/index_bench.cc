@@ -7,7 +7,8 @@
 
 #include "common/check.h"
 #include "common/rng.h"
-#include "common/stopwatch.h"
+#include "eval/retrieval_metrics.h"
+#include "index/bench_util.h"
 #include "index/ivf.h"
 #include "obs/metrics.h"
 #include "serve/embedding_store.h"
@@ -17,101 +18,22 @@ namespace desalign::index {
 
 namespace {
 
+using bench::BitExact;
+using bench::JsonNum;
+using bench::MixtureRows;
+using bench::UnitCenters;
 using serve::TopKResult;
-
-using RetrieveFn =
-    std::function<std::vector<TopKResult>(const float*, int64_t, int64_t)>;
-
-std::vector<float> UnitCenters(common::Rng& rng, int64_t clusters,
-                               int64_t dim) {
-  std::vector<float> centers(static_cast<size_t>(clusters * dim));
-  for (auto& v : centers) v = rng.UniformF(-1.0f, 1.0f);
-  serve::L2NormalizeRows(centers.data(), clusters, dim);
-  return centers;
-}
-
-std::vector<float> MixtureRows(common::Rng& rng,
-                               const std::vector<float>& centers,
-                               int64_t clusters, int64_t n, int64_t dim,
-                               double noise) {
-  std::vector<float> rows(static_cast<size_t>(n * dim));
-  const auto amp = static_cast<float>(noise);
-  for (int64_t i = 0; i < n; ++i) {
-    const float* center = centers.data() + rng.UniformInt(clusters) * dim;
-    float* row = rows.data() + i * dim;
-    for (int64_t j = 0; j < dim; ++j) {
-      row[j] = center[j] + amp * rng.UniformF(-1.0f, 1.0f);
-    }
-  }
-  return rows;
-}
-
-/// Issues the queries one by one (batch of 1, the online-serving shape)
-/// and fills mean/p50/p99/qps on `out`.
-void MeasureLatency(const RetrieveFn& retrieve, const float* queries,
-                    int64_t num_queries, int64_t dim, int64_t k,
-                    IndexBenchPath* out) {
-  std::vector<double> ms(static_cast<size_t>(num_queries));
-  common::Stopwatch total;
-  for (int64_t i = 0; i < num_queries; ++i) {
-    common::Stopwatch clock;
-    const auto result = retrieve(queries + i * dim, 1, k);
-    ms[static_cast<size_t>(i)] = clock.ElapsedMillis();
-    DESALIGN_CHECK_EQ(static_cast<int64_t>(result.size()), 1);
-  }
-  const double total_s = total.ElapsedSeconds();
-  double sum = 0.0;
-  for (const double v : ms) sum += v;
-  std::sort(ms.begin(), ms.end());
-  const auto at = [&](double q) {
-    const auto idx = static_cast<size_t>(
-        q * static_cast<double>(num_queries - 1));
-    return ms[idx];
-  };
-  out->mean_ms = sum / static_cast<double>(num_queries);
-  out->p50_ms = at(0.5);
-  out->p99_ms = at(0.99);
-  out->qps = total_s > 0.0 ? static_cast<double>(num_queries) / total_s : 0.0;
-}
 
 double MeanRecall(const std::vector<TopKResult>& truth,
                   const std::vector<TopKResult>& got) {
-  DESALIGN_CHECK_EQ(truth.size(), got.size());
-  if (truth.empty()) return 1.0;
-  double total = 0.0;
-  for (size_t i = 0; i < truth.size(); ++i) {
-    if (truth[i].ids.empty()) {
-      total += 1.0;
-      continue;
-    }
-    // Both id lists are small (k entries); count the overlap directly.
-    int64_t hit = 0;
-    for (const int64_t id : got[i].ids) {
-      if (std::find(truth[i].ids.begin(), truth[i].ids.end(), id) !=
-          truth[i].ids.end()) {
-        ++hit;
-      }
-    }
-    total += static_cast<double>(hit) /
-             static_cast<double>(truth[i].ids.size());
-  }
-  return total / static_cast<double>(truth.size());
+  return eval::MeanRecallAtK(bench::IdsOf(truth), bench::IdsOf(got));
 }
 
-bool BitExact(const std::vector<TopKResult>& a,
-              const std::vector<TopKResult>& b) {
-  if (a.size() != b.size()) return false;
-  for (size_t i = 0; i < a.size(); ++i) {
-    if (a[i].ids != b[i].ids || a[i].scores != b[i].scores) return false;
-  }
-  return true;
-}
-
-std::string JsonNum(double v) {
-  std::ostringstream os;
-  os.precision(6);
-  os << v;
-  return os.str();
+void FillLatency(const bench::LatencyStats& stats, IndexBenchPath* out) {
+  out->mean_ms = stats.mean_ms;
+  out->p50_ms = stats.p50_ms;
+  out->p99_ms = stats.p99_ms;
+  out->qps = stats.qps;
 }
 
 }  // namespace
@@ -200,11 +122,12 @@ IndexBenchReport RunIndexBench(const IndexBenchOptions& options) {
       path.recall_at_k = 1.0;
       path.bitexact = true;
       path.mean_candidates = static_cast<double>(n);
-      MeasureLatency(
-          [&](const float* q, int64_t b, int64_t k) {
-            return brute.Retrieve(q, b, k);
-          },
-          queries.data(), num_queries, dim, bench_case.k, &path);
+      FillLatency(bench::MeasureLatency(
+                      [&](const float* q, int64_t b, int64_t k) {
+                        return brute.Retrieve(q, b, k);
+                      },
+                      queries.data(), num_queries, dim, bench_case.k),
+                  &path);
       bench_case.paths.push_back(std::move(path));
     }
 
@@ -218,11 +141,12 @@ IndexBenchReport RunIndexBench(const IndexBenchOptions& options) {
       path.recall_at_k = MeanRecall(truth, got);
       path.bitexact = BitExact(truth, got);
       candidates.Reset();
-      MeasureLatency(
-          [&](const float* q, int64_t b, int64_t k) {
-            return ivf.RetrieveWithProbe(q, b, k, path.nprobe);
-          },
-          queries.data(), num_queries, dim, bench_case.k, &path);
+      FillLatency(bench::MeasureLatency(
+                      [&](const float* q, int64_t b, int64_t k) {
+                        return ivf.RetrieveWithProbe(q, b, k, path.nprobe);
+                      },
+                      queries.data(), num_queries, dim, bench_case.k),
+                  &path);
       const auto snapshot = candidates.Snapshot();
       path.mean_candidates = snapshot.mean;
       const double recall = path.recall_at_k;

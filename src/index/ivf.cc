@@ -40,6 +40,10 @@ IvfRetriever::IvfRetriever(serve::EmbeddingStore* store, IvfOptions options)
   candidates_ = &registry.GetHistogram(
       "index.candidates_per_query",
       obs::Histogram::ExponentialBuckets(1.0, 2.0, 30));
+  int8_queries_ = &registry.GetCounter("quant.int8_queries");
+  rerank_width_ = &registry.GetHistogram(
+      "quant.rerank_candidates",
+      obs::Histogram::ExponentialBuckets(1.0, 2.0, 30));
   Rebuild();
 }
 
@@ -77,6 +81,7 @@ void IvfRetriever::Rebuild() {
     pool.ParallelFor(
         0, num_shards,
         [&](int64_t sb, int64_t se) {
+          std::vector<float> scratch(static_cast<size_t>(dim));
           for (int64_t s = sb; s < se; ++s) {
             Shard& shard = built->shards[static_cast<size_t>(s)];
             shard.begin = s * n / num_shards;
@@ -84,8 +89,11 @@ void IvfRetriever::Rebuild() {
             const int64_t rows = shard.end - shard.begin;
             std::vector<int64_t> assign(static_cast<size_t>(rows));
             for (int64_t i = 0; i < rows; ++i) {
-              assign[static_cast<size_t>(i)] =
-                  NearestCentroid(built->coarse, snap.row(shard.begin + i));
+              // RowAsFloat dequantizes deterministically, so a row's cell
+              // is the same whatever shard/thread assigns it.
+              assign[static_cast<size_t>(i)] = NearestCentroid(
+                  built->coarse,
+                  snap.RowAsFloat(shard.begin + i, scratch.data()));
             }
             // Counting sort by centroid: rows are visited in ascending id
             // order, so every inverted list comes out id-ascending.
@@ -108,7 +116,6 @@ void IvfRetriever::Rebuild() {
           }
         },
         /*grain=*/1);
-    (void)dim;
   }
   built->build_ms = build_clock.ElapsedMillis();
   builds_->Increment();
@@ -152,12 +159,17 @@ std::vector<serve::TopKResult> IvfRetriever::RetrieveWithProbe(
   std::vector<float> q(queries, queries + num_queries * d);
   serve::L2NormalizeRows(q.data(), num_queries, d);
 
+  const nn::TensorDtype dtype = snap.dtype();
+  const int64_t rerank =
+      serve::ResolveRerankCandidates(options_.rerank_candidates, k, n);
+
   common::ThreadPool& pool =
       options_.pool != nullptr ? *options_.pool : common::ThreadPool::Global();
   const float* centroids = built->coarse.centroids.data();
   pool.ParallelFor(
       0, num_queries,
       [&](int64_t qb, int64_t qe) {
+        std::vector<float> scratch(static_cast<size_t>(d));
         for (int64_t i = qb; i < qe; ++i) {
           const float* qi = q.data() + i * d;
           // Stage 1: nearest cells by squared L2, ties toward the smaller
@@ -167,29 +179,57 @@ std::vector<serve::TopKResult> IvfRetriever::RetrieveWithProbe(
             probe.Offer(-SquaredL2(qi, centroids + c * d, d), c);
           }
           const std::vector<int64_t> cells = probe.FinishIds();
-          // Stage 2: exact re-rank of every entity in a probed list. The
-          // shard x cell visit order is irrelevant to the output — the
-          // candidate set is a set, and scoring::Better is total.
-          BoundedTopK heap(k);
+          // Stage 2: re-rank every entity in a probed list. The shard x
+          // cell visit order is irrelevant to the output — the candidate
+          // set is a set, and scoring::Better is total. fp32/bf16 rows are
+          // scored exactly in one pass; int8 rows go through the integer
+          // scan first, with only the best `rerank` survivors re-scored in
+          // fp32 (see docs/SERVING.md "Quantized serving").
+          BoundedTopK heap(dtype == nn::TensorDtype::kInt8 ? rerank : k);
           int64_t offered = 0;
+          serve::scoring::Int8Query qq;
+          if (dtype == nn::TensorDtype::kInt8) {
+            qq = serve::scoring::QuantizeQuery(qi, d);
+          }
           for (const Shard& shard : built->shards) {
             for (const int64_t c : cells) {
               const int64_t lb = shard.list_start[static_cast<size_t>(c)];
               const int64_t le = shard.list_start[static_cast<size_t>(c + 1)];
               for (int64_t e = lb; e < le; ++e) {
                 const int64_t id = shard.entries[static_cast<size_t>(e)];
-                heap.Offer(Dot(qi, snap.row(id), d), id);
+                if (dtype == nn::TensorDtype::kInt8) {
+                  heap.Offer(serve::scoring::Int8Score(
+                                 qq, snap.codes_row(id), snap.scale(id), d),
+                             id);
+                } else {
+                  heap.Offer(Dot(qi, snap.RowAsFloat(id, scratch.data()), d),
+                             id);
+                }
               }
               offered += le - lb;
             }
           }
-          results[static_cast<size_t>(i)] = heap.Finish();
+          if (dtype == nn::TensorDtype::kInt8) {
+            BoundedTopK final_heap(k);
+            for (const int64_t id : heap.FinishIds()) {
+              final_heap.Offer(Dot(qi, snap.RowAsFloat(id, scratch.data()),
+                                   d),
+                               id);
+            }
+            results[static_cast<size_t>(i)] = final_heap.Finish();
+          } else {
+            results[static_cast<size_t>(i)] = heap.Finish();
+          }
           candidates_->Record(static_cast<double>(offered));
         }
       },
       /*grain=*/1);
   queries_->Increment(num_queries);
   probes_->Increment(num_queries * nprobe);
+  if (dtype == nn::TensorDtype::kInt8) {
+    int8_queries_->Increment(num_queries);
+    rerank_width_->Record(static_cast<double>(rerank));
+  }
   return results;
 }
 

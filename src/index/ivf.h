@@ -39,6 +39,10 @@ struct IvfOptions {
   common::ThreadPool* pool = nullptr;  ///< null = ThreadPool::Global()
   /// Registry for `index.*` metrics; null = MetricsRegistry::Global().
   obs::MetricsRegistry* registry = nullptr;
+  /// int8 tables: stage-2 candidates kept by the integer scan per probed
+  /// set before the exact fp32 re-rank; same policy as
+  /// serve::TopKOptions::rerank_candidates (0 auto, >0 explicit, <0 all).
+  int64_t rerank_candidates = 0;
 };
 
 /// Two-stage deterministic ANN retriever: a k-means coarse quantizer
@@ -60,8 +64,17 @@ struct IvfOptions {
 /// build captures its own EmbeddingSnapshot. A failed reload leaves both
 /// the store and the index serving the last-good table.
 ///
+/// Quantized tables: list building and the coarse quantizer read rows
+/// through EmbeddingSnapshot::RowAsFloat (fixed-order scalar
+/// dequantization), so cell assignment is dtype-deterministic. For int8
+/// tables the probed lists are first scanned with the integer scorer and
+/// only the best `rerank_candidates` survivors are re-ranked in fp32; at
+/// full probe with rerank_candidates < 0 this is again byte-identical to
+/// RetrieveBruteForce over the same table.
+///
 /// Metrics (`index.*`): builds, build_ms, queries, probes,
-/// candidates_per_query.
+/// candidates_per_query; plus `quant.int8_queries` /
+/// `quant.rerank_candidates` when the table is int8.
 class IvfRetriever final : public serve::Retriever {
  public:
   /// Builds the index from the store's current snapshot; `store` must
@@ -129,6 +142,8 @@ class IvfRetriever final : public serve::Retriever {
   obs::Counter* queries_;            // owned by the registry
   obs::Counter* probes_;             // owned by the registry
   obs::Histogram* candidates_;       // owned by the registry
+  obs::Counter* int8_queries_;       // owned by the registry
+  obs::Histogram* rerank_width_;     // owned by the registry
 
   mutable common::Mutex mutex_;
   std::shared_ptr<const Built> built_ GUARDED_BY(mutex_);

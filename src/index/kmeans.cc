@@ -61,10 +61,14 @@ KMeansModel TrainKMeans(const serve::EmbeddingSnapshot& table,
   const int64_t t = static_cast<int64_t>(train_rows.size());
 
   // Initial centroids: k distinct training rows drawn from the seeded Rng.
+  // Rows are read through RowAsFloat so quantized tables train the same
+  // quantizer everywhere (dequantization is fixed-order scalar math).
   model.centroids.resize(static_cast<size_t>(k * dim));
+  std::vector<float> scratch(static_cast<size_t>(dim));
   const std::vector<int64_t> init = rng.SampleWithoutReplacement(t, k);
   for (int64_t c = 0; c < k; ++c) {
-    const float* src = table.row(train_rows[static_cast<size_t>(init[c])]);
+    const float* src = table.RowAsFloat(
+        train_rows[static_cast<size_t>(init[c])], scratch.data());
     std::copy(src, src + dim, model.centroids.data() + c * dim);
   }
 
@@ -82,10 +86,12 @@ KMeansModel TrainKMeans(const serve::EmbeddingSnapshot& table,
     pool.ParallelFor(
         0, t,
         [&](int64_t begin, int64_t end) {
+          std::vector<float> chunk_scratch(static_cast<size_t>(dim));
           for (int64_t i = begin; i < end; ++i) {
-            assign[static_cast<size_t>(i)] =
-                NearestOf(table.row(train_rows[static_cast<size_t>(i)]),
-                          model.centroids.data(), k, dim);
+            assign[static_cast<size_t>(i)] = NearestOf(
+                table.RowAsFloat(train_rows[static_cast<size_t>(i)],
+                                 chunk_scratch.data()),
+                model.centroids.data(), k, dim);
           }
         },
         grain);
@@ -98,7 +104,8 @@ KMeansModel TrainKMeans(const serve::EmbeddingSnapshot& table,
     std::fill(counts.begin(), counts.end(), 0);
     for (int64_t i = 0; i < t; ++i) {
       const int64_t c = assign[static_cast<size_t>(i)];
-      const float* row = table.row(train_rows[static_cast<size_t>(i)]);
+      const float* row = table.RowAsFloat(
+          train_rows[static_cast<size_t>(i)], scratch.data());
       double* sum = sums.data() + c * dim;
       for (int64_t j = 0; j < dim; ++j) sum[j] += row[j];
       ++counts[static_cast<size_t>(c)];

@@ -1,0 +1,76 @@
+#ifndef DESALIGN_INDEX_QUANT_BENCH_H_
+#define DESALIGN_INDEX_QUANT_BENCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace desalign::index {
+
+/// Entity-count sweep measuring what quantized embedding storage costs in
+/// accuracy and buys in memory: for each dtype (fp32 baseline, bf16, int8)
+/// the table footprint, single-query latency, recall@k and Hits@1
+/// agreement against fp32 brute-force ground truth, and the full-probe
+/// bit-exactness invariant (int8 scan + fp32 re-rank over all rows must
+/// reproduce the dequantized brute-force reference byte for byte).
+struct QuantBenchOptions {
+  std::vector<int64_t> entity_counts = {10000, 100000, 1000000};
+  int64_t dim = 64;
+  int64_t queries = 256;  ///< per case; latency is measured per query
+  int64_t k = 10;
+  /// Stage-1 int8 candidates re-ranked in fp32 for the measured (non-
+  /// exact-mode) path; 0 = auto (min(n, max(4k, 64))).
+  int64_t rerank_candidates = 0;
+  int64_t clusters = 256;  ///< mixture components in the synthetic data
+  double noise = 0.25;     ///< per-coordinate noise amplitude
+  uint64_t seed = 20240808;
+  /// CI mode: only the smallest entity count, fewer queries.
+  bool smoke = false;
+};
+
+/// One measured dtype within a case.
+struct QuantBenchDtype {
+  std::string dtype;          ///< "fp32" | "bf16" | "int8"
+  int64_t table_bytes = 0;    ///< EmbeddingTable::MemoryBytes()
+  double memory_reduction = 0.0;  ///< fp32_bytes / table_bytes
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double qps = 0.0;
+  double recall_at_k = 0.0;    ///< vs fp32 brute-force ground truth
+  /// int8 only: recall of the self-contained path (stage-2 over
+  /// dequantized rows, no checkpoint source). Equals recall_at_k for
+  /// fp32/bf16. The headline recall_at_k for int8 is measured with
+  /// full-precision refinement: stage-2 rows fetched on demand from the
+  /// source fp32 checkpoint on disk, so only the int8 table is resident.
+  double recall_at_k_raw = 0.0;
+  double hits_at_1 = 0.0;      ///< rank-1 agreement with fp32 truth
+  double hits_at_1_delta = 0.0;  ///< fp32 hits@1 minus this dtype's
+  /// Exact mode (rerank all) over this dtype's table byte-equals its own
+  /// dequantized brute-force reference — the determinism-contract gate.
+  bool bitexact_full = false;
+  /// int8 only: exact mode with the fp32 row source byte-equals the fp32
+  /// baseline's brute force — full-probe int8 scan + fp32 re-rank IS fp32
+  /// brute force, bit for bit.
+  bool refined_exact_matches_fp32 = false;
+  int64_t rerank_candidates = 0;  ///< resolved stage-2 width (int8 only)
+};
+
+struct QuantBenchCase {
+  int64_t entities = 0;
+  int64_t dim = 0;
+  int64_t k = 0;
+  std::vector<QuantBenchDtype> dtypes;
+};
+
+struct QuantBenchReport {
+  std::vector<QuantBenchCase> cases;
+  /// Schema desalign.quant_bench.v1; validated by tools/ci.sh --quant.
+  std::string ToJson() const;
+};
+
+QuantBenchReport RunQuantBench(const QuantBenchOptions& options);
+
+}  // namespace desalign::index
+
+#endif  // DESALIGN_INDEX_QUANT_BENCH_H_

@@ -39,6 +39,27 @@ constexpr uint32_t kHasOptimizer = 1;
 constexpr uint32_t kHasRng = 2;
 constexpr uint32_t kHasTrain = 4;
 
+// v3 layout (docs/ROBUSTNESS.md): same envelope (magic, footer CRC over the
+// body, end marker), but every tensor record carries a dtype tag and a
+// dtype-specific payload. v3 files are params-only (flags must be 0).
+//   kMagicV3
+//   -- footer-checksummed region --
+//   u32 version(3) | i64 epoch | u32 flags(0) | i64 tensor_count
+//   per tensor: u8 dtype | i64 rows | i64 cols |
+//     dtype 0 (fp32): f32[rows*cols] | u32 crc
+//     dtype 1 (int8): i64 scale_count | f32 scales[scale_count] | u32 crc
+//                     | i8 codes[rows*cols] | u32 crc
+//     dtype 2 (bf16): u16[rows*cols] | u32 crc
+//   -- region ends --
+//   u32 footer_crc(region) | kEndMarker
+// scale_count is stored explicitly (it must equal rows) so a file whose
+// scale array disagrees with its shape is rejected as corrupt instead of
+// silently misframing every record after it.
+constexpr char kMagicV3[] = "DESALIGNCKPT3\n";
+constexpr size_t kMagicV3Len = sizeof(kMagicV3) - 1;
+constexpr uint32_t kVersionV3 = 3;
+static_assert(kMagicV3Len == kMagicLen, "v2/v3 magics must share a length");
+
 constexpr char kLegacyMagic[] = "DESALIGNPARAMS1";
 constexpr size_t kLegacyMagicLen = sizeof(kLegacyMagic) - 1;
 
@@ -52,6 +73,14 @@ void AppendFloats(std::string* out, const std::vector<float>& values) {
   out->append(reinterpret_cast<const char*>(values.data()),
               values.size() * sizeof(float));
   Append<uint32_t>(out, Crc32(values.data(), values.size() * sizeof(float)));
+}
+
+template <typename T>
+void AppendArray(std::string* out, const std::vector<T>& values) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out->append(reinterpret_cast<const char*>(values.data()),
+              values.size() * sizeof(T));
+  Append<uint32_t>(out, Crc32(values.data(), values.size() * sizeof(T)));
 }
 
 /// Bounds-checked forward-only reader over the in-memory file. Every Read
@@ -70,10 +99,12 @@ class ByteReader {
     return true;
   }
 
-  /// Reads `count` floats plus their trailing CRC; false on truncation,
+  /// Reads `count` elements plus their trailing CRC; false on truncation,
   /// CRC mismatch sets `*crc_ok` false (payload is still consumed).
-  bool ReadFloats(size_t count, std::vector<float>* out, bool* crc_ok) {
-    const size_t payload = count * sizeof(float);
+  template <typename T>
+  bool ReadArray(size_t count, std::vector<T>* out, bool* crc_ok) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const size_t payload = count * sizeof(T);
     if (remaining() < payload + sizeof(uint32_t)) return false;
     out->resize(count);
     std::memcpy(out->data(), bytes_.data() + pos_, payload);
@@ -83,6 +114,10 @@ class ByteReader {
     Read(&stored);
     *crc_ok = stored == actual;
     return true;
+  }
+
+  bool ReadFloats(size_t count, std::vector<float>* out, bool* crc_ok) {
+    return ReadArray<float>(count, out, crc_ok);
   }
 
   bool ReadString(size_t count, std::string* out) {
@@ -103,10 +138,178 @@ Status Corrupt(const std::string& path, const std::string& detail) {
   return Status::IoError("corrupt checkpoint " + path + ": " + detail);
 }
 
+std::string SealFile(const char* magic, const std::string& body) {
+  std::string file;
+  file.reserve(kMagicLen + body.size() + sizeof(uint32_t) + kEndMarkerLen);
+  file.append(magic, kMagicLen);
+  file.append(body);
+  Append<uint32_t>(&file, Crc32(body.data(), body.size()));
+  file.append(kEndMarker, kEndMarkerLen);
+  return file;
+}
+
+Status SaveCheckpointV3(const TrainingCheckpoint& ckpt,
+                        const std::string& path) {
+  if (!ckpt.tensors.empty()) {
+    return Status::InvalidArgument(
+        "a v3 checkpoint stores quant_tensors only; move fp32 tensors into "
+        "quant_tensors as kFloat32 records");
+  }
+  if (ckpt.has_optimizer || ckpt.has_rng || ckpt.has_train_state) {
+    return Status::InvalidArgument(
+        "quantized checkpoints are params-only snapshots; optimizer / rng / "
+        "train state cannot be attached");
+  }
+  std::string body;
+  Append<uint32_t>(&body, kVersionV3);
+  Append<int64_t>(&body, ckpt.epoch);
+  Append<uint32_t>(&body, 0);  // flags: always 0 in v3
+  Append<int64_t>(&body, static_cast<int64_t>(ckpt.quant_tensors.size()));
+  for (size_t i = 0; i < ckpt.quant_tensors.size(); ++i) {
+    const QuantTensor& q = ckpt.quant_tensors[i];
+    const size_t elems = static_cast<size_t>(q.rows * q.cols);
+    Append<uint8_t>(&body, static_cast<uint8_t>(q.dtype));
+    Append<int64_t>(&body, q.rows);
+    Append<int64_t>(&body, q.cols);
+    switch (q.dtype) {
+      case TensorDtype::kFloat32:
+        if (q.f32.size() != elems) {
+          return Status::InvalidArgument("tensor " + std::to_string(i) +
+                                         ": fp32 payload size mismatch");
+        }
+        AppendArray(&body, q.f32);
+        break;
+      case TensorDtype::kInt8:
+        if (q.codes.size() != elems ||
+            q.scales.size() != static_cast<size_t>(q.rows)) {
+          return Status::InvalidArgument("tensor " + std::to_string(i) +
+                                         ": int8 payload size mismatch");
+        }
+        Append<int64_t>(&body, static_cast<int64_t>(q.scales.size()));
+        AppendArray(&body, q.scales);
+        AppendArray(&body, q.codes);
+        break;
+      case TensorDtype::kBf16:
+        if (q.bf16.size() != elems) {
+          return Status::InvalidArgument("tensor " + std::to_string(i) +
+                                         ": bf16 payload size mismatch");
+        }
+        AppendArray(&body, q.bf16);
+        break;
+      default:
+        return Status::InvalidArgument("tensor " + std::to_string(i) +
+                                       ": unknown dtype");
+    }
+  }
+  return common::AtomicWriteFile(path, SealFile(kMagicV3, body),
+                                 "ckpt.write");
+}
+
+Result<TrainingCheckpoint> LoadCheckpointV3(const std::string& path,
+                                            ByteReader& reader) {
+  uint32_t version = 0;
+  uint32_t flags = 0;
+  int64_t tensor_count = 0;
+  TrainingCheckpoint ckpt;
+  if (!reader.Read(&version) || !reader.Read(&ckpt.epoch) ||
+      !reader.Read(&flags) || !reader.Read(&tensor_count)) {
+    return Corrupt(path, "truncated header");
+  }
+  if (version != kVersionV3) {
+    return Status::IoError(path + " has unsupported checkpoint version " +
+                           std::to_string(version));
+  }
+  if (flags != 0) {
+    return Corrupt(path, "v3 checkpoint with nonzero flags " +
+                             std::to_string(flags));
+  }
+  if (tensor_count < 0 || ckpt.epoch < 0) {
+    return Corrupt(path, "negative header field");
+  }
+  bool crc_ok = true;
+  for (int64_t t = 0; t < tensor_count; ++t) {
+    QuantTensor q;
+    uint8_t dtype_tag = 0;
+    if (!reader.Read(&dtype_tag) || !reader.Read(&q.rows) ||
+        !reader.Read(&q.cols)) {
+      return Corrupt(path, "truncated tensor header");
+    }
+    if (dtype_tag > static_cast<uint8_t>(TensorDtype::kBf16)) {
+      return Corrupt(path, "tensor " + std::to_string(t) +
+                               " has unknown dtype id " +
+                               std::to_string(dtype_tag));
+    }
+    q.dtype = static_cast<TensorDtype>(dtype_tag);
+    const size_t elem_bytes = DtypeBytes(q.dtype);
+    if (q.rows < 0 || q.cols < 0 ||
+        (q.cols > 0 &&
+         q.rows > static_cast<int64_t>(reader.remaining() / elem_bytes) /
+                      q.cols)) {
+      return Corrupt(path, "implausible tensor shape " +
+                               std::to_string(q.rows) + "x" +
+                               std::to_string(q.cols));
+    }
+    const size_t elems = static_cast<size_t>(q.rows * q.cols);
+    switch (q.dtype) {
+      case TensorDtype::kFloat32:
+        if (!reader.ReadArray(elems, &q.f32, &crc_ok)) {
+          return Corrupt(path, "truncated tensor payload");
+        }
+        break;
+      case TensorDtype::kInt8: {
+        int64_t scale_count = 0;
+        if (!reader.Read(&scale_count)) {
+          return Corrupt(path, "truncated scale count");
+        }
+        if (scale_count != q.rows) {
+          return Corrupt(path, "tensor " + std::to_string(t) +
+                                   " scale count " +
+                                   std::to_string(scale_count) +
+                                   " does not match rows " +
+                                   std::to_string(q.rows));
+        }
+        if (!reader.ReadArray(static_cast<size_t>(scale_count), &q.scales,
+                              &crc_ok)) {
+          return Corrupt(path, "truncated scale payload");
+        }
+        if (!crc_ok) {
+          return Corrupt(path, "tensor " + std::to_string(t) +
+                                   " scale checksum mismatch");
+        }
+        if (!reader.ReadArray(elems, &q.codes, &crc_ok)) {
+          return Corrupt(path, "truncated tensor payload");
+        }
+        break;
+      }
+      case TensorDtype::kBf16:
+        if (!reader.ReadArray(elems, &q.bf16, &crc_ok)) {
+          return Corrupt(path, "truncated tensor payload");
+        }
+        break;
+    }
+    if (!crc_ok) {
+      return Corrupt(path, "tensor " + std::to_string(t) +
+                               " checksum mismatch");
+    }
+    // Fill the fp32 view alongside the stored payload so every legacy
+    // consumer (LoadAllParameters, serve reload) reads v3 transparently.
+    ckpt.tensors.push_back(DequantizeTensor(q));
+    ckpt.quant_tensors.push_back(std::move(q));
+  }
+  if (reader.remaining() != 0) {
+    return Corrupt(path, std::to_string(reader.remaining()) +
+                             " unexpected trailing bytes");
+  }
+  return ckpt;
+}
+
 }  // namespace
 
 Status SaveCheckpoint(const TrainingCheckpoint& ckpt,
                       const std::string& path) {
+  if (!ckpt.quant_tensors.empty()) {
+    return SaveCheckpointV3(ckpt, path);
+  }
   if (ckpt.has_optimizer && (ckpt.opt_m.size() != ckpt.tensors.size() ||
                              ckpt.opt_v.size() != ckpt.tensors.size())) {
     return Status::InvalidArgument(
@@ -150,20 +353,15 @@ Status SaveCheckpoint(const TrainingCheckpoint& ckpt,
     Append<float>(&body, ckpt.lr_scale);
   }
 
-  std::string file;
-  file.reserve(kMagicLen + body.size() + sizeof(uint32_t) + kEndMarkerLen);
-  file.append(kMagic, kMagicLen);
-  file.append(body);
-  Append<uint32_t>(&file, Crc32(body.data(), body.size()));
-  file.append(kEndMarker, kEndMarkerLen);
-  return common::AtomicWriteFile(path, file, "ckpt.write");
+  return common::AtomicWriteFile(path, SealFile(kMagic, body), "ckpt.write");
 }
 
 bool IsVersionedCheckpoint(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   char magic[kMagicLen];
   in.read(magic, kMagicLen);
-  return in && std::memcmp(magic, kMagic, kMagicLen) == 0;
+  return in && (std::memcmp(magic, kMagic, kMagicLen) == 0 ||
+                std::memcmp(magic, kMagicV3, kMagicV3Len) == 0);
 }
 
 Result<TrainingCheckpoint> LoadCheckpoint(const std::string& path) {
@@ -179,8 +377,11 @@ Result<TrainingCheckpoint> LoadCheckpoint(const std::string& path) {
     ckpt.tensors = std::move(tensors);
     return ckpt;
   }
+  const bool is_v3 =
+      bytes.size() >= kMagicV3Len &&
+      std::memcmp(bytes.data(), kMagicV3, kMagicV3Len) == 0;
   if (bytes.size() < kMagicLen + sizeof(uint32_t) + kEndMarkerLen ||
-      std::memcmp(bytes.data(), kMagic, kMagicLen) != 0) {
+      (!is_v3 && std::memcmp(bytes.data(), kMagic, kMagicLen) != 0)) {
     return Status::IoError(path + " is not a DESAlign checkpoint");
   }
   if (std::memcmp(bytes.data() + bytes.size() - kEndMarkerLen, kEndMarker,
@@ -197,6 +398,7 @@ Result<TrainingCheckpoint> LoadCheckpoint(const std::string& path) {
   }
 
   ByteReader reader(std::string_view(bytes).substr(kMagicLen, body_len));
+  if (is_v3) return LoadCheckpointV3(path, reader);
   uint32_t version = 0;
   uint32_t flags = 0;
   int64_t tensor_count = 0;

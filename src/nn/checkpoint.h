@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "nn/quant.h"
 #include "tensor/tensor.h"
 
 namespace desalign::nn {
@@ -15,9 +16,17 @@ namespace desalign::nn {
 /// scalar state (early-stop bookkeeping and the non-finite LR backoff).
 /// The params-only subset (`tensors` with every `has_*` flag false) is the
 /// shape serve-side embedding snapshots use.
+///
+/// `quant_tensors` is the v3 dtype-tagged path: when non-empty the
+/// checkpoint is a params-only quantized snapshot (no optimizer / RNG /
+/// train state — fp32 moments for int8 params make no sense) and
+/// SaveCheckpoint writes the v3 format. Loading a v3 file fills
+/// `quant_tensors` with the stored payloads AND `tensors` with their
+/// dequantized fp32 views, so every legacy fp32 consumer keeps working.
 struct TrainingCheckpoint {
   int64_t epoch = 0;  ///< last completed epoch (0-based)
   std::vector<tensor::TensorPtr> tensors;
+  std::vector<QuantTensor> quant_tensors;  ///< non-empty => v3 on save
 
   bool has_optimizer = false;
   int64_t opt_step = 0;
@@ -39,20 +48,28 @@ struct TrainingCheckpoint {
 /// and a trailing end marker. The file is published atomically (tmp +
 /// fsync + rename via common::AtomicWriteFile, fault site "ckpt.write"),
 /// so a crash mid-save never clobbers an existing checkpoint.
-/// See docs/ROBUSTNESS.md for the byte layout.
+///
+/// When `quant_tensors` is non-empty the v3 format is written instead:
+/// same envelope, but each tensor record is `u8 dtype | i64 rows |
+/// i64 cols | dtype-specific payload` (int8 adds an explicit scale count
+/// plus a separately checksummed scale array). v3 files are params-only:
+/// `tensors` must be empty and every `has_*` flag false, or the save is
+/// rejected. See docs/ROBUSTNESS.md for both byte layouts.
 common::Status SaveCheckpoint(const TrainingCheckpoint& ckpt,
                               const std::string& path);
 
-/// Loads and fully validates a v2 checkpoint: head/tail magic, footer CRC,
-/// bounds-checked section parsing, per-payload CRCs. Any corruption —
-/// truncation, torn write, bit flip — yields a clean error Status; corrupt
-/// data is never returned. Also accepts legacy SaveParameters (v1) files,
-/// which load as params-only checkpoints (no integrity check beyond shape
-/// plausibility — v1 predates checksums). Fault site "ckpt.read".
+/// Loads and fully validates a v2 or v3 checkpoint: head/tail magic,
+/// footer CRC, bounds-checked section parsing, per-payload CRCs (v3 also
+/// checks dtype ids and the int8 scale count against the record shape).
+/// Any corruption — truncation, torn write, bit flip — yields a clean
+/// error Status; corrupt data is never returned. Also accepts legacy
+/// SaveParameters (v1) files, which load as params-only checkpoints (no
+/// integrity check beyond shape plausibility — v1 predates checksums).
+/// Fault site "ckpt.read".
 common::Result<TrainingCheckpoint> LoadCheckpoint(const std::string& path);
 
-/// True when `path` starts with the v2 checkpoint magic. Missing or short
-/// files report false.
+/// True when `path` starts with the v2 or v3 checkpoint magic. Missing or
+/// short files report false.
 bool IsVersionedCheckpoint(const std::string& path);
 
 /// Rotating last-K checkpoint directory with a manifest. Files are named

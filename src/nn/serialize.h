@@ -22,9 +22,12 @@ common::Status LoadParameters(const std::vector<tensor::TensorPtr>& params,
 
 /// Loads every tensor of a SaveParameters checkpoint, discovering count
 /// and shapes from the file — the entry point for consumers (e.g.
-/// serve::EmbeddingStore) that have no model to dictate shapes. Corrupt,
-/// truncated or implausible headers produce a clean error Status, never a
-/// crash or an over-allocation.
+/// serve::EmbeddingStore) that have no model to dictate shapes. Sniffs the
+/// magic: legacy DESALIGNPARAMS1 files are read directly, while versioned
+/// v2/v3 checkpoints (nn/checkpoint.h) are routed through LoadCheckpoint,
+/// so dtype-tagged v3 records come back transparently dequantized to
+/// float32. Corrupt, truncated or implausible headers produce a clean
+/// error Status, never a crash or an over-allocation.
 common::Result<std::vector<tensor::TensorPtr>> LoadAllParameters(
     const std::string& path);
 

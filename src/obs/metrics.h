@@ -123,8 +123,8 @@ class Series {
 /// first lookup and live for the process lifetime, so call sites may cache
 /// the returned references; Reset zeroes values in place and never
 /// invalidates them. Names are dot-separated paths (`train.epochs`,
-/// `serve.latency_ms`) and form a stable reporting interface — see
-/// docs/OBSERVABILITY.md before renaming anything.
+/// `serve.latency_ms`, `quant.int8_queries`) and form a stable reporting
+/// interface — see docs/OBSERVABILITY.md before renaming anything.
 ///
 /// The `detail` flag gates derived measurements that cost real compute
 /// (e.g. per-iteration Dirichlet-energy evaluation during semantic

@@ -22,7 +22,50 @@ const std::shared_ptr<const EmbeddingTable>& EmptyTable() {
   return empty;
 }
 
+std::shared_ptr<const EmbeddingTable> TableFromQuantTensor(
+    const nn::QuantTensor& q) {
+  auto table = std::make_shared<EmbeddingTable>();
+  table->rows = q.rows;
+  table->cols = q.cols;
+  table->dtype = q.dtype;
+  switch (q.dtype) {
+    case nn::TensorDtype::kFloat32:
+      table->data = q.f32;
+      break;
+    case nn::TensorDtype::kInt8:
+      table->codes = q.codes;
+      table->scales = q.scales;
+      break;
+    case nn::TensorDtype::kBf16:
+      table->bf16 = q.bf16;
+      break;
+  }
+  return table;
+}
+
 }  // namespace
+
+size_t EmbeddingTable::MemoryBytes() const {
+  return data.size() * sizeof(float) + codes.size() * sizeof(int8_t) +
+         scales.size() * sizeof(float) + bf16.size() * sizeof(uint16_t);
+}
+
+const float* EmbeddingSnapshot::RowAsFloat(int64_t i, float* scratch) const {
+  const int64_t d = table_->cols;
+  switch (table_->dtype) {
+    case nn::TensorDtype::kFloat32:
+      return table_->data.data() + i * d;
+    case nn::TensorDtype::kInt8:
+      nn::quant::DequantizeRow(table_->codes.data() + i * d, d,
+                               table_->scales[static_cast<size_t>(i)],
+                               scratch);
+      return scratch;
+    case nn::TensorDtype::kBf16:
+      nn::quant::Bf16DecodeRow(table_->bf16.data() + i * d, d, scratch);
+      return scratch;
+  }
+  return scratch;
+}
 
 void L2NormalizeRows(float* data, int64_t rows, int64_t dim, float eps) {
   for (int64_t r = 0; r < rows; ++r) {
@@ -58,6 +101,12 @@ EmbeddingStore::EmbeddingStore(int64_t rows, int64_t cols,
   table->rows = rows;
   table->cols = cols;
   table->data = std::move(data);
+  common::MutexLock lock(mutex_);
+  table_ = std::move(table);
+}
+
+EmbeddingStore::EmbeddingStore(std::shared_ptr<const EmbeddingTable> table) {
+  DESALIGN_CHECK(table != nullptr);
   common::MutexLock lock(mutex_);
   table_ = std::move(table);
 }
@@ -117,20 +166,46 @@ EmbeddingStore EmbeddingStore::FromRows(int64_t rows, int64_t cols,
 common::Status EmbeddingStore::Save(const std::string& path) const {
   const auto table = SharedTable();
   nn::TrainingCheckpoint ckpt;
-  ckpt.tensors.push_back(
-      tensor::Tensor::FromData(table->rows, table->cols, table->data));
+  if (table->dtype == nn::TensorDtype::kFloat32) {
+    ckpt.tensors.push_back(
+        tensor::Tensor::FromData(table->rows, table->cols, table->data));
+  } else {
+    nn::QuantTensor q;
+    q.dtype = table->dtype;
+    q.rows = table->rows;
+    q.cols = table->cols;
+    q.codes = table->codes;
+    q.scales = table->scales;
+    q.bf16 = table->bf16;
+    ckpt.quant_tensors.push_back(std::move(q));
+  }
   return nn::SaveCheckpoint(ckpt, path);
 }
 
 common::Result<EmbeddingStore> EmbeddingStore::Load(const std::string& path,
                                                     int64_t tensor_index) {
-  DESALIGN_ASSIGN_OR_RETURN(auto tensors, nn::LoadAllParameters(path));
+  DESALIGN_ASSIGN_OR_RETURN(auto ckpt, nn::LoadCheckpoint(path));
+  const auto& tensors = ckpt.tensors;
   if (tensor_index < 0 ||
       tensor_index >= static_cast<int64_t>(tensors.size())) {
     return common::Status::InvalidArgument(
         "checkpoint " + path + " holds " + std::to_string(tensors.size()) +
         " tensors; index " + std::to_string(tensor_index) +
         " is out of range");
+  }
+  // v3 checkpoints carry the stored dtype alongside the fp32 view; adopt
+  // quantized records verbatim so codes and scales round-trip bit-exactly
+  // (re-normalizing a dequantized view would silently perturb scores).
+  if (!ckpt.quant_tensors.empty()) {
+    const auto& q = ckpt.quant_tensors[static_cast<size_t>(tensor_index)];
+    if (q.rows <= 0 || q.cols <= 0) {
+      return common::Status::InvalidArgument(
+          "checkpoint tensor " + std::to_string(tensor_index) +
+          " is empty; cannot serve from it");
+    }
+    if (q.dtype != nn::TensorDtype::kFloat32) {
+      return EmbeddingStore(TableFromQuantTensor(q));
+    }
   }
   const auto& t = tensors[static_cast<size_t>(tensor_index)];
   if (t->rows() <= 0 || t->cols() <= 0) {
@@ -139,6 +214,41 @@ common::Result<EmbeddingStore> EmbeddingStore::Load(const std::string& path,
         " is empty; cannot serve from it");
   }
   return EmbeddingStore(t->rows(), t->cols(), t->data());
+}
+
+common::Result<EmbeddingStore> EmbeddingStore::Quantize(
+    nn::TensorDtype dtype) const {
+  const auto table = SharedTable();
+  if (table->dtype != nn::TensorDtype::kFloat32) {
+    return common::Status::InvalidArgument(
+        std::string("cannot quantize a ") + nn::DtypeName(table->dtype) +
+        " table; quantize from the fp32 original");
+  }
+  if (dtype == nn::TensorDtype::kFloat32) return *this;
+  auto out = std::make_shared<EmbeddingTable>();
+  out->rows = table->rows;
+  out->cols = table->cols;
+  out->dtype = dtype;
+  if (dtype == nn::TensorDtype::kInt8) {
+    out->codes.resize(table->data.size());
+    out->scales.resize(static_cast<size_t>(table->rows));
+    for (int64_t r = 0; r < table->rows; ++r) {
+      const common::Status status = nn::quant::QuantizeRow(
+          table->data.data() + r * table->cols, table->cols,
+          out->codes.data() + r * table->cols, out->scales.data() + r);
+      if (!status.ok()) {
+        return common::Status::InvalidArgument(
+            "row " + std::to_string(r) + ": " + status.message());
+      }
+    }
+  } else {
+    out->bf16.resize(table->data.size());
+    nn::quant::Bf16EncodeRow(table->data.data(),
+                             static_cast<int64_t>(table->data.size()),
+                             out->bf16.data());
+  }
+  return EmbeddingStore(
+      std::shared_ptr<const EmbeddingTable>(std::move(out)));
 }
 
 common::Status EmbeddingStore::Reload(const std::string& path,

@@ -9,6 +9,7 @@
 #include "common/mutex.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
+#include "nn/quant.h"
 #include "tensor/tensor.h"
 
 namespace desalign::serve {
@@ -21,14 +22,27 @@ struct ReloadOptions {
   double backoff_ms = 10.0; ///< sleep before retry 2; doubles per retry
 };
 
-/// One immutable embedding table: a contiguous row-major float block of
-/// `rows` x `cols`, L2-normalized row-wise. Tables are shared read-only
-/// between the owning EmbeddingStore and any number of in-flight
-/// EmbeddingSnapshot holders and never mutated after construction.
+/// One immutable embedding table of `rows` x `cols`, row-major, stored in
+/// one of three dtypes. fp32 tables hold L2-normalized rows in `data`;
+/// int8 tables hold per-row symmetric codes in `codes` plus one fp32
+/// scale per row in `scales`; bf16 tables hold rounded patterns in
+/// `bf16`. Exactly the vector(s) matching `dtype` are populated. Tables
+/// are shared read-only between the owning EmbeddingStore and any number
+/// of in-flight EmbeddingSnapshot holders and never mutated after
+/// construction — which is why a Reload may swap dtypes freely: readers
+/// pin whole tables, never fields of one.
 struct EmbeddingTable {
   int64_t rows = 0;
   int64_t cols = 0;
-  std::vector<float> data;
+  nn::TensorDtype dtype = nn::TensorDtype::kFloat32;
+  std::vector<float> data;      ///< kFloat32
+  std::vector<int8_t> codes;    ///< kInt8: rows * cols
+  std::vector<float> scales;    ///< kInt8: one per row
+  std::vector<uint16_t> bf16;   ///< kBf16
+
+  /// Bytes held by the populated payload vector(s), scales included — the
+  /// quantity BENCH_quant.json reports as the memory footprint.
+  size_t MemoryBytes() const;
 };
 
 /// A consistent, immutable view of an EmbeddingStore's table at one point
@@ -45,12 +59,37 @@ class EmbeddingSnapshot {
 
   int64_t size() const { return table_->rows; }
   int64_t dim() const { return table_->cols; }
+  nn::TensorDtype dtype() const { return table_->dtype; }
+  size_t MemoryBytes() const { return table_->MemoryBytes(); }
 
   /// Contiguous row `i` (dim() floats); valid for the snapshot's lifetime.
+  /// Only meaningful for kFloat32 tables — quantized tables have no fp32
+  /// block; use RowAsFloat (or the dtype-specific accessors) instead.
   const float* row(int64_t i) const {
     return table_->data.data() + i * table_->cols;
   }
   const std::vector<float>& data() const { return table_->data; }
+
+  /// kInt8 accessors: row `i`'s codes and its dequantization scale.
+  const int8_t* codes_row(int64_t i) const {
+    return table_->codes.data() + i * table_->cols;
+  }
+  float scale(int64_t i) const {
+    return table_->scales[static_cast<size_t>(i)];
+  }
+
+  /// kBf16 accessor.
+  const uint16_t* bf16_row(int64_t i) const {
+    return table_->bf16.data() + i * table_->cols;
+  }
+
+  /// Row `i` as fp32 regardless of dtype: returns the stored pointer for
+  /// kFloat32 (scratch untouched) and otherwise dequantizes into `scratch`
+  /// (at least dim() floats) and returns it. Dequantization is fixed-order
+  /// scalar float math, so callers on any thread / ISA reconstruct
+  /// bit-identical rows — the property that keeps k-means builds and the
+  /// fp32 re-rank deterministic over quantized tables.
+  const float* RowAsFloat(int64_t i, float* scratch) const;
 
  private:
   friend class EmbeddingStore;
@@ -88,17 +127,28 @@ class EmbeddingStore {
   static EmbeddingStore FromRows(int64_t rows, int64_t cols,
                                  std::vector<float> data);
 
-  /// Writes the (already normalized) table as a single-tensor v2
-  /// checkpoint: checksummed and atomically published, loadable with
-  /// `nn::LoadParameters` / `nn::LoadAllParameters` / `Load` below.
+  /// Writes the table as a single-tensor checkpoint: v2 for fp32 tables,
+  /// v3 (dtype-tagged) for quantized ones. Either way the file is
+  /// checksummed and atomically published, and loadable with `Load` below
+  /// (and, for any dtype, with `nn::LoadAllParameters`, which sees the
+  /// dequantized fp32 view).
   common::Status Save(const std::string& path) const;
 
   /// Restores a store from checkpoint tensor `tensor_index` of `path`.
   /// Returns a clean Status (never crashes) on missing, corrupt or
-  /// truncated files; rows are re-normalized defensively so a store is
-  /// valid even when the checkpoint holds raw embeddings.
+  /// truncated files. fp32 tensors (v1/v2, or fp32 records in v3) are
+  /// re-normalized defensively so a store is valid even when the
+  /// checkpoint holds raw embeddings; quantized v3 records are adopted
+  /// verbatim — codes and scales round-trip bit-exactly, and
+  /// re-normalizing their dequantized view would silently perturb scores.
   static common::Result<EmbeddingStore> Load(const std::string& path,
                                              int64_t tensor_index = 0);
+
+  /// Returns a new store holding this store's rows quantized to `dtype`
+  /// (the offline path behind `desalign quantize`). Requires the current
+  /// table to be fp32 — requantizing already-quantized rows would stack
+  /// rounding error invisibly. kFloat32 returns a plain shared-table copy.
+  common::Result<EmbeddingStore> Quantize(nn::TensorDtype dtype) const;
 
   /// Empty store (0 x 0); exists so the class fits common::Result. Every
   /// populated store comes from the factories above.
@@ -120,7 +170,11 @@ class EmbeddingStore {
   /// `options.max_attempts` with exponential backoff; a dimension change
   /// relative to the current (non-empty) table is permanent and fails
   /// immediately, since queries embedded for the old dim cannot be scored
-  /// against the new one. Outcomes are counted on `stats` when provided
+  /// against the new one. A *dtype* change at the same dim is allowed —
+  /// swapping an fp32 table for its int8/bf16 quantization (or back) is
+  /// exactly how a serving process migrates storage formats without a
+  /// restart (tests/serve/quant_reload_race_test.cc runs this under TSan).
+  /// Outcomes are counted on `stats` when provided
   /// (`<prefix>.reloads_ok` / `<prefix>.reloads_failed`).
   common::Status Reload(const std::string& path,
                         const ReloadOptions& options = {},
@@ -141,6 +195,7 @@ class EmbeddingStore {
 
  private:
   EmbeddingStore(int64_t rows, int64_t cols, std::vector<float> data);
+  explicit EmbeddingStore(std::shared_ptr<const EmbeddingTable> table);
 
   std::shared_ptr<const EmbeddingTable> SharedTable() const;
 

@@ -1,0 +1,37 @@
+#ifndef DESALIGN_SERVE_QUANT_SCAN_INTERNAL_H_
+#define DESALIGN_SERVE_QUANT_SCAN_INTERNAL_H_
+
+#include <cstdint>
+
+// Shared between quant_scan.cc (dispatch + scalar body) and
+// quant_scan_avx2.cc (vector body). Mirrors the tensor kernel layout: the
+// AVX2 translation unit enables 256-bit codegen via the target pragma while
+// the build stays baseline x86-64, and nothing in it executes unless
+// runtime dispatch confirmed CPU support.
+#if defined(__x86_64__) || defined(__i386__)
+#define DESALIGN_SERVE_HAVE_AVX2 1
+#else
+#define DESALIGN_SERVE_HAVE_AVX2 0
+#endif
+
+namespace desalign::serve::scoring::internal {
+
+/// Scalar int8 dot body; also the tail loop of the AVX2 body.
+inline int32_t DotI8Scalar(const int8_t* a, const int8_t* b, int64_t d) {
+  int32_t s = 0;
+  for (int64_t c = 0; c < d; ++c) {
+    s += static_cast<int32_t>(a[c]) * static_cast<int32_t>(b[c]);
+  }
+  return s;
+}
+
+#if DESALIGN_SERVE_HAVE_AVX2
+/// AVX2 int8 dot: 16 codes per iteration via sign-extend to i16 +
+/// _mm256_madd_epi16. Bit-identical to DotI8Scalar because int32 addition
+/// is associative and the i16 products cannot overflow their madd pairs.
+int32_t DotI8Avx2(const int8_t* a, const int8_t* b, int64_t d);
+#endif
+
+}  // namespace desalign::serve::scoring::internal
+
+#endif  // DESALIGN_SERVE_QUANT_SCAN_INTERNAL_H_

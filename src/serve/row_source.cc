@@ -1,0 +1,154 @@
+#include "serve/row_source.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <fstream>
+#include <utility>
+#include <vector>
+
+#include "common/crc32.h"
+
+namespace desalign::serve {
+
+namespace {
+
+constexpr char kMagicV2[] = "DESALIGNCKPT2\n";
+constexpr char kMagicV3[] = "DESALIGNCKPT3\n";
+constexpr int64_t kMagicLen = 14;
+constexpr char kEndMarker[] = "DCKPTEND";
+constexpr int64_t kEndMarkerLen = 8;
+constexpr int64_t kFooterLen = 4 + kEndMarkerLen;  // crc32 + end marker
+
+template <typename T>
+T ReadLe(const char* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return v;
+}
+
+}  // namespace
+
+bool SnapshotRowSource::Row(int64_t i, float* out) const {
+  if (i < 0 || i >= snapshot_.size()) return false;
+  const int64_t d = snapshot_.dim();
+  const float* row = snapshot_.RowAsFloat(i, out);
+  if (row != out) std::memcpy(out, row, static_cast<size_t>(d) * sizeof(float));
+  return true;
+}
+
+common::Result<CheckpointRowSource> CheckpointRowSource::Open(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return common::Status::IoError("cannot open checkpoint " + path);
+  }
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    return common::Status::IoError("read failed for checkpoint " + path);
+  }
+  const int64_t size = static_cast<int64_t>(bytes.size());
+  // Header through tensor-0 dims: magic + version/epoch/flags/count (24B)
+  // + the record header, v3's being the larger (1 + 8 + 8).
+  if (size < kMagicLen + 24 + 17 + kFooterLen) {
+    return common::Status::IoError("checkpoint " + path +
+                                   " is too short to hold a tensor");
+  }
+  const bool v3 = std::memcmp(bytes.data(), kMagicV3, kMagicLen) == 0;
+  if (!v3 && std::memcmp(bytes.data(), kMagicV2, kMagicLen) != 0) {
+    return common::Status::IoError("checkpoint " + path +
+                                   " has an unknown magic");
+  }
+  if (std::memcmp(bytes.data() + size - kEndMarkerLen, kEndMarker,
+                  kEndMarkerLen) != 0) {
+    return common::Status::IoError("checkpoint " + path +
+                                   " is truncated (missing end marker)");
+  }
+  const uint32_t stored_crc = ReadLe<uint32_t>(bytes.data() + size -
+                                               kFooterLen);
+  const uint32_t computed_crc = common::Crc32(
+      bytes.data() + kMagicLen, static_cast<size_t>(size - kMagicLen -
+                                                    kFooterLen));
+  if (stored_crc != computed_crc) {
+    return common::Status::IoError("checkpoint " + path +
+                                   " footer checksum mismatch");
+  }
+  const int64_t tensor_count = ReadLe<int64_t>(bytes.data() + kMagicLen + 16);
+  if (tensor_count < 1) {
+    return common::Status::IoError("checkpoint " + path + " holds no tensors");
+  }
+  int64_t offset = kMagicLen + 24;
+  if (v3) {
+    const uint8_t dtype = static_cast<uint8_t>(bytes[offset]);
+    if (dtype != 0) {
+      return common::Status::InvalidArgument(
+          "checkpoint " + path +
+          " tensor 0 is not fp32; quantized records hold no full-precision "
+          "rows");
+    }
+    offset += 1;
+  }
+  const int64_t rows = ReadLe<int64_t>(bytes.data() + offset);
+  const int64_t cols = ReadLe<int64_t>(bytes.data() + offset + 8);
+  offset += 16;
+  if (rows <= 0 || cols <= 0 || rows > (int64_t{1} << 40) ||
+      cols > (int64_t{1} << 30)) {
+    return common::Status::IoError("checkpoint " + path +
+                                   " tensor 0 has implausible shape");
+  }
+  const int64_t payload_bytes = rows * cols * static_cast<int64_t>(
+                                                 sizeof(float));
+  if (offset + payload_bytes + 4 > size - kFooterLen) {
+    return common::Status::IoError("checkpoint " + path +
+                                   " tensor 0 payload exceeds the file");
+  }
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return common::Status::IoError("cannot reopen checkpoint " + path);
+  }
+  return CheckpointRowSource(fd, rows, cols, offset);
+}
+
+CheckpointRowSource::CheckpointRowSource(CheckpointRowSource&& other) noexcept
+    : fd_(other.fd_),
+      rows_(other.rows_),
+      cols_(other.cols_),
+      payload_offset_(other.payload_offset_) {
+  other.fd_ = -1;
+}
+
+CheckpointRowSource& CheckpointRowSource::operator=(
+    CheckpointRowSource&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    rows_ = other.rows_;
+    cols_ = other.cols_;
+    payload_offset_ = other.payload_offset_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+CheckpointRowSource::~CheckpointRowSource() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool CheckpointRowSource::Row(int64_t i, float* out) const {
+  if (fd_ < 0 || i < 0 || i >= rows_) return false;
+  const size_t want = static_cast<size_t>(cols_) * sizeof(float);
+  size_t done = 0;
+  char* dst = reinterpret_cast<char*>(out);
+  const int64_t base = payload_offset_ + i * static_cast<int64_t>(want);
+  while (done < want) {
+    const ssize_t got = ::pread(fd_, dst + done, want - done,
+                                static_cast<off_t>(base + done));
+    if (got <= 0) return false;
+    done += static_cast<size_t>(got);
+  }
+  return true;
+}
+
+}  // namespace desalign::serve

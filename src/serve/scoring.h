@@ -55,6 +55,40 @@ inline float SquaredL2(const float* a, const float* b, int64_t d) {
   return s;
 }
 
+/// Integer dot product of two int8 code rows, accumulated in int32.
+/// Dispatches scalar vs AVX2 via tensor::kernels::ActiveIsa(); because
+/// int32 addition is associative, the vectorised reduction is bit-identical
+/// to the scalar loop — the one place where ISA reordering is provably
+/// harmless, unlike float accumulation. Overflow-safe for d up to ~2^17
+/// (|code| <= 127, so |sum| <= d * 127^2). Defined in quant_scan.cc.
+int32_t DotI8(const int8_t* a, const int8_t* b, int64_t d);
+
+/// A query quantized once per request with the same per-row symmetric
+/// scheme the table rows use (nn::quant::QuantizeRow), amortising the
+/// fp32 -> int8 conversion across the whole candidate scan.
+struct Int8Query {
+  std::vector<int8_t> codes;
+  float scale = 0.0f;
+};
+
+/// Quantizes `q` (dim d) for the int8 candidate scan. Queries are caller
+/// input, so unlike table rows (where QuantizeRow rejects) non-finite
+/// coordinates are sanitized to 0 here: a poisoned query must degrade to
+/// a well-defined answer, not poison the server. Defined in quant_scan.cc.
+Int8Query QuantizeQuery(const float* q, int64_t d);
+
+/// Approximate candidate score: (scale_q * scale_row) * <codes_q, codes_row>.
+/// The int32 dot is exact on every ISA and the two float multiplies happen
+/// in one fixed order, so approximate scores — and therefore the candidate
+/// sets they select — are bit-identical across scalar/AVX2, thread counts
+/// and scan orders. Final ranking always re-scores candidates with the
+/// fp32 Dot above.
+inline float Int8Score(const Int8Query& q, const int8_t* row_codes,
+                       float row_scale, int64_t d) {
+  return (q.scale * row_scale) *
+         static_cast<float>(DotI8(q.codes.data(), row_codes, d));
+}
+
 /// Bounded "worst on top" candidate set of size <= k. Because Better is a
 /// strict total order over unique ids, the surviving set (and its sorted
 /// Finish order) is independent of Offer order.

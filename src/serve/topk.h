@@ -5,11 +5,14 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 #include "serve/embedding_store.h"
 #include "serve/retriever.h"
 #include "tensor/tensor.h"
 
 namespace desalign::serve {
+
+class RowSource;
 
 struct TopKOptions {
   /// Target rows scanned per block; a block's rows stay hot in cache while
@@ -19,7 +22,34 @@ struct TopKOptions {
   /// `common::ThreadPool::Global()` (sized by the --threads flag /
   /// DESALIGN_NUM_THREADS).
   common::ThreadPool* pool = nullptr;
+  /// int8 tables only: how many stage-1 (approximate int8) candidates C
+  /// survive into the exact fp32 re-rank that produces the final top-k.
+  ///   0  (default) auto: C = min(n, max(4k, 64));
+  ///   >0 explicit C, clamped to [k, n];
+  ///   <0 exact mode: C = n — every row is re-ranked in fp32, making the
+  ///      result identical to RetrieveBruteForce over the same table (the
+  ///      CI bit-exactness gate). fp32/bf16 tables score exactly in one
+  ///      pass and ignore this field.
+  int64_t rerank_candidates = 0;
+  /// int8 tables only: optional full-precision refinement. When set, the
+  /// stage-2 re-rank scores candidates with fp32 rows fetched from this
+  /// source (e.g. a serve::CheckpointRowSource over the checkpoint the
+  /// table was quantized from) instead of dequantized int8 rows, so exact
+  /// mode (rerank_candidates < 0) reproduces fp32 brute force bit for bit
+  /// while only the int8 table stays memory-resident. The source must
+  /// outlive the retriever and match the table's shape; a mismatched
+  /// source or a failed row fetch falls back to the dequantized row
+  /// (counted on `quant.rerank_source_errors`). fp32/bf16 tables ignore
+  /// this field.
+  const RowSource* rerank_source = nullptr;
+  /// Registry for the `quant.*` counters recorded when scanning quantized
+  /// tables; null = MetricsRegistry::Global().
+  obs::MetricsRegistry* registry = nullptr;
 };
+
+/// Resolves the rerank_candidates policy above to a concrete C for one
+/// (k, n) query; shared by TopKRetriever and the IVF second stage.
+int64_t ResolveRerankCandidates(int64_t requested, int64_t k, int64_t n);
 
 /// Batched exact cosine top-k over an EmbeddingStore — the brute-force
 /// Retriever. Queries are L2-normalized internally, so scores are true
@@ -35,6 +65,16 @@ struct TopKOptions {
 /// Each call scans one EmbeddingSnapshot, so retrieval racing a concurrent
 /// EmbeddingStore::Reload sees either the fully-old or the fully-new
 /// table, never a mix.
+///
+/// Quantized tables: bf16 rows are decoded (exactly) block-by-block and
+/// scored with the same fp32 Dot, one pass. int8 rows go through two
+/// stages — an integer candidate scan (scoring::Int8Score, scalar or AVX2,
+/// bit-identical either way) keeps the best `rerank_candidates` per query,
+/// then those rows are re-scored with the shared fp32 Dot/Better contract
+/// — from dequantized codes, or from original fp32 rows when a
+/// `rerank_source` is attached. Both stages use strict total orders, so
+/// results stay bit-identical across thread counts, block sizes and ISA —
+/// see docs/SERVING.md "Quantized serving".
 ///
 /// Edge-case contract (regression-tested in tests/serve/topk_test.cc):
 /// k <= 0 yields empty per-query results; k > size() is clamped to
@@ -63,6 +103,10 @@ class TopKRetriever : public Retriever {
  private:
   const EmbeddingStore* store_;
   TopKOptions options_;
+  obs::Counter* int8_queries_;    // owned by the registry
+  obs::Counter* bf16_queries_;    // owned by the registry
+  obs::Counter* source_errors_;   // owned by the registry
+  obs::Histogram* rerank_width_;  // owned by the registry
 };
 
 }  // namespace desalign::serve

@@ -1,0 +1,11 @@
+// Fixture: an int8 scorer accumulating its fp32 re-rank scores into an
+// atomic double across worker threads — the interleaving-dependent float
+// accumulation that would make quantized retrieval results vary run to
+// run, exactly what the re-rank's per-query heaps exist to avoid.
+#include <atomic>
+#include <cstdint>
+
+struct QuantScanAccumulator {
+  std::atomic<float> rerank_score_sum{0.0f};  // LINT-EXPECT: float-atomic
+  std::atomic<int64_t> candidates_scanned{0};
+};

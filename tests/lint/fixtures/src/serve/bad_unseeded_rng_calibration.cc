@@ -1,0 +1,16 @@
+// Fixture: a quantization calibrator sampling rows through a
+// default-constructed engine. Two runs over the same fp32 table would
+// pick different sample sets, produce different scales, and break the
+// bit-exact Quantize/Save/Load round trip the serving tests assert.
+#include <cstdint>
+#include <random>
+#include <vector>
+
+std::vector<int64_t> SampleCalibrationRows(int64_t rows, int64_t want) {
+  std::mt19937_64 gen;  // LINT-EXPECT: unseeded-rng
+  std::vector<int64_t> picks;
+  for (int64_t i = 0; i < want; ++i) {
+    picks.push_back(static_cast<int64_t>(gen() % static_cast<uint64_t>(rows)));
+  }
+  return picks;
+}

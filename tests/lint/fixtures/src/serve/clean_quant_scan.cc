@@ -1,0 +1,25 @@
+// Fixture: the deterministic shape quantized scanning takes — integer
+// accumulation (associative, so any ISA or chunking gives the same sum)
+// plus a seeded engine for any sampling, with per-thread partial results
+// merged in a fixed order instead of racing on a shared float.
+#include <cstdint>
+#include <random>
+#include <vector>
+
+int64_t DotCodes(const int8_t* a, const int8_t* b, int64_t d) {
+  int32_t sum = 0;
+  for (int64_t c = 0; c < d; ++c) {
+    sum += static_cast<int32_t>(a[c]) * static_cast<int32_t>(b[c]);
+  }
+  return sum;
+}
+
+std::vector<int64_t> SampleRowsSeeded(int64_t rows, int64_t want,
+                                      uint64_t seed) {
+  std::mt19937_64 gen(seed);
+  std::vector<int64_t> picks;
+  for (int64_t i = 0; i < want; ++i) {
+    picks.push_back(static_cast<int64_t>(gen() % static_cast<uint64_t>(rows)));
+  }
+  return picks;
+}

@@ -17,6 +17,10 @@
 #   tools/ci.sh --index    # only the index gate (build + `ctest -L index`
 #                          # + bench-index smoke: recall@10 == 1.0 and
 #                          # bit-exactness at full probe, schema check)
+#   tools/ci.sh --quant    # only the quantization gate (build +
+#                          # `ctest -L quant` + bench-quant smoke: schema,
+#                          # full-probe bit-exactness per dtype, recall@10
+#                          # delta vs fp32 <= 0.005, int8 memory >= 3.5x)
 #   tools/ci.sh --tsan     # only the ThreadSanitizer-labelled suite
 #   tools/ci.sh --faults   # only the fault-injection suite under ASan
 #
@@ -28,6 +32,8 @@
 #                 and bit-flip injection, kill-and-resume bit-exactness
 #   index       — two-stage ANN index suite (k-means quantizer, IVF
 #                 bit-exactness at full probe, reload-rebuild)
+#   quant       — quantized serving suite (int8/bf16 round trips, v3
+#                 checkpoints, scan determinism, dtype-swap reload)
 #   lint        — desalign-lint fixture corpus + zero-finding tree scan
 set -euo pipefail
 
@@ -37,18 +43,27 @@ JOBS="$(nproc)"
 run_lint=1
 run_tier1=1
 run_index=1
+run_quant=1
 run_ubsan=1
 run_tsan=1
 run_faults=1
 case "${1:-}" in
-  lint) run_tier1=0; run_index=0; run_ubsan=0; run_tsan=0; run_faults=0 ;;
-  ubsan) run_lint=0; run_tier1=0; run_index=0; run_tsan=0; run_faults=0 ;;
-  --tier1) run_lint=0; run_index=0; run_ubsan=0; run_tsan=0; run_faults=0 ;;
-  --index) run_lint=0; run_tier1=0; run_ubsan=0; run_tsan=0; run_faults=0 ;;
-  --tsan) run_lint=0; run_tier1=0; run_index=0; run_ubsan=0; run_faults=0 ;;
-  --faults) run_lint=0; run_tier1=0; run_index=0; run_ubsan=0; run_tsan=0 ;;
+  lint) run_tier1=0; run_index=0; run_quant=0; run_ubsan=0; run_tsan=0
+        run_faults=0 ;;
+  ubsan) run_lint=0; run_tier1=0; run_index=0; run_quant=0; run_tsan=0
+         run_faults=0 ;;
+  --tier1) run_lint=0; run_index=0; run_quant=0; run_ubsan=0; run_tsan=0
+           run_faults=0 ;;
+  --index) run_lint=0; run_tier1=0; run_quant=0; run_ubsan=0; run_tsan=0
+           run_faults=0 ;;
+  --quant) run_lint=0; run_tier1=0; run_index=0; run_ubsan=0; run_tsan=0
+           run_faults=0 ;;
+  --tsan) run_lint=0; run_tier1=0; run_index=0; run_quant=0; run_ubsan=0
+          run_faults=0 ;;
+  --faults) run_lint=0; run_tier1=0; run_index=0; run_quant=0; run_ubsan=0
+            run_tsan=0 ;;
   "") ;;
-  *) echo "usage: tools/ci.sh [lint|ubsan|--tier1|--index|--tsan|--faults]" >&2
+  *) echo "usage: tools/ci.sh [lint|ubsan|--tier1|--index|--quant|--tsan|--faults]" >&2
      exit 2 ;;
 esac
 
@@ -160,6 +175,54 @@ for case in report["cases"]:
         assert p["qps"] > 0, p
 print(f"index smoke OK: {len(report['cases'])} case(s), schema v1, "
       "full probe bit-exact with recall@10 == 1.0")
+EOF
+fi
+
+if [[ "${run_quant}" == 1 ]]; then
+  echo "== quant: quantized serving suite + bench-quant smoke gate =="
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release -DDESALIGN_WERROR=ON
+  cmake --build build -j "${JOBS}"
+  ctest --test-dir build --output-on-failure -j "${JOBS}" -L quant
+
+  # Smoke sweep: one 10^4-entity case at dim 64. Gates: schema
+  # desalign.quant_bench.v1; exact mode bit-exact vs the dequantized brute
+  # force for EVERY dtype; int8 full-precision refinement bit-identical to
+  # true fp32 brute force; recall@10 within 0.005 of the fp32 baseline;
+  # int8 footprint >= 3.5x smaller than fp32 (the dim-64 dtype matrix in
+  # docs/PERFORMANCE.md explains why 3.76x is the expected value).
+  ./build/tools/desalign bench-quant --smoke \
+    --out=build/BENCH_quant_smoke.json
+  python3 - <<'EOF'
+import json
+with open("build/BENCH_quant_smoke.json") as f:
+    report = json.load(f)
+assert report["schema"] == "desalign.quant_bench.v1", report.get("schema")
+assert len(report["cases"]) >= 1, "no bench cases"
+for case in report["cases"]:
+    assert case["entities"] > 0 and case["k"] > 0, case
+    dtypes = {d["dtype"]: d for d in case["dtypes"]}
+    assert {"fp32", "bf16", "int8"} <= set(dtypes), set(dtypes)
+    fp32 = dtypes["fp32"]
+    assert fp32["recall_at_k"] == 1.0 and fp32["hits_at_1"] == 1.0, fp32
+    for d in case["dtypes"]:
+        assert d["bitexact_full"] is True, (
+            f"{d['dtype']}: exact mode diverged from brute force")
+        delta = fp32["recall_at_k"] - d["recall_at_k"]
+        assert delta <= 0.005, (
+            f"{d['dtype']}: recall@10 delta {delta:.4f} > 0.005")
+        assert d["p50_ms"] > 0 and d["p99_ms"] >= d["p50_ms"], d
+    assert dtypes["int8"]["memory_reduction"] >= 3.5, (
+        f"int8 reduction {dtypes['int8']['memory_reduction']:.2f}x < 3.5x")
+    assert dtypes["bf16"]["memory_reduction"] >= 2.0, dtypes["bf16"]
+    # Full-precision refinement: int8 exact mode with the checkpoint-backed
+    # row source must reproduce TRUE fp32 brute force bit for bit, and the
+    # self-contained (dequantized re-rank) recall must also be recorded.
+    assert dtypes["int8"]["refined_exact_matches_fp32"] is True, (
+        "int8 refined exact mode diverged from true fp32 brute force")
+    assert 0.0 <= dtypes["int8"]["recall_at_k_raw"] <= 1.0, dtypes["int8"]
+print(f"quant smoke OK: {len(report['cases'])} case(s), schema v1, "
+      "all dtypes bit-exact at full re-rank, refined int8 == fp32, "
+      "recall delta <= 0.005")
 EOF
 fi
 
