@@ -7,6 +7,7 @@
 #include <functional>
 #include <limits>
 #include <sstream>
+#include <utility>
 
 #include "common/rng.h"
 #include "common/thread_pool.h"
@@ -15,6 +16,7 @@
 #include "tensor/kernels/gemm.h"
 #include "tensor/kernels/reference.h"
 #include "tensor/kernels/rowwise.h"
+#include "tensor/kernels/solver/solver.h"
 #include "tensor/sparse.h"
 
 namespace desalign::tensor::kernels {
@@ -100,6 +102,17 @@ class Runner {
   void Case(const std::string& op, int64_t rows, int64_t cols,
             double norm_elems, const BenchFn& ref_fn,
             const BenchFn& kernel_fn) {
+    MultiCase(op, rows, cols, norm_elems, ref_fn, {{"", kernel_fn}});
+  }
+
+  // GEMM variant: one labeled function per registered solver, so each
+  // (threads, isa) cell is measured once per solver and tagged with its id.
+  // Solvers are invoked directly (not through cache replay) — the bench
+  // reports what each solver costs, independent of any find-db on disk.
+  void MultiCase(
+      const std::string& op, int64_t rows, int64_t cols, double norm_elems,
+      const BenchFn& ref_fn,
+      const std::vector<std::pair<std::string, BenchFn>>& kernels) {
     KernelBenchCase c;
     c.op = op;
     c.rows = rows;
@@ -111,13 +124,16 @@ class Runner {
       for (const IsaLevel isa : {IsaLevel::kScalar, IsaLevel::kAvx2}) {
         if (isa == IsaLevel::kAvx2 && !CpuSupportsAvx2()) continue;
         SetIsaOverride(isa, /*has_override=*/true);
-        KernelBenchVariant v;
-        v.threads = threads;
-        v.isa = IsaName(isa);
-        v.ns_per_elem = MeasureNs(options_.repeats, kernel_fn) / norm_elems;
-        v.speedup = v.ns_per_elem > 0.0 ? c.ref_ns_per_elem / v.ns_per_elem
-                                        : 0.0;
-        c.variants.push_back(std::move(v));
+        for (const auto& [solver_id, kernel_fn] : kernels) {
+          KernelBenchVariant v;
+          v.threads = threads;
+          v.isa = IsaName(isa);
+          v.solver = solver_id;
+          v.ns_per_elem = MeasureNs(options_.repeats, kernel_fn) / norm_elems;
+          v.speedup = v.ns_per_elem > 0.0 ? c.ref_ns_per_elem / v.ns_per_elem
+                                          : 0.0;
+          c.variants.push_back(std::move(v));
+        }
       }
       SetIsaOverride(IsaLevel::kScalar, /*has_override=*/false);
     }
@@ -146,7 +162,7 @@ double KernelBenchCase::BestSpeedup() const {
 
 std::string KernelBenchReport::ToJson() const {
   std::ostringstream os;
-  os << "{\"schema\":\"desalign.kernel_bench.v1\",\"cases\":[";
+  os << "{\"schema\":\"desalign.kernel_bench.v2\",\"cases\":[";
   for (size_t i = 0; i < cases.size(); ++i) {
     const auto& c = cases[i];
     if (i) os << ",";
@@ -158,6 +174,7 @@ std::string KernelBenchReport::ToJson() const {
       const auto& v = c.variants[j];
       if (j) os << ",";
       os << "{\"threads\":" << v.threads << ",\"isa\":\"" << v.isa
+         << "\",\"solver\":\"" << v.solver
          << "\",\"ns_per_elem\":" << JsonNum(v.ns_per_elem)
          << ",\"speedup\":" << JsonNum(v.speedup) << "}";
     }
@@ -203,10 +220,14 @@ KernelBenchReport RunKernelBench(const KernelBenchOptions& options) {
         [&] { Sigmoid(a.data(), y.data(), n); });
   }
 
-  // ---- MatMul forward + backward ----
+  // ---- MatMul forward + backward, one variant per registered solver ----
+  // The full shape is the 512^3 cube the solver acceptance gate measures
+  // (the old 512x256x512 shape shared a bucket with it anyway). Each solver
+  // is run directly so the committed JSON compares them; the runtime cache
+  // would pick whichever one `desalign tune` found fastest here.
   {
     const int64_t m = smoke ? 48 : 512;
-    const int64_t k = smoke ? 32 : 256;
+    const int64_t k = smoke ? 32 : 512;
     const int64_t n = smoke ? 48 : 512;
     const auto a = RandomVec(rng, m * k);
     const auto b = RandomVec(rng, k * n);
@@ -215,30 +236,44 @@ KernelBenchReport RunKernelBench(const KernelBenchOptions& options) {
     std::vector<float> ga(static_cast<size_t>(m * k));
     std::vector<float> gb(static_cast<size_t>(k * n));
     const double ops = static_cast<double>(m) * k * n;
-    runner.Case(
+    const auto& solvers = solver::SolverRegistry::Global().Solvers();
+    std::vector<std::pair<std::string, BenchFn>> fwd, grad_a, grad_b;
+    for (const solver::GemmSolver* s : solvers) {
+      fwd.emplace_back(s->id(), [&, s] {
+        s->Run(solver::GemmProblem::Current(solver::GemmOp::kMatMul, m, k, n),
+               a.data(), b.data(), y.data());
+      });
+      grad_a.emplace_back(s->id(), [&, s] {
+        std::fill(ga.begin(), ga.end(), 0.0f);
+        s->Run(solver::GemmProblem::Current(solver::GemmOp::kMatMulGradA, m,
+                                            k, n),
+               g.data(), b.data(), ga.data());
+      });
+      grad_b.emplace_back(s->id(), [&, s] {
+        std::fill(gb.begin(), gb.end(), 0.0f);
+        s->Run(solver::GemmProblem::Current(solver::GemmOp::kMatMulGradB, m,
+                                            k, n),
+               g.data(), a.data(), gb.data());
+      });
+    }
+    runner.MultiCase(
         "matmul_fwd", m, n, ops,
         [&] { reference::MatMul(a.data(), b.data(), y.data(), m, k, n); },
-        [&] { MatMul(a.data(), b.data(), y.data(), m, k, n); });
-    runner.Case(
+        fwd);
+    runner.MultiCase(
         "matmul_grad_a", m, k, ops,
         [&] {
           std::fill(ga.begin(), ga.end(), 0.0f);
           reference::MatMulGradA(g.data(), b.data(), ga.data(), m, k, n);
         },
-        [&] {
-          std::fill(ga.begin(), ga.end(), 0.0f);
-          MatMulGradA(g.data(), b.data(), ga.data(), m, k, n);
-        });
-    runner.Case(
+        grad_a);
+    runner.MultiCase(
         "matmul_grad_b", k, n, ops,
         [&] {
           std::fill(gb.begin(), gb.end(), 0.0f);
           reference::MatMulGradB(g.data(), a.data(), gb.data(), m, k, n);
         },
-        [&] {
-          std::fill(gb.begin(), gb.end(), 0.0f);
-          MatMulGradB(g.data(), a.data(), gb.data(), m, k, n);
-        });
+        grad_b);
   }
 
   // ---- Rowwise ----

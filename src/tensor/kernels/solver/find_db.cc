@@ -1,0 +1,197 @@
+#include "tensor/kernels/solver/find_db.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "common/atomic_file.h"
+#include "common/crc32.h"
+#include "tensor/kernels/solver/solver.h"
+
+namespace desalign::tensor::kernels::solver {
+
+namespace {
+
+constexpr char kMagic[4] = {'D', 'S', 'F', 'D'};
+// magic + version + tuned_at + count + trailing crc.
+constexpr size_t kHeaderSize = 4 + 4 + 8 + 4;
+constexpr size_t kMinSize = kHeaderSize + 4;
+
+template <typename T>
+void AppendRaw(std::string* out, T value) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &value, sizeof(T));
+  out->append(buf, sizeof(T));
+}
+
+// Bounds-checked cursor over the serialized bytes.
+struct Reader {
+  const char* p;
+  size_t left;
+
+  template <typename T>
+  bool Read(T* value) {
+    if (left < sizeof(T)) return false;
+    std::memcpy(value, p, sizeof(T));
+    p += sizeof(T);
+    left -= sizeof(T);
+    return true;
+  }
+
+  bool ReadBytes(std::string* out, size_t n) {
+    if (left < n) return false;
+    out->assign(p, n);
+    p += n;
+    left -= n;
+    return true;
+  }
+};
+
+}  // namespace
+
+uint8_t ProblemKey::Bucket(int64_t extent) {
+  if (extent <= 1) return 0;
+  const auto width =
+      std::bit_width(static_cast<uint64_t>(extent) - 1);
+  return static_cast<uint8_t>(width > 63 ? 63 : width);
+}
+
+ProblemKey ProblemKey::FromProblem(const GemmProblem& p) {
+  ProblemKey key;
+  key.op = static_cast<uint8_t>(p.op);
+  key.bm = Bucket(p.m);
+  key.bk = Bucket(p.k);
+  key.bn = Bucket(p.n);
+  return key;
+}
+
+bool operator<(const ProblemKey& a, const ProblemKey& b) {
+  if (a.op != b.op) return a.op < b.op;
+  if (a.bm != b.bm) return a.bm < b.bm;
+  if (a.bk != b.bk) return a.bk < b.bk;
+  return a.bn < b.bn;
+}
+
+const FindDbRecord* FindDb::Find(const ProblemKey& key) const {
+  const auto it = std::lower_bound(
+      records.begin(), records.end(), key,
+      [](const FindDbRecord& r, const ProblemKey& k) { return r.key < k; });
+  if (it == records.end() || !(it->key == key)) return nullptr;
+  return &*it;
+}
+
+void FindDb::Upsert(FindDbRecord record) {
+  const auto it = std::lower_bound(
+      records.begin(), records.end(), record.key,
+      [](const FindDbRecord& r, const ProblemKey& k) { return r.key < k; });
+  if (it != records.end() && it->key == record.key) {
+    *it = std::move(record);
+  } else {
+    records.insert(it, std::move(record));
+  }
+}
+
+std::string FindDb::Serialize() const {
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  AppendRaw<uint32_t>(&out, kVersion);
+  AppendRaw<int64_t>(&out, tuned_at_unix);
+  AppendRaw<uint32_t>(&out, static_cast<uint32_t>(records.size()));
+  for (const FindDbRecord& r : records) {
+    AppendRaw<uint8_t>(&out, r.key.op);
+    AppendRaw<uint8_t>(&out, r.key.bm);
+    AppendRaw<uint8_t>(&out, r.key.bk);
+    AppendRaw<uint8_t>(&out, r.key.bn);
+    AppendRaw<uint16_t>(&out, static_cast<uint16_t>(r.solver_id.size()));
+    out.append(r.solver_id);
+    AppendRaw<double>(&out, r.best_ns_per_elem);
+    AppendRaw<double>(&out, r.default_ns_per_elem);
+  }
+  AppendRaw<uint32_t>(&out, common::Crc32(out.data(), out.size()));
+  return out;
+}
+
+common::Result<FindDb> FindDb::Deserialize(const std::string& bytes) {
+  if (bytes.size() < kMinSize) {
+    return common::Status::IoError("find-db too short to be valid");
+  }
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return common::Status::IoError("find-db bad magic");
+  }
+  // Version before checksum: a future layout fails as explicit skew, not as
+  // a checksum mismatch over bytes we can't interpret.
+  uint32_t version = 0;
+  std::memcpy(&version, bytes.data() + 4, sizeof(version));
+  if (version != kVersion) {
+    return common::Status::IoError(
+        "find-db version skew: file v" + std::to_string(version) +
+        ", this build reads v" + std::to_string(kVersion));
+  }
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, bytes.data() + bytes.size() - 4, sizeof(stored_crc));
+  const uint32_t actual_crc = common::Crc32(bytes.data(), bytes.size() - 4);
+  if (stored_crc != actual_crc) {
+    return common::Status::IoError("find-db checksum mismatch");
+  }
+
+  Reader reader{bytes.data() + 8, bytes.size() - 8 - 4};
+  FindDb db;
+  if (!reader.Read(&db.tuned_at_unix)) {
+    return common::Status::IoError("find-db truncated header");
+  }
+  uint32_t count = 0;
+  if (!reader.Read(&count)) {
+    return common::Status::IoError("find-db truncated header");
+  }
+  db.records.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    FindDbRecord r;
+    uint16_t id_len = 0;
+    if (!reader.Read(&r.key.op) || !reader.Read(&r.key.bm) ||
+        !reader.Read(&r.key.bk) || !reader.Read(&r.key.bn) ||
+        !reader.Read(&id_len) || !reader.ReadBytes(&r.solver_id, id_len) ||
+        !reader.Read(&r.best_ns_per_elem) ||
+        !reader.Read(&r.default_ns_per_elem)) {
+      return common::Status::IoError("find-db truncated record");
+    }
+    db.Upsert(std::move(r));
+  }
+  if (reader.left != 0) {
+    return common::Status::IoError("find-db trailing bytes");
+  }
+  return db;
+}
+
+common::Status FindDb::Save(const std::string& path) const {
+  std::error_code ec;  // best effort; the write below reports real failures
+  const auto parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+  return common::AtomicWriteFile(path, Serialize(), "findb.write");
+}
+
+common::Result<FindDb> FindDb::Load(const std::string& path) {
+  std::string bytes;
+  DESALIGN_RETURN_NOT_OK(common::ReadFileToString(path, &bytes, "findb.read"));
+  return Deserialize(bytes);
+}
+
+std::string FindDbPath() {
+  if (const char* env = std::getenv("DESALIGN_TUNE_CACHE");
+      env != nullptr && *env != '\0') {
+    return env;
+  }
+  if (const char* xdg = std::getenv("XDG_CACHE_HOME");
+      xdg != nullptr && *xdg != '\0') {
+    return std::string(xdg) + "/desalign/gemm_find_db.bin";
+  }
+  if (const char* home = std::getenv("HOME");
+      home != nullptr && *home != '\0') {
+    return std::string(home) + "/.cache/desalign/gemm_find_db.bin";
+  }
+  return ".desalign_cache/gemm_find_db.bin";
+}
+
+}  // namespace desalign::tensor::kernels::solver

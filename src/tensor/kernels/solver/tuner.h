@@ -1,0 +1,62 @@
+#ifndef DESALIGN_TENSOR_KERNELS_SOLVER_TUNER_H_
+#define DESALIGN_TENSOR_KERNELS_SOLVER_TUNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tensor/kernels/solver/find_db.h"
+#include "tensor/kernels/solver/solver.h"
+
+// The offline half of the solver pattern: `desalign tune` benchmarks every
+// applicable solver per (op, shape) on *this* machine and persists the
+// winners to the find-db. All timing lives here — runtime dispatch only
+// replays the resulting file. Re-run after a hardware or build change; the
+// cache can only change speed, never results, so a stale one is safe.
+
+namespace desalign::tensor::kernels::solver {
+
+struct TuneOptions {
+  /// Cube edge lengths to tune (m = k = n = size); each op is tuned at
+  /// every size. Distinct log2 buckets avoid overwriting one another.
+  std::vector<int64_t> sizes = {64, 128, 256, 512};
+  /// Timing repeats per solver; the minimum is kept (one warmup run first).
+  int repeats = 5;
+  /// Find-db destination; empty means FindDbPath().
+  std::string cache_path;
+};
+
+struct TuneSolverTiming {
+  std::string id;
+  double ns_per_elem = 0.0;
+};
+
+struct TuneEntry {
+  GemmOp op = GemmOp::kMatMul;
+  int64_t m = 0;
+  int64_t k = 0;
+  int64_t n = 0;
+  ProblemKey key;
+  std::string winner;
+  /// Candidate order (Estimate-ascending), one timing per applicable solver.
+  std::vector<TuneSolverTiming> timings;
+};
+
+struct TuneReport {
+  std::string cache_path;
+  int64_t tuned_at_unix = 0;
+  std::vector<TuneEntry> entries;
+
+  /// `{"schema": "desalign.tune.v1", ...}` — consumed by tools/ci.sh.
+  std::string ToJson() const;
+};
+
+/// Benchmarks, writes the find-db, returns the report. The registry's
+/// in-process cache is reloaded from the written file on success, so a
+/// process that tunes then trains replays its own winners immediately.
+common::Result<TuneReport> RunTune(const TuneOptions& options);
+
+}  // namespace desalign::tensor::kernels::solver
+
+#endif  // DESALIGN_TENSOR_KERNELS_SOLVER_TUNER_H_

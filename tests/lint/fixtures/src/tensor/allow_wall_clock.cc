@@ -1,0 +1,9 @@
+// Fixture: the tuner's sanctioned exception — the find-db's tuned_at_unix
+// provenance stamp is a deliberate wall-clock read (it records WHEN the
+// machine was tuned and is never selected on), suppressed via the named
+// pragma exactly as src/tensor/kernels/solver/tuner.cc does.
+#include <ctime>
+
+long FindDbProvenanceStamp() {
+  return time(nullptr);  // desalign-lint: allow(wall-clock) tuned_at stamp
+}

@@ -1,0 +1,8 @@
+// Fixture: a tuner that stamps its find-db from the wall clock without the
+// pragma. Library code (src/tensor/) reading time() breaks replayable runs,
+// so the rule must fire even though the call only feeds a provenance field.
+#include <ctime>
+
+long TunedAtStamp() {
+  return time(nullptr);  // LINT-EXPECT: wall-clock
+}

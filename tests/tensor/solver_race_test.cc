@@ -1,0 +1,110 @@
+// Concurrency test for the solver registry (run under TSan by the
+// sanitizer CI stage): reader threads hammer Select()/Run while the main
+// thread repeatedly reloads the tuning cache, alternating between a valid
+// find-db and a corrupt one. Selection must stay valid (some registered
+// solver, never null, never a dangling record) throughout — the registry
+// copies what it needs under the lock and the solver table itself is
+// immutable, so readers never observe a half-installed cache.
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/kernels/solver/find_db.h"
+#include "tensor/kernels/solver/solver.h"
+
+namespace desalign::tensor::kernels::solver {
+namespace {
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string("desalign_solver_race_") + name + "_" +
+           std::to_string(::getpid()) + ".bin"))
+      .string();
+}
+
+TEST(SolverRaceTest, ConcurrentSelectDuringCacheReload) {
+  auto& registry = SolverRegistry::Global();
+  registry.ClearCache();
+
+  const std::string good_path = TempPath("good");
+  const std::string bad_path = TempPath("bad");
+  FindDb db;
+  for (const GemmOp op :
+       {GemmOp::kMatMul, GemmOp::kMatMulGradA, GemmOp::kMatMulGradB}) {
+    FindDbRecord rec;
+    rec.key = ProblemKey::FromProblem(
+        GemmProblem{op, 24, 24, 24, IsaLevel::kScalar, 1});
+    rec.solver_id = "gemm.blocked8x8";
+    db.Upsert(rec);
+  }
+  ASSERT_TRUE(db.Save(good_path).ok());
+  {
+    std::ofstream out(bad_path, std::ios::binary | std::ios::trunc);
+    out << "DSFD not a real find-db";
+  }
+
+  constexpr int kReaders = 4;
+  constexpr int kReloads = 50;
+  std::atomic<bool> stop{false};
+  std::atomic<int> bad_selections{0};
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&registry, &stop, &bad_selections, t] {
+      common::Rng rng(static_cast<uint64_t>(1000 + t));
+      const int64_t m = 24, k = 24, n = 24;
+      std::vector<float> a(static_cast<size_t>(m * k));
+      std::vector<float> b(static_cast<size_t>(k * n));
+      std::vector<float> y(static_cast<size_t>(m * n), 0.0f);
+      for (auto& x : a) x = rng.UniformF(-1.0f, 1.0f);
+      for (auto& x : b) x = rng.UniformF(-1.0f, 1.0f);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const GemmOp op = static_cast<GemmOp>(rng.UniformInt(3));
+        GemmProblem p{op, m, k, n, IsaLevel::kScalar, 1};
+        const GemmSolver* s = registry.Select(p);
+        if (s == nullptr || registry.FindById(s->id()) != s) {
+          bad_selections.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        if (op == GemmOp::kMatMul) s->Run(p, a.data(), b.data(), y.data());
+      }
+    });
+  }
+
+  for (int i = 0; i < kReloads; ++i) {
+    // Alternate a clean install with a failed one; the failed reload must
+    // clear the cache, not leave readers pointing at freed records.
+    EXPECT_TRUE(registry.ReloadCache(good_path).ok());
+    EXPECT_FALSE(registry.ReloadCache(bad_path).ok());
+    registry.ClearCache();
+  }
+  EXPECT_TRUE(registry.ReloadCache(good_path).ok());
+
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(bad_selections.load(), 0);
+  // After the dust settles the cached winner is served as usual.
+  EXPECT_STREQ(registry.Select(GemmProblem{GemmOp::kMatMul, 24, 24, 24,
+                                           IsaLevel::kScalar, 1})
+                   ->id(),
+               "gemm.blocked8x8");
+
+  registry.ClearCache();
+  std::filesystem::remove(good_path);
+  std::filesystem::remove(bad_path);
+}
+
+}  // namespace
+}  // namespace desalign::tensor::kernels::solver
