@@ -1,0 +1,107 @@
+// Overload benchmark: open-loop load generator sweeping offered QPS past
+// the serving queue's measured capacity. Proves the overload-protection
+// stack (bounded admission, per-request deadlines, the degradation
+// ladder) keeps goodput flat and the p99 of admitted requests bounded
+// while the surplus is shed, and that the queue walks back to healthy,
+// bit-exact answers after the storm. Writes BENCH_overload.json (schema
+// "desalign.overload_bench.v1"); see docs/ROBUSTNESS.md.
+//
+//   ./overload_bench [--out=BENCH_overload.json] [--entities=30000]
+//                    [--dim=64] [--k=10] [--deadline-ms=50]
+//                    [--max-pending=256] [--duration-s=2]
+//                    [--multipliers=0.5,1,2,4] [--threads=4] [--smoke]
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "common/flags.h"
+#include "common/strings.h"
+#include "serve/overload_bench.h"
+
+using namespace desalign;
+
+int main(int argc, char** argv) {
+  common::FlagParser parser(
+      "overload_bench: open-loop overload sweep of the serving queue");
+  std::string out_path, multipliers;
+  int64_t entities, dim, k, max_pending, threads;
+  double deadline_ms, duration_s;
+  bool smoke;
+  parser.AddString("out", "BENCH_overload.json", "output JSON path",
+                   &out_path);
+  parser.AddInt64("entities", 30000, "synthetic table rows", &entities);
+  parser.AddInt64("dim", 64, "embedding dimension", &dim);
+  parser.AddInt64("k", 10, "candidates per query", &k);
+  parser.AddDouble("deadline-ms", 50.0, "per-request deadline", &deadline_ms);
+  parser.AddInt64("max-pending", 256, "admission bound on the queue",
+                  &max_pending);
+  parser.AddDouble("duration-s", 2.0, "open-loop seconds per load point",
+                   &duration_s);
+  parser.AddString("multipliers", "0.5,1,2,4",
+                   "offered load as multiples of measured capacity",
+                   &multipliers);
+  parser.AddInt64("threads", 4, "submitting client threads", &threads);
+  parser.AddBool("smoke", false, "CI mode: small table, short points",
+                 &smoke);
+  auto status = parser.Parse(argc, argv);
+  if (!status.ok()) {
+    if (status.code() != common::StatusCode::kFailedPrecondition) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    return 0;  // --help
+  }
+
+  serve::OverloadBenchOptions options;
+  options.entities = entities;
+  options.dim = dim;
+  options.k = k;
+  options.deadline_ms = deadline_ms;
+  options.max_pending = max_pending;
+  options.duration_s = duration_s;
+  options.submit_threads = static_cast<int>(threads);
+  options.smoke = smoke;
+  options.load_multipliers.clear();
+  for (const auto& tok : common::Split(multipliers, ',')) {
+    const std::string trimmed(common::Trim(tok));
+    if (!trimmed.empty()) {
+      options.load_multipliers.push_back(std::atof(trimmed.c_str()));
+    }
+  }
+  if (options.load_multipliers.empty()) {
+    options.load_multipliers = {0.5, 1.0, 2.0, 4.0};
+  }
+
+  const auto report = serve::RunOverloadBench(options);
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  out << report.ToJson();
+  out.close();
+
+  std::printf("capacity %.0f qps (%ld entities, dim %ld, deadline %.0f ms)\n",
+              report.capacity_qps, static_cast<long>(report.entities),
+              static_cast<long>(report.dim), report.deadline_ms);
+  for (const auto& c : report.cases) {
+    std::printf("  x%-4.2g offered %7.0f qps  goodput %7.0f qps  "
+                "ok %6ld  shed %5ld/%-5ld  p99 %7.2f ms  rung %ld->%ld\n",
+                c.multiplier, c.offered_qps, c.goodput_qps,
+                static_cast<long>(c.ok),
+                static_cast<long>(c.shed_queue_full),
+                static_cast<long>(c.shed_deadline), c.p99_ms,
+                static_cast<long>(c.max_rung), static_cast<long>(c.end_rung));
+  }
+  std::printf("recovery: rung %ld -> %s in %.0f ms, %s\n",
+              static_cast<long>(report.recovery.from_rung),
+              report.recovery.reached_healthy ? "healthy" : "NOT healthy",
+              report.recovery.recover_ms,
+              report.recovery.bitexact ? "bit-exact" : "NOT bit-exact");
+  std::printf("wrote %s (%zu load points)\n", out_path.c_str(),
+              report.cases.size());
+  return 0;
+}

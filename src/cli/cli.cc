@@ -33,6 +33,7 @@
 #include "obs/trace.h"
 #include "serve/batch_queue.h"
 #include "serve/embedding_store.h"
+#include "serve/overload_bench.h"
 #include "serve/stats.h"
 #include "serve/topk.h"
 #include "tensor/kernels/kernel_bench.h"
@@ -1047,6 +1048,112 @@ Status CmdBenchQuant(const std::vector<std::string>& args,
   return Status::Ok();
 }
 
+// bench-overload: open-loop offered-QPS sweep past the serving queue's
+// measured capacity; writes BENCH_overload.json (schema
+// desalign.overload_bench.v1, gated by tools/ci.sh --overload).
+Status CmdBenchOverload(const std::vector<std::string>& args,
+                        std::ostream& out) {
+  FlagParser parser(
+      "desalign bench-overload: open-loop overload sweep of the serving "
+      "queue — admission, deadlines, degradation ladder");
+  ThreadsFlag threads;
+  threads.Register(parser);
+  std::string out_path;
+  std::string multipliers;
+  int64_t entities;
+  int64_t dim;
+  int64_t k;
+  int64_t max_pending;
+  int64_t submit_threads;
+  double deadline_ms;
+  double duration_s;
+  bool smoke;
+  parser.AddString("out", "BENCH_overload.json", "output JSON path",
+                   &out_path);
+  parser.AddInt64("entities", 30000, "synthetic table rows", &entities);
+  parser.AddInt64("dim", 64, "embedding dimension", &dim);
+  parser.AddInt64("k", 10, "candidates per query", &k);
+  parser.AddDouble("deadline-ms", 50.0, "per-request deadline",
+                   &deadline_ms);
+  parser.AddInt64("max-pending", 256, "admission bound on the queue",
+                  &max_pending);
+  parser.AddDouble("duration-s", 2.0, "open-loop seconds per load point",
+                   &duration_s);
+  parser.AddString("multipliers", "0.5,1,2,4",
+                   "offered load as multiples of measured capacity",
+                   &multipliers);
+  parser.AddInt64("submit-threads", 0,
+                  "submitting client threads (0 = auto: min(4, cores))",
+                  &submit_threads);
+  parser.AddBool("smoke", false, "CI mode: small table, short points",
+                 &smoke);
+  auto argv = ToArgv(args);
+  DESALIGN_RETURN_NOT_OK(
+      parser.Parse(static_cast<int>(argv.size()), argv.data(), 0));
+  DESALIGN_RETURN_NOT_OK(threads.Apply());
+  if (entities <= 0 || dim <= 0 || k <= 0 || max_pending <= 0 ||
+      submit_threads < 0 || duration_s <= 0.0) {
+    return Status::InvalidArgument(
+        "--entities, --dim, --k, --max-pending and --duration-s must be "
+        "positive (--submit-threads may be 0 = auto)");
+  }
+
+  serve::OverloadBenchOptions options;
+  options.entities = entities;
+  options.dim = dim;
+  options.k = k;
+  options.deadline_ms = deadline_ms;
+  options.max_pending = max_pending;
+  options.duration_s = duration_s;
+  options.submit_threads = static_cast<int>(submit_threads);
+  options.smoke = smoke;
+  options.load_multipliers.clear();
+  for (const auto& tok : common::Split(multipliers, ',')) {
+    const std::string trimmed(common::Trim(tok));
+    if (trimmed.empty()) continue;
+    const double m = std::atof(trimmed.c_str());
+    if (m <= 0.0) {
+      return Status::InvalidArgument(
+          "--multipliers entries must be positive, got '" + tok + "'");
+    }
+    options.load_multipliers.push_back(m);
+  }
+  if (options.load_multipliers.empty()) {
+    return Status::InvalidArgument("--multipliers is empty");
+  }
+
+  const auto report = serve::RunOverloadBench(options);
+
+  std::ofstream file(out_path);
+  if (!file) {
+    return Status::InvalidArgument("cannot open '" + out_path +
+                                   "' for writing");
+  }
+  file << report.ToJson();
+  file.close();
+
+  out << "capacity " << common::FormatDouble(report.capacity_qps, 0)
+      << " qps (" << report.entities << " entities, dim " << report.dim
+      << ", deadline " << common::FormatDouble(report.deadline_ms, 0)
+      << " ms)\n";
+  for (const auto& c : report.cases) {
+    out << "  x" << common::FormatDouble(c.multiplier, 2) << " offered "
+        << common::FormatDouble(c.offered_qps, 0) << " qps, goodput "
+        << common::FormatDouble(c.goodput_qps, 0) << " qps, ok " << c.ok
+        << ", shed " << c.shed_queue_full << "/" << c.shed_deadline
+        << ", p99 " << common::FormatDouble(c.p99_ms, 2) << " ms, rung "
+        << c.max_rung << "->" << c.end_rung << "\n";
+  }
+  out << "recovery: rung " << report.recovery.from_rung << " -> "
+      << (report.recovery.reached_healthy ? "healthy" : "NOT healthy")
+      << " in " << common::FormatDouble(report.recovery.recover_ms, 0)
+      << " ms, "
+      << (report.recovery.bitexact ? "bit-exact" : "NOT bit-exact") << "\n";
+  out << "wrote " << out_path << " (" << report.cases.size()
+      << " load points)\n";
+  return Status::Ok();
+}
+
 constexpr char kTopLevelUsage[] =
     "usage: desalign <command> [flags]\n"
     "commands:\n"
@@ -1067,6 +1174,8 @@ constexpr char kTopLevelUsage[] =
     "storage\n"
     "  bench-quant  sweep entity counts, quantized storage vs fp32, write "
     "BENCH_quant.json\n"
+    "  bench-overload  open-loop overload sweep of the serving queue, "
+    "write BENCH_overload.json\n"
     "run `desalign <command> --help` for command flags.\n";
 
 }  // namespace
@@ -1101,6 +1210,8 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out) {
     status = CmdQuantize(rest, out);
   } else if (command == "bench-quant") {
     status = CmdBenchQuant(rest, out);
+  } else if (command == "bench-overload") {
+    status = CmdBenchOverload(rest, out);
   } else if (command == "--help" || command == "-h" || command == "help") {
     out << kTopLevelUsage;
     return 0;

@@ -1,0 +1,100 @@
+#include "common/clock.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace desalign::common {
+
+namespace {
+
+/// The one audited wall-of-real-time implementation: steady_clock (the
+/// sanctioned monotonic timer — never system_clock) behind the virtual
+/// Clock seam, so everything above it stays replayable under ManualClock.
+class RealClock final : public Clock {
+ public:
+  TimePoint Now() const override { return std::chrono::steady_clock::now(); }
+
+  std::cv_status WaitUntil(CondVar& cv, Mutex& /*mu*/, MutexLock& lock,
+                           TimePoint deadline) override {
+    return cv.WaitUntil(lock, deadline);
+  }
+
+  void SleepFor(Duration d) override {
+    if (d > Duration::zero()) std::this_thread::sleep_for(d);
+  }
+};
+
+}  // namespace
+
+Clock* Clock::Real() {
+  static RealClock& clock = *new RealClock;  // leaked: process lifetime
+  return &clock;
+}
+
+Clock::TimePoint ManualClock::Now() const {
+  MutexLock lock(mutex_);
+  return now_;
+}
+
+std::cv_status ManualClock::WaitUntil(CondVar& cv, Mutex& mu, MutexLock& lock,
+                                      TimePoint deadline) {
+  {
+    MutexLock clock_lock(mutex_);
+    if (now_ >= deadline) return std::cv_status::timeout;
+    waiters_.push_back({&cv, &mu});
+  }
+  // Registered before parking: a concurrent Advance* now either sees this
+  // waiter (and wakes it through the mutex handshake in WakeWaiters) or
+  // ran before the registration, in which case the deadline check above
+  // already observed the advanced time.
+  wait_calls_.fetch_add(1, std::memory_order_relaxed);
+  cv.Wait(lock);
+  MutexLock clock_lock(mutex_);
+  for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
+    if (it->cv == &cv && it->mu == &mu) {
+      waiters_.erase(it);
+      break;
+    }
+  }
+  return now_ >= deadline ? std::cv_status::timeout
+                          : std::cv_status::no_timeout;
+}
+
+void ManualClock::SleepFor(Duration d) {
+  sleep_calls_.fetch_add(1, std::memory_order_relaxed);
+  if (d > Duration::zero()) AdvanceBy(d);
+}
+
+void ManualClock::AdvanceBy(Duration d) {
+  std::vector<Waiter> to_wake;
+  {
+    MutexLock lock(mutex_);
+    now_ += d;
+    to_wake = waiters_;
+  }
+  WakeWaiters(std::move(to_wake));
+}
+
+void ManualClock::AdvanceTo(TimePoint t) {
+  std::vector<Waiter> to_wake;
+  {
+    MutexLock lock(mutex_);
+    now_ = std::max(now_, t);
+    to_wake = waiters_;
+  }
+  WakeWaiters(std::move(to_wake));
+}
+
+void ManualClock::WakeWaiters(std::vector<Waiter> waiters) {
+  for (const Waiter& w : waiters) {
+    // Handshake on the waiter's own mutex: a registered waiter holds it
+    // from its deadline check until cv.Wait atomically releases it, so by
+    // the time Lock() returns the waiter is parked (or already gone) and
+    // the notification cannot fall into the register-to-wait window.
+    w.mu->Lock();
+    w.mu->Unlock();
+    w.cv->NotifyAll();
+  }
+}
+
+}  // namespace desalign::common

@@ -1,0 +1,116 @@
+#ifndef DESALIGN_COMMON_CLOCK_H_
+#define DESALIGN_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace desalign::common {
+
+/// Injectable monotonic time source for every serving-side deadline and
+/// timeout decision. Library code never reads std::chrono clocks directly
+/// for control flow: it asks a Clock, so tests swap in a ManualClock and
+/// assert deadline behavior deterministically, without sleeps. The single
+/// audited real implementation (Clock::Real(), steady_clock) is the only
+/// place serving control flow touches a hardware timer — the wall-clock
+/// lint's sanctioned pattern (see tests/lint/fixtures/src/common/).
+///
+/// The time domain is steady_clock's time_point/duration types, but a
+/// ManualClock's epoch is its own: never mix time points across clock
+/// instances.
+class Clock {
+ public:
+  using TimePoint = std::chrono::steady_clock::time_point;
+  using Duration = std::chrono::steady_clock::duration;
+
+  virtual ~Clock() = default;
+
+  virtual TimePoint Now() const = 0;
+
+  /// Waits on `cv` (paired with `mu`, which `lock` must currently hold)
+  /// until notified or this clock reaches `deadline`. Returns timeout iff
+  /// Now() >= deadline at wake-up; spurious wakeups surface as
+  /// no_timeout, so callers keep the standard predicate loop.
+  virtual std::cv_status WaitUntil(CondVar& cv, Mutex& mu, MutexLock& lock,
+                                   TimePoint deadline) = 0;
+
+  /// Blocks the calling thread for `d` of this clock's time. The real
+  /// clock sleeps; a ManualClock advances itself instead, so
+  /// fault-injected delays (DESALIGN_FAULTS `delay` actions) expire
+  /// deadlines deterministically in tests.
+  virtual void SleepFor(Duration d) = 0;
+
+  /// Milliseconds between `start` and this clock's now — the shared
+  /// latency measurement helper.
+  double MillisSince(TimePoint start) const {
+    return std::chrono::duration<double, std::milli>(Now() - start).count();
+  }
+
+  static Duration FromMillis(double ms) {
+    return std::chrono::duration_cast<Duration>(
+        std::chrono::duration<double, std::milli>(ms));
+  }
+
+  /// Process-wide steady-clock instance: the audited real implementation.
+  static Clock* Real();
+};
+
+/// Deterministic test clock. Time only moves when a test calls AdvanceBy/
+/// AdvanceTo (or a SleepFor fires, e.g. an injected delay fault). WaitUntil
+/// parks waiters on their own condition variable and Advance* wakes every
+/// parked waiter through a mutex handshake, so a wakeup can never be lost
+/// between a waiter's deadline check and its wait — the property that makes
+/// batching-window and deadline tests sleep-free and race-free.
+///
+/// Waiters must outlive any concurrent Advance* call (in practice: keep
+/// the BatchQueue alive while the test advances its clock).
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(TimePoint start = TimePoint{}) : now_(start) {}
+
+  TimePoint Now() const override;
+  std::cv_status WaitUntil(CondVar& cv, Mutex& mu, MutexLock& lock,
+                           TimePoint deadline) override;
+  /// Advances the clock; never blocks the caller.
+  void SleepFor(Duration d) override;
+
+  void AdvanceBy(Duration d);
+  void AdvanceTo(TimePoint t);
+
+  /// Total WaitUntil calls that actually parked (registered as waiters).
+  /// Tests spin on this to know a worker is holding a partial batch before
+  /// advancing time past its window.
+  int64_t wait_calls() const {
+    return wait_calls_.load(std::memory_order_relaxed);
+  }
+
+  /// Total SleepFor calls (each advances the clock) — how often injected
+  /// delay faults fired through this clock.
+  int64_t sleep_calls() const {
+    return sleep_calls_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Waiter {
+    CondVar* cv = nullptr;
+    Mutex* mu = nullptr;
+  };
+
+  void WakeWaiters(std::vector<Waiter> waiters);
+
+  mutable Mutex mutex_;
+  TimePoint now_ GUARDED_BY(mutex_);
+  std::vector<Waiter> waiters_ GUARDED_BY(mutex_);
+  std::atomic<int64_t> wait_calls_{0};
+  std::atomic<int64_t> sleep_calls_{0};
+};
+
+}  // namespace desalign::common
+
+#endif  // DESALIGN_COMMON_CLOCK_H_

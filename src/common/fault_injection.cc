@@ -15,6 +15,7 @@ Result<FaultKind> ParseKind(std::string_view text) {
   if (text == "bitflip") return FaultKind::kBitFlip;
   if (text == "nan") return FaultKind::kNan;
   if (text == "stop") return FaultKind::kStop;
+  if (text == "delay") return FaultKind::kDelay;
   return Status::InvalidArgument("unknown fault action '" +
                                  std::string(text) + "'");
 }

@@ -21,6 +21,7 @@ enum class FaultKind {
   kBitFlip,     ///< bit 0 of byte `param` of the buffer is flipped
   kNan,         ///< a numeric value is replaced by a quiet NaN
   kStop,        ///< the surrounding loop returns early (simulated crash)
+  kDelay,       ///< the operation stalls `param` ms on its injected Clock
 };
 
 /// Resolved action for one site hit; falsy when no rule fired.
@@ -37,14 +38,16 @@ struct FaultAction {
 ///   site ':' action [':' param] ['@' hit]
 ///
 /// where `site` is a dot-separated site name (e.g. `ckpt.write.data`),
-/// `action` is one of fail | short | bitflip | nan | stop, `param` is the
-/// integer the action needs (bytes kept for `short`, byte offset for
-/// `bitflip`), and `hit` selects the 1-based occurrence that fires (`@*`
+/// `action` is one of fail | short | bitflip | nan | stop | delay, `param`
+/// is the integer the action needs (bytes kept for `short`, byte offset
+/// for `bitflip`, milliseconds stalled on the site's injected Clock for
+/// `delay`), and `hit` selects the 1-based occurrence that fires (`@*`
 /// fires on every occurrence; the default is `@1`). Examples:
 ///
 ///   ckpt.write.data:short:64@2     torn second checkpoint write
 ///   ckpt.read:bitflip:100          flip a bit in the first read
 ///   train.loss:nan@3;train.loss:nan@4   two bad training steps
+///   serve.batch.retrieve:delay:50@*     every retrieval runs 50 ms slow
 ///
 /// Instrumented call sites ask `OnSite(name)` once per operation; each call
 /// advances that site's hit counter, so firing is a pure function of the

@@ -141,6 +141,19 @@ std::vector<serve::TopKResult> IvfRetriever::Retrieve(const float* queries,
   return RetrieveWithProbe(queries, num_queries, k, options_.nprobe);
 }
 
+std::vector<serve::TopKResult> IvfRetriever::RetrieveDegraded(
+    const float* queries, int64_t num_queries, int64_t k,
+    serve::DegradationLevel level) const {
+  if (level < serve::DegradationLevel::kReducedProbe) {
+    return Retrieve(queries, num_queries, k);
+  }
+  int64_t nprobe = options_.degraded_nprobe > 0
+                       ? options_.degraded_nprobe
+                       : std::max<int64_t>(1, options_.nprobe / 4);
+  nprobe = std::min(std::max<int64_t>(nprobe, 1), options_.nprobe);
+  return RetrieveWithProbe(queries, num_queries, k, nprobe);
+}
+
 std::vector<serve::TopKResult> IvfRetriever::RetrieveWithProbe(
     const float* queries, int64_t num_queries, int64_t k,
     int64_t nprobe) const {

@@ -43,6 +43,11 @@ struct IvfOptions {
   /// set before the exact fp32 re-rank; same policy as
   /// serve::TopKOptions::rerank_candidates (0 auto, >0 explicit, <0 all).
   int64_t rerank_candidates = 0;
+  /// Probe width served while the overload governor has the queue at
+  /// DegradationLevel::kReducedProbe or below; 0 = auto
+  /// (max(1, nprobe / 4)). Clamped to [1, nprobe] — degrading never scans
+  /// more than the configured probe.
+  int64_t degraded_nprobe = 0;
 };
 
 /// Two-stage deterministic ANN retriever: a k-means coarse quantizer
@@ -101,6 +106,14 @@ class IvfRetriever final : public serve::Retriever {
                                                    int64_t num_queries,
                                                    int64_t k,
                                                    int64_t nprobe) const;
+
+  /// Overload ladder: any rung at or past kReducedProbe probes
+  /// `degraded_nprobe` cells instead of `nprobe` — recall dips, the scan
+  /// shrinks, and results return to bit-identical full quality as soon as
+  /// the governor steps back to kNone (the index itself is untouched).
+  std::vector<serve::TopKResult> RetrieveDegraded(
+      const float* queries, int64_t num_queries, int64_t k,
+      serve::DegradationLevel level) const override;
 
   int64_t dim() const override;
   int64_t size() const override;

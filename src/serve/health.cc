@@ -1,0 +1,137 @@
+#include "serve/health.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "serve/stats.h"
+
+namespace desalign::serve {
+
+const char* HealthStateName(HealthState state) {
+  switch (state) {
+    case HealthState::kHealthy:
+      return "healthy";
+    case HealthState::kDegraded:
+      return "degraded";
+    case HealthState::kShedding:
+      return "shedding";
+  }
+  return "unknown";
+}
+
+HealthGovernor::HealthGovernor(const OverloadOptions& options,
+                               int64_t max_pending, ServeStats* stats)
+    : options_(options), max_pending_(max_pending), stats_(stats) {}
+
+HealthState HealthGovernor::state() const {
+  const int r = rung();
+  if (r >= kSheddingRung) return HealthState::kShedding;
+  return r > 0 ? HealthState::kDegraded : HealthState::kHealthy;
+}
+
+DegradationLevel HealthGovernor::level() const {
+  switch (std::min(rung(), 2)) {
+    case 1:
+      return DegradationLevel::kReducedProbe;
+    case 2:
+      return DegradationLevel::kNoRefine;
+    default:
+      return DegradationLevel::kNone;
+  }
+}
+
+void HealthGovernor::RecordOutcome(bool deadline_miss) {
+  ++window_outcomes_;
+  if (deadline_miss) ++window_misses_;
+}
+
+DegradationLevel HealthGovernor::OnSample(int64_t queue_depth,
+                                          common::Clock::TimePoint now) {
+  if (!options_.enabled) return DegradationLevel::kNone;
+  const auto window =
+      common::Clock::FromMillis(std::max(options_.sample_window_ms, 0.0));
+  if (!clock_initialized_) {
+    clock_initialized_ = true;
+    window_start_ = now;
+    // Back-dated so the very first pressure sample can escalate; the dwell
+    // only rate-limits consecutive escalations after that.
+    last_escalation_ = now - window;
+  }
+
+  // Roll the outcome window. The just-closed window's miss fraction stays
+  // the pressure signal until the next one closes, so a momentarily empty
+  // window does not read as instant recovery.
+  if (now - window_start_ >= window) {
+    last_miss_fraction_ =
+        window_outcomes_ > 0 ? static_cast<double>(window_misses_) /
+                                   static_cast<double>(window_outcomes_)
+                             : 0.0;
+    window_outcomes_ = 0;
+    window_misses_ = 0;
+    window_start_ = now;
+  }
+
+  const double depth_fraction =
+      max_pending_ > 0 ? static_cast<double>(queue_depth) /
+                             static_cast<double>(max_pending_)
+                       : 0.0;
+  const double live_miss_fraction =
+      window_outcomes_ > 0 ? static_cast<double>(window_misses_) /
+                                 static_cast<double>(window_outcomes_)
+                           : 0.0;
+  const double miss_fraction = std::max(last_miss_fraction_, live_miss_fraction);
+  const bool urgent = depth_fraction >= options_.shed_depth_fraction;
+  const bool pressure = urgent ||
+                        depth_fraction >= options_.degrade_depth_fraction ||
+                        miss_fraction >= options_.deadline_miss_fraction;
+
+  const int current = rung();
+  if (urgent && current < kSheddingRung) {
+    // Imminent overflow: skip the ladder walk, stop the bleeding now.
+    SetRung(kSheddingRung, "depth past shed threshold", depth_fraction,
+            miss_fraction);
+    last_escalation_ = now;
+    calm_ = false;
+    return level();
+  }
+  if (pressure) {
+    calm_ = false;
+    if (current < kSheddingRung && now - last_escalation_ >= window) {
+      SetRung(current + 1, "sustained pressure", depth_fraction,
+              miss_fraction);
+      last_escalation_ = now;
+    }
+    return level();
+  }
+
+  // No pressure. Step back one rung per uninterrupted recover_hold_ms of
+  // calm (depth also below the recovery watermark) — the hysteresis that
+  // keeps a borderline queue from flapping between rungs.
+  if (current > 0 && depth_fraction <= options_.recover_depth_fraction) {
+    if (!calm_) {
+      calm_ = true;
+      calm_since_ = now;
+    } else if (now - calm_since_ >=
+               common::Clock::FromMillis(options_.recover_hold_ms)) {
+      SetRung(current - 1, "pressure subsided", depth_fraction,
+              miss_fraction);
+      calm_since_ = now;  // each further rung needs its own full hold
+    }
+  } else if (current == 0) {
+    calm_ = false;
+  }
+  return level();
+}
+
+void HealthGovernor::SetRung(int next, const char* why, double depth_fraction,
+                             double miss_fraction) {
+  const int prev = rung_.exchange(next, std::memory_order_relaxed);
+  if (prev == next) return;
+  if (stats_ != nullptr) stats_->RecordHealthTransition(prev, next);
+  DESALIGN_LOG(Info) << "serve health rung " << prev << " -> " << next << " ("
+                     << HealthStateName(state()) << "): " << why
+                     << " [depth=" << depth_fraction
+                     << " miss=" << miss_fraction << "]";
+}
+
+}  // namespace desalign::serve

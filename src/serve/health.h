@@ -1,0 +1,105 @@
+#ifndef DESALIGN_SERVE_HEALTH_H_
+#define DESALIGN_SERVE_HEALTH_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/clock.h"
+#include "serve/retriever.h"
+
+namespace desalign::serve {
+
+class ServeStats;
+
+/// Coarse serving health derived from the degradation rung.
+enum class HealthState : uint8_t {
+  kHealthy = 0,   ///< rung 0: full-quality answers
+  kDegraded = 1,  ///< rungs 1-2: answers served down the ladder
+  kShedding = 2,  ///< rung 3: admissions beyond the shed watermark rejected
+};
+
+const char* HealthStateName(HealthState state);
+
+/// Knobs of the hysteresis-based overload state machine. Pressure is two
+/// signals sampled on the queue's injected Clock at every batch formation:
+/// queue depth as a fraction of max_pending, and the deadline-miss
+/// fraction of request outcomes inside the current sampling window.
+struct OverloadOptions {
+  /// Master switch. Off = the governor reports healthy forever; bounded
+  /// admission and deadlines still apply, the quality ladder does not.
+  bool enabled = false;
+  /// depth/max_pending at or above this is pressure (escalate one rung).
+  double degrade_depth_fraction = 0.5;
+  /// depth/max_pending at or above this jumps straight to shedding.
+  double shed_depth_fraction = 0.9;
+  /// deadline misses / outcomes within the window counting as pressure.
+  double deadline_miss_fraction = 0.5;
+  /// Outcome-rate sampling window, and the minimum dwell between two
+  /// consecutive escalations (one rung per window, not a free fall).
+  double sample_window_ms = 100.0;
+  /// Pressure must stay absent this long before each single-rung step back
+  /// up the ladder — the hysteresis that stops healthy<->degraded flapping.
+  double recover_hold_ms = 250.0;
+  /// Recovery additionally requires depth/max_pending at or below this.
+  double recover_depth_fraction = 0.25;
+};
+
+/// The overload state machine: healthy -> degraded (rung by rung) ->
+/// shedding, and back down one rung per quiet recover_hold_ms. Driven
+/// entirely by observations its owner feeds it (queue depth at batch
+/// formation, per-request outcomes), with every timestamp taken from the
+/// owner's injected Clock — so the ladder is deterministic under
+/// ManualClock and never reads a timer itself.
+///
+/// Threading: OnSample and RecordOutcome are called by the queue's single
+/// worker thread; rung() / shedding() are lock-free reads from any thread
+/// (the Submit fast path checks shedding() at admission).
+class HealthGovernor {
+ public:
+  /// `stats` may be null (no metrics). `max_pending` <= 0 disables the
+  /// depth signal (an unbounded queue has no meaningful depth fraction).
+  HealthGovernor(const OverloadOptions& options, int64_t max_pending,
+                 ServeStats* stats);
+
+  /// Observes the pending-queue depth at one batch formation and walks the
+  /// state machine. Returns the rung the next batch should be served at.
+  DegradationLevel OnSample(int64_t queue_depth,
+                            common::Clock::TimePoint now);
+
+  /// Records one request outcome inside the sampling window.
+  void RecordOutcome(bool deadline_miss);
+
+  /// Rung 0..3 (3 = shedding); the ladder position.
+  int rung() const { return rung_.load(std::memory_order_relaxed); }
+  bool shedding() const { return rung() >= kSheddingRung; }
+  HealthState state() const;
+  /// Quality level batches are currently served at (rung clamped to the
+  /// ladder; shedding still serves already-admitted work at kNoRefine).
+  DegradationLevel level() const;
+
+  static constexpr int kSheddingRung = 3;
+
+ private:
+  void SetRung(int next, const char* why, double depth_fraction,
+               double miss_fraction);
+
+  const OverloadOptions options_;
+  const int64_t max_pending_;
+  ServeStats* stats_;
+
+  std::atomic<int> rung_{0};
+
+  // Worker-thread-only state (no lock needed; see class comment).
+  bool clock_initialized_ = false;
+  common::Clock::TimePoint window_start_{};
+  common::Clock::TimePoint last_escalation_{};
+  common::Clock::TimePoint calm_since_{};
+  bool calm_ = false;
+  int64_t window_outcomes_ = 0;
+  int64_t window_misses_ = 0;
+  double last_miss_fraction_ = 0.0;
+};
+
+}  // namespace desalign::serve
+
+#endif  // DESALIGN_SERVE_HEALTH_H_

@@ -1,0 +1,33 @@
+#include "serve/retriever.h"
+
+namespace desalign::serve {
+
+const char* ServeStatusName(ServeStatus status) {
+  switch (status) {
+    case ServeStatus::kOk:
+      return "ok";
+    case ServeStatus::kRejectedQueueFull:
+      return "rejected_queue_full";
+    case ServeStatus::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case ServeStatus::kInvalidQuery:
+      return "invalid_query";
+    case ServeStatus::kShutdown:
+      return "shutdown";
+  }
+  return "unknown";
+}
+
+const char* DegradationLevelName(DegradationLevel level) {
+  switch (level) {
+    case DegradationLevel::kNone:
+      return "none";
+    case DegradationLevel::kReducedProbe:
+      return "reduced_probe";
+    case DegradationLevel::kNoRefine:
+      return "no_refine";
+  }
+  return "unknown";
+}
+
+}  // namespace desalign::serve

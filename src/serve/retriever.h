@@ -6,12 +6,47 @@
 
 namespace desalign::serve {
 
+/// Definite outcome of one serving request. Every future a BatchQueue
+/// issues resolves with exactly one of these, so callers can tell a
+/// legitimate empty result (kOk, empty store or k clamp) from an admission
+/// rejection — the serving front door never aborts and never leaves an
+/// outcome ambiguous. See docs/ROBUSTNESS.md "Overload protection".
+enum class ServeStatus : uint8_t {
+  kOk = 0,                 ///< scored; ids/scores are the real top-k
+  kRejectedQueueFull = 1,  ///< shed at admission: queue at max_pending, or
+                           ///< at the shed watermark while the governor is
+                           ///< in kShedding
+  kDeadlineExceeded = 2,   ///< request deadline expired before scoring
+  kInvalidQuery = 3,       ///< malformed query (wrong dimension)
+  kShutdown = 4,           ///< submitted after Shutdown
+};
+
+const char* ServeStatusName(ServeStatus status);
+
+/// Rung of the graceful-degradation ladder a result was served at. Under
+/// sustained overload the health governor steps the queue down this ladder
+/// (cheaper answers instead of no answers) and back up once pressure
+/// subsides; each result carries the rung so callers know they got a
+/// degraded answer. kNone results are bit-identical to an unloaded queue.
+enum class DegradationLevel : uint8_t {
+  kNone = 0,          ///< full quality
+  kReducedProbe = 1,  ///< IVF probes fewer cells (recall dips, scan shrinks)
+  kNoRefine = 2,      ///< int8 fp32-refinement re-rank skipped: scores come
+                      ///< from dequantized codes only
+};
+
+const char* DegradationLevelName(DegradationLevel level);
+
 /// Top-k candidates for one query, best first. Ordering is the total order
 /// (score descending, entity id ascending), so results are deterministic
-/// even under score ties.
+/// even under score ties. `status` says whether ids/scores are meaningful
+/// (kOk) or why they are empty; `degradation` flags answers served below
+/// full quality by an overloaded queue.
 struct TopKResult {
   std::vector<int64_t> ids;
   std::vector<float> scores;
+  ServeStatus status = ServeStatus::kOk;
+  DegradationLevel degradation = DegradationLevel::kNone;
 };
 
 /// Abstract batched top-k retrieval over an entity embedding table. The
@@ -35,6 +70,18 @@ class Retriever {
   virtual std::vector<TopKResult> Retrieve(const float* queries,
                                            int64_t num_queries,
                                            int64_t k) const = 0;
+
+  /// Retrieval at a degradation rung, for the overload ladder. The base
+  /// contract (result count, ordering, k clamping) is unchanged; a rung
+  /// only shrinks the work per query. Implementations that have nothing to
+  /// shed at a rung serve full quality (this default). Results do NOT
+  /// carry the rung — the BatchQueue stamps `degradation` on what it hands
+  /// out, since only it knows why the rung was requested.
+  virtual std::vector<TopKResult> RetrieveDegraded(
+      const float* queries, int64_t num_queries, int64_t k,
+      DegradationLevel /*level*/) const {
+    return Retrieve(queries, num_queries, k);
+  }
 
   /// Embedding dimension queries must match.
   virtual int64_t dim() const = 0;

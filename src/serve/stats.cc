@@ -22,7 +22,9 @@ std::string Num(double v) {
 
 }  // namespace
 
-ServeStats::ServeStats(obs::MetricsRegistry* registry, std::string prefix) {
+ServeStats::ServeStats(obs::MetricsRegistry* registry, std::string prefix,
+                       common::Clock* clock)
+    : clock_(clock ? clock : common::Clock::Real()) {
   obs::MetricsRegistry& reg =
       registry ? *registry : obs::MetricsRegistry::Global();
   latency_ = &reg.GetHistogram(prefix + ".latency_ms");
@@ -30,8 +32,18 @@ ServeStats::ServeStats(obs::MetricsRegistry* registry, std::string prefix) {
   // count/sum (exact) feed the reported mean.
   batches_ = &reg.GetHistogram(prefix + ".batch_size",
                                obs::Histogram::ExponentialBuckets(1.0, 2.0, 16));
+  queue_wait_ = &reg.GetHistogram(prefix + ".queue_wait_ms");
   reloads_ok_ = &reg.GetCounter(prefix + ".reloads_ok");
   reloads_failed_ = &reg.GetCounter(prefix + ".reloads_failed");
+  admitted_ = &reg.GetCounter(prefix + ".admitted");
+  shed_queue_full_ = &reg.GetCounter(prefix + ".shed_queue_full");
+  shed_deadline_ = &reg.GetCounter(prefix + ".shed_deadline");
+  rejected_invalid_ = &reg.GetCounter(prefix + ".rejected_invalid");
+  rejected_shutdown_ = &reg.GetCounter(prefix + ".rejected_shutdown");
+  degraded_ = &reg.GetCounter(prefix + ".degraded");
+  health_transitions_ = &reg.GetCounter(prefix + ".health_transitions");
+  queue_depth_ = &reg.GetGauge(prefix + ".queue_depth");
+  health_state_ = &reg.GetGauge(prefix + ".health_state");
   Reset();
 }
 
@@ -47,21 +59,71 @@ void ServeStats::RecordReload(bool ok) {
   (ok ? reloads_ok_ : reloads_failed_)->Increment();
 }
 
+void ServeStats::RecordAdmitted() { admitted_->Increment(); }
+
+void ServeStats::RecordRejected(ServeStatus status) {
+  switch (status) {
+    case ServeStatus::kRejectedQueueFull:
+      shed_queue_full_->Increment();
+      break;
+    case ServeStatus::kDeadlineExceeded:
+      shed_deadline_->Increment();
+      break;
+    case ServeStatus::kInvalidQuery:
+      rejected_invalid_->Increment();
+      break;
+    case ServeStatus::kShutdown:
+      rejected_shutdown_->Increment();
+      break;
+    case ServeStatus::kOk:
+      break;  // not a rejection; nothing to count
+  }
+}
+
+void ServeStats::RecordDegraded(int64_t n) {
+  if (n > 0) degraded_->Increment(n);
+}
+
+void ServeStats::RecordQueueDepth(int64_t depth) {
+  queue_depth_->Set(static_cast<double>(depth));
+}
+
+void ServeStats::RecordQueueWait(double wait_ms) {
+  queue_wait_->Record(wait_ms);
+}
+
+void ServeStats::RecordHealthTransition(int /*from_rung*/, int to_rung) {
+  health_transitions_->Increment();
+  health_state_->Set(static_cast<double>(to_rung));
+}
+
 void ServeStats::Reset() {
   latency_->Reset();
   batches_->Reset();
+  queue_wait_->Reset();
   reloads_ok_->Reset();
   reloads_failed_->Reset();
-  clock_.Reset();
+  admitted_->Reset();
+  shed_queue_full_->Reset();
+  shed_deadline_->Reset();
+  rejected_invalid_->Reset();
+  rejected_shutdown_->Reset();
+  degraded_->Reset();
+  health_transitions_->Reset();
+  queue_depth_->Reset();
+  health_state_->Reset();
+  start_ = clock_->Now();
 }
 
 ServeStatsSnapshot ServeStats::Snapshot() const {
   const obs::HistogramSnapshot latency = latency_->Snapshot();
   const obs::HistogramSnapshot batches = batches_->Snapshot();
+  const obs::HistogramSnapshot waits = queue_wait_->Snapshot();
   ServeStatsSnapshot snap;
   snap.queries = latency.count;
   snap.batches = batches.count;
-  snap.elapsed_seconds = clock_.ElapsedSeconds();
+  snap.elapsed_seconds =
+      std::chrono::duration<double>(clock_->Now() - start_).count();
   if (snap.elapsed_seconds > 0.0) {
     snap.queries_per_second =
         static_cast<double>(snap.queries) / snap.elapsed_seconds;
@@ -74,6 +136,17 @@ ServeStatsSnapshot ServeStats::Snapshot() const {
   snap.max_latency_ms = latency.max;
   snap.reloads_ok = reloads_ok_->value();
   snap.reloads_failed = reloads_failed_->value();
+  snap.admitted = admitted_->value();
+  snap.shed_queue_full = shed_queue_full_->value();
+  snap.shed_deadline = shed_deadline_->value();
+  snap.rejected_invalid = rejected_invalid_->value();
+  snap.rejected_shutdown = rejected_shutdown_->value();
+  snap.degraded = degraded_->value();
+  snap.health_transitions = health_transitions_->value();
+  snap.queue_depth = static_cast<int64_t>(queue_depth_->value());
+  snap.health_rung = static_cast<int64_t>(health_state_->value());
+  snap.mean_queue_wait_ms = waits.mean;
+  snap.p99_queue_wait_ms = waits.p99;
   return snap;
 }
 
@@ -88,6 +161,22 @@ void ServeStats::PrintTable(std::ostream& os) const {
                 Ms(s.p95_latency_ms), Ms(s.p99_latency_ms),
                 Ms(s.max_latency_ms)});
   table.Print(os);
+  if (s.admitted + s.shed_queue_full + s.shed_deadline + s.rejected_invalid +
+          s.rejected_shutdown + s.degraded >
+      0) {
+    eval::TablePrinter overload({"admitted", "shed(full)", "shed(ddl)",
+                                 "invalid", "shutdown", "degraded",
+                                 "transitions", "wait p99(ms)"});
+    overload.AddRow({std::to_string(s.admitted),
+                     std::to_string(s.shed_queue_full),
+                     std::to_string(s.shed_deadline),
+                     std::to_string(s.rejected_invalid),
+                     std::to_string(s.rejected_shutdown),
+                     std::to_string(s.degraded),
+                     std::to_string(s.health_transitions),
+                     Ms(s.p99_queue_wait_ms)});
+    overload.Print(os);
+  }
 }
 
 }  // namespace desalign::serve

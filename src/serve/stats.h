@@ -5,8 +5,9 @@
 #include <ostream>
 #include <string>
 
-#include "common/stopwatch.h"
+#include "common/clock.h"
 #include "obs/metrics.h"
+#include "serve/retriever.h"
 
 namespace desalign::serve {
 
@@ -27,23 +28,39 @@ struct ServeStatsSnapshot {
   double max_latency_ms = 0.0;
   int64_t reloads_ok = 0;      ///< snapshot swaps that succeeded
   int64_t reloads_failed = 0;  ///< reloads rejected (store kept last-good)
+
+  // Overload protection (see docs/ROBUSTNESS.md "Overload protection").
+  int64_t admitted = 0;         ///< requests accepted into the queue
+  int64_t shed_queue_full = 0;  ///< rejected: queue at max_pending/shedding
+  int64_t shed_deadline = 0;    ///< shed: deadline expired before scoring
+  int64_t rejected_invalid = 0;   ///< rejected: malformed query
+  int64_t rejected_shutdown = 0;  ///< rejected: submitted after Shutdown
+  int64_t degraded = 0;           ///< answers served below full quality
+  int64_t health_transitions = 0;  ///< governor rung changes
+  int64_t queue_depth = 0;         ///< pending requests (last sample)
+  int64_t health_rung = 0;         ///< 0 healthy .. 3 shedding (last sample)
+  double mean_queue_wait_ms = 0.0;  ///< admission-to-batch-formation wait
+  double p99_queue_wait_ms = 0.0;
 };
 
 /// Thread-safe per-call latency / throughput counters for the serving
-/// path, backed by obs::Histogram metrics in a MetricsRegistry — so a
-/// serve-bench run and a training run report through one registry and one
+/// path, backed by obs metrics in a MetricsRegistry — so a serve-bench
+/// run and a training run report through one registry and one
 /// `--metrics-out` file. Recording is lock-free; memory stays fixed no
 /// matter how many queries are replayed. Throughput is measured from
-/// construction (or the last Reset) to the Snapshot call.
+/// construction (or the last Reset) to the Snapshot call on the injected
+/// Clock, so elapsed/qps are deterministic under a ManualClock.
 class ServeStats {
  public:
-  /// Binds to `<prefix>.latency_ms` and `<prefix>.batch_size` in
-  /// `registry` (nullptr → MetricsRegistry::Global()) and resets them, so
-  /// each ServeStats instance starts a fresh measurement window. Use one
-  /// ServeStats per prefix per process; two live instances with the same
-  /// prefix would share (and stomp) the same histograms.
+  /// Binds to `<prefix>.latency_ms`, `<prefix>.batch_size` and the
+  /// `<prefix>.*` admission/health series in `registry` (nullptr →
+  /// MetricsRegistry::Global()) and resets them, so each ServeStats
+  /// instance starts a fresh measurement window. Use one ServeStats per
+  /// prefix per process; two live instances with the same prefix would
+  /// share (and stomp) the same series. `clock` nullptr → Clock::Real().
   explicit ServeStats(obs::MetricsRegistry* registry = nullptr,
-                      std::string prefix = "serve");
+                      std::string prefix = "serve",
+                      common::Clock* clock = nullptr);
 
   /// Records one completed query (submit-to-result latency).
   void RecordQuery(double latency_ms);
@@ -55,20 +72,55 @@ class ServeStats {
   /// `<prefix>.reloads_ok` / `<prefix>.reloads_failed`).
   void RecordReload(bool ok);
 
-  /// Restarts the throughput clock and clears this instance's histograms.
+  /// Records one request accepted past admission control.
+  void RecordAdmitted();
+
+  /// Records one request turned away with `status` (anything but kOk):
+  /// kRejectedQueueFull → `<prefix>.shed_queue_full`, kDeadlineExceeded →
+  /// `<prefix>.shed_deadline`, kInvalidQuery → `<prefix>.rejected_invalid`,
+  /// kShutdown → `<prefix>.rejected_shutdown`.
+  void RecordRejected(ServeStatus status);
+
+  /// Records `n` answers served below full quality.
+  void RecordDegraded(int64_t n);
+
+  /// Publishes the pending-queue depth gauge.
+  void RecordQueueDepth(int64_t depth);
+
+  /// Records one request's admission-to-batch-formation wait.
+  void RecordQueueWait(double wait_ms);
+
+  /// Records a governor rung change and publishes the health-state gauge.
+  void RecordHealthTransition(int from_rung, int to_rung);
+
+  /// Restarts the throughput clock and clears this instance's series.
   void Reset();
 
   ServeStatsSnapshot Snapshot() const;
 
-  /// Prints a one-row latency/throughput table via eval::TablePrinter.
+  /// Prints a one-row latency/throughput table via eval::TablePrinter;
+  /// when any admission-control activity was recorded, a second row with
+  /// the overload counters follows.
   void PrintTable(std::ostream& os) const;
 
  private:
-  obs::Histogram* latency_;        // owned by the registry
-  obs::Histogram* batches_;        // owned by the registry
-  obs::Counter* reloads_ok_;       // owned by the registry
-  obs::Counter* reloads_failed_;   // owned by the registry
-  common::Stopwatch clock_;
+  // All metric objects are owned by the registry.
+  obs::Histogram* latency_;
+  obs::Histogram* batches_;
+  obs::Histogram* queue_wait_;
+  obs::Counter* reloads_ok_;
+  obs::Counter* reloads_failed_;
+  obs::Counter* admitted_;
+  obs::Counter* shed_queue_full_;
+  obs::Counter* shed_deadline_;
+  obs::Counter* rejected_invalid_;
+  obs::Counter* rejected_shutdown_;
+  obs::Counter* degraded_;
+  obs::Counter* health_transitions_;
+  obs::Gauge* queue_depth_;
+  obs::Gauge* health_state_;
+  common::Clock* clock_;
+  common::Clock::TimePoint start_;
 };
 
 }  // namespace desalign::serve

@@ -50,6 +50,23 @@ TopKRetriever::TopKRetriever(const EmbeddingStore* store, TopKOptions options)
 std::vector<TopKResult> TopKRetriever::Retrieve(const float* queries,
                                                 int64_t num_queries,
                                                 int64_t k) const {
+  return RetrieveImpl(queries, num_queries, k, options_.rerank_source);
+}
+
+std::vector<TopKResult> TopKRetriever::RetrieveDegraded(
+    const float* queries, int64_t num_queries, int64_t k,
+    DegradationLevel level) const {
+  // kNoRefine drops the fp32 refinement source; anything milder (and
+  // fp32/bf16 tables regardless) has nothing to shed here.
+  const RowSource* source = level >= DegradationLevel::kNoRefine
+                                ? nullptr
+                                : options_.rerank_source;
+  return RetrieveImpl(queries, num_queries, k, source);
+}
+
+std::vector<TopKResult> TopKRetriever::RetrieveImpl(
+    const float* queries, int64_t num_queries, int64_t k,
+    const RowSource* source) const {
   std::vector<TopKResult> results(
       num_queries > 0 ? static_cast<size_t>(num_queries) : 0);
   if (num_queries <= 0) return results;
@@ -68,7 +85,6 @@ std::vector<TopKResult> TopKRetriever::Retrieve(const float* queries,
   // Full-precision refinement only applies to the int8 stage-2, and only
   // when the source matches the snapshot's shape (a reload may have
   // swapped tables since the source was opened).
-  const RowSource* source = options_.rerank_source;
   const bool refine = source != nullptr &&
                       dtype == nn::TensorDtype::kInt8 &&
                       source->rows() == n && source->dim() == d;

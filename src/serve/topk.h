@@ -91,6 +91,17 @@ class TopKRetriever : public Retriever {
   std::vector<TopKResult> Retrieve(const tensor::Tensor& queries,
                                    int64_t k) const;
 
+  /// Overload ladder: at kNoRefine the int8 stage-2 re-rank skips the
+  /// fp32 `rerank_source` refinement and scores survivors from dequantized
+  /// codes only — no checkpoint row fetches on an overloaded box. Other
+  /// rungs (and fp32/bf16 tables, which have no refinement to shed) serve
+  /// full quality; once the governor steps back to kNone, results are
+  /// bit-identical to an unloaded queue because stage 1 candidates never
+  /// depended on the refinement source.
+  std::vector<TopKResult> RetrieveDegraded(
+      const float* queries, int64_t num_queries, int64_t k,
+      DegradationLevel level) const override;
+
   std::vector<TopKResult> RetrieveBruteForce(const float* queries,
                                              int64_t num_queries,
                                              int64_t k) const;
@@ -101,6 +112,12 @@ class TopKRetriever : public Retriever {
   const EmbeddingStore& store() const { return *store_; }
 
  private:
+  /// Shared scan; `source` is the refinement row source to use for the
+  /// int8 stage-2 (null = dequantized codes only).
+  std::vector<TopKResult> RetrieveImpl(const float* queries,
+                                       int64_t num_queries, int64_t k,
+                                       const RowSource* source) const;
+
   const EmbeddingStore* store_;
   TopKOptions options_;
   obs::Counter* int8_queries_;    // owned by the registry

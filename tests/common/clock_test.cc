@@ -1,0 +1,140 @@
+#include "common/clock.h"
+
+#include <atomic>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/mutex.h"
+
+namespace desalign::common {
+namespace {
+
+TEST(ClockTest, RealClockIsMonotonic) {
+  Clock* clock = Clock::Real();
+  const Clock::TimePoint a = clock->Now();
+  const Clock::TimePoint b = clock->Now();
+  EXPECT_LE(a, b);
+  EXPECT_GE(clock->MillisSince(a), 0.0);
+}
+
+TEST(ClockTest, RealClockSleepForAdvancesTime) {
+  Clock* clock = Clock::Real();
+  const Clock::TimePoint start = clock->Now();
+  clock->SleepFor(Clock::FromMillis(5.0));
+  EXPECT_GE(clock->MillisSince(start), 4.0);  // scheduler slop tolerance
+}
+
+TEST(ClockTest, FromMillisRoundTrips) {
+  EXPECT_EQ(Clock::FromMillis(1000.0),
+            std::chrono::duration_cast<Clock::Duration>(
+                std::chrono::seconds(1)));
+  EXPECT_EQ(Clock::FromMillis(0.0), Clock::Duration::zero());
+}
+
+TEST(ManualClockTest, TimeOnlyMovesWhenAdvanced) {
+  ManualClock clock;
+  const Clock::TimePoint start = clock.Now();
+  EXPECT_EQ(clock.Now(), start);
+  clock.AdvanceBy(Clock::FromMillis(10.0));
+  EXPECT_EQ(clock.Now(), start + Clock::FromMillis(10.0));
+  EXPECT_DOUBLE_EQ(clock.MillisSince(start), 10.0);
+}
+
+TEST(ManualClockTest, AdvanceToNeverMovesBackwards) {
+  ManualClock clock;
+  const Clock::TimePoint start = clock.Now();
+  clock.AdvanceBy(Clock::FromMillis(20.0));
+  clock.AdvanceTo(start + Clock::FromMillis(5.0));
+  EXPECT_EQ(clock.Now(), start + Clock::FromMillis(20.0));
+}
+
+TEST(ManualClockTest, SleepForAdvancesInsteadOfBlocking) {
+  ManualClock clock;
+  const Clock::TimePoint start = clock.Now();
+  clock.SleepFor(Clock::FromMillis(50.0));
+  EXPECT_EQ(clock.Now(), start + Clock::FromMillis(50.0));
+  EXPECT_EQ(clock.sleep_calls(), 1);
+}
+
+TEST(ManualClockTest, WaitUntilWithPastDeadlineTimesOutWithoutParking) {
+  ManualClock clock;
+  Mutex mu;
+  CondVar cv;
+  MutexLock lock(mu);
+  EXPECT_EQ(clock.WaitUntil(cv, mu, lock, clock.Now()),
+            std::cv_status::timeout);
+  EXPECT_EQ(clock.wait_calls(), 0);
+}
+
+// The lost-wakeup regression: a waiter that checked the deadline but has
+// not parked yet must still be woken by a concurrent Advance*. The mutex
+// handshake in WakeWaiters guarantees it; under TSan this test is also
+// the data-race gate for the clock.
+TEST(ManualClockTest, AdvancePastDeadlineWakesParkedWaiter) {
+  ManualClock clock;
+  Mutex mu;
+  CondVar cv;
+  const Clock::TimePoint deadline = clock.Now() + Clock::FromMillis(10.0);
+  std::atomic<bool> timed_out{false};
+  std::thread waiter([&] {
+    MutexLock lock(mu);
+    while (clock.WaitUntil(cv, mu, lock, deadline) !=
+           std::cv_status::timeout) {
+      // Spurious (pre-deadline) wakeups re-enter the wait, like callers do.
+    }
+    timed_out.store(true);
+  });
+  // Spin until the waiter is registered and parked, then advance past the
+  // deadline; determinism here is exactly what the serving tests rely on.
+  while (clock.wait_calls() == 0) std::this_thread::yield();
+  clock.AdvanceBy(Clock::FromMillis(20.0));
+  waiter.join();
+  EXPECT_TRUE(timed_out.load());
+}
+
+TEST(ManualClockTest, AdvanceShortOfDeadlineIsSpuriousWakeup) {
+  ManualClock clock;
+  Mutex mu;
+  CondVar cv;
+  const Clock::TimePoint deadline = clock.Now() + Clock::FromMillis(10.0);
+  std::atomic<int> wakeups{0};
+  std::thread waiter([&] {
+    MutexLock lock(mu);
+    while (clock.WaitUntil(cv, mu, lock, deadline) !=
+           std::cv_status::timeout) {
+      wakeups.fetch_add(1);
+    }
+  });
+  while (clock.wait_calls() == 0) std::this_thread::yield();
+  clock.AdvanceBy(Clock::FromMillis(5.0));  // not enough: spurious
+  while (clock.wait_calls() < 2) std::this_thread::yield();
+  clock.AdvanceBy(Clock::FromMillis(5.0));  // reaches the deadline
+  waiter.join();
+  EXPECT_GE(wakeups.load(), 1);
+}
+
+TEST(ManualClockTest, AdvanceWakesEveryParkedWaiter) {
+  ManualClock clock;
+  Mutex mu;
+  CondVar cv;
+  const Clock::TimePoint deadline = clock.Now() + Clock::FromMillis(10.0);
+  std::atomic<int> done{0};
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < 4; ++i) {
+    waiters.emplace_back([&] {
+      MutexLock lock(mu);
+      while (clock.WaitUntil(cv, mu, lock, deadline) !=
+             std::cv_status::timeout) {
+      }
+      done.fetch_add(1);
+    });
+  }
+  while (clock.wait_calls() < 4) std::this_thread::yield();
+  clock.AdvanceBy(Clock::FromMillis(10.0));
+  for (auto& w : waiters) w.join();
+  EXPECT_EQ(done.load(), 4);
+}
+
+}  // namespace
+}  // namespace desalign::common

@@ -1,0 +1,11 @@
+// Fixture: pragma-suppressed wall-clock read inside a clock implementation
+// — the one audited escape hatch for code that genuinely needs calendar
+// time (e.g. stamping a checkpoint's provenance field).
+#include <chrono>
+
+long CalendarStampMs() {
+  const auto now = std::chrono::system_clock::now();  // desalign-lint: allow(wall-clock) provenance stamp
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             now.time_since_epoch())
+      .count();
+}

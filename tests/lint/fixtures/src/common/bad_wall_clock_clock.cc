@@ -1,0 +1,15 @@
+// Fixture: an "injectable clock" whose real implementation reads the wall
+// clock. The audited src/common/clock.h RealClock uses steady_clock; a
+// system_clock-backed Now() jumps under NTP slew and breaks every deadline
+// and co-batch window computed from it, so the rule must fire on each read.
+#include <chrono>
+#include <ctime>
+
+struct WallBackedClock {
+  std::chrono::system_clock::time_point Now() const {  // LINT-EXPECT: wall-clock
+    return std::chrono::system_clock::now();  // LINT-EXPECT: wall-clock
+  }
+  long Ticks() const {
+    return clock();  // LINT-EXPECT: wall-clock
+  }
+};

@@ -1,0 +1,14 @@
+// Fixture: the sanctioned shape of a real-clock implementation — the same
+// shape as src/common/clock.h's RealClock. steady_clock is monotonic, so
+// deadlines and co-batch windows computed from it never jump; the
+// wall-clock rule must stay silent here.
+#include <chrono>
+
+struct MonotonicBackedClock {
+  std::chrono::steady_clock::time_point Now() const {
+    return std::chrono::steady_clock::now();
+  }
+  double MillisSince(std::chrono::steady_clock::time_point start) const {
+    return std::chrono::duration<double, std::milli>(Now() - start).count();
+  }
+};

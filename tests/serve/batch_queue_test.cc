@@ -1,5 +1,6 @@
 #include "serve/batch_queue.h"
 
+#include <chrono>
 #include <future>
 #include <mutex>
 #include <thread>
@@ -7,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/clock.h"
 #include "common/rng.h"
 #include "serve/embedding_store.h"
 #include "serve/stats.h"
@@ -84,10 +86,13 @@ TEST(BatchQueueTest, BacklogIsCoBatched) {
   const auto data = RandomRows(32, dim, 2);
   const auto store = EmbeddingStore::FromRows(32, dim, data);
   TopKRetriever retriever(&store);
+  common::ManualClock clock;
   BatchQueueOptions options;
   options.k = 2;
   options.max_batch = 16;
-  options.max_wait_ms = 20.0;  // wide window => the backlog groups
+  options.max_wait_ms = 20.0;
+  options.clock = &clock;  // frozen: the window never expires, so the
+                           // worker may only ever drain FULL batches
   BatchQueue queue(&retriever, options);
 
   std::vector<std::future<TopKResult>> futures;
@@ -95,10 +100,47 @@ TEST(BatchQueueTest, BacklogIsCoBatched) {
     futures.push_back(queue.Submit(RandomRows(1, dim, 50 + i)));
   }
   for (auto& f : futures) EXPECT_EQ(f.get().ids.size(), 2u);
-  // 64 queries through max_batch=16 takes at least 4 drains but far fewer
-  // than 64 if batching works at all.
-  EXPECT_GE(queue.batches_processed(), 4);
-  EXPECT_LT(queue.batches_processed(), 40);
+  // Exactly 64 / 16 drains — deterministic, not a timing-dependent range.
+  queue.Shutdown();
+  EXPECT_EQ(queue.batches_processed(), 4);
+}
+
+// The max_wait_ms contract on a ManualClock, with no real sleeps: a
+// partial batch is held while the co-batch window is open and dispatched
+// the moment the clock reaches (oldest enqueued + max_wait_ms).
+TEST(BatchQueueTest, PartialBatchDispatchesWhenWindowExpires) {
+  const int64_t dim = 4;
+  const auto data = RandomRows(32, dim, 12);
+  const auto store = EmbeddingStore::FromRows(32, dim, data);
+  TopKRetriever retriever(&store);
+  common::ManualClock clock;
+  BatchQueueOptions options;
+  options.k = 2;
+  options.max_batch = 16;
+  options.max_wait_ms = 20.0;
+  options.clock = &clock;
+  BatchQueue queue(&retriever, options);
+
+  std::vector<std::future<TopKResult>> futures;
+  for (int i = 0; i < 3; ++i) {
+    futures.push_back(queue.Submit(RandomRows(1, dim, 60 + i)));
+  }
+  // Window open (clock frozen, 3 < max_batch): the worker must hold the
+  // partial batch, however long we wait in wall time.
+  while (clock.wait_calls() == 0) std::this_thread::yield();
+  for (auto& f : futures) {
+    EXPECT_EQ(f.wait_for(std::chrono::milliseconds(0)),
+              std::future_status::timeout);
+  }
+  // One tick short of the window still holds...
+  clock.AdvanceBy(common::Clock::FromMillis(19.0));
+  EXPECT_EQ(futures[0].wait_for(std::chrono::milliseconds(0)),
+            std::future_status::timeout);
+  // ...reaching it releases the partial batch of 3 as one drain.
+  clock.AdvanceBy(common::Clock::FromMillis(1.0));
+  for (auto& f : futures) EXPECT_EQ(f.get().ids.size(), 2u);
+  queue.Shutdown();
+  EXPECT_EQ(queue.batches_processed(), 1);
 }
 
 TEST(BatchQueueTest, ShutdownDrainsPendingAndRejectsNewWork) {
@@ -116,9 +158,16 @@ TEST(BatchQueueTest, ShutdownDrainsPendingAndRejectsNewWork) {
     futures.push_back(queue.Submit(RandomRows(1, dim, 70 + i)));
   }
   queue.Shutdown();
-  for (auto& f : futures) EXPECT_EQ(f.get().ids.size(), 3u);
-  // After shutdown, submissions resolve immediately and empty.
-  EXPECT_TRUE(queue.Submit(RandomRows(1, dim, 99)).get().ids.empty());
+  for (auto& f : futures) {
+    const auto result = f.get();
+    EXPECT_EQ(result.status, ServeStatus::kOk);
+    EXPECT_EQ(result.ids.size(), 3u);
+  }
+  // After shutdown, submissions resolve immediately with a typed status —
+  // not an empty result a caller could mistake for a legitimate top-k.
+  const auto late = queue.Submit(RandomRows(1, dim, 99)).get();
+  EXPECT_EQ(late.status, ServeStatus::kShutdown);
+  EXPECT_TRUE(late.ids.empty());
 }
 
 TEST(BatchQueueTest, SubmittersRacingShutdownAlwaysGetAFulfilledFuture) {
@@ -159,7 +208,9 @@ TEST(BatchQueueTest, SubmittersRacingShutdownAlwaysGetAFulfilledFuture) {
         ASSERT_TRUE(f.valid());
         TopKResult result;
         ASSERT_NO_THROW(result = f.get());
-        EXPECT_TRUE(result.ids.empty() || result.ids.size() == 2u);
+        EXPECT_TRUE(
+            (result.status == ServeStatus::kOk && result.ids.size() == 2u) ||
+            (result.status == ServeStatus::kShutdown && result.ids.empty()));
       }
     }
   }

@@ -1,0 +1,513 @@
+#include <algorithm>
+#include <atomic>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "common/fault_injection.h"
+#include "common/mutex.h"
+#include "common/rng.h"
+#include "common/thread_annotations.h"
+#include "obs/metrics.h"
+#include "serve/batch_queue.h"
+#include "serve/embedding_store.h"
+#include "serve/health.h"
+#include "serve/stats.h"
+#include "serve/topk.h"
+
+namespace desalign::serve {
+namespace {
+
+using common::Clock;
+using common::ManualClock;
+
+std::vector<float> RandomRows(int64_t rows, int64_t dim, uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<float> data(static_cast<size_t>(rows * dim));
+  for (auto& v : data) v = rng.UniformF(-1.0f, 1.0f);
+  return data;
+}
+
+/// Delegates to a real retriever while recording the degradation level of
+/// every call — how the ladder tests observe which rung served a batch.
+class LevelRecordingRetriever final : public Retriever {
+ public:
+  explicit LevelRecordingRetriever(const Retriever* inner) : inner_(inner) {}
+
+  std::vector<TopKResult> Retrieve(const float* queries, int64_t num_queries,
+                                   int64_t k) const override {
+    Record(DegradationLevel::kNone);
+    return inner_->Retrieve(queries, num_queries, k);
+  }
+
+  std::vector<TopKResult> RetrieveDegraded(
+      const float* queries, int64_t num_queries, int64_t k,
+      DegradationLevel level) const override {
+    Record(level);
+    return inner_->RetrieveDegraded(queries, num_queries, k, level);
+  }
+
+  int64_t dim() const override { return inner_->dim(); }
+  int64_t size() const override { return inner_->size(); }
+
+  std::vector<DegradationLevel> levels() const {
+    common::MutexLock lock(mutex_);
+    return levels_;
+  }
+
+ private:
+  void Record(DegradationLevel level) const {
+    common::MutexLock lock(mutex_);
+    levels_.push_back(level);
+  }
+
+  const Retriever* inner_;
+  mutable common::Mutex mutex_;
+  mutable std::vector<DegradationLevel> levels_ GUARDED_BY(mutex_);
+};
+
+class OverloadTest : public ::testing::Test {
+ protected:
+  void TearDown() override { common::FaultInjector::Global().Clear(); }
+};
+
+TEST_F(OverloadTest, StatusAndLevelNamesAreStable) {
+  EXPECT_STREQ(ServeStatusName(ServeStatus::kOk), "ok");
+  EXPECT_STREQ(ServeStatusName(ServeStatus::kRejectedQueueFull),
+               "rejected_queue_full");
+  EXPECT_STREQ(ServeStatusName(ServeStatus::kDeadlineExceeded),
+               "deadline_exceeded");
+  EXPECT_STREQ(ServeStatusName(ServeStatus::kInvalidQuery), "invalid_query");
+  EXPECT_STREQ(ServeStatusName(ServeStatus::kShutdown), "shutdown");
+  EXPECT_STREQ(DegradationLevelName(DegradationLevel::kNone), "none");
+  EXPECT_STREQ(DegradationLevelName(DegradationLevel::kReducedProbe),
+               "reduced_probe");
+  EXPECT_STREQ(DegradationLevelName(DegradationLevel::kNoRefine),
+               "no_refine");
+  EXPECT_STREQ(HealthStateName(HealthState::kHealthy), "healthy");
+  EXPECT_STREQ(HealthStateName(HealthState::kDegraded), "degraded");
+  EXPECT_STREQ(HealthStateName(HealthState::kShedding), "shedding");
+}
+
+// Regression: a wrong-dimension query used to DESALIGN_CHECK-abort the
+// whole process. The serving front door must reject it with a typed
+// status and keep serving.
+TEST_F(OverloadTest, InvalidDimensionQueryIsRejectedNotAborted) {
+  const int64_t dim = 8;
+  const auto store = EmbeddingStore::FromRows(16, dim, RandomRows(16, dim, 1));
+  TopKRetriever retriever(&store);
+  obs::MetricsRegistry registry;
+  ServeStats stats(&registry);
+  BatchQueueOptions options;
+  options.k = 2;
+  BatchQueue queue(&retriever, options, &stats);
+
+  auto bad = queue.Submit(RandomRows(1, dim - 3, 2)).get();
+  EXPECT_EQ(bad.status, ServeStatus::kInvalidQuery);
+  EXPECT_TRUE(bad.ids.empty());
+
+  auto good = queue.Submit(RandomRows(1, dim, 3)).get();
+  EXPECT_EQ(good.status, ServeStatus::kOk);
+  EXPECT_EQ(good.ids.size(), 2u);
+  EXPECT_EQ(stats.Snapshot().rejected_invalid, 1);
+}
+
+// Regression: Submit after Shutdown used to hand back an ambiguous empty
+// result, indistinguishable from a legitimate empty top-k.
+TEST_F(OverloadTest, ShutdownPathsCarryDefiniteStatuses) {
+  const int64_t dim = 4;
+  const auto store = EmbeddingStore::FromRows(16, dim, RandomRows(16, dim, 4));
+  TopKRetriever retriever(&store);
+  obs::MetricsRegistry registry;
+  ServeStats stats(&registry);
+  BatchQueueOptions options;
+  options.k = 3;
+  options.max_wait_ms = 50.0;
+  BatchQueue queue(&retriever, options, &stats);
+
+  // Pending work admitted before Shutdown is drained and served kOk...
+  std::vector<std::future<TopKResult>> futures;
+  for (int i = 0; i < 6; ++i) {
+    futures.push_back(queue.Submit(RandomRows(1, dim, 10 + i)));
+  }
+  queue.Shutdown();
+  for (auto& f : futures) {
+    const auto result = f.get();
+    EXPECT_EQ(result.status, ServeStatus::kOk);
+    EXPECT_EQ(result.ids.size(), 3u);
+  }
+  // ...while work submitted after resolves immediately as kShutdown.
+  const auto late = queue.Submit(RandomRows(1, dim, 99)).get();
+  EXPECT_EQ(late.status, ServeStatus::kShutdown);
+  EXPECT_TRUE(late.ids.empty());
+  EXPECT_EQ(stats.Snapshot().rejected_shutdown, 1);
+}
+
+// Deterministic bounded admission on a frozen ManualClock: the worker
+// holds its partial batch (the co-batch window never times out), so the
+// queue depth is exact and the (max_pending + 1)-th Submit must bounce.
+TEST_F(OverloadTest, BoundedQueueRejectsAtMaxPending) {
+  const int64_t dim = 4;
+  const auto store = EmbeddingStore::FromRows(16, dim, RandomRows(16, dim, 5));
+  TopKRetriever retriever(&store);
+  ManualClock clock;
+  obs::MetricsRegistry registry;
+  ServeStats stats(&registry, "serve", &clock);
+  BatchQueueOptions options;
+  options.k = 1;
+  options.max_batch = 8;
+  options.max_wait_ms = 100.0;
+  options.max_pending = 4;
+  options.clock = &clock;
+  BatchQueue queue(&retriever, options, &stats);
+
+  std::vector<std::future<TopKResult>> admitted;
+  for (int i = 0; i < 4; ++i) {
+    admitted.push_back(queue.Submit(RandomRows(1, dim, 20 + i)));
+  }
+  auto rejected = queue.Submit(RandomRows(1, dim, 30)).get();
+  EXPECT_EQ(rejected.status, ServeStatus::kRejectedQueueFull);
+
+  clock.AdvanceBy(Clock::FromMillis(100.0));
+  for (auto& f : admitted) {
+    EXPECT_EQ(f.get().status, ServeStatus::kOk);
+  }
+  const auto snap = stats.Snapshot();
+  EXPECT_EQ(snap.admitted, 4);
+  EXPECT_EQ(snap.shed_queue_full, 1);
+}
+
+TEST_F(OverloadTest, ExpiredDeadlineIsShedAtAdmission) {
+  const int64_t dim = 4;
+  const auto store = EmbeddingStore::FromRows(16, dim, RandomRows(16, dim, 6));
+  TopKRetriever retriever(&store);
+  ManualClock clock;
+  obs::MetricsRegistry registry;
+  ServeStats stats(&registry, "serve", &clock);
+  BatchQueueOptions options;
+  options.k = 1;
+  options.clock = &clock;
+  BatchQueue queue(&retriever, options, &stats);
+
+  const auto result =
+      queue.SubmitWithDeadline(RandomRows(1, dim, 7), clock.Now()).get();
+  EXPECT_EQ(result.status, ServeStatus::kDeadlineExceeded);
+  EXPECT_EQ(stats.Snapshot().shed_deadline, 1);
+}
+
+// A request whose deadline expires while it waits in the queue is shed at
+// batch formation (pre-scan) — it never occupies a scoring slot — while
+// its batch-mates are served. The deadline also caps the co-batch hold:
+// the batch forms at the deadline, not at max_wait.
+TEST_F(OverloadTest, DeadlineExpiredInQueueIsShedPreScan) {
+  const int64_t dim = 4;
+  const auto store = EmbeddingStore::FromRows(16, dim, RandomRows(16, dim, 8));
+  TopKRetriever retriever(&store);
+  ManualClock clock;
+  obs::MetricsRegistry registry;
+  ServeStats stats(&registry, "serve", &clock);
+  BatchQueueOptions options;
+  options.k = 1;
+  options.max_batch = 8;
+  options.max_wait_ms = 50.0;
+  options.clock = &clock;
+  BatchQueue queue(&retriever, options, &stats);
+
+  auto doomed = queue.Submit(RandomRows(1, dim, 40), /*timeout_ms=*/10.0);
+  auto served = queue.Submit(RandomRows(1, dim, 41));
+  clock.AdvanceBy(Clock::FromMillis(10.0));
+
+  EXPECT_EQ(doomed.get().status, ServeStatus::kDeadlineExceeded);
+  EXPECT_EQ(served.get().status, ServeStatus::kOk);
+  EXPECT_EQ(stats.Snapshot().shed_deadline, 1);
+}
+
+// The full ladder walk, deterministic on a ManualClock: a backlog spike
+// escalates the governor, batches are served at the degraded rung, and
+// once pressure subsides the idle sampler steps back to healthy — after
+// which results are bit-identical to direct retrieval.
+TEST_F(OverloadTest, LadderDegradesUnderPressureAndRecoversBitExact) {
+  const int64_t dim = 8;
+  const auto store = EmbeddingStore::FromRows(32, dim, RandomRows(32, dim, 9));
+  TopKRetriever inner(&store);
+  LevelRecordingRetriever retriever(&inner);
+  ManualClock clock;
+  obs::MetricsRegistry registry;
+  ServeStats stats(&registry, "serve", &clock);
+  BatchQueueOptions options;
+  options.k = 4;
+  options.max_batch = 8;
+  options.max_wait_ms = 5.0;
+  options.max_pending = 8;
+  options.clock = &clock;
+  options.overload.enabled = true;
+  options.overload.degrade_depth_fraction = 0.5;
+  options.overload.shed_depth_fraction = 2.0;  // depth alone never sheds here
+  options.overload.sample_window_ms = 10.0;
+  options.overload.recover_hold_ms = 20.0;
+  options.overload.recover_depth_fraction = 0.99;
+  BatchQueue queue(&retriever, options, &stats);
+
+  // The frozen clock holds the co-batch window open, so the backlog piles
+  // up to exactly 6 pending / max_pending 8 = 0.75 >= 0.5: pressure at the
+  // sample taken when the released window forms the batch.
+  std::vector<std::future<TopKResult>> futures;
+  for (int i = 0; i < 6; ++i) {
+    futures.push_back(queue.Submit(RandomRows(1, dim, 50 + i)));
+  }
+  clock.AdvanceBy(Clock::FromMillis(5.0));
+  for (auto& f : futures) {
+    const auto result = f.get();
+    EXPECT_EQ(result.status, ServeStatus::kOk);
+    EXPECT_EQ(result.degradation, DegradationLevel::kReducedProbe);
+  }
+  EXPECT_GE(queue.health_rung(), 1);
+  EXPECT_EQ(queue.health_state(), HealthState::kDegraded);
+  EXPECT_GT(stats.Snapshot().degraded, 0);
+
+  // Pressure is gone; each 10 ms advance gives the idle sampler one
+  // observation, and every 20 ms hold steps down one rung.
+  for (int i = 0; i < 100 && queue.health_rung() > 0; ++i) {
+    clock.AdvanceBy(Clock::FromMillis(10.0));
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(queue.health_rung(), 0);
+  EXPECT_EQ(queue.health_state(), HealthState::kHealthy);
+
+  // Recovered: served results are bit-identical to direct retrieval. (The
+  // probe needs its co-batch window released on the frozen clock.)
+  const auto probe_query = RandomRows(1, dim, 77);
+  auto probe_future = queue.Submit(probe_query);
+  clock.AdvanceBy(Clock::FromMillis(5.0));
+  const auto via_queue = probe_future.get();
+  const auto direct = inner.Retrieve(probe_query.data(), 1, options.k);
+  EXPECT_EQ(via_queue.status, ServeStatus::kOk);
+  EXPECT_EQ(via_queue.degradation, DegradationLevel::kNone);
+  EXPECT_EQ(via_queue.ids, direct[0].ids);
+  EXPECT_EQ(via_queue.scores, direct[0].scores);
+
+  // The recorded ladder: at least one degraded batch, and the last call
+  // (the probe) back at full quality.
+  const auto levels = retriever.levels();
+  ASSERT_FALSE(levels.empty());
+  EXPECT_NE(std::count(levels.begin(), levels.end(),
+                       DegradationLevel::kReducedProbe),
+            0);
+  EXPECT_EQ(levels.back(), DegradationLevel::kNone);
+  EXPECT_GT(stats.Snapshot().health_transitions, 0);
+}
+
+// Depth at the shed threshold jumps straight to rung 3. Shedding is a
+// watermark, not a blackout: admissions resume below it, and the queue
+// keeps draining (goodput survives the storm).
+TEST_F(OverloadTest, SheddingIsAWatermarkNotABlackout) {
+  const int64_t dim = 4;
+  const auto store = EmbeddingStore::FromRows(16, dim, RandomRows(16, dim, 11));
+  TopKRetriever inner(&store);
+  LevelRecordingRetriever retriever(&inner);
+  ManualClock clock;
+  obs::MetricsRegistry registry;
+  ServeStats stats(&registry, "serve", &clock);
+  BatchQueueOptions options;
+  options.k = 1;
+  options.max_batch = 16;
+  options.max_wait_ms = 5.0;
+  options.max_pending = 8;
+  options.clock = &clock;
+  options.overload.enabled = true;
+  options.overload.shed_depth_fraction = 0.875;  // watermark = depth 7
+  options.overload.sample_window_ms = 10.0;
+  options.overload.recover_hold_ms = 1000.0;  // stay shedding for the test
+  BatchQueue queue(&retriever, options, &stats);
+
+  // Fill to max_pending on the frozen clock, then release the window: the
+  // drain samples depth 8/8 = 1.0 >= 0.875 and jumps to shedding.
+  std::vector<std::future<TopKResult>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(queue.Submit(RandomRows(1, dim, 60 + i)));
+  }
+  clock.AdvanceBy(Clock::FromMillis(5.0));
+  for (auto& f : futures) {
+    EXPECT_EQ(f.get().status, ServeStatus::kOk);
+  }
+  EXPECT_EQ(queue.health_rung(), HealthGovernor::kSheddingRung);
+  EXPECT_EQ(queue.health_state(), HealthState::kShedding);
+  // The storm batch itself was served at the deepest quality rung.
+  const auto levels = retriever.levels();
+  ASSERT_FALSE(levels.empty());
+  EXPECT_EQ(levels.back(), DegradationLevel::kNoRefine);
+
+  // Still shedding, queue now empty: admissions below the watermark (7)
+  // are accepted, the one at it is rejected.
+  std::vector<std::future<TopKResult>> refill;
+  for (int i = 0; i < 7; ++i) {
+    refill.push_back(queue.Submit(RandomRows(1, dim, 80 + i)));
+  }
+  const auto turned_away = queue.Submit(RandomRows(1, dim, 90)).get();
+  EXPECT_EQ(turned_away.status, ServeStatus::kRejectedQueueFull);
+  clock.AdvanceBy(Clock::FromMillis(5.0));
+  for (auto& f : refill) {
+    EXPECT_EQ(f.get().status, ServeStatus::kOk);
+  }
+  EXPECT_GE(stats.Snapshot().shed_queue_full, 1);
+}
+
+// Chaos: a slow retriever (DESALIGN_FAULTS delay on the queue's
+// ManualClock) makes admitted requests complete late; the miss-rate
+// signal must escalate the governor even though nothing was shed.
+TEST_F(OverloadTest, SlowRetrieverFaultDrivesMissRateEscalation) {
+  ASSERT_TRUE(common::FaultInjector::Global()
+                  .Configure("serve.batch.retrieve:delay:30@*")
+                  .ok());
+  const int64_t dim = 4;
+  const auto store = EmbeddingStore::FromRows(16, dim, RandomRows(16, dim, 12));
+  TopKRetriever retriever(&store);
+  ManualClock clock;
+  BatchQueueOptions options;
+  options.k = 1;
+  options.max_batch = 2;
+  options.max_wait_ms = 5.0;
+  options.max_pending = 64;
+  options.deadline_ms = 20.0;  // every 30 ms-delayed batch misses it
+  options.clock = &clock;
+  options.overload.enabled = true;
+  options.overload.degrade_depth_fraction = 2.0;  // depth never escalates
+  options.overload.shed_depth_fraction = 3.0;
+  options.overload.deadline_miss_fraction = 0.5;
+  options.overload.sample_window_ms = 10.0;
+  BatchQueue queue(&retriever, options);
+
+  // First full batch: completes 30 ms late (the fault advances the
+  // clock), both outcomes are misses. Second batch's formation sample
+  // sees miss fraction 1.0 and escalates.
+  auto a = queue.Submit(RandomRows(1, dim, 70));
+  auto b = queue.Submit(RandomRows(1, dim, 71));
+  EXPECT_EQ(a.get().status, ServeStatus::kOk);  // delivered, late
+  EXPECT_EQ(b.get().status, ServeStatus::kOk);
+  EXPECT_GE(clock.sleep_calls(), 1);
+
+  auto c = queue.Submit(RandomRows(1, dim, 72));
+  auto d = queue.Submit(RandomRows(1, dim, 73));
+  EXPECT_EQ(c.get().status, ServeStatus::kOk);
+  EXPECT_EQ(d.get().status, ServeStatus::kOk);
+  EXPECT_GE(queue.health_rung(), 1);
+}
+
+// Chaos: a worker stall (delay at serve.batch.worker) expires queued
+// deadlines; the pre-scoring check sheds them with a definite status.
+TEST_F(OverloadTest, WorkerStallFaultShedsExpiredRequestsPreScoring) {
+  ASSERT_TRUE(common::FaultInjector::Global()
+                  .Configure("serve.batch.worker:delay:50@*")
+                  .ok());
+  const int64_t dim = 4;
+  const auto store = EmbeddingStore::FromRows(16, dim, RandomRows(16, dim, 13));
+  TopKRetriever retriever(&store);
+  ManualClock clock;
+  BatchQueueOptions options;
+  options.k = 1;
+  options.max_batch = 2;
+  options.max_wait_ms = 5.0;
+  options.deadline_ms = 20.0;  // < the 50 ms stall
+  options.clock = &clock;
+  BatchQueue queue(&retriever, options);
+
+  auto a = queue.Submit(RandomRows(1, dim, 75));
+  auto b = queue.Submit(RandomRows(1, dim, 76));
+  EXPECT_EQ(a.get().status, ServeStatus::kDeadlineExceeded);
+  EXPECT_EQ(b.get().status, ServeStatus::kDeadlineExceeded);
+}
+
+// Chaos: a reject storm at admission. Every future still resolves with a
+// definite status and the queue serves normally once the storm passes.
+TEST_F(OverloadTest, RejectStormAtAdmissionLeavesNoAmbiguousOutcome) {
+  ASSERT_TRUE(common::FaultInjector::Global()
+                  .Configure("serve.submit.admit:fail@*")
+                  .ok());
+  const int64_t dim = 4;
+  const auto store = EmbeddingStore::FromRows(16, dim, RandomRows(16, dim, 14));
+  TopKRetriever retriever(&store);
+  BatchQueueOptions options;
+  options.k = 1;
+  BatchQueue queue(&retriever, options);
+
+  for (int i = 0; i < 16; ++i) {
+    const auto result = queue.Submit(RandomRows(1, dim, 100 + i)).get();
+    EXPECT_EQ(result.status, ServeStatus::kRejectedQueueFull);
+    EXPECT_TRUE(result.ids.empty());
+  }
+  common::FaultInjector::Global().Clear();
+  EXPECT_EQ(queue.Submit(RandomRows(1, dim, 120)).get().status,
+            ServeStatus::kOk);
+}
+
+// TSan stress: submitters racing a shedding governor, injected admission
+// failures and a teardown. Every future resolves with a definite status;
+// the pending queue never exceeds max_pending (checked via admitted
+// arithmetic: ok + shed == submitted).
+TEST_F(OverloadTest, ConcurrentOverloadChaosResolvesEveryFuture) {
+  ASSERT_TRUE(common::FaultInjector::Global()
+                  .Configure("serve.submit.admit:fail@7")
+                  .ok());
+  const int64_t dim = 6;
+  const auto store = EmbeddingStore::FromRows(32, dim, RandomRows(32, dim, 15));
+  TopKRetriever retriever(&store);
+  for (int round = 0; round < 4; ++round) {
+    obs::MetricsRegistry registry;
+    ServeStats stats(&registry);
+    BatchQueueOptions options;
+    options.k = 2;
+    options.max_batch = 4;
+    options.max_wait_ms = 0.1;
+    options.max_pending = 8;
+    options.deadline_ms = 5.0;
+    options.overload.enabled = true;
+    options.overload.sample_window_ms = 1.0;
+    options.overload.recover_hold_ms = 2.0;
+    BatchQueue queue(&retriever, options, &stats);
+
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 50;
+    std::vector<std::vector<std::future<TopKResult>>> futures(kThreads);
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < kThreads; ++t) {
+      submitters.emplace_back([&, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          futures[t].push_back(
+              queue.Submit(RandomRows(1, dim, 500 + t * kPerThread + i)));
+        }
+      });
+    }
+    std::thread closer([&] { queue.Shutdown(); });
+    for (auto& s : submitters) s.join();
+    closer.join();
+
+    int64_t definite = 0;
+    for (auto& per_thread : futures) {
+      for (auto& f : per_thread) {
+        ASSERT_TRUE(f.valid());
+        const TopKResult result = f.get();  // must not throw or hang
+        switch (result.status) {
+          case ServeStatus::kOk:
+            EXPECT_EQ(result.ids.size(), 2u);
+            break;
+          case ServeStatus::kRejectedQueueFull:
+          case ServeStatus::kDeadlineExceeded:
+          case ServeStatus::kShutdown:
+            EXPECT_TRUE(result.ids.empty());
+            break;
+          case ServeStatus::kInvalidQuery:
+            ADD_FAILURE() << "no invalid queries were submitted";
+            break;
+        }
+        ++definite;
+      }
+    }
+    EXPECT_EQ(definite, kThreads * kPerThread);
+  }
+}
+
+}  // namespace
+}  // namespace desalign::serve

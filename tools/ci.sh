@@ -27,6 +27,11 @@
 #                          # >= 1.15x vs the row-axpy default at >= 256^3)
 #   tools/ci.sh --tsan     # only the ThreadSanitizer-labelled suite
 #   tools/ci.sh --faults   # only the fault-injection suite under ASan
+#   tools/ci.sh --overload # only the overload gate (`ctest -L overload`
+#                          # under TSan + bench-overload smoke: schema,
+#                          # zero shed below capacity, goodput under 2x
+#                          # overload >= 0.8x the 1x goodput, recovery to
+#                          # healthy with bit-exact results)
 #
 # Test labels (see tests/CMakeLists.txt):
 #   unit        — fast, hermetic, single-component tests
@@ -41,6 +46,8 @@
 #   solver      — GEMM solver registry suite (per-solver bit-exactness,
 #                 find-db corruption handling, replay determinism, the
 #                 reload-under-Select race)
+#   overload    — serve-side overload protection: bounded admission,
+#                 deadlines, the degradation ladder and its chaos suite
 #   lint        — desalign-lint fixture corpus + zero-finding tree scan
 set -euo pipefail
 
@@ -52,28 +59,31 @@ run_tier1=1
 run_index=1
 run_quant=1
 run_tune=1
+run_overload=1
 run_ubsan=1
 run_tsan=1
 run_faults=1
 case "${1:-}" in
-  lint) run_tier1=0; run_index=0; run_quant=0; run_tune=0; run_ubsan=0
-        run_tsan=0; run_faults=0 ;;
+  lint) run_tier1=0; run_index=0; run_quant=0; run_tune=0; run_overload=0
+        run_ubsan=0; run_tsan=0; run_faults=0 ;;
   ubsan) run_lint=0; run_tier1=0; run_index=0; run_quant=0; run_tune=0
-         run_tsan=0; run_faults=0 ;;
-  --tier1) run_lint=0; run_index=0; run_quant=0; run_tune=0; run_ubsan=0
-           run_tsan=0; run_faults=0 ;;
-  --index) run_lint=0; run_tier1=0; run_quant=0; run_tune=0; run_ubsan=0
-           run_tsan=0; run_faults=0 ;;
-  --quant) run_lint=0; run_tier1=0; run_index=0; run_tune=0; run_ubsan=0
-           run_tsan=0; run_faults=0 ;;
-  --tune) run_lint=0; run_tier1=0; run_index=0; run_quant=0; run_ubsan=0
-          run_tsan=0; run_faults=0 ;;
+         run_overload=0; run_tsan=0; run_faults=0 ;;
+  --tier1) run_lint=0; run_index=0; run_quant=0; run_tune=0; run_overload=0
+           run_ubsan=0; run_tsan=0; run_faults=0 ;;
+  --index) run_lint=0; run_tier1=0; run_quant=0; run_tune=0; run_overload=0
+           run_ubsan=0; run_tsan=0; run_faults=0 ;;
+  --quant) run_lint=0; run_tier1=0; run_index=0; run_tune=0; run_overload=0
+           run_ubsan=0; run_tsan=0; run_faults=0 ;;
+  --tune) run_lint=0; run_tier1=0; run_index=0; run_quant=0; run_overload=0
+          run_ubsan=0; run_tsan=0; run_faults=0 ;;
+  --overload) run_lint=0; run_tier1=0; run_index=0; run_quant=0; run_tune=0
+              run_ubsan=0; run_tsan=0; run_faults=0 ;;
   --tsan) run_lint=0; run_tier1=0; run_index=0; run_quant=0; run_tune=0
-          run_ubsan=0; run_faults=0 ;;
+          run_overload=0; run_ubsan=0; run_faults=0 ;;
   --faults) run_lint=0; run_tier1=0; run_index=0; run_quant=0; run_tune=0
-            run_ubsan=0; run_tsan=0 ;;
+            run_overload=0; run_ubsan=0; run_tsan=0 ;;
   "") ;;
-  *) echo "usage: tools/ci.sh [lint|ubsan|--tier1|--index|--quant|--tune|--tsan|--faults]" >&2
+  *) echo "usage: tools/ci.sh [lint|ubsan|--tier1|--index|--quant|--tune|--overload|--tsan|--faults]" >&2
      exit 2 ;;
 esac
 
@@ -285,6 +295,71 @@ for e in entries:
     assert f"solver={e['winner']}" in printed, (e["op"], e["winner"])
 print(f"tune gate OK: 6 entries, find-db round-trips, "
       f"blocked GEMM {ratio:.2f}x vs default at {fwd256['m']}^3")
+EOF
+fi
+
+if [[ "${run_overload}" == 1 ]]; then
+  echo "== overload: chaos suite under TSan + bench-overload smoke gate =="
+  # The admission/deadline/ladder state machine is all cross-thread; its
+  # suite runs under ThreadSanitizer, not just plain Release.
+  cmake -B build-tsan -S . -DDESALIGN_SANITIZE=thread
+  cmake --build build-tsan -j "${JOBS}"
+  ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" -L overload
+
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release -DDESALIGN_WERROR=ON
+  cmake --build build -j "${JOBS}"
+
+  # Open-loop load sweep at 0.5x / 1x / 2x of measured capacity. Gates:
+  # schema desalign.overload_bench.v1; below capacity (0.5x) effectively
+  # nothing is shed; under 2x overload the queue still delivers >= 0.8x of
+  # its 1x goodput (shed the surplus, keep the service) with p99 of
+  # admitted requests bounded by the deadline regime; after the storm the
+  # governor returns to healthy and serves bit-exact results again.
+  ./build/tools/desalign bench-overload --smoke \
+    --out=build/BENCH_overload_smoke.json
+  python3 - <<'EOF'
+import json
+with open("build/BENCH_overload_smoke.json") as f:
+    report = json.load(f)
+assert report["schema"] == "desalign.overload_bench.v1", report.get("schema")
+assert report["capacity_qps"] > 0, report["capacity_qps"]
+cases = {c["multiplier"]: c for c in report["cases"]}
+assert {0.5, 1.0, 2.0} <= set(cases), set(cases)
+for c in report["cases"]:
+    assert c["submitted"] > 0, c
+    shed = c["shed_queue_full"] + c["shed_deadline"]
+    assert c["admitted"] + c["shed_queue_full"] == c["submitted"], c
+    # Every admitted request resolved: served ok or shed on deadline.
+    assert c["ok"] + c["shed_deadline"] == c["admitted"], c
+    if c["ok"] > 0:
+        assert 0 < c["p50_ms"] <= c["p99_ms"], c
+        # p99 of ADMITTED requests stays bounded even at 2x overload: the
+        # deadline regime caps time-in-system (3x deadline = generous slop
+        # for scoring time past the last admission check).
+        assert c["p99_ms"] <= 3.0 * report["deadline_ms"], (
+            f"x{c['multiplier']}: p99 {c['p99_ms']:.1f} ms unbounded")
+half, one, two = cases[0.5], cases[1.0], cases[2.0]
+# Below capacity nothing should be turned away (tolerate a stray burst).
+assert half["shed_queue_full"] + half["shed_deadline"] \
+    <= max(1, half["submitted"] // 100), (
+    f"x0.5: shed {half['shed_queue_full'] + half['shed_deadline']} of "
+    f"{half['submitted']} below capacity")
+# Overload sheds the surplus, not the service: goodput under 2x must hold
+# >= 0.8x of the 1x goodput instead of collapsing.
+assert two["goodput_qps"] >= 0.8 * one["goodput_qps"], (
+    f"goodput collapsed under overload: {two['goodput_qps']:.0f} vs "
+    f"{one['goodput_qps']:.0f} at 1x")
+# The storm actually engaged the governor...
+assert two["max_rung"] >= 1, f"2x overload never degraded: {two}"
+# ...and the ladder walked back down afterwards, bit-exactly.
+rec = report["recovery"]
+assert rec["from_rung"] >= 1, rec
+assert rec["reached_healthy"] is True, rec
+assert rec["bitexact"] is True, rec
+print(f"overload smoke OK: capacity {report['capacity_qps']:.0f} qps, "
+      f"goodput@2x {two['goodput_qps']:.0f} >= 0.8x goodput@1x "
+      f"{one['goodput_qps']:.0f}, p99 bounded, recovery healthy+bitexact "
+      f"in {rec['recover_ms']:.0f} ms")
 EOF
 fi
 
