@@ -8,7 +8,7 @@
 #include "align/metrics.h"
 #include "bench/bench_common.h"
 #include "core/desalign.h"
-#include "eval/table.h"
+#include "common/table.h"
 #include "kg/presets.h"
 #include "kg/synthetic.h"
 
@@ -31,7 +31,7 @@ int main() {
     model.Fit(data);
 
     std::printf("\n-- Dataset %s (R_img=50%%) --\n", preset.name.c_str());
-    eval::TablePrinter table({"Decoding", "H@1", "H@10", "MRR"});
+    common::TablePrinter table({"Decoding", "H@1", "H@10", "MRR"});
     struct Variant {
       const char* label;
       int np;
@@ -48,8 +48,8 @@ int main() {
       auto sim = model.DecodeSimilarity(data);
       if (v.csls) align::ApplyCsls(*sim);
       auto m = align::MetricsFromSimilarity(*sim);
-      table.AddRow({v.label, eval::Pct(m.h_at_1), eval::Pct(m.h_at_10),
-                    eval::Pct(m.mrr)});
+      table.AddRow({v.label, common::Pct(m.h_at_1), common::Pct(m.h_at_10),
+                    common::Pct(m.mrr)});
     }
     table.Print();
   }

@@ -11,7 +11,7 @@
 #include "align/metrics.h"
 #include "bench/bench_common.h"
 #include "core/desalign.h"
-#include "eval/table.h"
+#include "common/table.h"
 #include "kg/presets.h"
 #include "kg/synthetic.h"
 
@@ -47,7 +47,7 @@ int main() {
     auto result = model.Evaluate(data);
 
     std::printf("\n-- %s --\n", variant.label);
-    eval::TablePrinter table(
+    common::TablePrinter table(
         {"Epoch", "E(X^(0))", "E(X^(k-1))", "E(X^(k))", "ratio k/(k-1)"});
     const auto& trace = model.energy_trace();
     for (size_t e = 0; e < trace.size(); e += 5) {
@@ -62,8 +62,8 @@ int main() {
     }
     table.Print();
     std::printf("H@1 = %s, MRR = %s\n",
-                eval::Pct(result.metrics.h_at_1).c_str(),
-                eval::Pct(result.metrics.mrr).c_str());
+                common::Pct(result.metrics.h_at_1).c_str(),
+                common::Pct(result.metrics.mrr).c_str());
   }
   return 0;
 }

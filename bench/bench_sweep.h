@@ -13,7 +13,7 @@
 #include "align/metrics.h"
 #include "bench/bench_common.h"
 #include "eval/harness.h"
-#include "eval/table.h"
+#include "common/table.h"
 #include "kg/synthetic.h"
 
 namespace desalign::bench {
@@ -35,7 +35,7 @@ inline void RunMissingModalitySweep(
       headers.push_back("H@10");
       headers.push_back("MRR");
     }
-    eval::TablePrinter table(headers);
+    common::TablePrinter table(headers);
 
     auto methods = eval::ProminentMethods();
     // metrics[method][ratio index]
@@ -59,9 +59,9 @@ inline void RunMissingModalitySweep(
     for (const auto& method : methods) {
       std::vector<std::string> row = {method.name};
       for (const auto& m : results[method.name]) {
-        row.push_back(eval::Pct(m.h_at_1));
-        row.push_back(eval::Pct(m.h_at_10));
-        row.push_back(eval::Pct(m.mrr));
+        row.push_back(common::Pct(m.h_at_1));
+        row.push_back(common::Pct(m.h_at_10));
+        row.push_back(common::Pct(m.mrr));
       }
       table.AddRow(std::move(row));
     }
@@ -77,9 +77,9 @@ inline void RunMissingModalitySweep(
         best.mrr = std::max(best.mrr, m.mrr);
       }
       const auto& ours = results["DESAlign"][ri];
-      improv.push_back(eval::Pct(ours.h_at_1 - best.h_at_1));
-      improv.push_back(eval::Pct(ours.h_at_10 - best.h_at_10));
-      improv.push_back(eval::Pct(ours.mrr - best.mrr));
+      improv.push_back(common::Pct(ours.h_at_1 - best.h_at_1));
+      improv.push_back(common::Pct(ours.h_at_10 - best.h_at_10));
+      improv.push_back(common::Pct(ours.mrr - best.mrr));
     }
     table.AddSeparator();
     table.AddRow(std::move(improv));

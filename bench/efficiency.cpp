@@ -13,7 +13,7 @@
 #include "core/desalign.h"
 #include "core/semantic_propagation.h"
 #include "eval/harness.h"
-#include "eval/table.h"
+#include "common/table.h"
 #include "kg/presets.h"
 #include "kg/synthetic.h"
 #include "tensor/init.h"
@@ -28,21 +28,21 @@ int main() {
     bench::ConfigureHarness(bench::IsBilingual(preset.name));
     auto data = kg::GenerateSyntheticPair(bench::BenchSpec(preset));
     std::printf("\n-- Dataset %s --\n", preset.name.c_str());
-    eval::TablePrinter table(
+    common::TablePrinter table(
         {"Model", "H@1", "MRR", "train(s)", "decode(s)"});
     for (const auto& method : eval::ProminentMethods()) {
       auto cell = eval::RunCell(method, data, /*seed=*/7);
-      table.AddRow({method.name, eval::Pct(cell.metrics.h_at_1),
-                    eval::Pct(cell.metrics.mrr),
-                    eval::Secs(cell.train_seconds),
-                    eval::Secs(cell.decode_seconds)});
+      table.AddRow({method.name, common::Pct(cell.metrics.h_at_1),
+                    common::Pct(cell.metrics.mrr),
+                    common::Secs(cell.train_seconds),
+                    common::Secs(cell.decode_seconds)});
     }
     table.Print();
   }
 
   // ---- Semantic propagation scaling: O(|E|·d) in the entity count ----
   std::printf("\n-- Semantic propagation scaling (2 iterations, d=128) --\n");
-  eval::TablePrinter scaling({"Entities", "Edges", "SP time (ms)",
+  common::TablePrinter scaling({"Entities", "Edges", "SP time (ms)",
                               "ms per 1k entities"});
   common::Rng rng(3);
   for (int64_t n : {500, 1000, 2000, 4000, 8000}) {
@@ -84,18 +84,18 @@ int main() {
     model.set_propagation_iterations(2);
     (void)model.DecodeSimilarity(data);
     const double sp_decode_s = watch.ElapsedSeconds();
-    eval::TablePrinter breakdown({"Stage", "seconds", "share"});
+    common::TablePrinter breakdown({"Stage", "seconds", "share"});
     const double total = train_s + sp_decode_s;
     breakdown.AddRow({"multi-modal semantic learning (train)",
-                      eval::Secs(train_s),
-                      eval::Pct(train_s / total)});
+                      common::Secs(train_s),
+                      common::Pct(train_s / total)});
     breakdown.AddRow({"decode without propagation",
-                      eval::Secs(plain_decode_s), "-"});
+                      common::Secs(plain_decode_s), "-"});
     breakdown.AddRow({"decode with semantic propagation (n_p=2)",
-                      eval::Secs(sp_decode_s),
-                      eval::Pct(sp_decode_s / total)});
+                      common::Secs(sp_decode_s),
+                      common::Pct(sp_decode_s / total)});
     breakdown.AddRow({"semantic propagation overhead",
-                      eval::Secs(sp_decode_s - plain_decode_s), "-"});
+                      common::Secs(sp_decode_s - plain_decode_s), "-"});
     breakdown.Print();
     std::printf("trainable parameters: %lld\n",
                 static_cast<long long>(model.NumParameters()));

@@ -13,7 +13,7 @@
 
 #include "bench/bench_common.h"
 #include "core/desalign.h"
-#include "eval/table.h"
+#include "common/table.h"
 #include "kg/presets.h"
 #include "kg/synthetic.h"
 
@@ -65,7 +65,7 @@ int main() {
     auto spec = bench::BenchSpec(preset);
     auto data = kg::GenerateSyntheticPair(spec);
     std::printf("\n-- Dataset %s --\n", preset.name.c_str());
-    eval::TablePrinter table({"Variant", "H@1", "H@10", "MRR"});
+    common::TablePrinter table({"Variant", "H@1", "H@10", "MRR"});
     for (const auto& variant : variants) {
       auto cfg = core::DesalignConfig::Default(/*seed=*/7);
       cfg.base.dim = bench::BenchDim();
@@ -74,8 +74,8 @@ int main() {
       variant.apply(cfg);
       core::DesalignModel model(cfg);
       auto r = model.Evaluate(data);
-      table.AddRow({variant.label, eval::Pct(r.metrics.h_at_1),
-                    eval::Pct(r.metrics.h_at_10), eval::Pct(r.metrics.mrr)});
+      table.AddRow({variant.label, common::Pct(r.metrics.h_at_1),
+                    common::Pct(r.metrics.h_at_10), common::Pct(r.metrics.mrr)});
       std::fprintf(stderr, "  [%s %s] H@1=%.3f\n", preset.name.c_str(),
                    variant.label, r.metrics.h_at_1);
     }

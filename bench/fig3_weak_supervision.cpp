@@ -9,7 +9,7 @@
 
 #include "bench/bench_common.h"
 #include "eval/harness.h"
-#include "eval/table.h"
+#include "common/table.h"
 #include "kg/presets.h"
 #include "kg/synthetic.h"
 
@@ -28,7 +28,7 @@ int main() {
                         std::to_string(static_cast<int>(r * 100 + 0.5)) +
                         "%");
     }
-    eval::TablePrinter table(headers);
+    common::TablePrinter table(headers);
 
     auto methods = eval::ProminentMethods();
     std::vector<std::vector<std::string>> rows(methods.size());
@@ -41,7 +41,7 @@ int main() {
       auto data = kg::GenerateSyntheticPair(spec);
       for (size_t mi = 0; mi < methods.size(); ++mi) {
         auto cell = eval::RunCell(methods[mi], data, /*seed=*/7);
-        rows[mi].push_back(eval::Pct(cell.metrics.h_at_1));
+        rows[mi].push_back(common::Pct(cell.metrics.h_at_1));
         std::fprintf(stderr, "  [%s %s Rseed=%.2f] H@1=%.3f\n",
                      preset.name.c_str(), methods[mi].name.c_str(), r,
                      cell.metrics.h_at_1);

@@ -12,7 +12,7 @@
 #include "align/metrics.h"
 #include "bench/bench_common.h"
 #include "core/desalign.h"
-#include "eval/table.h"
+#include "common/table.h"
 #include "kg/presets.h"
 #include "kg/synthetic.h"
 
@@ -24,7 +24,7 @@ int main() {
   for (int np = 0; np <= max_np; ++np) {
     headers.push_back("n_p=" + std::to_string(np));
   }
-  eval::TablePrinter table(headers);
+  common::TablePrinter table(headers);
 
   for (const auto& preset : kg::AllPresets()) {
     auto spec = bench::BenchSpec(preset);
@@ -43,7 +43,7 @@ int main() {
       model.set_propagation_iterations(np);
       auto metrics = align::MetricsFromSimilarity(
           *model.DecodeSimilarity(data));
-      row.push_back(eval::Pct(metrics.h_at_1));
+      row.push_back(common::Pct(metrics.h_at_1));
       std::fprintf(stderr, "  [%s n_p=%d] H@1=%.3f\n", preset.name.c_str(),
                    np, metrics.h_at_1);
     }

@@ -17,7 +17,7 @@
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
-#include "eval/table.h"
+#include "common/table.h"
 #include "serve/embedding_store.h"
 #include "serve/topk.h"
 
@@ -86,7 +86,7 @@ int main(int argc, char** argv) {
   single_options.pool = &single;
   serve::TopKRetriever single_retriever(&store, single_options);
 
-  eval::TablePrinter table({"path", "threads", "time(s)", "queries/s",
+  common::TablePrinter table({"path", "threads", "time(s)", "queries/s",
                             "speedup"});
   double brute_seconds = 0.0;
   const auto add_row = [&](const char* name, int nthreads, double seconds) {

@@ -5,14 +5,14 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
-#include "eval/table.h"
+#include "common/table.h"
 #include "kg/presets.h"
 #include "kg/synthetic.h"
 
 int main() {
   using namespace desalign;
   std::printf("== Table I: dataset statistics (synthetic analogues) ==\n");
-  eval::TablePrinter table({"Dataset", "KG", "Ent.", "Rel.", "Att.",
+  common::TablePrinter table({"Dataset", "KG", "Ent.", "Rel.", "Att.",
                             "R.Triples", "A.Triples", "Image", "EA pairs"});
   for (auto spec : kg::AllPresets()) {
     spec.num_entities = bench::BenchEntities();

@@ -11,7 +11,7 @@
 #include "align/iterative.h"
 #include "bench/bench_common.h"
 #include "eval/harness.h"
-#include "eval/table.h"
+#include "common/table.h"
 #include "kg/presets.h"
 #include "kg/synthetic.h"
 
@@ -30,7 +30,7 @@ int main() {
       headers.push_back("H@10");
       headers.push_back("MRR");
     }
-    eval::TablePrinter table(headers);
+    common::TablePrinter table(headers);
 
     // Pre-generate the three splits (same world, different seed ratio).
     std::vector<kg::AlignedKgPair> splits;
@@ -53,9 +53,9 @@ int main() {
         for (size_t si = 0; si < splits.size(); ++si) {
           auto cell = eval::RunCell(method, splits[si], /*seed=*/7,
                                     iterative, iter);
-          row.push_back(eval::Pct(cell.metrics.h_at_1));
-          row.push_back(eval::Pct(cell.metrics.h_at_10));
-          row.push_back(eval::Pct(cell.metrics.mrr));
+          row.push_back(common::Pct(cell.metrics.h_at_1));
+          row.push_back(common::Pct(cell.metrics.h_at_10));
+          row.push_back(common::Pct(cell.metrics.mrr));
           std::fprintf(stderr, "  [%s %s%s Rseed=%.0f%%] H@1=%.3f\n",
                        preset.name.c_str(), method.name.c_str(),
                        iterative ? "+iter" : "", seed_ratios[si] * 100,

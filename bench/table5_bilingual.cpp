@@ -8,7 +8,7 @@
 #include "align/iterative.h"
 #include "bench/bench_common.h"
 #include "eval/harness.h"
-#include "eval/table.h"
+#include "common/table.h"
 #include "kg/presets.h"
 #include "kg/synthetic.h"
 
@@ -33,7 +33,7 @@ int main() {
     headers.push_back("H@10");
     headers.push_back("MRR");
   }
-  eval::TablePrinter table(headers);
+  common::TablePrinter table(headers);
 
   align::IterativeConfig iter;
   iter.rounds = 2;
@@ -47,9 +47,9 @@ int main() {
           iterative ? "Iterative" : "Non-iterative", method.name};
       for (const auto& data : datasets) {
         auto cell = eval::RunCell(method, data, /*seed=*/7, iterative, iter);
-        row.push_back(eval::Pct(cell.metrics.h_at_1));
-        row.push_back(eval::Pct(cell.metrics.h_at_10));
-        row.push_back(eval::Pct(cell.metrics.mrr));
+        row.push_back(common::Pct(cell.metrics.h_at_1));
+        row.push_back(common::Pct(cell.metrics.h_at_10));
+        row.push_back(common::Pct(cell.metrics.mrr));
         std::fprintf(stderr, "  [%s %s%s] H@1=%.3f\n", data.name.c_str(),
                      method.name.c_str(), iterative ? "+iter" : "",
                      cell.metrics.h_at_1);

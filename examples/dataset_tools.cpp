@@ -8,7 +8,7 @@
 #include <cstdio>
 #include <filesystem>
 
-#include "eval/table.h"
+#include "common/table.h"
 #include "kg/io.h"
 #include "kg/presets.h"
 #include "kg/synthetic.h"
@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
   auto data = kg::GenerateSyntheticPair(spec);
 
   // 2. Inspect.
-  eval::TablePrinter stats({"KG", "Ent.", "Rel.", "Att.", "R.Triples",
+  common::TablePrinter stats({"KG", "Ent.", "Rel.", "Att.", "R.Triples",
                             "A.Triples", "Image", "text%", "image%"});
   for (const auto* kg : {&data.source, &data.target}) {
     auto s = kg::ComputeStatistics(*kg);
@@ -35,13 +35,13 @@ int main(int argc, char** argv) {
                   std::to_string(s.relation_triples),
                   std::to_string(s.attribute_triples),
                   std::to_string(s.images),
-                  eval::Pct(kg->text_features.PresentRatio()),
-                  eval::Pct(kg->visual_features.PresentRatio())});
+                  common::Pct(kg->text_features.PresentRatio()),
+                  common::Pct(kg->visual_features.PresentRatio())});
   }
   stats.Print();
   std::printf("seed alignments: %zu, test alignments: %zu (R_seed=%s%%)\n",
               data.train_pairs.size(), data.test_pairs.size(),
-              eval::Pct(data.SeedRatio()).c_str());
+              common::Pct(data.SeedRatio()).c_str());
 
   // 3. Persist.
   auto status = kg::SaveDataset(data, dir);

@@ -8,7 +8,7 @@
 
 #include "baselines/fusion_baselines.h"
 #include "core/desalign.h"
-#include "eval/table.h"
+#include "common/table.h"
 #include "kg/presets.h"
 #include "kg/synthetic.h"
 
@@ -17,7 +17,7 @@ int main() {
   const std::vector<double> ratios = {0.1, 0.3, 0.5, 0.7, 0.9};
 
   std::printf("Sweeping R_img on a DBP15K-FR-EN-style dataset (H@1)\n\n");
-  eval::TablePrinter table({"Model", "R=10%", "R=30%", "R=50%", "R=70%",
+  common::TablePrinter table({"Model", "R=10%", "R=30%", "R=50%", "R=70%",
                             "R=90%"});
   std::vector<std::string> ours_row = {"DESAlign"};
   std::vector<std::string> base_row = {"MEAformer"};
@@ -39,8 +39,8 @@ int main() {
     align::FusionAlignModel baseline(base_cfg);
     auto r_base = baseline.Evaluate(data);
 
-    ours_row.push_back(eval::Pct(r_ours.metrics.h_at_1));
-    base_row.push_back(eval::Pct(r_base.metrics.h_at_1));
+    ours_row.push_back(common::Pct(r_ours.metrics.h_at_1));
+    base_row.push_back(common::Pct(r_base.metrics.h_at_1));
     std::printf("R_img=%.0f%%: DESAlign %.1f vs MEAformer %.1f\n",
                 ratio * 100, r_ours.metrics.h_at_1 * 100,
                 r_base.metrics.h_at_1 * 100);

@@ -11,7 +11,7 @@
 #include "common/rng.h"
 #include "common/strings.h"
 #include "core/semantic_propagation.h"
-#include "eval/table.h"
+#include "common/table.h"
 #include "graph/dirichlet.h"
 #include "kg/presets.h"
 #include "kg/synthetic.h"
@@ -92,7 +92,7 @@ int main() {
     }
   }
 
-  eval::TablePrinter table({"Interpolation", "MSE on missing rows",
+  common::TablePrinter table({"Interpolation", "MSE on missing rows",
                             "Dirichlet energy"});
   auto report = [&](const char* label, const TensorPtr& x) {
     table.AddRow({label,

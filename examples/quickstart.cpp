@@ -9,7 +9,7 @@
 
 #include "baselines/fusion_baselines.h"
 #include "core/desalign.h"
-#include "eval/table.h"
+#include "common/table.h"
 #include "kg/presets.h"
 #include "kg/synthetic.h"
 
@@ -41,11 +41,11 @@ int main() {
   auto meaformer_result = meaformer->Evaluate(data);
 
   // 4. Report.
-  eval::TablePrinter table({"Model", "H@1", "H@10", "MRR", "train", "decode"});
+  common::TablePrinter table({"Model", "H@1", "H@10", "MRR", "train", "decode"});
   auto add = [&table](const char* name, const align::EvalResult& r) {
-    table.AddRow({name, eval::Pct(r.metrics.h_at_1),
-                  eval::Pct(r.metrics.h_at_10), eval::Pct(r.metrics.mrr),
-                  eval::Secs(r.train_seconds), eval::Secs(r.decode_seconds)});
+    table.AddRow({name, common::Pct(r.metrics.h_at_1),
+                  common::Pct(r.metrics.h_at_10), common::Pct(r.metrics.mrr),
+                  common::Secs(r.train_seconds), common::Secs(r.decode_seconds)});
   };
   add("MEAformer", meaformer_result);
   add("DESAlign", desalign_result);

@@ -9,14 +9,14 @@
 #include "align/iterative.h"
 #include "align/metrics.h"
 #include "core/desalign.h"
-#include "eval/table.h"
+#include "common/table.h"
 #include "kg/io.h"
 #include "kg/presets.h"
 #include "kg/synthetic.h"
 
 int main() {
   using namespace desalign;
-  eval::TablePrinter table({"R_seed", "seeds", "H@1 basic", "H@1 +iterative",
+  common::TablePrinter table({"R_seed", "seeds", "H@1 basic", "H@1 +iterative",
                             "pseudo-seed gain"});
 
   for (double seed_ratio : {0.01, 0.05, 0.10}) {
@@ -40,10 +40,10 @@ int main() {
     auto boosted =
         align::MetricsFromSimilarity(*model.DecodeSimilarity(data));
 
-    table.AddRow({eval::Pct(seed_ratio),
+    table.AddRow({common::Pct(seed_ratio),
                   std::to_string(data.train_pairs.size()),
-                  eval::Pct(basic.h_at_1), eval::Pct(boosted.h_at_1),
-                  eval::Pct(boosted.h_at_1 - basic.h_at_1)});
+                  common::Pct(basic.h_at_1), common::Pct(boosted.h_at_1),
+                  common::Pct(boosted.h_at_1 - basic.h_at_1)});
     std::printf("R_seed=%.0f%%: basic H@1=%.1f, iterative H@1=%.1f\n",
                 seed_ratio * 100, basic.h_at_1 * 100, boosted.h_at_1 * 100);
   }

@@ -20,7 +20,7 @@
 #include "core/desalign.h"
 #include "eval/csv.h"
 #include "eval/harness.h"
-#include "eval/table.h"
+#include "common/table.h"
 #include "index/index_bench.h"
 #include "index/ivf.h"
 #include "index/quant_bench.h"
@@ -188,7 +188,7 @@ Status CmdStats(const std::vector<std::string>& args, std::ostream& out) {
   DESALIGN_RETURN_NOT_OK(threads.Apply());
   DESALIGN_RETURN_NOT_OK(metrics.Begin());
   DESALIGN_ASSIGN_OR_RETURN(auto pair, dataset.Load());
-  eval::TablePrinter table({"KG", "Ent.", "Rel.", "Att.", "R.Triples",
+  common::TablePrinter table({"KG", "Ent.", "Rel.", "Att.", "R.Triples",
                             "A.Triples", "Image", "text%", "image%"});
   for (const auto* kg : {&pair.source, &pair.target}) {
     auto s = kg::ComputeStatistics(*kg);
@@ -197,13 +197,13 @@ Status CmdStats(const std::vector<std::string>& args, std::ostream& out) {
                   std::to_string(s.relation_triples),
                   std::to_string(s.attribute_triples),
                   std::to_string(s.images),
-                  eval::Pct(kg->text_features.PresentRatio()),
-                  eval::Pct(kg->visual_features.PresentRatio())});
+                  common::Pct(kg->text_features.PresentRatio()),
+                  common::Pct(kg->visual_features.PresentRatio())});
   }
   table.Print(out);
   out << "alignments: " << pair.train_pairs.size() << " seed / "
       << pair.test_pairs.size() << " test (R_seed="
-      << eval::Pct(pair.SeedRatio()) << "%)\n";
+      << common::Pct(pair.SeedRatio()) << "%)\n";
   return metrics.Finish(out);
 }
 
@@ -252,14 +252,14 @@ Status CmdRun(const std::vector<std::string>& args, std::ostream& out) {
   auto result =
       eval::RunCell(factory, data, static_cast<uint64_t>(method_seed),
                     iterative, iter, csls);
-  eval::TablePrinter table({"Method", "Dataset", "H@1", "H@5", "H@10",
+  common::TablePrinter table({"Method", "Dataset", "H@1", "H@5", "H@10",
                             "MRR", "train(s)", "decode(s)"});
-  table.AddRow({method_name, data.name, eval::Pct(result.metrics.h_at_1),
-                eval::Pct(result.metrics.h_at_5),
-                eval::Pct(result.metrics.h_at_10),
-                eval::Pct(result.metrics.mrr),
-                eval::Secs(result.train_seconds),
-                eval::Secs(result.decode_seconds)});
+  table.AddRow({method_name, data.name, common::Pct(result.metrics.h_at_1),
+                common::Pct(result.metrics.h_at_5),
+                common::Pct(result.metrics.h_at_10),
+                common::Pct(result.metrics.mrr),
+                common::Secs(result.train_seconds),
+                common::Secs(result.decode_seconds)});
   table.Print(out);
   return metrics.Finish(out);
 }
@@ -346,14 +346,14 @@ Status CmdTrain(const std::vector<std::string>& args, std::ostream& out) {
   const auto ranking = align::MetricsFromSimilarity(*sim);
 
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
-  eval::TablePrinter table({"Method", "Dataset", "H@1", "H@10", "MRR",
+  common::TablePrinter table({"Method", "Dataset", "H@1", "H@10", "MRR",
                             "loss", "skips", "rollbacks", "train(s)"});
-  table.AddRow({method_name, data.name, eval::Pct(ranking.h_at_1),
-                eval::Pct(ranking.h_at_10), eval::Pct(ranking.mrr),
+  table.AddRow({method_name, data.name, common::Pct(ranking.h_at_1),
+                common::Pct(ranking.h_at_10), common::Pct(ranking.mrr),
                 common::FormatDouble(reg.GetGauge("train.loss").value(), 6),
                 std::to_string(reg.GetCounter("train.nonfinite_skips").value()),
                 std::to_string(reg.GetCounter("train.rollbacks").value()),
-                eval::Secs(train_seconds)});
+                common::Secs(train_seconds)});
   table.Print(out);
   if (!out_path.empty()) {
     DESALIGN_RETURN_NOT_OK(fusion->SaveCheckpoint(out_path));
@@ -414,7 +414,7 @@ Status CmdSweep(const std::vector<std::string>& args, std::ostream& out) {
 
   std::vector<std::string> headers = {"Model (H@1)"};
   for (double v : values) headers.push_back(common::FormatDouble(v, 2));
-  eval::TablePrinter table(headers);
+  common::TablePrinter table(headers);
   eval::CsvRecorder csv;
   std::vector<std::vector<std::string>> rows(methods.size());
   for (size_t mi = 0; mi < methods.size(); ++mi) {
@@ -435,7 +435,7 @@ Status CmdSweep(const std::vector<std::string>& args, std::ostream& out) {
     DESALIGN_ASSIGN_OR_RETURN(auto data, point.Load());
     for (size_t mi = 0; mi < methods.size(); ++mi) {
       auto cell = eval::RunCell(methods[mi], data, /*seed=*/7);
-      rows[mi].push_back(eval::Pct(cell.metrics.h_at_1));
+      rows[mi].push_back(common::Pct(cell.metrics.h_at_1));
       csv.AddResult(methods[mi].name, data.name, cell,
                     {{variable, common::FormatDouble(value, 4)}});
     }
@@ -617,19 +617,19 @@ Status CmdServeBench(const std::vector<std::string>& args,
   out << "serve-bench: " << data.name << ", " << store.size()
       << " target entities, dim " << store.dim() << ", index " << index_kind
       << ", trained " << method_name << " for " << epochs << " epochs ("
-      << eval::Secs(train_seconds) << "), "
+      << common::Secs(train_seconds) << "), "
       << common::ThreadPool::Global().num_threads() << " threads\n";
   if (const auto* ivf = dynamic_cast<const index::IvfRetriever*>(
           retriever.get())) {
     out << "ivf index: " << ivf->num_centroids() << " cells, "
         << ivf->num_shards() << " shards, nprobe " << nprobe << ", built in "
-        << eval::Secs(ivf->last_build_ms() / 1e3) << "\n";
+        << common::Secs(ivf->last_build_ms() / 1e3) << "\n";
   }
   stats.PrintTable(out);
   const double q = static_cast<double>(num_queries);
-  out << "recall@1 " << eval::Pct(static_cast<double>(hits_at_1) / q)
+  out << "recall@1 " << common::Pct(static_cast<double>(hits_at_1) / q)
       << "%, recall@" << k << " "
-      << eval::Pct(static_cast<double>(hits_at_k) / q)
+      << common::Pct(static_cast<double>(hits_at_k) / q)
       << "% over " << num_queries << " replayed queries\n";
   return metrics.Finish(out);
 }
@@ -887,7 +887,7 @@ Status CmdBenchIndex(const std::vector<std::string>& args,
   for (const auto& c : report.cases) {
     out << c.entities << " entities (dim " << c.dim << ", "
         << c.num_centroids << " cells, " << c.shards << " shards, built "
-        << eval::Secs(c.build_ms / 1e3) << "):\n";
+        << common::Secs(c.build_ms / 1e3) << "):\n";
     for (const auto& p : c.paths) {
       out << "  " << p.path << ": p50 "
           << common::FormatDouble(p.p50_ms, 3) << " ms, p99 "

@@ -27,7 +27,7 @@ const char* StatusCodeName(StatusCode code);
 /// configuration). Programming errors in hot numeric paths use CHECK macros
 /// instead; Status is reserved for conditions a caller can meaningfully
 /// handle.
-class Status {
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -78,7 +78,7 @@ std::ostream& operator<<(std::ostream& os, const Status& status);
 /// `arrow::Result` in spirit; accessing the value of an errored Result
 /// aborts (programming error).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value — enables `return value;` in Result-returning code.
   Result(T value) : status_(), value_(std::move(value)), has_value_(true) {}

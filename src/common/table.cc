@@ -1,10 +1,10 @@
-#include "eval/table.h"
+#include "common/table.h"
 
 #include <algorithm>
 
 #include "common/strings.h"
 
-namespace desalign::eval {
+namespace desalign::common {
 
 TablePrinter::TablePrinter(std::vector<std::string> headers)
     : headers_(std::move(headers)) {}
@@ -63,4 +63,4 @@ std::string Secs(double seconds) {
   return common::FormatDouble(seconds, 2) + "s";
 }
 
-}  // namespace desalign::eval
+}  // namespace desalign::common

@@ -1,11 +1,11 @@
-#ifndef DESALIGN_EVAL_TABLE_H_
-#define DESALIGN_EVAL_TABLE_H_
+#ifndef DESALIGN_COMMON_TABLE_H_
+#define DESALIGN_COMMON_TABLE_H_
 
 #include <iostream>
 #include <string>
 #include <vector>
 
-namespace desalign::eval {
+namespace desalign::common {
 
 /// Fixed-width ASCII table writer used by every bench binary to print rows
 /// in the layout of the paper's tables.
@@ -29,6 +29,6 @@ std::string Pct(double fraction);
 /// Formats seconds with two decimals.
 std::string Secs(double seconds);
 
-}  // namespace desalign::eval
+}  // namespace desalign::common
 
-#endif  // DESALIGN_EVAL_TABLE_H_
+#endif  // DESALIGN_COMMON_TABLE_H_

@@ -80,15 +80,16 @@ class BatchQueue {
   /// (size != retriever dim), kShutdown (after Shutdown),
   /// kRejectedQueueFull (queue at max_pending, or the governor is
   /// shedding), kDeadlineExceeded (deadline expired).
-  std::future<TopKResult> Submit(std::vector<float> query);
+  [[nodiscard]] std::future<TopKResult> Submit(std::vector<float> query);
 
   /// Same, with a per-request deadline `timeout_ms` from now (<= 0 = no
   /// deadline, overriding the default).
-  std::future<TopKResult> Submit(std::vector<float> query, double timeout_ms);
+  [[nodiscard]] std::future<TopKResult> Submit(std::vector<float> query,
+                                               double timeout_ms);
 
   /// Same, with an absolute deadline on `options.clock`'s timeline.
-  std::future<TopKResult> SubmitWithDeadline(std::vector<float> query,
-                                             common::Clock::TimePoint deadline);
+  [[nodiscard]] std::future<TopKResult> SubmitWithDeadline(
+      std::vector<float> query, common::Clock::TimePoint deadline);
 
   /// Drains every pending query, then stops the worker. Idempotent; also
   /// called by the destructor. Later Submits resolve with kShutdown.

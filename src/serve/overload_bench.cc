@@ -125,7 +125,9 @@ int64_t OfferLoad(BatchQueue& queue, const std::vector<float>& pool,
         const SteadyClock::time_point arrival = start + i * interval;
         if (arrival - start >= total) break;
         if (arrival > SteadyClock::now()) std::this_thread::sleep_until(arrival);
-        queue.Submit(QueryAt(pool, dim, i * threads + t, pool_size));
+        // Open-loop generator: outcomes are read from the stats registry,
+        // not per-query futures, so the future is discarded deliberately.
+        (void)queue.Submit(QueryAt(pool, dim, i * threads + t, pool_size));
         submitted.fetch_add(1, std::memory_order_relaxed);
         ++i;
       }

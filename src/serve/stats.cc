@@ -2,7 +2,7 @@
 
 #include <cstdio>
 
-#include "eval/table.h"
+#include "common/table.h"
 
 namespace desalign::serve {
 
@@ -152,7 +152,7 @@ ServeStatsSnapshot ServeStats::Snapshot() const {
 
 void ServeStats::PrintTable(std::ostream& os) const {
   const ServeStatsSnapshot s = Snapshot();
-  eval::TablePrinter table({"queries", "batches", "avg batch", "qps",
+  common::TablePrinter table({"queries", "batches", "avg batch", "qps",
                             "mean(ms)", "p50(ms)", "p95(ms)", "p99(ms)",
                             "max(ms)"});
   table.AddRow({std::to_string(s.queries), std::to_string(s.batches),
@@ -164,7 +164,7 @@ void ServeStats::PrintTable(std::ostream& os) const {
   if (s.admitted + s.shed_queue_full + s.shed_deadline + s.rejected_invalid +
           s.rejected_shutdown + s.degraded >
       0) {
-    eval::TablePrinter overload({"admitted", "shed(full)", "shed(ddl)",
+    common::TablePrinter overload({"admitted", "shed(full)", "shed(ddl)",
                                  "invalid", "shutdown", "degraded",
                                  "transitions", "wait p99(ms)"});
     overload.AddRow({std::to_string(s.admitted),

@@ -98,7 +98,7 @@ class ServeStats {
 
   ServeStatsSnapshot Snapshot() const;
 
-  /// Prints a one-row latency/throughput table via eval::TablePrinter;
+  /// Prints a one-row latency/throughput table via common::TablePrinter;
   /// when any admission-control activity was recorded, a second row with
   /// the overload counters follows.
   void PrintTable(std::ostream& os) const;

@@ -1,0 +1,16 @@
+// Fixture: a dropped fallible result suppressed by a pragma on its
+// line. Real code should prefer the explicit (void) cast, which states
+// the intent in the language instead of in a comment.
+#include "common/status.h"
+
+namespace desalign::fixture {
+
+struct Store {
+  common::Status Reload(const char* path);
+};
+
+void DropDeliberately(Store& store) {
+  store.Reload("warmup.bin");  // desalign-analyze: allow(discarded-status) fixture proves per-line suppression
+}
+
+}  // namespace desalign::fixture

@@ -1,0 +1,28 @@
+// Fixture: the bad_lock_order.cc cycle, suppressed by a pragma on the
+// anchor line (the lexically smallest witness edge). Real code should
+// fix the order or use an [[allow_cycle]] manifest entry instead.
+#include "common/mutex.h"
+
+namespace desalign::fixture {
+
+class Ledger {
+ public:
+  void Transfer();
+  void Audit();
+
+ private:
+  common::Mutex source_mu_;
+  common::Mutex target_mu_;
+};
+
+void Ledger::Transfer() {
+  common::MutexLock source(source_mu_);
+  common::MutexLock target(target_mu_);  // desalign-analyze: allow(lock-order) fixture proves per-line suppression
+}
+
+void Ledger::Audit() {
+  common::MutexLock target(target_mu_);
+  common::MutexLock source(source_mu_);
+}
+
+}  // namespace desalign::fixture

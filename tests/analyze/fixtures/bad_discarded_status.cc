@@ -1,0 +1,22 @@
+// Fixture: seeded dropped results of fallible APIs. Each bare
+// expression-statement below throws away the only record of failure.
+#include "common/status.h"
+
+namespace desalign::fixture {
+
+struct Store {
+  common::Status Reload(const char* path);
+  common::Result<int> Load(const char* path);
+};
+
+struct Queue {
+  int Submit(int query);
+};
+
+void DropEverything(Store& store, Queue& queue) {
+  store.Reload("embeddings.bin");  // ANALYZE-EXPECT: discarded-status
+  store.Load("checkpoint.bin");    // ANALYZE-EXPECT: discarded-status
+  queue.Submit(42);                // ANALYZE-EXPECT: discarded-status
+}
+
+}  // namespace desalign::fixture

@@ -1,0 +1,30 @@
+// Fixture: seeded two-mutex inverted-order deadlock. Transfer() acquires
+// source before target; Audit() acquires target before source. Two
+// threads entering from different sides block forever. The analyzer
+// anchors the cycle at the lexically smallest witness edge (the second
+// acquisition inside Transfer()).
+#include "common/mutex.h"
+
+namespace desalign::fixture {
+
+class Ledger {
+ public:
+  void Transfer();
+  void Audit();
+
+ private:
+  common::Mutex source_mu_;
+  common::Mutex target_mu_;
+};
+
+void Ledger::Transfer() {
+  common::MutexLock source(source_mu_);
+  common::MutexLock target(target_mu_);  // ANALYZE-EXPECT: lock-order
+}
+
+void Ledger::Audit() {
+  common::MutexLock target(target_mu_);
+  common::MutexLock source(source_mu_);
+}
+
+}  // namespace desalign::fixture

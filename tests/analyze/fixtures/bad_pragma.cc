@@ -1,0 +1,10 @@
+// Fixture: a pragma naming a rule the analyzer does not have. Unknown
+// rule names are reported, never silently ignored — a typo in a pragma
+// must not look like a suppression.
+#include "common/status.h"
+
+namespace desalign::fixture {
+
+void Fine();  // desalign-analyze: allow(no-such-rule) ANALYZE-EXPECT: bad-pragma
+
+}  // namespace desalign::fixture

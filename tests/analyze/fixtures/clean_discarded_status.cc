@@ -1,0 +1,27 @@
+// Fixture: every fallible result is consumed — assigned, returned,
+// branched on, chained, passed as an argument, or discarded with the
+// sanctioned explicit (void) cast.
+#include "common/status.h"
+
+namespace desalign::fixture {
+
+struct Store {
+  common::Status Reload(const char* path);
+  common::Result<int> Load(const char* path);
+};
+
+void Consume(common::Status s);
+
+common::Status UseEverything(Store& store) {
+  common::Status st = store.Reload("embeddings.bin");
+  if (!store.Reload("embeddings.bin").ok()) {
+    return st;
+  }
+  Consume(store.Reload("embeddings.bin"));
+  (void)store.Reload("best-effort.bin");
+  auto loaded = store.Load("checkpoint.bin");
+  (void)loaded;
+  return store.Reload("embeddings.bin");
+}
+
+}  // namespace desalign::fixture

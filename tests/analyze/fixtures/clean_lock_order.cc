@@ -1,0 +1,27 @@
+// Fixture: same two mutexes as bad_lock_order.cc, but both paths agree
+// on the order (source before target), so the lock graph is acyclic.
+#include "common/mutex.h"
+
+namespace desalign::fixture {
+
+class Ledger {
+ public:
+  void Transfer();
+  void Audit();
+
+ private:
+  common::Mutex source_mu_;
+  common::Mutex target_mu_;
+};
+
+void Ledger::Transfer() {
+  common::MutexLock source(source_mu_);
+  common::MutexLock target(target_mu_);
+}
+
+void Ledger::Audit() {
+  common::MutexLock source(source_mu_);
+  common::MutexLock target(target_mu_);
+}
+
+}  // namespace desalign::fixture

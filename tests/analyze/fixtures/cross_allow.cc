@@ -1,0 +1,16 @@
+// Fixture: a pragma allows only the rule it names. This line drops a
+// fallible result but its pragma names `layering`, so discarded-status
+// still fires — suppression is per-rule, not per-line-blanket.
+#include "common/status.h"
+
+namespace desalign::fixture {
+
+struct Store {
+  common::Status Reload(const char* path);
+};
+
+void WrongPragma(Store& store) {
+  store.Reload("embeddings.bin");  // desalign-analyze: allow(layering) ANALYZE-EXPECT: discarded-status
+}
+
+}  // namespace desalign::fixture

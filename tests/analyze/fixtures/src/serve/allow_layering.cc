@@ -1,0 +1,10 @@
+// Fixture: the serve→align breach of bad_layering.cc, suppressed by a
+// pragma on the include line. Real code should move the shared piece
+// down a layer or amend layering.toml in review instead.
+#include "align/semantic_consistency.h"  // desalign-analyze: allow(layering) fixture proves per-line suppression
+
+namespace desalign::serve {
+
+void UseAlignInternals() {}
+
+}  // namespace desalign::serve

@@ -1,0 +1,21 @@
+// Fixture: a serve header declaring a future-returning API without
+// [[nodiscard]]. A dropped future silently loses its ServeStatus
+// outcome, so the declaration side must carry the attribute.
+#ifndef TESTS_ANALYZE_FIXTURES_SRC_SERVE_BAD_FUTURE_NODISCARD_H_
+#define TESTS_ANALYZE_FIXTURES_SRC_SERVE_BAD_FUTURE_NODISCARD_H_
+
+#include <future>
+#include <vector>
+
+namespace desalign::serve {
+
+struct TopKResult;
+
+class FixtureQueue {
+ public:
+  std::future<TopKResult> Submit(std::vector<float> query);  // ANALYZE-EXPECT: discarded-status
+};
+
+}  // namespace desalign::serve
+
+#endif  // TESTS_ANALYZE_FIXTURES_SRC_SERVE_BAD_FUTURE_NODISCARD_H_

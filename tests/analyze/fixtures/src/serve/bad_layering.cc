@@ -1,0 +1,11 @@
+// Fixture: seeded serve→align layering breach. The serve module must
+// stay independent of the training stack; this include crosses the DAG
+// in tools/analyze/layering.toml.
+#include "align/semantic_consistency.h"  // ANALYZE-EXPECT: layering
+#include "common/status.h"
+
+namespace desalign::serve {
+
+void UseAlignInternals() {}
+
+}  // namespace desalign::serve

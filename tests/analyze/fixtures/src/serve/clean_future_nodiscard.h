@@ -1,0 +1,20 @@
+// Fixture: the same future-returning serve API as
+// bad_future_nodiscard.h, correctly declared [[nodiscard]].
+#ifndef TESTS_ANALYZE_FIXTURES_SRC_SERVE_CLEAN_FUTURE_NODISCARD_H_
+#define TESTS_ANALYZE_FIXTURES_SRC_SERVE_CLEAN_FUTURE_NODISCARD_H_
+
+#include <future>
+#include <vector>
+
+namespace desalign::serve {
+
+struct TopKResult;
+
+class FixtureQueue {
+ public:
+  [[nodiscard]] std::future<TopKResult> Submit(std::vector<float> query);
+};
+
+}  // namespace desalign::serve
+
+#endif  // TESTS_ANALYZE_FIXTURES_SRC_SERVE_CLEAN_FUTURE_NODISCARD_H_

@@ -1,0 +1,13 @@
+// Fixture: serve including only its declared dependencies (common, nn,
+// obs, tensor) plus its own headers — all DAG-legal.
+#include "common/status.h"
+#include "nn/embedding.h"
+#include "obs/metrics.h"
+#include "serve/batch_queue.h"
+#include "tensor/tensor.h"
+
+namespace desalign::serve {
+
+void UseDeclaredDeps() {}
+
+}  // namespace desalign::serve

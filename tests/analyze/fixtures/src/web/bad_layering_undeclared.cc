@@ -1,0 +1,10 @@
+// Fixture: a src/ module that tools/analyze/layering.toml does not
+// declare. Every module include from it is flagged — new modules must
+// be added to the DAG before they can depend on anything.
+#include "common/status.h"  // ANALYZE-EXPECT: layering
+
+namespace desalign::web {
+
+void NewModule() {}
+
+}  // namespace desalign::web

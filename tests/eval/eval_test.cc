@@ -3,11 +3,15 @@
 #include <gtest/gtest.h>
 
 #include "eval/harness.h"
-#include "eval/table.h"
+#include "common/table.h"
 #include "kg/synthetic.h"
 
 namespace desalign::eval {
 namespace {
+
+using common::Pct;
+using common::Secs;
+using common::TablePrinter;
 
 TEST(TablePrinterTest, AlignsColumnsAndPads) {
   TablePrinter table({"A", "LongHeader"});

@@ -9,6 +9,12 @@
 #                          # fixture suite, then clang-tidy over
 #                          # compile_commands.json (skipped with a notice
 #                          # when clang-tidy is not installed)
+#   tools/ci.sh --analyze  # whole-program analysis only: desalign-analyze
+#                          # fixture suite + zero-finding tree gate
+#                          # (lock-order cycles, layering DAG,
+#                          # discarded-status), driven by
+#                          # compile_commands.json when present and a
+#                          # source-tree walk otherwise
 #   tools/ci.sh ubsan      # UndefinedBehaviorSanitizer build + unit and
 #                          # fault suites (-fno-sanitize-recover=all, so
 #                          # any UB report aborts the test)
@@ -49,12 +55,14 @@
 #   overload    — serve-side overload protection: bounded admission,
 #                 deadlines, the degradation ladder and its chaos suite
 #   lint        — desalign-lint fixture corpus + zero-finding tree scan
+#   analyze     — desalign-analyze fixture corpus + zero-finding tree gate
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="$(nproc)"
 
 run_lint=1
+run_analyze=1
 run_tier1=1
 run_index=1
 run_quant=1
@@ -64,26 +72,30 @@ run_ubsan=1
 run_tsan=1
 run_faults=1
 case "${1:-}" in
-  lint) run_tier1=0; run_index=0; run_quant=0; run_tune=0; run_overload=0
-        run_ubsan=0; run_tsan=0; run_faults=0 ;;
-  ubsan) run_lint=0; run_tier1=0; run_index=0; run_quant=0; run_tune=0
-         run_overload=0; run_tsan=0; run_faults=0 ;;
-  --tier1) run_lint=0; run_index=0; run_quant=0; run_tune=0; run_overload=0
-           run_ubsan=0; run_tsan=0; run_faults=0 ;;
-  --index) run_lint=0; run_tier1=0; run_quant=0; run_tune=0; run_overload=0
-           run_ubsan=0; run_tsan=0; run_faults=0 ;;
-  --quant) run_lint=0; run_tier1=0; run_index=0; run_tune=0; run_overload=0
-           run_ubsan=0; run_tsan=0; run_faults=0 ;;
-  --tune) run_lint=0; run_tier1=0; run_index=0; run_quant=0; run_overload=0
-          run_ubsan=0; run_tsan=0; run_faults=0 ;;
-  --overload) run_lint=0; run_tier1=0; run_index=0; run_quant=0; run_tune=0
-              run_ubsan=0; run_tsan=0; run_faults=0 ;;
-  --tsan) run_lint=0; run_tier1=0; run_index=0; run_quant=0; run_tune=0
-          run_overload=0; run_ubsan=0; run_faults=0 ;;
-  --faults) run_lint=0; run_tier1=0; run_index=0; run_quant=0; run_tune=0
-            run_overload=0; run_ubsan=0; run_tsan=0 ;;
+  lint) run_analyze=0; run_tier1=0; run_index=0; run_quant=0; run_tune=0
+        run_overload=0; run_ubsan=0; run_tsan=0; run_faults=0 ;;
+  --analyze) run_lint=0; run_tier1=0; run_index=0; run_quant=0; run_tune=0
+             run_overload=0; run_ubsan=0; run_tsan=0; run_faults=0 ;;
+  ubsan) run_lint=0; run_analyze=0; run_tier1=0; run_index=0; run_quant=0
+         run_tune=0; run_overload=0; run_tsan=0; run_faults=0 ;;
+  --tier1) run_lint=0; run_analyze=0; run_index=0; run_quant=0; run_tune=0
+           run_overload=0; run_ubsan=0; run_tsan=0; run_faults=0 ;;
+  --index) run_lint=0; run_analyze=0; run_tier1=0; run_quant=0; run_tune=0
+           run_overload=0; run_ubsan=0; run_tsan=0; run_faults=0 ;;
+  --quant) run_lint=0; run_analyze=0; run_tier1=0; run_index=0; run_tune=0
+           run_overload=0; run_ubsan=0; run_tsan=0; run_faults=0 ;;
+  --tune) run_lint=0; run_analyze=0; run_tier1=0; run_index=0; run_quant=0
+          run_overload=0; run_ubsan=0; run_tsan=0; run_faults=0 ;;
+  --overload) run_lint=0; run_analyze=0; run_tier1=0; run_index=0
+              run_quant=0; run_tune=0; run_ubsan=0; run_tsan=0
+              run_faults=0 ;;
+  --tsan) run_lint=0; run_analyze=0; run_tier1=0; run_index=0; run_quant=0
+          run_tune=0; run_overload=0; run_ubsan=0; run_faults=0 ;;
+  --faults) run_lint=0; run_analyze=0; run_tier1=0; run_index=0
+            run_quant=0; run_tune=0; run_overload=0; run_ubsan=0
+            run_tsan=0 ;;
   "") ;;
-  *) echo "usage: tools/ci.sh [lint|ubsan|--tier1|--index|--quant|--tune|--overload|--tsan|--faults]" >&2
+  *) echo "usage: tools/ci.sh [lint|--analyze|ubsan|--tier1|--index|--quant|--tune|--overload|--tsan|--faults]" >&2
      exit 2 ;;
 esac
 
@@ -117,6 +129,25 @@ if [[ "${run_lint}" == 1 ]]; then
   else
     echo "== lint: clang++ not installed — thread-safety build skipped =="
   fi
+fi
+
+if [[ "${run_analyze}" == 1 ]]; then
+  echo "== analyze: fixture suite (every pass fires + is suppressible) =="
+  python3 tests/analyze/analyze_test.py --fixtures
+
+  # The TU cross-check wants compile_commands.json; configure (cheap) if
+  # absent. Without cmake the analyzer still runs — it prints a notice
+  # and walks the source tree instead (graceful skip, same policy as the
+  # clang-tidy/TSA stages above).
+  if command -v cmake >/dev/null 2>&1; then
+    cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  else
+    echo "== analyze: cmake not installed — compile-commands TU list =="
+    echo "   unavailable; desalign-analyze falls back to a tree walk"
+  fi
+
+  echo "== analyze: desalign-analyze (zero findings over src/ + tests/) =="
+  python3 tools/analyze/desalign_analyze.py
 fi
 
 if [[ "${run_tier1}" == 1 ]]; then
@@ -380,7 +411,11 @@ if [[ "${run_faults}" == 1 ]]; then
   echo "== faults: AddressSanitizer build + fault-injection suite =="
   cmake -B build-asan -S . -DDESALIGN_SANITIZE=address
   cmake --build build-asan -j "${JOBS}"
-  ctest --test-dir build-asan --output-on-failure -j "${JOBS}" -L faults
+  # detect_leaks=1: LSan findings gate alongside ASan's. The deliberate
+  # static-leak idiom (`static X& x = *new X;`) stays reachable at exit,
+  # so LSan does not flag it — anything it does flag is a real leak.
+  ASAN_OPTIONS=detect_leaks=1 \
+    ctest --test-dir build-asan --output-on-failure -j "${JOBS}" -L faults
 fi
 
 if [[ "${run_tsan}" == 1 ]]; then

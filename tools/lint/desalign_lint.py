@@ -38,6 +38,9 @@ Suppression is per-line and per-rule only:
 A pragma naming rule A never silences rule B, and naming an unknown rule
 is itself reported (bad-pragma). See docs/STATIC_ANALYSIS.md.
 
+The finding/pragma/exit-code model is shared with desalign-analyze via
+tools/lint/findings.py, so the two tools cannot drift apart.
+
 Usage:
     tools/lint/desalign_lint.py [PATH...]      # default: src/ tests/
     tools/lint/desalign_lint.py --list-rules
@@ -55,13 +58,16 @@ import os
 import re
 import sys
 
-CXX_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp", ".cxx", ".inl")
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import findings as fm  # noqa: E402  (shared finding model)
 
 # Fixture files deliberately seeded with violations; skipped during
 # directory walks, still scannable when named explicitly.
-FIXTURE_DIR_MARKER = os.path.join("tests", "lint", "fixtures")
-
-PRAGMA_RE = re.compile(r"desalign-lint:\s*allow\(([^)]*)\)")
+FIXTURE_DIR_MARKERS = (
+    os.path.join("tests", "lint", "fixtures"),
+    os.path.join("tests", "analyze", "fixtures"),
+)
 
 RULES = {
     "banned-random": "rand()/srand()/std::random_device is banned; use "
@@ -82,8 +88,10 @@ RULES = {
                           "FaultInjector::OnSite call site; crash-safety "
                           "tests cannot inject faults here "
                           "(docs/ROBUSTNESS.md)",
-    "bad-pragma": "desalign-lint pragma names an unknown rule",
+    fm.BAD_PRAGMA: "desalign-lint pragma names an unknown rule",
 }
+
+PRAGMAS = fm.PragmaModel("desalign-lint", RULES)
 
 BANNED_RANDOM_RE = re.compile(r"(\b(?:std::)?s?rand\s*\(|\brandom_device\b)")
 UNSEEDED_RNG_RE = re.compile(
@@ -100,87 +108,10 @@ WRITE_IO_RE = re.compile(r"\bstd::ofstream\b|\bfopen\s*\(|\bfwrite\s*\(")
 ON_SITE_RE = re.compile(r"\bOnSite\s*\(")
 
 
-def strip_comments_and_strings(lines):
-    """Returns code-only lines: comments and string/char literals blanked.
-
-    Deliberately simple (no raw strings, no line continuations inside
-    literals) — this is a token scanner, not a parser; the tree's style
-    keeps it exact in practice.
-    """
-    out = []
-    in_block = False
-    for line in lines:
-        code = []
-        i = 0
-        n = len(line)
-        while i < n:
-            if in_block:
-                end = line.find("*/", i)
-                if end < 0:
-                    i = n
-                else:
-                    in_block = False
-                    i = end + 2
-                continue
-            ch = line[i]
-            nxt = line[i + 1] if i + 1 < n else ""
-            if ch == "/" and nxt == "/":
-                break
-            if ch == "/" and nxt == "*":
-                in_block = True
-                i += 2
-                continue
-            if ch in ('"', "'"):
-                quote = ch
-                i += 1
-                while i < n:
-                    if line[i] == "\\":
-                        i += 2
-                        continue
-                    if line[i] == quote:
-                        i += 1
-                        break
-                    i += 1
-                code.append(quote + quote)  # keep token boundaries honest
-                continue
-            code.append(ch)
-            i += 1
-        out.append("".join(code))
-    return out
-
-
-def line_allowances(raw_line):
-    """Rule names allowed by pragmas on this line; None if no pragma."""
-    matches = PRAGMA_RE.findall(raw_line)
-    if not matches:
-        return None
-    allowed = set()
-    for group in matches:
-        for name in group.split(","):
-            allowed.add(name.strip())
-    return allowed
-
-
-class Finding:
-    __slots__ = ("path", "line", "rule", "detail")
-
-    def __init__(self, path, line, rule, detail=""):
-        self.path = path
-        self.line = line
-        self.rule = rule
-        self.detail = detail
-
-
 def scan_file(path, display_path):
-    try:
-        with open(path, "r", encoding="utf-8", errors="replace") as f:
-            raw_lines = f.read().splitlines()
-    except OSError as e:
-        print(f"desalign-lint: cannot read {path}: {e}", file=sys.stderr)
-        sys.exit(2)
-
-    code_lines = strip_comments_and_strings(raw_lines)
-    findings = []
+    raw_lines = fm.read_lines(path, "desalign-lint")
+    code_lines = fm.strip_comments_and_strings(raw_lines)
+    found = []
     norm = display_path.replace(os.sep, "/")
     in_src = norm.startswith("src/") or "/src/" in norm
     is_cli = "src/cli/" in norm or norm.startswith("src/cli/")
@@ -231,42 +162,11 @@ def scan_file(path, display_path):
                 and WRITE_IO_RE.search(code):
             hits.append("missing-fault-site")
 
-        allowed = line_allowances(raw)
-        if allowed is not None:
-            for name in sorted(allowed):
-                if name not in RULES or name == "bad-pragma":
-                    findings.append(Finding(display_path, lineno,
-                                            "bad-pragma",
-                                            f"unknown rule '{name}'"))
-            hits = [h for h in hits if h not in allowed]
-
+        hits = PRAGMAS.filter_hits(raw, display_path, lineno, hits, found)
         for rule in hits:
-            findings.append(Finding(display_path, lineno, rule))
+            found.append(fm.Finding(display_path, lineno, rule))
 
-    return findings
-
-
-def collect_files(paths, root):
-    files = []
-    for p in paths:
-        full = p if os.path.isabs(p) else os.path.join(root, p)
-        if os.path.isfile(full):
-            files.append((full, os.path.relpath(full, root)))
-        elif os.path.isdir(full):
-            for dirpath, dirnames, filenames in os.walk(full):
-                dirnames.sort()
-                rel_dir = os.path.relpath(dirpath, root)
-                if FIXTURE_DIR_MARKER in os.path.join(rel_dir, ""):
-                    dirnames[:] = []
-                    continue
-                for name in sorted(filenames):
-                    if name.endswith(CXX_EXTENSIONS):
-                        f = os.path.join(dirpath, name)
-                        files.append((f, os.path.relpath(f, root)))
-        else:
-            print(f"desalign-lint: no such path: {p}", file=sys.stderr)
-            sys.exit(2)
-    return files
+    return found
 
 
 def main(argv):
@@ -282,25 +182,19 @@ def main(argv):
     if args.list_rules:
         for name in sorted(RULES):
             print(f"{name}: {RULES[name]}")
-        return 0
+        return fm.EXIT_CLEAN
 
     root = args.root or os.path.dirname(os.path.dirname(
         os.path.dirname(os.path.abspath(__file__))))
     paths = args.paths or ["src", "tests"]
 
-    findings = []
-    files = collect_files(paths, root)
+    found = []
+    files = fm.collect_files(paths, root, FIXTURE_DIR_MARKERS,
+                             "desalign-lint")
     for full, rel in files:
-        findings.extend(scan_file(full, rel))
+        found.extend(scan_file(full, rel))
 
-    findings.sort(key=lambda f: (f.path, f.line, f.rule))
-    for f in findings:
-        detail = f" ({f.detail})" if f.detail else ""
-        print(f"{f.path}:{f.line}: [{f.rule}] {RULES[f.rule]}{detail}")
-
-    print(f"desalign-lint: {len(findings)} finding(s) in "
-          f"{len(files)} file(s)", file=sys.stderr)
-    return 1 if findings else 0
+    return fm.report(found, RULES, len(files), "desalign-lint")
 
 
 if __name__ == "__main__":
